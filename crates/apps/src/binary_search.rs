@@ -1,0 +1,165 @@
+//! Parallel binary search (paper Figure 3a): size² keys searched in a
+//! sorted array of size² elements. CPU-favourable while the array's hot
+//! tree levels fit the cache; the GPU takes over at 2048² (2.16x in the
+//! paper) because all searches run in parallel.
+
+use crate::framework::{gen_values, PaperApp, PlatformKind};
+use brook_auto::{Arg, BrookContext, BrookError};
+use perf_model::{AccessPattern, CpuRun, MemPhase, Platform};
+
+/// Binary-search benchmark: `size * size` keys over `size * size` sorted
+/// values.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BinarySearch;
+
+/// The Brook kernel: a fixed 22-iteration loop (`ceil(log2(2048^2))`)
+/// with an inner guard so converged searches stay put — the "trivially
+/// modified ... enforcing maximum loop counts" pattern of paper §6.
+pub const KERNEL: &str = "
+kernel void bsearch(float key<>, float data[], float n, out float o<>) {
+    float lo = 0.0;
+    float hi = n;
+    int i;
+    for (i = 0; i < 22; i++) {
+        if (lo < hi) {
+            float mid = floor((lo + hi) * 0.5);
+            float v = data[mid];
+            if (v < key) { lo = mid + 1.0; } else { hi = mid; }
+        }
+    }
+    o = lo;
+}
+";
+
+fn sorted_data(size: usize, seed: u64) -> Vec<f32> {
+    let mut v = gen_values(seed, size * size, 0.0, 1e6);
+    v.sort_by(f32::total_cmp);
+    v
+}
+
+fn keys(size: usize, seed: u64) -> Vec<f32> {
+    gen_values(seed + 1, size * size, 0.0, 1e6)
+}
+
+/// Lower-bound search mirroring the kernel exactly (same float
+/// arithmetic, fixed trip count with guard).
+pub fn lower_bound(data: &[f32], key: f32) -> f32 {
+    let mut lo = 0.0f32;
+    let mut hi = data.len() as f32;
+    for _ in 0..22 {
+        if lo < hi {
+            let mid = ((lo + hi) * 0.5).floor();
+            let v = data[mid as usize];
+            if v < key {
+                lo = mid + 1.0;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+    lo
+}
+
+impl PaperApp for BinarySearch {
+    fn name(&self) -> &'static str {
+        "binary_search"
+    }
+
+    fn sizes(&self, _platform: PlatformKind) -> Vec<usize> {
+        vec![128, 256, 512, 1024, 2048]
+    }
+
+    fn run_gpu(&self, ctx: &mut BrookContext, size: usize, seed: u64) -> Result<Vec<f32>, BrookError> {
+        let module = ctx.compile(KERNEL)?;
+        let n = size * size;
+        let data = sorted_data(size, seed);
+        let kv = keys(size, seed);
+        let d = ctx.stream(&[n])?;
+        let k = ctx.stream(&[n])?;
+        let o = ctx.stream(&[n])?;
+        ctx.write(&d, &data)?;
+        ctx.write(&k, &kv)?;
+        ctx.run(&module, "bsearch", &[Arg::Stream(&k), Arg::Stream(&d), Arg::Float(n as f32), Arg::Stream(&o)])?;
+        ctx.read(&o)
+    }
+
+    fn run_cpu(&self, size: usize, seed: u64) -> Vec<f32> {
+        let data = sorted_data(size, seed);
+        keys(size, seed).iter().map(|k| lower_bound(&data, *k)).collect()
+    }
+
+    fn cpu_cost(&self, size: usize, _vectorized: bool) -> CpuRun {
+        // Tree-level cache model: the upper levels of the implicit search
+        // tree are shared by all searches and stay cached; only the last
+        // `log2(working_set / l2)` levels miss. This is what produces the
+        // paper's cache-boundary crossover (§6.2). The boundary constant
+        // comes from the reference platform's L2 (both platforms show the
+        // same crossover shape in Figure 3a).
+        let n = (size * size) as u64;
+        let levels = 22u64;
+        let working_set = n * 4;
+        let l2 = Platform::reference().mem.l2_bytes;
+        let cold_levels = if working_set > l2 {
+            (working_set as f64 / l2 as f64).log2().ceil() as u64
+        } else {
+            0
+        }
+        .min(levels);
+        let hot_levels = levels - cold_levels;
+        let mut run = CpuRun::with_ops(n * levels * 5);
+        run.phases.push(MemPhase {
+            accesses: n * hot_levels,
+            access_bytes: 4,
+            // Hot levels are cache-resident on either platform.
+            working_set: (32 * 1024).min(working_set),
+            pattern: AccessPattern::Random,
+        });
+        run.phases.push(MemPhase {
+            accesses: n * cold_levels,
+            access_bytes: 4,
+            working_set,
+            pattern: AccessPattern::Random,
+        });
+        run
+    }
+
+    fn validate_up_to(&self) -> usize {
+        32
+    }
+
+    fn tolerance(&self) -> f32 {
+        // Results are indices: must match exactly.
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::measure;
+
+    #[test]
+    fn validates_on_target() {
+        let point = measure(&BinarySearch, PlatformKind::Target, 16, 9).expect("measure");
+        assert!(point.validated);
+    }
+
+    #[test]
+    fn lower_bound_matches_std() {
+        let data: Vec<f32> = (0..100).map(|i| i as f32 * 2.0).collect();
+        for key in [0.0f32, 1.0, 2.0, 55.0, 197.9, 198.0, 500.0] {
+            let ours = lower_bound(&data, key) as usize;
+            let std = data.partition_point(|v| *v < key);
+            assert_eq!(ours, std, "key {key}");
+        }
+    }
+
+    #[test]
+    fn cold_levels_grow_with_size() {
+        let app = BinarySearch;
+        let small = app.cpu_cost(256, false);
+        let large = app.cpu_cost(2048, false);
+        let cold = |r: &CpuRun| r.phases[1].accesses;
+        assert!(cold(&large) / (2048u64 * 2048) > cold(&small) / (256u64 * 256));
+    }
+}

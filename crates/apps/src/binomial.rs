@@ -1,0 +1,159 @@
+//! Binomial option pricing (paper Figure 2a): backward induction over a
+//! binomial lattice, executed as one GPU pass per step. Computationally
+//! intensive but stream-heavy — the paper's canonical example of a
+//! kernel that stays below CPU performance at the explored sizes (< 20%)
+//! while trending upward.
+
+use crate::framework::{gen_values, PaperApp, PlatformKind};
+use brook_auto::{Arg, BrookContext, BrookError};
+use perf_model::{AccessPattern, CpuRun, MemPhase};
+
+/// Lattice depth (steps); fixed while the number of options sweeps.
+pub const STEPS: usize = 64;
+/// Up-move factor per step.
+pub const UP: f32 = 1.05;
+/// Down-move factor per step.
+pub const DOWN: f32 = 1.0 / 1.05;
+/// Risk-neutral up probability (with discounting folded in).
+pub const PU: f32 = 0.502;
+/// Complement probability with discounting.
+pub const PD: f32 = 0.4968;
+
+/// Binomial pricing of `size` options over a [`STEPS`]-step lattice.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Binomial;
+
+/// Terminal-payoff and backward-induction kernels. The lattice lives in
+/// an `options x (STEPS+1)` stream; strikes and spots are rank-1 gathers
+/// indexed by the option row.
+pub fn kernel_source() -> String {
+    format!(
+        "kernel void binom_init(float strikes[], float spots[], out float v<>) {{
+             float2 p = indexof(v);
+             float st = spots[p.y] * pow({UP}, p.x) * pow({DOWN}, {steps}.0 - p.x);
+             v = max(st - strikes[p.y], 0.0);
+         }}
+
+         kernel void binom_step(float vin<>, float lat[][], out float vout<>) {{
+             float2 p = indexof(vout);
+             vout = {PU} * lat[p.y][p.x + 1.0] + {PD} * lat[p.y][p.x];
+         }}",
+        steps = STEPS
+    )
+}
+
+fn inputs(options: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+    (
+        gen_values(seed, options, 40.0, 60.0),     // strikes
+        gen_values(seed + 1, options, 40.0, 60.0), // spots
+    )
+}
+
+/// Reference pricer: identical lattice arithmetic per option.
+pub fn price_cpu(strike: f32, spot: f32) -> f32 {
+    let mut lattice = [0.0f32; STEPS + 1];
+    for (j, v) in lattice.iter_mut().enumerate() {
+        let st = spot * UP.powf(j as f32) * DOWN.powf(STEPS as f32 - j as f32);
+        *v = (st - strike).max(0.0);
+    }
+    for _step in 0..STEPS {
+        for j in 0..STEPS {
+            lattice[j] = PU * lattice[j + 1] + PD * lattice[j];
+        }
+    }
+    lattice[0]
+}
+
+impl PaperApp for Binomial {
+    fn name(&self) -> &'static str {
+        "binomial"
+    }
+
+    fn sizes(&self, _platform: PlatformKind) -> Vec<usize> {
+        vec![128, 256, 512, 1024, 2048]
+    }
+
+    fn run_gpu(&self, ctx: &mut BrookContext, size: usize, seed: u64) -> Result<Vec<f32>, BrookError> {
+        let options = size;
+        let module = ctx.compile(&kernel_source())?;
+        let (strikes, spots) = inputs(options, seed);
+        let sk = ctx.stream(&[options])?;
+        let sp = ctx.stream(&[options])?;
+        ctx.write(&sk, &strikes)?;
+        ctx.write(&sp, &spots)?;
+        let mut ping = ctx.stream(&[options, STEPS + 1])?;
+        let mut pong = ctx.stream(&[options, STEPS + 1])?;
+        ctx.run(&module, "binom_init", &[Arg::Stream(&sk), Arg::Stream(&sp), Arg::Stream(&ping)])?;
+        for _ in 0..STEPS {
+            ctx.run(&module, "binom_step", &[Arg::Stream(&ping), Arg::Stream(&ping), Arg::Stream(&pong)])?;
+            std::mem::swap(&mut ping, &mut pong);
+        }
+        // Column 0 of each option row is the price.
+        let lattice = ctx.read(&ping)?;
+        Ok((0..options).map(|o| lattice[o * (STEPS + 1)]).collect())
+    }
+
+    fn run_cpu(&self, size: usize, seed: u64) -> Vec<f32> {
+        let (strikes, spots) = inputs(size, seed);
+        strikes.iter().zip(&spots).map(|(k, s)| price_cpu(*k, *s)).collect()
+    }
+
+    fn cpu_cost(&self, size: usize, vectorized: bool) -> CpuRun {
+        let options = size as u64;
+        let steps = STEPS as u64;
+        // Terminal setup: ~20 ops per node (pow); induction: 3 ops per
+        // node per step. The per-option lattice (260 B) lives in L1 —
+        // the cache effectiveness the paper credits the CPU with.
+        let mut run = CpuRun::with_ops(options * ((steps + 1) * 20 + steps * steps * 3));
+        run.vectorized = vectorized;
+        run.phases.push(MemPhase {
+            accesses: options * steps * steps,
+            access_bytes: 4,
+            working_set: (steps + 1) * 4,
+            pattern: AccessPattern::Sequential,
+        });
+        run
+    }
+
+    fn validate_up_to(&self) -> usize {
+        64
+    }
+
+    fn tolerance(&self) -> f32 {
+        // 64 accumulation steps; pow() on the init path differs by a few
+        // ulps between libm and the interpreter.
+        2e-2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::measure;
+
+    #[test]
+    fn validates_on_target() {
+        let point = measure(&Binomial, PlatformKind::Target, 16, 13).expect("measure");
+        assert!(point.validated);
+        // init + STEPS induction passes.
+        assert_eq!(point.gpu.draw_calls as usize, 1 + STEPS);
+    }
+
+    #[test]
+    fn deep_in_the_money_approximates_intrinsic() {
+        let p = price_cpu(10.0, 60.0);
+        assert!((49.0..=52.0).contains(&p), "price {p}");
+    }
+
+    #[test]
+    fn worthless_when_spot_far_below_strike() {
+        assert!(price_cpu(1000.0, 10.0) < 1e-3);
+    }
+
+    #[test]
+    fn price_increases_with_spot() {
+        let lo = price_cpu(50.0, 45.0);
+        let hi = price_cpu(50.0, 55.0);
+        assert!(hi > lo);
+    }
+}

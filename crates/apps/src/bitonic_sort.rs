@@ -1,0 +1,139 @@
+//! Bitonic sort (paper Figure 3b): a data-independent sorting network
+//! executed as repeated kernel invocations over the same GPU-resident
+//! data — no transfers between passes, hence the paper's 135x speedup at
+//! 256² elements. The Brook+ CPU reference is the naive quadratic sort
+//! (the paper notes it "takes several hours" beyond 256²).
+
+use crate::framework::{gen_values, PaperApp, PlatformKind};
+use brook_auto::{Arg, BrookContext, BrookError};
+use perf_model::{AccessPattern, CpuRun, MemPhase};
+
+/// Bitonic sort of `size * size` elements.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BitonicSort;
+
+/// One compare-exchange pass of the bitonic network. GLSL ES 1.00 has no
+/// integer bitwise operators, so the classic `i XOR d` partner and the
+/// direction bit are derived with `fmod`/`floor` float arithmetic — all
+/// quantities stay below 2^24 and remain exact.
+pub const KERNEL: &str = "
+kernel void bitonic_step(float a<>, float data[], float d, float blk, out float o<>) {
+    float2 pp = indexof(o);
+    float i = pp.x;
+    float bit = fmod(floor(i / d), 2.0);
+    float partner = (bit < 0.5) ? (i + d) : (i - d);
+    float mine = a;
+    float theirs = data[partner];
+    float dirbit = fmod(floor(i / blk), 2.0);
+    bool keep_min = (bit < 0.5) == (dirbit < 0.5);
+    o = keep_min ? min(mine, theirs) : max(mine, theirs);
+}
+";
+
+/// Pass schedule: (distance, direction block) pairs for `n = 2^m`.
+pub fn schedule(n: usize) -> Vec<(f32, f32)> {
+    assert!(n.is_power_of_two(), "bitonic sort requires a power-of-two length");
+    let m = n.trailing_zeros();
+    let mut passes = Vec::new();
+    for stage in 0..m {
+        for sub in (0..=stage).rev() {
+            passes.push((2f32.powi(sub as i32), 2f32.powi(stage as i32 + 1)));
+        }
+    }
+    passes
+}
+
+impl PaperApp for BitonicSort {
+    fn name(&self) -> &'static str {
+        "bitonic_sort"
+    }
+
+    fn sizes(&self, _platform: PlatformKind) -> Vec<usize> {
+        // The paper reports up to 256² ("for larger inputs ... the CPU
+        // version takes several hours").
+        vec![64, 128, 256]
+    }
+
+    fn run_gpu(&self, ctx: &mut BrookContext, size: usize, seed: u64) -> Result<Vec<f32>, BrookError> {
+        let module = ctx.compile(KERNEL)?;
+        let n = size * size;
+        let values = gen_values(seed, n, 0.0, 1e6);
+        let mut ping = ctx.stream(&[n])?;
+        let mut pong = ctx.stream(&[n])?;
+        ctx.write(&ping, &values)?;
+        for (d, blk) in schedule(n) {
+            ctx.run(
+                &module,
+                "bitonic_step",
+                &[Arg::Stream(&ping), Arg::Stream(&ping), Arg::Float(d), Arg::Float(blk), Arg::Stream(&pong)],
+            )?;
+            std::mem::swap(&mut ping, &mut pong);
+        }
+        ctx.read(&ping)
+    }
+
+    fn run_cpu(&self, size: usize, seed: u64) -> Vec<f32> {
+        let mut values = gen_values(seed, size * size, 0.0, 1e6);
+        values.sort_by(f32::total_cmp);
+        values
+    }
+
+    fn cpu_cost(&self, size: usize, _vectorized: bool) -> CpuRun {
+        // The Brook+ sample's CPU baseline is a naive O(n²) exchange sort
+        // (consistent with the paper's "several hours" remark).
+        let n = (size * size) as u64;
+        let mut run = CpuRun::with_ops(n * n / 2 * 3);
+        run.phases.push(MemPhase {
+            accesses: n * n / 2,
+            access_bytes: 4,
+            working_set: n * 4,
+            pattern: AccessPattern::Sequential,
+        });
+        run
+    }
+
+    fn validate_up_to(&self) -> usize {
+        48
+    }
+
+    fn tolerance(&self) -> f32 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::measure;
+
+    #[test]
+    fn sorts_on_gpu_and_matches_reference() {
+        let point = measure(&BitonicSort, PlatformKind::Target, 16, 5).expect("measure");
+        assert!(point.validated);
+    }
+
+    #[test]
+    fn schedule_has_m_m_plus_1_over_2_passes() {
+        assert_eq!(schedule(16).len(), 4 * 5 / 2);
+        assert_eq!(schedule(65536).len(), 16 * 17 / 2);
+    }
+
+    #[test]
+    fn no_transfers_between_passes() {
+        let mut ctx = BrookContext::gles2(brook_auto::DeviceProfile::videocore_iv());
+        let out = BitonicSort.run_gpu(&mut ctx, 16, 1).expect("run");
+        assert!(out.windows(2).all(|w| w[0] <= w[1]), "output not sorted");
+        let counters = ctx.gpu_counters();
+        // One upload, one readback, many draws.
+        assert_eq!(counters.bytes_uploaded, 256 * 4);
+        assert_eq!(counters.draw_calls as usize, schedule(256).len());
+    }
+
+    #[test]
+    fn quadratic_cpu_cost() {
+        let c64 = BitonicSort.cpu_cost(64, false);
+        let c128 = BitonicSort.cpu_cost(128, false);
+        // 4x elements -> 16x ops.
+        assert_eq!(c128.ops / c64.ops, 16);
+    }
+}

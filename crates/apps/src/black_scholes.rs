@@ -1,0 +1,170 @@
+//! Black-Scholes European option pricing (paper Figure 2b): elementwise,
+//! transcendental-heavy, streaming pattern — the class of kernels the
+//! paper found CPU-favourable on both platforms at the explored sizes.
+
+use crate::framework::{gen_values, PaperApp, PlatformKind};
+use brook_auto::{Arg, BrookContext, BrookError};
+use perf_model::{AccessPattern, CpuRun};
+
+/// Risk-free rate used by the workload.
+pub const RATE: f32 = 0.02;
+/// Volatility used by the workload.
+pub const VOLATILITY: f32 = 0.30;
+
+/// Black-Scholes benchmark over `size x size` options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlackScholes;
+
+/// The Brook source: a `cnd` helper (Abramowitz-Stegun cumulative normal
+/// distribution) plus the pricing kernel.
+pub const KERNEL: &str = "
+float cnd(float x) {
+    float l = abs(x);
+    float k = 1.0 / (1.0 + 0.2316419 * l);
+    float k2 = k * k;
+    float k3 = k2 * k;
+    float k4 = k2 * k2;
+    float k5 = k4 * k;
+    float poly = 0.31938153 * k - 0.356563782 * k2 + 1.781477937 * k3
+               - 1.821255978 * k4 + 1.330274429 * k5;
+    float w = 1.0 - 0.39894228 * exp(-0.5 * l * l) * poly;
+    if (x < 0.0) { w = 1.0 - w; }
+    return w;
+}
+
+kernel void black_scholes(float s<>, float k<>, float t<>, float r, float v, out float call<>) {
+    float sq = v * sqrt(t);
+    float d1 = (log(s / k) + (r + 0.5 * v * v) * t) / sq;
+    float d2 = d1 - sq;
+    call = s * cnd(d1) - k * exp(-r * t) * cnd(d2);
+}
+";
+
+/// Reference scalar implementation (identical operation order).
+pub fn price(s: f32, k: f32, t: f32, r: f32, v: f32) -> f32 {
+    fn cnd(x: f32) -> f32 {
+        let l = x.abs();
+        let k = 1.0 / (1.0 + 0.2316419 * l);
+        let k2 = k * k;
+        let k3 = k2 * k;
+        let k4 = k2 * k2;
+        let k5 = k4 * k;
+        #[allow(clippy::excessive_precision)]
+        let poly = 0.31938153 * k - 0.356563782 * k2 + 1.781477937 * k3 - 1.821255978 * k4 + 1.330274429 * k5;
+        #[allow(clippy::excessive_precision)]
+        let w = 1.0 - 0.39894228 * (-0.5 * l * l).exp() * poly;
+        if x < 0.0 {
+            1.0 - w
+        } else {
+            w
+        }
+    }
+    let sq = v * t.sqrt();
+    let d1 = ((s / k).ln() + (r + 0.5 * v * v) * t) / sq;
+    let d2 = d1 - sq;
+    s * cnd(d1) - k * (-r * t).exp() * cnd(d2)
+}
+
+fn inputs(size: usize, seed: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let n = size * size;
+    (
+        gen_values(seed, n, 10.0, 100.0),     // spot
+        gen_values(seed + 1, n, 10.0, 100.0), // strike
+        gen_values(seed + 2, n, 0.2, 2.0),    // expiry
+    )
+}
+
+impl PaperApp for BlackScholes {
+    fn name(&self) -> &'static str {
+        "black_scholes"
+    }
+
+    fn sizes(&self, _platform: PlatformKind) -> Vec<usize> {
+        vec![128, 256, 512, 1024, 2048]
+    }
+
+    fn run_gpu(&self, ctx: &mut BrookContext, size: usize, seed: u64) -> Result<Vec<f32>, BrookError> {
+        let module = ctx.compile(KERNEL)?;
+        let (sv, kv, tv) = inputs(size, seed);
+        let s = ctx.stream(&[size, size])?;
+        let k = ctx.stream(&[size, size])?;
+        let t = ctx.stream(&[size, size])?;
+        let call = ctx.stream(&[size, size])?;
+        ctx.write(&s, &sv)?;
+        ctx.write(&k, &kv)?;
+        ctx.write(&t, &tv)?;
+        ctx.run(
+            &module,
+            "black_scholes",
+            &[
+                Arg::Stream(&s),
+                Arg::Stream(&k),
+                Arg::Stream(&t),
+                Arg::Float(RATE),
+                Arg::Float(VOLATILITY),
+                Arg::Stream(&call),
+            ],
+        )?;
+        ctx.read(&call)
+    }
+
+    fn run_cpu(&self, size: usize, seed: u64) -> Vec<f32> {
+        let (sv, kv, tv) = inputs(size, seed);
+        sv.iter()
+            .zip(&kv)
+            .zip(&tv)
+            .map(|((s, k), t)| price(*s, *k, *t, RATE, VOLATILITY))
+            .collect()
+    }
+
+    fn cpu_cost(&self, size: usize, vectorized: bool) -> CpuRun {
+        let n = (size * size) as u64;
+        // Per option: 2 exp (~25 ops each as libm polynomials), 1 log, 1
+        // sqrt (~15), plus ~45 arithmetic ops in cnd x2 and the formula.
+        let ops_per_option = 2 * 25 + 25 + 15 + 45;
+        let mut run = CpuRun::with_ops(n * ops_per_option);
+        run.vectorized = vectorized;
+        run.phases.push(perf_model::MemPhase {
+            accesses: 4 * n,
+            access_bytes: 4,
+            working_set: 4 * n * 4,
+            pattern: AccessPattern::Sequential,
+        });
+        run
+    }
+
+    fn validate_up_to(&self) -> usize {
+        32
+    }
+
+    fn tolerance(&self) -> f32 {
+        1e-3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::measure;
+
+    #[test]
+    fn validates_on_target() {
+        let point = measure(&BlackScholes, PlatformKind::Target, 16, 3).expect("measure");
+        assert!(point.validated);
+    }
+
+    #[test]
+    fn validates_on_reference() {
+        let point = measure(&BlackScholes, PlatformKind::Reference, 16, 3).expect("measure");
+        assert!(point.validated);
+    }
+
+    #[test]
+    fn prices_are_sane() {
+        // Deep in-the-money call is worth roughly spot - strike.
+        let p = price(100.0, 10.0, 1.0, RATE, VOLATILITY);
+        assert!((p - (100.0 - 10.0 * (-RATE).exp())).abs() < 1.0, "price {p}");
+        // Far out-of-the-money call is nearly worthless.
+        assert!(price(10.0, 100.0, 0.2, RATE, VOLATILITY) < 0.01);
+    }
+}

@@ -1,0 +1,185 @@
+//! Floyd-Warshall all-pairs shortest paths (paper Figure 3c): n GPU
+//! passes over an n x n distance matrix. The kernel produces *two*
+//! outputs (distance and predecessor), so the Brook Auto backend splits
+//! it into two passes per step — exactly the case paper §6.2 describes.
+//! Speedup rises past 256 vertices to a ~6.5x plateau in the paper.
+
+use crate::framework::{gen_values, PaperApp, PlatformKind};
+use brook_auto::{Arg, BrookContext, BrookError};
+use perf_model::{AccessPattern, CpuRun, MemPhase};
+
+/// Floyd-Warshall over `size` vertices.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FloydWarshall;
+
+/// One relaxation step for intermediate vertex `k`. Two `out` streams:
+/// the compiler emits one GPU pass per output (BA005 note).
+pub const KERNEL: &str = "
+kernel void fw_step(float dij<>, float d[][], float pin<>, float k,
+                    out float dout<>, out float pout<>) {
+    float2 q = indexof(dout);
+    float alt = d[q.y][k] + d[k][q.x];
+    if (alt < dij) {
+        dout = alt;
+        pout = k;
+    } else {
+        dout = dij;
+        pout = pin;
+    }
+}
+";
+
+/// Generates a random dense weighted graph (no negative edges).
+pub fn graph(n: usize, seed: u64) -> Vec<f32> {
+    let mut d = gen_values(seed, n * n, 1.0, 100.0);
+    for i in 0..n {
+        d[i * n + i] = 0.0;
+    }
+    d
+}
+
+/// Reference CPU Floyd-Warshall with predecessor tracking, in the same
+/// k-outer order and float arithmetic as the GPU passes.
+pub fn fw_cpu(dist: &[f32], n: usize) -> (Vec<f32>, Vec<f32>) {
+    let mut d = dist.to_vec();
+    let mut p: Vec<f32> = (0..n * n).map(|i| (i % n) as f32).collect();
+    let mut dn = vec![0.0f32; n * n];
+    let mut pn = vec![0.0f32; n * n];
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let alt = d[i * n + k] + d[k * n + j];
+                let idx = i * n + j;
+                if alt < d[idx] {
+                    dn[idx] = alt;
+                    pn[idx] = k as f32;
+                } else {
+                    dn[idx] = d[idx];
+                    pn[idx] = p[idx];
+                }
+            }
+        }
+        std::mem::swap(&mut d, &mut dn);
+        std::mem::swap(&mut p, &mut pn);
+    }
+    (d, p)
+}
+
+impl PaperApp for FloydWarshall {
+    fn name(&self) -> &'static str {
+        "floyd_warshall"
+    }
+
+    fn sizes(&self, _platform: PlatformKind) -> Vec<usize> {
+        vec![128, 256, 512, 1024]
+    }
+
+    fn run_gpu(&self, ctx: &mut BrookContext, size: usize, seed: u64) -> Result<Vec<f32>, BrookError> {
+        let n = size;
+        let module = ctx.compile(KERNEL)?;
+        let init_d = graph(n, seed);
+        let init_p: Vec<f32> = (0..n * n).map(|i| (i % n) as f32).collect();
+        let mut d_ping = ctx.stream(&[n, n])?;
+        let mut d_pong = ctx.stream(&[n, n])?;
+        let mut p_ping = ctx.stream(&[n, n])?;
+        let mut p_pong = ctx.stream(&[n, n])?;
+        ctx.write(&d_ping, &init_d)?;
+        ctx.write(&p_ping, &init_p)?;
+        for k in 0..n {
+            ctx.run(
+                &module,
+                "fw_step",
+                &[
+                    Arg::Stream(&d_ping),
+                    Arg::Stream(&d_ping),
+                    Arg::Stream(&p_ping),
+                    Arg::Float(k as f32),
+                    Arg::Stream(&d_pong),
+                    Arg::Stream(&p_pong),
+                ],
+            )?;
+            std::mem::swap(&mut d_ping, &mut d_pong);
+            std::mem::swap(&mut p_ping, &mut p_pong);
+        }
+        ctx.read(&d_ping)
+    }
+
+    fn run_cpu(&self, size: usize, seed: u64) -> Vec<f32> {
+        fw_cpu(&graph(size, seed), size).0
+    }
+
+    fn cpu_cost(&self, size: usize, _vectorized: bool) -> CpuRun {
+        let n = size as u64;
+        let mut run = CpuRun::with_ops(4 * n * n * n);
+        // d[k][j] and d[i][j] stream sequentially; d[i][k] is a column
+        // walk amortized per i (one access per n j-iterations).
+        run.phases.push(MemPhase {
+            accesses: 2 * n * n * n,
+            access_bytes: 4,
+            working_set: n * n * 4,
+            pattern: AccessPattern::Sequential,
+        });
+        run.phases.push(MemPhase {
+            accesses: n * n,
+            access_bytes: 4,
+            working_set: n * n * 4,
+            pattern: AccessPattern::Random,
+        });
+        run
+    }
+
+    fn validate_up_to(&self) -> usize {
+        24
+    }
+
+    fn tolerance(&self) -> f32 {
+        1e-3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::measure;
+
+    #[test]
+    fn validates_on_target() {
+        let point = measure(&FloydWarshall, PlatformKind::Target, 12, 4).expect("measure");
+        assert!(point.validated);
+        // Two outputs -> two passes per k step (paper's split).
+        assert_eq!(point.gpu.draw_calls, 2 * 12);
+    }
+
+    #[test]
+    fn shortest_paths_on_known_graph() {
+        // 3-node graph: 0->1 = 5, 1->2 = 4, 0->2 direct = 20; the path
+        // through 1 costs 9.
+        let inf = 1e6f32;
+        #[rustfmt::skip]
+        let d = vec![
+            0.0, 5.0, 20.0,
+            inf, 0.0, 4.0,
+            inf, inf, 0.0,
+        ];
+        let (dist, pred) = fw_cpu(&d, 3);
+        assert_eq!(dist[2], 9.0);
+        assert_eq!(pred[2], 1.0, "path 0->2 goes through vertex 1");
+        assert_eq!(dist[1], 5.0); // row 0, col 1
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let n = 16;
+        let (dist, _) = fw_cpu(&graph(n, 9), n);
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    assert!(
+                        dist[i * n + j] <= dist[i * n + k] + dist[k * n + j] + 1e-3,
+                        "triangle violated at ({i},{j},{k})"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Common harness for the Brook+ reference applications (paper §6).
+//!
+//! Every application follows the paper's structure: "Each benchmark is
+//! parametrized, so that the size of its input set is configurable as
+//! well as the seed of the random generator ... a CPU implementation of
+//! each algorithm is included, allowing to validate the GPU output
+//! against the CPU results ... time measurement functionality and
+//! statistics reporting is integrated".
+
+use brook_auto::{BrookContext, BrookError, DeviceProfile, DrawMode};
+use perf_model::{CpuRun, GpuRun, Platform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which of the two evaluation platforms a run models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlatformKind {
+    /// ARM + VideoCore IV, Brook Auto over OpenGL ES 2 (packed RGBA8).
+    Target,
+    /// x86 + Radeon HD 3400, Brook+ over CAL (native float textures,
+    /// vectorized kernels).
+    Reference,
+}
+
+impl PlatformKind {
+    /// The timing model for this platform.
+    pub fn platform(&self) -> Platform {
+        match self {
+            PlatformKind::Target => Platform::target(),
+            PlatformKind::Reference => Platform::reference(),
+        }
+    }
+
+    /// The simulated device profile.
+    pub fn device(&self) -> DeviceProfile {
+        match self {
+            PlatformKind::Target => DeviceProfile::videocore_iv(),
+            PlatformKind::Reference => DeviceProfile::radeon_hd3400(),
+        }
+    }
+
+    /// Maximum usable square size (texture limit; paper §6.1).
+    pub fn max_size(&self) -> usize {
+        self.device().max_texture_size as usize
+    }
+}
+
+/// One measured point of a figure.
+#[derive(Debug, Clone)]
+pub struct MeasuredPoint {
+    /// Application name.
+    pub app: &'static str,
+    /// Input-size parameter (the x axis of the paper's figures).
+    pub size: usize,
+    /// Modeled CPU time in seconds.
+    pub cpu_time: f64,
+    /// Modeled GPU time in seconds.
+    pub gpu_time: f64,
+    /// `cpu_time / gpu_time` (> 1: GPU wins).
+    pub speedup: f64,
+    /// Raw GPU counters.
+    pub gpu: GpuRun,
+    /// Raw CPU counters.
+    pub cpu: CpuRun,
+    /// Whether the GPU output was validated against the CPU reference
+    /// on this run (done at validation-sized inputs).
+    pub validated: bool,
+}
+
+/// The interface every reference application implements.
+pub trait PaperApp {
+    /// Benchmark name as used in the figures.
+    fn name(&self) -> &'static str;
+
+    /// Paper x-axis sizes for the given platform (target stops at the
+    /// texture limit, e.g. SpMV at 1024; paper §6.1).
+    fn sizes(&self, platform: PlatformKind) -> Vec<usize>;
+
+    /// Runs the workload on the given context and returns the GPU
+    /// result buffer for validation.
+    ///
+    /// # Errors
+    /// Compilation, certification or dispatch failures.
+    fn run_gpu(&self, ctx: &mut BrookContext, size: usize, seed: u64) -> Result<Vec<f32>, BrookError>;
+
+    /// Computes the reference result on the CPU (real execution).
+    fn run_cpu(&self, size: usize, seed: u64) -> Vec<f32>;
+
+    /// Instrumented CPU cost at `size` (closed-form counts mirroring the
+    /// reference implementation's loop structure; see DESIGN.md).
+    fn cpu_cost(&self, size: usize, vectorized: bool) -> CpuRun;
+
+    /// Largest size at which full (non-sampled) GPU execution plus CPU
+    /// validation is affordable in the simulator.
+    fn validate_up_to(&self) -> usize {
+        64
+    }
+
+    /// Comparison tolerance for validation (absolute + relative mix).
+    fn tolerance(&self) -> f32 {
+        1e-3
+    }
+}
+
+/// Deterministic input generator used by all applications (paper §6:
+/// seeded random inputs for reproducibility).
+pub fn gen_values(seed: u64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Deterministic integer generator.
+pub fn gen_indices(seed: u64, n: usize, bound: usize) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    (0..n).map(|_| rng.gen_range(0..bound)).collect()
+}
+
+/// Compares GPU output against the CPU reference.
+pub fn validate(cpu: &[f32], gpu: &[f32], tolerance: f32) -> Result<(), String> {
+    if cpu.len() != gpu.len() {
+        return Err(format!("length mismatch: cpu {} vs gpu {}", cpu.len(), gpu.len()));
+    }
+    for (i, (c, g)) in cpu.iter().zip(gpu).enumerate() {
+        let err = (c - g).abs();
+        let scale = 1.0f32.max(c.abs());
+        if err > tolerance * scale {
+            return Err(format!("element {i}: cpu {c} vs gpu {g} (err {err}, tol {tolerance})"));
+        }
+    }
+    Ok(())
+}
+
+/// Runs one application point: GPU counters via the simulator (sampled
+/// dispatch above the validation size), CPU cost analytically, both
+/// converted to modeled seconds. Validation runs real CPU-vs-GPU
+/// comparison when `size <= app.validate_up_to()`.
+///
+/// # Errors
+/// Propagates compilation/dispatch errors and validation mismatches.
+pub fn measure(
+    app: &dyn PaperApp,
+    platform: PlatformKind,
+    size: usize,
+    seed: u64,
+) -> Result<MeasuredPoint, BrookError> {
+    let mut ctx = BrookContext::gles2(platform.device());
+    let full = size <= app.validate_up_to();
+    if !full {
+        // Strided sampling keeps large sweeps tractable; counts are
+        // extrapolated (DESIGN.md §5).
+        let stride = (size / 16).clamp(2, 64) as u32;
+        ctx.set_dispatch(DrawMode::Sampled { stride });
+    }
+    let gpu_out = app.run_gpu(&mut ctx, size, seed)?;
+    let gpu = ctx.gpu_counters();
+    let p = platform.platform();
+    // The paper's CPU baselines are plain scalar C on both platforms;
+    // `vectorized` stays available for ablation studies.
+    let cpu = app.cpu_cost(size, false);
+    let mut validated = false;
+    if full {
+        let cpu_out = app.run_cpu(size, seed);
+        validate(&cpu_out, &gpu_out, app.tolerance()).map_err(|m| {
+            BrookError::Usage(format!("{} validation failed at size {size}: {m}", app.name()))
+        })?;
+        validated = true;
+    }
+    let cpu_time = p.cpu_time(&cpu);
+    let gpu_time = p.gpu_time(&gpu);
+    Ok(MeasuredPoint {
+        app: app.name(),
+        size,
+        cpu_time,
+        gpu_time,
+        speedup: cpu_time / gpu_time,
+        gpu,
+        cpu,
+        validated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(gen_values(7, 16, 0.0, 1.0), gen_values(7, 16, 0.0, 1.0));
+        assert_ne!(gen_values(7, 16, 0.0, 1.0), gen_values(8, 16, 0.0, 1.0));
+        assert_eq!(gen_indices(3, 8, 100), gen_indices(3, 8, 100));
+    }
+
+    #[test]
+    fn generator_ranges_respected() {
+        let v = gen_values(1, 1000, -2.0, 3.0);
+        assert!(v.iter().all(|x| (-2.0..3.0).contains(x)));
+        let ix = gen_indices(1, 1000, 17);
+        assert!(ix.iter().all(|i| *i < 17));
+    }
+
+    #[test]
+    fn validate_accepts_close_and_rejects_far() {
+        assert!(validate(&[1.0, 2.0], &[1.0005, 2.0005], 1e-3).is_ok());
+        assert!(validate(&[1.0, 2.0], &[1.1, 2.0], 1e-3).is_err());
+        assert!(validate(&[1.0], &[1.0, 2.0], 1e-3).is_err());
+    }
+
+    #[test]
+    fn platform_kinds_differ() {
+        assert_eq!(PlatformKind::Target.max_size(), 2048);
+        assert_eq!(PlatformKind::Reference.max_size(), 4096);
+        assert!(PlatformKind::Reference.platform().vectorized_kernels);
+    }
+}

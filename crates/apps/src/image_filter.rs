@@ -1,0 +1,157 @@
+//! 3x3 image filtering (paper Figure 3d): low arithmetic intensity
+//! convolution that starts paying off on the GPU above 512x512 pixels,
+//! reaching ~2.5x in the paper.
+
+use crate::framework::{gen_values, PaperApp, PlatformKind};
+use brook_auto::{Arg, BrookContext, BrookError};
+use perf_model::{AccessPattern, CpuRun};
+
+/// 3x3 convolution benchmark. The default kernel is a Gaussian blur;
+/// [`SOBEL_X`] is used by the ADAS example.
+#[derive(Debug, Clone, Copy)]
+pub struct ImageFilter {
+    /// Convolution weights, row-major.
+    pub weights: [f32; 9],
+}
+
+/// Gaussian 3x3 blur weights.
+pub const GAUSSIAN: [f32; 9] = [
+    1.0 / 16.0, 2.0 / 16.0, 1.0 / 16.0,
+    2.0 / 16.0, 4.0 / 16.0, 2.0 / 16.0,
+    1.0 / 16.0, 2.0 / 16.0, 1.0 / 16.0,
+];
+
+/// Horizontal Sobel edge-detection weights.
+pub const SOBEL_X: [f32; 9] = [-1.0, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0];
+
+impl Default for ImageFilter {
+    fn default() -> Self {
+        ImageFilter { weights: GAUSSIAN }
+    }
+}
+
+/// The Brook kernel: 9 gather reads around `indexof`; edge pixels clamp
+/// through the texture unit (paper §4) — no boundary branches needed.
+pub const KERNEL: &str = "
+kernel void conv3x3(float img[][], float4 wa, float4 wb, float wc, out float o<>) {
+    float2 p = indexof(o);
+    float acc = img[p.y - 1.0][p.x - 1.0] * wa.x
+              + img[p.y - 1.0][p.x]       * wa.y
+              + img[p.y - 1.0][p.x + 1.0] * wa.z
+              + img[p.y]      [p.x - 1.0] * wa.w
+              + img[p.y]      [p.x]       * wb.x
+              + img[p.y]      [p.x + 1.0] * wb.y
+              + img[p.y + 1.0][p.x - 1.0] * wb.z
+              + img[p.y + 1.0][p.x]       * wb.w
+              + img[p.y + 1.0][p.x + 1.0] * wc;
+    o = acc;
+}
+";
+
+/// Reference convolution with clamped borders, identical op order.
+pub fn convolve(img: &[f32], size: usize, w: &[f32; 9]) -> Vec<f32> {
+    let clamp = |v: i64| v.clamp(0, size as i64 - 1) as usize;
+    let mut out = Vec::with_capacity(size * size);
+    for y in 0..size as i64 {
+        for x in 0..size as i64 {
+            let px = |dy: i64, dx: i64| img[clamp(y + dy) * size + clamp(x + dx)];
+            let acc = px(-1, -1) * w[0]
+                + px(-1, 0) * w[1]
+                + px(-1, 1) * w[2]
+                + px(0, -1) * w[3]
+                + px(0, 0) * w[4]
+                + px(0, 1) * w[5]
+                + px(1, -1) * w[6]
+                + px(1, 0) * w[7]
+                + px(1, 1) * w[8];
+            out.push(acc);
+        }
+    }
+    out
+}
+
+impl PaperApp for ImageFilter {
+    fn name(&self) -> &'static str {
+        "image_filter"
+    }
+
+    fn sizes(&self, _platform: PlatformKind) -> Vec<usize> {
+        vec![128, 256, 512, 1024, 2048]
+    }
+
+    fn run_gpu(&self, ctx: &mut BrookContext, size: usize, seed: u64) -> Result<Vec<f32>, BrookError> {
+        let module = ctx.compile(KERNEL)?;
+        let img = gen_values(seed, size * size, 0.0, 1.0);
+        let src = ctx.stream(&[size, size])?;
+        let dst = ctx.stream(&[size, size])?;
+        ctx.write(&src, &img)?;
+        let w = &self.weights;
+        ctx.run(
+            &module,
+            "conv3x3",
+            &[
+                Arg::Stream(&src),
+                Arg::Float4([w[0], w[1], w[2], w[3]]),
+                Arg::Float4([w[4], w[5], w[6], w[7]]),
+                Arg::Float(w[8]),
+                Arg::Stream(&dst),
+            ],
+        )?;
+        ctx.read(&dst)
+    }
+
+    fn run_cpu(&self, size: usize, seed: u64) -> Vec<f32> {
+        let img = gen_values(seed, size * size, 0.0, 1.0);
+        convolve(&img, size, &self.weights)
+    }
+
+    fn cpu_cost(&self, size: usize, vectorized: bool) -> CpuRun {
+        let n = (size * size) as u64;
+        // 9 multiply-adds plus index arithmetic per pixel.
+        let mut run = CpuRun::with_ops(n * 22);
+        run.vectorized = vectorized;
+        run.phases.push(perf_model::MemPhase {
+            accesses: 10 * n,
+            access_bytes: 4,
+            working_set: 2 * n * 4,
+            pattern: AccessPattern::Sequential,
+        });
+        run
+    }
+
+    fn validate_up_to(&self) -> usize {
+        32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::measure;
+
+    #[test]
+    fn validates_on_target() {
+        let point = measure(&ImageFilter::default(), PlatformKind::Target, 16, 11).expect("measure");
+        assert!(point.validated);
+    }
+
+    #[test]
+    fn blur_preserves_constant_images() {
+        let img = vec![0.5f32; 64];
+        let out = convolve(&img, 8, &GAUSSIAN);
+        for v in out {
+            assert!((v - 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sobel_finds_vertical_edge() {
+        // Left half 0, right half 1: strong response at the boundary.
+        let size = 8;
+        let img: Vec<f32> = (0..size * size).map(|i| if i % size >= size / 2 { 1.0 } else { 0.0 }).collect();
+        let out = convolve(&img, size, &SOBEL_X);
+        let boundary = out[3 * size + size / 2 - 1];
+        assert!(boundary.abs() > 2.0, "edge response {boundary}");
+        assert_eq!(out[3 * size + 1], 0.0, "flat region must be zero");
+    }
+}

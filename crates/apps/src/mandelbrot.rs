@@ -1,0 +1,168 @@
+//! Mandelbrot fractal generation (paper Figure 3e): high arithmetic
+//! intensity, value independent of any input stream — only the output is
+//! transferred, making it a GPU showcase (31x in the paper).
+
+use crate::framework::{PaperApp, PlatformKind};
+use brook_auto::{Arg, BrookContext, BrookError};
+use perf_model::{AccessPattern, CpuRun};
+
+/// Iteration cap of the escape-time loop.
+pub const MAX_ITER: usize = 256;
+
+/// Region of the complex plane rendered by the workload (the classic
+/// full-set view).
+pub const REGION: (f32, f32, f32, f32) = (-2.5, -1.25, 1.0, 1.25);
+
+/// Mandelbrot benchmark over a `size x size` image.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mandelbrot;
+
+/// The Brook kernel: no input streams; the pixel's coordinates come from
+/// `indexof` (paper §5.2) and the loop is statically bounded (BA003).
+pub fn kernel_source() -> String {
+    format!(
+        "kernel void mandelbrot(float x0, float y0, float dx, float dy, out float o<>) {{
+             float2 p = indexof(o);
+             float cr = x0 + p.x * dx;
+             float ci = y0 + p.y * dy;
+             float zr = 0.0;
+             float zi = 0.0;
+             float count = 0.0;
+             int i;
+             for (i = 0; i < {MAX_ITER}; i++) {{
+                 if (zr * zr + zi * zi < 4.0) {{
+                     float t = zr * zr - zi * zi + cr;
+                     zi = 2.0 * zr * zi + ci;
+                     zr = t;
+                     count += 1.0;
+                 }}
+             }}
+             o = count;
+         }}"
+    )
+}
+
+fn deltas(size: usize) -> (f32, f32) {
+    let (x0, y0, x1, y1) = REGION;
+    ((x1 - x0) / size as f32, (y1 - y0) / size as f32)
+}
+
+/// Escape-time iteration count for one pixel, mirroring the kernel's
+/// operation order (the GPU version iterates to the cap with a guard;
+/// the count matches an early-exit loop exactly).
+pub fn escape_count(cr: f32, ci: f32) -> f32 {
+    let (mut zr, mut zi, mut count) = (0.0f32, 0.0f32, 0.0f32);
+    for _ in 0..MAX_ITER {
+        if zr * zr + zi * zi < 4.0 {
+            let t = zr * zr - zi * zi + cr;
+            zi = 2.0 * zr * zi + ci;
+            zr = t;
+            count += 1.0;
+        } else {
+            break;
+        }
+    }
+    count
+}
+
+/// Average iteration count over the region, estimated on a sparse grid —
+/// used by the analytic CPU cost (the CPU reference exits early, so its
+/// cost is data-dependent).
+pub fn average_iterations(size: usize) -> f64 {
+    let (dx, dy) = deltas(size);
+    let (x0, y0, _, _) = REGION;
+    let step = (size / 32).max(1);
+    let mut total = 0.0f64;
+    let mut count = 0u64;
+    for y in (0..size).step_by(step) {
+        for x in (0..size).step_by(step) {
+            total += escape_count(x0 + x as f32 * dx, y0 + y as f32 * dy) as f64;
+            count += 1;
+        }
+    }
+    total / count as f64
+}
+
+impl PaperApp for Mandelbrot {
+    fn name(&self) -> &'static str {
+        "mandelbrot"
+    }
+
+    fn sizes(&self, _platform: PlatformKind) -> Vec<usize> {
+        vec![128, 256, 512, 1024, 2048]
+    }
+
+    fn run_gpu(&self, ctx: &mut BrookContext, size: usize, _seed: u64) -> Result<Vec<f32>, BrookError> {
+        let module = ctx.compile(&kernel_source())?;
+        let o = ctx.stream(&[size, size])?;
+        let (dx, dy) = deltas(size);
+        let (x0, y0, _, _) = REGION;
+        ctx.run(
+            &module,
+            "mandelbrot",
+            &[Arg::Float(x0), Arg::Float(y0), Arg::Float(dx), Arg::Float(dy), Arg::Stream(&o)],
+        )?;
+        ctx.read(&o)
+    }
+
+    fn run_cpu(&self, size: usize, _seed: u64) -> Vec<f32> {
+        let (dx, dy) = deltas(size);
+        let (x0, y0, _, _) = REGION;
+        let mut out = Vec::with_capacity(size * size);
+        for y in 0..size {
+            for x in 0..size {
+                out.push(escape_count(x0 + x as f32 * dx, y0 + y as f32 * dy));
+            }
+        }
+        out
+    }
+
+    fn cpu_cost(&self, size: usize, vectorized: bool) -> CpuRun {
+        let n = (size * size) as u64;
+        let avg = average_iterations(size);
+        // The Brook+ CPU reference executes the kernel body verbatim: the
+        // loop always runs MAX_ITER guarded iterations (~4 ops for the
+        // guard), with the full ~10-op body only while |z| < 2.
+        let guarded = MAX_ITER as f64 * 4.0;
+        let mut run = CpuRun::with_ops((n as f64 * (avg * 10.0 + guarded + 8.0)) as u64);
+        run.vectorized = vectorized;
+        run.phases.push(perf_model::MemPhase {
+            accesses: n,
+            access_bytes: 4,
+            working_set: n * 4,
+            pattern: AccessPattern::Sequential,
+        });
+        run
+    }
+
+    fn validate_up_to(&self) -> usize {
+        48
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::measure;
+
+    #[test]
+    fn validates_on_target() {
+        let point = measure(&Mandelbrot, PlatformKind::Target, 32, 0).expect("measure");
+        assert!(point.validated);
+        // No input streams: only the output crosses the bus (paper §6.2).
+        assert_eq!(point.gpu.bytes_uploaded, 0);
+        assert!(point.gpu.bytes_downloaded > 0);
+    }
+
+    #[test]
+    fn interior_hits_cap_and_exterior_escapes() {
+        assert_eq!(escape_count(0.0, 0.0), MAX_ITER as f32);
+        assert!(escape_count(2.0, 2.0) < 3.0);
+    }
+
+    #[test]
+    fn average_iterations_in_plausible_band() {
+        let avg = average_iterations(256);
+        assert!(avg > 10.0 && avg < 200.0, "avg {avg}");
+    }
+}

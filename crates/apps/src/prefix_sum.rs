@@ -1,0 +1,127 @@
+//! Prefix sum / scan (paper Figure 2c): a multipass kernel with low
+//! arithmetic intensity whose data movement dominates, against a CPU
+//! baseline that is "extremely efficient ... a simple accumulation loop".
+
+use crate::framework::{gen_values, PaperApp, PlatformKind};
+use brook_auto::{Arg, BrookContext, BrookError};
+use perf_model::{AccessPattern, CpuRun, MemPhase};
+
+/// Inclusive prefix sum over `size * size` elements.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrefixSum;
+
+/// One Hillis-Steele scan step: `o[i] = a[i] + a[i - offset]` for
+/// `i >= offset`.
+pub const KERNEL: &str = "
+kernel void scan_step(float a<>, float src[], float offset, out float o<>) {
+    float2 p = indexof(o);
+    float i = p.x;
+    float v = a;
+    if (i >= offset) {
+        v = v + src[i - offset];
+    }
+    o = v;
+}
+";
+
+impl PaperApp for PrefixSum {
+    fn name(&self) -> &'static str {
+        "prefix_sum"
+    }
+
+    fn sizes(&self, _platform: PlatformKind) -> Vec<usize> {
+        vec![128, 256, 512, 1024, 2048]
+    }
+
+    fn run_gpu(&self, ctx: &mut BrookContext, size: usize, seed: u64) -> Result<Vec<f32>, BrookError> {
+        let module = ctx.compile(KERNEL)?;
+        let n = size * size;
+        let values = gen_values(seed, n, 0.0, 1.0);
+        let mut ping = ctx.stream(&[n])?;
+        let mut pong = ctx.stream(&[n])?;
+        ctx.write(&ping, &values)?;
+        let mut offset = 1usize;
+        while offset < n {
+            ctx.run(
+                &module,
+                "scan_step",
+                &[Arg::Stream(&ping), Arg::Stream(&ping), Arg::Float(offset as f32), Arg::Stream(&pong)],
+            )?;
+            std::mem::swap(&mut ping, &mut pong);
+            offset *= 2;
+        }
+        ctx.read(&ping)
+    }
+
+    fn run_cpu(&self, size: usize, seed: u64) -> Vec<f32> {
+        // The CPU reference matches the GPU's floating-point association
+        // (Hillis-Steele combines in tree order); replicate it so the
+        // comparison is exact at validation sizes.
+        let n = size * size;
+        let mut cur = gen_values(seed, n, 0.0, 1.0);
+        let mut next = vec![0.0f32; n];
+        let mut offset = 1usize;
+        while offset < n {
+            for i in 0..n {
+                next[i] = if i >= offset { cur[i] + cur[i - offset] } else { cur[i] };
+            }
+            std::mem::swap(&mut cur, &mut next);
+            offset *= 2;
+        }
+        cur
+    }
+
+    fn cpu_cost(&self, size: usize, _vectorized: bool) -> CpuRun {
+        // The *benchmark's* CPU baseline is the serial accumulation loop
+        // (paper §6.1), not the tree scan used for validation.
+        let n = (size * size) as u64;
+        let mut run = CpuRun::with_ops(n);
+        run.phases.push(MemPhase {
+            accesses: 2 * n,
+            access_bytes: 4,
+            working_set: 2 * n * 4,
+            pattern: AccessPattern::Sequential,
+        });
+        run
+    }
+
+    fn validate_up_to(&self) -> usize {
+        48
+    }
+
+    fn tolerance(&self) -> f32 {
+        1e-4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::measure;
+
+    #[test]
+    fn validates_on_target() {
+        let point = measure(&PrefixSum, PlatformKind::Target, 16, 2).expect("measure");
+        assert!(point.validated);
+        // log2(256) = 8 passes.
+        assert_eq!(point.gpu.draw_calls, 8);
+    }
+
+    #[test]
+    fn cpu_reference_is_a_prefix_sum() {
+        let out = PrefixSum.run_cpu(4, 123);
+        let inputs = gen_values(123, 16, 0.0, 1.0);
+        let mut acc = 0.0f64;
+        for (i, v) in out.iter().enumerate() {
+            acc += inputs[i] as f64;
+            assert!((*v as f64 - acc).abs() < 1e-3, "element {i}: {v} vs {acc}");
+        }
+    }
+
+    #[test]
+    fn cpu_cost_is_linear() {
+        let a = PrefixSum.cpu_cost(128, false);
+        let b = PrefixSum.cpu_cost(256, false);
+        assert_eq!(b.ops / a.ops, 4);
+    }
+}

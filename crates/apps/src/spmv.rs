@@ -1,0 +1,152 @@
+//! Sparse matrix-vector multiplication (paper Figure 2d): a series of
+//! small O(n) kernels where transfers dominate at the explored sizes.
+//! The target tops out at n = 1024 because the decompressed matrix hits
+//! the 2048 texture limit (paper §6.1); the reference reaches 2048.
+
+use crate::framework::{gen_indices, gen_values, PaperApp, PlatformKind};
+use brook_auto::{Arg, BrookContext, BrookError};
+use perf_model::{AccessPattern, CpuRun, MemPhase};
+
+/// Nonzeros per row of the ELLPACK-compressed matrix.
+pub const NNZ_PER_ROW: usize = 8;
+
+/// SpMV benchmark: `y = M * x` for an `n x n` matrix with
+/// [`NNZ_PER_ROW`] nonzeros per row, `n = size`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Spmv;
+
+/// The Brook kernel: values and column indices as rank-2 gathers, the
+/// dense vector as a rank-1 gather.
+pub fn kernel_source() -> String {
+    format!(
+        "kernel void spmv(float vals[][], float cols[][], float x[], out float y<>) {{
+             float2 p = indexof(y);
+             float row = p.x;
+             float sum = 0.0;
+             int k;
+             for (k = 0; k < {NNZ_PER_ROW}; k++) {{
+                 float c = cols[row][float(k)];
+                 sum += vals[row][float(k)] * x[c];
+             }}
+             y = sum;
+         }}"
+    )
+}
+
+/// Workload matrices: values, column indices (as floats) and the vector.
+pub fn inputs(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let vals = gen_values(seed, n * NNZ_PER_ROW, -1.0, 1.0);
+    let cols: Vec<f32> = gen_indices(seed, n * NNZ_PER_ROW, n).iter().map(|c| *c as f32).collect();
+    let x = gen_values(seed + 2, n, -1.0, 1.0);
+    (vals, cols, x)
+}
+
+/// Reference SpMV, identical association order.
+pub fn spmv_cpu(vals: &[f32], cols: &[f32], x: &[f32], n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|row| {
+            let mut sum = 0.0f32;
+            for k in 0..NNZ_PER_ROW {
+                let c = cols[row * NNZ_PER_ROW + k] as usize;
+                sum += vals[row * NNZ_PER_ROW + k] * x[c];
+            }
+            sum
+        })
+        .collect()
+}
+
+impl PaperApp for Spmv {
+    fn name(&self) -> &'static str {
+        "spmv"
+    }
+
+    fn sizes(&self, platform: PlatformKind) -> Vec<usize> {
+        match platform {
+            // "the maximum input value for our implementation is 1024 ...
+            // when decompressed it reaches the maximum texture limit"
+            PlatformKind::Target => vec![128, 256, 512, 1024],
+            PlatformKind::Reference => vec![128, 256, 512, 1024, 2048],
+        }
+    }
+
+    fn run_gpu(&self, ctx: &mut BrookContext, size: usize, seed: u64) -> Result<Vec<f32>, BrookError> {
+        let module = ctx.compile(&kernel_source())?;
+        let (vals, cols, x) = inputs(size, seed);
+        let v = ctx.stream(&[size, NNZ_PER_ROW])?;
+        let c = ctx.stream(&[size, NNZ_PER_ROW])?;
+        let xv = ctx.stream(&[size])?;
+        let y = ctx.stream(&[size])?;
+        ctx.write(&v, &vals)?;
+        ctx.write(&c, &cols)?;
+        ctx.write(&xv, &x)?;
+        ctx.run(&module, "spmv", &[Arg::Stream(&v), Arg::Stream(&c), Arg::Stream(&xv), Arg::Stream(&y)])?;
+        ctx.read(&y)
+    }
+
+    fn run_cpu(&self, size: usize, seed: u64) -> Vec<f32> {
+        let (vals, cols, x) = inputs(size, seed);
+        spmv_cpu(&vals, &cols, &x, size)
+    }
+
+    fn cpu_cost(&self, size: usize, _vectorized: bool) -> CpuRun {
+        let n = size as u64;
+        let nnz = n * NNZ_PER_ROW as u64;
+        let mut run = CpuRun::with_ops(3 * nnz);
+        run.phases.push(MemPhase {
+            accesses: 2 * nnz,
+            access_bytes: 4,
+            working_set: 2 * nnz * 4,
+            pattern: AccessPattern::Sequential,
+        });
+        // Gathers into x are data-dependent.
+        run.phases.push(MemPhase {
+            accesses: nnz,
+            access_bytes: 4,
+            working_set: n * 4,
+            pattern: AccessPattern::Random,
+        });
+        run
+    }
+
+    fn validate_up_to(&self) -> usize {
+        // SpMV's size axis is n (not n²); full dispatch stays cheap.
+        1024
+    }
+
+    fn tolerance(&self) -> f32 {
+        1e-4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::measure;
+
+    #[test]
+    fn validates_on_target() {
+        let point = measure(&Spmv, PlatformKind::Target, 64, 77).expect("measure");
+        assert!(point.validated);
+    }
+
+    #[test]
+    fn target_sizes_capped_at_1024() {
+        assert_eq!(Spmv.sizes(PlatformKind::Target).last(), Some(&1024));
+        assert_eq!(Spmv.sizes(PlatformKind::Reference).last(), Some(&2048));
+    }
+
+    #[test]
+    fn reference_spmv_known_result() {
+        // 2x2-ish: row 0 gathers x[1] with weight 2; row 1 gathers x[0]
+        // with weight 3 (remaining slots zero weight).
+        let n = 2;
+        let mut vals = vec![0.0f32; n * NNZ_PER_ROW];
+        let mut cols = vec![0.0f32; n * NNZ_PER_ROW];
+        vals[0] = 2.0;
+        cols[0] = 1.0;
+        vals[NNZ_PER_ROW] = 3.0;
+        cols[NNZ_PER_ROW] = 0.0;
+        let x = vec![10.0, 20.0];
+        assert_eq!(spmv_cpu(&vals, &cols, &x, n), vec![40.0, 30.0]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Criterion benches mirroring the paper's figures, one group per
+//! figure/table artifact. Each bench point runs an application workload
+//! end-to-end through the simulated target pipeline at a bench-friendly
+//! size (the full paper-size sweeps live in the `fig*` binaries).
+
+use brook_apps::binary_search::BinarySearch;
+use brook_apps::binomial::Binomial;
+use brook_apps::bitonic_sort::BitonicSort;
+use brook_apps::black_scholes::BlackScholes;
+use brook_apps::flops::Flops;
+use brook_apps::floyd_warshall::FloydWarshall;
+use brook_apps::image_filter::ImageFilter;
+use brook_apps::mandelbrot::Mandelbrot;
+use brook_apps::prefix_sum::PrefixSum;
+use brook_apps::sgemm::Sgemm;
+use brook_apps::spmv::Spmv;
+use brook_apps::{measure, PaperApp, PlatformKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const SEED: u64 = 20180624;
+
+fn bench_app(c: &mut Criterion, group: &str, app: &dyn PaperApp, size: usize) {
+    c.bench_function(&format!("{group}/{}_{size}", app.name()), |b| {
+        b.iter(|| {
+            let point = measure(black_box(app), PlatformKind::Target, size, SEED).expect("measure");
+            black_box(point.speedup)
+        })
+    });
+}
+
+fn figure1(c: &mut Criterion) {
+    bench_app(c, "fig1", &Flops::default(), 128);
+}
+
+fn figure2(c: &mut Criterion) {
+    bench_app(c, "fig2", &Binomial, 128);
+    bench_app(c, "fig2", &BlackScholes, 128);
+    bench_app(c, "fig2", &PrefixSum, 128);
+    bench_app(c, "fig2", &Spmv, 256);
+}
+
+fn figure3(c: &mut Criterion) {
+    bench_app(c, "fig3", &BinarySearch, 128);
+    bench_app(c, "fig3", &BitonicSort, 64);
+    bench_app(c, "fig3", &FloydWarshall, 128);
+    bench_app(c, "fig3", &ImageFilter::default(), 128);
+    bench_app(c, "fig3", &Mandelbrot, 128);
+    bench_app(c, "fig3", &Sgemm, 128);
+}
+
+fn figure4(c: &mut Criterion) {
+    // Brook Auto vs hand-written sgemm at one size.
+    let n = 128usize;
+    let a = brook_apps::framework::gen_values(SEED, n * n, -1.0, 1.0);
+    let b_mat = brook_apps::framework::gen_values(SEED + 1, n * n, -1.0, 1.0);
+    c.bench_function("fig4/handwritten_sgemm_128", |bch| {
+        bch.iter(|| {
+            gles2_handwritten::sgemm(
+                black_box(&a),
+                black_box(&b_mat),
+                n,
+                gles2_sim::DeviceProfile::videocore_iv(),
+                gles2_sim::DrawMode::Sampled { stride: 8 },
+            )
+            .expect("run")
+        })
+    });
+    bench_app(c, "fig4", &Sgemm, 128);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = figure1, figure2, figure3, figure4
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Ablation: tile/unroll factor of the hand-written sgemm.
+//!
+//! The paper reports Figure 4 "for the optimal tile size for each
+//! version (16x16 for Brook Auto and 8x8 for the hand-written one)".
+//! This sweep regenerates the tile-size exploration a hand-optimizing
+//! engineer would run: per-iteration loop overhead falls as the unroll
+//! factor grows, with diminishing returns.
+
+use brook_apps::framework::gen_values;
+use gles2_handwritten::sgemm_with_tile;
+use gles2_sim::{DeviceProfile, DrawMode};
+use perf_model::Platform;
+
+fn main() {
+    let n = 256usize;
+    let platform = Platform::target();
+    let a = gen_values(1, n * n, -1.0, 1.0);
+    let b = gen_values(2, n * n, -1.0, 1.0);
+    println!("Ablation — hand-written sgemm tile factor (n = {n})\n");
+    println!("{:>6} {:>16} {:>14} {:>14}", "tile", "ALU/iteration", "modeled time", "vs tile=1");
+    let mut base = None;
+    for tile in [1usize, 2, 4, 8, 16] {
+        let run = sgemm_with_tile(&a, &b, n, DeviceProfile::videocore_iv(), DrawMode::Sampled { stride: 16 }, tile)
+            .expect("run");
+        let per_iter = run.gpu.alu_ops as f64 / (n as f64).powi(3);
+        let t = platform.gpu_time(&run.gpu);
+        let speedup = match base {
+            None => {
+                base = Some(t);
+                1.0
+            }
+            Some(b0) => b0 / t,
+        };
+        println!("{:>6} {:>16.1} {:>13.4}s {:>13.2}x", tile, per_iter, t, speedup);
+    }
+    println!("\nReading: unrolling amortizes the loop's condition/step overhead; the\npaper's hand-written optimum (8) sits where returns flatten.");
+}

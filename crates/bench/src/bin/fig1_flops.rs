@@ -1,0 +1,19 @@
+//! Regenerates Figure 1: relative GPU/CPU capabilities between the
+//! target platform and the reference x86 platform (flops benchmark:
+//! ~2 Gflop over 1 MB of data, computation + transfer).
+
+fn main() {
+    println!("Figure 1 — relative GPU/CPU capability (flops, 512x512, 2 Gflop)");
+    println!("paper: target 26.7x, reference 23x\n");
+    match brook_bench::fig1() {
+        Ok(rows) => {
+            for (name, ratio) in rows {
+                println!("{name:<50} GPU is {ratio:.1}x the CPU");
+            }
+        }
+        Err(e) => {
+            eprintln!("fig1 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

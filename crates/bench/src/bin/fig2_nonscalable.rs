@@ -1,0 +1,15 @@
+//! Regenerates Figure 2: the non-scalable GPU programs — binomial
+//! option pricing (a), Black-Scholes (b), prefix sum (c), SpMV (d).
+//! Speedups below 1 mean the CPU wins, as the paper reports for these
+//! applications at the explored sizes.
+
+fn main() {
+    println!("Figure 2 — non-scalable GPU programs (speedup = CPU time / GPU time)\n");
+    match brook_bench::fig2() {
+        Ok(series) => print!("{}", brook_bench::render_speedup_table(&series)),
+        Err(e) => {
+            eprintln!("fig2 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 3: the scalable GPU programs — binary search (a),
+//! bitonic sort (b), Floyd-Warshall (c), image filter (d), Mandelbrot
+//! (e) and sgemm (f).
+
+fn main() {
+    println!("Figure 3 — scalable GPU programs (speedup = CPU time / GPU time)\n");
+    match brook_bench::fig3() {
+        Ok(series) => print!("{}", brook_bench::render_speedup_table(&series)),
+        Err(e) => {
+            eprintln!("fig3 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 4 and the §6.3 productivity comparison: Brook Auto
+//! sgemm vs the hand-written OpenGL ES 2 implementation.
+
+fn main() {
+    println!("Figure 4 — Brook Auto vs hand-written OpenGL ES 2 sgemm");
+    println!("paper: Brook Auto reaches 50-90% of the hand-written performance\n");
+    match brook_bench::fig4() {
+        Ok((points, loc)) => print!("{}", brook_bench::render::render_fig4(&points, loc)),
+        Err(e) => {
+            eprintln!("fig4 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Figure-regeneration harnesses.
+
+use brook_apps::binary_search::BinarySearch;
+use brook_apps::binomial::Binomial;
+use brook_apps::bitonic_sort::BitonicSort;
+use brook_apps::black_scholes::BlackScholes;
+use brook_apps::flops::Flops;
+use brook_apps::floyd_warshall::FloydWarshall;
+use brook_apps::image_filter::ImageFilter;
+use brook_apps::mandelbrot::Mandelbrot;
+use brook_apps::prefix_sum::PrefixSum;
+use brook_apps::sgemm::{kernel_source as sgemm_kernel, Sgemm};
+use brook_apps::spmv::Spmv;
+use brook_apps::{measure, MeasuredPoint, PaperApp, PlatformKind};
+use brook_auto::BrookError;
+use gles2_handwritten as handwritten;
+use gles2_sim::DrawMode;
+use perf_model::Platform;
+
+/// Default seed for every figure (paper §6: seeded reproducible inputs).
+pub const SEED: u64 = 20180624;
+
+/// One application's speedup series on both platforms.
+#[derive(Debug, Clone)]
+pub struct FigureSeries {
+    /// Application name.
+    pub app: &'static str,
+    /// (size, speedup) on the target — the paper's blue line.
+    pub target: Vec<MeasuredPoint>,
+    /// (size, speedup) on the x86 reference — the paper's grey line.
+    pub reference: Vec<MeasuredPoint>,
+}
+
+fn sweep(app: &dyn PaperApp) -> Result<FigureSeries, BrookError> {
+    let mut series = FigureSeries { app: app.name(), target: Vec::new(), reference: Vec::new() };
+    for size in app.sizes(PlatformKind::Target) {
+        series.target.push(measure(app, PlatformKind::Target, size, SEED)?);
+    }
+    for size in app.sizes(PlatformKind::Reference) {
+        series.reference.push(measure(app, PlatformKind::Reference, size, SEED)?);
+    }
+    Ok(series)
+}
+
+/// Figure 1: relative GPU/CPU capability via the flops benchmark
+/// (paper: 26.7x on the target, 23x on the reference).
+///
+/// # Errors
+/// Propagates harness failures.
+pub fn fig1() -> Result<Vec<(String, f64)>, BrookError> {
+    let app = Flops::default();
+    let mut rows = Vec::new();
+    for kind in [PlatformKind::Target, PlatformKind::Reference] {
+        let point = measure(&app, kind, 512, SEED)?;
+        rows.push((kind.platform().name, point.speedup));
+    }
+    Ok(rows)
+}
+
+/// Figure 2: the non-scalable programs — binomial (a), Black-Scholes
+/// (b), prefix sum (c), SpMV (d).
+///
+/// # Errors
+/// Propagates harness failures.
+pub fn fig2() -> Result<Vec<FigureSeries>, BrookError> {
+    Ok(vec![
+        sweep(&Binomial)?,
+        sweep(&BlackScholes)?,
+        sweep(&PrefixSum)?,
+        sweep(&Spmv)?,
+    ])
+}
+
+/// Figure 3: the scalable programs — binary search (a), bitonic sort
+/// (b), Floyd-Warshall (c), image filter (d), Mandelbrot (e), sgemm (f).
+///
+/// # Errors
+/// Propagates harness failures.
+pub fn fig3() -> Result<Vec<FigureSeries>, BrookError> {
+    Ok(vec![
+        sweep(&BinarySearch)?,
+        sweep(&BitonicSort)?,
+        sweep(&FloydWarshall)?,
+        sweep(&ImageFilter::default())?,
+        sweep(&Mandelbrot)?,
+        sweep(&Sgemm)?,
+    ])
+}
+
+/// One point of Figure 4.
+#[derive(Debug, Clone)]
+pub struct Fig4Point {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Modeled time of the Brook Auto sgemm (seconds).
+    pub brook_time: f64,
+    /// Modeled time of the hand-written sgemm (seconds).
+    pub handwritten_time: f64,
+    /// `handwritten / brook` — the paper reports 50–90%.
+    pub efficiency: f64,
+}
+
+/// Figure 4: Brook Auto code-generation/runtime efficiency against the
+/// hand-written OpenGL ES 2 sgemm, plus the §6.3 productivity data
+/// (lines of code).
+///
+/// Returns the per-size points and `(brook_loc, handwritten_loc)`.
+///
+/// # Errors
+/// Propagates harness failures.
+pub fn fig4() -> Result<(Vec<Fig4Point>, (usize, usize)), BrookError> {
+    let platform = Platform::target();
+    let mut points = Vec::new();
+    for n in [128usize, 256, 512, 1024] {
+        let brook = measure(&Sgemm, PlatformKind::Target, n, SEED)?;
+        let a = brook_apps::framework::gen_values(SEED, n * n, -1.0, 1.0);
+        let b = brook_apps::framework::gen_values(SEED + 1, n * n, -1.0, 1.0);
+        let stride = (n / 16).clamp(2, 64) as u32;
+        let hand = handwritten::sgemm(
+            &a,
+            &b,
+            n,
+            gles2_sim::DeviceProfile::videocore_iv(),
+            DrawMode::Sampled { stride },
+        )?;
+        let brook_time = platform.gpu_time(&brook.gpu);
+        let handwritten_time = platform.gpu_time(&hand.gpu);
+        points.push(Fig4Point { n, brook_time, handwritten_time, efficiency: handwritten_time / brook_time });
+    }
+    let brook_loc = sgemm_kernel(1024).lines().count() + 25; // kernel + host driver lines
+    let hand_loc = handwritten::loc();
+    Ok((points, (brook_loc, hand_loc)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_ratios_in_paper_band() {
+        let rows = fig1().expect("fig1");
+        assert_eq!(rows.len(), 2);
+        for (name, ratio) in &rows {
+            assert!(
+                (5.0..80.0).contains(ratio),
+                "{name}: capability ratio {ratio} far outside the paper's order of magnitude"
+            );
+        }
+    }
+
+    #[test]
+    fn fig4_brook_within_sane_efficiency_band() {
+        let (points, (brook_loc, hand_loc)) = fig4().expect("fig4");
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            assert!(
+                p.efficiency > 0.3 && p.efficiency < 1.1,
+                "n={}: hand/brook efficiency {} out of band",
+                p.n,
+                p.efficiency
+            );
+        }
+        assert!(hand_loc > brook_loc * 3, "productivity gap missing: {brook_loc} vs {hand_loc}");
+    }
+}

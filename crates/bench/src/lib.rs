@@ -1,0 +1,20 @@
+//! # brook-bench — regenerates every table and figure of the paper
+//!
+//! One harness per figure of the evaluation section (§6):
+//!
+//! | Paper artifact | Function | Binary |
+//! |---|---|---|
+//! | Figure 1 (GPU/CPU capability, flops) | [`figures::fig1`] | `fig1_flops` |
+//! | Figure 2 (non-scalable programs) | [`figures::fig2`] | `fig2_nonscalable` |
+//! | Figure 3 (scalable programs) | [`figures::fig3`] | `fig3_scalable` |
+//! | Figure 4 + §6.3 (hand-written comparison, productivity) | [`figures::fig4`] | `fig4_handwritten` |
+//!
+//! Run all of them with `cargo run --release -p brook-bench --bin <name>`.
+//! Criterion benches in `benches/` wall-clock the substrate itself
+//! (compiler, simulator, reductions) as a regression harness.
+
+pub mod figures;
+pub mod render;
+
+pub use figures::{fig1, fig2, fig3, fig4, Fig4Point, FigureSeries};
+pub use render::{render_series, render_speedup_table};

@@ -1,0 +1,66 @@
+//! Text rendering of figure data, in the style of the paper's plots.
+
+use crate::figures::{Fig4Point, FigureSeries};
+use std::fmt::Write;
+
+/// Renders one application's speedup series as a table with both
+/// platform columns (blue line = target, grey line = reference).
+pub fn render_series(s: &FigureSeries) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", s.app);
+    let _ = writeln!(out, "{:>8} {:>18} {:>18}", "size", "target speedup", "reference speedup");
+    let sizes: Vec<usize> = s
+        .reference
+        .iter()
+        .map(|p| p.size)
+        .chain(s.target.iter().map(|p| p.size))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    for size in sizes {
+        let t = s.target.iter().find(|p| p.size == size);
+        let r = s.reference.iter().find(|p| p.size == size);
+        let fmt_opt = |p: Option<&brook_apps::MeasuredPoint>| -> String {
+            match p {
+                Some(p) => format!("{:.3}", p.speedup),
+                None => "-".to_owned(),
+            }
+        };
+        let _ = writeln!(out, "{:>8} {:>18} {:>18}", size, fmt_opt(t), fmt_opt(r));
+    }
+    out
+}
+
+/// Renders a compact speedup table for several series.
+pub fn render_speedup_table(series: &[FigureSeries]) -> String {
+    let mut out = String::new();
+    for s in series {
+        out.push_str(&render_series(s));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Figure 4's efficiency points.
+pub fn render_fig4(points: &[Fig4Point], loc: (usize, usize)) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>6} {:>14} {:>16} {:>22}", "n", "brook time", "hand-written", "brook efficiency");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>13.4}s {:>15.4}s {:>21.1}%",
+            p.n,
+            p.brook_time,
+            p.handwritten_time,
+            p.efficiency * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nProductivity (paper §6.3): Brook sgemm {} LoC vs hand-written {} LoC ({}x)",
+        loc.0,
+        loc.1,
+        loc.1 / loc.0.max(1)
+    );
+    out
+}

@@ -1,0 +1,619 @@
+//! Static analyses backing the certification rules: loop trip-count
+//! deduction, call-graph recursion/depth checks and worst-case instruction
+//! estimation.
+
+use brook_lang::ast::*;
+use std::collections::HashMap;
+
+/// Result of analysing one loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoopBound {
+    /// Canonical counted loop; the maximum trip count was deduced.
+    Static {
+        /// Maximum number of iterations.
+        trips: u64,
+    },
+    /// The loop shape prevents static deduction (BA003 violation).
+    Unbounded {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl LoopBound {
+    /// The deduced trip count, if static.
+    pub fn trips(&self) -> Option<u64> {
+        match self {
+            LoopBound::Static { trips } => Some(*trips),
+            LoopBound::Unbounded { .. } => None,
+        }
+    }
+}
+
+/// Tries to evaluate an expression to a compile-time integer.
+///
+/// Only literal arithmetic is accepted: Brook Auto requires loop bounds to
+/// be manifest in the kernel source (the runtime regenerates kernels per
+/// configuration, so workload sizes appear as literals).
+pub fn const_int(e: &Expr) -> Option<i64> {
+    match &e.kind {
+        ExprKind::IntLit(v) => Some(*v),
+        ExprKind::FloatLit(v) if v.fract() == 0.0 => Some(*v as i64),
+        ExprKind::Unary { op: UnOp::Neg, operand } => const_int(operand).map(|v| -v),
+        ExprKind::Binary { op, lhs, rhs } => {
+            let l = const_int(lhs)?;
+            let r = const_int(rhs)?;
+            match op {
+                BinOp::Add => Some(l + r),
+                BinOp::Sub => Some(l - r),
+                BinOp::Mul => Some(l * r),
+                BinOp::Div if r != 0 => Some(l / r),
+                BinOp::Rem if r != 0 => Some(l % r),
+                _ => None,
+            }
+        }
+        ExprKind::Call { callee, args } if callee == "int" && args.len() == 1 => const_int(&args[0]),
+        _ => None,
+    }
+}
+
+/// Analyses a `for` statement for a statically deducible trip count.
+///
+/// The canonical accepted shapes are
+/// `for (i = C0; i < C1; i += S)` (and `<=`, and the decreasing mirror
+/// with `>`/`>=` and `-=`), where `C0`, `C1`, `S` are literal integers and
+/// `i` is not reassigned in the body.
+pub fn for_loop_bound(init: Option<&Stmt>, cond: Option<&Expr>, step: Option<&Stmt>, body: &Block) -> LoopBound {
+    let unbounded = |reason: &str| LoopBound::Unbounded { reason: reason.to_owned() };
+    // Extract the induction variable and start value.
+    let (var, start) = match init {
+        Some(Stmt::Decl { name, init: Some(e), .. }) => match const_int(e) {
+            Some(v) => (name.clone(), v),
+            None => return unbounded("loop start value is not a compile-time constant"),
+        },
+        Some(Stmt::Assign { target, op: AssignOp::Assign, value, .. }) => match (&target.kind, const_int(value)) {
+            (ExprKind::Var(name), Some(v)) => (name.clone(), v),
+            _ => return unbounded("loop start value is not a compile-time constant"),
+        },
+        _ => return unbounded("loop has no initializer with a constant start value"),
+    };
+    // Extract the comparison bound.
+    let Some(cond) = cond else {
+        return unbounded("loop has no condition");
+    };
+    let ExprKind::Binary { op, lhs, rhs } = &cond.kind else {
+        return unbounded("loop condition is not a comparison against a constant");
+    };
+    let (bound, cmp_op, var_on_left) = match (&lhs.kind, &rhs.kind) {
+        (ExprKind::Var(n), _) if n == &var => match const_int(rhs) {
+            Some(b) => (b, *op, true),
+            None => return unbounded("loop bound is not a compile-time constant"),
+        },
+        (_, ExprKind::Var(n)) if n == &var => match const_int(lhs) {
+            Some(b) => (b, *op, false),
+            None => return unbounded("loop bound is not a compile-time constant"),
+        },
+        _ => return unbounded("loop condition does not test the induction variable"),
+    };
+    // Normalize so the comparison reads `var OP bound`.
+    let cmp = if var_on_left {
+        cmp_op
+    } else {
+        match cmp_op {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::Le => BinOp::Ge,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::Ge => BinOp::Le,
+            other => other,
+        }
+    };
+    // Extract the stride.
+    let Some(step) = step else {
+        return unbounded("loop has no step statement");
+    };
+    let (step_op, stride) = match step {
+        Stmt::Assign { target, op, value, .. } => match (&target.kind, const_int(value)) {
+            (ExprKind::Var(n), Some(s)) if n == &var => (*op, s),
+            _ => return unbounded("loop step does not advance the induction variable by a constant"),
+        },
+        _ => return unbounded("loop step is not an assignment"),
+    };
+    let delta = match step_op {
+        AssignOp::AddAssign => stride,
+        AssignOp::SubAssign => -stride,
+        AssignOp::MulAssign if stride > 1 && start != 0 => {
+            // Geometric loop: for (i = a; i < b; i *= s).
+            return match cmp {
+                BinOp::Lt | BinOp::Le if start > 0 && bound > start => {
+                    let mut trips = 0u64;
+                    let mut v = start;
+                    while (cmp == BinOp::Lt && v < bound) || (cmp == BinOp::Le && v <= bound) {
+                        trips += 1;
+                        v = v.saturating_mul(stride);
+                        if trips > 1_000_000 {
+                            return LoopBound::Unbounded { reason: "geometric loop does not terminate".into() };
+                        }
+                    }
+                    LoopBound::Static { trips }
+                }
+                _ => LoopBound::Unbounded { reason: "geometric loop with unsupported condition".into() },
+            };
+        }
+        _ => return unbounded("loop step operator is not a constant increment/decrement"),
+    };
+    if delta == 0 {
+        return unbounded("loop stride is zero");
+    }
+    // The induction variable must not be written in the body.
+    if body_writes_var(body, &var) {
+        return unbounded("induction variable is modified inside the loop body");
+    }
+    let trips = match (cmp, delta > 0) {
+        (BinOp::Lt, true) if bound > start => ((bound - start + delta - 1) / delta) as u64,
+        (BinOp::Le, true) if bound >= start => ((bound - start) / delta + 1) as u64,
+        (BinOp::Gt, false) if bound < start => ((start - bound + (-delta) - 1) / (-delta)) as u64,
+        (BinOp::Ge, false) if bound <= start => ((start - bound) / (-delta) + 1) as u64,
+        (BinOp::Lt | BinOp::Le, true) => 0,
+        (BinOp::Gt | BinOp::Ge, false) => 0,
+        (BinOp::Ne, _) => return unbounded("`!=` loop conditions cannot be bounded"),
+        _ => return unbounded("loop direction contradicts its condition (never terminates)"),
+    };
+    LoopBound::Static { trips }
+}
+
+fn body_writes_var(b: &Block, var: &str) -> bool {
+    b.stmts.iter().any(|s| stmt_writes_var(s, var))
+}
+
+fn stmt_writes_var(s: &Stmt, var: &str) -> bool {
+    match s {
+        Stmt::Assign { target, .. } => matches!(&target.kind, ExprKind::Var(n) if n == var),
+        Stmt::Decl { name, .. } => name == var,
+        Stmt::If { then_block, else_block, .. } => {
+            body_writes_var(then_block, var)
+                || else_block.as_ref().map(|e| body_writes_var(e, var)).unwrap_or(false)
+        }
+        Stmt::For { init, step, body, .. } => {
+            init.as_deref().map(|s| stmt_writes_var(s, var)).unwrap_or(false)
+                || step.as_deref().map(|s| stmt_writes_var(s, var)).unwrap_or(false)
+                || body_writes_var(body, var)
+        }
+        Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => body_writes_var(body, var),
+        Stmt::Block(b) => body_writes_var(b, var),
+        Stmt::Return { .. } | Stmt::Expr { .. } => false,
+    }
+}
+
+/// Call graph over helper functions, used for recursion and depth checks.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// function name -> directly called helper functions.
+    pub edges: HashMap<String, Vec<String>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of a program's helper functions.
+    pub fn build(program: &Program) -> Self {
+        let names: Vec<String> = program.functions().map(|f| f.name.clone()).collect();
+        let mut edges = HashMap::new();
+        for f in program.functions() {
+            let mut calls = Vec::new();
+            collect_calls_block(&f.body, &mut calls);
+            calls.retain(|c| names.contains(c));
+            calls.sort();
+            calls.dedup();
+            edges.insert(f.name.clone(), calls);
+        }
+        CallGraph { edges }
+    }
+
+    /// Returns a cycle participant if the graph is recursive.
+    pub fn find_recursion(&self) -> Option<String> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let mut marks: HashMap<&str, Mark> = self.edges.keys().map(|k| (k.as_str(), Mark::White)).collect();
+        fn visit<'a>(
+            node: &'a str,
+            edges: &'a HashMap<String, Vec<String>>,
+            marks: &mut HashMap<&'a str, Mark>,
+        ) -> Option<String> {
+            marks.insert(node, Mark::Grey);
+            for next in edges.get(node).into_iter().flatten() {
+                match marks.get(next.as_str()) {
+                    Some(Mark::Grey) => return Some(next.clone()),
+                    Some(Mark::White) => {
+                        if let Some(c) = visit(next, edges, marks) {
+                            return Some(c);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            marks.insert(node, Mark::Black);
+            None
+        }
+        let keys: Vec<&str> = self.edges.keys().map(|k| k.as_str()).collect();
+        for k in keys {
+            if marks[k] == Mark::White {
+                if let Some(c) = visit(k, &self.edges, &mut marks) {
+                    return Some(c);
+                }
+            }
+        }
+        None
+    }
+
+    /// Maximum call depth starting from the given roots (1 = leaf call).
+    ///
+    /// Returns `None` when the graph is recursive.
+    pub fn max_depth_from(&self, roots: &[String]) -> Option<u32> {
+        if self.find_recursion().is_some() {
+            return None;
+        }
+        fn depth(node: &str, edges: &HashMap<String, Vec<String>>, memo: &mut HashMap<String, u32>) -> u32 {
+            if let Some(d) = memo.get(node) {
+                return *d;
+            }
+            let d = 1 + edges
+                .get(node)
+                .into_iter()
+                .flatten()
+                .map(|n| depth(n, edges, memo))
+                .max()
+                .unwrap_or(0);
+            memo.insert(node.to_owned(), d);
+            d
+        }
+        let mut memo = HashMap::new();
+        Some(
+            roots
+                .iter()
+                .filter(|r| self.edges.contains_key(*r))
+                .map(|r| depth(r, &self.edges, &mut memo))
+                .max()
+                .unwrap_or(0),
+        )
+    }
+}
+
+fn collect_calls_block(b: &Block, out: &mut Vec<String>) {
+    for s in &b.stmts {
+        collect_calls_stmt(s, out);
+    }
+}
+
+fn collect_calls_stmt(s: &Stmt, out: &mut Vec<String>) {
+    match s {
+        Stmt::Decl { init, .. } => {
+            if let Some(e) = init {
+                collect_calls_expr(e, out);
+            }
+        }
+        Stmt::Assign { target, value, .. } => {
+            collect_calls_expr(target, out);
+            collect_calls_expr(value, out);
+        }
+        Stmt::If { cond, then_block, else_block, .. } => {
+            collect_calls_expr(cond, out);
+            collect_calls_block(then_block, out);
+            if let Some(e) = else_block {
+                collect_calls_block(e, out);
+            }
+        }
+        Stmt::For { init, cond, step, body, .. } => {
+            if let Some(i) = init {
+                collect_calls_stmt(i, out);
+            }
+            if let Some(c) = cond {
+                collect_calls_expr(c, out);
+            }
+            if let Some(st) = step {
+                collect_calls_stmt(st, out);
+            }
+            collect_calls_block(body, out);
+        }
+        Stmt::While { cond, body, .. } | Stmt::DoWhile { cond, body, .. } => {
+            collect_calls_expr(cond, out);
+            collect_calls_block(body, out);
+        }
+        Stmt::Return { value, .. } => {
+            if let Some(v) = value {
+                collect_calls_expr(v, out);
+            }
+        }
+        Stmt::Expr { expr, .. } => collect_calls_expr(expr, out),
+        Stmt::Block(b) => collect_calls_block(b, out),
+    }
+}
+
+/// Collects every function-call callee in an expression (builtins and
+/// constructors included; the caller filters).
+pub fn collect_calls_expr(e: &Expr, out: &mut Vec<String>) {
+    match &e.kind {
+        ExprKind::Call { callee, args } => {
+            out.push(callee.clone());
+            for a in args {
+                collect_calls_expr(a, out);
+            }
+        }
+        ExprKind::Binary { lhs, rhs, .. } => {
+            collect_calls_expr(lhs, out);
+            collect_calls_expr(rhs, out);
+        }
+        ExprKind::Unary { operand, .. } => collect_calls_expr(operand, out),
+        ExprKind::Ternary { cond, then_expr, else_expr } => {
+            collect_calls_expr(cond, out);
+            collect_calls_expr(then_expr, out);
+            collect_calls_expr(else_expr, out);
+        }
+        ExprKind::Index { base, indices } => {
+            collect_calls_expr(base, out);
+            for i in indices {
+                collect_calls_expr(i, out);
+            }
+        }
+        ExprKind::Swizzle { base, .. } => collect_calls_expr(base, out),
+        _ => {}
+    }
+}
+
+/// Worst-case instruction estimate for a block: straight-line ops, with
+/// loop bodies multiplied by their deduced trip counts and both branches
+/// of conditionals summed (GPU predication executes both sides).
+///
+/// Unbounded loops contribute `None` (the estimate is impossible), which
+/// the engine reports through BA003/BA010.
+pub fn instruction_estimate(b: &Block, helpers: &HashMap<String, u64>) -> Option<u64> {
+    let mut total = 0u64;
+    for s in &b.stmts {
+        total = total.checked_add(stmt_estimate(s, helpers)?)?;
+    }
+    Some(total)
+}
+
+fn stmt_estimate(s: &Stmt, helpers: &HashMap<String, u64>) -> Option<u64> {
+    Some(match s {
+        Stmt::Decl { init, .. } => 1 + opt_expr_estimate(init.as_ref(), helpers)?,
+        Stmt::Assign { target, value, .. } => {
+            1 + expr_estimate(target, helpers)? + expr_estimate(value, helpers)?
+        }
+        Stmt::If { cond, then_block, else_block, .. } => {
+            expr_estimate(cond, helpers)?
+                + instruction_estimate(then_block, helpers)?
+                + match else_block {
+                    Some(e) => instruction_estimate(e, helpers)?,
+                    None => 0,
+                }
+                + 1
+        }
+        Stmt::For { init, cond, step, body, .. } => {
+            let bound = for_loop_bound(init.as_deref(), cond.as_ref(), step.as_deref(), body);
+            let trips = bound.trips()?;
+            let per_iter = instruction_estimate(body, helpers)?
+                + opt_expr_estimate(cond.as_ref(), helpers)?
+                + opt_stmt_estimate(step.as_deref(), helpers)?;
+            opt_stmt_estimate(init.as_deref(), helpers)? + trips.checked_mul(per_iter)?
+        }
+        // Unbounded by definition; BA003 rejects these separately.
+        Stmt::While { .. } | Stmt::DoWhile { .. } => return None,
+        Stmt::Return { value, .. } => 1 + opt_expr_estimate(value.as_ref(), helpers)?,
+        Stmt::Expr { expr, .. } => expr_estimate(expr, helpers)?,
+        Stmt::Block(b) => instruction_estimate(b, helpers)?,
+    })
+}
+
+fn opt_expr_estimate(e: Option<&Expr>, helpers: &HashMap<String, u64>) -> Option<u64> {
+    match e {
+        Some(e) => expr_estimate(e, helpers),
+        None => Some(0),
+    }
+}
+
+fn opt_stmt_estimate(s: Option<&Stmt>, helpers: &HashMap<String, u64>) -> Option<u64> {
+    match s {
+        Some(s) => stmt_estimate(s, helpers),
+        None => Some(0),
+    }
+}
+
+fn expr_estimate(e: &Expr, helpers: &HashMap<String, u64>) -> Option<u64> {
+    Some(match &e.kind {
+        ExprKind::FloatLit(_) | ExprKind::IntLit(_) | ExprKind::BoolLit(_) | ExprKind::Var(_) => 0,
+        ExprKind::Binary { lhs, rhs, .. } => 1 + expr_estimate(lhs, helpers)? + expr_estimate(rhs, helpers)?,
+        ExprKind::Unary { operand, .. } => 1 + expr_estimate(operand, helpers)?,
+        ExprKind::Ternary { cond, then_expr, else_expr } => {
+            1 + expr_estimate(cond, helpers)?
+                + expr_estimate(then_expr, helpers)?
+                + expr_estimate(else_expr, helpers)?
+        }
+        ExprKind::Call { callee, args } => {
+            let mut cost = if let Some(b) = brook_lang::builtins::builtin(callee) {
+                b.cost as u64
+            } else if let Some(h) = helpers.get(callee) {
+                *h
+            } else {
+                1 // constructor / cast
+            };
+            for a in args {
+                cost += expr_estimate(a, helpers)?;
+            }
+            cost
+        }
+        // Texture fetch: the dominant cost on embedded GPUs.
+        ExprKind::Index { indices, .. } => {
+            let mut cost = 4;
+            for i in indices {
+                cost += expr_estimate(i, helpers)?;
+            }
+            cost
+        }
+        ExprKind::Swizzle { base, .. } => expr_estimate(base, helpers)?,
+        ExprKind::Indexof { .. } => 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brook_lang::parse;
+
+    type ForParts = (Option<Box<Stmt>>, Option<Expr>, Option<Box<Stmt>>, Block);
+
+    fn first_for(src: &str) -> ForParts {
+        let p = parse(src).expect("parse");
+        let k = p.kernels().next().expect("kernel");
+        for s in &k.body.stmts {
+            if let Stmt::For { init, cond, step, body, .. } = s {
+                return (init.clone(), cond.clone(), step.clone(), body.clone());
+            }
+        }
+        panic!("no for loop in source");
+    }
+
+    fn bound_of(header: &str) -> LoopBound {
+        let src = format!("kernel void f(float a<>, out float o<>) {{ int i; {header} {{ }} o = a; }}");
+        let (init, cond, step, body) = first_for(&src);
+        for_loop_bound(init.as_deref(), cond.as_ref(), step.as_deref(), &body)
+    }
+
+    #[test]
+    fn canonical_ascending_loop() {
+        assert_eq!(bound_of("for (i = 0; i < 16; i++)").trips(), Some(16));
+        assert_eq!(bound_of("for (i = 0; i <= 16; i++)").trips(), Some(17));
+        assert_eq!(bound_of("for (i = 4; i < 16; i += 4)").trips(), Some(3));
+        assert_eq!(bound_of("for (i = 0; i < 17; i += 4)").trips(), Some(5));
+    }
+
+    #[test]
+    fn canonical_descending_loop() {
+        assert_eq!(bound_of("for (i = 16; i > 0; i--)").trips(), Some(16));
+        assert_eq!(bound_of("for (i = 16; i >= 0; i -= 4)").trips(), Some(5));
+    }
+
+    #[test]
+    fn reversed_comparison() {
+        assert_eq!(bound_of("for (i = 0; 16 > i; i++)").trips(), Some(16));
+    }
+
+    #[test]
+    fn geometric_loop() {
+        assert_eq!(bound_of("for (i = 1; i < 256; i *= 2)").trips(), Some(8));
+    }
+
+    #[test]
+    fn declared_induction_variable() {
+        let src = "kernel void f(float a<>, out float o<>) { float s = 0.0; for (int j = 0; j < 8; j++) { s += a; } o = s; }";
+        // `int j = 0` inside for-init.
+        let (init, cond, step, body) = first_for(src);
+        assert_eq!(for_loop_bound(init.as_deref(), cond.as_ref(), step.as_deref(), &body).trips(), Some(8));
+    }
+
+    #[test]
+    fn non_constant_bound_is_unbounded() {
+        let src = "kernel void f(float a<>, float n, out float o<>) { int i; for (i = 0; i < int(n); i++) { } o = a; }";
+        let (init, cond, step, body) = first_for(src);
+        let b = for_loop_bound(init.as_deref(), cond.as_ref(), step.as_deref(), &body);
+        assert!(b.trips().is_none());
+    }
+
+    #[test]
+    fn induction_variable_modified_in_body_is_unbounded() {
+        let src = "kernel void f(float a<>, out float o<>) { int i; for (i = 0; i < 8; i++) { i = 0; } o = a; }";
+        let (init, cond, step, body) = first_for(src);
+        assert!(for_loop_bound(init.as_deref(), cond.as_ref(), step.as_deref(), &body).trips().is_none());
+    }
+
+    #[test]
+    fn contradictory_direction_is_unbounded() {
+        assert!(bound_of("for (i = 0; i > 10; i++)").trips() == Some(0) || bound_of("for (i = 0; i > 10; i++)").trips().is_none());
+        // Increasing away from an upper bound never terminates:
+        assert!(bound_of("for (i = 20; i < 10; i++)").trips() == Some(0));
+        // Decreasing below a `<` bound never terminates:
+        assert!(bound_of("for (i = 0; i < 10; i--)").trips().is_none());
+    }
+
+    #[test]
+    fn const_int_arithmetic() {
+        let p = parse("kernel void f(float a<>, out float o<>) { int i; for (i = 0; i < 4 * 4 - 2; i++) { } o = a; }").unwrap();
+        let k = p.kernels().next().unwrap();
+        if let Stmt::For { init, cond, step, body, .. } = &k.body.stmts[1] {
+            let b = for_loop_bound(init.as_deref(), cond.as_ref(), step.as_deref(), body);
+            assert_eq!(b.trips(), Some(14));
+        } else {
+            panic!("expected for");
+        }
+    }
+
+    #[test]
+    fn call_graph_recursion_detected() {
+        let p = parse(
+            "float f(float x) { return g(x); }
+             float g(float x) { return f(x); }
+             kernel void k(float a<>, out float o<>) { o = f(a); }",
+        )
+        .unwrap();
+        let cg = CallGraph::build(&p);
+        assert!(cg.find_recursion().is_some());
+        assert!(cg.max_depth_from(&["f".into()]).is_none());
+    }
+
+    #[test]
+    fn call_graph_self_recursion_detected() {
+        let p = parse(
+            "float f(float x) { return f(x); }
+             kernel void k(float a<>, out float o<>) { o = f(a); }",
+        )
+        .unwrap();
+        assert!(CallGraph::build(&p).find_recursion().is_some());
+    }
+
+    #[test]
+    fn call_graph_depth() {
+        let p = parse(
+            "float h(float x) { return x; }
+             float g(float x) { return h(x); }
+             float f(float x) { return g(x); }
+             kernel void k(float a<>, out float o<>) { o = f(a); }",
+        )
+        .unwrap();
+        let cg = CallGraph::build(&p);
+        assert_eq!(cg.find_recursion(), None);
+        assert_eq!(cg.max_depth_from(&["f".into()]), Some(3));
+        assert_eq!(cg.max_depth_from(&["h".into()]), Some(1));
+    }
+
+    #[test]
+    fn instruction_estimate_multiplies_loops() {
+        let p = parse(
+            "kernel void f(float a<>, out float o<>) {
+                float s = 0.0;
+                int i;
+                for (i = 0; i < 10; i++) { s += a; }
+                o = s;
+            }",
+        )
+        .unwrap();
+        let k = p.kernels().next().unwrap();
+        let est = instruction_estimate(&k.body, &HashMap::new()).unwrap();
+        // 10 iterations of at least one add each, plus overhead.
+        assert!(est >= 20, "estimate too small: {est}");
+    }
+
+    #[test]
+    fn instruction_estimate_fails_on_while() {
+        let p = parse(
+            "kernel void f(float a<>, out float o<>) {
+                float s = 0.0;
+                while (s < 10.0) { s += a; }
+                o = s;
+            }",
+        )
+        .unwrap();
+        let k = p.kernels().next().unwrap();
+        assert!(instruction_estimate(&k.body, &HashMap::new()).is_none());
+    }
+}

@@ -1,0 +1,127 @@
+//! Text rendering of compliance reports, in the style of a certification
+//! data package table.
+
+use crate::engine::{ComplianceReport, KernelReport};
+use crate::rules::{rule_meta, RuleId, RULES};
+use brook_lang::diag::Severity;
+use std::fmt::Write;
+
+/// Renders the full rule catalogue (for documentation and the
+/// `certification_report` example).
+pub fn render_rule_catalogue() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Brook Auto certification rule catalogue (ISO 26262 / MISRA C motivated)");
+    let _ = writeln!(out, "{}", "-".repeat(78));
+    for m in RULES {
+        let _ = writeln!(out, "{}  {}", m.id.code(), m.title);
+        let _ = writeln!(out, "       {}", m.motivation);
+        let _ = writeln!(out, "       discharge: {:?}", m.discharge);
+    }
+    out
+}
+
+/// Renders a per-kernel compliance report.
+pub fn render_report(report: &ComplianceReport) -> String {
+    let mut out = String::new();
+    for k in &report.kernels {
+        render_kernel(&mut out, k);
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "OVERALL: {} ({} violation(s))",
+        if report.is_compliant() { "COMPLIANT" } else { "NOT COMPLIANT" },
+        report.violation_count()
+    );
+    out
+}
+
+fn render_kernel(out: &mut String, k: &KernelReport) {
+    let _ = writeln!(out, "kernel `{}`: {}", k.kernel, if k.is_compliant() { "compliant" } else { "NOT compliant" });
+    let _ = writeln!(out, "  passes required : {}", k.passes_required);
+    let _ = writeln!(out, "  call depth      : {}", if k.call_depth == u32::MAX { "unbounded".to_owned() } else { k.call_depth.to_string() });
+    match k.instruction_estimate {
+        Some(est) => {
+            let _ = writeln!(out, "  instruction est.: {est}");
+        }
+        None => {
+            let _ = writeln!(out, "  instruction est.: unbounded");
+        }
+    }
+    for f in &k.findings {
+        let marker = match f.severity {
+            Severity::Error => "VIOLATION",
+            Severity::Warning => "warning  ",
+            Severity::Note => "note     ",
+        };
+        let _ = writeln!(out, "  [{}] {} {} — {}", f.rule.code(), marker, rule_meta(f.rule).title, f.message);
+    }
+}
+
+/// Renders a one-line-per-rule summary matrix: rule x kernel compliance.
+pub fn render_matrix(report: &ComplianceReport) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:<8}", "rule");
+    for k in &report.kernels {
+        let _ = write!(out, " {:>12.12}", k.kernel);
+    }
+    out.push('\n');
+    for rule in RuleId::all() {
+        let _ = write!(out, "{:<8}", rule.code());
+        for k in &report.kernels {
+            let violated = k.findings.iter().any(|f| f.rule == *rule && f.severity == Severity::Error);
+            let _ = write!(out, " {:>12}", if violated { "FAIL" } else { "pass" });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{certify_source, CertConfig};
+
+    #[test]
+    fn catalogue_mentions_every_rule() {
+        let cat = render_rule_catalogue();
+        for r in RuleId::all() {
+            assert!(cat.contains(r.code()), "catalogue missing {r}");
+        }
+    }
+
+    #[test]
+    fn report_render_includes_verdict() {
+        let (_, r) = certify_source(
+            "kernel void f(float a<>, out float o<>) { o = a; }",
+            &CertConfig::default(),
+        )
+        .unwrap();
+        let text = render_report(&r);
+        assert!(text.contains("COMPLIANT"));
+        assert!(text.contains("kernel `f`"));
+    }
+
+    #[test]
+    fn matrix_has_row_per_rule() {
+        let (_, r) = certify_source(
+            "kernel void f(float a<>, out float o<>) { o = a; }",
+            &CertConfig::default(),
+        )
+        .unwrap();
+        let m = render_matrix(&r);
+        assert_eq!(m.lines().count(), RuleId::all().len() + 1);
+        assert!(m.contains("pass"));
+    }
+
+    #[test]
+    fn violation_shows_fail_in_matrix() {
+        let (_, r) = certify_source(
+            "kernel void f(float a<>, out float o<>) { while (a > 0.0) { } o = a; }",
+            &CertConfig::default(),
+        )
+        .unwrap();
+        let m = render_matrix(&r);
+        assert!(m.contains("FAIL"));
+    }
+}

@@ -1,0 +1,229 @@
+//! The Brook Auto certification rule catalogue.
+//!
+//! Each rule records the ISO 26262 / MISRA C motivation quoted in the paper
+//! (§2: restricted pointers, no dynamic allocation, static verification of
+//! program properties, resilience to faults, fault propagation) and how the
+//! toolchain discharges it: some rules hold *by construction* of the
+//! language grammar, others are checked by the engine in this crate.
+
+use std::fmt;
+
+/// Identifier of one Brook Auto certification rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RuleId {
+    /// BA001 — no pointers, host or device.
+    NoPointers,
+    /// BA002 — stream handles are statically sized.
+    StaticStreamSizes,
+    /// BA003 — every loop has a statically deducible trip-count bound.
+    BoundedLoops,
+    /// BA004 — no recursion, directly or through helper functions.
+    NoRecursion,
+    /// BA005 — kernel output count within the target's render capability.
+    OutputLimit,
+    /// BA006 — kernel input count within the target's texture units.
+    InputLimit,
+    /// BA007 — no `goto`, no unstructured control flow.
+    NoGoto,
+    /// BA008 — no dynamic memory allocation, no calls outside the unit.
+    NoDynamicAllocation,
+    /// BA009 — statically bounded call depth (max stack usage).
+    StackDepthBound,
+    /// BA010 — statically bounded kernel instruction count (no emulation).
+    InstructionBudget,
+    /// BA011 — gather indices are scalar integral values.
+    GatherIndexTypes,
+    /// BA012 — memory violations cannot crash the system (texture-unit
+    /// clamping semantics; discharged by the OpenGL ES 2 backend).
+    NoFaultPropagation,
+}
+
+impl RuleId {
+    /// The stable textual code, e.g. `"BA003"`.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RuleId::NoPointers => "BA001",
+            RuleId::StaticStreamSizes => "BA002",
+            RuleId::BoundedLoops => "BA003",
+            RuleId::NoRecursion => "BA004",
+            RuleId::OutputLimit => "BA005",
+            RuleId::InputLimit => "BA006",
+            RuleId::NoGoto => "BA007",
+            RuleId::NoDynamicAllocation => "BA008",
+            RuleId::StackDepthBound => "BA009",
+            RuleId::InstructionBudget => "BA010",
+            RuleId::GatherIndexTypes => "BA011",
+            RuleId::NoFaultPropagation => "BA012",
+        }
+    }
+
+    /// All rules, in code order.
+    pub fn all() -> &'static [RuleId] {
+        &[
+            RuleId::NoPointers,
+            RuleId::StaticStreamSizes,
+            RuleId::BoundedLoops,
+            RuleId::NoRecursion,
+            RuleId::OutputLimit,
+            RuleId::InputLimit,
+            RuleId::NoGoto,
+            RuleId::NoDynamicAllocation,
+            RuleId::StackDepthBound,
+            RuleId::InstructionBudget,
+            RuleId::GatherIndexTypes,
+            RuleId::NoFaultPropagation,
+        ]
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// How a rule is discharged by the toolchain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Discharge {
+    /// The grammar cannot express a violation; the parser rejects attempts
+    /// with the rule's code.
+    ByConstruction,
+    /// The engine in this crate analyses the checked program.
+    StaticAnalysis,
+    /// The property is guaranteed by the runtime/backend design.
+    RuntimeDesign,
+}
+
+/// Static metadata describing one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleMeta {
+    /// Which rule.
+    pub id: RuleId,
+    /// One-line title.
+    pub title: &'static str,
+    /// The ISO 26262 / MISRA C motivation (paper §2 letters a–e).
+    pub motivation: &'static str,
+    /// How the toolchain discharges the rule.
+    pub discharge: Discharge,
+}
+
+/// The rule catalogue.
+pub const RULES: &[RuleMeta] = &[
+    RuleMeta {
+        id: RuleId::NoPointers,
+        title: "No pointers",
+        motivation: "ISO 26262 restricted use of pointers (paper §2.a); Brook passes data \
+                     exclusively through stream handles",
+        discharge: Discharge::ByConstruction,
+    },
+    RuleMeta {
+        id: RuleId::StaticStreamSizes,
+        title: "Statically sized streams",
+        motivation: "No dynamic memory allocation (§2.b): stream handles are forced to a \
+                     static size so maximum GPU memory usage is determinable",
+        discharge: Discharge::RuntimeDesign,
+    },
+    RuleMeta {
+        id: RuleId::BoundedLoops,
+        title: "Bounded loop trip counts",
+        motivation: "Static verification of program properties (§2.c): maximum loop bounds \
+                     must be deducible so a kernel cannot deadlock or overrun",
+        discharge: Discharge::StaticAnalysis,
+    },
+    RuleMeta {
+        id: RuleId::NoRecursion,
+        title: "No recursion",
+        motivation: "Maximum stack depth must be statically verifiable (§2.c); recursion is \
+                     already forbidden in Brook",
+        discharge: Discharge::StaticAnalysis,
+    },
+    RuleMeta {
+        id: RuleId::OutputLimit,
+        title: "Output count within target capability",
+        motivation: "Kernel resources exceeding the GPU's capability trigger driver emulation \
+                     with multiple implicit GPU calls (§2); Brook Auto restricts outputs to \
+                     what the target supports",
+        discharge: Discharge::StaticAnalysis,
+    },
+    RuleMeta {
+        id: RuleId::InputLimit,
+        title: "Input count within texture units",
+        motivation: "Same emulation concern as BA005, on the input side (§4)",
+        discharge: Discharge::StaticAnalysis,
+    },
+    RuleMeta {
+        id: RuleId::NoGoto,
+        title: "No goto",
+        motivation: "MISRA C rule 15.1: unstructured jumps defeat static verification",
+        discharge: Discharge::ByConstruction,
+    },
+    RuleMeta {
+        id: RuleId::NoDynamicAllocation,
+        title: "No dynamic allocation",
+        motivation: "Memory leaks can exhaust GPU memory and jeopardize the entire system \
+                     (§2.b, §2.e); kernels may only call builtins and unit-local helpers",
+        discharge: Discharge::ByConstruction,
+    },
+    RuleMeta {
+        id: RuleId::StackDepthBound,
+        title: "Bounded call depth",
+        motivation: "Maximum stack depth must be statically verifiable (§2.c)",
+        discharge: Discharge::StaticAnalysis,
+    },
+    RuleMeta {
+        id: RuleId::InstructionBudget,
+        title: "Bounded kernel instruction count",
+        motivation: "Kernels exceeding GPU limits cause implicit multi-pass emulation (§2); \
+                     the worst-case instruction count is computed statically",
+        discharge: Discharge::StaticAnalysis,
+    },
+    RuleMeta {
+        id: RuleId::GatherIndexTypes,
+        title: "Integral gather indices",
+        motivation: "Array accesses must be statically typed; the texture unit clamps any \
+                     out-of-range access without raising an exception (§4)",
+        discharge: Discharge::StaticAnalysis,
+    },
+    RuleMeta {
+        id: RuleId::NoFaultPropagation,
+        title: "Memory violations cannot crash the system",
+        motivation: "Memory violations in kernels or transfers must not crash the driver or \
+                     require a system restart (§2.d, §2.e); texture sampling clamps instead \
+                     of faulting",
+        discharge: Discharge::RuntimeDesign,
+    },
+];
+
+/// Looks up the metadata for a rule.
+pub fn rule_meta(id: RuleId) -> &'static RuleMeta {
+    RULES.iter().find(|m| m.id == id).expect("every rule has metadata")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rule_has_metadata() {
+        for id in RuleId::all() {
+            let m = rule_meta(*id);
+            assert_eq!(m.id, *id);
+            assert!(!m.title.is_empty());
+            assert!(!m.motivation.is_empty());
+        }
+    }
+
+    #[test]
+    fn codes_are_unique_and_sorted() {
+        let codes: Vec<_> = RuleId::all().iter().map(|r| r.code()).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(codes.len(), sorted.len());
+    }
+
+    #[test]
+    fn display_matches_code() {
+        assert_eq!(RuleId::BoundedLoops.to_string(), "BA003");
+    }
+}

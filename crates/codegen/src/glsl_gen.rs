@@ -1,0 +1,836 @@
+//! Kernel-to-fragment-shader translation.
+
+use crate::names::{meta_uniform, scalar_uniform, shape_uniform, tex_uniform, VIEWPORT_UNIFORM};
+use crate::{CodegenError, StorageMode};
+use brook_lang::ast::*;
+use brook_lang::builtins::builtin;
+use brook_lang::CheckedProgram;
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// How a stream's logical shape maps onto its 2D texture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StreamRank {
+    /// Elements packed row-major by linear index with the allocated
+    /// width as stride (1D, 3D and 4D streams; paper §5.3).
+    Linear,
+    /// Logical 2D `(row, col)` stored at texel `(col, row)` directly.
+    Grid,
+}
+
+/// Runtime-known shape classes for the kernel's streams. Sizes themselves
+/// stay in uniforms so one compiled shader serves every size of the same
+/// shape class.
+#[derive(Debug, Clone, Default)]
+pub struct KernelShapes {
+    /// Shape class per elementwise stream, output stream and gather.
+    pub ranks: HashMap<String, StreamRank>,
+}
+
+impl KernelShapes {
+    /// Shape class for a parameter; defaults to `Grid`.
+    pub fn rank(&self, param: &str) -> StreamRank {
+        self.ranks.get(param).copied().unwrap_or(StreamRank::Grid)
+    }
+
+    /// Builder-style insertion.
+    pub fn with(mut self, param: &str, rank: StreamRank) -> Self {
+        self.ranks.insert(param.to_owned(), rank);
+        self
+    }
+}
+
+/// The generated shader plus everything the runtime needs to bind it.
+#[derive(Debug, Clone)]
+pub struct GeneratedShader {
+    /// GLSL ES 1.00 fragment shader source.
+    pub glsl: String,
+    /// Stream/gather parameter names in texture-unit order: the runtime
+    /// binds parameter `samplers[i]` to unit `i` and sets `_tex_<name>`
+    /// to `i`.
+    pub samplers: Vec<String>,
+    /// Scalar parameter names (set via `_p_<name>` uniforms).
+    pub scalars: Vec<String>,
+    /// Parameters that need a `_meta_<name>` uniform.
+    pub metas: Vec<String>,
+    /// Parameters that need a `_shape_<name>` uniform (rank-3/4 gathers).
+    pub shapes_needed: Vec<String>,
+    /// The output stream this shader writes.
+    pub output: String,
+}
+
+struct Gen<'a> {
+    checked: &'a CheckedProgram,
+    storage: StorageMode,
+    shapes: &'a KernelShapes,
+    /// param name -> kind, for identifier classification.
+    params: HashMap<String, (Type, ParamKind)>,
+    out: String,
+}
+
+/// Generates the fragment shader computing `output` for `kernel`.
+///
+/// Kernels with several `out` streams are compiled once per output —
+/// call this once per pass (the splitting of paper §6).
+///
+/// # Errors
+/// Fails for unknown kernels/outputs, reduce kernels (see
+/// [`crate::reduce`]), vector streams on the packed target and constructs
+/// outside the GLSL ES subset.
+pub fn generate_kernel_shader(
+    checked: &CheckedProgram,
+    kernel: &str,
+    output: &str,
+    shapes: &KernelShapes,
+    storage: StorageMode,
+) -> Result<GeneratedShader, CodegenError> {
+    let kdef = checked
+        .program
+        .kernel(kernel)
+        .ok_or_else(|| CodegenError::UnknownKernel(kernel.to_owned()))?;
+    if kdef.is_reduce {
+        return Err(CodegenError::Unsupported(
+            "reduce kernels compile through reduce_pass_shader".into(),
+        ));
+    }
+    if !kdef.params.iter().any(|p| p.name == output && p.kind == ParamKind::OutStream) {
+        return Err(CodegenError::UnknownOutput(output.to_owned()));
+    }
+    let mut gen = Gen {
+        checked,
+        storage,
+        shapes,
+        params: kdef.params.iter().map(|p| (p.name.clone(), (p.ty, p.kind))).collect(),
+        out: output.to_owned(),
+    };
+    gen.generate(kdef)
+}
+
+impl Gen<'_> {
+    fn generate(&mut self, k: &KernelDef) -> Result<GeneratedShader, CodegenError> {
+        let packed = self.storage == StorageMode::Packed;
+        let mut samplers = Vec::new();
+        let mut scalars = Vec::new();
+        let mut metas = Vec::new();
+        let mut shapes_needed = Vec::new();
+        let mut header = String::new();
+        let _ = writeln!(header, "precision highp float;");
+        let _ = writeln!(header, "varying vec2 v_texcoord;");
+        let _ = writeln!(header, "uniform vec2 {VIEWPORT_UNIFORM};");
+        for p in &k.params {
+            match p.kind {
+                ParamKind::Stream | ParamKind::Gather { .. } => {
+                    if packed && p.ty.width > 1 {
+                        return Err(CodegenError::VectorStreamOnPackedTarget { param: p.name.clone() });
+                    }
+                    let _ = writeln!(header, "uniform sampler2D {};", tex_uniform(&p.name));
+                    let _ = writeln!(header, "uniform vec4 {};", meta_uniform(&p.name));
+                    samplers.push(p.name.clone());
+                    metas.push(p.name.clone());
+                    if let ParamKind::Gather { rank } = p.kind {
+                        if rank >= 3 {
+                            let _ = writeln!(header, "uniform vec4 {};", shape_uniform(&p.name));
+                            shapes_needed.push(p.name.clone());
+                        }
+                    }
+                }
+                ParamKind::OutStream | ParamKind::ReduceOut => {
+                    if packed && p.ty.width > 1 {
+                        return Err(CodegenError::VectorStreamOnPackedTarget { param: p.name.clone() });
+                    }
+                    if p.name == self.out {
+                        let _ = writeln!(header, "uniform vec4 {};", meta_uniform(&p.name));
+                        metas.push(p.name.clone());
+                    }
+                }
+                ParamKind::Scalar => {
+                    let _ = writeln!(header, "uniform {} {};", glsl_type(p.ty), scalar_uniform(&p.name));
+                    scalars.push(p.name.clone());
+                }
+            }
+        }
+        if packed {
+            header.push_str(brook_numfmt::GLSL_DECODE);
+            header.push_str(brook_numfmt::GLSL_ENCODE);
+        }
+        // Fetch helpers for elementwise inputs and gathers.
+        for p in &k.params {
+            match p.kind {
+                ParamKind::Stream => self.emit_elem_fetch(&mut header, p),
+                ParamKind::Gather { rank } => self.emit_gather_fetch(&mut header, p, rank),
+                _ => {}
+            }
+        }
+        // Helper functions from the Brook program (source order; Brook
+        // inherits C's define-before-use discipline, which GLSL shares).
+        for f in self.checked.program.functions() {
+            self.emit_function(&mut header, f)?;
+        }
+        // main().
+        let mut body = String::new();
+        body.push_str("void main() {\n");
+        let _ = writeln!(body, "    vec2 _pc = floor(v_texcoord * {VIEWPORT_UNIFORM});");
+        let _ = writeln!(body, "    float _lin = _pc.y * {VIEWPORT_UNIFORM}.x + _pc.x;");
+        for p in &k.params {
+            if p.kind == ParamKind::Stream {
+                let _ = writeln!(body, "    {} b_{} = _fetch_{}();", glsl_type(p.ty), p.name, p.name);
+            }
+        }
+        for p in &k.params {
+            if p.kind == ParamKind::OutStream {
+                let _ = writeln!(body, "    {} _out_{} = {};", glsl_type(p.ty), p.name, zero_literal(p.ty));
+            }
+        }
+        self.emit_block(&mut body, &k.body, 1)?;
+        let result = format!("_out_{}", self.out);
+        let out_ty = self.params[&self.out].0;
+        if packed {
+            let _ = writeln!(body, "    gl_FragColor = ba_encode({result});");
+        } else {
+            let expanded = match out_ty.width {
+                1 => format!("vec4({result}, 0.0, 0.0, 0.0)"),
+                2 => format!("vec4({result}, 0.0, 0.0)"),
+                3 => format!("vec4({result}, 0.0)"),
+                _ => result,
+            };
+            let _ = writeln!(body, "    gl_FragColor = {expanded};");
+        }
+        body.push_str("}\n");
+        Ok(GeneratedShader {
+            glsl: format!("{header}\n{body}"),
+            samplers,
+            scalars,
+            metas,
+            shapes_needed,
+            output: self.out.clone(),
+        })
+    }
+
+    /// Raw texel fetch expression for parameter `p` at float coordinates
+    /// `col`/`row`, including decode in packed mode.
+    fn texel_fetch(&self, p: &Param, col: &str, row: &str) -> String {
+        let tex = tex_uniform(&p.name);
+        let meta = meta_uniform(&p.name);
+        let raw = format!("texture2D({tex}, (vec2({col}, {row}) + 0.5) / {meta}.xy)");
+        match self.storage {
+            StorageMode::Packed => format!("ba_decode({raw})"),
+            StorageMode::Native => match p.ty.width {
+                1 => format!("{raw}.x"),
+                2 => format!("{raw}.xy"),
+                3 => format!("{raw}.xyz"),
+                _ => raw,
+            },
+        }
+    }
+
+    fn emit_elem_fetch(&self, out: &mut String, p: &Param) {
+        let ty = glsl_type(p.ty);
+        let meta = meta_uniform(&p.name);
+        match self.shapes.rank(&p.name) {
+            StreamRank::Grid => {
+                // Proportional resampling over the stream's own logical
+                // extents (exact when shapes match the output's).
+                let fetch = self.texel_fetch(p, "_i.x", "_i.y");
+                let _ = writeln!(
+                    out,
+                    "{ty} _fetch_{name}() {{\n    vec2 _i = floor(v_texcoord * {meta}.zw);\n    return {fetch};\n}}",
+                    name = p.name
+                );
+            }
+            StreamRank::Linear => {
+                let fetch = self.texel_fetch(p, "_col", "_row");
+                let _ = writeln!(
+                    out,
+                    "{ty} _fetch_{name}() {{\n    vec2 _pcf = floor(v_texcoord * {vp});\n    float _l = _pcf.y * {vp}.x + _pcf.x;\n    float _row = floor(_l / {meta}.x);\n    float _col = _l - _row * {meta}.x;\n    return {fetch};\n}}",
+                    name = p.name,
+                    vp = VIEWPORT_UNIFORM
+                );
+            }
+        }
+    }
+
+    fn emit_gather_fetch(&self, out: &mut String, p: &Param, rank: u8) {
+        let ty = glsl_type(p.ty);
+        let meta = meta_uniform(&p.name);
+        let shape = shape_uniform(&p.name);
+        let linear_body = |linear_expr: &str, fetch: &str| {
+            format!(
+                "    float _l = {linear_expr};\n    float _row = floor(_l / {meta}.x);\n    float _col = _l - _row * {meta}.x;\n    return {fetch};\n"
+            )
+        };
+        let fetch = self.texel_fetch(p, "_col", "_row");
+        match rank {
+            1 => {
+                let _ = writeln!(out, "{ty} _gather_{}(float i0) {{\n{}}}", p.name, linear_body("i0", &fetch));
+            }
+            2 => match self.shapes.rank(&p.name) {
+                StreamRank::Grid => {
+                    let direct = self.texel_fetch(p, "i1", "i0");
+                    let _ = writeln!(out, "{ty} _gather_{}(float i0, float i1) {{\n    return {direct};\n}}", p.name);
+                }
+                StreamRank::Linear => {
+                    let _ = writeln!(
+                        out,
+                        "{ty} _gather_{}(float i0, float i1) {{\n{}}}",
+                        p.name,
+                        linear_body(&format!("i0 * {meta}.z + i1"), &fetch)
+                    );
+                }
+            },
+            3 => {
+                let _ = writeln!(
+                    out,
+                    "{ty} _gather_{}(float i0, float i1, float i2) {{\n{}}}",
+                    p.name,
+                    linear_body(&format!("(i0 * {shape}.y + i1) * {shape}.z + i2"), &fetch)
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    out,
+                    "{ty} _gather_{}(float i0, float i1, float i2, float i3) {{\n{}}}",
+                    p.name,
+                    linear_body(
+                        &format!("((i0 * {shape}.y + i1) * {shape}.z + i2) * {shape}.w + i3"),
+                        &fetch
+                    )
+                );
+            }
+        }
+    }
+
+    fn emit_function(&self, out: &mut String, f: &FunctionDef) -> Result<(), CodegenError> {
+        let ret = match f.return_ty {
+            Some(t) => glsl_type(t),
+            None => "void",
+        };
+        let params: Vec<String> = f.params.iter().map(|(n, t)| format!("{} b_{n}", glsl_type(*t))).collect();
+        let _ = writeln!(out, "{ret} b_{}({}) {{", f.name, params.join(", "));
+        let mut body = String::new();
+        self.emit_block(&mut body, &f.body, 1)?;
+        out.push_str(&body);
+        out.push_str("}\n");
+        Ok(())
+    }
+
+    fn emit_block(&self, out: &mut String, b: &Block, level: usize) -> Result<(), CodegenError> {
+        for s in &b.stmts {
+            self.emit_stmt(out, s, level)?;
+        }
+        Ok(())
+    }
+
+    fn indent(out: &mut String, level: usize) {
+        for _ in 0..level {
+            out.push_str("    ");
+        }
+    }
+
+    fn emit_stmt(&self, out: &mut String, s: &Stmt, level: usize) -> Result<(), CodegenError> {
+        match s {
+            Stmt::Decl { name, ty, init, .. } => {
+                Self::indent(out, level);
+                match init {
+                    Some(e) => {
+                        let v = self.emit_coerced(e, *ty)?;
+                        let _ = writeln!(out, "{} b_{name} = {v};", glsl_type(*ty));
+                    }
+                    None => {
+                        let _ = writeln!(out, "{} b_{name} = {};", glsl_type(*ty), zero_literal(*ty));
+                    }
+                }
+            }
+            Stmt::Assign { target, op, value, .. } => {
+                Self::indent(out, level);
+                let t = self.emit_expr(target)?;
+                let tt = self.type_of(target)?;
+                let v = self.emit_coerced(value, tt)?;
+                let op = match op {
+                    AssignOp::Assign => "=",
+                    AssignOp::AddAssign => "+=",
+                    AssignOp::SubAssign => "-=",
+                    AssignOp::MulAssign => "*=",
+                    AssignOp::DivAssign => "/=",
+                };
+                let _ = writeln!(out, "{t} {op} {v};");
+            }
+            Stmt::If { cond, then_block, else_block, .. } => {
+                Self::indent(out, level);
+                let c = self.emit_expr(cond)?;
+                let _ = writeln!(out, "if ({c}) {{");
+                self.emit_block(out, then_block, level + 1)?;
+                Self::indent(out, level);
+                match else_block {
+                    Some(e) => {
+                        out.push_str("} else {\n");
+                        self.emit_block(out, e, level + 1)?;
+                        Self::indent(out, level);
+                        out.push_str("}\n");
+                    }
+                    None => out.push_str("}\n"),
+                }
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                Self::indent(out, level);
+                let mut header = String::new();
+                if let Some(i) = init {
+                    self.emit_stmt(&mut header, i, 0)?;
+                }
+                let init_s = header.trim().trim_end_matches(';').to_owned();
+                let cond_s = match cond {
+                    Some(c) => self.emit_expr(c)?,
+                    None => "true".to_owned(),
+                };
+                let mut step_str = String::new();
+                if let Some(st) = step {
+                    self.emit_stmt(&mut step_str, st, 0)?;
+                }
+                let step_s = step_str.trim().trim_end_matches(';').to_owned();
+                let _ = writeln!(out, "for ({init_s}; {cond_s}; {step_s}) {{");
+                self.emit_block(out, body, level + 1)?;
+                Self::indent(out, level);
+                out.push_str("}\n");
+            }
+            Stmt::While { .. } | Stmt::DoWhile { .. } => {
+                return Err(CodegenError::Unsupported(
+                    "while/do-while loops violate BA003 and have no GLSL ES 1.00 mapping".into(),
+                ));
+            }
+            Stmt::Return { value, .. } => {
+                Self::indent(out, level);
+                match value {
+                    Some(v) => {
+                        let s = self.emit_expr(v)?;
+                        let _ = writeln!(out, "return {s};");
+                    }
+                    None => out.push_str("return;\n"),
+                }
+            }
+            Stmt::Expr { expr, .. } => {
+                Self::indent(out, level);
+                let s = self.emit_expr(expr)?;
+                let _ = writeln!(out, "{s};");
+            }
+            Stmt::Block(b) => {
+                Self::indent(out, level);
+                out.push_str("{\n");
+                self.emit_block(out, b, level + 1)?;
+                Self::indent(out, level);
+                out.push_str("}\n");
+            }
+        }
+        Ok(())
+    }
+
+    fn type_of(&self, e: &Expr) -> Result<Type, CodegenError> {
+        self.checked
+            .types
+            .get(&e.id)
+            .copied()
+            .ok_or_else(|| CodegenError::Unsupported(format!("untyped expression node {}", e.id)))
+    }
+
+    /// Emits `e`, inserting the explicit conversions GLSL ES requires
+    /// where Brook allowed implicit ones (int -> float).
+    fn emit_coerced(&self, e: &Expr, target: Type) -> Result<String, CodegenError> {
+        let s = self.emit_expr(e)?;
+        let from = self.type_of(e)?;
+        Ok(coerce(s, from, target))
+    }
+
+    fn emit_expr(&self, e: &Expr) -> Result<String, CodegenError> {
+        Ok(match &e.kind {
+            ExprKind::FloatLit(v) => float_literal(*v),
+            ExprKind::IntLit(v) => format!("{v}"),
+            ExprKind::BoolLit(v) => format!("{v}"),
+            ExprKind::Var(name) => match self.params.get(name) {
+                Some((_, ParamKind::Scalar)) => scalar_uniform(name),
+                Some((_, ParamKind::OutStream | ParamKind::ReduceOut)) => format!("_out_{name}"),
+                Some((_, ParamKind::Gather { .. })) => {
+                    return Err(CodegenError::Unsupported(format!(
+                        "gather `{name}` used without an index"
+                    )))
+                }
+                Some((_, ParamKind::Stream)) | None => format!("b_{name}"),
+            },
+            ExprKind::Binary { op, lhs, rhs } => {
+                let lt = self.type_of(lhs)?;
+                let rt = self.type_of(rhs)?;
+                let mut l = self.emit_expr(lhs)?;
+                let mut r = self.emit_expr(rhs)?;
+                // Brook promotes int operands of float ops implicitly;
+                // GLSL ES does not.
+                if lt.scalar == ScalarKind::Int && rt.scalar == ScalarKind::Float {
+                    l = format!("float({l})");
+                }
+                if rt.scalar == ScalarKind::Int && lt.scalar == ScalarKind::Float {
+                    r = format!("float({r})");
+                }
+                if *op == BinOp::Rem {
+                    if lt.scalar == ScalarKind::Int && rt.scalar == ScalarKind::Int {
+                        // GLSL ES 1.00 has no `%`; integer remainder via
+                        // truncating division.
+                        return Ok(format!("(({l}) - (({l}) / ({r})) * ({r}))"));
+                    }
+                    return Ok(format!("mod({l}, {r})"));
+                }
+                format!("({l} {} {r})", op.as_str())
+            }
+            ExprKind::Unary { op, operand } => {
+                let o = self.emit_expr(operand)?;
+                match op {
+                    UnOp::Neg => format!("(-{o})"),
+                    UnOp::Not => format!("(!{o})"),
+                }
+            }
+            ExprKind::Ternary { cond, then_expr, else_expr } => {
+                let c = self.emit_expr(cond)?;
+                let tt = self.type_of(e)?;
+                let t = self.emit_coerced(then_expr, tt)?;
+                let f = self.emit_coerced(else_expr, tt)?;
+                format!("(({c}) ? ({t}) : ({f}))")
+            }
+            ExprKind::Call { callee, args } => self.emit_call(e, callee, args)?,
+            ExprKind::Index { base, indices } => {
+                let ExprKind::Var(name) = &base.kind else {
+                    return Err(CodegenError::Unsupported("indexed expression is not a gather".into()));
+                };
+                let mut parts = Vec::new();
+                for ix in indices {
+                    let s = self.emit_expr(ix)?;
+                    let t = self.type_of(ix)?;
+                    parts.push(coerce(s, t, Type::FLOAT));
+                }
+                format!("_gather_{name}({})", parts.join(", "))
+            }
+            ExprKind::Swizzle { base, components } => {
+                let b = self.emit_expr(base)?;
+                format!("{b}.{components}")
+            }
+            ExprKind::Indexof { stream } => {
+                // indexof over the output domain; for Linear streams the
+                // linear element index goes in .x (paper §5.2).
+                match self.shapes.rank(stream) {
+                    StreamRank::Grid => {
+                        if stream == &self.out || self.params.get(stream).map(|(_, k)| k.is_output()).unwrap_or(false) {
+                            "_pc".to_owned()
+                        } else {
+                            format!("floor(v_texcoord * {}.zw)", meta_uniform(stream))
+                        }
+                    }
+                    StreamRank::Linear => "vec2(_lin, 0.0)".to_owned(),
+                }
+            }
+        })
+    }
+
+    fn emit_call(&self, e: &Expr, callee: &str, args: &[Expr]) -> Result<String, CodegenError> {
+        // Constructors / casts map 1:1 (float2 -> vec2 etc.).
+        if let Some(glsl) = match callee {
+            "float" => Some("float"),
+            "float2" => Some("vec2"),
+            "float3" => Some("vec3"),
+            "float4" => Some("vec4"),
+            "int" => Some("int"),
+            _ => None,
+        } {
+            let parts = args.iter().map(|a| self.emit_expr(a)).collect::<Result<Vec<_>, _>>()?;
+            return Ok(format!("{glsl}({})", parts.join(", ")));
+        }
+        if let Some(b) = builtin(callee) {
+            let mut parts = Vec::new();
+            for a in args {
+                let s = self.emit_expr(a)?;
+                let t = self.type_of(a)?;
+                parts.push(if t.scalar == ScalarKind::Int { format!("float({s})") } else { s });
+            }
+            // Special lowerings where GLSL lacks a direct equivalent.
+            return Ok(match callee {
+                "saturate" => format!("clamp({}, 0.0, 1.0)", parts[0]),
+                "round" => format!("floor({} + 0.5)", parts[0]),
+                _ => format!("{}({})", b.glsl_name, parts.join(", ")),
+            });
+        }
+        // Helper function defined in the Brook program.
+        if self.checked.program.function(callee).is_some() {
+            let f = self.checked.program.function(callee).expect("checked above");
+            let mut parts = Vec::new();
+            for (a, (_, pty)) in args.iter().zip(&f.params) {
+                parts.push(self.emit_coerced(a, *pty)?);
+            }
+            return Ok(format!("b_{callee}({})", parts.join(", ")));
+        }
+        Err(CodegenError::Unsupported(format!("call to unknown function `{callee}` at {}", e.span)))
+    }
+}
+
+/// Brook type -> GLSL type spelling.
+fn glsl_type(t: Type) -> &'static str {
+    match (t.scalar, t.width) {
+        (ScalarKind::Float, 1) => "float",
+        (ScalarKind::Float, 2) => "vec2",
+        (ScalarKind::Float, 3) => "vec3",
+        (ScalarKind::Float, _) => "vec4",
+        (ScalarKind::Int, _) => "int",
+        (ScalarKind::Bool, _) => "bool",
+    }
+}
+
+fn zero_literal(t: Type) -> String {
+    match (t.scalar, t.width) {
+        (ScalarKind::Float, 1) => "0.0".to_owned(),
+        (ScalarKind::Float, w) => format!("vec{w}(0.0)"),
+        (ScalarKind::Int, _) => "0".to_owned(),
+        (ScalarKind::Bool, _) => "false".to_owned(),
+    }
+}
+
+fn float_literal(v: f32) -> String {
+    if v == v.trunc() && v.is_finite() && v.abs() < 1e16 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:e}")
+    }
+}
+
+/// Inserts Brook's implicit conversions explicitly for GLSL.
+fn coerce(expr: String, from: Type, to: Type) -> String {
+    if from == to {
+        return expr;
+    }
+    if to.scalar == ScalarKind::Float && from.scalar == ScalarKind::Int {
+        let f = format!("float({expr})");
+        if to.width > 1 {
+            return format!("vec{}({f})", to.width);
+        }
+        return f;
+    }
+    if to.scalar == ScalarKind::Float && from == Type::FLOAT && to.width > 1 {
+        // Scalar-to-vector assignment broadcast (Brook allows it; GLSL
+        // constructors splat).
+        return format!("vec{}({expr})", to.width);
+    }
+    expr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brook_lang::parse_and_check;
+
+    fn gen(src: &str, kernel: &str, output: &str, shapes: KernelShapes, storage: StorageMode) -> GeneratedShader {
+        let checked = parse_and_check(src).expect("front-end");
+        generate_kernel_shader(&checked, kernel, output, &shapes, storage)
+            .unwrap_or_else(|e| panic!("codegen: {e}"))
+    }
+
+    #[test]
+    fn generates_compilable_packed_shader() {
+        let g = gen(
+            "kernel void add(float a<>, float b<>, out float c<>) { c = a + b; }",
+            "add",
+            "c",
+            KernelShapes::default(),
+            StorageMode::Packed,
+        );
+        assert!(g.glsl.contains("ba_decode"));
+        assert!(g.glsl.contains("ba_encode"));
+        assert_eq!(g.samplers, vec!["a", "b"]);
+        glsl_es::compile(&g.glsl).unwrap_or_else(|e| panic!("generated GLSL does not compile: {e}\n{}", g.glsl));
+    }
+
+    #[test]
+    fn generates_compilable_native_shader() {
+        let g = gen(
+            "kernel void scale(float4 a<>, float k, out float4 o<>) { o = a * k; }",
+            "scale",
+            "o",
+            KernelShapes::default(),
+            StorageMode::Native,
+        );
+        assert!(!g.glsl.contains("ba_decode"));
+        assert_eq!(g.scalars, vec!["k"]);
+        glsl_es::compile(&g.glsl).unwrap_or_else(|e| panic!("generated GLSL does not compile: {e}\n{}", g.glsl));
+    }
+
+    #[test]
+    fn vector_stream_rejected_on_packed() {
+        let checked = parse_and_check("kernel void f(float4 a<>, out float4 o<>) { o = a; }").unwrap();
+        let err =
+            generate_kernel_shader(&checked, "f", "o", &KernelShapes::default(), StorageMode::Packed).unwrap_err();
+        assert!(matches!(err, CodegenError::VectorStreamOnPackedTarget { .. }));
+    }
+
+    #[test]
+    fn indexof_grid_uses_meta() {
+        let g = gen(
+            "kernel void f(float a<>, out float o<>) { float2 i = indexof(o); o = i.x + i.y; }",
+            "f",
+            "o",
+            KernelShapes::default(),
+            StorageMode::Packed,
+        );
+        assert!(g.glsl.contains("_pc"), "{}", g.glsl);
+        glsl_es::compile(&g.glsl).unwrap();
+    }
+
+    #[test]
+    fn indexof_linear_uses_lin() {
+        let shapes = KernelShapes::default().with("o", StreamRank::Linear).with("a", StreamRank::Linear);
+        let g = gen(
+            "kernel void f(float a<>, out float o<>) { o = indexof(o).x; }",
+            "f",
+            "o",
+            shapes,
+            StorageMode::Packed,
+        );
+        assert!(g.glsl.contains("_lin"), "{}", g.glsl);
+        glsl_es::compile(&g.glsl).unwrap();
+    }
+
+    #[test]
+    fn gather_rank2_generates_direct_fetch() {
+        let g = gen(
+            "kernel void f(float m[][], float v<>, out float o<>) { o = m[1][2] * v; }",
+            "f",
+            "o",
+            KernelShapes::default(),
+            StorageMode::Packed,
+        );
+        assert!(g.glsl.contains("_gather_m(float(1), float(2))"), "{}", g.glsl);
+        glsl_es::compile(&g.glsl).unwrap();
+    }
+
+    #[test]
+    fn gather_rank1_uses_linear_translation() {
+        let g = gen(
+            "kernel void f(float v[], float i<>, out float o<>) { o = v[int(i)]; }",
+            "f",
+            "o",
+            KernelShapes::default(),
+            StorageMode::Packed,
+        );
+        assert!(g.glsl.contains("floor(_l / _meta_v.x)"), "{}", g.glsl);
+        glsl_es::compile(&g.glsl).unwrap();
+    }
+
+    #[test]
+    fn rank3_gather_needs_shape_uniform() {
+        let g = gen(
+            "kernel void f(float v[][][], float i<>, out float o<>) { o = v[0][1][2]; }",
+            "f",
+            "o",
+            KernelShapes::default(),
+            StorageMode::Packed,
+        );
+        assert!(g.shapes_needed.contains(&"v".to_string()));
+        assert!(g.glsl.contains("_shape_v"));
+        glsl_es::compile(&g.glsl).unwrap();
+    }
+
+    #[test]
+    fn for_loop_translates() {
+        let g = gen(
+            "kernel void f(float a<>, out float o<>) {
+                float s = 0.0;
+                int i;
+                for (i = 0; i < 8; i++) { s += a; }
+                o = s;
+            }",
+            "f",
+            "o",
+            KernelShapes::default(),
+            StorageMode::Packed,
+        );
+        assert!(g.glsl.contains("for (b_i = 0; (b_i < 8); b_i += 1)"), "{}", g.glsl);
+        glsl_es::compile(&g.glsl).unwrap();
+    }
+
+    #[test]
+    fn int_promotion_inserts_casts() {
+        let g = gen(
+            "kernel void f(float a<>, out float o<>) { int i; i = 3; o = a + i; }",
+            "f",
+            "o",
+            KernelShapes::default(),
+            StorageMode::Packed,
+        );
+        assert!(g.glsl.contains("float(b_i)"), "{}", g.glsl);
+        glsl_es::compile(&g.glsl).unwrap();
+    }
+
+    #[test]
+    fn int_remainder_lowered_without_percent() {
+        let g = gen(
+            "kernel void f(float a<>, out float o<>) { int i; i = 7; int j; j = i % 3; o = a + j; }",
+            "f",
+            "o",
+            KernelShapes::default(),
+            StorageMode::Packed,
+        );
+        assert!(!g.glsl.contains('%'), "{}", g.glsl);
+        glsl_es::compile(&g.glsl).unwrap();
+    }
+
+    #[test]
+    fn multi_output_kernel_generates_one_shader_per_output() {
+        let src = "kernel void fw(float d<>, out float dist<>, out float pred<>) { dist = d * 2.0; pred = d + 1.0; }";
+        let g1 = gen(src, "fw", "dist", KernelShapes::default(), StorageMode::Packed);
+        let g2 = gen(src, "fw", "pred", KernelShapes::default(), StorageMode::Packed);
+        assert!(g1.glsl.contains("ba_encode(_out_dist)"));
+        assert!(g2.glsl.contains("ba_encode(_out_pred)"));
+        glsl_es::compile(&g1.glsl).unwrap();
+        glsl_es::compile(&g2.glsl).unwrap();
+    }
+
+    #[test]
+    fn helper_functions_translated() {
+        let g = gen(
+            "float sq(float x) { return x * x; }
+             kernel void f(float a<>, out float o<>) { o = sq(a) + sq(2.0); }",
+            "f",
+            "o",
+            KernelShapes::default(),
+            StorageMode::Packed,
+        );
+        assert!(g.glsl.contains("float b_sq(float b_x)"), "{}", g.glsl);
+        glsl_es::compile(&g.glsl).unwrap();
+    }
+
+    #[test]
+    fn builtin_renames_applied() {
+        let g = gen(
+            "kernel void f(float a<>, out float o<>) { o = lerp(a, 1.0, 0.5) + rsqrt(a) + fmod(a, 2.0) + saturate(a) + round(a); }",
+            "f",
+            "o",
+            KernelShapes::default(),
+            StorageMode::Packed,
+        );
+        assert!(g.glsl.contains("mix("));
+        assert!(g.glsl.contains("inversesqrt("));
+        assert!(g.glsl.contains("clamp("));
+        assert!(!g.glsl.contains("lerp("));
+        glsl_es::compile(&g.glsl).unwrap();
+    }
+
+    #[test]
+    fn unknown_kernel_and_output_rejected() {
+        let checked = parse_and_check("kernel void f(float a<>, out float o<>) { o = a; }").unwrap();
+        assert!(matches!(
+            generate_kernel_shader(&checked, "nope", "o", &KernelShapes::default(), StorageMode::Packed),
+            Err(CodegenError::UnknownKernel(_))
+        ));
+        assert!(matches!(
+            generate_kernel_shader(&checked, "f", "nope", &KernelShapes::default(), StorageMode::Packed),
+            Err(CodegenError::UnknownOutput(_))
+        ));
+    }
+
+    #[test]
+    fn reduce_kernel_rejected_here() {
+        let checked = parse_and_check("reduce void s(float a<>, reduce float r<>) { r += a; }").unwrap();
+        let err =
+            generate_kernel_shader(&checked, "s", "r", &KernelShapes::default(), StorageMode::Packed).unwrap_err();
+        assert!(matches!(err, CodegenError::Unsupported(_)));
+    }
+}

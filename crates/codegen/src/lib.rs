@@ -1,0 +1,81 @@
+//! # brook-codegen — Brook Auto kernels to GLSL ES 1.00
+//!
+//! The source-to-source backend of the Brook Auto compiler (paper §5).
+//! Where the original implementation drove NVIDIA's Cg 3.1 compiler
+//! through its hidden GLSL ES output option, this crate generates the
+//! fragment shader directly from the checked Brook AST:
+//!
+//! * **array indexing & `indexof`** (§5.2): OpenGL ES 2.0 only addresses
+//!   textures with normalized coordinates, so the generator passes every
+//!   stream's logical and allocated sizes as hidden `_meta_*` uniforms
+//!   and scales indices in the emitted code — fully transparent to the
+//!   kernel author;
+//! * **texture size translation** (§5.3): power-of-two padded
+//!   allocations and 1D/3D/4D streams living in 2D textures are handled
+//!   by generated fetch helpers using the same hidden uniforms;
+//! * **numerical formats** (§5.4): on devices without float textures the
+//!   [`StorageMode::Packed`] path routes every stream element through the
+//!   `brook-numfmt` encode/decode shader functions;
+//! * **kernel splitting**: a kernel with several `out` streams compiles
+//!   into one single-output shader per stream, since core OpenGL ES 2.0
+//!   has a single render target (the paper's Floyd-Warshall case);
+//! * **reductions** (§5.5): [`reduce::reduce_pass_shader`] emits the
+//!   two-to-one combining pass executed iteratively over ping-pong
+//!   textures by the runtime.
+
+pub mod glsl_gen;
+pub mod names;
+pub mod reduce;
+
+pub use glsl_gen::{generate_kernel_shader, GeneratedShader, KernelShapes, StreamRank};
+pub use reduce::{reduce_pass_shader, ReduceAxis};
+
+use std::error::Error;
+use std::fmt;
+
+/// How stream elements live in texels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageMode {
+    /// One float bit-packed into one RGBA8 texel via `brook-numfmt`
+    /// (mandatory on the embedded target profile). Streams must have
+    /// scalar `float` elements — the paper's evaluation converted vector
+    /// kernels to scalar for exactly this reason (§6).
+    Packed,
+    /// One element per RGBA32F texel (`OES_texture_float` devices, the
+    /// desktop reference platform). Vector elements use the texel's
+    /// channels directly.
+    Native,
+}
+
+/// Code generation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodegenError {
+    /// The requested kernel does not exist in the program.
+    UnknownKernel(String),
+    /// The requested output stream is not an output of the kernel.
+    UnknownOutput(String),
+    /// Vector-element streams cannot be stored on this profile.
+    VectorStreamOnPackedTarget {
+        /// Offending parameter.
+        param: String,
+    },
+    /// A construct reached the backend that it cannot express.
+    Unsupported(String),
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::UnknownKernel(k) => write!(f, "unknown kernel `{k}`"),
+            CodegenError::UnknownOutput(o) => write!(f, "kernel has no output stream `{o}`"),
+            CodegenError::VectorStreamOnPackedTarget { param } => write!(
+                f,
+                "stream `{param}` has a vector element type, which the RGBA8 (packed) target \
+                 cannot store; convert the kernel to scalar streams (paper §6)"
+            ),
+            CodegenError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
+        }
+    }
+}
+
+impl Error for CodegenError {}

@@ -1,0 +1,46 @@
+//! The hidden-uniform naming convention shared between the code
+//! generator and the runtime (paper §5.2: "we pass the texture
+//! dimensions as extra hidden arguments in the kernel invocation").
+
+/// Sampler uniform for a stream/gather parameter.
+pub fn tex_uniform(param: &str) -> String {
+    format!("_tex_{param}")
+}
+
+/// Size uniform for a stream/gather parameter:
+/// `vec4(alloc_w, alloc_h, logical_x, logical_y)` where `logical_x` is
+/// the innermost extent (columns, or total length for linear-packed
+/// streams) and `logical_y` the row count.
+pub fn meta_uniform(param: &str) -> String {
+    format!("_meta_{param}")
+}
+
+/// Extents uniform for rank-3/4 gathers: `vec4(s0, s1, s2, s3)` in index
+/// order (outermost first, unused trailing extents = 1).
+pub fn shape_uniform(param: &str) -> String {
+    format!("_shape_{param}")
+}
+
+/// Scalar (non-stream) kernel parameter uniform.
+pub fn scalar_uniform(param: &str) -> String {
+    format!("_p_{param}")
+}
+
+/// The viewport-size uniform `vec2(vw, vh)` every generated shader
+/// declares: fragment integer coordinates are reconstructed from
+/// `v_texcoord` with it.
+pub const VIEWPORT_UNIFORM: &str = "_ba_vp";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_prefixed_and_distinct() {
+        assert_eq!(tex_uniform("a"), "_tex_a");
+        assert_eq!(meta_uniform("a"), "_meta_a");
+        assert_eq!(shape_uniform("a"), "_shape_a");
+        assert_eq!(scalar_uniform("n"), "_p_n");
+        assert_ne!(tex_uniform("x"), meta_uniform("x"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Reduction pass generation (paper §5.5).
+//!
+//! Brook reductions execute as multi-pass two-to-one combines over a pair
+//! of intermediate ping-pong textures: each pass halves the data extent
+//! along one axis until the desired output size remains. Normalized
+//! coordinates make this subtle on OpenGL ES 2: the *actual* data extent
+//! shrinks pass by pass while the allocated texture stays fixed, so the
+//! shader receives the current extent in a hidden uniform
+//! (`_ba_reduce`) and computes source texel coordinates from it — the
+//! same bookkeeping the paper describes for array indexing, applied to
+//! the reduction ladder.
+
+use crate::names::VIEWPORT_UNIFORM;
+use crate::StorageMode;
+use brook_lang::ReduceOp;
+use std::fmt::Write;
+
+/// Axis a reduction pass combines along.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceAxis {
+    /// Combine horizontally: `(2x, y) op (2x+1, y)`.
+    X,
+    /// Combine vertically: `(x, 2y) op (x, 2y+1)`.
+    Y,
+}
+
+/// Generates the fragment shader for one two-to-one reduction pass.
+///
+/// Uniforms the runtime must set:
+/// * `_tex_src` (sampler) — the texture holding the current data,
+/// * `_meta_src` = `vec4(alloc_w, alloc_h, cur_w, cur_h)` — allocated
+///   size and *current* data extent (paper §5.5: "we had to keep track
+///   internally of the actual data size for reduction operations"),
+/// * `_ba_vp` = viewport (the post-pass extent).
+///
+/// The second source element can fall outside the current extent when
+/// the extent is odd; the shader substitutes the operation's identity
+/// element so padding never corrupts the result.
+pub fn reduce_pass_shader(op: ReduceOp, axis: ReduceAxis, storage: StorageMode) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "precision highp float;");
+    let _ = writeln!(s, "varying vec2 v_texcoord;");
+    let _ = writeln!(s, "uniform vec2 {VIEWPORT_UNIFORM};");
+    let _ = writeln!(s, "uniform sampler2D _tex_src;");
+    let _ = writeln!(s, "uniform vec4 _meta_src;");
+    if storage == StorageMode::Packed {
+        s.push_str(brook_numfmt::GLSL_DECODE);
+        s.push_str(brook_numfmt::GLSL_ENCODE);
+    }
+    let fetch = |coord: &str| match storage {
+        StorageMode::Packed => format!("ba_decode(texture2D(_tex_src, {coord}))"),
+        StorageMode::Native => format!("texture2D(_tex_src, {coord}).x"),
+    };
+    let identity = match op {
+        ReduceOp::Add => "0.0".to_owned(),
+        ReduceOp::Mul => "1.0".to_owned(),
+        // Large sentinels standing in for +/- infinity, which RGBA8
+        // packing saturates anyway.
+        ReduceOp::Min => "3.0e38".to_owned(),
+        ReduceOp::Max => "-3.0e38".to_owned(),
+    };
+    let combine = |a: &str, b: &str| match op {
+        ReduceOp::Add => format!("{a} + {b}"),
+        ReduceOp::Mul => format!("{a} * {b}"),
+        ReduceOp::Min => format!("min({a}, {b})"),
+        ReduceOp::Max => format!("max({a}, {b})"),
+    };
+    s.push_str("void main() {\n");
+    let _ = writeln!(s, "    vec2 _pc = floor(v_texcoord * {VIEWPORT_UNIFORM});");
+    match axis {
+        ReduceAxis::X => {
+            let _ = writeln!(s, "    vec2 _s0 = vec2(_pc.x * 2.0, _pc.y);");
+            let _ = writeln!(s, "    vec2 _s1 = vec2(_pc.x * 2.0 + 1.0, _pc.y);");
+            let _ = writeln!(s, "    bool _in1 = _s1.x < _meta_src.z;");
+        }
+        ReduceAxis::Y => {
+            let _ = writeln!(s, "    vec2 _s0 = vec2(_pc.x, _pc.y * 2.0);");
+            let _ = writeln!(s, "    vec2 _s1 = vec2(_pc.x, _pc.y * 2.0 + 1.0);");
+            let _ = writeln!(s, "    bool _in1 = _s1.y < _meta_src.w;");
+        }
+    }
+    let _ = writeln!(s, "    float _a = {};", fetch("((_s0 + 0.5) / _meta_src.xy)"));
+    let _ = writeln!(s, "    float _b = _in1 ? {} : {identity};", fetch("((_s1 + 0.5) / _meta_src.xy)"));
+    let _ = writeln!(s, "    float _r = {};", combine("_a", "_b"));
+    match storage {
+        StorageMode::Packed => {
+            let _ = writeln!(s, "    gl_FragColor = ba_encode(_r);");
+        }
+        StorageMode::Native => {
+            let _ = writeln!(s, "    gl_FragColor = vec4(_r, 0.0, 0.0, 0.0);");
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_compile() {
+        for op in [ReduceOp::Add, ReduceOp::Mul, ReduceOp::Min, ReduceOp::Max] {
+            for axis in [ReduceAxis::X, ReduceAxis::Y] {
+                for storage in [StorageMode::Packed, StorageMode::Native] {
+                    let src = reduce_pass_shader(op, axis, storage);
+                    glsl_es::compile(&src)
+                        .unwrap_or_else(|e| panic!("reduce shader failed ({op:?},{axis:?},{storage:?}): {e}\n{src}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identity_matches_op() {
+        let add = reduce_pass_shader(ReduceOp::Add, ReduceAxis::X, StorageMode::Packed);
+        assert!(add.contains(": 0.0;"));
+        let min = reduce_pass_shader(ReduceOp::Min, ReduceAxis::X, StorageMode::Packed);
+        assert!(min.contains("3.0e38"));
+        assert!(min.contains("min(_a, _b)"));
+    }
+
+    #[test]
+    fn axis_changes_source_addressing() {
+        let x = reduce_pass_shader(ReduceOp::Add, ReduceAxis::X, StorageMode::Native);
+        let y = reduce_pass_shader(ReduceOp::Add, ReduceAxis::Y, StorageMode::Native);
+        assert!(x.contains("_pc.x * 2.0"));
+        assert!(y.contains("_pc.y * 2.0"));
+        assert_ne!(x, y);
+    }
+}

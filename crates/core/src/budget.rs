@@ -1,0 +1,191 @@
+//! Static GPU memory accounting (paper §4: "we force each stream handle
+//! to be statically sized, to allow the static determination of the
+//! maximum GPU memory usage").
+//!
+//! Given the stream shapes a deployment will create, [`plan_memory`]
+//! computes the exact texture allocations the runtime would make on a
+//! device — *before* touching the device — and verdicts them against a
+//! budget. This is the certification data-package artifact backing rule
+//! BA002, complementing the runtime enforcement in
+//! [`crate::BrookContext::set_memory_budget`].
+
+use crate::stream::layout_for;
+use brook_codegen::StorageMode;
+use gles2_sim::DeviceProfile;
+
+/// One planned stream allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedStream {
+    /// Caller-supplied label (e.g. the kernel argument it will bind to).
+    pub label: String,
+    /// Logical shape.
+    pub shape: Vec<usize>,
+    /// Allocated texture dimensions after device constraints.
+    pub alloc: (u32, u32),
+    /// Bytes the texture occupies on the device.
+    pub bytes: usize,
+    /// Padding overhead relative to the logical data (1.0 = none).
+    pub overhead: f64,
+}
+
+/// The static memory plan for a deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryPlan {
+    /// Per-stream allocations, in input order.
+    pub streams: Vec<PlannedStream>,
+    /// Total bytes of texture memory.
+    pub total_bytes: usize,
+    /// Reduction scratch (two ping-pong textures the size of the largest
+    /// stream) if reductions are used.
+    pub reduction_scratch_bytes: usize,
+}
+
+impl MemoryPlan {
+    /// Total including reduction scratch.
+    pub fn worst_case_bytes(&self) -> usize {
+        self.total_bytes + self.reduction_scratch_bytes
+    }
+
+    /// True when the worst case fits a budget.
+    pub fn fits(&self, budget_bytes: usize) -> bool {
+        self.worst_case_bytes() <= budget_bytes
+    }
+
+    /// Renders the plan as a certification-artifact table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<16} {:>16} {:>12} {:>10} {:>9}", "stream", "shape", "texture", "bytes", "overhead");
+        for s in &self.streams {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>16} {:>12} {:>10} {:>8.2}x",
+                s.label,
+                format!("{:?}", s.shape),
+                format!("{}x{}", s.alloc.0, s.alloc.1),
+                s.bytes,
+                s.overhead
+            );
+        }
+        let _ = writeln!(out, "total: {} B (+{} B reduction scratch)", self.total_bytes, self.reduction_scratch_bytes);
+        out
+    }
+}
+
+/// Computes the static memory plan for a set of streams on a device.
+///
+/// `with_reductions` reserves the two ping-pong intermediates the
+/// reduction ladder of paper §5.5 needs (sized like the largest stream).
+///
+/// # Errors
+/// Returns the offending stream's label and the device diagnostic when a
+/// shape cannot be allocated at all — the same check the runtime applies,
+/// moved to planning time.
+pub fn plan_memory(
+    streams: &[(&str, Vec<usize>)],
+    device: &DeviceProfile,
+    with_reductions: bool,
+) -> Result<MemoryPlan, String> {
+    let storage = if device.float_textures && device.float_render_targets {
+        StorageMode::Native
+    } else {
+        StorageMode::Packed
+    };
+    // Packed streams use RGBA8 (4 B/texel); native scalar streams use
+    // R32F (also 4 B/texel) — see gpu.rs `format_for`.
+    let bytes_per_texel = match storage {
+        StorageMode::Packed | StorageMode::Native => 4usize,
+    };
+    let mut planned = Vec::new();
+    let mut total = 0usize;
+    let mut largest = 0usize;
+    for (label, shape) in streams {
+        let layout = layout_for(shape, !device.npot_textures, device.max_texture_size)
+            .map_err(|e| format!("stream `{label}`: {e}"))?;
+        let bytes = layout.alloc_bytes(bytes_per_texel);
+        let logical_bytes = shape.iter().product::<usize>() * bytes_per_texel;
+        planned.push(PlannedStream {
+            label: (*label).to_owned(),
+            shape: shape.clone(),
+            alloc: (layout.alloc_w, layout.alloc_h),
+            bytes,
+            overhead: bytes as f64 / logical_bytes as f64,
+        });
+        total += bytes;
+        largest = largest.max(bytes);
+    }
+    Ok(MemoryPlan {
+        streams: planned,
+        total_bytes: total,
+        reduction_scratch_bytes: if with_reductions { 2 * largest } else { 0 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_matches_runtime_allocation() {
+        // The plan must predict exactly what the runtime allocates.
+        let device = DeviceProfile::videocore_iv();
+        let shapes: Vec<(&str, Vec<usize>)> =
+            vec![("a", vec![100, 200]), ("b", vec![1000]), ("c", vec![64, 64])];
+        let plan = plan_memory(&shapes, &device, false).expect("plan");
+        let mut ctx = crate::BrookContext::gles2(device);
+        for (_, shape) in &shapes {
+            ctx.stream(shape).expect("stream");
+        }
+        assert_eq!(plan.total_bytes, ctx.gpu_memory_used(), "plan must equal actual allocation");
+    }
+
+    #[test]
+    fn pow2_padding_shows_as_overhead() {
+        let device = DeviceProfile::videocore_iv();
+        let plan = plan_memory(&[("img", vec![100, 200])], &device, false).expect("plan");
+        // 100x200 -> 128x256 texture: 1.6384x overhead.
+        assert_eq!(plan.streams[0].alloc, (256, 128));
+        assert!((plan.streams[0].overhead - 1.6384).abs() < 1e-6);
+    }
+
+    #[test]
+    fn npot_device_has_no_padding_overhead() {
+        let device = DeviceProfile::radeon_hd3400();
+        let plan = plan_memory(&[("img", vec![100, 200])], &device, false).expect("plan");
+        assert_eq!(plan.streams[0].overhead, 1.0);
+    }
+
+    #[test]
+    fn reduction_scratch_doubles_largest() {
+        let device = DeviceProfile::videocore_iv();
+        let plan = plan_memory(&[("small", vec![16]), ("big", vec![128, 128])], &device, true).expect("plan");
+        assert_eq!(plan.reduction_scratch_bytes, 2 * 128 * 128 * 4);
+        assert_eq!(plan.worst_case_bytes(), plan.total_bytes + plan.reduction_scratch_bytes);
+    }
+
+    #[test]
+    fn budget_verdict() {
+        let device = DeviceProfile::videocore_iv();
+        let plan = plan_memory(&[("a", vec![64, 64])], &device, false).expect("plan");
+        assert!(plan.fits(16 * 1024));
+        assert!(!plan.fits(16 * 1024 - 1));
+    }
+
+    #[test]
+    fn oversized_stream_fails_at_planning_time() {
+        let device = DeviceProfile::videocore_iv();
+        let err = plan_memory(&[("huge", vec![4096, 4096])], &device, false).unwrap_err();
+        assert!(err.contains("huge"));
+        assert!(err.contains("2048"));
+    }
+
+    #[test]
+    fn render_is_tabular() {
+        let device = DeviceProfile::videocore_iv();
+        let plan = plan_memory(&[("a", vec![8, 8])], &device, true).expect("plan");
+        let text = plan.render();
+        assert!(text.contains("stream"));
+        assert!(text.contains("8x8"));
+        assert!(text.contains("reduction scratch"));
+    }
+}

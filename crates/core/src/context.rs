@@ -1,0 +1,661 @@
+//! `BrookContext` — the user-facing Brook Auto runtime.
+
+use crate::cpu::{self, CpuBinding};
+use crate::error::{BrookError, Result};
+use crate::gpu::GpuState;
+use crate::stream::{Stream, StreamDesc};
+use brook_cert::{certify, CertConfig, ComplianceReport};
+use brook_lang::ast::ParamKind;
+use brook_lang::CheckedProgram;
+use gles2_sim::{DeviceProfile, DrawMode, Value};
+use perf_model::GpuRun;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_CONTEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A compiled, certified Brook Auto translation unit.
+#[derive(Debug, Clone)]
+pub struct BrookModule {
+    pub(crate) checked: CheckedProgram,
+    /// The certification data produced at compile time (paper §4).
+    pub report: ComplianceReport,
+    pub(crate) id: u64,
+}
+
+impl BrookModule {
+    /// Kernel names defined by the module.
+    pub fn kernels(&self) -> Vec<String> {
+        self.checked.kernels.iter().map(|k| k.name.clone()).collect()
+    }
+}
+
+/// A positional kernel argument.
+#[derive(Debug, Clone, Copy)]
+pub enum Arg<'a> {
+    /// A stream (input, gather or output, matched by parameter kind).
+    Stream(&'a Stream),
+    /// Scalar `float`.
+    Float(f32),
+    /// Scalar `int`.
+    Int(i32),
+    /// `float2` constant.
+    Float2([f32; 2]),
+    /// `float3` constant.
+    Float3([f32; 3]),
+    /// `float4` constant.
+    Float4([f32; 4]),
+}
+
+enum Backend {
+    Cpu { streams: Vec<(StreamDesc, Vec<f32>)> },
+    Gpu(Box<GpuState>),
+}
+
+/// The Brook Auto runtime context: owns streams, compiles kernels,
+/// dispatches them on the selected backend.
+pub struct BrookContext {
+    backend: Backend,
+    context_id: u64,
+    next_module: u64,
+    cert_config: CertConfig,
+    /// When false, `compile` accepts non-compliant programs (used for
+    /// negative tests and for measuring what certification would reject).
+    pub enforce_certification: bool,
+}
+
+impl BrookContext {
+    /// A context executing kernels on the interpreted CPU backend.
+    pub fn cpu() -> Self {
+        BrookContext {
+            backend: Backend::Cpu { streams: Vec::new() },
+            context_id: NEXT_CONTEXT_ID.fetch_add(1, Ordering::Relaxed),
+            next_module: 1,
+            cert_config: CertConfig::default(),
+            enforce_certification: true,
+        }
+    }
+
+    /// A context executing kernels on the simulated OpenGL ES 2.0 GPU.
+    ///
+    /// Storage mode follows the device: profiles without float textures
+    /// use the packed RGBA8 path (paper §5.4).
+    pub fn gles2(profile: DeviceProfile) -> Self {
+        let cert_config = CertConfig {
+            max_inputs: profile.texture_units,
+            ..CertConfig::default()
+        };
+        BrookContext {
+            backend: Backend::Gpu(Box::new(GpuState::new(profile))),
+            context_id: NEXT_CONTEXT_ID.fetch_add(1, Ordering::Relaxed),
+            next_module: 1,
+            cert_config,
+            enforce_certification: true,
+        }
+    }
+
+    /// The certification limits this context enforces at compile time.
+    pub fn cert_config(&self) -> &CertConfig {
+        &self.cert_config
+    }
+
+    /// Compiles and certifies Brook source.
+    ///
+    /// # Errors
+    /// Front-end diagnostics, or [`BrookError::Certification`] carrying
+    /// the full compliance report when a rule is violated and enforcement
+    /// is on.
+    pub fn compile(&mut self, source: &str) -> Result<BrookModule> {
+        let checked = brook_lang::parse_and_check(source)?;
+        let report = certify(&checked, &self.cert_config);
+        if self.enforce_certification && !report.is_compliant() {
+            return Err(BrookError::Certification(Box::new(report)));
+        }
+        let id = self.next_module;
+        self.next_module += 1;
+        Ok(BrookModule { checked, report, id })
+    }
+
+    /// Creates a statically-sized scalar `float` stream.
+    ///
+    /// # Errors
+    /// Shape/device violations (dimension count, texture limits, VRAM
+    /// budget).
+    pub fn stream(&mut self, shape: &[usize]) -> Result<Stream> {
+        self.stream_with_width(shape, 1)
+    }
+
+    /// Creates a stream of `floatN` elements (`width` in 1..=4).
+    ///
+    /// # Errors
+    /// As [`BrookContext::stream`]; additionally, packed-storage devices
+    /// reject `width > 1`.
+    pub fn stream_with_width(&mut self, shape: &[usize], width: u8) -> Result<Stream> {
+        if !(1..=4).contains(&width) {
+            return Err(BrookError::Usage(format!("element width {width} out of range 1..=4")));
+        }
+        let desc = StreamDesc { shape: shape.to_vec(), width };
+        let index = match &mut self.backend {
+            Backend::Cpu { streams } => {
+                if desc.shape.is_empty() || desc.shape.len() > 4 || desc.shape.contains(&0) {
+                    return Err(BrookError::Usage("streams have 1 to 4 positive dimensions".into()));
+                }
+                let len = desc.scalar_len();
+                streams.push((desc, vec![0.0; len]));
+                streams.len() - 1
+            }
+            Backend::Gpu(gpu) => gpu.create_stream(desc)?,
+        };
+        Ok(Stream { index, context_id: self.context_id })
+    }
+
+    fn check_stream(&self, s: &Stream) -> Result<()> {
+        if s.context_id != self.context_id {
+            return Err(BrookError::Usage("stream belongs to a different context".into()));
+        }
+        Ok(())
+    }
+
+    /// Stream element count.
+    pub fn stream_len(&self, s: &Stream) -> usize {
+        match &self.backend {
+            Backend::Cpu { streams } => streams[s.index].0.len(),
+            Backend::Gpu(gpu) => gpu.streams[s.index].desc.len(),
+        }
+    }
+
+    /// Copies values into a stream (`streamRead` in Brook terms).
+    ///
+    /// # Errors
+    /// Size mismatches and foreign streams.
+    pub fn write(&mut self, s: &Stream, values: &[f32]) -> Result<()> {
+        self.check_stream(s)?;
+        match &mut self.backend {
+            Backend::Cpu { streams } => {
+                let (desc, buf) = &mut streams[s.index];
+                if values.len() != desc.scalar_len() {
+                    return Err(BrookError::Usage(format!(
+                        "stream expects {} values, got {}",
+                        desc.scalar_len(),
+                        values.len()
+                    )));
+                }
+                buf.copy_from_slice(values);
+                Ok(())
+            }
+            Backend::Gpu(gpu) => gpu.write_stream(s.index, values),
+        }
+    }
+
+    /// Copies a stream back to the host (`streamWrite` in Brook terms).
+    ///
+    /// # Errors
+    /// Foreign streams; GL failures.
+    pub fn read(&mut self, s: &Stream) -> Result<Vec<f32>> {
+        self.check_stream(s)?;
+        match &mut self.backend {
+            Backend::Cpu { streams } => Ok(streams[s.index].1.clone()),
+            Backend::Gpu(gpu) => gpu.read_stream(s.index),
+        }
+    }
+
+    /// Runs a kernel with positional arguments (one per parameter).
+    /// Multi-output kernels execute one GPU pass per output — the
+    /// splitting of paper §6.
+    ///
+    /// # Errors
+    /// Argument/parameter mismatches, certification-mode violations and
+    /// backend failures.
+    pub fn run(&mut self, module: &BrookModule, kernel: &str, args: &[Arg<'_>]) -> Result<()> {
+        let kdef = module
+            .checked
+            .program
+            .kernel(kernel)
+            .ok_or_else(|| BrookError::Usage(format!("unknown kernel `{kernel}`")))?
+            .clone();
+        if kdef.is_reduce {
+            return Err(BrookError::Usage(format!(
+                "`{kernel}` is a reduce kernel; call `reduce` instead"
+            )));
+        }
+        if args.len() != kdef.params.len() {
+            return Err(BrookError::Usage(format!(
+                "kernel `{kernel}` has {} parameters, {} arguments given",
+                kdef.params.len(),
+                args.len()
+            )));
+        }
+        // Classify arguments against parameters.
+        let mut stream_args: Vec<(String, Option<usize>)> = Vec::new();
+        let mut scalar_args: Vec<(String, Value)> = Vec::new();
+        let mut outputs: Vec<(String, usize)> = Vec::new();
+        for (p, a) in kdef.params.iter().zip(args) {
+            match (p.kind, a) {
+                (ParamKind::Stream | ParamKind::Gather { .. }, Arg::Stream(s)) => {
+                    self.check_stream(s)?;
+                    stream_args.push((p.name.clone(), Some(s.index)));
+                }
+                (ParamKind::OutStream, Arg::Stream(s)) => {
+                    self.check_stream(s)?;
+                    stream_args.push((p.name.clone(), Some(s.index)));
+                    outputs.push((p.name.clone(), s.index));
+                }
+                (ParamKind::Scalar, arg) => {
+                    let v = match (p.ty.width, arg) {
+                        (_, Arg::Stream(_)) => {
+                            return Err(BrookError::Usage(format!(
+                                "parameter `{}` is a scalar but a stream was passed",
+                                p.name
+                            )))
+                        }
+                        (1, Arg::Float(f)) => {
+                            if p.ty.scalar == brook_lang::ast::ScalarKind::Int {
+                                Value::Int(*f as i32)
+                            } else {
+                                Value::Float(*f)
+                            }
+                        }
+                        (1, Arg::Int(i)) => {
+                            if p.ty.scalar == brook_lang::ast::ScalarKind::Int {
+                                Value::Int(*i)
+                            } else {
+                                Value::Float(*i as f32)
+                            }
+                        }
+                        (2, Arg::Float2(v)) => Value::Vec2(*v),
+                        (3, Arg::Float3(v)) => Value::Vec3(*v),
+                        (4, Arg::Float4(v)) => Value::Vec4(*v),
+                        _ => {
+                            return Err(BrookError::Usage(format!(
+                                "argument for `{}` does not match its type {}",
+                                p.name, p.ty
+                            )))
+                        }
+                    };
+                    scalar_args.push((p.name.clone(), v));
+                }
+                (_, _) => {
+                    return Err(BrookError::Usage(format!(
+                        "parameter `{}` needs a stream argument",
+                        p.name
+                    )))
+                }
+            }
+        }
+        if outputs.is_empty() {
+            return Err(BrookError::Usage(format!("kernel `{kernel}` has no output streams")));
+        }
+        match &mut self.backend {
+            Backend::Gpu(gpu) => {
+                for (out_name, _) in &outputs {
+                    gpu.run_pass(&module.checked, module.id, kernel, out_name, &stream_args, &scalar_args)?;
+                }
+                Ok(())
+            }
+            Backend::Cpu { streams } => {
+                // Move output buffers out to satisfy the borrow checker,
+                // run, then put them back.
+                let mut out_bufs: Vec<Vec<f32>> = Vec::new();
+                let mut out_index_of: HashMap<String, usize> = HashMap::new();
+                for (name, idx) in &outputs {
+                    out_index_of.insert(name.clone(), out_bufs.len());
+                    out_bufs.push(std::mem::take(&mut streams[*idx].1));
+                }
+                let mut bindings: HashMap<String, CpuBinding<'_>> = HashMap::new();
+                for (p, a) in kdef.params.iter().zip(args) {
+                    match (p.kind, a) {
+                        (ParamKind::Stream, Arg::Stream(s)) => {
+                            let (desc, data) = &streams[s.index];
+                            bindings.insert(
+                                p.name.clone(),
+                                CpuBinding::Elem { data, shape: &desc.shape, width: desc.width },
+                            );
+                        }
+                        (ParamKind::Gather { .. }, Arg::Stream(s)) => {
+                            let (desc, data) = &streams[s.index];
+                            bindings.insert(
+                                p.name.clone(),
+                                CpuBinding::Gather { data, shape: &desc.shape, width: desc.width },
+                            );
+                        }
+                        (ParamKind::OutStream, Arg::Stream(_)) => {
+                            bindings.insert(p.name.clone(), CpuBinding::Out(out_index_of[&p.name]));
+                        }
+                        (ParamKind::Scalar, _) => {
+                            let v = scalar_args
+                                .iter()
+                                .find(|(n, _)| n == &p.name)
+                                .map(|(_, v)| *v)
+                                .expect("scalar classified above");
+                            bindings.insert(p.name.clone(), CpuBinding::Scalar(v));
+                        }
+                        _ => unreachable!("validated above"),
+                    }
+                }
+                // The output domain is the first output stream's shape.
+                let domain_shape = {
+                    let first_out = outputs[0].1;
+                    streams[first_out].0.shape.clone()
+                };
+                let result = cpu::run_kernel_shaped(
+                    &module.checked,
+                    kernel,
+                    &bindings,
+                    &mut out_bufs,
+                    &domain_shape,
+                );
+                drop(bindings);
+                for ((_, idx), buf) in outputs.iter().zip(out_bufs) {
+                    streams[*idx].1 = buf;
+                }
+                result
+            }
+        }
+    }
+
+    /// Applies a reduce kernel to a stream, producing a scalar.
+    ///
+    /// On the GPU this is the multi-pass ping-pong ladder of paper §5.5;
+    /// on the CPU it folds the kernel body serially.
+    ///
+    /// # Errors
+    /// Unknown/non-reduce kernels and backend failures.
+    pub fn reduce(&mut self, module: &BrookModule, kernel: &str, input: &Stream) -> Result<f32> {
+        self.check_stream(input)?;
+        let summary = module
+            .checked
+            .summary(kernel)
+            .ok_or_else(|| BrookError::Usage(format!("unknown kernel `{kernel}`")))?;
+        if !summary.is_reduce {
+            return Err(BrookError::Usage(format!("kernel `{kernel}` is not a reduce kernel")));
+        }
+        let op = summary
+            .reduce_op
+            .ok_or_else(|| BrookError::Usage("reduce kernel without a detected operation".into()))?;
+        match &mut self.backend {
+            Backend::Gpu(gpu) => gpu.reduce(op, input.index),
+            Backend::Cpu { streams } => {
+                let data = streams[input.index].1.clone();
+                cpu::run_reduce(&module.checked, kernel, &data)
+            }
+        }
+    }
+
+    /// Switches GPU dispatch between full execution and sampled cost
+    /// estimation (no effect on the CPU backend).
+    pub fn set_dispatch(&mut self, mode: DrawMode) {
+        if let Backend::Gpu(gpu) = &mut self.backend {
+            gpu.dispatch = mode;
+        }
+    }
+
+    /// Installs a GPU memory budget in bytes (BA002's runtime
+    /// enforcement); `None` removes it.
+    pub fn set_memory_budget(&mut self, bytes: Option<usize>) {
+        if let Backend::Gpu(gpu) = &mut self.backend {
+            gpu.gl.set_vram_budget(bytes);
+        }
+    }
+
+    /// GPU execution counters for the performance model (zeros on the
+    /// CPU backend).
+    pub fn gpu_counters(&self) -> GpuRun {
+        match &self.backend {
+            Backend::Cpu { .. } => GpuRun::default(),
+            Backend::Gpu(gpu) => {
+                let s = gpu.gl.stats();
+                GpuRun {
+                    alu_ops: s.alu_ops,
+                    tex_fetches: s.tex_fetches,
+                    fragments: s.fragments_shaded,
+                    draw_calls: s.draw_calls,
+                    readbacks: gpu.readbacks,
+                    bytes_uploaded: s.bytes_uploaded,
+                    bytes_downloaded: s.bytes_downloaded,
+                }
+            }
+        }
+    }
+
+    /// Resets GPU counters (e.g. to exclude warm-up and setup from a
+    /// measurement window).
+    pub fn reset_counters(&mut self) {
+        if let Backend::Gpu(gpu) = &mut self.backend {
+            gpu.gl.reset_stats();
+            gpu.readbacks = 0;
+        }
+    }
+
+    /// Bytes of GPU texture memory currently allocated (0 on CPU).
+    pub fn gpu_memory_used(&self) -> usize {
+        match &self.backend {
+            Backend::Cpu { .. } => 0,
+            Backend::Gpu(gpu) => gpu.gl.vram_used(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ADD: &str = "kernel void add(float a<>, float b<>, out float c<>) { c = a + b; }";
+
+    fn both_contexts() -> Vec<BrookContext> {
+        vec![BrookContext::cpu(), BrookContext::gles2(DeviceProfile::videocore_iv())]
+    }
+
+    #[test]
+    fn add_kernel_on_both_backends() {
+        for mut ctx in both_contexts() {
+            let module = ctx.compile(ADD).unwrap();
+            let a = ctx.stream(&[2, 3]).unwrap();
+            let b = ctx.stream(&[2, 3]).unwrap();
+            let c = ctx.stream(&[2, 3]).unwrap();
+            ctx.write(&a, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+            ctx.write(&b, &[10.0, 20.0, 30.0, 40.0, 50.0, 60.0]).unwrap();
+            ctx.run(&module, "add", &[Arg::Stream(&a), Arg::Stream(&b), Arg::Stream(&c)]).unwrap();
+            assert_eq!(ctx.read(&c).unwrap(), vec![11.0, 22.0, 33.0, 44.0, 55.0, 66.0]);
+        }
+    }
+
+    #[test]
+    fn scalar_uniform_argument() {
+        for mut ctx in both_contexts() {
+            let module = ctx
+                .compile("kernel void saxpy(float x<>, float y<>, float alpha, out float r<>) { r = alpha * x + y; }")
+                .unwrap();
+            let x = ctx.stream(&[4]).unwrap();
+            let y = ctx.stream(&[4]).unwrap();
+            let r = ctx.stream(&[4]).unwrap();
+            ctx.write(&x, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+            ctx.write(&y, &[0.5, 0.5, 0.5, 0.5]).unwrap();
+            ctx.run(&module, "saxpy", &[Arg::Stream(&x), Arg::Stream(&y), Arg::Float(2.0), Arg::Stream(&r)])
+                .unwrap();
+            assert_eq!(ctx.read(&r).unwrap(), vec![2.5, 4.5, 6.5, 8.5]);
+        }
+    }
+
+    #[test]
+    fn certification_is_enforced_at_compile() {
+        let mut ctx = BrookContext::cpu();
+        let err = ctx
+            .compile("kernel void f(float a<>, out float o<>) { while (a > 0.0) { } o = a; }")
+            .unwrap_err();
+        assert!(matches!(err, BrookError::Certification(_)));
+    }
+
+    #[test]
+    fn reduce_on_both_backends() {
+        for mut ctx in both_contexts() {
+            let module = ctx.compile("reduce void sum(float a<>, reduce float r<>) { r += a; }").unwrap();
+            let a = ctx.stream(&[100]).unwrap();
+            let data: Vec<f32> = (1..=100).map(|i| i as f32).collect();
+            ctx.write(&a, &data).unwrap();
+            let total = ctx.reduce(&module, "sum", &a).unwrap();
+            assert_eq!(total, 5050.0);
+        }
+    }
+
+    #[test]
+    fn reduce_max_on_2d_stream() {
+        for mut ctx in both_contexts() {
+            let module = ctx.compile("reduce void m(float a<>, reduce float r<>) { r = max(r, a); }").unwrap();
+            let a = ctx.stream(&[8, 8]).unwrap();
+            let mut data: Vec<f32> = (0..64).map(|i| (i as f32 * 37.0) % 53.0).collect();
+            data[37] = 1000.0;
+            ctx.write(&a, &data).unwrap();
+            assert_eq!(ctx.reduce(&module, "m", &a).unwrap(), 1000.0);
+        }
+    }
+
+    #[test]
+    fn reduce_with_partial_tail_row() {
+        // 2049 elements on a 2048-wide device: linear layout wraps to a
+        // second row with a 1-element tail; masking must keep the sum
+        // exact.
+        for mut ctx in both_contexts() {
+            let module = ctx.compile("reduce void sum(float a<>, reduce float r<>) { r += a; }").unwrap();
+            let n = 2049;
+            let a = ctx.stream(&[n]).unwrap();
+            let data: Vec<f32> = vec![1.0; n];
+            ctx.write(&a, &data).unwrap();
+            assert_eq!(ctx.reduce(&module, "sum", &a).unwrap(), n as f32);
+        }
+    }
+
+    #[test]
+    fn gather_kernel_matches_between_backends() {
+        let src = "kernel void perm(float v[], float idx<>, out float o<>) { o = v[int(idx)]; }";
+        let table: Vec<f32> = (0..16).map(|i| (i * i) as f32).collect();
+        let idx: Vec<f32> = vec![3.0, 0.0, 15.0, 7.0];
+        let mut results = Vec::new();
+        for mut ctx in both_contexts() {
+            let module = ctx.compile(src).unwrap();
+            let v = ctx.stream(&[16]).unwrap();
+            let ix = ctx.stream(&[4]).unwrap();
+            let o = ctx.stream(&[4]).unwrap();
+            ctx.write(&v, &table).unwrap();
+            ctx.write(&ix, &idx).unwrap();
+            ctx.run(&module, "perm", &[Arg::Stream(&v), Arg::Stream(&ix), Arg::Stream(&o)]).unwrap();
+            results.push(ctx.read(&o).unwrap());
+        }
+        assert_eq!(results[0], vec![9.0, 0.0, 225.0, 49.0]);
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn indexof_matches_between_backends() {
+        let src = "kernel void idx(float a<>, out float o<>) { float2 p = indexof(o); o = p.y * 100.0 + p.x; }";
+        let mut results = Vec::new();
+        for mut ctx in both_contexts() {
+            let module = ctx.compile(src).unwrap();
+            let a = ctx.stream(&[3, 4]).unwrap();
+            let o = ctx.stream(&[3, 4]).unwrap();
+            ctx.write(&a, &[0.0; 12]).unwrap();
+            ctx.run(&module, "idx", &[Arg::Stream(&a), Arg::Stream(&o)]).unwrap();
+            results.push(ctx.read(&o).unwrap());
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0][0], 0.0);
+        assert_eq!(results[0][5], 101.0); // row 1, col 1
+    }
+
+    #[test]
+    fn multi_output_kernel_splits_passes() {
+        for mut ctx in both_contexts() {
+            let module = ctx
+                .compile("kernel void two(float a<>, out float x<>, out float y<>) { x = a * 2.0; y = a + 1.0; }")
+                .unwrap();
+            let a = ctx.stream(&[4]).unwrap();
+            let x = ctx.stream(&[4]).unwrap();
+            let y = ctx.stream(&[4]).unwrap();
+            ctx.write(&a, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+            ctx.run(&module, "two", &[Arg::Stream(&a), Arg::Stream(&x), Arg::Stream(&y)]).unwrap();
+            assert_eq!(ctx.read(&x).unwrap(), vec![2.0, 4.0, 6.0, 8.0]);
+            assert_eq!(ctx.read(&y).unwrap(), vec![2.0, 3.0, 4.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn writing_wrong_size_rejected() {
+        let mut ctx = BrookContext::cpu();
+        let s = ctx.stream(&[4]).unwrap();
+        assert!(matches!(ctx.write(&s, &[1.0, 2.0]), Err(BrookError::Usage(_))));
+    }
+
+    #[test]
+    fn foreign_stream_rejected() {
+        let mut a = BrookContext::cpu();
+        let mut b = BrookContext::cpu();
+        let s = a.stream(&[4]).unwrap();
+        assert!(matches!(b.write(&s, &[0.0; 4]), Err(BrookError::Usage(_))));
+    }
+
+    #[test]
+    fn in_place_kernel_rejected_on_gpu() {
+        let mut ctx = BrookContext::gles2(DeviceProfile::videocore_iv());
+        let module = ctx.compile(ADD).unwrap();
+        let a = ctx.stream(&[4]).unwrap();
+        let b = ctx.stream(&[4]).unwrap();
+        ctx.write(&a, &[0.0; 4]).unwrap();
+        ctx.write(&b, &[0.0; 4]).unwrap();
+        let err = ctx.run(&module, "add", &[Arg::Stream(&a), Arg::Stream(&b), Arg::Stream(&a)]).unwrap_err();
+        assert!(matches!(err, BrookError::Usage(_)));
+    }
+
+    #[test]
+    fn memory_budget_enforced() {
+        let mut ctx = BrookContext::gles2(DeviceProfile::videocore_iv());
+        ctx.set_memory_budget(Some(10_000));
+        assert!(ctx.stream(&[32, 32]).is_ok()); // 4 KiB texture
+        let err = ctx.stream(&[64, 64]).unwrap_err(); // 16 KiB > remaining
+        assert!(matches!(err, BrookError::Gl(gles2_sim::GlError::OutOfMemory(_))));
+    }
+
+    #[test]
+    fn gpu_counters_track_transfers() {
+        let mut ctx = BrookContext::gles2(DeviceProfile::videocore_iv());
+        let module = ctx.compile(ADD).unwrap();
+        let a = ctx.stream(&[8, 8]).unwrap();
+        let b = ctx.stream(&[8, 8]).unwrap();
+        let c = ctx.stream(&[8, 8]).unwrap();
+        ctx.write(&a, &vec![1.0; 64]).unwrap();
+        ctx.write(&b, &vec![2.0; 64]).unwrap();
+        ctx.run(&module, "add", &[Arg::Stream(&a), Arg::Stream(&b), Arg::Stream(&c)]).unwrap();
+        let _ = ctx.read(&c).unwrap();
+        let counters = ctx.gpu_counters();
+        assert_eq!(counters.draw_calls, 1);
+        assert_eq!(counters.bytes_uploaded, 2 * 64 * 4);
+        assert_eq!(counters.bytes_downloaded, 64 * 4);
+        assert!(counters.alu_ops > 0);
+        assert_eq!(counters.readbacks, 1);
+    }
+
+    #[test]
+    fn large_linear_stream_roundtrip() {
+        // Wraps across texture rows (stride translation, paper §5.3).
+        let mut ctx = BrookContext::gles2(DeviceProfile::videocore_iv());
+        let n = 5000;
+        let s = ctx.stream(&[n]).unwrap();
+        let data: Vec<f32> = (0..n).map(|i| i as f32 * 0.5 - 100.0).collect();
+        ctx.write(&s, &data).unwrap();
+        assert_eq!(ctx.read(&s).unwrap(), data);
+    }
+
+    #[test]
+    fn linear_kernel_across_rows() {
+        let mut ctx = BrookContext::gles2(DeviceProfile::videocore_iv());
+        let module = ctx.compile("kernel void dbl(float a<>, out float o<>) { o = a * 2.0; }").unwrap();
+        let n = 3000;
+        let a = ctx.stream(&[n]).unwrap();
+        let o = ctx.stream(&[n]).unwrap();
+        let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        ctx.write(&a, &data).unwrap();
+        ctx.run(&module, "dbl", &[Arg::Stream(&a), Arg::Stream(&o)]).unwrap();
+        let out = ctx.read(&o).unwrap();
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as f32 * 2.0, "element {i}");
+        }
+    }
+}

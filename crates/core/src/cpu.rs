@@ -1,0 +1,909 @@
+//! The CPU backend: a direct interpreter for Brook Auto kernels.
+//!
+//! Brook has always shipped a CPU backend (the paper lists it among the
+//! four original backends); it serves as the reference semantics every
+//! GPU backend must match, and the evaluation validates every GPU result
+//! against it (§6: "the correctness of the GPU implementation is
+//! retained by validating it with the CPU output").
+//!
+//! Out-of-range gather indices clamp to the nearest valid element,
+//! mirroring the texture-unit semantics of the OpenGL ES 2.0 backend so
+//! both backends compute identical results even for sloppy kernels.
+
+use crate::error::{BrookError, Result};
+use brook_lang::ast::*;
+use brook_lang::CheckedProgram;
+use glsl_es::Value;
+use std::collections::HashMap;
+
+/// Iteration budget per element, defending against runaway loops that
+/// slipped past certification (e.g. `compile_unchecked`).
+const MAX_ITERATIONS: u64 = 1 << 22;
+
+/// A parameter binding for a CPU kernel run.
+pub enum CpuBinding<'a> {
+    /// Elementwise input stream.
+    Elem {
+        /// Backing values (`width` floats per element).
+        data: &'a [f32],
+        /// Logical shape.
+        shape: &'a [usize],
+        /// Element width.
+        width: u8,
+    },
+    /// Random-access gather.
+    Gather {
+        /// Backing values.
+        data: &'a [f32],
+        /// Logical shape.
+        shape: &'a [usize],
+        /// Element width.
+        width: u8,
+    },
+    /// Scalar argument.
+    Scalar(Value),
+    /// Output stream (index into the output buffer list).
+    Out(usize),
+}
+
+struct Interp<'a> {
+    checked: &'a CheckedProgram,
+    bindings: &'a HashMap<String, CpuBinding<'a>>,
+    outputs: &'a mut [Vec<f32>],
+    out_shapes: Vec<(String, Vec<usize>, u8)>,
+    /// Current output element index: (x = innermost/linear, y = row).
+    pos: (usize, usize),
+    /// Output domain extents (innermost, rows).
+    domain: (usize, usize),
+    /// Whether the domain is linear (rank != 2).
+    linear: bool,
+    scopes: Vec<HashMap<String, Value>>,
+    iterations: u64,
+}
+
+enum Flow {
+    Normal,
+    Return(Option<Value>),
+}
+
+/// Runs a (non-reduce) kernel on the CPU over the full output domain.
+///
+/// `bindings` maps every kernel parameter name to its binding; `outputs`
+/// holds one preallocated buffer per `Out` binding index.
+///
+/// # Errors
+/// Reports usage errors (missing bindings, shape mismatches) and
+/// evaluation faults (type confusion in unchecked programs).
+pub fn run_kernel(
+    checked: &CheckedProgram,
+    kernel: &str,
+    bindings: &HashMap<String, CpuBinding<'_>>,
+    outputs: &mut [Vec<f32>],
+) -> Result<()> {
+    let kdef = checked
+        .program
+        .kernel(kernel)
+        .ok_or_else(|| BrookError::Usage(format!("unknown kernel `{kernel}`")))?;
+    let mut out_shapes = Vec::new();
+    for p in &kdef.params {
+        if !bindings.contains_key(&p.name) {
+            return Err(BrookError::Usage(format!("missing binding for parameter `{}`", p.name)));
+        }
+        if let Some(CpuBinding::Out(i)) = bindings.get(&p.name) {
+            // Output shape is carried by the corresponding Elem-style
+            // metadata in the binding map; outputs share the domain of
+            // the first output stream, whose shape the caller passes via
+            // the `out_shape` convention below.
+            let _ = i;
+        }
+    }
+    // The caller encodes output shapes through a parallel `__shape_<name>`
+    // scalar convention? No — keep it simple: the first Elem binding of an
+    // output is not available, so the caller provides shapes separately.
+    // Instead: outputs follow the shape stored in `OutShapes`.
+    // (Set by `run_kernel_shaped`.)
+    let domain_shape = bindings
+        .iter()
+        .find_map(|(_, b)| match b {
+            CpuBinding::Elem { shape, .. } => Some(shape.to_vec()),
+            _ => None,
+        })
+        .ok_or_else(|| BrookError::Usage("CPU kernels need at least one elementwise input to infer the domain; use run_kernel_shaped".into()))?;
+    for p in &kdef.params {
+        if let Some(CpuBinding::Out(idx)) = bindings.get(&p.name) {
+            out_shapes.push((p.name.clone(), domain_shape.clone(), p.ty.width));
+            let want: usize = domain_shape.iter().product::<usize>() * p.ty.width as usize;
+            if outputs[*idx].len() != want {
+                return Err(BrookError::Usage(format!(
+                    "output buffer for `{}` has {} values, expected {want}",
+                    p.name,
+                    outputs[*idx].len()
+                )));
+            }
+        }
+    }
+    run_domain(checked, kdef, bindings, outputs, out_shapes, &domain_shape)
+}
+
+/// Like [`run_kernel`] but with an explicit output domain shape (needed
+/// when the kernel has no elementwise inputs, e.g. Mandelbrot, which
+/// only uses `indexof`).
+///
+/// # Errors
+/// Same as [`run_kernel`].
+pub fn run_kernel_shaped(
+    checked: &CheckedProgram,
+    kernel: &str,
+    bindings: &HashMap<String, CpuBinding<'_>>,
+    outputs: &mut [Vec<f32>],
+    domain_shape: &[usize],
+) -> Result<()> {
+    let kdef = checked
+        .program
+        .kernel(kernel)
+        .ok_or_else(|| BrookError::Usage(format!("unknown kernel `{kernel}`")))?;
+    let mut out_shapes = Vec::new();
+    for p in &kdef.params {
+        if let Some(CpuBinding::Out(_)) = bindings.get(&p.name) {
+            out_shapes.push((p.name.clone(), domain_shape.to_vec(), p.ty.width));
+        }
+    }
+    run_domain(checked, kdef, bindings, outputs, out_shapes, domain_shape)
+}
+
+fn run_domain(
+    checked: &CheckedProgram,
+    kdef: &KernelDef,
+    bindings: &HashMap<String, CpuBinding<'_>>,
+    outputs: &mut [Vec<f32>],
+    out_shapes: Vec<(String, Vec<usize>, u8)>,
+    domain_shape: &[usize],
+) -> Result<()> {
+    let (dx, dy, linear) = domain_extents(domain_shape);
+    let mut interp = Interp {
+        checked,
+        bindings,
+        outputs,
+        out_shapes,
+        pos: (0, 0),
+        domain: (dx, dy),
+        linear,
+        scopes: Vec::new(),
+        iterations: 0,
+    };
+    for y in 0..dy {
+        for x in 0..dx {
+            interp.pos = (x, y);
+            interp.scopes.clear();
+            interp.scopes.push(HashMap::new());
+            interp.iterations = 0;
+            interp.exec_block(&kdef.body)?;
+        }
+    }
+    Ok(())
+}
+
+/// Serial CPU reduction: folds the kernel body over every input element.
+///
+/// # Errors
+/// Usage errors for non-reduce kernels or missing bindings.
+pub fn run_reduce(
+    checked: &CheckedProgram,
+    kernel: &str,
+    data: &[f32],
+) -> Result<f32> {
+    let kdef = checked
+        .program
+        .kernel(kernel)
+        .ok_or_else(|| BrookError::Usage(format!("unknown kernel `{kernel}`")))?;
+    if !kdef.is_reduce {
+        return Err(BrookError::Usage(format!("kernel `{kernel}` is not a reduce kernel")));
+    }
+    let summary = checked
+        .summary(kernel)
+        .ok_or_else(|| BrookError::Usage("missing kernel summary".into()))?;
+    let op = summary
+        .reduce_op
+        .ok_or_else(|| BrookError::Usage("reduce kernel without a detected operation".into()))?;
+    let input_name = kdef
+        .params
+        .iter()
+        .find(|p| p.kind == ParamKind::Stream)
+        .map(|p| p.name.clone())
+        .ok_or_else(|| BrookError::Usage("reduce kernel without an input stream".into()))?;
+    let acc_name = kdef
+        .params
+        .iter()
+        .find(|p| p.kind == ParamKind::ReduceOut)
+        .map(|p| p.name.clone())
+        .ok_or_else(|| BrookError::Usage("reduce kernel without an accumulator".into()))?;
+    let mut acc = op.identity();
+    let shape = [data.len()];
+    for (i, v) in data.iter().enumerate() {
+        // Execute the actual kernel body so user-written reduction bodies
+        // (not just the canonical ops) behave as written.
+        let mut bindings: HashMap<String, CpuBinding<'_>> = HashMap::new();
+        let elem = [*v];
+        bindings.insert(input_name.clone(), CpuBinding::Elem { data: &elem, shape: &[1], width: 1 });
+        bindings.insert(acc_name.clone(), CpuBinding::Scalar(Value::Float(acc)));
+        let mut interp = Interp {
+            checked,
+            bindings: &bindings,
+            outputs: &mut [],
+            out_shapes: vec![],
+            pos: (i % shape[0], 0),
+            domain: (1, 1),
+            linear: true,
+            scopes: vec![HashMap::new()],
+            iterations: 0,
+        };
+        // Seed the accumulator as a mutable local so assignments to it
+        // work, then read it back.
+        interp.scopes[0].insert(acc_name.clone(), Value::Float(acc));
+        interp.exec_block(&kdef.body)?;
+        let result = interp.scopes[0]
+            .get(&acc_name)
+            .and_then(|v| v.as_float())
+            .ok_or_else(|| BrookError::Usage("reduce accumulator lost its value".into()))?;
+        acc = result;
+    }
+    Ok(acc)
+}
+
+fn domain_extents(shape: &[usize]) -> (usize, usize, bool) {
+    if shape.len() == 2 {
+        (shape[1], shape[0], false)
+    } else {
+        (shape.iter().product(), 1, true)
+    }
+}
+
+impl Interp<'_> {
+    fn err(&self, msg: impl Into<String>) -> BrookError {
+        BrookError::Usage(msg.into())
+    }
+
+    fn lookup(&self, name: &str) -> Option<Value> {
+        for s in self.scopes.iter().rev() {
+            if let Some(v) = s.get(name) {
+                return Some(*v);
+            }
+        }
+        None
+    }
+
+    fn set_var(&mut self, name: &str, v: Value) -> bool {
+        for s in self.scopes.iter_mut().rev() {
+            if let Some(slot) = s.get_mut(name) {
+                *slot = v;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Proportional element index of input stream `shape` for the current
+    /// output position — identical arithmetic to the generated GLSL.
+    fn elem_value(&self, data: &[f32], shape: &[usize], width: u8) -> Value {
+        let (ix, iy) = self.input_index(shape);
+        let cols = if shape.len() == 2 { shape[1] } else { shape.iter().product() };
+        let idx = (iy * cols + ix) * width as usize;
+        value_from_slice(&data[idx..idx + width as usize])
+    }
+
+    fn input_index(&self, shape: &[usize]) -> (usize, usize) {
+        let (dx, dy) = self.domain;
+        let (x, y) = self.pos;
+        if shape.len() == 2 {
+            let (rows, cols) = (shape[0], shape[1]);
+            let ix = ((x as f32 + 0.5) / dx as f32 * cols as f32).floor() as usize;
+            let iy = ((y as f32 + 0.5) / dy as f32 * rows as f32).floor() as usize;
+            (ix.min(cols - 1), iy.min(rows - 1))
+        } else {
+            let len: usize = shape.iter().product();
+            let l = y * dx + x;
+            (l.min(len - 1), 0)
+        }
+    }
+
+    fn exec_block(&mut self, b: &Block) -> Result<Flow> {
+        self.scopes.push(HashMap::new());
+        let mut flow = Flow::Normal;
+        for s in &b.stmts {
+            match self.exec_stmt(s)? {
+                Flow::Normal => {}
+                ret => {
+                    flow = ret;
+                    break;
+                }
+            }
+        }
+        self.scopes.pop();
+        Ok(flow)
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt) -> Result<Flow> {
+        match s {
+            Stmt::Decl { name, ty, init, .. } => {
+                let v = match init {
+                    Some(e) => coerce_to(self.eval(e)?, *ty),
+                    None => Value::zero(brook_to_glsl_type(*ty)),
+                };
+                self.scopes.last_mut().expect("scope").insert(name.clone(), v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign { target, op, value, .. } => {
+                let rhs = self.eval(value)?;
+                self.assign(target, *op, rhs)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If { cond, then_block, else_block, .. } => {
+                let c = self
+                    .eval(cond)?
+                    .as_bool()
+                    .ok_or_else(|| self.err("if condition is not a bool"))?;
+                if c {
+                    self.exec_block(then_block)
+                } else if let Some(e) = else_block {
+                    self.exec_block(e)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.exec_stmt(i)?;
+                }
+                loop {
+                    if let Some(c) = cond {
+                        let cv = self
+                            .eval(c)?
+                            .as_bool()
+                            .ok_or_else(|| self.err("for condition is not a bool"))?;
+                        if !cv {
+                            break;
+                        }
+                    }
+                    self.iterations += 1;
+                    if self.iterations > MAX_ITERATIONS {
+                        self.scopes.pop();
+                        return Err(self.err("iteration budget exceeded (unbounded loop)"));
+                    }
+                    match self.exec_block(body)? {
+                        Flow::Normal => {}
+                        ret => {
+                            self.scopes.pop();
+                            return Ok(ret);
+                        }
+                    }
+                    if let Some(st) = step {
+                        self.exec_stmt(st)?;
+                    }
+                }
+                self.scopes.pop();
+                Ok(Flow::Normal)
+            }
+            Stmt::While { cond, body, .. } => loop {
+                let c = self
+                    .eval(cond)?
+                    .as_bool()
+                    .ok_or_else(|| self.err("while condition is not a bool"))?;
+                if !c {
+                    return Ok(Flow::Normal);
+                }
+                self.iterations += 1;
+                if self.iterations > MAX_ITERATIONS {
+                    return Err(self.err("iteration budget exceeded (unbounded loop)"));
+                }
+                match self.exec_block(body)? {
+                    Flow::Normal => {}
+                    ret => return Ok(ret),
+                }
+            },
+            Stmt::DoWhile { body, cond, .. } => loop {
+                self.iterations += 1;
+                if self.iterations > MAX_ITERATIONS {
+                    return Err(self.err("iteration budget exceeded (unbounded loop)"));
+                }
+                match self.exec_block(body)? {
+                    Flow::Normal => {}
+                    ret => return Ok(ret),
+                }
+                let c = self
+                    .eval(cond)?
+                    .as_bool()
+                    .ok_or_else(|| self.err("do/while condition is not a bool"))?;
+                if !c {
+                    return Ok(Flow::Normal);
+                }
+            },
+            Stmt::Return { value, .. } => {
+                let v = match value {
+                    Some(e) => Some(self.eval(e)?),
+                    None => None,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Expr { expr, .. } => {
+                self.eval(expr)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Block(b) => self.exec_block(b),
+        }
+    }
+
+    fn assign(&mut self, target: &Expr, op: AssignOp, rhs: Value) -> Result<()> {
+        match &target.kind {
+            ExprKind::Var(name) => {
+                // Output stream parameter?
+                if let Some(CpuBinding::Out(idx)) = self.bindings.get(name.as_str()) {
+                    let (shape, width) = self
+                        .out_shapes
+                        .iter()
+                        .find(|(n, _, _)| n == name)
+                        .map(|(_, s, w)| (s.clone(), *w))
+                        .ok_or_else(|| self.err("unknown output shape"))?;
+                    let (dx, _) = self.domain;
+                    let (x, y) = self.pos;
+                    let cols = if shape.len() == 2 { shape[1] } else { shape.iter().product() };
+                    let base = (y * dx.min(cols.max(dx)) + x) * width as usize;
+                    // For rank-2, dx == cols; for linear, dx is the full
+                    // length and y == 0, so the expression reduces to the
+                    // right linear offset in both cases.
+                    let base = if shape.len() == 2 { (y * cols + x) * width as usize } else { base };
+                    let idx = *idx;
+                    let current = value_from_slice(&self.outputs[idx][base..base + width as usize]);
+                    let combined = apply_assign(current, op, rhs).map_err(|m| self.err(m))?;
+                    let lanes = combined.to_vec4();
+                    for (i, slot) in self.outputs[idx][base..base + width as usize].iter_mut().enumerate() {
+                        *slot = lanes[i];
+                    }
+                    return Ok(());
+                }
+                let current = self
+                    .lookup(name)
+                    .ok_or_else(|| self.err(format!("unknown variable `{name}`")))?;
+                let combined = apply_assign(current, op, rhs).map_err(|m| self.err(m))?;
+                if !self.set_var(name, combined) {
+                    return Err(self.err(format!("cannot assign `{name}`")));
+                }
+                Ok(())
+            }
+            ExprKind::Swizzle { base, components } => {
+                let ExprKind::Var(name) = &base.kind else {
+                    return Err(self.err("swizzled assignment target must be a variable"));
+                };
+                let current = self
+                    .lookup(name)
+                    .ok_or_else(|| self.err(format!("unknown variable `{name}`")))?;
+                let mut lanes: Vec<f32> = current.lanes().to_vec();
+                if lanes.is_empty() {
+                    return Err(self.err("cannot swizzle a non-float value"));
+                }
+                let view = swizzle(&current, components).map_err(|m| self.err(m))?;
+                let combined = apply_assign(view, op, rhs).map_err(|m| self.err(m))?;
+                let src = combined.lanes();
+                for (i, c) in components.bytes().enumerate() {
+                    let li = lane_index(c);
+                    if li >= lanes.len() || i >= src.len() {
+                        return Err(self.err("swizzle assignment out of range"));
+                    }
+                    lanes[li] = src[i];
+                }
+                let v = value_from_slice(&lanes);
+                if !self.set_var(name, v) {
+                    return Err(self.err(format!("cannot assign `{name}`")));
+                }
+                Ok(())
+            }
+            _ => Err(self.err("assignment target is not an lvalue")),
+        }
+    }
+
+    fn eval(&mut self, e: &Expr) -> Result<Value> {
+        Ok(match &e.kind {
+            ExprKind::FloatLit(v) => Value::Float(*v),
+            ExprKind::IntLit(v) => Value::Int(*v as i32),
+            ExprKind::BoolLit(v) => Value::Bool(*v),
+            ExprKind::Var(name) => {
+                if let Some(v) = self.lookup(name) {
+                    return Ok(v);
+                }
+                match self.bindings.get(name.as_str()) {
+                    Some(CpuBinding::Elem { data, shape, width }) => self.elem_value(data, shape, *width),
+                    Some(CpuBinding::Scalar(v)) => *v,
+                    Some(CpuBinding::Out(idx)) => {
+                        // Reading an output returns its current value.
+                        let (shape, width) = self
+                            .out_shapes
+                            .iter()
+                            .find(|(n, _, _)| n == name)
+                            .map(|(_, s, w)| (s.clone(), *w))
+                            .ok_or_else(|| self.err("unknown output shape"))?;
+                        let (x, y) = self.pos;
+                        let cols = if shape.len() == 2 { shape[1] } else { shape.iter().product() };
+                        let base = if shape.len() == 2 { (y * cols + x) * width as usize } else { (y * self.domain.0 + x) * width as usize };
+                        value_from_slice(&self.outputs[*idx][base..base + width as usize])
+                    }
+                    Some(CpuBinding::Gather { .. }) => {
+                        return Err(self.err(format!("gather `{name}` used without an index")))
+                    }
+                    None => return Err(self.err(format!("unknown identifier `{name}`"))),
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let l = self.eval(lhs)?;
+                let r = self.eval(rhs)?;
+                brook_bin_op(*op, l, r).map_err(|m| self.err(m))?
+            }
+            ExprKind::Unary { op, operand } => {
+                let v = self.eval(operand)?;
+                match op {
+                    UnOp::Neg => match v {
+                        Value::Int(i) => Value::Int(-i),
+                        other => other.map(|f| -f).ok_or_else(|| self.err("cannot negate a bool"))?,
+                    },
+                    UnOp::Not => Value::Bool(!v.as_bool().ok_or_else(|| self.err("`!` needs a bool"))?),
+                }
+            }
+            ExprKind::Ternary { cond, then_expr, else_expr } => {
+                let c = self
+                    .eval(cond)?
+                    .as_bool()
+                    .ok_or_else(|| self.err("ternary condition is not a bool"))?;
+                if c {
+                    self.eval(then_expr)?
+                } else {
+                    self.eval(else_expr)?
+                }
+            }
+            ExprKind::Call { callee, args } => self.eval_call(callee, args)?,
+            ExprKind::Index { base, indices } => {
+                let ExprKind::Var(name) = &base.kind else {
+                    return Err(self.err("indexed expression is not a gather"));
+                };
+                let Some(CpuBinding::Gather { data, shape, width }) = self.bindings.get(name.as_str()) else {
+                    return Err(self.err(format!("`{name}` is not a gather parameter")));
+                };
+                let mut idx = Vec::with_capacity(indices.len());
+                for ix in indices {
+                    let v = self.eval(ix)?;
+                    let i = match v {
+                        Value::Int(i) => i as i64,
+                        // Matches the GPU path: (i + 0.5) texel centering
+                        // rounds half-up.
+                        Value::Float(f) => (f + 0.5).floor() as i64,
+                        _ => return Err(self.err("gather index must be scalar")),
+                    };
+                    idx.push(i);
+                }
+                gather_clamped(data, shape, *width, &idx)
+            }
+            ExprKind::Swizzle { base, components } => {
+                let v = self.eval(base)?;
+                swizzle(&v, components).map_err(|m| self.err(m))?
+            }
+            ExprKind::Indexof { stream } => {
+                // Index in the stream's own space.
+                match self.bindings.get(stream.as_str()) {
+                    Some(CpuBinding::Elem { shape, .. }) => {
+                        let (ix, iy) = self.input_index(shape);
+                        if shape.len() == 2 {
+                            Value::Vec2([ix as f32, iy as f32])
+                        } else {
+                            Value::Vec2([(iy * self.domain.0 + ix) as f32, 0.0])
+                        }
+                    }
+                    Some(CpuBinding::Out(_)) | Some(CpuBinding::Scalar(_)) => {
+                        let (x, y) = self.pos;
+                        if self.linear {
+                            Value::Vec2([(y * self.domain.0 + x) as f32, 0.0])
+                        } else {
+                            Value::Vec2([x as f32, y as f32])
+                        }
+                    }
+                    _ => return Err(self.err(format!("indexof on non-stream `{stream}`"))),
+                }
+            }
+        })
+    }
+
+    fn eval_call(&mut self, callee: &str, args: &[Expr]) -> Result<Value> {
+        // Constructors / casts.
+        if let Some(width) = match callee {
+            "float" => Some(1usize),
+            "float2" => Some(2),
+            "float3" => Some(3),
+            "float4" => Some(4),
+            _ => None,
+        } {
+            let mut lanes = Vec::new();
+            for a in args {
+                let v = self.eval(a)?;
+                match v {
+                    Value::Int(i) => lanes.push(i as f32),
+                    other => lanes.extend_from_slice(other.lanes()),
+                }
+            }
+            if lanes.len() == 1 && width > 1 {
+                return Ok(value_from_slice(&vec![lanes[0]; width]));
+            }
+            if lanes.len() < width {
+                return Err(self.err(format!("`{callee}` constructor needs {width} components")));
+            }
+            lanes.truncate(width);
+            return Ok(value_from_slice(&lanes));
+        }
+        if callee == "int" {
+            let v = self.eval(&args[0])?;
+            return Ok(Value::Int(match v {
+                Value::Float(f) => f as i32,
+                Value::Int(i) => i,
+                _ => return Err(self.err("int() needs a scalar")),
+            }));
+        }
+        if brook_lang::builtins::builtin(callee).is_some() {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                let v = self.eval(a)?;
+                vals.push(match v {
+                    Value::Int(i) => Value::Float(i as f32),
+                    other => other,
+                });
+            }
+            return eval_brook_builtin(callee, &vals).map_err(|m| self.err(m));
+        }
+        // Helper function.
+        let Some(f) = self.checked.program.function(callee) else {
+            return Err(self.err(format!("unknown function `{callee}`")));
+        };
+        if self.scopes.len() > 128 {
+            return Err(self.err("call depth exceeded"));
+        }
+        let mut frame = HashMap::new();
+        for (a, (pname, pty)) in args.iter().zip(&f.params) {
+            let v = coerce_to(self.eval(a)?, *pty);
+            frame.insert(pname.clone(), v);
+        }
+        let f = f.clone();
+        let saved = std::mem::take(&mut self.scopes);
+        self.scopes = vec![frame];
+        let flow = self.exec_block(&f.body)?;
+        self.scopes = saved;
+        match flow {
+            Flow::Return(Some(v)) => Ok(v),
+            Flow::Return(None) | Flow::Normal => {
+                if f.return_ty.is_none() {
+                    Ok(Value::Float(0.0))
+                } else {
+                    Err(self.err(format!("function `{callee}` did not return a value")))
+                }
+            }
+        }
+    }
+}
+
+fn lane_index(c: u8) -> usize {
+    match c {
+        b'x' => 0,
+        b'y' => 1,
+        b'z' => 2,
+        _ => 3,
+    }
+}
+
+fn swizzle(v: &Value, components: &str) -> std::result::Result<Value, String> {
+    let lanes = v.lanes();
+    if lanes.is_empty() {
+        return Err("cannot swizzle a non-float value".into());
+    }
+    let mut out = Vec::with_capacity(components.len());
+    for c in components.bytes() {
+        let i = lane_index(c);
+        if i >= lanes.len() {
+            return Err(format!("swizzle `.{components}` out of range"));
+        }
+        out.push(lanes[i]);
+    }
+    Ok(value_from_slice(&out))
+}
+
+fn value_from_slice(lanes: &[f32]) -> Value {
+    Value::from_lanes(lanes)
+}
+
+fn brook_to_glsl_type(t: Type) -> glsl_es::GlslType {
+    match (t.scalar, t.width) {
+        (ScalarKind::Float, 1) => glsl_es::GlslType::Float,
+        (ScalarKind::Float, 2) => glsl_es::GlslType::Vec2,
+        (ScalarKind::Float, 3) => glsl_es::GlslType::Vec3,
+        (ScalarKind::Float, _) => glsl_es::GlslType::Vec4,
+        (ScalarKind::Int, _) => glsl_es::GlslType::Int,
+        (ScalarKind::Bool, _) => glsl_es::GlslType::Bool,
+    }
+}
+
+/// Brook-style implicit promotion for assignment.
+fn coerce_to(v: Value, ty: Type) -> Value {
+    match (v, ty.scalar) {
+        (Value::Int(i), ScalarKind::Float) => {
+            if ty.width == 1 {
+                Value::Float(i as f32)
+            } else {
+                value_from_slice(&vec![i as f32; ty.width as usize])
+            }
+        }
+        (Value::Float(f), ScalarKind::Float) if ty.width > 1 => value_from_slice(&vec![f; ty.width as usize]),
+        _ => v,
+    }
+}
+
+fn apply_assign(current: Value, op: AssignOp, rhs: Value) -> std::result::Result<Value, String> {
+    let bop = match op {
+        AssignOp::Assign => {
+            // Plain assignment still broadcasts scalars into vectors.
+            if current.width() > 1 && rhs.width() == 1 {
+                if let Some(f) = rhs.as_float() {
+                    return Ok(value_from_slice(&vec![f; current.width()]));
+                }
+                if let Value::Int(i) = rhs {
+                    return Ok(value_from_slice(&vec![i as f32; current.width()]));
+                }
+            }
+            if current.glsl_type() == glsl_es::GlslType::Float {
+                if let Value::Int(i) = rhs {
+                    return Ok(Value::Float(i as f32));
+                }
+            }
+            return Ok(rhs);
+        }
+        AssignOp::AddAssign => BinOp::Add,
+        AssignOp::SubAssign => BinOp::Sub,
+        AssignOp::MulAssign => BinOp::Mul,
+        AssignOp::DivAssign => BinOp::Div,
+    };
+    brook_bin_op(bop, current, rhs)
+}
+
+/// Binary operation with Brook's implicit int -> float promotion.
+pub(crate) fn brook_bin_op(op: BinOp, l: Value, r: Value) -> std::result::Result<Value, String> {
+    // Pure integer arithmetic stays integral.
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        return Ok(match op {
+            BinOp::Add => Value::Int(a.wrapping_add(b)),
+            BinOp::Sub => Value::Int(a.wrapping_sub(b)),
+            BinOp::Mul => Value::Int(a.wrapping_mul(b)),
+            BinOp::Div => Value::Int(if b == 0 { 0 } else { a / b }),
+            BinOp::Rem => Value::Int(if b == 0 { 0 } else { a % b }),
+            BinOp::Lt => Value::Bool(a < b),
+            BinOp::Le => Value::Bool(a <= b),
+            BinOp::Gt => Value::Bool(a > b),
+            BinOp::Ge => Value::Bool(a >= b),
+            BinOp::Eq => Value::Bool(a == b),
+            BinOp::Ne => Value::Bool(a != b),
+            BinOp::And | BinOp::Or => return Err("logical op on ints".into()),
+        });
+    }
+    if let (Value::Bool(a), Value::Bool(b)) = (l, r) {
+        return Ok(match op {
+            BinOp::And => Value::Bool(a && b),
+            BinOp::Or => Value::Bool(a || b),
+            BinOp::Eq => Value::Bool(a == b),
+            BinOp::Ne => Value::Bool(a != b),
+            _ => return Err("arithmetic on bools".into()),
+        });
+    }
+    // Promote ints to floats (Brook implicit conversion).
+    let promote = |v: Value| match v {
+        Value::Int(i) => Value::Float(i as f32),
+        other => other,
+    };
+    let (l, r) = (promote(l), promote(r));
+    if op.is_comparison() {
+        let (Some(a), Some(b)) = (l.as_float(), r.as_float()) else {
+            return Err("comparisons need scalar operands".into());
+        };
+        return Ok(Value::Bool(match op {
+            BinOp::Lt => a < b,
+            BinOp::Le => a <= b,
+            BinOp::Gt => a > b,
+            BinOp::Ge => a >= b,
+            BinOp::Eq => a == b,
+            _ => a != b,
+        }));
+    }
+    if op.is_logical() {
+        return Err("logical op on non-bools".into());
+    }
+    let f = match op {
+        BinOp::Add => |a: f32, b: f32| a + b,
+        BinOp::Sub => |a: f32, b: f32| a - b,
+        BinOp::Mul => |a: f32, b: f32| a * b,
+        BinOp::Div => |a: f32, b: f32| a / b,
+        BinOp::Rem => |a: f32, b: f32| a - b * (a / b).floor(),
+        _ => unreachable!("handled above"),
+    };
+    l.zip(&r, f).ok_or_else(|| "operand shape mismatch".into())
+}
+
+fn gather_clamped(data: &[f32], shape: &[usize], width: u8, idx: &[i64]) -> Value {
+    // Clamp per dimension, then linearize row-major — the CPU analogue of
+    // CLAMP_TO_EDGE (paper §4).
+    let mut linear: usize = 0;
+    if idx.len() == shape.len() {
+        for (i, (&ix, &dim)) in idx.iter().zip(shape).enumerate() {
+            let clamped = ix.clamp(0, dim as i64 - 1) as usize;
+            let _ = i;
+            linear = linear * dim + clamped;
+        }
+    } else {
+        // Rank mismatch: treat as linear index into the whole stream.
+        let len: usize = shape.iter().product();
+        linear = idx.first().copied().unwrap_or(0).clamp(0, len as i64 - 1) as usize;
+    }
+    let base = linear * width as usize;
+    value_from_slice(&data[base..base + width as usize])
+}
+
+fn eval_brook_builtin(name: &str, args: &[Value]) -> std::result::Result<Value, String> {
+    let err = || format!("invalid arguments for `{name}`");
+    let unary = |f: fn(f32) -> f32| args[0].map(f).ok_or_else(err);
+    let binary = |f: fn(f32, f32) -> f32| args[0].zip(&args[1], f).ok_or_else(err);
+    match name {
+        "sin" => unary(f32::sin),
+        "cos" => unary(f32::cos),
+        "tan" => unary(f32::tan),
+        "exp" => unary(f32::exp),
+        "exp2" => unary(f32::exp2),
+        "log" => unary(f32::ln),
+        "log2" => unary(f32::log2),
+        "sqrt" => unary(f32::sqrt),
+        "rsqrt" => unary(|x| 1.0 / x.sqrt()),
+        "abs" => unary(f32::abs),
+        "floor" => unary(f32::floor),
+        "ceil" => unary(f32::ceil),
+        "fract" => unary(f32::fract),
+        "round" => unary(|x| (x + 0.5).floor()),
+        "sign" => unary(f32::signum),
+        "saturate" => unary(|x| x.clamp(0.0, 1.0)),
+        "normalize" => {
+            let len = args[0].lanes().iter().map(|x| x * x).sum::<f32>().sqrt();
+            args[0].map(|x| x / len).ok_or_else(err)
+        }
+        "min" => binary(f32::min),
+        "max" => binary(f32::max),
+        "pow" => binary(f32::powf),
+        "fmod" => binary(|a, b| a - b * (a / b).floor()),
+        "step" => binary(|edge, x| if x < edge { 0.0 } else { 1.0 }),
+        "atan2" => binary(f32::atan2),
+        "clamp" => {
+            let lo = args[0].zip(&args[1], f32::max).ok_or_else(err)?;
+            lo.zip(&args[2], f32::min).ok_or_else(err)
+        }
+        "lerp" => {
+            let bt = args[1].zip(&args[2], |x, t| x * t).ok_or_else(err)?;
+            let at = args[0].zip(&args[2], |x, t| x * (1.0 - t)).ok_or_else(err)?;
+            at.zip(&bt, |x, y| x + y).ok_or_else(err)
+        }
+        "smoothstep" => {
+            let num = args[2].zip(&args[0], |a, b| a - b).ok_or_else(err)?;
+            let den = args[1].zip(&args[0], |a, b| a - b).ok_or_else(err)?;
+            let t = num.zip(&den, |a, b| (a / b).clamp(0.0, 1.0)).ok_or_else(err)?;
+            t.map(|v| v * v * (3.0 - 2.0 * v)).ok_or_else(err)
+        }
+        "dot" => {
+            let (a, b) = (args[0].lanes(), args[1].lanes());
+            if a.is_empty() || a.len() != b.len() {
+                return Err(err());
+            }
+            Ok(Value::Float(a.iter().zip(b).map(|(x, y)| x * y).sum()))
+        }
+        "length" => Ok(Value::Float(args[0].lanes().iter().map(|x| x * x).sum::<f32>().sqrt())),
+        "distance" => {
+            let d = args[0].zip(&args[1], |x, y| x - y).ok_or_else(err)?;
+            Ok(Value::Float(d.lanes().iter().map(|x| x * x).sum::<f32>().sqrt()))
+        }
+        _ => Err(format!("builtin `{name}` not implemented on the CPU backend")),
+    }
+}

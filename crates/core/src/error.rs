@@ -1,0 +1,76 @@
+//! Unified error type of the Brook Auto runtime.
+
+use brook_cert::ComplianceReport;
+use std::error::Error;
+use std::fmt;
+
+/// Everything that can go wrong between Brook source and a result buffer.
+#[derive(Debug)]
+pub enum BrookError {
+    /// Lexical, syntactic or type error in the Brook source.
+    FrontEnd(brook_lang::CompileError),
+    /// The program violates the Brook Auto certification rules; the full
+    /// report identifies every violated rule (paper §4).
+    Certification(Box<ComplianceReport>),
+    /// Code generation failure.
+    Codegen(brook_codegen::CodegenError),
+    /// OpenGL ES simulator error.
+    Gl(gles2_sim::GlError),
+    /// Runtime misuse: wrong argument counts/kinds, unknown kernels,
+    /// size mismatches.
+    Usage(String),
+}
+
+impl fmt::Display for BrookError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BrookError::FrontEnd(e) => write!(f, "front-end: {e}"),
+            BrookError::Certification(r) => {
+                write!(f, "certification failed with {} violation(s)", r.violation_count())?;
+                if let Some(k) = r.kernels.iter().find(|k| !k.is_compliant()) {
+                    if let Some(v) = k.violations().next() {
+                        write!(f, "; first: [{}] {} (kernel `{}`)", v.rule.code(), v.message, k.kernel)?;
+                    }
+                }
+                Ok(())
+            }
+            BrookError::Codegen(e) => write!(f, "codegen: {e}"),
+            BrookError::Gl(e) => write!(f, "gl: {e}"),
+            BrookError::Usage(m) => write!(f, "usage: {m}"),
+        }
+    }
+}
+
+impl Error for BrookError {}
+
+impl From<brook_lang::CompileError> for BrookError {
+    fn from(e: brook_lang::CompileError) -> Self {
+        BrookError::FrontEnd(e)
+    }
+}
+
+impl From<brook_codegen::CodegenError> for BrookError {
+    fn from(e: brook_codegen::CodegenError) -> Self {
+        BrookError::Codegen(e)
+    }
+}
+
+impl From<gles2_sim::GlError> for BrookError {
+    fn from(e: gles2_sim::GlError) -> Self {
+        BrookError::Gl(e)
+    }
+}
+
+/// Convenience alias used across the runtime.
+pub type Result<T> = std::result::Result<T, BrookError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = BrookError::Usage("three streams expected".into());
+        assert!(e.to_string().contains("three streams"));
+    }
+}

@@ -1,0 +1,53 @@
+//! # brook-auto — certification-friendly GPU streaming for automotive systems
+//!
+//! A from-scratch reproduction of *Brook Auto: High-Level
+//! Certification-Friendly Programming for GPU-powered Automotive Systems*
+//! (Trompouki & Kosmidis, DAC 2018). Brook Auto is an ISO 26262-amenable
+//! subset of the Brook GPU streaming language, compiled to OpenGL ES 2.0
+//! fragment shaders so it runs on *any* embedded GPU — including the
+//! low-end, graphics-only parts shipped in automotive platforms.
+//!
+//! The crate ties the toolchain together:
+//!
+//! * `brook-lang` front-end (lexer/parser/type checker),
+//! * `brook-cert` certification rule engine — every [`compile`] runs the
+//!   full ISO 26262 rule catalogue and refuses non-compliant kernels,
+//! * `brook-codegen` GLSL ES 1.00 generation with hidden size uniforms,
+//! * `gles2-sim` + `glsl-es` as the simulated device, and
+//! * a CPU interpreter backend providing the reference semantics.
+//!
+//! ```
+//! use brook_auto::{Arg, BrookContext};
+//! let mut ctx = BrookContext::gles2(gles2_sim::DeviceProfile::videocore_iv());
+//! let module = ctx.compile(
+//!     "kernel void saxpy(float x<>, float y<>, float a, out float r<>) { r = a * x + y; }",
+//! )?;
+//! let x = ctx.stream(&[4])?;
+//! let y = ctx.stream(&[4])?;
+//! let r = ctx.stream(&[4])?;
+//! ctx.write(&x, &[1.0, 2.0, 3.0, 4.0])?;
+//! ctx.write(&y, &[10.0, 10.0, 10.0, 10.0])?;
+//! ctx.run(&module, "saxpy", &[Arg::Stream(&x), Arg::Stream(&y), Arg::Float(2.0), Arg::Stream(&r)])?;
+//! assert_eq!(ctx.read(&r)?, vec![12.0, 14.0, 16.0, 18.0]);
+//! # Ok::<(), brook_auto::BrookError>(())
+//! ```
+//!
+//! [`compile`]: BrookContext::compile
+
+pub mod budget;
+pub mod context;
+pub mod cpu;
+pub mod error;
+pub(crate) mod gpu;
+pub mod stream;
+
+pub use budget::{plan_memory, MemoryPlan, PlannedStream};
+pub use context::{Arg, BrookContext, BrookModule};
+pub use error::{BrookError, Result};
+pub use stream::{Stream, StreamDesc, StreamLayout};
+
+// Re-exports so applications only need this crate.
+pub use brook_cert::{CertConfig, ComplianceReport};
+pub use brook_codegen::StorageMode;
+pub use brook_lang::ReduceOp;
+pub use gles2_sim::{DeviceProfile, DrawMode};

@@ -1,0 +1,230 @@
+//! Stream handles and texture layout computation.
+//!
+//! Brook Auto forces every stream handle to a static size (paper §4) so
+//! maximum GPU memory usage is statically determinable. A stream's
+//! logical shape (1 to 4 dimensions) maps onto a 2D texture allocation
+//! (paper §5.3), possibly padded to power-of-two dimensions; the runtime
+//! keeps both so generated code can scale indices correctly.
+
+use brook_codegen::StreamRank;
+use gles2_sim::next_pow2;
+
+/// Opaque handle to a stream owned by a `BrookContext`.
+///
+/// There is deliberately no way to obtain a pointer or to resize the
+/// stream: the handle *is* the certification story (BA001/BA002).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Stream {
+    pub(crate) index: usize,
+    pub(crate) context_id: u64,
+}
+
+/// Static description of a stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamDesc {
+    /// Logical extents, outermost first (e.g. `[rows, cols]`).
+    pub shape: Vec<usize>,
+    /// Element vector width (1 = `float`, 4 = `float4`).
+    pub width: u8,
+}
+
+impl StreamDesc {
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// True when the stream has no elements (never constructible through
+    /// the public API, which validates shapes).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of `f32` values backing the stream.
+    pub fn scalar_len(&self) -> usize {
+        self.len() * self.width as usize
+    }
+}
+
+/// Computed 2D texture layout for a stream on a particular device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamLayout {
+    /// Shape class used by generated code.
+    pub rank: StreamRank,
+    /// Allocated texture width in texels.
+    pub alloc_w: u32,
+    /// Allocated texture height in texels.
+    pub alloc_h: u32,
+    /// Logical innermost extent (columns for `Grid`, total length for
+    /// `Linear`).
+    pub logical_x: u32,
+    /// Logical row count (`Grid`) or rows actually used (`Linear`).
+    pub logical_y: u32,
+    /// Viewport used when this stream is the kernel output.
+    pub viewport: (u32, u32),
+    /// Texels per element along x (elements with width > 1 in native
+    /// storage still use one texel; packed storage requires width 1).
+    pub texels_per_elem: u32,
+}
+
+impl StreamLayout {
+    /// The `_meta_*` uniform payload: `(alloc_w, alloc_h, logical_x,
+    /// logical_y)`.
+    pub fn meta(&self) -> [f32; 4] {
+        [self.alloc_w as f32, self.alloc_h as f32, self.logical_x as f32, self.logical_y as f32]
+    }
+
+    /// Allocated texture size in bytes for the given texel size.
+    pub fn alloc_bytes(&self, bytes_per_texel: usize) -> usize {
+        self.alloc_w as usize * self.alloc_h as usize * bytes_per_texel
+    }
+}
+
+/// Computes the texture layout for a logical shape on a device with the
+/// given maximum texture size and power-of-two requirement.
+///
+/// * rank 2 shapes map directly: element `(row, col)` at texel
+///   `(col, row)`;
+/// * rank 1, 3 and 4 shapes pack linearly, row-major with the allocated
+///   width as stride.
+///
+/// # Errors
+/// Returns a human-readable description when the shape cannot fit the
+/// device (paper §6.1: SpMV is capped at 1024 on the target because the
+/// decompressed matrix reaches the 2048 texture limit).
+pub fn layout_for(
+    shape: &[usize],
+    pow2_required: bool,
+    max_texture_size: u32,
+) -> std::result::Result<StreamLayout, String> {
+    if shape.is_empty() || shape.len() > 4 {
+        return Err(format!("streams have 1 to 4 dimensions, got {}", shape.len()));
+    }
+    if shape.contains(&0) {
+        return Err("stream dimensions must be positive".into());
+    }
+    let round = |v: u32| if pow2_required { next_pow2(v) } else { v };
+    if shape.len() == 2 {
+        let (rows, cols) = (shape[0] as u32, shape[1] as u32);
+        let (aw, ah) = (round(cols), round(rows));
+        if aw > max_texture_size || ah > max_texture_size {
+            return Err(format!(
+                "2D stream {rows}x{cols} needs a {ah}x{aw} texture, exceeding the device limit {max_texture_size}"
+            ));
+        }
+        return Ok(StreamLayout {
+            rank: StreamRank::Grid,
+            alloc_w: aw,
+            alloc_h: ah,
+            logical_x: cols,
+            logical_y: rows,
+            viewport: (cols, rows),
+            texels_per_elem: 1,
+        });
+    }
+    // Linear packing for ranks 1, 3, 4.
+    let len: usize = shape.iter().product();
+    let len = len as u64;
+    let max = max_texture_size as u64;
+    let width = round(len.min(max) as u32).min(max_texture_size);
+    let rows_needed = len.div_ceil(width as u64);
+    let height = round(rows_needed as u32);
+    if height > max_texture_size {
+        return Err(format!(
+            "stream of {len} elements needs {rows_needed} rows of {width}, exceeding the device limit {max_texture_size}"
+        ));
+    }
+    Ok(StreamLayout {
+        rank: StreamRank::Linear,
+        alloc_w: width,
+        alloc_h: height,
+        logical_x: len as u32,
+        logical_y: rows_needed as u32,
+        viewport: (width, rows_needed as u32),
+        texels_per_elem: 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank2_maps_directly() {
+        let l = layout_for(&[100, 200], true, 2048).unwrap();
+        assert_eq!(l.rank, StreamRank::Grid);
+        assert_eq!((l.alloc_w, l.alloc_h), (256, 128));
+        assert_eq!((l.logical_x, l.logical_y), (200, 100));
+        assert_eq!(l.viewport, (200, 100));
+    }
+
+    #[test]
+    fn rank2_exact_pow2_not_padded() {
+        let l = layout_for(&[128, 128], true, 2048).unwrap();
+        assert_eq!((l.alloc_w, l.alloc_h), (128, 128));
+    }
+
+    #[test]
+    fn rank1_small_fits_one_row() {
+        let l = layout_for(&[1000], true, 2048).unwrap();
+        assert_eq!(l.rank, StreamRank::Linear);
+        assert_eq!(l.alloc_w, 1024);
+        assert_eq!(l.alloc_h, 1);
+        assert_eq!(l.logical_x, 1000);
+        assert_eq!(l.viewport, (1024, 1));
+    }
+
+    #[test]
+    fn rank1_large_wraps_rows() {
+        // 2048^2 elements (the binary-search case at the texture limit).
+        let l = layout_for(&[2048 * 2048], true, 2048).unwrap();
+        assert_eq!(l.alloc_w, 2048);
+        assert_eq!(l.alloc_h, 2048);
+        assert_eq!(l.logical_y, 2048);
+    }
+
+    #[test]
+    fn rank1_too_large_rejected() {
+        assert!(layout_for(&[2048 * 2048 + 1], true, 2048).is_err());
+    }
+
+    #[test]
+    fn rank2_too_large_rejected() {
+        assert!(layout_for(&[4096, 4096], true, 2048).is_err());
+        assert!(layout_for(&[4096, 4096], false, 4096).is_ok());
+    }
+
+    #[test]
+    fn rank3_packs_linearly() {
+        let l = layout_for(&[4, 8, 16], true, 2048).unwrap();
+        assert_eq!(l.rank, StreamRank::Linear);
+        assert_eq!(l.logical_x, 4 * 8 * 16);
+    }
+
+    #[test]
+    fn npot_device_gets_exact_sizes() {
+        let l = layout_for(&[100, 200], false, 4096).unwrap();
+        assert_eq!((l.alloc_w, l.alloc_h), (200, 100));
+    }
+
+    #[test]
+    fn zero_and_overrank_shapes_rejected() {
+        assert!(layout_for(&[], true, 2048).is_err());
+        assert!(layout_for(&[0], true, 2048).is_err());
+        assert!(layout_for(&[1, 1, 1, 1, 1], true, 2048).is_err());
+    }
+
+    #[test]
+    fn meta_matches_fields() {
+        let l = layout_for(&[64, 64], true, 2048).unwrap();
+        assert_eq!(l.meta(), [64.0, 64.0, 64.0, 64.0]);
+    }
+
+    #[test]
+    fn desc_lengths() {
+        let d = StreamDesc { shape: vec![3, 4], width: 2 };
+        assert_eq!(d.len(), 12);
+        assert_eq!(d.scalar_len(), 24);
+        assert!(!d.is_empty());
+    }
+}

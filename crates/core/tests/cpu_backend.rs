@@ -1,0 +1,137 @@
+//! Direct tests of the CPU interpreter backend (`brook_auto::cpu`) —
+//! the reference semantics every GPU backend is validated against.
+
+use brook_auto::cpu::{run_kernel, run_kernel_shaped, run_reduce, CpuBinding};
+use brook_lang::parse_and_check;
+use std::collections::HashMap;
+
+#[test]
+fn elementwise_kernel_over_2d_domain() {
+    let checked = parse_and_check("kernel void f(float a<>, out float o<>) { o = a * 3.0 + 1.0; }").unwrap();
+    let data: Vec<f32> = (0..12).map(|i| i as f32).collect();
+    let shape = [3usize, 4];
+    let mut bindings: HashMap<String, CpuBinding<'_>> = HashMap::new();
+    bindings.insert("a".into(), CpuBinding::Elem { data: &data, shape: &shape, width: 1 });
+    bindings.insert("o".into(), CpuBinding::Out(0));
+    let mut outputs = vec![vec![0.0f32; 12]];
+    run_kernel(&checked, "f", &bindings, &mut outputs).unwrap();
+    for (i, v) in outputs[0].iter().enumerate() {
+        assert_eq!(*v, i as f32 * 3.0 + 1.0);
+    }
+}
+
+#[test]
+fn shaped_run_without_elementwise_inputs() {
+    // Mandelbrot-style: the domain comes from the caller.
+    let checked = parse_and_check(
+        "kernel void f(float k, out float o<>) { float2 p = indexof(o); o = p.x * 10.0 + p.y + k; }",
+    )
+    .unwrap();
+    let mut bindings: HashMap<String, CpuBinding<'_>> = HashMap::new();
+    bindings.insert("k".into(), CpuBinding::Scalar(glsl_es::Value::Float(0.5)));
+    bindings.insert("o".into(), CpuBinding::Out(0));
+    let mut outputs = vec![vec![0.0f32; 6]];
+    run_kernel_shaped(&checked, "f", &bindings, &mut outputs, &[2, 3]).unwrap();
+    // Row-major 2x3: element (row 1, col 2) = 2*10 + 1 + 0.5.
+    assert_eq!(outputs[0][5], 21.5);
+    assert_eq!(outputs[0][0], 0.5);
+}
+
+#[test]
+fn gather_with_clamping() {
+    let checked = parse_and_check(
+        "kernel void f(float t[], float a<>, out float o<>) { o = t[int(a)]; }",
+    )
+    .unwrap();
+    let table: Vec<f32> = vec![10.0, 20.0, 30.0];
+    let idx: Vec<f32> = vec![-5.0, 0.0, 2.0, 99.0];
+    let tshape = [3usize];
+    let ishape = [4usize];
+    let mut bindings: HashMap<String, CpuBinding<'_>> = HashMap::new();
+    bindings.insert("t".into(), CpuBinding::Gather { data: &table, shape: &tshape, width: 1 });
+    bindings.insert("a".into(), CpuBinding::Elem { data: &idx, shape: &ishape, width: 1 });
+    bindings.insert("o".into(), CpuBinding::Out(0));
+    let mut outputs = vec![vec![0.0f32; 4]];
+    run_kernel(&checked, "f", &bindings, &mut outputs).unwrap();
+    assert_eq!(outputs[0], vec![10.0, 10.0, 30.0, 30.0], "out-of-range gathers clamp to the edge");
+}
+
+#[test]
+fn reduce_runs_the_actual_kernel_body() {
+    // A reduce kernel with extra arithmetic in the body: the fold must
+    // execute it, not just apply the canonical op.
+    let checked =
+        parse_and_check("reduce void s(float a<>, reduce float r<>) { float scaled = a * 2.0; r += scaled; }")
+            .unwrap();
+    let data = vec![1.0f32, 2.0, 3.0];
+    let total = run_reduce(&checked, "s", &data).unwrap();
+    assert_eq!(total, 12.0);
+}
+
+#[test]
+fn reduce_min_identity_on_empty_and_singleton() {
+    let checked = parse_and_check("reduce void m(float a<>, reduce float r<>) { r = min(r, a); }").unwrap();
+    assert_eq!(run_reduce(&checked, "m", &[]).unwrap(), f32::INFINITY, "empty fold yields the identity");
+    assert_eq!(run_reduce(&checked, "m", &[5.0]).unwrap(), 5.0);
+}
+
+#[test]
+fn vector_locals_and_swizzle_writes() {
+    let checked = parse_and_check(
+        "kernel void f(float a<>, out float o<>) {
+            float4 v = float4(a, a + 1.0, a + 2.0, a + 3.0);
+            v.xy = v.zw;
+            o = v.x + v.y + v.z + v.w;
+        }",
+    )
+    .unwrap();
+    let data = vec![1.0f32];
+    let shape = [1usize];
+    let mut bindings: HashMap<String, CpuBinding<'_>> = HashMap::new();
+    bindings.insert("a".into(), CpuBinding::Elem { data: &data, shape: &shape, width: 1 });
+    bindings.insert("o".into(), CpuBinding::Out(0));
+    let mut outputs = vec![vec![0.0f32; 1]];
+    run_kernel(&checked, "f", &bindings, &mut outputs).unwrap();
+    // v becomes (3,4,3,4): sum 14.
+    assert_eq!(outputs[0][0], 14.0);
+}
+
+#[test]
+fn missing_binding_is_a_usage_error() {
+    let checked = parse_and_check("kernel void f(float a<>, out float o<>) { o = a; }").unwrap();
+    let bindings: HashMap<String, CpuBinding<'_>> = HashMap::new();
+    let mut outputs = vec![vec![0.0f32; 4]];
+    let err = run_kernel(&checked, "f", &bindings, &mut outputs).unwrap_err();
+    assert!(err.to_string().contains("missing binding"));
+}
+
+#[test]
+fn unknown_kernel_is_a_usage_error() {
+    let checked = parse_and_check("kernel void f(float a<>, out float o<>) { o = a; }").unwrap();
+    let bindings: HashMap<String, CpuBinding<'_>> = HashMap::new();
+    let mut outputs = vec![];
+    assert!(run_kernel(&checked, "nope", &bindings, &mut outputs).is_err());
+}
+
+#[test]
+fn integer_semantics_match_c() {
+    let checked = parse_and_check(
+        "kernel void f(float a<>, out float o<>) {
+            int i;
+            int acc;
+            acc = 0;
+            for (i = 1; i <= 7; i++) { acc += i / 2; }
+            o = a + acc;
+        }",
+    )
+    .unwrap();
+    let data = vec![0.0f32];
+    let shape = [1usize];
+    let mut bindings: HashMap<String, CpuBinding<'_>> = HashMap::new();
+    bindings.insert("a".into(), CpuBinding::Elem { data: &data, shape: &shape, width: 1 });
+    bindings.insert("o".into(), CpuBinding::Out(0));
+    let mut outputs = vec![vec![0.0f32; 1]];
+    run_kernel(&checked, "f", &bindings, &mut outputs).unwrap();
+    // 0+1+1+2+2+3+3 = 12 (truncating integer division).
+    assert_eq!(outputs[0][0], 12.0);
+}

@@ -1,0 +1,142 @@
+//! Property tests for the Brook Auto runtime: stream roundtrips over
+//! arbitrary shapes, reduction correctness against serial folds, and
+//! layout invariants.
+
+use brook_auto::{Arg, BrookContext, DeviceProfile};
+use brook_auto::stream::layout_for;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Write/read roundtrips are exact for any shape that fits the
+    /// device, on both backends (the packed format is bit-exact).
+    #[test]
+    fn stream_roundtrip_any_shape(
+        rows in 1usize..40,
+        cols in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut data = Vec::with_capacity(rows * cols);
+        let mut s = seed.wrapping_mul(2654435761).wrapping_add(1);
+        for _ in 0..rows * cols {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            data.push((s % 100000) as f32 * 0.01 - 500.0);
+        }
+        for mut ctx in [BrookContext::cpu(), BrookContext::gles2(DeviceProfile::videocore_iv())] {
+            let st = ctx.stream(&[rows, cols]).expect("stream");
+            ctx.write(&st, &data).expect("write");
+            prop_assert_eq!(&ctx.read(&st).expect("read"), &data);
+        }
+    }
+
+    /// GPU tree reductions equal serial folds for every op, any length
+    /// (including lengths that wrap texture rows and partial tails).
+    #[test]
+    fn reductions_match_serial_fold(
+        len in 1usize..3000,
+        seed in 0u64..100,
+    ) {
+        let mut data = Vec::with_capacity(len);
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(7);
+        for _ in 0..len {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            data.push(((s % 2000) as f32 - 1000.0) * 0.25);
+        }
+        let mut ctx = BrookContext::gles2(DeviceProfile::videocore_iv());
+        let module = ctx.compile(
+            "reduce void mn(float a<>, reduce float m<>) { m = min(m, a); }
+             reduce void mx(float a<>, reduce float m<>) { m = max(m, a); }",
+        ).expect("compile");
+        let st = ctx.stream(&[len]).expect("stream");
+        ctx.write(&st, &data).expect("write");
+        let got_min = ctx.reduce(&module, "mn", &st).expect("min");
+        let got_max = ctx.reduce(&module, "mx", &st).expect("max");
+        let want_min = data.iter().fold(f32::INFINITY, |a, b| a.min(*b));
+        let want_max = data.iter().fold(f32::NEG_INFINITY, |a, b| a.max(*b));
+        prop_assert_eq!(got_min, want_min);
+        prop_assert_eq!(got_max, want_max);
+    }
+
+    /// Sum reductions: tree order differs from serial order, so compare
+    /// against an f64 fold with a relative tolerance.
+    #[test]
+    fn sum_reduction_close_to_f64_fold(len in 1usize..2500, seed in 0u64..100) {
+        let mut data = Vec::with_capacity(len);
+        let mut s = seed.wrapping_mul(0x517cc1b727220a95).wrapping_add(3);
+        for _ in 0..len {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            data.push(((s % 1000) as f32) * 0.125);
+        }
+        let mut ctx = BrookContext::gles2(DeviceProfile::videocore_iv());
+        let module = ctx
+            .compile("reduce void sum(float a<>, reduce float r<>) { r += a; }")
+            .expect("compile");
+        let st = ctx.stream(&[len]).expect("stream");
+        ctx.write(&st, &data).expect("write");
+        let got = ctx.reduce(&module, "sum", &st).expect("sum") as f64;
+        let want: f64 = data.iter().map(|v| *v as f64).sum();
+        let tol = want.abs().max(1.0) * 1e-4;
+        prop_assert!((got - want).abs() <= tol, "sum {got} vs {want}");
+    }
+
+    /// Layout invariants for every accepted shape: the allocation covers
+    /// the logical extent, respects power-of-two and the texture limit.
+    #[test]
+    fn layout_invariants(shape in proptest::collection::vec(1usize..3000, 1..3)) {
+        match layout_for(&shape, true, 2048) {
+            Ok(l) => {
+                prop_assert!(l.alloc_w.is_power_of_two());
+                prop_assert!(l.alloc_h.is_power_of_two());
+                prop_assert!(l.alloc_w <= 2048 && l.alloc_h <= 2048);
+                let capacity = l.alloc_w as usize * l.alloc_h as usize;
+                let len: usize = shape.iter().product();
+                prop_assert!(capacity >= len, "allocation {capacity} smaller than {len}");
+                let (vw, vh) = l.viewport;
+                prop_assert!(vw <= l.alloc_w && vh <= l.alloc_h);
+            }
+            Err(_) => {
+                // Must only fail when the shape genuinely cannot fit.
+                let len: usize = shape.iter().product();
+                prop_assert!(len > 2048 * 2048 || shape.iter().any(|d| *d > 2048));
+            }
+        }
+    }
+
+    /// Elementwise kernels commute with permutations of the input
+    /// streams' roles (a + b == b + a through the whole GPU pipeline).
+    #[test]
+    fn kernel_argument_symmetry(seed in 0u64..50) {
+        let n = 16usize;
+        let mut va = Vec::new();
+        let mut vb = Vec::new();
+        let mut s = seed.wrapping_mul(48271).wrapping_add(11);
+        for _ in 0..n * n {
+            s ^= s << 13;
+            s ^= s >> 7;
+            va.push((s % 97) as f32 * 0.5);
+            s ^= s << 17;
+            vb.push((s % 89) as f32 * 0.25);
+        }
+        let mut ctx = BrookContext::gles2(DeviceProfile::videocore_iv());
+        let module = ctx
+            .compile("kernel void add(float a<>, float b<>, out float o<>) { o = a + b; }")
+            .expect("compile");
+        let sa = ctx.stream(&[n, n]).expect("a");
+        let sb = ctx.stream(&[n, n]).expect("b");
+        let so = ctx.stream(&[n, n]).expect("o");
+        ctx.write(&sa, &va).expect("write");
+        ctx.write(&sb, &vb).expect("write");
+        ctx.run(&module, "add", &[Arg::Stream(&sa), Arg::Stream(&sb), Arg::Stream(&so)]).expect("run");
+        let ab = ctx.read(&so).expect("read");
+        ctx.run(&module, "add", &[Arg::Stream(&sb), Arg::Stream(&sa), Arg::Stream(&so)]).expect("run");
+        let ba = ctx.read(&so).expect("read");
+        prop_assert_eq!(ab, ba);
+    }
+}

@@ -1,0 +1,815 @@
+//! The OpenGL ES 2.0 context state machine: textures, programs,
+//! framebuffers, uniforms, draws and readback.
+//!
+//! The API mirrors the GL entry points a GPGPU runtime uses, in Rust
+//! idiom (`Result` instead of `glGetError` polling, though the error
+//! *categories* match GL's). Fragment dispatch executes the bound
+//! program's fragment shader for every pixel of the viewport over a
+//! full-screen quad — precisely how Brook's OpenGL backends invoke
+//! kernels.
+
+use crate::profile::DeviceProfile;
+use crate::stats::{DrawStats, GlStats};
+use crate::texture::{TexFormat, Texture};
+use glsl_es::{ExecError, FragmentEnv, Shader, ShaderError, Value};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Handle to a texture object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TextureId(u32);
+
+/// Handle to a linked program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProgramId(u32);
+
+/// Handle to a framebuffer object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FramebufferId(u32);
+
+/// GL-style error categories.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlError {
+    /// `GL_INVALID_VALUE`: numeric argument out of range (texture too
+    /// large, non-power-of-two on a pow2-only device, ...).
+    InvalidValue(String),
+    /// `GL_INVALID_OPERATION`: operation illegal in the current state.
+    InvalidOperation(String),
+    /// Shader compilation/link failure (`glGetShaderInfoLog` analogue).
+    Compile(ShaderError),
+    /// Fragment execution failure (would be undefined behaviour on real
+    /// hardware; the simulator reports it deterministically).
+    Exec(ExecError),
+    /// `GL_OUT_OF_MEMORY`: the configured VRAM budget was exceeded.
+    OutOfMemory(String),
+}
+
+impl fmt::Display for GlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GlError::InvalidValue(m) => write!(f, "GL_INVALID_VALUE: {m}"),
+            GlError::InvalidOperation(m) => write!(f, "GL_INVALID_OPERATION: {m}"),
+            GlError::Compile(e) => write!(f, "shader compile error: {e}"),
+            GlError::Exec(e) => write!(f, "fragment execution error: {e}"),
+            GlError::OutOfMemory(m) => write!(f, "GL_OUT_OF_MEMORY: {m}"),
+        }
+    }
+}
+
+impl Error for GlError {}
+
+impl From<ShaderError> for GlError {
+    fn from(e: ShaderError) -> Self {
+        GlError::Compile(e)
+    }
+}
+
+impl From<ExecError> for GlError {
+    fn from(e: ExecError) -> Self {
+        GlError::Exec(e)
+    }
+}
+
+struct Program {
+    shader: Shader,
+    uniform_values: Vec<Value>,
+}
+
+/// How a draw executes fragments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrawMode {
+    /// Execute every fragment (functional result + exact cost).
+    Full,
+    /// Execute a strided sample of fragments and extrapolate cost; the
+    /// untouched fragments keep their previous contents. Used by the
+    /// benchmark harness for large sweeps (DESIGN.md §5).
+    Sampled {
+        /// Execute every `stride`-th fragment in x and y.
+        stride: u32,
+    },
+}
+
+/// The simulated GL context.
+pub struct Gl {
+    profile: DeviceProfile,
+    textures: HashMap<u32, Texture>,
+    programs: HashMap<u32, Program>,
+    framebuffers: HashMap<u32, Option<TextureId>>,
+    bound_units: Vec<Option<TextureId>>,
+    current_program: Option<ProgramId>,
+    bound_framebuffer: Option<FramebufferId>,
+    viewport: (u32, u32),
+    next_id: u32,
+    vram_budget: Option<usize>,
+    vram_used: usize,
+    stats: GlStats,
+}
+
+impl Gl {
+    /// Creates a context for the given device profile.
+    pub fn new(profile: DeviceProfile) -> Self {
+        let units = profile.texture_units as usize;
+        Gl {
+            profile,
+            textures: HashMap::new(),
+            programs: HashMap::new(),
+            framebuffers: HashMap::new(),
+            bound_units: vec![None; units],
+            current_program: None,
+            bound_framebuffer: None,
+            viewport: (0, 0),
+            next_id: 1,
+            vram_budget: None,
+            vram_used: 0,
+            stats: GlStats::default(),
+        }
+    }
+
+    /// The device profile this context enforces.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Accumulated transfer/draw statistics.
+    pub fn stats(&self) -> &GlStats {
+        &self.stats
+    }
+
+    /// Resets the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = GlStats::default();
+    }
+
+    /// Installs a VRAM budget in bytes; allocations beyond it fail with
+    /// `GL_OUT_OF_MEMORY`. Brook Auto's static memory accounting (BA002)
+    /// uses this to prove a configuration fits the device.
+    pub fn set_vram_budget(&mut self, bytes: Option<usize>) {
+        self.vram_budget = bytes;
+    }
+
+    /// Bytes of texture memory currently allocated.
+    pub fn vram_used(&self) -> usize {
+        self.vram_used
+    }
+
+    fn fresh_id(&mut self) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    // ---- textures -----------------------------------------------------
+
+    /// Validates texture dimensions against the device profile.
+    fn validate_dims(&self, w: u32, h: u32) -> Result<(), GlError> {
+        if w == 0 || h == 0 {
+            return Err(GlError::InvalidValue("zero texture dimension".into()));
+        }
+        if w > self.profile.max_texture_size || h > self.profile.max_texture_size {
+            return Err(GlError::InvalidValue(format!(
+                "texture {w}x{h} exceeds GL_MAX_TEXTURE_SIZE {}",
+                self.profile.max_texture_size
+            )));
+        }
+        if !self.profile.npot_textures && (!w.is_power_of_two() || !h.is_power_of_two()) {
+            return Err(GlError::InvalidValue(format!(
+                "device requires power-of-two textures, got {w}x{h}"
+            )));
+        }
+        if self.profile.square_only && w != h {
+            return Err(GlError::InvalidValue(format!("device requires square textures, got {w}x{h}")));
+        }
+        Ok(())
+    }
+
+    /// Allocates a texture (`glGenTextures` + `glTexImage2D` with null
+    /// data).
+    ///
+    /// # Errors
+    /// `InvalidValue` when the dimensions violate the profile,
+    /// `InvalidOperation` for float formats without the extension,
+    /// `OutOfMemory` when a VRAM budget is exceeded.
+    pub fn create_texture(&mut self, w: u32, h: u32, format: TexFormat) -> Result<TextureId, GlError> {
+        self.validate_dims(w, h)?;
+        if format != TexFormat::Rgba8 && !self.profile.float_textures {
+            return Err(GlError::InvalidOperation(
+                "float textures require OES_texture_float, which this device lacks".into(),
+            ));
+        }
+        let tex = Texture::new(w, h, format);
+        let size = tex.byte_size();
+        if let Some(budget) = self.vram_budget {
+            if self.vram_used + size > budget {
+                return Err(GlError::OutOfMemory(format!(
+                    "allocation of {size} B exceeds budget ({} used of {budget})",
+                    self.vram_used
+                )));
+            }
+        }
+        self.vram_used += size;
+        let id = self.fresh_id();
+        self.textures.insert(id, tex);
+        Ok(TextureId(id))
+    }
+
+    /// Frees a texture (`glDeleteTextures`).
+    pub fn delete_texture(&mut self, id: TextureId) {
+        if let Some(t) = self.textures.remove(&id.0) {
+            self.vram_used -= t.byte_size();
+        }
+        for unit in &mut self.bound_units {
+            if *unit == Some(id) {
+                *unit = None;
+            }
+        }
+        for fb in self.framebuffers.values_mut() {
+            if *fb == Some(id) {
+                *fb = None;
+            }
+        }
+    }
+
+    /// Texture dimensions.
+    pub fn texture_size(&self, id: TextureId) -> Option<(u32, u32)> {
+        self.textures.get(&id.0).map(|t| (t.width(), t.height()))
+    }
+
+    /// Uploads full texture contents (`glTexImage2D`), counting transfer
+    /// bytes.
+    ///
+    /// # Errors
+    /// `InvalidValue` if `texels` does not match the texture size or the
+    /// texture does not exist.
+    pub fn upload_texture(&mut self, id: TextureId, texels: &[[f32; 4]]) -> Result<(), GlError> {
+        let tex = self
+            .textures
+            .get_mut(&id.0)
+            .ok_or_else(|| GlError::InvalidValue("unknown texture".into()))?;
+        if texels.len() != (tex.width() * tex.height()) as usize {
+            return Err(GlError::InvalidValue(format!(
+                "upload of {} texels into {}x{} texture",
+                texels.len(),
+                tex.width(),
+                tex.height()
+            )));
+        }
+        tex.upload(texels);
+        self.stats.bytes_uploaded += tex.byte_size() as u64;
+        Ok(())
+    }
+
+    /// Uploads a sub-rectangle (`glTexSubImage2D`).
+    ///
+    /// # Errors
+    /// `InvalidValue` when the rectangle falls outside the texture.
+    pub fn upload_texture_sub(
+        &mut self,
+        id: TextureId,
+        x: u32,
+        y: u32,
+        w: u32,
+        h: u32,
+        texels: &[[f32; 4]],
+    ) -> Result<(), GlError> {
+        let tex = self
+            .textures
+            .get_mut(&id.0)
+            .ok_or_else(|| GlError::InvalidValue("unknown texture".into()))?;
+        if x + w > tex.width() || y + h > tex.height() || texels.len() != (w * h) as usize {
+            return Err(GlError::InvalidValue("sub-upload rectangle out of range".into()));
+        }
+        tex.upload_sub(x, y, w, h, texels);
+        self.stats.bytes_uploaded += (texels.len() * tex.format().bytes_per_texel()) as u64;
+        Ok(())
+    }
+
+    /// Binds a texture to a unit (`glActiveTexture` + `glBindTexture`).
+    ///
+    /// # Errors
+    /// `InvalidValue` for an out-of-range unit or unknown texture.
+    pub fn bind_texture(&mut self, unit: u32, id: TextureId) -> Result<(), GlError> {
+        if unit as usize >= self.bound_units.len() {
+            return Err(GlError::InvalidValue(format!(
+                "texture unit {unit} out of range (device has {})",
+                self.bound_units.len()
+            )));
+        }
+        if !self.textures.contains_key(&id.0) {
+            return Err(GlError::InvalidValue("unknown texture".into()));
+        }
+        self.bound_units[unit as usize] = Some(id);
+        Ok(())
+    }
+
+    // ---- programs -----------------------------------------------------
+
+    /// Compiles and links a fragment shader into a program
+    /// (`glCreateShader`/`glCompileShader`/`glLinkProgram` in one step;
+    /// the vertex stage is the fixed full-screen-quad passthrough).
+    ///
+    /// # Errors
+    /// `Compile` with the shader diagnostic on malformed GLSL.
+    pub fn create_program(&mut self, fragment_src: &str) -> Result<ProgramId, GlError> {
+        let shader = glsl_es::compile(fragment_src)?;
+        for (name, _) in &shader.varyings {
+            if name != "v_texcoord" {
+                return Err(GlError::Compile(ShaderError::Resolve {
+                    message: format!(
+                        "varying `{name}` is not provided by the GPGPU vertex stage \
+                         (only `v_texcoord` is interpolated)"
+                    ),
+                }));
+            }
+        }
+        let uniform_values = shader.uniforms.iter().map(|u| Value::zero(u.ty)).collect();
+        let id = self.fresh_id();
+        self.programs.insert(id, Program { shader, uniform_values });
+        self.stats.programs_linked += 1;
+        Ok(ProgramId(id))
+    }
+
+    /// Deletes a program.
+    pub fn delete_program(&mut self, id: ProgramId) {
+        self.programs.remove(&id.0);
+        if self.current_program == Some(id) {
+            self.current_program = None;
+        }
+    }
+
+    /// Makes a program current (`glUseProgram`).
+    ///
+    /// # Errors
+    /// `InvalidValue` for an unknown program.
+    pub fn use_program(&mut self, id: ProgramId) -> Result<(), GlError> {
+        if !self.programs.contains_key(&id.0) {
+            return Err(GlError::InvalidValue("unknown program".into()));
+        }
+        self.current_program = Some(id);
+        Ok(())
+    }
+
+    /// Sets a uniform on a program by name (`glGetUniformLocation` +
+    /// `glUniform*`).
+    ///
+    /// # Errors
+    /// `InvalidOperation` when the uniform does not exist or the value
+    /// type does not match the declaration.
+    pub fn set_uniform(&mut self, id: ProgramId, name: &str, value: Value) -> Result<(), GlError> {
+        let program = self
+            .programs
+            .get_mut(&id.0)
+            .ok_or_else(|| GlError::InvalidValue("unknown program".into()))?;
+        let idx = program
+            .shader
+            .uniform_index(name)
+            .ok_or_else(|| GlError::InvalidOperation(format!("no active uniform `{name}`")))?;
+        let declared = program.shader.uniforms[idx].ty;
+        let ok = match declared {
+            glsl_es::GlslType::Sampler2D => value.as_int().is_some(),
+            t => value.glsl_type() == t,
+        };
+        if !ok {
+            return Err(GlError::InvalidOperation(format!(
+                "uniform `{name}` is declared {declared} but a {} was provided",
+                value.glsl_type()
+            )));
+        }
+        program.uniform_values[idx] = value;
+        Ok(())
+    }
+
+    /// Names and types of a program's active uniforms.
+    pub fn active_uniforms(&self, id: ProgramId) -> Option<&[glsl_es::UniformInfo]> {
+        self.programs.get(&id.0).map(|p| p.shader.uniforms.as_slice())
+    }
+
+    // ---- framebuffers ---------------------------------------------------
+
+    /// Creates a framebuffer object.
+    pub fn create_framebuffer(&mut self) -> FramebufferId {
+        let id = self.fresh_id();
+        self.framebuffers.insert(id, None);
+        FramebufferId(id)
+    }
+
+    /// Attaches a texture as the FBO's color attachment
+    /// (`glFramebufferTexture2D`).
+    ///
+    /// # Errors
+    /// `InvalidOperation` when rendering to float textures without the
+    /// extension, `InvalidValue` for unknown objects.
+    pub fn attach_texture(&mut self, fbo: FramebufferId, tex: TextureId) -> Result<(), GlError> {
+        let texture = self
+            .textures
+            .get(&tex.0)
+            .ok_or_else(|| GlError::InvalidValue("unknown texture".into()))?;
+        if texture.format() != TexFormat::Rgba8 && !self.profile.float_render_targets {
+            return Err(GlError::InvalidOperation(
+                "device cannot render to float textures".into(),
+            ));
+        }
+        let slot = self
+            .framebuffers
+            .get_mut(&fbo.0)
+            .ok_or_else(|| GlError::InvalidValue("unknown framebuffer".into()))?;
+        *slot = Some(tex);
+        Ok(())
+    }
+
+    /// Binds a framebuffer as the render target (`glBindFramebuffer`).
+    ///
+    /// # Errors
+    /// `InvalidValue` for an unknown framebuffer.
+    pub fn bind_framebuffer(&mut self, fbo: FramebufferId) -> Result<(), GlError> {
+        if !self.framebuffers.contains_key(&fbo.0) {
+            return Err(GlError::InvalidValue("unknown framebuffer".into()));
+        }
+        self.bound_framebuffer = Some(fbo);
+        Ok(())
+    }
+
+    /// Sets the viewport (`glViewport`, origin fixed at 0,0).
+    pub fn viewport(&mut self, w: u32, h: u32) {
+        self.viewport = (w, h);
+    }
+
+    // ---- drawing --------------------------------------------------------
+
+    /// Renders a full-screen quad with the current program into the bound
+    /// framebuffer: the GPGPU dispatch primitive. Each viewport pixel
+    /// becomes one fragment; `v_texcoord` interpolates over pixel centers.
+    ///
+    /// # Errors
+    /// `InvalidOperation` when no program/FBO is bound, the FBO has no
+    /// attachment, the viewport exceeds it, or a sampler reads the texture
+    /// being rendered (feedback loop); `Exec` when the shader faults.
+    pub fn draw_fullscreen_quad(&mut self, mode: DrawMode) -> Result<DrawStats, GlError> {
+        let program_id = self
+            .current_program
+            .ok_or_else(|| GlError::InvalidOperation("no program bound".into()))?;
+        let fbo = self
+            .bound_framebuffer
+            .ok_or_else(|| GlError::InvalidOperation("no framebuffer bound".into()))?;
+        let target_id = self.framebuffers[&fbo.0]
+            .ok_or_else(|| GlError::InvalidOperation("framebuffer has no color attachment".into()))?;
+        let (vw, vh) = self.viewport;
+        if vw == 0 || vh == 0 {
+            return Err(GlError::InvalidOperation("viewport is empty".into()));
+        }
+        {
+            let target = &self.textures[&target_id.0];
+            if vw > target.width() || vh > target.height() {
+                return Err(GlError::InvalidOperation(format!(
+                    "viewport {vw}x{vh} exceeds attachment {}x{}",
+                    target.width(),
+                    target.height()
+                )));
+            }
+        }
+        // Rendering feedback loops are undefined behaviour in GL; the
+        // simulator rejects them deterministically (Brook's ping-pong
+        // reduction textures exist precisely to avoid this).
+        for unit in self.bound_units.iter().flatten() {
+            if *unit == target_id {
+                return Err(GlError::InvalidOperation(
+                    "texture is bound for sampling while attached to the render target \
+                     (feedback loop)"
+                        .into(),
+                ));
+            }
+        }
+        let program = &self.programs[&program_id.0];
+        let shader = &program.shader;
+        // Snapshot sampled textures (cheap: clones only descriptors via
+        // borrow discipline — we index the map immutably during the draw).
+        let bound_units = self.bound_units.clone();
+        let textures = &self.textures;
+        let sample = move |unit: i32, u: f32, v: f32| -> [f32; 4] {
+            let Some(Some(tid)) = bound_units.get(unit as usize) else {
+                // Sampling an unbound unit returns opaque black, as GL does.
+                return [0.0, 0.0, 0.0, 1.0];
+            };
+            match textures.get(&tid.0) {
+                Some(t) => t.sample_nearest_clamped(u, v),
+                None => [0.0, 0.0, 0.0, 1.0],
+            }
+        };
+        let needs_texcoord = shader.varying_index("v_texcoord").is_some();
+        let stride = match mode {
+            DrawMode::Full => 1,
+            DrawMode::Sampled { stride } => stride.max(1),
+        };
+        let mut cost = glsl_es::Cost::default();
+        let mut executed: u64 = 0;
+        let mut outputs: Vec<(u32, u32, [f32; 4])> = Vec::new();
+        for y in (0..vh).step_by(stride as usize) {
+            for x in (0..vw).step_by(stride as usize) {
+                let tc = Value::Vec2([(x as f32 + 0.5) / vw as f32, (y as f32 + 0.5) / vh as f32]);
+                let varyings: &[Value] = if needs_texcoord { std::slice::from_ref(&tc) } else { &[] };
+                let env = FragmentEnv { uniforms: &program.uniform_values, varyings, sample: &sample };
+                let (color, c) = glsl_es::run_fragment(shader, &env)?;
+                cost = cost.add(&c);
+                executed += 1;
+                outputs.push((x, y, color));
+            }
+        }
+        let total_fragments = (vw as u64) * (vh as u64);
+        let scale = total_fragments as f64 / executed.max(1) as f64;
+        let target = self.textures.get_mut(&target_id.0).expect("validated above");
+        for (x, y, color) in outputs {
+            target.write_texel(x, y, color);
+        }
+        let stats = DrawStats {
+            fragments: total_fragments,
+            fragments_executed: executed,
+            alu: (cost.alu as f64 * scale) as u64,
+            tex_fetches: (cost.tex as f64 * scale) as u64,
+            branches: (cost.branch as f64 * scale) as u64,
+            estimated: stride > 1,
+        };
+        self.stats.draw_calls += 1;
+        self.stats.fragments_shaded += executed;
+        self.stats.alu_ops += stats.alu;
+        self.stats.tex_fetches += stats.tex_fetches;
+        Ok(stats)
+    }
+
+    /// Reads back the bound framebuffer's attachment (`glReadPixels`),
+    /// counting download bytes.
+    ///
+    /// # Errors
+    /// `InvalidOperation` when no complete framebuffer is bound.
+    pub fn read_pixels(&mut self) -> Result<Vec<[f32; 4]>, GlError> {
+        let fbo = self
+            .bound_framebuffer
+            .ok_or_else(|| GlError::InvalidOperation("no framebuffer bound".into()))?;
+        let target = self.framebuffers[&fbo.0]
+            .ok_or_else(|| GlError::InvalidOperation("framebuffer has no color attachment".into()))?;
+        let tex = &self.textures[&target.0];
+        self.stats.bytes_downloaded += tex.byte_size() as u64;
+        Ok(tex.pixels().to_vec())
+    }
+
+    /// Reads back a sub-rectangle of the bound framebuffer's attachment
+    /// (`glReadPixels` with a region), counting only the region's bytes.
+    ///
+    /// # Errors
+    /// `InvalidOperation` without a complete framebuffer; `InvalidValue`
+    /// when the rectangle falls outside the attachment.
+    pub fn read_pixels_region(&mut self, x: u32, y: u32, w: u32, h: u32) -> Result<Vec<[f32; 4]>, GlError> {
+        let fbo = self
+            .bound_framebuffer
+            .ok_or_else(|| GlError::InvalidOperation("no framebuffer bound".into()))?;
+        let target = self.framebuffers[&fbo.0]
+            .ok_or_else(|| GlError::InvalidOperation("framebuffer has no color attachment".into()))?;
+        let tex = &self.textures[&target.0];
+        if x + w > tex.width() || y + h > tex.height() {
+            return Err(GlError::InvalidValue("read region out of range".into()));
+        }
+        let mut out = Vec::with_capacity((w * h) as usize);
+        for row in y..y + h {
+            for col in x..x + w {
+                out.push(tex.texel(col, row));
+            }
+        }
+        self.stats.bytes_downloaded += (out.len() * tex.format().bytes_per_texel()) as u64;
+        Ok(out)
+    }
+
+    /// Direct texel read for tests and validation (not part of GL; does
+    /// not count as a transfer).
+    pub fn debug_texel(&self, id: TextureId, x: u32, y: u32) -> Option<[f32; 4]> {
+        self.textures.get(&id.0).map(|t| t.texel(x, y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DeviceProfile;
+
+    fn gl() -> Gl {
+        Gl::new(DeviceProfile::videocore_iv())
+    }
+
+    fn draw_with(gl: &mut Gl, src: &str, w: u32, h: u32) -> (TextureId, DrawStats) {
+        let out = gl.create_texture(w, h, TexFormat::Rgba8).unwrap();
+        let fbo = gl.create_framebuffer();
+        gl.attach_texture(fbo, out).unwrap();
+        gl.bind_framebuffer(fbo).unwrap();
+        gl.viewport(w, h);
+        let prog = gl.create_program(src).unwrap();
+        gl.use_program(prog).unwrap();
+        let stats = gl.draw_fullscreen_quad(DrawMode::Full).unwrap();
+        (out, stats)
+    }
+
+    #[test]
+    fn constant_shader_fills_target() {
+        let mut gl = gl();
+        let (out, stats) = draw_with(&mut gl, "void main() { gl_FragColor = vec4(1.0, 0.0, 0.0, 1.0); }", 4, 4);
+        assert_eq!(stats.fragments, 16);
+        assert_eq!(gl.debug_texel(out, 3, 3).unwrap(), [1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn texcoord_varies_over_pixels() {
+        let mut gl = gl();
+        let (out, _) = draw_with(
+            &mut gl,
+            "varying vec2 v_texcoord; void main() { gl_FragColor = vec4(v_texcoord, 0.0, 1.0); }",
+            4,
+            4,
+        );
+        let p00 = gl.debug_texel(out, 0, 0).unwrap();
+        let p30 = gl.debug_texel(out, 3, 0).unwrap();
+        assert!(p00[0] < p30[0], "u must increase along x");
+        // Pixel centers: (0.5/4, ...) = 0.125 quantized to 8 bits.
+        assert!((p00[0] - 0.125).abs() < 0.01);
+    }
+
+    #[test]
+    fn pow2_constraint_enforced() {
+        let mut gl = gl();
+        let err = gl.create_texture(100, 100, TexFormat::Rgba8).unwrap_err();
+        assert!(matches!(err, GlError::InvalidValue(_)));
+        assert!(gl.create_texture(128, 128, TexFormat::Rgba8).is_ok());
+    }
+
+    #[test]
+    fn max_size_enforced() {
+        let mut gl = gl();
+        assert!(gl.create_texture(4096, 4096, TexFormat::Rgba8).is_err());
+        assert!(gl.create_texture(2048, 2048, TexFormat::Rgba8).is_ok());
+    }
+
+    #[test]
+    fn square_only_profile() {
+        let mut gl = Gl::new(DeviceProfile::square_pot_only());
+        assert!(gl.create_texture(128, 64, TexFormat::Rgba8).is_err());
+        assert!(gl.create_texture(64, 64, TexFormat::Rgba8).is_ok());
+    }
+
+    #[test]
+    fn float_textures_rejected_on_target() {
+        let mut gl = gl();
+        assert!(gl.create_texture(64, 64, TexFormat::Rgba32F).is_err());
+        let mut ref_gl = Gl::new(DeviceProfile::radeon_hd3400());
+        assert!(ref_gl.create_texture(64, 64, TexFormat::Rgba32F).is_ok());
+    }
+
+    #[test]
+    fn sampling_reads_bound_texture() {
+        let mut gl = gl();
+        let src_tex = gl.create_texture(2, 2, TexFormat::Rgba8).unwrap();
+        gl.upload_texture(
+            src_tex,
+            &[[1.0, 0.0, 0.0, 1.0], [0.0, 1.0, 0.0, 1.0], [0.0, 0.0, 1.0, 1.0], [1.0, 1.0, 1.0, 1.0]],
+        )
+        .unwrap();
+        gl.bind_texture(0, src_tex).unwrap();
+        let out = gl.create_texture(2, 2, TexFormat::Rgba8).unwrap();
+        let fbo = gl.create_framebuffer();
+        gl.attach_texture(fbo, out).unwrap();
+        gl.bind_framebuffer(fbo).unwrap();
+        gl.viewport(2, 2);
+        let prog = gl
+            .create_program(
+                "uniform sampler2D t; varying vec2 v_texcoord;
+                 void main() { gl_FragColor = texture2D(t, v_texcoord); }",
+            )
+            .unwrap();
+        gl.use_program(prog).unwrap();
+        gl.set_uniform(prog, "t", Value::Int(0)).unwrap();
+        gl.draw_fullscreen_quad(DrawMode::Full).unwrap();
+        assert_eq!(gl.debug_texel(out, 0, 0).unwrap(), [1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(gl.debug_texel(out, 1, 1).unwrap(), [1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn feedback_loop_rejected() {
+        let mut gl = gl();
+        let tex = gl.create_texture(2, 2, TexFormat::Rgba8).unwrap();
+        gl.bind_texture(0, tex).unwrap();
+        let fbo = gl.create_framebuffer();
+        gl.attach_texture(fbo, tex).unwrap();
+        gl.bind_framebuffer(fbo).unwrap();
+        gl.viewport(2, 2);
+        let prog = gl
+            .create_program("uniform sampler2D t; void main() { gl_FragColor = texture2D(t, vec2(0.0)); }")
+            .unwrap();
+        gl.use_program(prog).unwrap();
+        gl.set_uniform(prog, "t", Value::Int(0)).unwrap();
+        let err = gl.draw_fullscreen_quad(DrawMode::Full).unwrap_err();
+        assert!(matches!(err, GlError::InvalidOperation(m) if m.contains("feedback")));
+    }
+
+    #[test]
+    fn uniform_type_checked() {
+        let mut gl = gl();
+        let prog = gl.create_program("uniform vec2 d; void main() { gl_FragColor = vec4(d, 0.0, 1.0); }").unwrap();
+        assert!(gl.set_uniform(prog, "d", Value::Float(1.0)).is_err());
+        assert!(gl.set_uniform(prog, "d", Value::Vec2([1.0, 2.0])).is_ok());
+        assert!(gl.set_uniform(prog, "nope", Value::Float(0.0)).is_err());
+    }
+
+    #[test]
+    fn unknown_varying_rejected_at_link() {
+        let mut gl = gl();
+        let err = gl
+            .create_program("varying vec3 v_normal; void main() { gl_FragColor = vec4(v_normal, 1.0); }")
+            .unwrap_err();
+        assert!(matches!(err, GlError::Compile(_)));
+    }
+
+    #[test]
+    fn vram_budget_enforced() {
+        let mut gl = gl();
+        gl.set_vram_budget(Some(5000));
+        let t1 = gl.create_texture(32, 32, TexFormat::Rgba8).unwrap(); // 4096 B
+        assert!(gl.create_texture(32, 32, TexFormat::Rgba8).is_err()); // would exceed
+        gl.delete_texture(t1);
+        assert!(gl.create_texture(32, 32, TexFormat::Rgba8).is_ok());
+    }
+
+    #[test]
+    fn transfer_stats_counted() {
+        let mut gl = gl();
+        let tex = gl.create_texture(4, 4, TexFormat::Rgba8).unwrap();
+        gl.upload_texture(tex, &[[0.0; 4]; 16]).unwrap();
+        assert_eq!(gl.stats().bytes_uploaded, 64);
+        let fbo = gl.create_framebuffer();
+        gl.attach_texture(fbo, tex).unwrap();
+        gl.bind_framebuffer(fbo).unwrap();
+        let px = gl.read_pixels().unwrap();
+        assert_eq!(px.len(), 16);
+        assert_eq!(gl.stats().bytes_downloaded, 64);
+    }
+
+    #[test]
+    fn sampled_draw_extrapolates_cost() {
+        let mut gl = gl();
+        let out = gl.create_texture(64, 64, TexFormat::Rgba8).unwrap();
+        let fbo = gl.create_framebuffer();
+        gl.attach_texture(fbo, out).unwrap();
+        gl.bind_framebuffer(fbo).unwrap();
+        gl.viewport(64, 64);
+        let prog = gl.create_program("void main() { gl_FragColor = vec4(0.5); }").unwrap();
+        gl.use_program(prog).unwrap();
+        let full = gl.draw_fullscreen_quad(DrawMode::Full).unwrap();
+        let sampled = gl.draw_fullscreen_quad(DrawMode::Sampled { stride: 8 }).unwrap();
+        assert!(!full.estimated);
+        assert!(sampled.estimated);
+        assert_eq!(sampled.fragments, full.fragments);
+        assert_eq!(sampled.fragments_executed, 64);
+        // Extrapolated ALU should be close to the full count.
+        let ratio = sampled.alu as f64 / full.alu as f64;
+        assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn draw_without_program_or_fbo_fails() {
+        let mut gl = gl();
+        assert!(matches!(gl.draw_fullscreen_quad(DrawMode::Full), Err(GlError::InvalidOperation(_))));
+    }
+
+    #[test]
+    fn viewport_larger_than_attachment_rejected() {
+        let mut gl = gl();
+        let out = gl.create_texture(4, 4, TexFormat::Rgba8).unwrap();
+        let fbo = gl.create_framebuffer();
+        gl.attach_texture(fbo, out).unwrap();
+        gl.bind_framebuffer(fbo).unwrap();
+        gl.viewport(8, 8);
+        let prog = gl.create_program("void main() { gl_FragColor = vec4(1.0); }").unwrap();
+        gl.use_program(prog).unwrap();
+        assert!(gl.draw_fullscreen_quad(DrawMode::Full).is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_sampling_clamps_no_crash() {
+        // The certification-critical property: a kernel that computes wild
+        // texture coordinates still completes and the system stays up.
+        let mut gl = gl();
+        let src_tex = gl.create_texture(2, 2, TexFormat::Rgba8).unwrap();
+        gl.upload_texture(src_tex, &[[0.25; 4]; 4]).unwrap();
+        gl.bind_texture(0, src_tex).unwrap();
+        let out = gl.create_texture(2, 2, TexFormat::Rgba8).unwrap();
+        let fbo = gl.create_framebuffer();
+        gl.attach_texture(fbo, out).unwrap();
+        gl.bind_framebuffer(fbo).unwrap();
+        gl.viewport(2, 2);
+        let prog = gl
+            .create_program(
+                "uniform sampler2D t;
+                 void main() { gl_FragColor = texture2D(t, vec2(1000.0, -1000.0)); }",
+            )
+            .unwrap();
+        gl.use_program(prog).unwrap();
+        gl.set_uniform(prog, "t", Value::Int(0)).unwrap();
+        gl.draw_fullscreen_quad(DrawMode::Full).unwrap();
+        let p = gl.debug_texel(out, 0, 0).unwrap();
+        assert!((p[0] - 0.25).abs() < 0.01);
+    }
+}

@@ -1,0 +1,48 @@
+//! # gles2-sim — a functional OpenGL ES 2.0 simulator
+//!
+//! The Brook Auto paper targets physical embedded GPUs (VideoCore IV)
+//! through OpenGL ES 2.0. This substrate replaces the hardware+driver with
+//! a from-scratch simulator that enforces the *API-level semantics* the
+//! paper's certification argument and runtime design rely on:
+//!
+//! * textures with device-profile constraints — power-of-two and/or square
+//!   dimensions, `GL_MAX_TEXTURE_SIZE` (2048 on the target), RGBA8-only
+//!   storage without the float extension (paper §5.3, §5.4);
+//! * `CLAMP_TO_EDGE` nearest sampling that never faults, no matter how far
+//!   out of range the coordinates are (paper §4: "memory violations do not
+//!   raise exceptions");
+//! * a single color attachment (no MRT), full-screen-quad fragment
+//!   dispatch with the `v_texcoord` varying — Brook's kernel invocation
+//!   primitive;
+//! * transfer and ALU/texture-fetch accounting feeding the `perf-model`
+//!   crate, including *sampled dispatch* for large benchmark sweeps;
+//! * an optional VRAM budget so Brook Auto's static memory accounting is
+//!   enforceable at runtime (`GL_OUT_OF_MEMORY` instead of system death).
+//!
+//! ```
+//! use gles2_sim::{DeviceProfile, DrawMode, Gl, TexFormat};
+//! let mut gl = Gl::new(DeviceProfile::videocore_iv());
+//! let out = gl.create_texture(16, 16, TexFormat::Rgba8)?;
+//! let fbo = gl.create_framebuffer();
+//! gl.attach_texture(fbo, out)?;
+//! gl.bind_framebuffer(fbo)?;
+//! gl.viewport(16, 16);
+//! let prog = gl.create_program("void main() { gl_FragColor = vec4(0.5); }")?;
+//! gl.use_program(prog)?;
+//! let stats = gl.draw_fullscreen_quad(DrawMode::Full)?;
+//! assert_eq!(stats.fragments, 256);
+//! # Ok::<(), gles2_sim::GlError>(())
+//! ```
+
+pub mod context;
+pub mod profile;
+pub mod stats;
+pub mod texture;
+
+pub use context::{DrawMode, FramebufferId, Gl, GlError, ProgramId, TextureId};
+pub use profile::{next_pow2, DeviceProfile};
+pub use stats::{DrawStats, GlStats};
+pub use texture::{TexFormat, Texture};
+
+// Re-export the value type users need for uniforms.
+pub use glsl_es::Value;

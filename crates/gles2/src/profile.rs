@@ -1,0 +1,113 @@
+//! Device capability profiles for the OpenGL ES 2.0 simulator.
+//!
+//! The paper's two evaluation platforms are modelled: the ARM/VideoCore IV
+//! target (low-end embedded GPU: power-of-two RGBA8 textures, 2048 max
+//! dimension, no float render targets) and the desktop-class reference
+//! (AMD Mobility Radeon HD 3400 running AMD's CAL-based Brook+, which has
+//! float textures and a 4096 limit).
+
+/// Capability limits the simulator enforces, mirroring `glGet*` queries of
+/// a real driver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Human-readable device name.
+    pub name: String,
+    /// `GL_MAX_TEXTURE_SIZE`.
+    pub max_texture_size: u32,
+    /// True when non-power-of-two texture dimensions are supported.
+    pub npot_textures: bool,
+    /// True when the device only accepts square textures (paper §5.3
+    /// notes several OpenGL ES 2 implementations have this restriction).
+    pub square_only: bool,
+    /// `OES_texture_float`: float textures can be *sampled*.
+    pub float_textures: bool,
+    /// Float framebuffer attachments can be *rendered to*.
+    pub float_render_targets: bool,
+    /// Number of texture units available to the fragment stage.
+    pub texture_units: u32,
+}
+
+impl DeviceProfile {
+    /// The evaluation target: a VideoCore IV-class embedded GPU behind
+    /// OpenGL ES 2.0 (paper §6).
+    pub fn videocore_iv() -> Self {
+        DeviceProfile {
+            name: "VideoCore IV (OpenGL ES 2.0)".to_owned(),
+            max_texture_size: 2048,
+            npot_textures: false,
+            square_only: false,
+            float_textures: false,
+            float_render_targets: false,
+            texture_units: 8,
+        }
+    }
+
+    /// The x86 reference platform's GPU: an AMD Mobility Radeon HD 3400
+    /// class device (used through Brook+/CAL in the paper, so float
+    /// storage is native and the texture limit is 4096).
+    pub fn radeon_hd3400() -> Self {
+        DeviceProfile {
+            name: "AMD Mobility Radeon HD 3400 (CAL class)".to_owned(),
+            max_texture_size: 4096,
+            npot_textures: true,
+            square_only: false,
+            float_textures: true,
+            float_render_targets: true,
+            texture_units: 16,
+        }
+    }
+
+    /// A deliberately restrictive profile (square, power-of-two only)
+    /// used in tests for the transparent allocation handling of §5.3.
+    pub fn square_pot_only() -> Self {
+        DeviceProfile {
+            name: "square power-of-two only".to_owned(),
+            square_only: true,
+            ..DeviceProfile::videocore_iv()
+        }
+    }
+}
+
+impl Default for DeviceProfile {
+    fn default() -> Self {
+        DeviceProfile::videocore_iv()
+    }
+}
+
+/// Rounds up to the next power of two (for transparent allocation on
+/// pow2-only devices).
+pub fn next_pow2(v: u32) -> u32 {
+    v.max(1).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_profile_limits() {
+        let p = DeviceProfile::videocore_iv();
+        assert_eq!(p.max_texture_size, 2048);
+        assert!(!p.npot_textures);
+        assert!(!p.float_textures);
+        assert_eq!(p.texture_units, 8);
+    }
+
+    #[test]
+    fn reference_profile_has_float() {
+        let p = DeviceProfile::radeon_hd3400();
+        assert!(p.float_textures);
+        assert!(p.float_render_targets);
+        assert_eq!(p.max_texture_size, 4096);
+    }
+
+    #[test]
+    fn next_pow2_rounds_up() {
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(100), 128);
+        assert_eq!(next_pow2(1024), 1024);
+        assert_eq!(next_pow2(0), 1);
+    }
+}

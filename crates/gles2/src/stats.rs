@@ -1,0 +1,65 @@
+//! Cost and transfer statistics collected by the simulator, consumed by
+//! the performance model.
+
+/// Counters for one draw call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DrawStats {
+    /// Fragments covered by the viewport.
+    pub fragments: u64,
+    /// Fragments actually executed (smaller under sampled dispatch).
+    pub fragments_executed: u64,
+    /// ALU operations, extrapolated to the full fragment count.
+    pub alu: u64,
+    /// Texture fetches, extrapolated to the full fragment count.
+    pub tex_fetches: u64,
+    /// Branches/loop iterations, extrapolated.
+    pub branches: u64,
+    /// True when the counts were extrapolated from a sampled dispatch.
+    pub estimated: bool,
+}
+
+impl DrawStats {
+    /// Merges the counters of another draw into this one.
+    pub fn merge(&mut self, other: &DrawStats) {
+        self.fragments += other.fragments;
+        self.fragments_executed += other.fragments_executed;
+        self.alu += other.alu;
+        self.tex_fetches += other.tex_fetches;
+        self.branches += other.branches;
+        self.estimated |= other.estimated;
+    }
+}
+
+/// Context-lifetime counters (`glGet`-style instrumentation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GlStats {
+    /// Bytes moved host -> GPU (`glTexImage2D` and friends).
+    pub bytes_uploaded: u64,
+    /// Bytes moved GPU -> host (`glReadPixels`).
+    pub bytes_downloaded: u64,
+    /// Number of draw calls issued.
+    pub draw_calls: u64,
+    /// Fragments executed across all draws.
+    pub fragments_shaded: u64,
+    /// Total ALU operations (extrapolated under sampling).
+    pub alu_ops: u64,
+    /// Total texture fetches (extrapolated under sampling).
+    pub tex_fetches: u64,
+    /// Programs linked.
+    pub programs_linked: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = DrawStats { fragments: 10, alu: 100, ..DrawStats::default() };
+        let b = DrawStats { fragments: 5, alu: 50, estimated: true, ..DrawStats::default() };
+        a.merge(&b);
+        assert_eq!(a.fragments, 15);
+        assert_eq!(a.alu, 150);
+        assert!(a.estimated);
+    }
+}

@@ -1,0 +1,198 @@
+//! Texture objects of the simulator.
+
+/// Texel storage formats.
+///
+/// OpenGL ES 2.0 core only guarantees `RGBA8`; `RGBA32F` models the
+/// `OES_texture_float` extension available on the desktop-class reference
+/// platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TexFormat {
+    /// Four 8-bit normalized channels — the only universally supported
+    /// format, and the reason the numerical transformations of paper §5.4
+    /// exist.
+    Rgba8,
+    /// Four 32-bit float channels (extension).
+    Rgba32F,
+    /// One 32-bit float channel (extension; what a CAL-class runtime
+    /// uses for scalar streams — 4 bytes per element on the bus).
+    R32F,
+}
+
+impl TexFormat {
+    /// Bytes per texel.
+    pub fn bytes_per_texel(&self) -> usize {
+        match self {
+            TexFormat::Rgba8 => 4,
+            TexFormat::Rgba32F => 16,
+            TexFormat::R32F => 4,
+        }
+    }
+}
+
+/// A 2D texture. Storage is always RGBA; `Rgba8` data is quantized on
+/// upload exactly as a real GL implementation would.
+#[derive(Debug, Clone)]
+pub struct Texture {
+    width: u32,
+    height: u32,
+    format: TexFormat,
+    /// Row-major RGBA texels. For `Rgba8` each channel holds a value that
+    /// is exactly representable as `n/255`.
+    data: Vec<[f32; 4]>,
+}
+
+impl Texture {
+    /// Creates a texture filled with transparent black.
+    pub fn new(width: u32, height: u32, format: TexFormat) -> Self {
+        Texture { width, height, format, data: vec![[0.0; 4]; (width * height) as usize] }
+    }
+
+    /// Texture width in texels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Texture height in texels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Storage format.
+    pub fn format(&self) -> TexFormat {
+        self.format
+    }
+
+    /// Size of the backing store in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.data.len() * self.format.bytes_per_texel()
+    }
+
+    fn quantize(format: TexFormat, texel: [f32; 4]) -> [f32; 4] {
+        match format {
+            TexFormat::Rgba32F => texel,
+            // Single-channel float: stores .x, samples as (v, 0, 0, 1).
+            TexFormat::R32F => [texel[0], 0.0, 0.0, 1.0],
+            TexFormat::Rgba8 => {
+                let mut out = [0.0f32; 4];
+                for (o, c) in out.iter_mut().zip(texel) {
+                    let q = (c.clamp(0.0, 1.0) * 255.0).round() as u32;
+                    *o = q as f32 / 255.0;
+                }
+                out
+            }
+        }
+    }
+
+    /// Uploads a full image (`glTexImage2D`). `texels` is row-major RGBA.
+    ///
+    /// # Panics
+    /// Panics if `texels.len() != width * height`; the GL front-end
+    /// validates sizes before calling.
+    pub fn upload(&mut self, texels: &[[f32; 4]]) {
+        assert_eq!(texels.len(), self.data.len(), "upload size mismatch");
+        for (dst, src) in self.data.iter_mut().zip(texels) {
+            *dst = Self::quantize(self.format, *src);
+        }
+    }
+
+    /// Uploads a sub-rectangle (`glTexSubImage2D`).
+    ///
+    /// # Panics
+    /// Panics when the rectangle falls outside the texture; the GL
+    /// front-end validates this and raises `GL_INVALID_VALUE` instead.
+    pub fn upload_sub(&mut self, x: u32, y: u32, w: u32, h: u32, texels: &[[f32; 4]]) {
+        assert!(x + w <= self.width && y + h <= self.height, "sub-upload out of range");
+        assert_eq!(texels.len(), (w * h) as usize);
+        for row in 0..h {
+            for col in 0..w {
+                let dst = ((y + row) * self.width + x + col) as usize;
+                self.data[dst] = Self::quantize(self.format, texels[(row * w + col) as usize]);
+            }
+        }
+    }
+
+    /// Writes one texel (used by the rasterizer).
+    pub fn write_texel(&mut self, x: u32, y: u32, texel: [f32; 4]) {
+        let idx = (y * self.width + x) as usize;
+        self.data[idx] = Self::quantize(self.format, texel);
+    }
+
+    /// Reads one texel by integer coordinates (no sampling).
+    pub fn texel(&self, x: u32, y: u32) -> [f32; 4] {
+        self.data[(y * self.width + x) as usize]
+    }
+
+    /// Nearest-neighbour sample with `CLAMP_TO_EDGE` wrap — the key
+    /// availability property (paper §4): coordinates outside `[0, 1]`
+    /// clamp to the border texel, they never fault.
+    pub fn sample_nearest_clamped(&self, u: f32, v: f32) -> [f32; 4] {
+        // NaN coordinates clamp to zero as well: total robustness.
+        let u = if u.is_nan() { 0.0 } else { u };
+        let v = if v.is_nan() { 0.0 } else { v };
+        let x = ((u * self.width as f32).floor() as i64).clamp(0, self.width as i64 - 1) as u32;
+        let y = ((v * self.height as f32).floor() as i64).clamp(0, self.height as i64 - 1) as u32;
+        self.texel(x, y)
+    }
+
+    /// Full contents, row-major RGBA (used by `glReadPixels`).
+    pub fn pixels(&self) -> &[[f32; 4]] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rgba8_quantizes_on_upload() {
+        let mut t = Texture::new(1, 1, TexFormat::Rgba8);
+        t.upload(&[[0.5, 0.001, 1.5, -0.2]]);
+        let p = t.texel(0, 0);
+        assert_eq!(p[0], 128.0 / 255.0);
+        assert_eq!(p[1], 0.0);
+        assert_eq!(p[2], 1.0); // clamped
+        assert_eq!(p[3], 0.0); // clamped
+    }
+
+    #[test]
+    fn float_format_is_exact() {
+        let mut t = Texture::new(1, 1, TexFormat::Rgba32F);
+        t.upload(&[[3.25, -7.5, 1e10, 0.1]]);
+        assert_eq!(t.texel(0, 0), [3.25, -7.5, 1e10, 0.1]);
+    }
+
+    #[test]
+    fn clamp_to_edge_never_faults() {
+        let mut t = Texture::new(2, 2, TexFormat::Rgba32F);
+        t.upload(&[[1.0; 4], [2.0; 4], [3.0; 4], [4.0; 4]]);
+        // Way out of range: clamps to corners.
+        assert_eq!(t.sample_nearest_clamped(-100.0, -100.0), [1.0; 4]);
+        assert_eq!(t.sample_nearest_clamped(100.0, 100.0), [4.0; 4]);
+        assert_eq!(t.sample_nearest_clamped(f32::NAN, 0.0), [1.0; 4]);
+        assert_eq!(t.sample_nearest_clamped(f32::INFINITY, 0.0), [2.0; 4]);
+    }
+
+    #[test]
+    fn nearest_sampling_hits_texel_centers() {
+        let mut t = Texture::new(2, 1, TexFormat::Rgba32F);
+        t.upload(&[[10.0; 4], [20.0; 4]]);
+        assert_eq!(t.sample_nearest_clamped(0.25, 0.5), [10.0; 4]);
+        assert_eq!(t.sample_nearest_clamped(0.75, 0.5), [20.0; 4]);
+    }
+
+    #[test]
+    fn sub_upload() {
+        let mut t = Texture::new(4, 4, TexFormat::Rgba32F);
+        t.upload_sub(1, 2, 2, 1, &[[5.0; 4], [6.0; 4]]);
+        assert_eq!(t.texel(1, 2), [5.0; 4]);
+        assert_eq!(t.texel(2, 2), [6.0; 4]);
+        assert_eq!(t.texel(0, 0), [0.0; 4]);
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(Texture::new(16, 16, TexFormat::Rgba8).byte_size(), 1024);
+        assert_eq!(Texture::new(16, 16, TexFormat::Rgba32F).byte_size(), 4096);
+    }
+}

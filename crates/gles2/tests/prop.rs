@@ -1,0 +1,95 @@
+//! Property tests for the GL simulator: the clamp-to-edge availability
+//! guarantee and texture roundtrip invariants.
+
+use gles2_sim::{DeviceProfile, DrawMode, Gl, TexFormat, Value};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The certification-critical invariant (paper §4): sampling at ANY
+    /// coordinate — including NaN and infinities — returns one of the
+    /// texture's texels and never faults.
+    #[test]
+    fn sampling_any_coordinate_returns_a_texel(
+        u in proptest::num::f32::ANY,
+        v in proptest::num::f32::ANY,
+    ) {
+        let mut gl = Gl::new(DeviceProfile::radeon_hd3400());
+        let tex = gl.create_texture(4, 4, TexFormat::Rgba32F).expect("tex");
+        let texels: Vec<[f32; 4]> = (0..16).map(|i| [i as f32, 0.0, 0.0, 1.0]).collect();
+        gl.upload_texture(tex, &texels).expect("upload");
+        gl.bind_texture(0, tex).expect("bind");
+        let out = gl.create_texture(1, 1, TexFormat::Rgba32F).expect("out");
+        let fbo = gl.create_framebuffer();
+        gl.attach_texture(fbo, out).expect("attach");
+        gl.bind_framebuffer(fbo).expect("bind fbo");
+        gl.viewport(1, 1);
+        let prog = gl.create_program(
+            "uniform sampler2D t; uniform vec2 c;
+             void main() { gl_FragColor = texture2D(t, c); }",
+        ).expect("program");
+        gl.use_program(prog).expect("use");
+        gl.set_uniform(prog, "t", Value::Int(0)).expect("sampler");
+        gl.set_uniform(prog, "c", Value::Vec2([u, v])).expect("coord");
+        gl.draw_fullscreen_quad(DrawMode::Full).expect("draw must never fault");
+        let px = gl.debug_texel(out, 0, 0).expect("texel");
+        let is_texel = texels.iter().any(|t| t[0] == px[0]);
+        prop_assert!(is_texel, "sampled value {px:?} is not a texel");
+    }
+
+    /// RGBA8 upload/readback roundtrip: every channel quantizes to the
+    /// nearest /255 step, and re-reading returns exactly that.
+    #[test]
+    fn rgba8_roundtrip_is_stable(vals in proptest::collection::vec(0.0f32..1.0, 4)) {
+        let mut gl = Gl::new(DeviceProfile::videocore_iv());
+        let tex = gl.create_texture(1, 1, TexFormat::Rgba8).expect("tex");
+        gl.upload_texture(tex, &[[vals[0], vals[1], vals[2], vals[3]]]).expect("upload");
+        let first = gl.debug_texel(tex, 0, 0).expect("read");
+        // Idempotence: uploading the quantized value changes nothing.
+        gl.upload_texture(tex, &[first]).expect("re-upload");
+        let second = gl.debug_texel(tex, 0, 0).expect("read");
+        prop_assert_eq!(first, second);
+        for (orig, q) in vals.iter().zip(first) {
+            prop_assert!((orig - q).abs() <= 0.5 / 255.0 + f32::EPSILON);
+        }
+    }
+
+    /// Texture allocation respects the profile for arbitrary sizes: it
+    /// either succeeds with the exact dimensions or fails cleanly.
+    #[test]
+    fn allocation_is_total(w in 0u32..5000, h in 0u32..5000) {
+        let mut gl = Gl::new(DeviceProfile::videocore_iv());
+        match gl.create_texture(w, h, TexFormat::Rgba8) {
+            Ok(id) => {
+                let (tw, th) = gl.texture_size(id).expect("size");
+                prop_assert_eq!((tw, th), (w, h));
+                prop_assert!(w.is_power_of_two() && h.is_power_of_two());
+                prop_assert!(w <= 2048 && h <= 2048);
+            }
+            Err(_) => {
+                let valid = w > 0 && h > 0 && w.is_power_of_two() && h.is_power_of_two() && w <= 2048 && h <= 2048;
+                prop_assert!(!valid, "{w}x{h} should have been accepted");
+            }
+        }
+    }
+}
+
+#[test]
+fn draw_statistics_are_additive() {
+    let mut gl = Gl::new(DeviceProfile::videocore_iv());
+    let out = gl.create_texture(8, 8, TexFormat::Rgba8).expect("out");
+    let fbo = gl.create_framebuffer();
+    gl.attach_texture(fbo, out).expect("attach");
+    gl.bind_framebuffer(fbo).expect("bind");
+    gl.viewport(8, 8);
+    let prog = gl.create_program("void main() { gl_FragColor = vec4(0.5); }").expect("program");
+    gl.use_program(prog).expect("use");
+    let s1 = gl.draw_fullscreen_quad(DrawMode::Full).expect("draw");
+    let after_one = *gl.stats();
+    gl.draw_fullscreen_quad(DrawMode::Full).expect("draw");
+    let after_two = *gl.stats();
+    assert_eq!(after_two.draw_calls, 2);
+    assert_eq!(after_two.fragments_shaded, 2 * s1.fragments_executed);
+    assert_eq!(after_two.alu_ops, 2 * after_one.alu_ops);
+}

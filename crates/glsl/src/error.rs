@@ -1,0 +1,82 @@
+//! Error types of the GLSL ES simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Compile-time error in a shader (lexical, syntactic or resolution).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShaderError {
+    /// Lexical error with source line.
+    Lex { line: u32, message: String },
+    /// Syntax error with source line.
+    Parse { line: u32, message: String },
+    /// Name/type resolution error.
+    Resolve { message: String },
+}
+
+impl ShaderError {
+    pub(crate) fn lex(line: u32, message: impl Into<String>) -> Self {
+        ShaderError::Lex { line, message: message.into() }
+    }
+
+    pub(crate) fn parse(line: u32, message: impl Into<String>) -> Self {
+        ShaderError::Parse { line, message: message.into() }
+    }
+
+    pub(crate) fn resolve(message: impl Into<String>) -> Self {
+        ShaderError::Resolve { message: message.into() }
+    }
+}
+
+impl fmt::Display for ShaderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShaderError::Lex { line, message } => write!(f, "lex error at line {line}: {message}"),
+            ShaderError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            ShaderError::Resolve { message } => write!(f, "resolve error: {message}"),
+        }
+    }
+}
+
+impl Error for ShaderError {}
+
+/// Runtime error raised while executing a fragment.
+///
+/// These indicate bugs in generated code (type confusion, missing
+/// uniform), never user-data-dependent failures: out-of-range texture
+/// reads clamp rather than fault, exactly as OpenGL ES 2.0 requires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    /// Explanation of the failure.
+    pub message: String,
+}
+
+impl ExecError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ExecError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shader execution error: {}", self.message)
+    }
+}
+
+impl Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = ShaderError::lex(7, "bad char");
+        assert_eq!(e.to_string(), "lex error at line 7: bad char");
+    }
+
+    #[test]
+    fn exec_error_display() {
+        assert!(ExecError::new("missing uniform").to_string().contains("missing uniform"));
+    }
+}

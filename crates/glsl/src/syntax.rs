@@ -1,0 +1,765 @@
+//! Lexer, AST and parser for the GLSL ES 1.00 fragment-shader subset.
+//!
+//! The subset covers everything the Brook Auto code generator emits plus
+//! what a hand-optimized GPGPU shader needs: global `precision`,
+//! `uniform` / `varying` / `const` declarations, function definitions,
+//! structured control flow and the full float/vector expression language
+//! with swizzles and constructors. Matrices and arrays are intentionally
+//! absent (see `value::GlslType`).
+
+use crate::error::ShaderError;
+use crate::value::GlslType;
+use std::fmt;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    Type(GlslType),
+    FloatLit(f32),
+    IntLit(i32),
+    BoolLit(bool),
+    Uniform,
+    Varying,
+    Const,
+    Precision,
+    If,
+    Else,
+    For,
+    Return,
+    Discard,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Semi,
+    Comma,
+    Dot,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Bang,
+    Question,
+    Colon,
+    PlusPlus,
+    MinusMinus,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Tokenizes GLSL source.
+///
+/// # Errors
+/// Returns [`ShaderError::Lex`] on unknown characters or malformed
+/// literals; line/column information is embedded in the message.
+pub fn lex(src: &str) -> Result<Vec<(Tok, u32)>, ShaderError> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if (c as char).is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            i += 2;
+            while i + 1 < b.len() && !(b[i] == b'*' && b[i + 1] == b'/') {
+                if b[i] == b'\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            if i + 1 >= b.len() {
+                return Err(ShaderError::lex(line, "unterminated block comment"));
+            }
+            i += 2;
+            continue;
+        }
+        // `#` preprocessor lines (e.g. #version): skipped to end of line.
+        if c == b'#' {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_digit() || (c == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit()) {
+            let start = i;
+            let mut is_float = false;
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i < b.len() && b[i] == b'.' {
+                is_float = true;
+                i += 1;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                let mut j = i + 1;
+                if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+                    j += 1;
+                }
+                if j < b.len() && b[j].is_ascii_digit() {
+                    is_float = true;
+                    i = j;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            let text = &src[start..i];
+            if is_float {
+                let v = text.parse::<f32>().map_err(|_| ShaderError::lex(line, format!("bad float `{text}`")))?;
+                toks.push((Tok::FloatLit(v), line));
+            } else {
+                let v = text.parse::<i32>().map_err(|_| ShaderError::lex(line, format!("bad int `{text}`")))?;
+                toks.push((Tok::IntLit(v), line));
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            let text = &src[start..i];
+            let tok = match text {
+                "uniform" => Tok::Uniform,
+                "varying" => Tok::Varying,
+                "const" => Tok::Const,
+                "precision" => Tok::Precision,
+                "if" => Tok::If,
+                "else" => Tok::Else,
+                "for" => Tok::For,
+                "return" => Tok::Return,
+                "discard" => Tok::Discard,
+                "true" => Tok::BoolLit(true),
+                "false" => Tok::BoolLit(false),
+                "void" => Tok::Type(GlslType::Void),
+                "float" => Tok::Type(GlslType::Float),
+                "vec2" => Tok::Type(GlslType::Vec2),
+                "vec3" => Tok::Type(GlslType::Vec3),
+                "vec4" => Tok::Type(GlslType::Vec4),
+                "int" => Tok::Type(GlslType::Int),
+                "bool" => Tok::Type(GlslType::Bool),
+                "sampler2D" => Tok::Type(GlslType::Sampler2D),
+                "highp" | "mediump" | "lowp" => continue, // precision qualifiers are accepted and ignored
+                "while" | "do" => {
+                    return Err(ShaderError::lex(
+                        line,
+                        "GLSL ES 1.00 appendix A: only bounded `for` loops are supported",
+                    ))
+                }
+                _ => Tok::Ident(text.to_owned()),
+            };
+            toks.push((tok, line));
+            continue;
+        }
+        let two = |a: u8, b2: u8| -> bool { c == a && i + 1 < b.len() && b[i + 1] == b2 };
+        let (tok, len) = if two(b'+', b'+') {
+            (Tok::PlusPlus, 2)
+        } else if two(b'-', b'-') {
+            (Tok::MinusMinus, 2)
+        } else if two(b'+', b'=') {
+            (Tok::PlusAssign, 2)
+        } else if two(b'-', b'=') {
+            (Tok::MinusAssign, 2)
+        } else if two(b'*', b'=') {
+            (Tok::StarAssign, 2)
+        } else if two(b'/', b'=') {
+            (Tok::SlashAssign, 2)
+        } else if two(b'<', b'=') {
+            (Tok::Le, 2)
+        } else if two(b'>', b'=') {
+            (Tok::Ge, 2)
+        } else if two(b'=', b'=') {
+            (Tok::EqEq, 2)
+        } else if two(b'!', b'=') {
+            (Tok::Ne, 2)
+        } else if two(b'&', b'&') {
+            (Tok::AndAnd, 2)
+        } else if two(b'|', b'|') {
+            (Tok::OrOr, 2)
+        } else {
+            let t = match c {
+                b'(' => Tok::LParen,
+                b')' => Tok::RParen,
+                b'{' => Tok::LBrace,
+                b'}' => Tok::RBrace,
+                b';' => Tok::Semi,
+                b',' => Tok::Comma,
+                b'.' => Tok::Dot,
+                b'=' => Tok::Assign,
+                b'+' => Tok::Plus,
+                b'-' => Tok::Minus,
+                b'*' => Tok::Star,
+                b'/' => Tok::Slash,
+                b'<' => Tok::Lt,
+                b'>' => Tok::Gt,
+                b'!' => Tok::Bang,
+                b'?' => Tok::Question,
+                b':' => Tok::Colon,
+                other => return Err(ShaderError::lex(line, format!("unexpected character `{}`", other as char))),
+            };
+            (t, 1)
+        };
+        toks.push((tok, line));
+        i += len;
+    }
+    toks.push((Tok::Eof, line));
+    Ok(toks)
+}
+
+// ---- AST -------------------------------------------------------------
+
+/// Storage qualifier of a global declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlobalKind {
+    Uniform,
+    Varying,
+    Const,
+}
+
+/// A global declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    pub kind: GlobalKind,
+    pub ty: GlslType,
+    pub name: String,
+    /// Initializer (const globals only).
+    pub init: Option<PExpr>,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PFunction {
+    pub return_ty: GlslType,
+    pub name: String,
+    pub params: Vec<(GlslType, String)>,
+    pub body: Vec<PStmt>,
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Unit {
+    pub globals: Vec<Global>,
+    pub functions: Vec<PFunction>,
+}
+
+/// Parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PStmt {
+    Decl { ty: GlslType, name: String, init: Option<PExpr> },
+    Assign { target: PExpr, op: char, value: PExpr },
+    If { cond: PExpr, then_body: Vec<PStmt>, else_body: Vec<PStmt> },
+    For { init: Box<PStmt>, cond: PExpr, step: Box<PStmt>, body: Vec<PStmt> },
+    Return(Option<PExpr>),
+    Expr(PExpr),
+    Block(Vec<PStmt>),
+}
+
+/// Parsed expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PExpr {
+    Float(f32),
+    Int(i32),
+    Bool(bool),
+    Var(String),
+    Bin(String, Box<PExpr>, Box<PExpr>),
+    Un(char, Box<PExpr>),
+    Ternary(Box<PExpr>, Box<PExpr>, Box<PExpr>),
+    Call(String, Vec<PExpr>),
+    Swizzle(Box<PExpr>, String),
+}
+
+/// Parses a GLSL ES fragment shader.
+///
+/// # Errors
+/// Returns [`ShaderError::Parse`] describing the first syntax error.
+pub fn parse(src: &str) -> Result<Unit, ShaderError> {
+    let toks = lex(src)?;
+    let mut p = P { toks, pos: 0, expr_depth: 0 };
+    p.unit()
+}
+
+/// Maximum expression nesting depth (compiler resource bound).
+const MAX_EXPR_DEPTH: u32 = 256;
+
+struct P {
+    toks: Vec<(Tok, u32)>,
+    pos: usize,
+    expr_depth: u32,
+}
+
+impl P {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)].0
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos.min(self.toks.len() - 1)].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].0.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), ShaderError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(ShaderError::parse(self.line(), format!("expected {t}, found {}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ShaderError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(ShaderError::parse(self.line(), format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn ty(&mut self) -> Result<GlslType, ShaderError> {
+        match self.bump() {
+            Tok::Type(t) => Ok(t),
+            other => Err(ShaderError::parse(self.line(), format!("expected type, found {other}"))),
+        }
+    }
+
+    fn unit(&mut self) -> Result<Unit, ShaderError> {
+        let mut unit = Unit::default();
+        loop {
+            match self.peek().clone() {
+                Tok::Eof => break,
+                Tok::Precision => {
+                    // `precision mediump float;` — qualifier already skipped
+                    // by the lexer, so: precision <type> ;
+                    self.bump();
+                    let _ = self.ty()?;
+                    self.expect(&Tok::Semi)?;
+                }
+                Tok::Uniform | Tok::Varying | Tok::Const => {
+                    let kind = match self.bump() {
+                        Tok::Uniform => GlobalKind::Uniform,
+                        Tok::Varying => GlobalKind::Varying,
+                        _ => GlobalKind::Const,
+                    };
+                    let ty = self.ty()?;
+                    let name = self.ident()?;
+                    let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+                    if kind == GlobalKind::Const && init.is_none() {
+                        return Err(ShaderError::parse(self.line(), "const globals need an initializer"));
+                    }
+                    self.expect(&Tok::Semi)?;
+                    unit.globals.push(Global { kind, ty, name, init });
+                }
+                Tok::Type(_) => {
+                    let return_ty = self.ty()?;
+                    let name = self.ident()?;
+                    self.expect(&Tok::LParen)?;
+                    let mut params = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            let pt = self.ty()?;
+                            let pn = self.ident()?;
+                            params.push((pt, pn));
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Tok::RParen)?;
+                    }
+                    let body = self.block()?;
+                    unit.functions.push(PFunction { return_ty, name, params, body });
+                }
+                other => {
+                    return Err(ShaderError::parse(self.line(), format!("unexpected token at top level: {other}")));
+                }
+            }
+        }
+        if !unit.functions.iter().any(|f| f.name == "main") {
+            return Err(ShaderError::parse(0, "fragment shader has no `main` function"));
+        }
+        Ok(unit)
+    }
+
+    fn block(&mut self) -> Result<Vec<PStmt>, ShaderError> {
+        self.expect(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if matches!(self.peek(), Tok::Eof) {
+                return Err(ShaderError::parse(self.line(), "unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<PStmt, ShaderError> {
+        match self.peek().clone() {
+            Tok::LBrace => Ok(PStmt::Block(self.block()?)),
+            Tok::If => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let then_body = self.block_or_single()?;
+                let else_body = if self.eat(&Tok::Else) {
+                    if matches!(self.peek(), Tok::If) {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block_or_single()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(PStmt::If { cond, then_body, else_body })
+            }
+            Tok::For => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let init = Box::new(self.simple_stmt()?);
+                self.expect(&Tok::Semi)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                let step = Box::new(self.simple_stmt()?);
+                self.expect(&Tok::RParen)?;
+                let body = self.block_or_single()?;
+                Ok(PStmt::For { init, cond, step, body })
+            }
+            Tok::Return => {
+                self.bump();
+                let v = if matches!(self.peek(), Tok::Semi) { None } else { Some(self.expr()?) };
+                self.expect(&Tok::Semi)?;
+                Ok(PStmt::Return(v))
+            }
+            Tok::Discard => {
+                Err(ShaderError::parse(self.line(), "`discard` is not supported by the GPGPU subset"))
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(&Tok::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    fn block_or_single(&mut self) -> Result<Vec<PStmt>, ShaderError> {
+        if matches!(self.peek(), Tok::LBrace) {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn simple_stmt(&mut self) -> Result<PStmt, ShaderError> {
+        if let Tok::Type(_) = self.peek() {
+            let ty = self.ty()?;
+            let name = self.ident()?;
+            let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+            return Ok(PStmt::Decl { ty, name, init });
+        }
+        let lhs = self.expr()?;
+        let op = match self.peek() {
+            Tok::Assign => Some('='),
+            Tok::PlusAssign => Some('+'),
+            Tok::MinusAssign => Some('-'),
+            Tok::StarAssign => Some('*'),
+            Tok::SlashAssign => Some('/'),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let value = self.expr()?;
+            return Ok(PStmt::Assign { target: lhs, op, value });
+        }
+        if matches!(self.peek(), Tok::PlusPlus | Tok::MinusMinus) {
+            let inc = matches!(self.bump(), Tok::PlusPlus);
+            let one = PExpr::Int(1);
+            return Ok(PStmt::Assign { target: lhs, op: if inc { '+' } else { '-' }, value: one });
+        }
+        Ok(PStmt::Expr(lhs))
+    }
+
+    fn expr(&mut self) -> Result<PExpr, ShaderError> {
+        if self.expr_depth >= MAX_EXPR_DEPTH {
+            return Err(ShaderError::parse(
+                self.line(),
+                format!("expression nesting exceeds the depth limit {MAX_EXPR_DEPTH}"),
+            ));
+        }
+        self.expr_depth += 1;
+        let result = self.expr_inner();
+        self.expr_depth -= 1;
+        result
+    }
+
+    fn expr_inner(&mut self) -> Result<PExpr, ShaderError> {
+        let cond = self.or_expr()?;
+        if self.eat(&Tok::Question) {
+            let t = self.expr()?;
+            self.expect(&Tok::Colon)?;
+            let e = self.expr()?;
+            return Ok(PExpr::Ternary(Box::new(cond), Box::new(t), Box::new(e)));
+        }
+        Ok(cond)
+    }
+
+    fn bin_level(
+        &mut self,
+        next: fn(&mut Self) -> Result<PExpr, ShaderError>,
+        ops: &[(Tok, &str)],
+    ) -> Result<PExpr, ShaderError> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (tok, name) in ops {
+                if self.peek() == tok {
+                    self.bump();
+                    let rhs = next(self)?;
+                    lhs = PExpr::Bin((*name).to_owned(), Box::new(lhs), Box::new(rhs));
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<PExpr, ShaderError> {
+        self.bin_level(Self::and_expr, &[(Tok::OrOr, "||")])
+    }
+
+    fn and_expr(&mut self) -> Result<PExpr, ShaderError> {
+        self.bin_level(Self::eq_expr, &[(Tok::AndAnd, "&&")])
+    }
+
+    fn eq_expr(&mut self) -> Result<PExpr, ShaderError> {
+        self.bin_level(Self::rel_expr, &[(Tok::EqEq, "=="), (Tok::Ne, "!=")])
+    }
+
+    fn rel_expr(&mut self) -> Result<PExpr, ShaderError> {
+        self.bin_level(
+            Self::add_expr,
+            &[(Tok::Lt, "<"), (Tok::Le, "<="), (Tok::Gt, ">"), (Tok::Ge, ">=")],
+        )
+    }
+
+    fn add_expr(&mut self) -> Result<PExpr, ShaderError> {
+        self.bin_level(Self::mul_expr, &[(Tok::Plus, "+"), (Tok::Minus, "-")])
+    }
+
+    fn mul_expr(&mut self) -> Result<PExpr, ShaderError> {
+        self.bin_level(Self::unary_expr, &[(Tok::Star, "*"), (Tok::Slash, "/")])
+    }
+
+    fn unary_expr(&mut self) -> Result<PExpr, ShaderError> {
+        if self.eat(&Tok::Minus) {
+            return Ok(PExpr::Un('-', Box::new(self.unary_expr()?)));
+        }
+        if self.eat(&Tok::Bang) {
+            return Ok(PExpr::Un('!', Box::new(self.unary_expr()?)));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<PExpr, ShaderError> {
+        let mut e = self.primary_expr()?;
+        while self.eat(&Tok::Dot) {
+            let name = self.ident()?;
+            if name.len() > 4 || !name.bytes().all(|c| matches!(c, b'x' | b'y' | b'z' | b'w' | b'r' | b'g' | b'b' | b'a' | b's' | b't' | b'p' | b'q')) {
+                return Err(ShaderError::parse(self.line(), format!("invalid swizzle `.{name}`")));
+            }
+            let normalized: String = name
+                .bytes()
+                .map(|c| match c {
+                    b'x' | b'r' | b's' => 'x',
+                    b'y' | b'g' | b't' => 'y',
+                    b'z' | b'b' | b'p' => 'z',
+                    _ => 'w',
+                })
+                .collect();
+            e = PExpr::Swizzle(Box::new(e), normalized);
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<PExpr, ShaderError> {
+        match self.bump() {
+            Tok::FloatLit(v) => Ok(PExpr::Float(v)),
+            Tok::IntLit(v) => Ok(PExpr::Int(v)),
+            Tok::BoolLit(v) => Ok(PExpr::Bool(v)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Type(t) => {
+                // Constructor call: vec4(...), float(...), int(...).
+                self.expect(&Tok::LParen)?;
+                let mut args = Vec::new();
+                if !self.eat(&Tok::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                }
+                Ok(PExpr::Call(t.as_str().to_owned(), args))
+            }
+            Tok::Ident(name) => {
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Tok::RParen)?;
+                    }
+                    Ok(PExpr::Call(name, args))
+                } else {
+                    Ok(PExpr::Var(name))
+                }
+            }
+            other => Err(ShaderError::parse(self.line(), format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_and_parses_minimal_shader() {
+        let u = parse("precision mediump float; void main() { gl_FragColor = vec4(1.0); }").unwrap();
+        assert_eq!(u.functions.len(), 1);
+        assert_eq!(u.functions[0].name, "main");
+    }
+
+    #[test]
+    fn parses_uniforms_and_varyings() {
+        let u = parse(
+            "uniform sampler2D tex0; uniform vec4 dims; varying vec2 v_texcoord;
+             void main() { gl_FragColor = texture2D(tex0, v_texcoord); }",
+        )
+        .unwrap();
+        assert_eq!(u.globals.len(), 3);
+        assert_eq!(u.globals[0].kind, GlobalKind::Uniform);
+        assert_eq!(u.globals[0].ty, GlslType::Sampler2D);
+        assert_eq!(u.globals[2].kind, GlobalKind::Varying);
+    }
+
+    #[test]
+    fn parses_for_loop_and_functions() {
+        let u = parse(
+            "float acc(float x) { return x * 2.0; }
+             void main() {
+                 float s = 0.0;
+                 for (int i = 0; i < 8; i++) { s += acc(1.0); }
+                 gl_FragColor = vec4(s);
+             }",
+        )
+        .unwrap();
+        assert_eq!(u.functions.len(), 2);
+    }
+
+    #[test]
+    fn requires_main() {
+        let e = parse("void helper() { }").unwrap_err();
+        assert!(e.to_string().contains("main"));
+    }
+
+    #[test]
+    fn rejects_while() {
+        assert!(parse("void main() { while (true) { } }").is_err());
+    }
+
+    #[test]
+    fn rejects_discard() {
+        assert!(parse("void main() { discard; }").is_err());
+    }
+
+    #[test]
+    fn precision_qualifiers_ignored() {
+        parse("precision highp float; uniform highp vec2 d; void main() { gl_FragColor = vec4(d, 0.0, 0.0); }")
+            .unwrap();
+    }
+
+    #[test]
+    fn swizzle_normalization_rgba() {
+        let u = parse("void main() { vec4 c = vec4(1.0); gl_FragColor = vec4(c.rgb, c.a); }").unwrap();
+        // .rgb normalized to .xyz
+        let f = &u.functions[0];
+        let PStmt::Assign { value, .. } = &f.body[1] else { panic!() };
+        let PExpr::Call(_, args) = value else { panic!() };
+        assert!(matches!(&args[0], PExpr::Swizzle(_, s) if s == "xyz"));
+        assert!(matches!(&args[1], PExpr::Swizzle(_, s) if s == "w"));
+    }
+
+    #[test]
+    fn const_global_requires_init() {
+        assert!(parse("const float K; void main() { gl_FragColor = vec4(K); }").is_err());
+        parse("const float K = 2.5; void main() { gl_FragColor = vec4(K); }").unwrap();
+    }
+
+    #[test]
+    fn preprocessor_lines_skipped() {
+        parse("#version 100\nvoid main() { gl_FragColor = vec4(0.0); }").unwrap();
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let e = parse("void main() {\n\n  @bad\n}").unwrap_err();
+        assert!(e.to_string().contains("3"), "{e}");
+    }
+}

@@ -1,0 +1,267 @@
+//! Runtime values of the GLSL ES 1.00 interpreter.
+
+use std::fmt;
+
+/// GLSL ES value types supported by the simulator.
+///
+/// Matrices are not implemented: the Brook Auto code generator never emits
+/// them and the hand-written sgemm shader of the paper's Figure 4 does not
+/// need them either.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GlslType {
+    Void,
+    Float,
+    Vec2,
+    Vec3,
+    Vec4,
+    Int,
+    Bool,
+    Sampler2D,
+}
+
+impl GlslType {
+    /// Number of float components for float-vector types (0 otherwise).
+    pub fn components(&self) -> usize {
+        match self {
+            GlslType::Float => 1,
+            GlslType::Vec2 => 2,
+            GlslType::Vec3 => 3,
+            GlslType::Vec4 => 4,
+            _ => 0,
+        }
+    }
+
+    /// Float type with the given number of components.
+    ///
+    /// # Panics
+    /// Panics if `n` is not in `1..=4`.
+    pub fn vec(n: usize) -> GlslType {
+        match n {
+            1 => GlslType::Float,
+            2 => GlslType::Vec2,
+            3 => GlslType::Vec3,
+            4 => GlslType::Vec4,
+            _ => panic!("vector width {n} out of range"),
+        }
+    }
+
+    /// Source spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            GlslType::Void => "void",
+            GlslType::Float => "float",
+            GlslType::Vec2 => "vec2",
+            GlslType::Vec3 => "vec3",
+            GlslType::Vec4 => "vec4",
+            GlslType::Int => "int",
+            GlslType::Bool => "bool",
+            GlslType::Sampler2D => "sampler2D",
+        }
+    }
+}
+
+impl fmt::Display for GlslType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// A runtime value. Float vectors are stored padded to four lanes; the
+/// width lives in the variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    Float(f32),
+    Vec2([f32; 2]),
+    Vec3([f32; 3]),
+    Vec4([f32; 4]),
+    Int(i32),
+    Bool(bool),
+}
+
+impl Value {
+    /// The value's GLSL type.
+    pub fn glsl_type(&self) -> GlslType {
+        match self {
+            Value::Float(_) => GlslType::Float,
+            Value::Vec2(_) => GlslType::Vec2,
+            Value::Vec3(_) => GlslType::Vec3,
+            Value::Vec4(_) => GlslType::Vec4,
+            Value::Int(_) => GlslType::Int,
+            Value::Bool(_) => GlslType::Bool,
+        }
+    }
+
+    /// Zero value of a type (used for default-initialized variables).
+    pub fn zero(ty: GlslType) -> Value {
+        match ty {
+            GlslType::Float => Value::Float(0.0),
+            GlslType::Vec2 => Value::Vec2([0.0; 2]),
+            GlslType::Vec3 => Value::Vec3([0.0; 3]),
+            GlslType::Vec4 => Value::Vec4([0.0; 4]),
+            GlslType::Int | GlslType::Sampler2D => Value::Int(0),
+            GlslType::Bool => Value::Bool(false),
+            GlslType::Void => Value::Float(0.0),
+        }
+    }
+
+    /// Number of float lanes (1 for scalars, 0 for int/bool).
+    pub fn width(&self) -> usize {
+        self.glsl_type().components()
+    }
+
+    /// Float lanes as a slice (empty for int/bool).
+    pub fn lanes(&self) -> &[f32] {
+        match self {
+            Value::Float(v) => std::slice::from_ref(v),
+            Value::Vec2(v) => v,
+            Value::Vec3(v) => v,
+            Value::Vec4(v) => v,
+            _ => &[],
+        }
+    }
+
+    /// Builds a float value from lanes.
+    ///
+    /// # Panics
+    /// Panics if `lanes` is empty or longer than 4.
+    pub fn from_lanes(lanes: &[f32]) -> Value {
+        match lanes {
+            [a] => Value::Float(*a),
+            [a, b] => Value::Vec2([*a, *b]),
+            [a, b, c] => Value::Vec3([*a, *b, *c]),
+            [a, b, c, d] => Value::Vec4([*a, *b, *c, *d]),
+            _ => panic!("invalid lane count {}", lanes.len()),
+        }
+    }
+
+    /// The scalar float, if this is a `float`.
+    pub fn as_float(&self) -> Option<f32> {
+        match self {
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The int payload, if this is an `int`.
+    pub fn as_int(&self) -> Option<i32> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The bool payload, if this is a `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Four-lane view with missing lanes zero-filled (for gl_FragColor).
+    pub fn to_vec4(&self) -> [f32; 4] {
+        let mut out = [0.0f32; 4];
+        for (i, l) in self.lanes().iter().enumerate() {
+            out[i] = *l;
+        }
+        if let Value::Int(v) = self {
+            out[0] = *v as f32;
+        }
+        out
+    }
+
+    /// Componentwise map over float lanes.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Option<Value> {
+        let lanes = self.lanes();
+        if lanes.is_empty() {
+            return None;
+        }
+        let mapped: Vec<f32> = lanes.iter().map(|v| f(*v)).collect();
+        Some(Value::from_lanes(&mapped))
+    }
+
+    /// Componentwise zip of two float values, broadcasting scalars.
+    ///
+    /// Returns `None` when the shapes are incompatible or the values are
+    /// not floats.
+    pub fn zip(&self, other: &Value, f: impl Fn(f32, f32) -> f32) -> Option<Value> {
+        let (a, b) = (self.lanes(), other.lanes());
+        if a.is_empty() || b.is_empty() {
+            return None;
+        }
+        let w = a.len().max(b.len());
+        if a.len() != w && a.len() != 1 {
+            return None;
+        }
+        if b.len() != w && b.len() != 1 {
+            return None;
+        }
+        let pick = |s: &[f32], i: usize| if s.len() == 1 { s[0] } else { s[i] };
+        let out: Vec<f32> = (0..w).map(|i| f(pick(a, i), pick(b, i))).collect();
+        Some(Value::from_lanes(&out))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Vec2(v) => write!(f, "vec2({}, {})", v[0], v[1]),
+            Value::Vec3(v) => write!(f, "vec3({}, {}, {})", v[0], v[1], v[2]),
+            Value::Vec4(v) => write!(f, "vec4({}, {}, {}, {})", v[0], v[1], v[2], v[3]),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_roundtrip() {
+        let v = Value::Vec3([1.0, 2.0, 3.0]);
+        assert_eq!(Value::from_lanes(v.lanes()), v);
+        assert_eq!(v.width(), 3);
+    }
+
+    #[test]
+    fn zip_broadcasts_scalars() {
+        let v = Value::Vec2([1.0, 2.0]);
+        let s = Value::Float(10.0);
+        assert_eq!(v.zip(&s, |a, b| a * b), Some(Value::Vec2([10.0, 20.0])));
+        assert_eq!(s.zip(&v, |a, b| a + b), Some(Value::Vec2([11.0, 12.0])));
+    }
+
+    #[test]
+    fn zip_rejects_mismatched_vectors() {
+        let a = Value::Vec2([1.0, 2.0]);
+        let b = Value::Vec3([1.0, 2.0, 3.0]);
+        assert_eq!(a.zip(&b, |x, y| x + y), None);
+    }
+
+    #[test]
+    fn zip_rejects_ints() {
+        assert_eq!(Value::Int(1).zip(&Value::Float(2.0), |x, y| x + y), None);
+    }
+
+    #[test]
+    fn to_vec4_pads_with_zero() {
+        assert_eq!(Value::Vec2([1.0, 2.0]).to_vec4(), [1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(Value::Float(5.0).to_vec4(), [5.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn type_component_counts() {
+        assert_eq!(GlslType::Vec4.components(), 4);
+        assert_eq!(GlslType::Int.components(), 0);
+        assert_eq!(GlslType::vec(3), GlslType::Vec3);
+    }
+
+    #[test]
+    fn zero_values() {
+        assert_eq!(Value::zero(GlslType::Vec4), Value::Vec4([0.0; 4]));
+        assert_eq!(Value::zero(GlslType::Bool), Value::Bool(false));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the GLSL ES substrate: totality of the compiler on
+//! arbitrary input, and interpreter correctness on generated arithmetic.
+
+use glsl_es::{compile, run_fragment, FragmentEnv, Value};
+use proptest::prelude::*;
+
+fn no_tex(_: i32, _: f32, _: f32) -> [f32; 4] {
+    [0.0; 4]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The compiler must be total: arbitrary input produces Ok or Err,
+    /// never a panic.
+    #[test]
+    fn compile_never_panics(src in ".*") {
+        let _ = compile(&src);
+    }
+
+    /// Arbitrary fragments assembled from GLSL-ish tokens.
+    #[test]
+    fn compile_never_panics_on_token_soup(parts in proptest::collection::vec(
+        prop_oneof![
+            Just("void"), Just("main"), Just("("), Just(")"), Just("{"), Just("}"),
+            Just("float"), Just("vec4"), Just("uniform"), Just("varying"),
+            Just("gl_FragColor"), Just("="), Just(";"), Just("1.0"), Just("for"),
+            Just("int"), Just("i"), Just("<"), Just("++"), Just("texture2D"),
+            Just("."), Just("xyzw"), Just("+"), Just("*"),
+        ], 0..50)) {
+        let _ = compile(&parts.join(" "));
+    }
+
+    /// Interpreter arithmetic matches Rust f32 semantics exactly for
+    /// +, -, *, / chains.
+    #[test]
+    fn scalar_arithmetic_matches_f32(a in -1.0e3f32..1.0e3, b in -1.0e3f32..1.0e3, c in 0.5f32..100.0) {
+        let shader = compile(
+            "uniform float a; uniform float b; uniform float c;
+             void main() { gl_FragColor = vec4((a + b) * c - a / c, 0.0, 0.0, 0.0); }",
+        ).expect("compile");
+        let env = FragmentEnv {
+            uniforms: &[Value::Float(a), Value::Float(b), Value::Float(c)],
+            varyings: &[],
+            sample: &no_tex,
+        };
+        let (out, _) = run_fragment(&shader, &env).expect("run");
+        let expect = (a + b) * c - a / c;
+        prop_assert_eq!(out[0], expect);
+    }
+
+    /// Swizzle algebra: (v.wzyx).wzyx == v for any vec4.
+    #[test]
+    fn double_reverse_swizzle_is_identity(x in -10.0f32..10.0, y in -10.0f32..10.0, z in -10.0f32..10.0, w in -10.0f32..10.0) {
+        let shader = compile(
+            "uniform vec4 v; void main() { vec4 r = v.wzyx; gl_FragColor = r.wzyx; }",
+        ).expect("compile");
+        let env = FragmentEnv { uniforms: &[Value::Vec4([x, y, z, w])], varyings: &[], sample: &no_tex };
+        let (out, _) = run_fragment(&shader, &env).expect("run");
+        prop_assert_eq!(out, [x, y, z, w]);
+    }
+
+    /// Loop summation equals the closed form for any trip count.
+    #[test]
+    fn loop_sum_matches_closed_form(n in 0i32..200) {
+        let shader = compile(&format!(
+            "void main() {{
+                 float s = 0.0;
+                 for (int i = 0; i < {n}; i++) {{ s += float(i); }}
+                 gl_FragColor = vec4(s);
+             }}"
+        )).expect("compile");
+        let env = FragmentEnv { uniforms: &[], varyings: &[], sample: &no_tex };
+        let (out, cost) = run_fragment(&shader, &env).expect("run");
+        prop_assert_eq!(out[0], (n * (n - 1) / 2) as f32);
+        // Cost must scale with the trip count.
+        prop_assert!(cost.branch >= n as u64);
+    }
+
+    /// min/max/clamp satisfy their lattice laws componentwise.
+    #[test]
+    fn clamp_is_min_max_composition(v in -100.0f32..100.0, lo in -50.0f32..0.0, hi in 0.0f32..50.0) {
+        let shader = compile(
+            "uniform float v; uniform float lo; uniform float hi;
+             void main() { gl_FragColor = vec4(clamp(v, lo, hi), min(max(v, lo), hi), 0.0, 0.0); }",
+        ).expect("compile");
+        let env = FragmentEnv {
+            uniforms: &[Value::Float(v), Value::Float(lo), Value::Float(hi)],
+            varyings: &[],
+            sample: &no_tex,
+        };
+        let (out, _) = run_fragment(&shader, &env).expect("run");
+        prop_assert_eq!(out[0], out[1]);
+    }
+}
+
+#[test]
+fn cost_is_deterministic() {
+    let shader = compile(
+        "varying vec2 v_texcoord;
+         void main() {
+             float s = 0.0;
+             for (int i = 0; i < 37; i++) { s += sin(v_texcoord.x) * 0.01; }
+             gl_FragColor = vec4(s);
+         }",
+    )
+    .expect("compile");
+    let env = FragmentEnv { uniforms: &[], varyings: &[Value::Vec2([0.3, 0.7])], sample: &no_tex };
+    let (o1, c1) = run_fragment(&shader, &env).expect("run");
+    let (o2, c2) = run_fragment(&shader, &env).expect("run");
+    assert_eq!(o1, o2);
+    assert_eq!(c1, c2);
+}

@@ -1,0 +1,487 @@
+//! Abstract syntax tree for the Brook Auto kernel language.
+//!
+//! Every expression carries a [`NodeId`] so later passes (type checking,
+//! certification analysis, code generation) can attach information without
+//! mutating the tree.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Identifier for an expression node, unique within one [`Program`].
+pub type NodeId = u32;
+
+/// Scalar element categories of the type system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarKind {
+    /// 32-bit IEEE float — the only GPU-storable scalar (paper §5.4).
+    Float,
+    /// Integer, used for loop counters and gather indices.
+    Int,
+    /// Boolean, used in conditions only.
+    Bool,
+}
+
+/// A value type: a scalar kind plus a vector width (1..=4).
+///
+/// Brook's vector extensions mirror OpenCL/GLSL: `float2`..`float4`.
+/// `int` and `bool` are always scalar in the Brook Auto subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Type {
+    /// Element kind.
+    pub scalar: ScalarKind,
+    /// Number of components, 1 to 4.
+    pub width: u8,
+}
+
+impl Type {
+    /// Scalar `float`.
+    pub const FLOAT: Type = Type { scalar: ScalarKind::Float, width: 1 };
+    /// `float2`.
+    pub const FLOAT2: Type = Type { scalar: ScalarKind::Float, width: 2 };
+    /// `float3`.
+    pub const FLOAT3: Type = Type { scalar: ScalarKind::Float, width: 3 };
+    /// `float4`.
+    pub const FLOAT4: Type = Type { scalar: ScalarKind::Float, width: 4 };
+    /// Scalar `int`.
+    pub const INT: Type = Type { scalar: ScalarKind::Int, width: 1 };
+    /// Scalar `bool`.
+    pub const BOOL: Type = Type { scalar: ScalarKind::Bool, width: 1 };
+
+    /// Float type of the given width.
+    ///
+    /// # Panics
+    /// Panics if `width` is not in `1..=4`.
+    pub fn float(width: u8) -> Type {
+        assert!((1..=4).contains(&width), "vector width {width} out of range");
+        Type { scalar: ScalarKind::Float, width }
+    }
+
+    /// True for `float`..`float4`.
+    pub fn is_float(&self) -> bool {
+        self.scalar == ScalarKind::Float
+    }
+
+    /// True for any width-1 type.
+    pub fn is_scalar(&self) -> bool {
+        self.width == 1
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.scalar, self.width) {
+            (ScalarKind::Float, 1) => write!(f, "float"),
+            (ScalarKind::Float, w) => write!(f, "float{w}"),
+            (ScalarKind::Int, _) => write!(f, "int"),
+            (ScalarKind::Bool, _) => write!(f, "bool"),
+        }
+    }
+}
+
+/// How a kernel parameter receives data (paper §3-§4: streams, not pointers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamKind {
+    /// `float a<>` — elementwise input stream.
+    Stream,
+    /// `out float b<>` — elementwise output stream.
+    OutStream,
+    /// `reduce float r<>` — reduction accumulator (reduce kernels only).
+    ReduceOut,
+    /// `float a[][]` — random-access gather array of the given rank.
+    Gather {
+        /// Number of dimensions (1..=4, paper §5.3).
+        rank: u8,
+    },
+    /// Plain value argument, passed as a GPU constant (uniform).
+    Scalar,
+}
+
+impl ParamKind {
+    /// True for parameters the kernel may read.
+    pub fn is_input(&self) -> bool {
+        matches!(self, ParamKind::Stream | ParamKind::Gather { .. } | ParamKind::Scalar)
+    }
+
+    /// True for parameters the kernel writes.
+    pub fn is_output(&self) -> bool {
+        matches!(self, ParamKind::OutStream | ParamKind::ReduceOut)
+    }
+}
+
+/// One kernel parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Element type.
+    pub ty: Type,
+    /// Stream / gather / scalar role.
+    pub kind: ParamKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A kernel definition (`kernel void name(...) {...}`), possibly a
+/// reduction kernel (`reduce void name(...) {...}`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDef {
+    /// Kernel name.
+    pub name: String,
+    /// True for `reduce void` kernels.
+    pub is_reduce: bool,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Kernel body.
+    pub body: Block,
+    /// Source location of the whole definition.
+    pub span: Span,
+}
+
+impl KernelDef {
+    /// Output stream parameters in declaration order.
+    pub fn outputs(&self) -> impl Iterator<Item = &Param> {
+        self.params.iter().filter(|p| p.kind.is_output())
+    }
+
+    /// Input stream and gather parameters in declaration order.
+    pub fn stream_inputs(&self) -> impl Iterator<Item = &Param> {
+        self.params.iter().filter(|p| matches!(p.kind, ParamKind::Stream | ParamKind::Gather { .. }))
+    }
+}
+
+/// A non-kernel helper function callable from kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDef {
+    /// Function name.
+    pub name: String,
+    /// Return type; `None` is `void`.
+    pub return_ty: Option<Type>,
+    /// Value parameters.
+    pub params: Vec<(String, Type)>,
+    /// Function body.
+    pub body: Block,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A GPU kernel.
+    Kernel(KernelDef),
+    /// A helper function.
+    Function(FunctionDef),
+}
+
+/// A parsed Brook translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Items in source order.
+    pub items: Vec<Item>,
+    /// One past the largest [`NodeId`] used in the tree.
+    pub next_node_id: NodeId,
+}
+
+impl Program {
+    /// Kernels in source order.
+    pub fn kernels(&self) -> impl Iterator<Item = &KernelDef> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Kernel(k) => Some(k),
+            Item::Function(_) => None,
+        })
+    }
+
+    /// Helper functions in source order.
+    pub fn functions(&self) -> impl Iterator<Item = &FunctionDef> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Function(f) => Some(f),
+            Item::Kernel(_) => None,
+        })
+    }
+
+    /// Finds a kernel by name.
+    pub fn kernel(&self, name: &str) -> Option<&KernelDef> {
+        self.kernels().find(|k| k.name == name)
+    }
+
+    /// Finds a helper function by name.
+    pub fn function(&self, name: &str) -> Option<&FunctionDef> {
+        self.functions().find(|f| f.name == name)
+    }
+}
+
+/// A `{ ... }` statement block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Assignment flavours (`=`, `+=`, `-=`, `*=`, `/=`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    Assign,
+    AddAssign,
+    SubAssign,
+    MulAssign,
+    DivAssign,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration `float x = e;`.
+    Decl {
+        name: String,
+        ty: Type,
+        init: Option<Expr>,
+        span: Span,
+    },
+    /// Assignment to an lvalue.
+    Assign {
+        target: Expr,
+        op: AssignOp,
+        value: Expr,
+        span: Span,
+    },
+    /// `if (cond) {..} else {..}`.
+    If {
+        cond: Expr,
+        then_block: Block,
+        else_block: Option<Block>,
+        span: Span,
+    },
+    /// C-style `for` loop.
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Box<Stmt>>,
+        body: Block,
+        span: Span,
+    },
+    /// `while` loop (rejected by certification rule BA003 unless bounded).
+    While {
+        cond: Expr,
+        body: Block,
+        span: Span,
+    },
+    /// `do {..} while (cond);`.
+    DoWhile {
+        body: Block,
+        cond: Expr,
+        span: Span,
+    },
+    /// `return e;` — helper functions only.
+    Return {
+        value: Option<Expr>,
+        span: Span,
+    },
+    /// Bare expression statement (function call for effect).
+    Expr {
+        expr: Expr,
+        span: Span,
+    },
+    /// Nested block.
+    Block(Block),
+}
+
+impl Stmt {
+    /// Source location of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Decl { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::DoWhile { span, .. }
+            | Stmt::Return { span, .. }
+            | Stmt::Expr { span, .. } => *span,
+            Stmt::Block(b) => b.span,
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// True for operators producing `bool`.
+    pub fn is_comparison(&self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+
+    /// True for `&&` / `||`.
+    pub fn is_logical(&self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// Source spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// An expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Unique node id within the program.
+    pub id: NodeId,
+    /// Expression payload.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Expression payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Float literal.
+    FloatLit(f32),
+    /// Integer literal.
+    IntLit(i64),
+    /// Boolean literal.
+    BoolLit(bool),
+    /// Variable or parameter reference.
+    Var(String),
+    /// Binary operation.
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        op: UnOp,
+        operand: Box<Expr>,
+    },
+    /// `cond ? a : b`.
+    Ternary {
+        cond: Box<Expr>,
+        then_expr: Box<Expr>,
+        else_expr: Box<Expr>,
+    },
+    /// Call of a builtin, a vector constructor (`float4(..)`) or a helper
+    /// function.
+    Call {
+        callee: String,
+        args: Vec<Expr>,
+    },
+    /// Gather access `a[i]` / `a[i][j]`; one index expression per rank.
+    Index {
+        base: Box<Expr>,
+        indices: Vec<Expr>,
+    },
+    /// Component access/swizzle, e.g. `v.x`, `v.xyz`.
+    Swizzle {
+        base: Box<Expr>,
+        /// Component letters in `xyzw`/`rgba` order, already normalized
+        /// to `xyzw`.
+        components: String,
+    },
+    /// `indexof(stream)` — index of the current element (paper §5.2).
+    Indexof {
+        stream: String,
+    },
+}
+
+impl Expr {
+    /// True if the expression is a structurally valid assignment target.
+    pub fn is_lvalue(&self) -> bool {
+        match &self.kind {
+            ExprKind::Var(_) => true,
+            ExprKind::Swizzle { base, .. } => base.is_lvalue(),
+            ExprKind::Index { base, .. } => base.is_lvalue(),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_display() {
+        assert_eq!(Type::FLOAT.to_string(), "float");
+        assert_eq!(Type::FLOAT3.to_string(), "float3");
+        assert_eq!(Type::INT.to_string(), "int");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn float_width_validated() {
+        let _ = Type::float(5);
+    }
+
+    #[test]
+    fn param_kind_direction() {
+        assert!(ParamKind::Stream.is_input());
+        assert!(ParamKind::Gather { rank: 2 }.is_input());
+        assert!(ParamKind::OutStream.is_output());
+        assert!(ParamKind::ReduceOut.is_output());
+        assert!(!ParamKind::OutStream.is_input());
+    }
+
+    #[test]
+    fn lvalue_recognition() {
+        let var = Expr { id: 0, kind: ExprKind::Var("x".into()), span: Span::synthetic() };
+        assert!(var.is_lvalue());
+        let lit = Expr { id: 1, kind: ExprKind::FloatLit(1.0), span: Span::synthetic() };
+        assert!(!lit.is_lvalue());
+        let sw = Expr {
+            id: 2,
+            kind: ExprKind::Swizzle { base: Box::new(var), components: "xy".into() },
+            span: Span::synthetic(),
+        };
+        assert!(sw.is_lvalue());
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(BinOp::And.is_logical());
+        assert!(!BinOp::Add.is_comparison());
+        assert_eq!(BinOp::Le.as_str(), "<=");
+    }
+}

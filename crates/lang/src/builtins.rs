@@ -1,0 +1,138 @@
+//! Built-in function signatures shared by the type checker, the CPU
+//! interpreter backend and the GLSL ES code generator.
+
+use crate::ast::Type;
+
+/// Shape of a builtin's signature relative to its float-vector argument
+/// width `N` (1..=4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuiltinSig {
+    /// `(floatN) -> floatN` — componentwise unary, e.g. `sin`.
+    MapUnary,
+    /// `(floatN, floatN) -> floatN` — componentwise binary, e.g. `min`.
+    /// The second argument may also be scalar `float` (broadcast).
+    MapBinary,
+    /// `(floatN, floatN, floatN) -> floatN` — componentwise ternary,
+    /// e.g. `clamp`, `lerp`. Trailing arguments may be scalar (broadcast).
+    MapTernary,
+    /// `(floatN, floatN) -> float` — reduction to scalar, e.g. `dot`.
+    DotLike,
+    /// `(floatN) -> float` — reduction to scalar, e.g. `length`.
+    LengthLike,
+}
+
+/// A named builtin with its signature shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Builtin {
+    /// Brook-side name.
+    pub name: &'static str,
+    /// Signature shape.
+    pub sig: BuiltinSig,
+    /// GLSL ES 1.00 spelling (differs for e.g. `lerp` -> `mix`).
+    pub glsl_name: &'static str,
+    /// Approximate ALU cost in simulator instruction units, used by the
+    /// interpreter cost accounting (transcendentals are multi-cycle on
+    /// every embedded GPU).
+    pub cost: u32,
+}
+
+/// The builtin function table of the Brook Auto subset.
+///
+/// Names follow Brook/HLSL conventions (`lerp`, `rsqrt`, `saturate`,
+/// `fmod`) with GLSL translations recorded per entry.
+pub const BUILTINS: &[Builtin] = &[
+    Builtin { name: "sin", sig: BuiltinSig::MapUnary, glsl_name: "sin", cost: 4 },
+    Builtin { name: "cos", sig: BuiltinSig::MapUnary, glsl_name: "cos", cost: 4 },
+    Builtin { name: "tan", sig: BuiltinSig::MapUnary, glsl_name: "tan", cost: 6 },
+    Builtin { name: "exp", sig: BuiltinSig::MapUnary, glsl_name: "exp", cost: 4 },
+    Builtin { name: "exp2", sig: BuiltinSig::MapUnary, glsl_name: "exp2", cost: 4 },
+    Builtin { name: "log", sig: BuiltinSig::MapUnary, glsl_name: "log", cost: 4 },
+    Builtin { name: "log2", sig: BuiltinSig::MapUnary, glsl_name: "log2", cost: 4 },
+    Builtin { name: "sqrt", sig: BuiltinSig::MapUnary, glsl_name: "sqrt", cost: 4 },
+    Builtin { name: "rsqrt", sig: BuiltinSig::MapUnary, glsl_name: "inversesqrt", cost: 4 },
+    Builtin { name: "abs", sig: BuiltinSig::MapUnary, glsl_name: "abs", cost: 1 },
+    Builtin { name: "floor", sig: BuiltinSig::MapUnary, glsl_name: "floor", cost: 1 },
+    Builtin { name: "ceil", sig: BuiltinSig::MapUnary, glsl_name: "ceil", cost: 1 },
+    Builtin { name: "fract", sig: BuiltinSig::MapUnary, glsl_name: "fract", cost: 1 },
+    Builtin { name: "round", sig: BuiltinSig::MapUnary, glsl_name: "floor", cost: 2 },
+    Builtin { name: "sign", sig: BuiltinSig::MapUnary, glsl_name: "sign", cost: 1 },
+    Builtin { name: "saturate", sig: BuiltinSig::MapUnary, glsl_name: "clamp", cost: 1 },
+    Builtin { name: "normalize", sig: BuiltinSig::MapUnary, glsl_name: "normalize", cost: 6 },
+    Builtin { name: "min", sig: BuiltinSig::MapBinary, glsl_name: "min", cost: 1 },
+    Builtin { name: "max", sig: BuiltinSig::MapBinary, glsl_name: "max", cost: 1 },
+    Builtin { name: "pow", sig: BuiltinSig::MapBinary, glsl_name: "pow", cost: 6 },
+    Builtin { name: "fmod", sig: BuiltinSig::MapBinary, glsl_name: "mod", cost: 2 },
+    Builtin { name: "step", sig: BuiltinSig::MapBinary, glsl_name: "step", cost: 1 },
+    Builtin { name: "atan2", sig: BuiltinSig::MapBinary, glsl_name: "atan", cost: 8 },
+    Builtin { name: "clamp", sig: BuiltinSig::MapTernary, glsl_name: "clamp", cost: 1 },
+    Builtin { name: "lerp", sig: BuiltinSig::MapTernary, glsl_name: "mix", cost: 2 },
+    Builtin { name: "smoothstep", sig: BuiltinSig::MapTernary, glsl_name: "smoothstep", cost: 3 },
+    Builtin { name: "dot", sig: BuiltinSig::DotLike, glsl_name: "dot", cost: 2 },
+    Builtin { name: "distance", sig: BuiltinSig::DotLike, glsl_name: "distance", cost: 6 },
+    Builtin { name: "length", sig: BuiltinSig::LengthLike, glsl_name: "length", cost: 5 },
+];
+
+/// Looks up a builtin by Brook name.
+pub fn builtin(name: &str) -> Option<&'static Builtin> {
+    BUILTINS.iter().find(|b| b.name == name)
+}
+
+/// Result type of a builtin applied to float arguments of width `n`.
+pub fn builtin_result_type(b: &Builtin, n: u8) -> Type {
+    match b.sig {
+        BuiltinSig::MapUnary | BuiltinSig::MapBinary | BuiltinSig::MapTernary => Type::float(n),
+        BuiltinSig::DotLike | BuiltinSig::LengthLike => Type::FLOAT,
+    }
+}
+
+/// Number of arguments the builtin expects.
+pub fn builtin_arity(b: &Builtin) -> usize {
+    match b.sig {
+        BuiltinSig::MapUnary | BuiltinSig::LengthLike => 1,
+        BuiltinSig::MapBinary | BuiltinSig::DotLike => 2,
+        BuiltinSig::MapTernary => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_finds_known_builtins() {
+        assert!(builtin("sin").is_some());
+        assert!(builtin("lerp").is_some());
+        assert!(builtin("nonsense").is_none());
+    }
+
+    #[test]
+    fn lerp_maps_to_mix() {
+        assert_eq!(builtin("lerp").unwrap().glsl_name, "mix");
+        assert_eq!(builtin("rsqrt").unwrap().glsl_name, "inversesqrt");
+        assert_eq!(builtin("fmod").unwrap().glsl_name, "mod");
+    }
+
+    #[test]
+    fn arity_matches_signature() {
+        assert_eq!(builtin_arity(builtin("sin").unwrap()), 1);
+        assert_eq!(builtin_arity(builtin("pow").unwrap()), 2);
+        assert_eq!(builtin_arity(builtin("clamp").unwrap()), 3);
+        assert_eq!(builtin_arity(builtin("dot").unwrap()), 2);
+    }
+
+    #[test]
+    fn result_types() {
+        let dot = builtin("dot").unwrap();
+        assert_eq!(builtin_result_type(dot, 3), Type::FLOAT);
+        let sin = builtin("sin").unwrap();
+        assert_eq!(builtin_result_type(sin, 4), Type::FLOAT4);
+    }
+
+    #[test]
+    fn no_duplicate_names() {
+        let mut names: Vec<_> = BUILTINS.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), BUILTINS.len());
+    }
+}

@@ -1,0 +1,134 @@
+//! Diagnostics shared by the lexer, parser, type checker and the
+//! certification rule engine in `brook-cert`.
+
+use crate::span::Span;
+use std::error::Error;
+use std::fmt;
+
+/// Severity of a [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational note (e.g. deduced loop bound).
+    Note,
+    /// Suspicious but accepted construct.
+    Warning,
+    /// Construct rejected by the language or the Brook Auto subset.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A single message produced by any front-end stage.
+///
+/// `code` is a stable machine-readable identifier: `Lxxx` for lexical
+/// errors, `Pxxx` for parse errors, `Txxx` for type errors and `BAxxx`
+/// for Brook Auto certification rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Stable identifier, e.g. `"P003"` or `"BA003"`.
+    pub code: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Source location of the offending construct.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(code: &str, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { severity: Severity::Error, code: code.to_owned(), message: message.into(), span }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(code: &str, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { severity: Severity::Warning, code: code.to_owned(), message: message.into(), span }
+    }
+
+    /// Creates a note diagnostic.
+    pub fn note(code: &str, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { severity: Severity::Note, code: code.to_owned(), message: message.into(), span }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} [{}] at {}", self.severity, self.message, self.code, self.span)
+    }
+}
+
+/// Error type carrying every diagnostic a front-end stage produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// All diagnostics, errors first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl CompileError {
+    /// Wraps a list of diagnostics; keeps only those at error severity in
+    /// front, preserving relative order.
+    pub fn new(mut diagnostics: Vec<Diagnostic>) -> Self {
+        diagnostics.sort_by_key(|d| std::cmp::Reverse(d.severity));
+        CompileError { diagnostics }
+    }
+
+    /// First error-severity diagnostic, if any.
+    pub fn first_error(&self) -> Option<&Diagnostic> {
+        self.diagnostics.iter().find(|d| d.severity == Severity::Error)
+    }
+
+    /// True if any diagnostic has the given code.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let errors = self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count();
+        write!(f, "{errors} error(s)")?;
+        if let Some(first) = self.first_error() {
+            write!(f, "; first: {first}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_code_and_span() {
+        let d = Diagnostic::error("P001", "unexpected token", Span::new(0, 1, 3, 7));
+        assert_eq!(format!("{d}"), "error: unexpected token [P001] at 3:7");
+    }
+
+    #[test]
+    fn compile_error_orders_errors_first() {
+        let e = CompileError::new(vec![
+            Diagnostic::note("BA003", "loop bound 8", Span::synthetic()),
+            Diagnostic::error("T001", "type mismatch", Span::synthetic()),
+        ]);
+        assert_eq!(e.diagnostics[0].code, "T001");
+        assert!(e.has_code("BA003"));
+        assert_eq!(e.first_error().unwrap().code, "T001");
+    }
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Note);
+    }
+}

@@ -1,0 +1,49 @@
+//! # brook-lang — the Brook Auto language front-end
+//!
+//! Brook Auto ([Trompouki & Kosmidis, DAC 2018]) is a certification-friendly
+//! subset of the Brook GPU streaming language for automotive systems. This
+//! crate provides the front-end: lexer, parser, abstract syntax tree and
+//! type checker for the subset.
+//!
+//! The language is a restricted C dialect:
+//!
+//! * **streams** instead of pointers: `float a<>` is an elementwise input,
+//!   `out float b<>` an output, `reduce float r<>` a reduction accumulator;
+//! * **gather arrays** `float m[][]` for random access reads (never writes);
+//! * **`indexof(s)`** — the current element index, Brook's analogue of
+//!   CUDA's `threadIdx`;
+//! * vector types `float2`..`float4` with swizzles, as in OpenCL/GLSL;
+//! * structured control flow only — no `goto`, no recursion, no pointers,
+//!   no dynamic allocation, no local arrays.
+//!
+//! Constructs that ISO 26262 / MISRA C exclude are rejected at parse or
+//! check time with diagnostics naming the corresponding Brook Auto rule
+//! (`BA001` pointers, `BA007` goto, `BA008` unknown calls/allocation, ...);
+//! the full rule engine lives in the `brook-cert` crate.
+//!
+//! ```
+//! let src = "
+//!     kernel void saxpy(float x<>, float y<>, float alpha, out float r<>) {
+//!         r = alpha * x + y;
+//!     }";
+//! let checked = brook_lang::typeck::parse_and_check(src)?;
+//! assert_eq!(checked.kernels[0].outputs, vec!["r"]);
+//! # Ok::<(), brook_lang::diag::CompileError>(())
+//! ```
+//!
+//! [Trompouki & Kosmidis, DAC 2018]: https://doi.org/10.1145/3195970.3196002
+
+pub mod ast;
+pub mod builtins;
+pub mod diag;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod span;
+pub mod token;
+pub mod typeck;
+
+pub use ast::{Program, Type};
+pub use diag::{CompileError, Diagnostic, Severity};
+pub use parser::parse;
+pub use typeck::{check, parse_and_check, CheckedProgram, KernelSummary, ReduceOp};

@@ -1,0 +1,917 @@
+//! Recursive-descent parser for the Brook Auto kernel language.
+//!
+//! The grammar is a restricted C subset: kernels, helper functions,
+//! declarations, structured control flow and expressions. Pointer syntax,
+//! `goto` and other constructs the Brook Auto subset forbids are recognized
+//! and rejected with certification-rule diagnostics (BA001/BA007) so the
+//! error a user sees names the violated ISO 26262-motivated rule rather
+//! than a generic syntax error.
+
+use crate::ast::*;
+use crate::diag::{CompileError, Diagnostic};
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Parses a Brook translation unit.
+///
+/// # Errors
+/// Returns a [`CompileError`] carrying every lexical and syntactic
+/// diagnostic when the source is not a valid Brook Auto program.
+///
+/// ```
+/// let src = "kernel void copy(float a<>, out float b<>) { b = a; }";
+/// let program = brook_lang::parse(src)?;
+/// assert_eq!(program.kernels().count(), 1);
+/// # Ok::<(), brook_lang::diag::CompileError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Program, CompileError> {
+    // Deeply nested expressions recurse through ~10 parser frames per
+    // level; a dedicated stack makes the MAX_EXPR_DEPTH bound the only
+    // limit, independent of the caller's (possibly small) thread stack.
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .name("brook-parser".into())
+            .stack_size(16 * 1024 * 1024)
+            .spawn_scoped(scope, || parse_on_current_stack(src))
+            .expect("spawn parser thread")
+            .join()
+            .expect("parser thread panicked")
+    })
+}
+
+fn parse_on_current_stack(src: &str) -> Result<Program, CompileError> {
+    let (tokens, mut diags) = lex(src);
+    let mut parser = Parser { tokens, pos: 0, diags: Vec::new(), next_id: 0, expr_depth: 0 };
+    let program = parser.program();
+    diags.extend(parser.diags);
+    if diags.iter().any(|d| d.severity == crate::diag::Severity::Error) {
+        Err(CompileError::new(diags))
+    } else {
+        Ok(program)
+    }
+}
+
+/// Maximum expression nesting depth the parser accepts. A bound here
+/// keeps the compiler itself within statically verifiable resources —
+/// the same discipline the language imposes on kernels (BA003/BA009).
+const MAX_EXPR_DEPTH: u32 = 128;
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    diags: Vec<Diagnostic>,
+    next_id: NodeId,
+    expr_depth: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek_at(&self, ahead: usize) -> &TokenKind {
+        &self.tokens[(self.pos + ahead).min(self.tokens.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        self.eat(&TokenKind::Keyword(kw))
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> bool {
+        if self.eat(kind) {
+            true
+        } else {
+            self.error("P001", format!("expected {kind}, found {}", self.peek()));
+            false
+        }
+    }
+
+    fn error(&mut self, code: &str, msg: impl Into<String>) {
+        let span = self.span();
+        self.diags.push(Diagnostic::error(code, msg, span));
+    }
+
+    fn fresh_id(&mut self) -> NodeId {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn expr_node(&mut self, kind: ExprKind, span: Span) -> Expr {
+        Expr { id: self.fresh_id(), kind, span }
+    }
+
+    /// Skips tokens until a likely item boundary, for error recovery.
+    fn recover_to_item(&mut self) {
+        let mut depth = 0usize;
+        loop {
+            match self.peek() {
+                TokenKind::Eof => return,
+                TokenKind::LBrace => {
+                    depth += 1;
+                    self.bump();
+                }
+                TokenKind::RBrace => {
+                    self.bump();
+                    if depth <= 1 {
+                        return;
+                    }
+                    depth -= 1;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    // ---- items ------------------------------------------------------
+
+    fn program(&mut self) -> Program {
+        let mut items = Vec::new();
+        while !matches!(self.peek(), TokenKind::Eof) {
+            let before = self.pos;
+            match self.item() {
+                Some(item) => items.push(item),
+                None => {
+                    if self.pos == before {
+                        self.bump();
+                    }
+                    self.recover_to_item();
+                }
+            }
+        }
+        Program { items, next_node_id: self.next_id }
+    }
+
+    fn item(&mut self) -> Option<Item> {
+        let start = self.span();
+        let is_reduce = self.eat_kw(Keyword::Reduce);
+        if is_reduce || self.eat_kw(Keyword::Kernel) {
+            // `reduce void` may also be written `kernel reduce void`? Brook
+            // uses `reduce void name(...)`. Accept both orders.
+            let is_reduce = is_reduce || self.eat_kw(Keyword::Reduce);
+            if !self.eat_kw(Keyword::Void) {
+                self.error("P002", "kernels must return `void`");
+                return None;
+            }
+            let kernel = self.kernel_def(is_reduce, start)?;
+            return Some(Item::Kernel(kernel));
+        }
+        // Helper function: `<type|void> name(params) { ... }`.
+        let return_ty = if self.eat_kw(Keyword::Void) { None } else { Some(self.parse_type()?) };
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen);
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                let ty = self.parse_type()?;
+                let pname = self.ident()?;
+                params.push((pname, ty));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen);
+        }
+        let body = self.block()?;
+        let span = start.merge(self.prev_span());
+        Some(Item::Function(FunctionDef { name, return_ty, params, body, span }))
+    }
+
+    fn kernel_def(&mut self, is_reduce: bool, start: Span) -> Option<KernelDef> {
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen);
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                params.push(self.param()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen);
+        }
+        let body = self.block()?;
+        let span = start.merge(self.prev_span());
+        Some(KernelDef { name, is_reduce, params, body, span })
+    }
+
+    fn param(&mut self) -> Option<Param> {
+        let start = self.span();
+        let is_out = self.eat_kw(Keyword::Out);
+        let is_reduce = self.eat_kw(Keyword::Reduce);
+        self.eat_kw(Keyword::Const);
+        let ty = self.parse_type()?;
+        if self.eat(&TokenKind::Star) {
+            self.error("BA001", "pointer parameters are forbidden in Brook Auto (ISO 26262 restricted pointer use)");
+            return None;
+        }
+        let name = self.ident()?;
+        let kind = if self.eat(&TokenKind::Lt) {
+            // `<>` stream marker.
+            self.expect(&TokenKind::Gt);
+            if is_reduce {
+                ParamKind::ReduceOut
+            } else if is_out {
+                ParamKind::OutStream
+            } else {
+                ParamKind::Stream
+            }
+        } else if matches!(self.peek(), TokenKind::LBracket) {
+            let mut rank: u8 = 0;
+            while self.eat(&TokenKind::LBracket) {
+                // Optional extent expression is ignored: Brook gathers are
+                // unsized in the signature; sizes come from the runtime.
+                while !matches!(self.peek(), TokenKind::RBracket | TokenKind::Eof) {
+                    self.bump();
+                }
+                self.expect(&TokenKind::RBracket);
+                rank += 1;
+            }
+            if rank > 4 {
+                self.error("P005", "gather arrays support at most 4 dimensions");
+                rank = 4;
+            }
+            ParamKind::Gather { rank }
+        } else if is_out || is_reduce {
+            self.error("P006", "`out`/`reduce` parameters must be streams (`<>`)");
+            ParamKind::Scalar
+        } else {
+            ParamKind::Scalar
+        };
+        let span = start.merge(self.prev_span());
+        Some(Param { name, ty, kind, span })
+    }
+
+    fn parse_type(&mut self) -> Option<Type> {
+        let t = match self.peek() {
+            TokenKind::Keyword(Keyword::Float) => Type::FLOAT,
+            TokenKind::Keyword(Keyword::Float2) => Type::FLOAT2,
+            TokenKind::Keyword(Keyword::Float3) => Type::FLOAT3,
+            TokenKind::Keyword(Keyword::Float4) => Type::FLOAT4,
+            TokenKind::Keyword(Keyword::Int) => Type::INT,
+            TokenKind::Keyword(Keyword::Bool) => Type::BOOL,
+            other => {
+                let msg = format!("expected type, found {other}");
+                self.error("P003", msg);
+                return None;
+            }
+        };
+        self.bump();
+        Some(t)
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Some(s)
+            }
+            other => {
+                let msg = format!("expected identifier, found {other}");
+                self.error("P004", msg);
+                None
+            }
+        }
+    }
+
+    // ---- statements --------------------------------------------------
+
+    fn block(&mut self) -> Option<Block> {
+        let start = self.span();
+        if !self.expect(&TokenKind::LBrace) {
+            return None;
+        }
+        let mut stmts = Vec::new();
+        while !matches!(self.peek(), TokenKind::RBrace | TokenKind::Eof) {
+            let before = self.pos;
+            match self.stmt() {
+                Some(s) => stmts.push(s),
+                None => {
+                    // Recover to the next `;` or `}`.
+                    if self.pos == before {
+                        self.bump();
+                    }
+                    while !matches!(self.peek(), TokenKind::Semicolon | TokenKind::RBrace | TokenKind::Eof) {
+                        self.bump();
+                    }
+                    self.eat(&TokenKind::Semicolon);
+                }
+            }
+        }
+        self.expect(&TokenKind::RBrace);
+        Some(Block { stmts, span: start.merge(self.prev_span()) })
+    }
+
+    fn stmt(&mut self) -> Option<Stmt> {
+        let start = self.span();
+        match self.peek() {
+            TokenKind::Keyword(Keyword::Goto) => {
+                self.error("BA007", "`goto` is forbidden in Brook Auto (MISRA C rule 15.1)");
+                None
+            }
+            TokenKind::LBrace => Some(Stmt::Block(self.block()?)),
+            TokenKind::Keyword(Keyword::If) => {
+                self.bump();
+                self.expect(&TokenKind::LParen);
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen);
+                let then_block = self.block_or_single()?;
+                let else_block = if self.eat_kw(Keyword::Else) {
+                    if matches!(self.peek(), TokenKind::Keyword(Keyword::If)) {
+                        // `else if` chains become a single-statement block.
+                        let nested = self.stmt()?;
+                        let span = nested.span();
+                        Some(Block { stmts: vec![nested], span })
+                    } else {
+                        Some(self.block_or_single()?)
+                    }
+                } else {
+                    None
+                };
+                Some(Stmt::If { cond, then_block, else_block, span: start.merge(self.prev_span()) })
+            }
+            TokenKind::Keyword(Keyword::For) => {
+                self.bump();
+                self.expect(&TokenKind::LParen);
+                let init = if self.eat(&TokenKind::Semicolon) {
+                    None
+                } else {
+                    let s = self.simple_stmt()?;
+                    self.expect(&TokenKind::Semicolon);
+                    Some(Box::new(s))
+                };
+                let cond = if matches!(self.peek(), TokenKind::Semicolon) { None } else { Some(self.expr()?) };
+                self.expect(&TokenKind::Semicolon);
+                let step = if matches!(self.peek(), TokenKind::RParen) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect(&TokenKind::RParen);
+                let body = self.block_or_single()?;
+                Some(Stmt::For { init, cond, step, body, span: start.merge(self.prev_span()) })
+            }
+            TokenKind::Keyword(Keyword::While) => {
+                self.bump();
+                self.expect(&TokenKind::LParen);
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen);
+                let body = self.block_or_single()?;
+                Some(Stmt::While { cond, body, span: start.merge(self.prev_span()) })
+            }
+            TokenKind::Keyword(Keyword::Do) => {
+                self.bump();
+                let body = self.block()?;
+                if !self.eat_kw(Keyword::While) {
+                    self.error("P007", "expected `while` after `do` body");
+                    return None;
+                }
+                self.expect(&TokenKind::LParen);
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen);
+                self.expect(&TokenKind::Semicolon);
+                Some(Stmt::DoWhile { body, cond, span: start.merge(self.prev_span()) })
+            }
+            TokenKind::Keyword(Keyword::Return) => {
+                self.bump();
+                let value = if matches!(self.peek(), TokenKind::Semicolon) { None } else { Some(self.expr()?) };
+                self.expect(&TokenKind::Semicolon);
+                Some(Stmt::Return { value, span: start.merge(self.prev_span()) })
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(&TokenKind::Semicolon);
+                Some(s)
+            }
+        }
+    }
+
+    /// A single statement used as a loop body is wrapped in a block.
+    fn block_or_single(&mut self) -> Option<Block> {
+        if matches!(self.peek(), TokenKind::LBrace) {
+            self.block()
+        } else {
+            let s = self.stmt()?;
+            let span = s.span();
+            Some(Block { stmts: vec![s], span })
+        }
+    }
+
+    /// Declaration, assignment, increment or expression — the statement
+    /// forms allowed in `for` headers.
+    fn simple_stmt(&mut self) -> Option<Stmt> {
+        let start = self.span();
+        if matches!(
+            self.peek(),
+            TokenKind::Keyword(
+                Keyword::Float
+                    | Keyword::Float2
+                    | Keyword::Float3
+                    | Keyword::Float4
+                    | Keyword::Int
+                    | Keyword::Bool
+                    | Keyword::Const
+            )
+        ) {
+            self.eat_kw(Keyword::Const);
+            let ty = self.parse_type()?;
+            if self.eat(&TokenKind::Star) {
+                self.error("BA001", "pointer declarations are forbidden in Brook Auto (ISO 26262 restricted pointer use)");
+                return None;
+            }
+            let name = self.ident()?;
+            if matches!(self.peek(), TokenKind::LBracket) {
+                self.error(
+                    "BA008",
+                    "local arrays are forbidden in Brook Auto (no statically unverifiable storage)",
+                );
+                return None;
+            }
+            let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+            return Some(Stmt::Decl { name, ty, init, span: start.merge(self.prev_span()) });
+        }
+        // Assignment / inc-dec / expression.
+        let lhs = self.expr()?;
+        let op = match self.peek() {
+            TokenKind::Assign => Some(AssignOp::Assign),
+            TokenKind::PlusAssign => Some(AssignOp::AddAssign),
+            TokenKind::MinusAssign => Some(AssignOp::SubAssign),
+            TokenKind::StarAssign => Some(AssignOp::MulAssign),
+            TokenKind::SlashAssign => Some(AssignOp::DivAssign),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let value = self.expr()?;
+            if !lhs.is_lvalue() {
+                self.error("P008", "left-hand side of assignment is not assignable");
+            }
+            return Some(Stmt::Assign { target: lhs, op, value, span: start.merge(self.prev_span()) });
+        }
+        if matches!(self.peek(), TokenKind::PlusPlus | TokenKind::MinusMinus) {
+            let inc = matches!(self.bump(), TokenKind::PlusPlus);
+            if !lhs.is_lvalue() {
+                self.error("P008", "increment target is not assignable");
+            }
+            let span = start.merge(self.prev_span());
+            let one = self.expr_node(ExprKind::IntLit(1), span);
+            let op = if inc { AssignOp::AddAssign } else { AssignOp::SubAssign };
+            return Some(Stmt::Assign { target: lhs, op, value: one, span });
+        }
+        Some(Stmt::Expr { span: start.merge(lhs.span), expr: lhs })
+    }
+
+    // ---- expressions --------------------------------------------------
+
+    fn expr(&mut self) -> Option<Expr> {
+        if self.expr_depth >= MAX_EXPR_DEPTH {
+            self.error("P011", format!("expression nesting exceeds the depth limit {MAX_EXPR_DEPTH}"));
+            return None;
+        }
+        self.expr_depth += 1;
+        let result = self.ternary();
+        self.expr_depth -= 1;
+        result
+    }
+
+    fn ternary(&mut self) -> Option<Expr> {
+        let cond = self.logic_or()?;
+        if self.eat(&TokenKind::Question) {
+            let then_expr = self.expr()?;
+            self.expect(&TokenKind::Colon);
+            let else_expr = self.expr()?;
+            let span = cond.span.merge(else_expr.span);
+            return Some(self.expr_node(
+                ExprKind::Ternary {
+                    cond: Box::new(cond),
+                    then_expr: Box::new(then_expr),
+                    else_expr: Box::new(else_expr),
+                },
+                span,
+            ));
+        }
+        Some(cond)
+    }
+
+    fn binary_level(
+        &mut self,
+        next: fn(&mut Self) -> Option<Expr>,
+        table: &[(TokenKind, BinOp)],
+    ) -> Option<Expr> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (tok, op) in table {
+                if self.peek() == tok {
+                    self.bump();
+                    let rhs = next(self)?;
+                    let span = lhs.span.merge(rhs.span);
+                    lhs = self.expr_node(
+                        ExprKind::Binary { op: *op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                        span,
+                    );
+                    continue 'outer;
+                }
+            }
+            return Some(lhs);
+        }
+    }
+
+    fn logic_or(&mut self) -> Option<Expr> {
+        self.binary_level(Self::logic_and, &[(TokenKind::PipePipe, BinOp::Or)])
+    }
+
+    fn logic_and(&mut self) -> Option<Expr> {
+        self.binary_level(Self::equality, &[(TokenKind::AmpAmp, BinOp::And)])
+    }
+
+    fn equality(&mut self) -> Option<Expr> {
+        self.binary_level(Self::relational, &[(TokenKind::EqEq, BinOp::Eq), (TokenKind::Ne, BinOp::Ne)])
+    }
+
+    fn relational(&mut self) -> Option<Expr> {
+        self.binary_level(
+            Self::additive,
+            &[
+                (TokenKind::Lt, BinOp::Lt),
+                (TokenKind::Le, BinOp::Le),
+                (TokenKind::Gt, BinOp::Gt),
+                (TokenKind::Ge, BinOp::Ge),
+            ],
+        )
+    }
+
+    fn additive(&mut self) -> Option<Expr> {
+        self.binary_level(Self::multiplicative, &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)])
+    }
+
+    fn multiplicative(&mut self) -> Option<Expr> {
+        self.binary_level(
+            Self::unary,
+            &[
+                (TokenKind::Star, BinOp::Mul),
+                (TokenKind::Slash, BinOp::Div),
+                (TokenKind::Percent, BinOp::Rem),
+            ],
+        )
+    }
+
+    fn unary(&mut self) -> Option<Expr> {
+        let start = self.span();
+        if self.eat(&TokenKind::Minus) {
+            let operand = self.unary()?;
+            let span = start.merge(operand.span);
+            return Some(self.expr_node(ExprKind::Unary { op: UnOp::Neg, operand: Box::new(operand) }, span));
+        }
+        if self.eat(&TokenKind::Bang) {
+            let operand = self.unary()?;
+            let span = start.merge(operand.span);
+            return Some(self.expr_node(ExprKind::Unary { op: UnOp::Not, operand: Box::new(operand) }, span));
+        }
+        if self.eat(&TokenKind::Amp) {
+            self.error("BA001", "address-of is forbidden in Brook Auto (ISO 26262 restricted pointer use)");
+            return None;
+        }
+        if matches!(self.peek(), TokenKind::Star) && !matches!(self.peek_at(1), TokenKind::Eof) {
+            // A leading `*` can only be a dereference attempt here.
+            self.error("BA001", "pointer dereference is forbidden in Brook Auto (ISO 26262 restricted pointer use)");
+            return None;
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Option<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                TokenKind::LBracket => {
+                    let mut indices = Vec::new();
+                    while self.eat(&TokenKind::LBracket) {
+                        indices.push(self.expr()?);
+                        self.expect(&TokenKind::RBracket);
+                    }
+                    let span = e.span.merge(self.prev_span());
+                    e = self.expr_node(ExprKind::Index { base: Box::new(e), indices }, span);
+                }
+                TokenKind::Dot => {
+                    self.bump();
+                    let name = self.ident()?;
+                    let norm = normalize_swizzle(&name);
+                    match norm {
+                        Some(components) => {
+                            let span = e.span.merge(self.prev_span());
+                            e = self.expr_node(ExprKind::Swizzle { base: Box::new(e), components }, span);
+                        }
+                        None => {
+                            self.error("P009", format!("invalid swizzle `{name}` (components must be from xyzw/rgba)"));
+                            return None;
+                        }
+                    }
+                }
+                _ => return Some(e),
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Option<Expr> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::FloatLit(v) => {
+                self.bump();
+                Some(self.expr_node(ExprKind::FloatLit(v), start))
+            }
+            TokenKind::IntLit(v) => {
+                self.bump();
+                Some(self.expr_node(ExprKind::IntLit(v), start))
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.bump();
+                Some(self.expr_node(ExprKind::BoolLit(true), start))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.bump();
+                Some(self.expr_node(ExprKind::BoolLit(false), start))
+            }
+            TokenKind::Keyword(Keyword::Indexof) => {
+                self.bump();
+                self.expect(&TokenKind::LParen);
+                let stream = self.ident()?;
+                self.expect(&TokenKind::RParen);
+                let span = start.merge(self.prev_span());
+                Some(self.expr_node(ExprKind::Indexof { stream }, span))
+            }
+            TokenKind::Keyword(kw @ (Keyword::Float | Keyword::Float2 | Keyword::Float3 | Keyword::Float4 | Keyword::Int)) => {
+                // Constructor / cast call: float2(a, b), float(x), int(x).
+                self.bump();
+                self.expect(&TokenKind::LParen);
+                let mut args = Vec::new();
+                if !self.eat(&TokenKind::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&TokenKind::RParen);
+                }
+                let span = start.merge(self.prev_span());
+                Some(self.expr_node(ExprKind::Call { callee: kw.as_str().to_owned(), args }, span))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&TokenKind::RParen);
+                    }
+                    let span = start.merge(self.prev_span());
+                    Some(self.expr_node(ExprKind::Call { callee: name, args }, span))
+                } else {
+                    Some(self.expr_node(ExprKind::Var(name), start))
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen);
+                Some(e)
+            }
+            other => {
+                let msg = format!("expected expression, found {other}");
+                self.error("P010", msg);
+                None
+            }
+        }
+    }
+}
+
+/// Normalizes a swizzle like `rgba` to `xyzw` letters; returns `None` if
+/// the identifier is not a valid swizzle of length 1..=4.
+fn normalize_swizzle(name: &str) -> Option<String> {
+    if name.is_empty() || name.len() > 4 {
+        return None;
+    }
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        out.push(match c {
+            'x' | 'r' | 's' => 'x',
+            'y' | 'g' | 't' => 'y',
+            'z' | 'b' | 'p' => 'z',
+            'w' | 'a' | 'q' => 'w',
+            _ => return None,
+        });
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Program {
+        parse(src).unwrap_or_else(|e| panic!("parse failed: {e}: {:?}", e.diagnostics))
+    }
+
+    fn parse_err(src: &str) -> CompileError {
+        parse(src).expect_err("expected parse failure")
+    }
+
+    #[test]
+    fn parses_simple_kernel() {
+        let p = parse_ok("kernel void add(float a<>, float b<>, out float c<>) { c = a + b; }");
+        let k = p.kernel("add").unwrap();
+        assert!(!k.is_reduce);
+        assert_eq!(k.params.len(), 3);
+        assert_eq!(k.params[2].kind, ParamKind::OutStream);
+        assert_eq!(k.body.stmts.len(), 1);
+    }
+
+    #[test]
+    fn parses_reduce_kernel() {
+        let p = parse_ok("reduce void sum(float a<>, reduce float r<>) { r += a; }");
+        let k = p.kernel("sum").unwrap();
+        assert!(k.is_reduce);
+        assert_eq!(k.params[1].kind, ParamKind::ReduceOut);
+    }
+
+    #[test]
+    fn parses_gather_param() {
+        let p = parse_ok("kernel void g(float a[][], float idx<>, out float o<>) { o = a[1][2]; }");
+        let k = p.kernel("g").unwrap();
+        assert_eq!(k.params[0].kind, ParamKind::Gather { rank: 2 });
+    }
+
+    #[test]
+    fn parses_indexof() {
+        let p = parse_ok("kernel void f(float a<>, out float o<>) { float2 i = indexof(o); o = i.x; }");
+        let k = p.kernel("f").unwrap();
+        assert_eq!(k.body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn parses_for_loop() {
+        let p = parse_ok(
+            "kernel void f(float a<>, out float o<>) {
+                float s = 0.0;
+                int i;
+                for (i = 0; i < 16; i++) { s += a; }
+                o = s;
+            }",
+        );
+        let k = p.kernel("f").unwrap();
+        assert!(matches!(k.body.stmts[2], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn parses_if_else_chain() {
+        parse_ok(
+            "kernel void f(float a<>, out float o<>) {
+                if (a > 1.0) { o = 1.0; } else if (a > 0.5) { o = 0.5; } else { o = 0.0; }
+            }",
+        );
+    }
+
+    #[test]
+    fn parses_ternary_and_precedence() {
+        let p = parse_ok("kernel void f(float a<>, out float o<>) { o = a > 0.0 ? a * 2.0 + 1.0 : -a; }");
+        let k = p.kernel("f").unwrap();
+        // Ensure the body parsed as one assignment of a ternary.
+        match &k.body.stmts[0] {
+            Stmt::Assign { value, .. } => assert!(matches!(value.kind, ExprKind::Ternary { .. })),
+            other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_swizzles() {
+        let p = parse_ok("kernel void f(float4 a<>, out float2 o<>) { o = a.xw + a.rg; }");
+        assert_eq!(p.kernels().count(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_swizzle() {
+        let e = parse_err("kernel void f(float4 a<>, out float o<>) { o = a.foo; }");
+        assert!(e.has_code("P009"));
+    }
+
+    #[test]
+    fn rejects_pointer_param() {
+        let e = parse_err("kernel void f(float *p, out float o<>) { o = 0.0; }");
+        assert!(e.has_code("BA001"));
+    }
+
+    #[test]
+    fn rejects_address_of() {
+        let e = parse_err("kernel void f(float a<>, out float o<>) { o = &a; }");
+        assert!(e.has_code("BA001"));
+    }
+
+    #[test]
+    fn rejects_goto() {
+        let e = parse_err("kernel void f(float a<>, out float o<>) { goto end; }");
+        assert!(e.has_code("BA007"));
+    }
+
+    #[test]
+    fn rejects_local_array() {
+        let e = parse_err("kernel void f(float a<>, out float o<>) { float buf[4]; o = a; }");
+        assert!(e.has_code("BA008"));
+    }
+
+    #[test]
+    fn parses_helper_function() {
+        let p = parse_ok(
+            "float sq(float x) { return x * x; }
+             kernel void f(float a<>, out float o<>) { o = sq(a); }",
+        );
+        assert_eq!(p.functions().count(), 1);
+        assert!(p.function("sq").unwrap().return_ty.is_some());
+    }
+
+    #[test]
+    fn parses_vector_constructors() {
+        parse_ok("kernel void f(float a<>, out float4 o<>) { o = float4(a, a, 0.0, 1.0); }");
+    }
+
+    #[test]
+    fn increments_lower_to_assignments() {
+        let p = parse_ok("kernel void f(float a<>, out float o<>) { int i; i = 0; for (; i < 4; i++) { } o = a; }");
+        assert_eq!(p.kernels().count(), 1);
+    }
+
+    #[test]
+    fn error_recovery_continues_to_next_kernel() {
+        // The first kernel is malformed; the parser should still report and
+        // reach EOF without panicking.
+        let e = parse_err("kernel void f(float a<>) { o = ; } kernel void g(float a<>, out float o<>) { o = a; }");
+        assert!(e.first_error().is_some());
+    }
+
+    #[test]
+    fn node_ids_are_unique() {
+        let p = parse_ok("kernel void f(float a<>, out float o<>) { o = a + a * a; }");
+        let mut seen = std::collections::HashSet::new();
+        fn walk(e: &Expr, seen: &mut std::collections::HashSet<NodeId>) {
+            assert!(seen.insert(e.id), "duplicate node id {}", e.id);
+            match &e.kind {
+                ExprKind::Binary { lhs, rhs, .. } => {
+                    walk(lhs, seen);
+                    walk(rhs, seen);
+                }
+                ExprKind::Unary { operand, .. } => walk(operand, seen),
+                _ => {}
+            }
+        }
+        for k in p.kernels() {
+            for s in &k.body.stmts {
+                if let Stmt::Assign { target, value, .. } = s {
+                    walk(target, &mut seen);
+                    walk(value, &mut seen);
+                }
+            }
+        }
+        assert!(seen.len() >= 4);
+    }
+
+    #[test]
+    fn swizzle_normalization() {
+        assert_eq!(normalize_swizzle("rgba").as_deref(), Some("xyzw"));
+        assert_eq!(normalize_swizzle("xy").as_deref(), Some("xy"));
+        assert_eq!(normalize_swizzle("stpq").as_deref(), Some("xyzw"));
+        assert_eq!(normalize_swizzle("xk"), None);
+        assert_eq!(normalize_swizzle("xyzwx"), None);
+    }
+}

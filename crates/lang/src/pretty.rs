@@ -1,0 +1,333 @@
+//! Canonical pretty-printer for Brook Auto syntax trees.
+//!
+//! Printing then re-parsing yields a structurally identical tree (modulo
+//! node ids and spans), which the property tests rely on. The printer is
+//! also used for diagnostics and for embedding kernels in reports.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a whole program back to Brook source.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, item) in p.items.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        match item {
+            Item::Kernel(k) => print_kernel(&mut out, k),
+            Item::Function(f) => print_function(&mut out, f),
+        }
+    }
+    out
+}
+
+/// Renders one kernel definition.
+pub fn print_kernel_def(k: &KernelDef) -> String {
+    let mut out = String::new();
+    print_kernel(&mut out, k);
+    out
+}
+
+fn print_kernel(out: &mut String, k: &KernelDef) {
+    let head = if k.is_reduce { "reduce" } else { "kernel" };
+    let _ = write!(out, "{head} void {}(", k.name);
+    for (i, p) in k.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        print_param(out, p);
+    }
+    out.push_str(") ");
+    print_block(out, &k.body, 0);
+    out.push('\n');
+}
+
+fn print_function(out: &mut String, f: &FunctionDef) {
+    match f.return_ty {
+        Some(t) => {
+            let _ = write!(out, "{t} {}(", f.name);
+        }
+        None => {
+            let _ = write!(out, "void {}(", f.name);
+        }
+    }
+    for (i, (name, ty)) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{ty} {name}");
+    }
+    out.push_str(") ");
+    print_block(out, &f.body, 0);
+    out.push('\n');
+}
+
+fn print_param(out: &mut String, p: &Param) {
+    match p.kind {
+        ParamKind::Stream => {
+            let _ = write!(out, "{} {}<>", p.ty, p.name);
+        }
+        ParamKind::OutStream => {
+            let _ = write!(out, "out {} {}<>", p.ty, p.name);
+        }
+        ParamKind::ReduceOut => {
+            let _ = write!(out, "reduce {} {}<>", p.ty, p.name);
+        }
+        ParamKind::Gather { rank } => {
+            let _ = write!(out, "{} {}", p.ty, p.name);
+            for _ in 0..rank {
+                out.push_str("[]");
+            }
+        }
+        ParamKind::Scalar => {
+            let _ = write!(out, "{} {}", p.ty, p.name);
+        }
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(out: &mut String, b: &Block, level: usize) {
+    out.push_str("{\n");
+    for s in &b.stmts {
+        print_stmt(out, s, level + 1);
+    }
+    indent(out, level);
+    out.push('}');
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
+    indent(out, level);
+    match s {
+        Stmt::Decl { name, ty, init, .. } => {
+            let _ = write!(out, "{ty} {name}");
+            if let Some(e) = init {
+                out.push_str(" = ");
+                print_expr(out, e);
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Assign { target, op, value, .. } => {
+            print_expr(out, target);
+            out.push_str(match op {
+                AssignOp::Assign => " = ",
+                AssignOp::AddAssign => " += ",
+                AssignOp::SubAssign => " -= ",
+                AssignOp::MulAssign => " *= ",
+                AssignOp::DivAssign => " /= ",
+            });
+            print_expr(out, value);
+            out.push_str(";\n");
+        }
+        Stmt::If { cond, then_block, else_block, .. } => {
+            out.push_str("if (");
+            print_expr(out, cond);
+            out.push_str(") ");
+            print_block(out, then_block, level);
+            if let Some(e) = else_block {
+                out.push_str(" else ");
+                print_block(out, e, level);
+            }
+            out.push('\n');
+        }
+        Stmt::For { init, cond, step, body, .. } => {
+            out.push_str("for (");
+            if let Some(i) = init {
+                print_inline_stmt(out, i);
+            }
+            out.push_str("; ");
+            if let Some(c) = cond {
+                print_expr(out, c);
+            }
+            out.push_str("; ");
+            if let Some(st) = step {
+                print_inline_stmt(out, st);
+            }
+            out.push_str(") ");
+            print_block(out, body, level);
+            out.push('\n');
+        }
+        Stmt::While { cond, body, .. } => {
+            out.push_str("while (");
+            print_expr(out, cond);
+            out.push_str(") ");
+            print_block(out, body, level);
+            out.push('\n');
+        }
+        Stmt::DoWhile { body, cond, .. } => {
+            out.push_str("do ");
+            print_block(out, body, level);
+            out.push_str(" while (");
+            print_expr(out, cond);
+            out.push_str(");\n");
+        }
+        Stmt::Return { value, .. } => {
+            out.push_str("return");
+            if let Some(v) = value {
+                out.push(' ');
+                print_expr(out, v);
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Expr { expr, .. } => {
+            print_expr(out, expr);
+            out.push_str(";\n");
+        }
+        Stmt::Block(b) => {
+            print_block(out, b, level);
+            out.push('\n');
+        }
+    }
+}
+
+/// Statement printed without trailing `;\n` — used inside `for` headers.
+fn print_inline_stmt(out: &mut String, s: &Stmt) {
+    let mut tmp = String::new();
+    print_stmt(&mut tmp, s, 0);
+    let trimmed = tmp.trim_end().trim_end_matches(';');
+    out.push_str(trimmed);
+}
+
+/// Renders one expression with full parenthesization (canonical form).
+pub fn print_expr_string(e: &Expr) -> String {
+    let mut s = String::new();
+    print_expr(&mut s, e);
+    s
+}
+
+fn print_expr(out: &mut String, e: &Expr) {
+    match &e.kind {
+        ExprKind::FloatLit(v) => {
+            if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e9 {
+                let _ = write!(out, "{v:.1}");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        ExprKind::IntLit(v) => {
+            let _ = write!(out, "{v}");
+        }
+        ExprKind::BoolLit(v) => {
+            let _ = write!(out, "{v}");
+        }
+        ExprKind::Var(n) => out.push_str(n),
+        ExprKind::Binary { op, lhs, rhs } => {
+            out.push('(');
+            print_expr(out, lhs);
+            let _ = write!(out, " {} ", op.as_str());
+            print_expr(out, rhs);
+            out.push(')');
+        }
+        ExprKind::Unary { op, operand } => {
+            out.push('(');
+            out.push(match op {
+                UnOp::Neg => '-',
+                UnOp::Not => '!',
+            });
+            print_expr(out, operand);
+            out.push(')');
+        }
+        ExprKind::Ternary { cond, then_expr, else_expr } => {
+            out.push('(');
+            print_expr(out, cond);
+            out.push_str(" ? ");
+            print_expr(out, then_expr);
+            out.push_str(" : ");
+            print_expr(out, else_expr);
+            out.push(')');
+        }
+        ExprKind::Call { callee, args } => {
+            let _ = write!(out, "{callee}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr(out, a);
+            }
+            out.push(')');
+        }
+        ExprKind::Index { base, indices } => {
+            print_expr(out, base);
+            for ix in indices {
+                out.push('[');
+                print_expr(out, ix);
+                out.push(']');
+            }
+        }
+        ExprKind::Swizzle { base, components } => {
+            print_expr(out, base);
+            let _ = write!(out, ".{components}");
+        }
+        ExprKind::Indexof { stream } => {
+            let _ = write!(out, "indexof({stream})");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let p1 = parse(src).expect("first parse");
+        let printed = print_program(&p1);
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed on:\n{printed}\n{e}"));
+        let printed2 = print_program(&p2);
+        assert_eq!(printed, printed2, "pretty print is not a fixed point");
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        roundtrip("kernel void add(float a<>, float b<>, out float c<>) { c = a + b; }");
+    }
+
+    #[test]
+    fn roundtrip_control_flow() {
+        roundtrip(
+            "kernel void f(float a<>, out float o<>) {
+                float s = 0.0;
+                int i;
+                for (i = 0; i < 8; i++) { if (a > 0.5) { s += a; } else { s -= a; } }
+                o = s;
+            }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_reduce() {
+        roundtrip("reduce void sum(float a<>, reduce float r<>) { r += a; }");
+    }
+
+    #[test]
+    fn roundtrip_gather_and_indexof() {
+        roundtrip(
+            "kernel void g(float m[][], float v<>, out float o<>) {
+                float2 p = indexof(o);
+                o = m[int(p.y)][int(p.x)] * v;
+            }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_vectors() {
+        roundtrip("kernel void f(float4 a<>, out float4 o<>) { o = float4(a.x, a.yz, 1.0) * 2.0; }");
+    }
+
+    #[test]
+    fn roundtrip_helper_function() {
+        roundtrip("float sq(float x) { return x * x; }\nkernel void f(float a<>, out float o<>) { o = sq(a); }");
+    }
+
+    #[test]
+    fn float_literals_keep_decimal_point() {
+        let p = parse("kernel void f(float a<>, out float o<>) { o = a * 3.0; }").unwrap();
+        let s = print_program(&p);
+        assert!(s.contains("3.0"), "got: {s}");
+    }
+}

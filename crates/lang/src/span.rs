@@ -1,0 +1,86 @@
+//! Source locations used by every diagnostic in the Brook Auto toolchain.
+
+use std::fmt;
+
+/// A half-open byte range into a source string, with the 1-based line and
+/// column of its start for human-readable diagnostics.
+///
+/// ```
+/// use brook_lang::span::Span;
+/// let s = Span::new(4, 7, 1, 5);
+/// assert_eq!(s.len(), 3);
+/// assert_eq!(format!("{s}"), "1:5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: u32,
+    /// 1-based source column of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span covering `start..end` starting at `line:col`.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// A zero-width placeholder span for synthesized nodes.
+    pub fn synthetic() -> Self {
+        Span::default()
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True when the span covers no bytes (synthesized nodes).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn merge(&self, other: Span) -> Span {
+        let (first, last) = if self.start <= other.start { (*self, other) } else { (other, *self) };
+        Span { start: first.start, end: first.end.max(last.end), line: first.line, col: first.col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_orders_spans() {
+        let a = Span::new(10, 14, 2, 3);
+        let b = Span::new(2, 6, 1, 3);
+        let m = a.merge(b);
+        assert_eq!(m.start, 2);
+        assert_eq!(m.end, 14);
+        assert_eq!(m.line, 1);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = Span::new(0, 4, 1, 1);
+        let b = Span::new(8, 12, 1, 9);
+        assert_eq!(a.merge(b), b.merge(a));
+    }
+
+    #[test]
+    fn synthetic_is_empty() {
+        assert!(Span::synthetic().is_empty());
+        assert!(!Span::new(0, 1, 1, 1).is_empty());
+    }
+}

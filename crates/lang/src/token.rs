@@ -1,0 +1,215 @@
+//! Token definitions for the Brook Auto kernel language.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Keywords of the Brook kernel language (a restricted C subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    Kernel,
+    Reduce,
+    Out,
+    Void,
+    Float,
+    Float2,
+    Float3,
+    Float4,
+    Int,
+    Bool,
+    If,
+    Else,
+    For,
+    While,
+    Do,
+    Return,
+    Const,
+    True,
+    False,
+    Indexof,
+    /// Rejected C keywords kept as tokens so the parser can emit targeted
+    /// certification diagnostics (`goto` violates BA007).
+    Goto,
+}
+
+impl Keyword {
+    /// Looks up a keyword from its source spelling.
+    pub fn lookup(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "kernel" => Keyword::Kernel,
+            "reduce" => Keyword::Reduce,
+            "out" => Keyword::Out,
+            "void" => Keyword::Void,
+            "float" => Keyword::Float,
+            "float2" => Keyword::Float2,
+            "float3" => Keyword::Float3,
+            "float4" => Keyword::Float4,
+            "int" => Keyword::Int,
+            "bool" => Keyword::Bool,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "for" => Keyword::For,
+            "while" => Keyword::While,
+            "do" => Keyword::Do,
+            "return" => Keyword::Return,
+            "const" => Keyword::Const,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            "indexof" => Keyword::Indexof,
+            "goto" => Keyword::Goto,
+            _ => return None,
+        })
+    }
+
+    /// Canonical source spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Keyword::Kernel => "kernel",
+            Keyword::Reduce => "reduce",
+            Keyword::Out => "out",
+            Keyword::Void => "void",
+            Keyword::Float => "float",
+            Keyword::Float2 => "float2",
+            Keyword::Float3 => "float3",
+            Keyword::Float4 => "float4",
+            Keyword::Int => "int",
+            Keyword::Bool => "bool",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::For => "for",
+            Keyword::While => "while",
+            Keyword::Do => "do",
+            Keyword::Return => "return",
+            Keyword::Const => "const",
+            Keyword::True => "true",
+            Keyword::False => "false",
+            Keyword::Indexof => "indexof",
+            Keyword::Goto => "goto",
+        }
+    }
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Ident(String),
+    Keyword(Keyword),
+    /// Floating literal, e.g. `1.0`, `.5`, `2e3`.
+    FloatLit(f32),
+    /// Integer literal, e.g. `42`.
+    IntLit(i64),
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    /// `<>` stream marker, lexed as a unit after `ident` in parameter
+    /// position is handled by the parser via `Lt` + `Gt`.
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Bang,
+    AmpAmp,
+    PipePipe,
+    /// `&` — not part of the subset; kept so the parser can report BA001.
+    Amp,
+    /// `|` — not part of the subset.
+    Pipe,
+    Question,
+    Colon,
+    Semicolon,
+    Comma,
+    Dot,
+    PlusPlus,
+    MinusMinus,
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Keyword(k) => write!(f, "`{}`", k.as_str()),
+            TokenKind::FloatLit(v) => write!(f, "float literal `{v}`"),
+            TokenKind::IntLit(v) => write!(f, "int literal `{v}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::Ne => write!(f, "`!=`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::PlusAssign => write!(f, "`+=`"),
+            TokenKind::MinusAssign => write!(f, "`-=`"),
+            TokenKind::StarAssign => write!(f, "`*=`"),
+            TokenKind::SlashAssign => write!(f, "`/=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Percent => write!(f, "`%`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::AmpAmp => write!(f, "`&&`"),
+            TokenKind::PipePipe => write!(f, "`||`"),
+            TokenKind::Amp => write!(f, "`&`"),
+            TokenKind::Pipe => write!(f, "`|`"),
+            TokenKind::Question => write!(f, "`?`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Semicolon => write!(f, "`;`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::PlusPlus => write!(f, "`++`"),
+            TokenKind::MinusMinus => write!(f, "`--`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token paired with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_roundtrip() {
+        for kw in [Keyword::Kernel, Keyword::Reduce, Keyword::Float4, Keyword::Indexof, Keyword::Goto] {
+            assert_eq!(Keyword::lookup(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::lookup("double"), None);
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        assert_eq!(format!("{}", TokenKind::Ident("a".into())), "identifier `a`");
+        assert_eq!(format!("{}", TokenKind::Keyword(Keyword::Kernel)), "`kernel`");
+        assert_eq!(format!("{}", TokenKind::Le), "`<=`");
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests for the front-end: totality of the lexer/parser on
+//! arbitrary input and pretty-print/reparse roundtrips on generated
+//! kernels.
+
+use brook_lang::ast::*;
+use brook_lang::{lexer, parse, pretty};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The lexer must be total: any byte soup produces tokens +
+    /// diagnostics, never a panic.
+    #[test]
+    fn lexer_never_panics(src in ".*") {
+        let _ = lexer::lex(&src);
+    }
+
+    /// The parser must be total as well, including on inputs assembled
+    /// from language fragments (more likely to reach deep parser states
+    /// than pure noise).
+    #[test]
+    fn parser_never_panics_on_fragment_soup(parts in proptest::collection::vec(
+        prop_oneof![
+            Just("kernel"), Just("void"), Just("float"), Just("float4"), Just("out"),
+            Just("reduce"), Just("<>"), Just("("), Just(")"), Just("{"), Just("}"),
+            Just("["), Just("]"), Just(";"), Just(","), Just("="), Just("+"),
+            Just("for"), Just("if"), Just("else"), Just("indexof"), Just("x"),
+            Just("1.0"), Just("42"), Just("a"), Just("o"), Just("goto"), Just("*"),
+            Just("&"), Just("while"), Just("return"),
+        ], 0..60)) {
+        let src = parts.join(" ");
+        let _ = parse(&src);
+    }
+}
+
+/// Strategy producing well-formed expression source strings over the
+/// identifiers `a` (input stream) and `k` (scalar param).
+fn expr_strategy() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("a".to_owned()),
+        Just("k".to_owned()),
+        (0..100u32).prop_map(|v| format!("{v}.5")),
+        (1..50u32).prop_map(|v| format!("{v}.0")),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("({l} + {r})")),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("({l} * {r})")),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("({l} - {r})")),
+            inner.clone().prop_map(|e| format!("abs({e})")),
+            inner.clone().prop_map(|e| format!("(-{e})")),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| format!("((({c}) > 1.0) ? ({t}) : ({f}))")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generated kernels parse, check, pretty-print and reparse to the
+    /// same canonical form (the printer is a fixed point).
+    #[test]
+    fn pretty_print_roundtrip(body in expr_strategy()) {
+        let src = format!("kernel void f(float a<>, float k, out float o<>) {{ o = {body}; }}");
+        let p1 = parse(&src).expect("generated kernel must parse");
+        brook_lang::check(p1.clone()).expect("generated kernel must type-check");
+        let printed = pretty::print_program(&p1);
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(pretty::print_program(&p2), printed);
+    }
+
+    /// Structural equality modulo spans/ids: kernel metadata survives the
+    /// roundtrip.
+    #[test]
+    fn roundtrip_preserves_signature(n_inputs in 1usize..5) {
+        let params: Vec<String> = (0..n_inputs).map(|i| format!("float s{i}<>")).collect();
+        let sum: Vec<String> = (0..n_inputs).map(|i| format!("s{i}")).collect();
+        let src = format!(
+            "kernel void f({}, out float o<>) {{ o = {}; }}",
+            params.join(", "),
+            sum.join(" + ")
+        );
+        let p1 = parse(&src).expect("parse");
+        let printed = pretty::print_program(&p1);
+        let p2 = parse(&printed).expect("reparse");
+        let k1 = p1.kernel("f").expect("kernel");
+        let k2 = p2.kernel("f").expect("kernel");
+        prop_assert_eq!(k1.params.len(), k2.params.len());
+        for (a, b) in k1.params.iter().zip(&k2.params) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert_eq!(a.ty, b.ty);
+        }
+    }
+}
+
+#[test]
+fn nesting_within_the_limit_parses() {
+    let mut e = String::from("a");
+    for _ in 0..100 {
+        e = format!("({e} + 1.0)");
+    }
+    let src = format!("kernel void f(float a<>, out float o<>) {{ o = {e}; }}");
+    let p = parse(&src).expect("parse");
+    assert_eq!(p.kernels().count(), 1);
+}
+
+#[test]
+fn excessive_nesting_is_rejected_not_crashed() {
+    // The parser enforces a depth bound (P011) instead of exhausting its
+    // own stack — the compiler obeys the same resource discipline the
+    // language imposes on kernels.
+    let mut e = String::from("a");
+    for _ in 0..500 {
+        e = format!("({e} + 1.0)");
+    }
+    let src = format!("kernel void f(float a<>, out float o<>) {{ o = {e}; }}");
+    let err = parse(&src).expect_err("must be rejected");
+    assert!(err.has_code("P011"), "expected P011, got {:?}", err.first_error());
+}
+
+#[test]
+fn node_ids_unique_across_whole_program() {
+    let src = "
+        float h(float x) { return x * x + 1.0; }
+        kernel void f(float a<>, out float o<>) { o = h(a) + h(a * 2.0); }
+        kernel void g(float a<>, out float o<>) { o = a - 1.0; }";
+    let p = parse(src).expect("parse");
+    let mut seen = std::collections::HashSet::new();
+    fn walk_expr(e: &Expr, seen: &mut std::collections::HashSet<NodeId>) {
+        assert!(seen.insert(e.id), "duplicate id {}", e.id);
+        match &e.kind {
+            ExprKind::Binary { lhs, rhs, .. } => {
+                walk_expr(lhs, seen);
+                walk_expr(rhs, seen);
+            }
+            ExprKind::Unary { operand, .. } => walk_expr(operand, seen),
+            ExprKind::Call { args, .. } => args.iter().for_each(|a| walk_expr(a, seen)),
+            ExprKind::Ternary { cond, then_expr, else_expr } => {
+                walk_expr(cond, seen);
+                walk_expr(then_expr, seen);
+                walk_expr(else_expr, seen);
+            }
+            ExprKind::Index { base, indices } => {
+                walk_expr(base, seen);
+                indices.iter().for_each(|i| walk_expr(i, seen));
+            }
+            ExprKind::Swizzle { base, .. } => walk_expr(base, seen),
+            _ => {}
+        }
+    }
+    fn walk_stmt(s: &Stmt, seen: &mut std::collections::HashSet<NodeId>) {
+        match s {
+            Stmt::Decl { init: Some(e), .. } => walk_expr(e, seen),
+            Stmt::Assign { target, value, .. } => {
+                walk_expr(target, seen);
+                walk_expr(value, seen);
+            }
+            Stmt::If { cond, then_block, else_block, .. } => {
+                walk_expr(cond, seen);
+                then_block.stmts.iter().for_each(|s| walk_stmt(s, seen));
+                if let Some(b) = else_block {
+                    b.stmts.iter().for_each(|s| walk_stmt(s, seen));
+                }
+            }
+            Stmt::Return { value: Some(e), .. } => walk_expr(e, seen),
+            Stmt::Expr { expr, .. } => walk_expr(expr, seen),
+            _ => {}
+        }
+    }
+    for item in &p.items {
+        match item {
+            Item::Kernel(k) => k.body.stmts.iter().for_each(|s| walk_stmt(s, &mut seen)),
+            Item::Function(f) => f.body.stmts.iter().for_each(|s| walk_stmt(s, &mut seen)),
+        }
+    }
+    assert!(seen.len() > 10);
+}

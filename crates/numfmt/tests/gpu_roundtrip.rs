@@ -1,0 +1,87 @@
+//! End-to-end test of the GPU-side numerical transformations: floats are
+//! encoded into RGBA8 texels on the CPU, uploaded to a simulated OpenGL
+//! ES 2.0 texture, decoded *and re-encoded inside a fragment shader* by
+//! the GLSL snippets, rendered to an RGBA8 target and read back — the
+//! exact data path of every Brook Auto kernel (paper §5.4).
+
+use brook_numfmt::{canonicalize, floats_to_texels, texels_to_floats, GLSL_DECODE, GLSL_ENCODE};
+use gles2_sim::{DeviceProfile, DrawMode, Gl, TexFormat, Value};
+use proptest::prelude::*;
+
+/// Builds the identity kernel: out[i] = decode(in[i]) re-encoded.
+fn identity_shader() -> String {
+    format!(
+        "uniform sampler2D src;\nvarying vec2 v_texcoord;\n{GLSL_DECODE}\n{GLSL_ENCODE}\n\
+         void main() {{ gl_FragColor = ba_encode(ba_decode(texture2D(src, v_texcoord))); }}"
+    )
+}
+
+/// A kernel that doubles each value, to prove arithmetic happens on the
+/// reconstructed float.
+fn double_shader() -> String {
+    format!(
+        "uniform sampler2D src;\nvarying vec2 v_texcoord;\n{GLSL_DECODE}\n{GLSL_ENCODE}\n\
+         void main() {{ gl_FragColor = ba_encode(ba_decode(texture2D(src, v_texcoord)) * 2.0); }}"
+    )
+}
+
+fn run_shader(values: &[f32], shader: &str, side: u32) -> Vec<f32> {
+    assert_eq!(values.len(), (side * side) as usize);
+    let mut gl = Gl::new(DeviceProfile::videocore_iv());
+    let input = gl.create_texture(side, side, TexFormat::Rgba8).expect("input texture");
+    gl.upload_texture(input, &floats_to_texels(values)).expect("upload");
+    gl.bind_texture(0, input).expect("bind");
+    let output = gl.create_texture(side, side, TexFormat::Rgba8).expect("output texture");
+    let fbo = gl.create_framebuffer();
+    gl.attach_texture(fbo, output).expect("attach");
+    gl.bind_framebuffer(fbo).expect("bind fbo");
+    gl.viewport(side, side);
+    let prog = gl.create_program(shader).expect("compile");
+    gl.use_program(prog).expect("use");
+    gl.set_uniform(prog, "src", Value::Int(0)).expect("sampler");
+    gl.draw_fullscreen_quad(DrawMode::Full).expect("draw");
+    texels_to_floats(&gl.read_pixels().expect("readback"))
+}
+
+#[test]
+fn gpu_identity_roundtrip_exact() {
+    let values: Vec<f32> = vec![
+        0.0, 1.0, -1.0, 0.5, 2.0, -0.25, 3.25159, -2.61828, 1e10, -1e-10, 65535.0, 1.0 / 3.0, 1024.0, -4096.5,
+        f32::MAX, f32::MIN_POSITIVE,
+    ];
+    let out = run_shader(&values, &identity_shader(), 4);
+    for (i, (a, b)) in values.iter().zip(&out).enumerate() {
+        assert_eq!(a, b, "identity roundtrip mismatch at {i}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn gpu_arithmetic_on_decoded_floats() {
+    let values: Vec<f32> = (0..16).map(|i| i as f32 * 1.5 - 7.0).collect();
+    let out = run_shader(&values, &double_shader(), 4);
+    for (a, b) in values.iter().zip(&out) {
+        assert_eq!(*a * 2.0, *b, "doubling mismatch: {a} * 2 != {b}");
+    }
+}
+
+#[test]
+fn gpu_roundtrip_handles_powers_of_two() {
+    // log2 edge cases: exact powers of two exercise the exponent
+    // correction in ba_encode.
+    let values: Vec<f32> = (0..16).map(|i| 2.0f32.powi(i - 8)).collect();
+    let out = run_shader(&values, &identity_shader(), 4);
+    assert_eq!(values, out);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gpu_roundtrip_matches_cpu_canonicalization(
+        values in proptest::collection::vec(-1.0e20f32..1.0e20f32, 16)
+    ) {
+        let canonical: Vec<f32> = values.iter().map(|v| canonicalize(*v)).collect();
+        let out = run_shader(&canonical, &identity_shader(), 4);
+        prop_assert_eq!(canonical, out);
+    }
+}

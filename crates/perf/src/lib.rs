@@ -1,0 +1,380 @@
+//! # perf-model — calibrated timing models for both evaluation platforms
+//!
+//! The paper reports wall-clock speedups measured on two physical
+//! machines: an ARM platform with a VideoCore IV GPU (the target) and an
+//! Intel Core 2 Duo T9400 + AMD Mobility Radeon HD 3400 (the x86
+//! reference running AMD's CAL-based Brook+). We have neither machine;
+//! per the substitution rule this crate converts *measured event counts*
+//! from the simulator and the instrumented CPU references into seconds
+//! using calibrated per-platform constants.
+//!
+//! What is measured vs. what is calibrated:
+//!
+//! * measured — shader ALU ops, texture fetches, fragments, draw calls,
+//!   bytes uploaded/downloaded (from `gles2-sim`); CPU operation counts
+//!   and memory-access profiles (from `brook-apps` instrumentation);
+//! * calibrated — per-op throughputs, transfer bandwidths, per-draw
+//!   overhead and memory-hierarchy latencies, set once per platform in
+//!   [`Platform::target`] / [`Platform::reference`] to land in the same
+//!   regime as the paper's Figure 1 (GPU/CPU capability ratio ≈ 26.7 on
+//!   the target, ≈ 23 on the reference).
+//!
+//! Absolute seconds are therefore synthetic, but *shapes* — who wins at
+//! which size, where crossovers fall, where plateaus saturate — follow
+//! from the measured counts, which is exactly the claim the reproduction
+//! checks (see EXPERIMENTS.md).
+
+pub mod cache;
+
+pub use cache::CacheSim;
+
+/// Memory access pattern of an instrumented CPU phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Streaming/linear walks: prefetch-friendly, bandwidth-bound.
+    Sequential,
+    /// Data-dependent jumps: latency-bound (binary search, gathers).
+    Random,
+}
+
+/// CPU core model: scalar throughput plus SIMD width for vectorized code
+/// (the Brook+ x86 kernels were hand-vectorized, paper §6.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Sustained scalar operations per second (freq × IPC).
+    pub ops_per_sec: f64,
+    /// SIMD speedup factor available to vectorized CPU code.
+    pub simd_width: f64,
+}
+
+/// Memory hierarchy model used for the CPU side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemSpec {
+    /// L1 data cache capacity in bytes.
+    pub l1_bytes: u64,
+    /// L2 cache capacity in bytes.
+    pub l2_bytes: u64,
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+    /// Random-access latency when the working set fits L1 (seconds).
+    pub l1_latency_s: f64,
+    /// Random-access latency when it fits L2 (seconds).
+    pub l2_latency_s: f64,
+    /// Random-access latency from DRAM (seconds).
+    pub mem_latency_s: f64,
+    /// Sequential streaming bandwidth (bytes/second).
+    pub stream_bw: f64,
+}
+
+impl MemSpec {
+    /// Seconds for `accesses` reads/writes of `access_bytes` each over a
+    /// working set of `working_set` bytes with the given pattern.
+    pub fn access_time(&self, accesses: u64, access_bytes: u64, working_set: u64, pattern: AccessPattern) -> f64 {
+        match pattern {
+            AccessPattern::Sequential => {
+                if working_set <= self.l1_bytes {
+                    accesses as f64 * self.l1_latency_s
+                } else {
+                    // Streaming: each byte crosses the bus once; latency
+                    // hidden by prefetch.
+                    (accesses * access_bytes) as f64 / self.stream_bw
+                }
+            }
+            AccessPattern::Random => {
+                let lat = if working_set <= self.l1_bytes {
+                    self.l1_latency_s
+                } else if working_set <= self.l2_bytes {
+                    self.l2_latency_s
+                } else {
+                    self.mem_latency_s
+                };
+                accesses as f64 * lat
+            }
+        }
+    }
+}
+
+/// GPU throughput model. Rates are in simulator event units: the GLSL
+/// interpreter counts one ALU op per (possibly vector) operation, which
+/// matches the vector microarchitecture of the modelled devices
+/// (paper §5.4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Shader ALU operations retired per second (all cores combined).
+    pub alu_per_sec: f64,
+    /// Texture fetches per second.
+    pub tex_per_sec: f64,
+    /// Host -> GPU transfer bandwidth (bytes/second).
+    pub upload_bw: f64,
+    /// GPU -> host readback bandwidth (bytes/second).
+    pub download_bw: f64,
+    /// Fixed cost per draw call (state setup, kickoff, sync), seconds.
+    pub draw_overhead_s: f64,
+    /// Fixed cost per readback (pipeline flush), seconds.
+    pub readback_overhead_s: f64,
+    /// Per-fragment fixed cost (rasterization, scheduling), seconds.
+    pub fragment_overhead_s: f64,
+}
+
+/// Counters describing one GPU execution, filled from `gles2-sim` stats.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GpuRun {
+    /// Total shader ALU operations.
+    pub alu_ops: u64,
+    /// Total texture fetches.
+    pub tex_fetches: u64,
+    /// Total fragments shaded.
+    pub fragments: u64,
+    /// Number of draw calls.
+    pub draw_calls: u64,
+    /// Number of readbacks.
+    pub readbacks: u64,
+    /// Bytes uploaded to the GPU.
+    pub bytes_uploaded: u64,
+    /// Bytes read back from the GPU.
+    pub bytes_downloaded: u64,
+}
+
+impl GpuSpec {
+    /// Modeled execution time of a run.
+    pub fn time(&self, run: &GpuRun) -> f64 {
+        run.alu_ops as f64 / self.alu_per_sec
+            + run.tex_fetches as f64 / self.tex_per_sec
+            + run.fragments as f64 * self.fragment_overhead_s
+            + run.draw_calls as f64 * self.draw_overhead_s
+            + run.readbacks as f64 * self.readback_overhead_s
+            + run.bytes_uploaded as f64 / self.upload_bw
+            + run.bytes_downloaded as f64 / self.download_bw
+    }
+}
+
+/// One memory phase of an instrumented CPU run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemPhase {
+    /// Number of accesses.
+    pub accesses: u64,
+    /// Bytes per access.
+    pub access_bytes: u64,
+    /// Working-set size the accesses range over.
+    pub working_set: u64,
+    /// Access pattern.
+    pub pattern: AccessPattern,
+}
+
+/// Counters describing one CPU execution (filled by the reference
+/// implementations in `brook-apps`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CpuRun {
+    /// Arithmetic/logic operations executed.
+    pub ops: u64,
+    /// True when the code is SIMD-vectorized (x86 Brook+ reference
+    /// kernels; the CPU baselines in the paper are scalar C).
+    pub vectorized: bool,
+    /// Memory phases.
+    pub phases: Vec<MemPhase>,
+}
+
+impl CpuRun {
+    /// Creates a run with the given op count and no memory phases.
+    pub fn with_ops(ops: u64) -> Self {
+        CpuRun { ops, ..CpuRun::default() }
+    }
+
+    /// Adds a memory phase (builder style).
+    pub fn phase(mut self, accesses: u64, access_bytes: u64, working_set: u64, pattern: AccessPattern) -> Self {
+        self.phases.push(MemPhase { accesses, access_bytes, working_set, pattern });
+        self
+    }
+}
+
+/// A complete platform: CPU + memory + GPU models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Platform name as used in figures.
+    pub name: String,
+    /// CPU model.
+    pub cpu: CpuSpec,
+    /// Memory hierarchy model.
+    pub mem: MemSpec,
+    /// GPU model.
+    pub gpu: GpuSpec,
+    /// True when Brook kernels on this platform are vectorized (the
+    /// Brook+/CAL reference); Brook Auto kernels are scalar (paper §6.1).
+    pub vectorized_kernels: bool,
+}
+
+impl Platform {
+    /// The evaluation target: ARM11-class CPU + VideoCore IV-class GPU
+    /// behind OpenGL ES 2.0.
+    ///
+    /// Calibration notes: ARM11 @ 700 MHz sustains roughly 0.35 G scalar
+    /// ops/s; VideoCore IV peaks at 24 GFLOPS but the GPGPU-visible rate
+    /// through the GL pipeline is far lower — the constants below land
+    /// the flops benchmark at the paper's 26.7x capability ratio.
+    pub fn target() -> Platform {
+        Platform {
+            name: "ARM + VideoCore IV (Brook Auto, OpenGL ES 2)".to_owned(),
+            cpu: CpuSpec { name: "ARM11 700 MHz".to_owned(), ops_per_sec: 3.5e8, simd_width: 1.0 },
+            mem: MemSpec {
+                l1_bytes: 16 * 1024,
+                l2_bytes: 128 * 1024,
+                line_bytes: 32,
+                l1_latency_s: 3.0e-9,
+                l2_latency_s: 12.0e-9,
+                mem_latency_s: 90.0e-9,
+                stream_bw: 0.8e9,
+            },
+            gpu: GpuSpec {
+                name: "VideoCore IV".to_owned(),
+                alu_per_sec: 5.0e9,
+                tex_per_sec: 1.5e9,
+                upload_bw: 0.35e9,
+                download_bw: 0.25e9,
+                draw_overhead_s: 0.8e-3,
+                readback_overhead_s: 4.0e-3,
+                fragment_overhead_s: 0.12e-9,
+            },
+            vectorized_kernels: false,
+        }
+    }
+
+    /// The x86 reference: Core 2 Duo T9400 + Mobility Radeon HD 3400
+    /// running AMD's CAL-based Brook+ with vectorized kernels.
+    pub fn reference() -> Platform {
+        Platform {
+            name: "x86 + Radeon HD 3400 (Brook+, CAL)".to_owned(),
+            cpu: CpuSpec { name: "Core 2 Duo T9400 2.53 GHz".to_owned(), ops_per_sec: 2.5e9, simd_width: 4.0 },
+            mem: MemSpec {
+                l1_bytes: 32 * 1024,
+                l2_bytes: 6 * 1024 * 1024,
+                line_bytes: 64,
+                l1_latency_s: 1.2e-9,
+                l2_latency_s: 6.0e-9,
+                mem_latency_s: 60.0e-9,
+                stream_bw: 5.0e9,
+            },
+            gpu: GpuSpec {
+                name: "Mobility Radeon HD 3400".to_owned(),
+                alu_per_sec: 3.0e10,
+                tex_per_sec: 4.8e9,
+                upload_bw: 1.6e9,
+                download_bw: 1.0e9,
+                draw_overhead_s: 0.3e-3,
+                readback_overhead_s: 1.5e-3,
+                fragment_overhead_s: 0.02e-9,
+            },
+            vectorized_kernels: true,
+        }
+    }
+
+    /// Modeled CPU time of an instrumented run.
+    pub fn cpu_time(&self, run: &CpuRun) -> f64 {
+        let rate = if run.vectorized { self.cpu.ops_per_sec * self.cpu.simd_width } else { self.cpu.ops_per_sec };
+        let mut t = run.ops as f64 / rate;
+        for p in &run.phases {
+            t += self.mem.access_time(p.accesses, p.access_bytes, p.working_set, p.pattern);
+        }
+        t
+    }
+
+    /// Modeled GPU time of a run.
+    pub fn gpu_time(&self, run: &GpuRun) -> f64 {
+        self.gpu.time(run)
+    }
+
+    /// Speedup of the GPU over the CPU (> 1 means the GPU wins).
+    pub fn speedup(&self, cpu: &CpuRun, gpu: &GpuRun) -> f64 {
+        self.cpu_time(cpu) / self.gpu_time(gpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platforms_have_distinct_characters() {
+        let t = Platform::target();
+        let r = Platform::reference();
+        assert!(r.cpu.ops_per_sec > t.cpu.ops_per_sec);
+        assert!(r.gpu.alu_per_sec > t.gpu.alu_per_sec);
+        assert!(r.vectorized_kernels && !t.vectorized_kernels);
+    }
+
+    #[test]
+    fn gpu_time_scales_with_work() {
+        let p = Platform::target();
+        let small = GpuRun { alu_ops: 1_000, draw_calls: 1, ..GpuRun::default() };
+        let big = GpuRun { alu_ops: 1_000_000_000, draw_calls: 1, ..GpuRun::default() };
+        assert!(p.gpu_time(&big) > p.gpu_time(&small) * 100.0);
+    }
+
+    #[test]
+    fn draw_overhead_dominates_tiny_kernels() {
+        let p = Platform::target();
+        let tiny = GpuRun { alu_ops: 10, draw_calls: 1, ..GpuRun::default() };
+        let t = p.gpu_time(&tiny);
+        assert!(t >= p.gpu.draw_overhead_s);
+        assert!(t < p.gpu.draw_overhead_s * 1.01);
+    }
+
+    #[test]
+    fn cpu_vectorization_speeds_up() {
+        let p = Platform::reference();
+        let scalar = CpuRun { ops: 1_000_000, vectorized: false, phases: vec![] };
+        let vector = CpuRun { ops: 1_000_000, vectorized: true, phases: vec![] };
+        let ratio = p.cpu_time(&scalar) / p.cpu_time(&vector);
+        assert!((ratio - p.cpu.simd_width).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_access_latency_steps_at_cache_boundaries() {
+        let p = Platform::reference();
+        let in_l1 = p.mem.access_time(1000, 4, 16 * 1024, AccessPattern::Random);
+        let in_l2 = p.mem.access_time(1000, 4, 1024 * 1024, AccessPattern::Random);
+        let in_mem = p.mem.access_time(1000, 4, 64 * 1024 * 1024, AccessPattern::Random);
+        assert!(in_l1 < in_l2 && in_l2 < in_mem);
+        assert!(in_mem / in_l1 > 10.0, "DRAM must be much slower than L1");
+    }
+
+    #[test]
+    fn sequential_access_is_bandwidth_bound() {
+        let p = Platform::reference();
+        let seq = p.mem.access_time(1_000_000, 4, 64 * 1024 * 1024, AccessPattern::Sequential);
+        let rnd = p.mem.access_time(1_000_000, 4, 64 * 1024 * 1024, AccessPattern::Random);
+        assert!(seq < rnd / 10.0, "streaming should be much faster than random access");
+    }
+
+    #[test]
+    fn speedup_crosses_one_with_enough_work() {
+        // Mimics the paper's global trend: transfers dominate small
+        // inputs (CPU wins), compute dominates large ones (GPU wins).
+        let p = Platform::target();
+        let mut saw_cpu_win = false;
+        let mut saw_gpu_win = false;
+        for n in [64u64, 256, 1024, 4096, 16384, 65536, 262144, 1048576] {
+            let cpu = CpuRun::with_ops(n * 2000);
+            let gpu = GpuRun {
+                alu_ops: n * 2000 / 4,
+                tex_fetches: n,
+                fragments: n,
+                draw_calls: 1,
+                readbacks: 1,
+                bytes_uploaded: n * 4,
+                bytes_downloaded: n * 4,
+            };
+            let s = p.speedup(&cpu, &gpu);
+            if s < 1.0 {
+                saw_cpu_win = true;
+            } else {
+                saw_gpu_win = true;
+            }
+        }
+        assert!(saw_cpu_win, "small inputs should favour the CPU");
+        assert!(saw_gpu_win, "large inputs should favour the GPU");
+    }
+}

@@ -1,0 +1,79 @@
+//! ADAS scenario: lane-edge detection on a synthetic road image.
+//!
+//! The paper's motivation is Advanced Driver Assistance Systems on
+//! low-end automotive GPUs. This example builds a synthetic camera frame
+//! with lane markings, runs a Sobel edge-detection kernel through the
+//! certified Brook Auto pipeline on the simulated VideoCore IV, and
+//! verifies the lane edges are found. Out-of-bounds accesses at the image
+//! border clamp through the texture unit — no bounds branches, no faults.
+//!
+//! ```sh
+//! cargo run --release --example adas_edge_detection
+//! ```
+
+use brook_auto::{Arg, BrookContext, DeviceProfile};
+
+/// Sobel X kernel over a gather image, written as a Brook Auto kernel.
+const SOBEL: &str = "
+kernel void sobel_x(float img[][], out float edges<>) {
+    float2 p = indexof(edges);
+    float gx = -1.0 * img[p.y - 1.0][p.x - 1.0] + 1.0 * img[p.y - 1.0][p.x + 1.0]
+             - 2.0 * img[p.y][p.x - 1.0]       + 2.0 * img[p.y][p.x + 1.0]
+             - 1.0 * img[p.y + 1.0][p.x - 1.0] + 1.0 * img[p.y + 1.0][p.x + 1.0];
+    edges = abs(gx);
+}";
+
+/// Synthesizes a road frame: dark asphalt with two bright lane markings.
+fn road_frame(size: usize) -> Vec<f32> {
+    let mut img = vec![0.15f32; size * size];
+    let lanes = [size / 3, 2 * size / 3];
+    for y in 0..size {
+        for lane in lanes {
+            // Lane markings 3 pixels wide, dashed every 16 rows.
+            if (y / 16) % 2 == 0 {
+                for dx in 0..3 {
+                    img[y * size + lane + dx] = 0.9;
+                }
+            }
+        }
+    }
+    img
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let size = 256;
+    let mut ctx = BrookContext::gles2(DeviceProfile::videocore_iv());
+
+    // Certification gate: the module compiles only because every rule
+    // passes — print the verdict like a certification data package would.
+    let module = ctx.compile(SOBEL)?;
+    let report = &module.report;
+    println!(
+        "sobel_x certification: {} ({} finding(s) recorded)",
+        if report.is_compliant() { "COMPLIANT" } else { "NOT COMPLIANT" },
+        report.kernels[0].findings.len()
+    );
+
+    let frame = road_frame(size);
+    let img = ctx.stream(&[size, size])?;
+    let edges = ctx.stream(&[size, size])?;
+    ctx.write(&img, &frame)?;
+    ctx.run(&module, "sobel_x", &[Arg::Stream(&img), Arg::Stream(&edges)])?;
+    let out = ctx.read(&edges)?;
+
+    // Find columns with strong responses on a mid row with markings.
+    let row = 8;
+    let mut edge_cols: Vec<usize> = (0..size).filter(|x| out[row * size + x] > 1.0).collect();
+    edge_cols.dedup_by(|a, b| a.abs_diff(*b) <= 2);
+    println!("edge columns on row {row}: {edge_cols:?}");
+    assert!(
+        edge_cols.iter().any(|c| c.abs_diff(size / 3) <= 3),
+        "left lane marking not detected"
+    );
+    assert!(
+        edge_cols.iter().any(|c| c.abs_diff(2 * size / 3 + 3) <= 4),
+        "right lane marking not detected"
+    );
+    println!("both lane markings detected; {} fragments shaded", ctx.gpu_counters().fragments);
+    Ok(())
+}

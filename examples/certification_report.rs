@@ -1,0 +1,133 @@
+//! Produces the certification artifacts of contribution (b): the Brook
+//! Auto rule catalogue, a per-kernel compliance report for a conforming
+//! ADAS module, and rule-by-rule rejection of the constructs CUDA/OpenCL
+//! programs rely on (paper §2, §4).
+//!
+//! ```sh
+//! cargo run --release --example certification_report
+//! ```
+
+use brook_cert::{certify_source, render_matrix, render_report, render_rule_catalogue, CertConfig};
+
+/// A conforming ADAS module: bounded loops, static streams, one output.
+const GOOD: &str = "
+float luminance(float r, float g, float b) {
+    return 0.2126 * r + 0.7152 * g + 0.0722 * b;
+}
+
+kernel void preprocess(float r<>, float g<>, float b<>, out float y<>) {
+    y = luminance(r, g, b);
+}
+
+kernel void smooth(float img[][], out float o<>) {
+    float2 p = indexof(o);
+    float acc = 0.0;
+    int dy;
+    int dx;
+    for (dy = -1; dy <= 1; dy++) {
+        for (dx = -1; dx <= 1; dx++) {
+            acc += img[p.y + float(dy)][p.x + float(dx)];
+        }
+    }
+    o = acc / 9.0;
+}";
+
+/// Violations the rule engine must catch, with the rule each one trips.
+const VIOLATIONS: &[(&str, &str, &str)] = &[
+    (
+        "unbounded while loop (BA003, §2.c static verification)",
+        "kernel void f(float a<>, out float o<>) { float s = a; while (s < 100.0) { s = s * 2.0; } o = s; }",
+        "BA003",
+    ),
+    (
+        "data-dependent for bound (BA003)",
+        "kernel void f(float a<>, float n, out float o<>) {
+            float s = 0.0; int i;
+            for (i = 0; i < int(n); i++) { s += a; }
+            o = s;
+        }",
+        "BA003",
+    ),
+    (
+        "recursion through helpers (BA004)",
+        "float odd(float x) { return odd(x - 2.0); }
+         kernel void f(float a<>, out float o<>) { o = odd(a); }",
+        "BA004",
+    ),
+    (
+        "too many outputs for the target (BA005)",
+        "kernel void f(float a<>, out float o1<>, out float o2<>, out float o3<>, out float o4<>, out float o5<>) {
+            o1 = a; o2 = a; o3 = a; o4 = a; o5 = a;
+        }",
+        "BA005",
+    ),
+];
+
+fn main() {
+    println!("{}", render_rule_catalogue());
+
+    let config = CertConfig::default();
+    println!("== Conforming ADAS module ==\n");
+    match certify_source(GOOD, &config) {
+        Ok((_, report)) => {
+            print!("{}", render_report(&report));
+            println!("\n{}", render_matrix(&report));
+            assert!(report.is_compliant());
+        }
+        Err(e) => {
+            eprintln!("front-end rejected the conforming module: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    println!("\n== Constructs the subset rejects ==\n");
+    for (what, src, rule) in VIOLATIONS {
+        match certify_source(src, &config) {
+            Ok((_, report)) => {
+                let caught = report
+                    .kernels
+                    .iter()
+                    .flat_map(|k| k.violations())
+                    .any(|f| f.rule.code() == *rule);
+                println!("{what}: {}", if caught { "rejected as expected" } else { "MISSED" });
+                assert!(caught, "{what} was not caught");
+            }
+            Err(e) => {
+                // Some violations (pointers, goto) are already parse
+                // errors carrying the rule code.
+                println!("{what}: rejected at parse time ({e})");
+            }
+        }
+    }
+
+    println!("\n== Static GPU memory plan (BA002 artifact) ==\n");
+    let device = brook_auto::DeviceProfile::videocore_iv();
+    let plan = brook_auto::plan_memory(
+        &[
+            ("camera_y", vec![480, 640]),
+            ("edges", vec![480, 640]),
+            ("radar_grid", vec![256, 256]),
+        ],
+        &device,
+        true,
+    )
+    .expect("plan");
+    print!("{}", plan.render());
+    let budget = 12 * 1024 * 1024;
+    println!(
+        "fits the partition's {} MiB GPU budget: {}\n",
+        budget / (1024 * 1024),
+        plan.fits(budget)
+    );
+    assert!(plan.fits(budget));
+
+    // Pointers and goto never reach the rule engine — the grammar itself
+    // rejects them with the certification rule's code.
+    for (what, src) in [
+        ("pointer parameter (BA001)", "kernel void f(float *p, out float o<>) { o = 0.0; }"),
+        ("goto (BA007)", "kernel void f(float a<>, out float o<>) { goto end; }"),
+    ] {
+        let err = brook_lang::parse(src).expect_err("must fail");
+        println!("{what}: rejected at parse time [{}]", err.first_error().map(|d| d.code.as_str()).unwrap_or("?"));
+    }
+}

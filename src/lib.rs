@@ -1,0 +1,1 @@
+pub use brook_auto as core;

@@ -1,0 +1,150 @@
+//! Cross-crate integration: the CPU interpreter backend and the OpenGL
+//! ES 2.0 simulator backend must compute identical results for the same
+//! kernels — the property the paper's evaluation relies on ("the
+//! correctness of the GPU implementation is retained by validating it
+//! with the CPU output", §6).
+
+use brook_auto::{Arg, BrookContext, DeviceProfile};
+use proptest::prelude::*;
+
+/// Runs a kernel over 2D streams on both backends and returns both
+/// outputs.
+fn run_both(src: &str, kernel: &str, inputs: &[Vec<f32>], scalars: &[f32], shape: [usize; 2]) -> (Vec<f32>, Vec<f32>) {
+    let mut outs = Vec::new();
+    for gpu in [false, true] {
+        let mut ctx = if gpu {
+            BrookContext::gles2(DeviceProfile::videocore_iv())
+        } else {
+            BrookContext::cpu()
+        };
+        let module = ctx.compile(src).expect("compile");
+        let mut args = Vec::new();
+        let mut streams = Vec::new();
+        for data in inputs {
+            let s = ctx.stream(&shape).expect("stream");
+            ctx.write(&s, data).expect("write");
+            streams.push(s);
+        }
+        let out = ctx.stream(&shape).expect("out stream");
+        for s in &streams {
+            args.push(Arg::Stream(s));
+        }
+        for v in scalars {
+            args.push(Arg::Float(*v));
+        }
+        args.push(Arg::Stream(&out));
+        ctx.run(&module, kernel, &args).expect("run");
+        outs.push(ctx.read(&out).expect("read"));
+    }
+    (outs.remove(0), outs.remove(0))
+}
+
+fn assert_close(cpu: &[f32], gpu: &[f32], tol: f32) {
+    assert_eq!(cpu.len(), gpu.len());
+    for (i, (c, g)) in cpu.iter().zip(gpu).enumerate() {
+        let scale = 1.0f32.max(c.abs());
+        assert!((c - g).abs() <= tol * scale, "element {i}: cpu {c} vs gpu {g}");
+    }
+}
+
+#[test]
+fn arithmetic_kernel_matches() {
+    let src = "kernel void f(float a<>, float b<>, float k, out float o<>) {
+        o = (a * b + k) / (abs(a) + 1.0) - min(a, b);
+    }";
+    let a: Vec<f32> = (0..64).map(|i| i as f32 * 0.5 - 16.0).collect();
+    let b: Vec<f32> = (0..64).map(|i| (i as f32 * 0.37).sin()).collect();
+    let (c, g) = run_both(src, "f", &[a, b], &[2.5], [8, 8]);
+    assert_close(&c, &g, 1e-5);
+}
+
+#[test]
+fn control_flow_kernel_matches() {
+    let src = "kernel void f(float a<>, out float o<>) {
+        float s = 0.0;
+        int i;
+        for (i = 0; i < 10; i++) {
+            if (s < 5.0) { s += a; } else { s -= 0.25 * a; }
+        }
+        o = s;
+    }";
+    let a: Vec<f32> = (0..64).map(|i| (i % 7) as f32 * 0.3).collect();
+    let (c, g) = run_both(src, "f", &[a], &[], [8, 8]);
+    assert_close(&c, &g, 1e-5);
+}
+
+#[test]
+fn builtin_heavy_kernel_matches() {
+    let src = "kernel void f(float a<>, float b<>, out float o<>) {
+        o = sqrt(abs(a)) + exp(b * 0.1) + lerp(a, b, 0.25) + fmod(a, 3.0) + saturate(b);
+    }";
+    let a: Vec<f32> = (0..64).map(|i| i as f32 - 32.0).collect();
+    let b: Vec<f32> = (0..64).map(|i| (i as f32) * 0.1 - 3.0).collect();
+    let (c, g) = run_both(src, "f", &[a, b], &[], [8, 8]);
+    assert_close(&c, &g, 1e-4);
+}
+
+#[test]
+fn gather_and_indexof_kernel_matches() {
+    let src = "kernel void f(float t[][], float a<>, out float o<>) {
+        float2 p = indexof(o);
+        o = t[p.y][p.x] * 2.0 + t[p.x][p.y] + a;
+    }";
+    let t: Vec<f32> = (0..64).map(|i| i as f32).collect();
+    let a: Vec<f32> = vec![0.5; 64];
+    let (c, g) = run_both(src, "f", &[t, a], &[], [8, 8]);
+    assert_close(&c, &g, 1e-5);
+}
+
+#[test]
+fn out_of_bounds_gather_clamps_identically() {
+    // Indices reach far outside the table on purpose: both backends must
+    // clamp to the edge element (paper §4) and agree.
+    let src = "kernel void f(float t[][], float a<>, out float o<>) {
+        float2 p = indexof(o);
+        o = t[p.y - 100.0][p.x + 1000.0] + t[p.y + 500.0][p.x - 77.0] + a * 0.0;
+    }";
+    let t: Vec<f32> = (0..64).map(|i| i as f32 * 3.0).collect();
+    let a = vec![1.0; 64];
+    let (c, g) = run_both(src, "f", &[t, a], &[], [8, 8]);
+    assert_close(&c, &g, 1e-5);
+}
+
+#[test]
+fn helper_functions_match() {
+    let src = "
+        float horner(float x) { return (x * 0.5 + 1.0) * x - 2.0; }
+        float twice(float x) { return horner(x) + horner(-x); }
+        kernel void f(float a<>, out float o<>) { o = twice(a); }";
+    let a: Vec<f32> = (0..64).map(|i| i as f32 * 0.25 - 8.0).collect();
+    let (c, g) = run_both(src, "f", &[a], &[], [8, 8]);
+    assert_close(&c, &g, 1e-5);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_data_through_polynomial_kernel(values in proptest::collection::vec(-100.0f32..100.0, 64)) {
+        let src = "kernel void f(float a<>, out float o<>) { o = a * a * 0.01 - a * 0.5 + 3.0; }";
+        let (c, g) = run_both(src, "f", &[values], &[], [8, 8]);
+        assert_close(&c, &g, 1e-4);
+    }
+
+    #[test]
+    fn random_reductions_agree(values in proptest::collection::vec(-50.0f32..50.0, 100)) {
+        let src = "reduce void mx(float a<>, reduce float m<>) { m = max(m, a); }";
+        let mut cpu = BrookContext::cpu();
+        let mut gpu = BrookContext::gles2(DeviceProfile::videocore_iv());
+        let mut results = Vec::new();
+        for ctx in [&mut cpu, &mut gpu] {
+            let module = ctx.compile(src).expect("compile");
+            let s = ctx.stream(&[100]).expect("stream");
+            ctx.write(&s, &values).expect("write");
+            results.push(ctx.reduce(&module, "mx", &s).expect("reduce"));
+        }
+        let expect = values.iter().fold(f32::NEG_INFINITY, |a, b| a.max(*b));
+        prop_assert_eq!(results[0], expect);
+        prop_assert_eq!(results[1], expect);
+    }
+}

@@ -1,0 +1,134 @@
+//! Fault-injection integration tests: the certification argument of the
+//! paper (§2 rules d and e) is that faults in a GPU task must neither
+//! crash the system nor propagate to other tasks. These tests inject the
+//! faults CUDA/OpenCL programs are vulnerable to and verify the Brook
+//! Auto stack contains every one of them.
+
+use brook_auto::{Arg, BrookContext, BrookError, DeviceProfile};
+
+#[test]
+fn wild_gather_indices_never_crash_and_results_stay_deterministic() {
+    // A kernel computing absurd gather coordinates from data: on a real
+    // CUDA/OpenCL stack this is the memory-violation scenario that can
+    // take down the driver (§2); here the texture unit clamps.
+    let src = "kernel void wild(float t[][], float a<>, out float o<>) {
+        o = t[a * 1.0e7][a * -3.0e6];
+    }";
+    let mut ctx = BrookContext::gles2(DeviceProfile::videocore_iv());
+    let module = ctx.compile(src).expect("compile");
+    let t = ctx.stream(&[16, 16]).expect("table");
+    let a = ctx.stream(&[16, 16]).expect("input");
+    let o = ctx.stream(&[16, 16]).expect("out");
+    let table: Vec<f32> = (0..256).map(|i| i as f32).collect();
+    ctx.write(&t, &table).expect("write");
+    ctx.write(&a, &vec![123.456; 256]).expect("write");
+    ctx.run(&module, "wild", &[Arg::Stream(&t), Arg::Stream(&a), Arg::Stream(&o)]).expect("must not fault");
+    let first = ctx.read(&o).expect("read");
+    // Deterministic: a second run yields the identical clamped result.
+    ctx.run(&module, "wild", &[Arg::Stream(&t), Arg::Stream(&a), Arg::Stream(&o)]).expect("second run");
+    assert_eq!(first, ctx.read(&o).expect("read"));
+    // Every value is a clamped table element, not garbage.
+    for v in &first {
+        assert!(table.contains(v), "non-table value {v} leaked out of a clamped gather");
+    }
+}
+
+#[test]
+fn exhausting_the_memory_budget_fails_the_allocation_not_the_system() {
+    // Rule e: a leak in one task must not destabilize the platform. With
+    // a budget installed, allocation fails cleanly and existing streams
+    // keep working.
+    let mut ctx = BrookContext::gles2(DeviceProfile::videocore_iv());
+    ctx.set_memory_budget(Some(64 * 1024));
+    let ok = ctx.stream(&[64, 64]).expect("16 KiB fits");
+    ctx.write(&ok, &vec![1.0; 4096]).expect("write");
+    let mut failures = 0;
+    for _ in 0..8 {
+        if ctx.stream(&[64, 64]).is_err() {
+            failures += 1;
+        }
+    }
+    assert!(failures > 0, "budget never enforced");
+    // The healthy stream is unaffected by the failed allocations.
+    assert_eq!(ctx.read(&ok).expect("read"), vec![1.0; 4096]);
+}
+
+#[test]
+fn unbounded_loops_cannot_reach_the_device() {
+    let src = "kernel void spin(float a<>, out float o<>) {
+        float s = a;
+        while (s > 0.0) { s = s + 1.0; }
+        o = s;
+    }";
+    let mut ctx = BrookContext::gles2(DeviceProfile::videocore_iv());
+    let err = ctx.compile(src).expect_err("must be rejected");
+    match err {
+        BrookError::Certification(report) => {
+            assert!(report
+                .kernels
+                .iter()
+                .flat_map(|k| k.violations())
+                .any(|f| f.rule.code() == "BA003"));
+        }
+        other => panic!("expected a certification error, got {other}"),
+    }
+}
+
+#[test]
+fn runtime_loop_guard_contains_certification_bypass() {
+    // Even with certification disabled (a misconfigured build), the
+    // simulator's loop budget stops a runaway kernel instead of hanging
+    // the "system".
+    let src = "kernel void spin(float a<>, out float o<>) {
+        float s = a;
+        int i;
+        for (i = 0; i >= 0; i = i + 0) { s += 1.0; }
+        o = s;
+    }";
+    let mut ctx = BrookContext::gles2(DeviceProfile::videocore_iv());
+    ctx.enforce_certification = false;
+    let module = ctx.compile(src).expect("compile with enforcement off");
+    let a = ctx.stream(&[2, 2]).expect("a");
+    let o = ctx.stream(&[2, 2]).expect("o");
+    ctx.write(&a, &[1.0; 4]).expect("write");
+    let err = ctx.run(&module, "spin", &[Arg::Stream(&a), Arg::Stream(&o)]).expect_err("must be stopped");
+    assert!(err.to_string().contains("runaway"), "unexpected error: {err}");
+}
+
+#[test]
+fn nan_and_infinity_inputs_flow_through_without_faults() {
+    // The numerical format canonicalizes non-finite values instead of
+    // producing undefined texel patterns.
+    let src = "kernel void pass(float a<>, out float o<>) { o = a * 1.0; }";
+    let mut ctx = BrookContext::gles2(DeviceProfile::videocore_iv());
+    let module = ctx.compile(src).expect("compile");
+    let a = ctx.stream(&[4]).expect("a");
+    let o = ctx.stream(&[4]).expect("o");
+    ctx.write(&a, &[f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 1.5]).expect("write");
+    ctx.run(&module, "pass", &[Arg::Stream(&a), Arg::Stream(&o)]).expect("run");
+    let out = ctx.read(&o).expect("read");
+    assert_eq!(out[0], 0.0, "NaN must canonicalize to zero");
+    assert_eq!(out[1], f32::MAX, "+inf must saturate");
+    assert_eq!(out[2], f32::MIN, "-inf must saturate");
+    assert_eq!(out[3], 1.5);
+}
+
+#[test]
+fn oversized_streams_fail_at_allocation_with_clear_diagnostics() {
+    let mut ctx = BrookContext::gles2(DeviceProfile::videocore_iv());
+    // 4096 exceeds the 2048 texture limit of the target (paper §6.1).
+    let err = ctx.stream(&[4096, 4096]).expect_err("must fail");
+    let msg = err.to_string();
+    assert!(msg.contains("2048"), "diagnostic should name the device limit: {msg}");
+}
+
+#[test]
+fn too_many_inputs_rejected_before_dispatch() {
+    let src = "kernel void many(float a<>, float b<>, float c<>, float d<>, float e<>,
+                                float f<>, float g<>, float h<>, float i<>, out float o<>) {
+        o = a + b + c + d + e + f + g + h + i;
+    }";
+    let mut ctx = BrookContext::gles2(DeviceProfile::videocore_iv());
+    let err = ctx.compile(src).expect_err("9 inputs exceed 8 texture units");
+    assert!(matches!(err, BrookError::Certification(_)));
+}

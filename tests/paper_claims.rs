@@ -1,0 +1,123 @@
+//! Integration tests asserting the paper's qualitative claims hold in
+//! the reproduction (the quantitative record lives in EXPERIMENTS.md).
+//!
+//! Sizes are reduced from the figure sweeps to keep the suite fast; the
+//! claims tested are the *shapes*: who wins, which way trends point,
+//! and the relative behaviour of the two platforms.
+
+use brook_apps::binomial::Binomial;
+use brook_apps::bitonic_sort::BitonicSort;
+use brook_apps::flops::Flops;
+use brook_apps::mandelbrot::Mandelbrot;
+use brook_apps::prefix_sum::PrefixSum;
+use brook_apps::sgemm::Sgemm;
+use brook_apps::spmv::Spmv;
+use brook_apps::{measure, PlatformKind};
+
+const SEED: u64 = 20180624;
+
+#[test]
+fn figure1_capability_ratios_match_paper_band() {
+    // Paper: target 26.7x, reference 23x.
+    let t = measure(&Flops::default(), PlatformKind::Target, 512, SEED).expect("target");
+    let r = measure(&Flops::default(), PlatformKind::Reference, 512, SEED).expect("reference");
+    assert!((20.0..33.0).contains(&t.speedup), "target capability ratio {} off-band", t.speedup);
+    assert!((17.0..29.0).contains(&r.speedup), "reference capability ratio {} off-band", r.speedup);
+    // Same order of magnitude on both systems — the premise of §6.
+    let ratio = t.speedup / r.speedup;
+    assert!((0.5..2.0).contains(&ratio));
+}
+
+#[test]
+fn figure2_binomial_cpu_wins_but_trend_rises() {
+    let small = measure(&Binomial, PlatformKind::Target, 128, SEED).expect("small");
+    let large = measure(&Binomial, PlatformKind::Target, 1024, SEED).expect("large");
+    assert!(small.speedup < 1.0, "paper: binomial below CPU ({})", small.speedup);
+    assert!(large.speedup < 1.0, "paper: binomial below CPU ({})", large.speedup);
+    assert!(large.speedup > small.speedup, "paper: speedup grows with input size");
+}
+
+#[test]
+fn figure2_prefix_sum_cpu_dominates() {
+    let p = measure(&PrefixSum, PlatformKind::Target, 256, SEED).expect("prefix");
+    assert!(p.speedup < 0.2, "paper: the accumulation loop CPU wins big ({})", p.speedup);
+}
+
+#[test]
+fn figure2_spmv_transfers_dominate_but_trend_rises() {
+    let small = measure(&Spmv, PlatformKind::Target, 128, SEED).expect("small");
+    let large = measure(&Spmv, PlatformKind::Target, 1024, SEED).expect("large");
+    assert!(small.speedup < 1.0 && large.speedup < 1.0);
+    assert!(large.speedup > small.speedup, "paper: SpMV trend indicates larger sets would pay off");
+}
+
+#[test]
+fn figure3_bitonic_sort_is_the_headline_speedup() {
+    // Paper: 135x at 256^2; the reproduction reaches the same order of
+    // magnitude (tested at 128^2 for runtime, where it is already >10x).
+    let p = measure(&BitonicSort, PlatformKind::Target, 128, SEED).expect("bitonic");
+    assert!(p.speedup > 10.0, "bitonic speedup {} too small", p.speedup);
+    // No transfers between passes: one upload, one readback.
+    assert_eq!(p.gpu.readbacks, 1);
+}
+
+#[test]
+fn figure3_mandelbrot_gpu_wins_and_only_output_transfers() {
+    let p = measure(&Mandelbrot, PlatformKind::Target, 512, SEED).expect("mandelbrot");
+    assert!(p.speedup > 2.0, "paper: mandelbrot is a GPU showcase ({})", p.speedup);
+    assert_eq!(p.gpu.bytes_uploaded, 0, "paper: value does not depend on input");
+}
+
+#[test]
+fn figure3_sgemm_wins_and_reference_scales_better() {
+    let t256 = measure(&Sgemm, PlatformKind::Target, 256, SEED).expect("t256");
+    let t512 = measure(&Sgemm, PlatformKind::Target, 512, SEED).expect("t512");
+    let r512 = measure(&Sgemm, PlatformKind::Reference, 512, SEED).expect("r512");
+    assert!(t512.speedup > 1.0, "paper: sgemm achieves significant speedups");
+    assert!(t512.speedup >= t256.speedup * 0.9, "speedup should not collapse with size");
+    // Paper §6.2: the vectorized x86 Brook+ achieves better scalability
+    // than the scalar Brook Auto version past 256x256.
+    assert!(
+        r512.speedup > t512.speedup,
+        "reference ({}) should beat target ({}) at 512",
+        r512.speedup,
+        t512.speedup
+    );
+}
+
+#[test]
+fn sampled_and_full_dispatch_agree_on_counters() {
+    // The figure sweeps rely on sampled dispatch extrapolation; verify it
+    // matches full dispatch within a few percent on a data-independent
+    // kernel.
+    use brook_auto::{Arg, BrookContext, DeviceProfile, DrawMode};
+    let src = "kernel void f(float a<>, out float o<>) {
+        float s = 0.0;
+        int i;
+        for (i = 0; i < 64; i++) { s += a * 1.001; }
+        o = s;
+    }";
+    let mut counts = Vec::new();
+    for mode in [DrawMode::Full, DrawMode::Sampled { stride: 8 }] {
+        let mut ctx = BrookContext::gles2(DeviceProfile::videocore_iv());
+        ctx.set_dispatch(mode);
+        let module = ctx.compile(src).expect("compile");
+        let a = ctx.stream(&[64, 64]).expect("a");
+        let o = ctx.stream(&[64, 64]).expect("o");
+        ctx.write(&a, &vec![1.0; 4096]).expect("write");
+        ctx.run(&module, "f", &[Arg::Stream(&a), Arg::Stream(&o)]).expect("run");
+        counts.push(ctx.gpu_counters().alu_ops as f64);
+    }
+    let rel = (counts[0] - counts[1]).abs() / counts[0];
+    assert!(rel < 0.05, "sampled extrapolation off by {:.1}%", rel * 100.0);
+}
+
+#[test]
+fn productivity_gap_reproduced_in_direction() {
+    // Paper §6.3: 70 LoC Brook vs 1500 LoC hand-written (21x). The
+    // reproduction's artifacts differ in absolute size but the gap must
+    // be substantial.
+    let brook_loc = brook_apps::sgemm::kernel_source(1024).lines().count();
+    let hand_loc = gles2_handwritten::loc();
+    assert!(hand_loc >= brook_loc * 5, "productivity gap too small: {brook_loc} vs {hand_loc}");
+}
