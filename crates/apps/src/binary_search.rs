@@ -79,7 +79,16 @@ impl PaperApp for BinarySearch {
         let o = ctx.stream(&[n])?;
         ctx.write(&d, &data)?;
         ctx.write(&k, &kv)?;
-        ctx.run(&module, "bsearch", &[Arg::Stream(&k), Arg::Stream(&d), Arg::Float(n as f32), Arg::Stream(&o)])?;
+        ctx.run(
+            &module,
+            "bsearch",
+            &[
+                Arg::Stream(&k),
+                Arg::Stream(&d),
+                Arg::Float(n as f32),
+                Arg::Stream(&o),
+            ],
+        )?;
         ctx.read(&o)
     }
 

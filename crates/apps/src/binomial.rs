@@ -83,9 +83,17 @@ impl PaperApp for Binomial {
         ctx.write(&sp, &spots)?;
         let mut ping = ctx.stream(&[options, STEPS + 1])?;
         let mut pong = ctx.stream(&[options, STEPS + 1])?;
-        ctx.run(&module, "binom_init", &[Arg::Stream(&sk), Arg::Stream(&sp), Arg::Stream(&ping)])?;
+        ctx.run(
+            &module,
+            "binom_init",
+            &[Arg::Stream(&sk), Arg::Stream(&sp), Arg::Stream(&ping)],
+        )?;
         for _ in 0..STEPS {
-            ctx.run(&module, "binom_step", &[Arg::Stream(&ping), Arg::Stream(&ping), Arg::Stream(&pong)])?;
+            ctx.run(
+                &module,
+                "binom_step",
+                &[Arg::Stream(&ping), Arg::Stream(&ping), Arg::Stream(&pong)],
+            )?;
             std::mem::swap(&mut ping, &mut pong);
         }
         // Column 0 of each option row is the price.
@@ -95,7 +103,11 @@ impl PaperApp for Binomial {
 
     fn run_cpu(&self, size: usize, seed: u64) -> Vec<f32> {
         let (strikes, spots) = inputs(size, seed);
-        strikes.iter().zip(&spots).map(|(k, s)| price_cpu(*k, *s)).collect()
+        strikes
+            .iter()
+            .zip(&spots)
+            .map(|(k, s)| price_cpu(*k, *s))
+            .collect()
     }
 
     fn cpu_cost(&self, size: usize, vectorized: bool) -> CpuRun {

@@ -65,7 +65,13 @@ impl PaperApp for BitonicSort {
             ctx.run(
                 &module,
                 "bitonic_step",
-                &[Arg::Stream(&ping), Arg::Stream(&ping), Arg::Float(d), Arg::Float(blk), Arg::Stream(&pong)],
+                &[
+                    Arg::Stream(&ping),
+                    Arg::Stream(&ping),
+                    Arg::Float(d),
+                    Arg::Float(blk),
+                    Arg::Stream(&pong),
+                ],
             )?;
             std::mem::swap(&mut ping, &mut pong);
         }
@@ -94,6 +100,11 @@ impl PaperApp for BitonicSort {
 
     fn validate_up_to(&self) -> usize {
         48
+    }
+
+    fn matrix_size(&self) -> usize {
+        // The network length (size^2) must be a power of two.
+        32
     }
 
     fn tolerance(&self) -> f32 {

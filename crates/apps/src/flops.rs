@@ -62,7 +62,11 @@ impl PaperApp for Flops {
         let o = ctx.stream(&[size, size])?;
         ctx.write(&a, &gen_values(seed, n, 0.0, 1.0))?;
         ctx.write(&b, &gen_values(seed + 1, n, 0.2, 0.9))?;
-        ctx.run(&module, "flops", &[Arg::Stream(&a), Arg::Stream(&b), Arg::Stream(&o)])?;
+        ctx.run(
+            &module,
+            "flops",
+            &[Arg::Stream(&a), Arg::Stream(&b), Arg::Stream(&o)],
+        )?;
         ctx.read(&o)
     }
 

@@ -12,6 +12,10 @@ use perf_model::{CpuRun, GpuRun, Platform};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+// The differential-test layer enumerates execution backends through the
+// runtime's registry, so every future backend is matrixed automatically.
+pub use brook_auto::{registered_backends, BackendSpec};
+
 /// Which of the two evaluation platforms a run models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlatformKind {
@@ -96,10 +100,78 @@ pub trait PaperApp {
         64
     }
 
+    /// Size used by the cross-backend differential matrix: small enough
+    /// to afford full dispatch on every backend, and respecting the
+    /// app's structural constraints (e.g. the sorting network needs a
+    /// power-of-two length).
+    fn matrix_size(&self) -> usize {
+        self.validate_up_to()
+    }
+
     /// Comparison tolerance for validation (absolute + relative mix).
     fn tolerance(&self) -> f32 {
         1e-3
     }
+}
+
+/// One backend's output in a differential run.
+#[derive(Debug, Clone)]
+pub struct BackendRun {
+    /// Backend name from the registry.
+    pub backend: &'static str,
+    /// The workload's result buffer on that backend.
+    pub output: Vec<f32>,
+}
+
+/// Runs `app` on **every registered backend** at `size` and cross-checks
+/// the results — the differential-testing core of the paper's
+/// certification argument, generalized from the original CPU-vs-GPU pair
+/// to the whole backend matrix:
+///
+/// * every backend's output must match the app's native CPU reference
+///   within [`PaperApp::tolerance`];
+/// * the serial and parallel CPU interpreter backends must agree
+///   **bit-for-bit** (same interpreter core, partitioned domain).
+///
+/// Returns the per-backend outputs for further scrutiny.
+///
+/// # Errors
+/// Compilation/dispatch failures and cross-validation mismatches, tagged
+/// with the app and backend names.
+pub fn run_backend_matrix(app: &dyn PaperApp, size: usize, seed: u64) -> Result<Vec<BackendRun>, BrookError> {
+    let reference = app.run_cpu(size, seed);
+    let mut runs = Vec::new();
+    for spec in registered_backends() {
+        let mut ctx = (spec.make)();
+        let output = app
+            .run_gpu(&mut ctx, size, seed)
+            .map_err(|e| BrookError::Usage(format!("{} on {} at size {size}: {e}", app.name(), spec.name)))?;
+        validate(&reference, &output, app.tolerance()).map_err(|m| {
+            BrookError::Usage(format!(
+                "{} on {} at size {size} diverged from the CPU reference: {m}",
+                app.name(),
+                spec.name
+            ))
+        })?;
+        runs.push(BackendRun {
+            backend: spec.name,
+            output,
+        });
+    }
+    let bits = |name: &str| {
+        runs.iter()
+            .find(|r| r.backend == name)
+            .map(|r| r.output.iter().map(|v| v.to_bits()).collect::<Vec<_>>())
+    };
+    if let (Some(serial), Some(parallel)) = (bits("cpu"), bits("cpu-parallel")) {
+        if serial != parallel {
+            return Err(BrookError::Usage(format!(
+                "{} at size {size}: parallel CPU backend is not bit-identical to the serial CPU backend",
+                app.name()
+            )));
+        }
+    }
+    Ok(runs)
 }
 
 /// Deterministic input generator used by all applications (paper §6:
@@ -124,7 +196,9 @@ pub fn validate(cpu: &[f32], gpu: &[f32], tolerance: f32) -> Result<(), String> 
         let err = (c - g).abs();
         let scale = 1.0f32.max(c.abs());
         if err > tolerance * scale {
-            return Err(format!("element {i}: cpu {c} vs gpu {g} (err {err}, tol {tolerance})"));
+            return Err(format!(
+                "element {i}: cpu {c} vs gpu {g} (err {err}, tol {tolerance})"
+            ));
         }
     }
     Ok(())

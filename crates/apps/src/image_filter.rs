@@ -16,9 +16,15 @@ pub struct ImageFilter {
 
 /// Gaussian 3x3 blur weights.
 pub const GAUSSIAN: [f32; 9] = [
-    1.0 / 16.0, 2.0 / 16.0, 1.0 / 16.0,
-    2.0 / 16.0, 4.0 / 16.0, 2.0 / 16.0,
-    1.0 / 16.0, 2.0 / 16.0, 1.0 / 16.0,
+    1.0 / 16.0,
+    2.0 / 16.0,
+    1.0 / 16.0,
+    2.0 / 16.0,
+    4.0 / 16.0,
+    2.0 / 16.0,
+    1.0 / 16.0,
+    2.0 / 16.0,
+    1.0 / 16.0,
 ];
 
 /// Horizontal Sobel edge-detection weights.
@@ -148,7 +154,9 @@ mod tests {
     fn sobel_finds_vertical_edge() {
         // Left half 0, right half 1: strong response at the boundary.
         let size = 8;
-        let img: Vec<f32> = (0..size * size).map(|i| if i % size >= size / 2 { 1.0 } else { 0.0 }).collect();
+        let img: Vec<f32> = (0..size * size)
+            .map(|i| if i % size >= size / 2 { 1.0 } else { 0.0 })
+            .collect();
         let out = convolve(&img, size, &SOBEL_X);
         let boundary = out[3 * size + size / 2 - 1];
         assert!(boundary.abs() > 2.0, "edge response {boundary}");

@@ -26,7 +26,10 @@ pub mod prefix_sum;
 pub mod sgemm;
 pub mod spmv;
 
-pub use framework::{measure, MeasuredPoint, PaperApp, PlatformKind};
+pub use framework::{
+    measure, registered_backends, run_backend_matrix, BackendRun, BackendSpec, MeasuredPoint, PaperApp,
+    PlatformKind,
+};
 
 /// All eleven applications, in the order the figures present them.
 pub fn all_apps() -> Vec<Box<dyn PaperApp>> {

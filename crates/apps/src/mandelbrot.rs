@@ -100,7 +100,13 @@ impl PaperApp for Mandelbrot {
         ctx.run(
             &module,
             "mandelbrot",
-            &[Arg::Float(x0), Arg::Float(y0), Arg::Float(dx), Arg::Float(dy), Arg::Stream(&o)],
+            &[
+                Arg::Float(x0),
+                Arg::Float(y0),
+                Arg::Float(dx),
+                Arg::Float(dy),
+                Arg::Stream(&o),
+            ],
         )?;
         ctx.read(&o)
     }

@@ -45,7 +45,12 @@ impl PaperApp for PrefixSum {
             ctx.run(
                 &module,
                 "scan_step",
-                &[Arg::Stream(&ping), Arg::Stream(&ping), Arg::Float(offset as f32), Arg::Stream(&pong)],
+                &[
+                    Arg::Stream(&ping),
+                    Arg::Stream(&ping),
+                    Arg::Float(offset as f32),
+                    Arg::Stream(&pong),
+                ],
             )?;
             std::mem::swap(&mut ping, &mut pong);
             offset *= 2;
@@ -63,7 +68,11 @@ impl PaperApp for PrefixSum {
         let mut offset = 1usize;
         while offset < n {
             for i in 0..n {
-                next[i] = if i >= offset { cur[i] + cur[i - offset] } else { cur[i] };
+                next[i] = if i >= offset {
+                    cur[i] + cur[i - offset]
+                } else {
+                    cur[i]
+                };
             }
             std::mem::swap(&mut cur, &mut next);
             offset *= 2;

@@ -63,7 +63,11 @@ impl PaperApp for Sgemm {
         let c = ctx.stream(&[size, size])?;
         ctx.write(&a, &av)?;
         ctx.write(&b, &bv)?;
-        ctx.run(&module, "sgemm", &[Arg::Stream(&a), Arg::Stream(&b), Arg::Stream(&c)])?;
+        ctx.run(
+            &module,
+            "sgemm",
+            &[Arg::Stream(&a), Arg::Stream(&b), Arg::Stream(&c)],
+        )?;
         ctx.read(&c)
     }
 

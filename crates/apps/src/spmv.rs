@@ -36,7 +36,10 @@ pub fn kernel_source() -> String {
 /// Workload matrices: values, column indices (as floats) and the vector.
 pub fn inputs(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
     let vals = gen_values(seed, n * NNZ_PER_ROW, -1.0, 1.0);
-    let cols: Vec<f32> = gen_indices(seed, n * NNZ_PER_ROW, n).iter().map(|c| *c as f32).collect();
+    let cols: Vec<f32> = gen_indices(seed, n * NNZ_PER_ROW, n)
+        .iter()
+        .map(|c| *c as f32)
+        .collect();
     let x = gen_values(seed + 2, n, -1.0, 1.0);
     (vals, cols, x)
 }
@@ -79,7 +82,16 @@ impl PaperApp for Spmv {
         ctx.write(&v, &vals)?;
         ctx.write(&c, &cols)?;
         ctx.write(&xv, &x)?;
-        ctx.run(&module, "spmv", &[Arg::Stream(&v), Arg::Stream(&c), Arg::Stream(&xv), Arg::Stream(&y)])?;
+        ctx.run(
+            &module,
+            "spmv",
+            &[
+                Arg::Stream(&v),
+                Arg::Stream(&c),
+                Arg::Stream(&xv),
+                Arg::Stream(&y),
+            ],
+        )?;
         ctx.read(&y)
     }
 

@@ -108,8 +108,12 @@ fn bench_dispatch(c: &mut Criterion) {
                 (ctx, module, sa, sb, so)
             },
             |(mut ctx, module, sa, sb, so)| {
-                ctx.run(&module, "add", &[Arg::Stream(&sa), Arg::Stream(&sb), Arg::Stream(&so)])
-                    .expect("run");
+                ctx.run(
+                    &module,
+                    "add",
+                    &[Arg::Stream(&sa), Arg::Stream(&sb), Arg::Stream(&so)],
+                )
+                .expect("run");
                 ctx.read(&so).expect("read")
             },
             BatchSize::LargeInput,
@@ -123,8 +127,9 @@ fn bench_reduction(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut ctx = BrookContext::gles2(DeviceProfile::videocore_iv());
-                let module =
-                    ctx.compile("reduce void sum(float a<>, reduce float r<>) { r += a; }").expect("compile");
+                let module = ctx
+                    .compile("reduce void sum(float a<>, reduce float r<>) { r += a; }")
+                    .expect("compile");
                 let s = ctx.stream(&[128, 128]).expect("stream");
                 ctx.write(&s, &vec![0.5; 128 * 128]).expect("write");
                 (ctx, module, s)

@@ -61,7 +61,8 @@ fn run(profile: DeviceProfile, w: &Workload) -> perf_model::GpuRun {
             let o = ctx.stream(&[n, n]).expect("o");
             ctx.write(&a, &data).expect("write");
             ctx.write(&b, &data).expect("write");
-            ctx.run(&module, "f", &[Arg::Stream(&a), Arg::Stream(&b), Arg::Stream(&o)]).expect("run");
+            ctx.run(&module, "f", &[Arg::Stream(&a), Arg::Stream(&b), Arg::Stream(&o)])
+                .expect("run");
         }
         "3x3 stencil" => {
             let img = ctx.stream(&[n, n]).expect("img");
@@ -86,7 +87,12 @@ fn run(profile: DeviceProfile, w: &Workload) -> perf_model::GpuRun {
             let c = ctx.stream(&[n, n]).expect("c");
             ctx.write(&a, &data).expect("write");
             ctx.write(&b, &data).expect("write");
-            ctx.run(&module, "sgemm", &[Arg::Stream(&a), Arg::Stream(&b), Arg::Stream(&c)]).expect("run");
+            ctx.run(
+                &module,
+                "sgemm",
+                &[Arg::Stream(&a), Arg::Stream(&b), Arg::Stream(&c)],
+            )
+            .expect("run");
         }
     }
     let _ = w.inputs;

@@ -17,11 +17,21 @@ fn main() {
     let a = gen_values(1, n * n, -1.0, 1.0);
     let b = gen_values(2, n * n, -1.0, 1.0);
     println!("Ablation — hand-written sgemm tile factor (n = {n})\n");
-    println!("{:>6} {:>16} {:>14} {:>14}", "tile", "ALU/iteration", "modeled time", "vs tile=1");
+    println!(
+        "{:>6} {:>16} {:>14} {:>14}",
+        "tile", "ALU/iteration", "modeled time", "vs tile=1"
+    );
     let mut base = None;
     for tile in [1usize, 2, 4, 8, 16] {
-        let run = sgemm_with_tile(&a, &b, n, DeviceProfile::videocore_iv(), DrawMode::Sampled { stride: 16 }, tile)
-            .expect("run");
+        let run = sgemm_with_tile(
+            &a,
+            &b,
+            n,
+            DeviceProfile::videocore_iv(),
+            DrawMode::Sampled { stride: 16 },
+            tile,
+        )
+        .expect("run");
         let per_iter = run.gpu.alu_ops as f64 / (n as f64).powi(3);
         let t = platform.gpu_time(&run.gpu);
         let speedup = match base {

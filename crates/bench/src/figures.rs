@@ -32,12 +32,20 @@ pub struct FigureSeries {
 }
 
 fn sweep(app: &dyn PaperApp) -> Result<FigureSeries, BrookError> {
-    let mut series = FigureSeries { app: app.name(), target: Vec::new(), reference: Vec::new() };
+    let mut series = FigureSeries {
+        app: app.name(),
+        target: Vec::new(),
+        reference: Vec::new(),
+    };
     for size in app.sizes(PlatformKind::Target) {
-        series.target.push(measure(app, PlatformKind::Target, size, SEED)?);
+        series
+            .target
+            .push(measure(app, PlatformKind::Target, size, SEED)?);
     }
     for size in app.sizes(PlatformKind::Reference) {
-        series.reference.push(measure(app, PlatformKind::Reference, size, SEED)?);
+        series
+            .reference
+            .push(measure(app, PlatformKind::Reference, size, SEED)?);
     }
     Ok(series)
 }
@@ -125,7 +133,12 @@ pub fn fig4() -> Result<(Vec<Fig4Point>, (usize, usize)), BrookError> {
         )?;
         let brook_time = platform.gpu_time(&brook.gpu);
         let handwritten_time = platform.gpu_time(&hand.gpu);
-        points.push(Fig4Point { n, brook_time, handwritten_time, efficiency: handwritten_time / brook_time });
+        points.push(Fig4Point {
+            n,
+            brook_time,
+            handwritten_time,
+            efficiency: handwritten_time / brook_time,
+        });
     }
     let brook_loc = sgemm_kernel(1024).lines().count() + 25; // kernel + host driver lines
     let hand_loc = handwritten::loc();
@@ -160,6 +173,9 @@ mod tests {
                 p.efficiency
             );
         }
-        assert!(hand_loc > brook_loc * 3, "productivity gap missing: {brook_loc} vs {hand_loc}");
+        assert!(
+            hand_loc > brook_loc * 3,
+            "productivity gap missing: {brook_loc} vs {hand_loc}"
+        );
     }
 }

@@ -8,7 +8,11 @@ use std::fmt::Write;
 pub fn render_series(s: &FigureSeries) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{}", s.app);
-    let _ = writeln!(out, "{:>8} {:>18} {:>18}", "size", "target speedup", "reference speedup");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>18} {:>18}",
+        "size", "target speedup", "reference speedup"
+    );
     let sizes: Vec<usize> = s
         .reference
         .iter()
@@ -44,7 +48,11 @@ pub fn render_speedup_table(series: &[FigureSeries]) -> String {
 /// Renders Figure 4's efficiency points.
 pub fn render_fig4(points: &[Fig4Point], loc: (usize, usize)) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:>6} {:>14} {:>16} {:>22}", "n", "brook time", "hand-written", "brook efficiency");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>14} {:>16} {:>22}",
+        "n", "brook time", "hand-written", "brook efficiency"
+    );
     for p in points {
         let _ = writeln!(
             out,

@@ -39,7 +39,10 @@ pub fn const_int(e: &Expr) -> Option<i64> {
     match &e.kind {
         ExprKind::IntLit(v) => Some(*v),
         ExprKind::FloatLit(v) if v.fract() == 0.0 => Some(*v as i64),
-        ExprKind::Unary { op: UnOp::Neg, operand } => const_int(operand).map(|v| -v),
+        ExprKind::Unary {
+            op: UnOp::Neg,
+            operand,
+        } => const_int(operand).map(|v| -v),
         ExprKind::Binary { op, lhs, rhs } => {
             let l = const_int(lhs)?;
             let r = const_int(rhs)?;
@@ -63,15 +66,29 @@ pub fn const_int(e: &Expr) -> Option<i64> {
 /// `for (i = C0; i < C1; i += S)` (and `<=`, and the decreasing mirror
 /// with `>`/`>=` and `-=`), where `C0`, `C1`, `S` are literal integers and
 /// `i` is not reassigned in the body.
-pub fn for_loop_bound(init: Option<&Stmt>, cond: Option<&Expr>, step: Option<&Stmt>, body: &Block) -> LoopBound {
-    let unbounded = |reason: &str| LoopBound::Unbounded { reason: reason.to_owned() };
+pub fn for_loop_bound(
+    init: Option<&Stmt>,
+    cond: Option<&Expr>,
+    step: Option<&Stmt>,
+    body: &Block,
+) -> LoopBound {
+    let unbounded = |reason: &str| LoopBound::Unbounded {
+        reason: reason.to_owned(),
+    };
     // Extract the induction variable and start value.
     let (var, start) = match init {
-        Some(Stmt::Decl { name, init: Some(e), .. }) => match const_int(e) {
+        Some(Stmt::Decl {
+            name, init: Some(e), ..
+        }) => match const_int(e) {
             Some(v) => (name.clone(), v),
             None => return unbounded("loop start value is not a compile-time constant"),
         },
-        Some(Stmt::Assign { target, op: AssignOp::Assign, value, .. }) => match (&target.kind, const_int(value)) {
+        Some(Stmt::Assign {
+            target,
+            op: AssignOp::Assign,
+            value,
+            ..
+        }) => match (&target.kind, const_int(value)) {
             (ExprKind::Var(name), Some(v)) => (name.clone(), v),
             _ => return unbounded("loop start value is not a compile-time constant"),
         },
@@ -112,7 +129,9 @@ pub fn for_loop_bound(init: Option<&Stmt>, cond: Option<&Expr>, step: Option<&St
         return unbounded("loop has no step statement");
     };
     let (step_op, stride) = match step {
-        Stmt::Assign { target, op, value, .. } => match (&target.kind, const_int(value)) {
+        Stmt::Assign {
+            target, op, value, ..
+        } => match (&target.kind, const_int(value)) {
             (ExprKind::Var(n), Some(s)) if n == &var => (*op, s),
             _ => return unbounded("loop step does not advance the induction variable by a constant"),
         },
@@ -131,12 +150,16 @@ pub fn for_loop_bound(init: Option<&Stmt>, cond: Option<&Expr>, step: Option<&St
                         trips += 1;
                         v = v.saturating_mul(stride);
                         if trips > 1_000_000 {
-                            return LoopBound::Unbounded { reason: "geometric loop does not terminate".into() };
+                            return LoopBound::Unbounded {
+                                reason: "geometric loop does not terminate".into(),
+                            };
                         }
                     }
                     LoopBound::Static { trips }
                 }
-                _ => LoopBound::Unbounded { reason: "geometric loop with unsupported condition".into() },
+                _ => LoopBound::Unbounded {
+                    reason: "geometric loop with unsupported condition".into(),
+                },
             };
         }
         _ => return unbounded("loop step operator is not a constant increment/decrement"),
@@ -169,9 +192,16 @@ fn stmt_writes_var(s: &Stmt, var: &str) -> bool {
     match s {
         Stmt::Assign { target, .. } => matches!(&target.kind, ExprKind::Var(n) if n == var),
         Stmt::Decl { name, .. } => name == var,
-        Stmt::If { then_block, else_block, .. } => {
+        Stmt::If {
+            then_block,
+            else_block,
+            ..
+        } => {
             body_writes_var(then_block, var)
-                || else_block.as_ref().map(|e| body_writes_var(e, var)).unwrap_or(false)
+                || else_block
+                    .as_ref()
+                    .map(|e| body_writes_var(e, var))
+                    .unwrap_or(false)
         }
         Stmt::For { init, step, body, .. } => {
             init.as_deref().map(|s| stmt_writes_var(s, var)).unwrap_or(false)
@@ -297,14 +327,25 @@ fn collect_calls_stmt(s: &Stmt, out: &mut Vec<String>) {
             collect_calls_expr(target, out);
             collect_calls_expr(value, out);
         }
-        Stmt::If { cond, then_block, else_block, .. } => {
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+            ..
+        } => {
             collect_calls_expr(cond, out);
             collect_calls_block(then_block, out);
             if let Some(e) = else_block {
                 collect_calls_block(e, out);
             }
         }
-        Stmt::For { init, cond, step, body, .. } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
             if let Some(i) = init {
                 collect_calls_stmt(i, out);
             }
@@ -345,7 +386,11 @@ pub fn collect_calls_expr(e: &Expr, out: &mut Vec<String>) {
             collect_calls_expr(rhs, out);
         }
         ExprKind::Unary { operand, .. } => collect_calls_expr(operand, out),
-        ExprKind::Ternary { cond, then_expr, else_expr } => {
+        ExprKind::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
             collect_calls_expr(cond, out);
             collect_calls_expr(then_expr, out);
             collect_calls_expr(else_expr, out);
@@ -381,7 +426,12 @@ fn stmt_estimate(s: &Stmt, helpers: &HashMap<String, u64>) -> Option<u64> {
         Stmt::Assign { target, value, .. } => {
             1 + expr_estimate(target, helpers)? + expr_estimate(value, helpers)?
         }
-        Stmt::If { cond, then_block, else_block, .. } => {
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+            ..
+        } => {
             expr_estimate(cond, helpers)?
                 + instruction_estimate(then_block, helpers)?
                 + match else_block {
@@ -390,7 +440,13 @@ fn stmt_estimate(s: &Stmt, helpers: &HashMap<String, u64>) -> Option<u64> {
                 }
                 + 1
         }
-        Stmt::For { init, cond, step, body, .. } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
             let bound = for_loop_bound(init.as_deref(), cond.as_ref(), step.as_deref(), body);
             let trips = bound.trips()?;
             let per_iter = instruction_estimate(body, helpers)?
@@ -425,7 +481,11 @@ fn expr_estimate(e: &Expr, helpers: &HashMap<String, u64>) -> Option<u64> {
         ExprKind::FloatLit(_) | ExprKind::IntLit(_) | ExprKind::BoolLit(_) | ExprKind::Var(_) => 0,
         ExprKind::Binary { lhs, rhs, .. } => 1 + expr_estimate(lhs, helpers)? + expr_estimate(rhs, helpers)?,
         ExprKind::Unary { operand, .. } => 1 + expr_estimate(operand, helpers)?,
-        ExprKind::Ternary { cond, then_expr, else_expr } => {
+        ExprKind::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
             1 + expr_estimate(cond, helpers)?
                 + expr_estimate(then_expr, helpers)?
                 + expr_estimate(else_expr, helpers)?
@@ -467,7 +527,14 @@ mod tests {
         let p = parse(src).expect("parse");
         let k = p.kernels().next().expect("kernel");
         for s in &k.body.stmts {
-            if let Stmt::For { init, cond, step, body, .. } = s {
+            if let Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } = s
+            {
                 return (init.clone(), cond.clone(), step.clone(), body.clone());
             }
         }
@@ -509,7 +576,10 @@ mod tests {
         let src = "kernel void f(float a<>, out float o<>) { float s = 0.0; for (int j = 0; j < 8; j++) { s += a; } o = s; }";
         // `int j = 0` inside for-init.
         let (init, cond, step, body) = first_for(src);
-        assert_eq!(for_loop_bound(init.as_deref(), cond.as_ref(), step.as_deref(), &body).trips(), Some(8));
+        assert_eq!(
+            for_loop_bound(init.as_deref(), cond.as_ref(), step.as_deref(), &body).trips(),
+            Some(8)
+        );
     }
 
     #[test]
@@ -522,14 +592,22 @@ mod tests {
 
     #[test]
     fn induction_variable_modified_in_body_is_unbounded() {
-        let src = "kernel void f(float a<>, out float o<>) { int i; for (i = 0; i < 8; i++) { i = 0; } o = a; }";
+        let src =
+            "kernel void f(float a<>, out float o<>) { int i; for (i = 0; i < 8; i++) { i = 0; } o = a; }";
         let (init, cond, step, body) = first_for(src);
-        assert!(for_loop_bound(init.as_deref(), cond.as_ref(), step.as_deref(), &body).trips().is_none());
+        assert!(
+            for_loop_bound(init.as_deref(), cond.as_ref(), step.as_deref(), &body)
+                .trips()
+                .is_none()
+        );
     }
 
     #[test]
     fn contradictory_direction_is_unbounded() {
-        assert!(bound_of("for (i = 0; i > 10; i++)").trips() == Some(0) || bound_of("for (i = 0; i > 10; i++)").trips().is_none());
+        assert!(
+            bound_of("for (i = 0; i > 10; i++)").trips() == Some(0)
+                || bound_of("for (i = 0; i > 10; i++)").trips().is_none()
+        );
         // Increasing away from an upper bound never terminates:
         assert!(bound_of("for (i = 20; i < 10; i++)").trips() == Some(0));
         // Decreasing below a `<` bound never terminates:
@@ -538,9 +616,19 @@ mod tests {
 
     #[test]
     fn const_int_arithmetic() {
-        let p = parse("kernel void f(float a<>, out float o<>) { int i; for (i = 0; i < 4 * 4 - 2; i++) { } o = a; }").unwrap();
+        let p = parse(
+            "kernel void f(float a<>, out float o<>) { int i; for (i = 0; i < 4 * 4 - 2; i++) { } o = a; }",
+        )
+        .unwrap();
         let k = p.kernels().next().unwrap();
-        if let Stmt::For { init, cond, step, body, .. } = &k.body.stmts[1] {
+        if let Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } = &k.body.stmts[1]
+        {
             let b = for_loop_bound(init.as_deref(), cond.as_ref(), step.as_deref(), body);
             assert_eq!(b.trips(), Some(14));
         } else {

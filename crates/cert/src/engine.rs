@@ -148,8 +148,7 @@ fn certify_kernel(
     collect_loop_bounds(&k.body, &mut loop_bounds, &mut findings, config);
 
     // BA004 / BA009 — recursion and call depth.
-    let roots: Vec<String> =
-        summary.map(|s| s.called_functions.clone()).unwrap_or_default();
+    let roots: Vec<String> = summary.map(|s| s.called_functions.clone()).unwrap_or_default();
     let call_depth = match cg.max_depth_from(&roots) {
         Some(d) => {
             if d > config.max_call_depth {
@@ -251,8 +250,10 @@ fn certify_kernel(
     // Rules discharged by construction or runtime design are recorded as
     // notes so the report is a complete certification artifact.
     for meta in crate::rules::RULES {
-        if matches!(meta.discharge, Discharge::ByConstruction | Discharge::RuntimeDesign)
-            && !findings.iter().any(|f| f.rule == meta.id)
+        if matches!(
+            meta.discharge,
+            Discharge::ByConstruction | Discharge::RuntimeDesign
+        ) && !findings.iter().any(|f| f.rule == meta.id)
         {
             findings.push(Finding {
                 rule: meta.id,
@@ -282,7 +283,13 @@ fn collect_loop_bounds(
 ) {
     for s in &b.stmts {
         match s {
-            Stmt::For { init, cond, step, body, span } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                span,
+            } => {
                 let bound = for_loop_bound(init.as_deref(), cond.as_ref(), step.as_deref(), body);
                 match &bound {
                     LoopBound::Static { trips } => {
@@ -326,7 +333,9 @@ fn collect_loop_bounds(
                         .into(),
                     span: *span,
                 });
-                bounds.push(LoopBound::Unbounded { reason: "while loop".into() });
+                bounds.push(LoopBound::Unbounded {
+                    reason: "while loop".into(),
+                });
                 collect_loop_bounds(body, bounds, findings, config);
             }
             Stmt::DoWhile { span, body, .. } => {
@@ -338,10 +347,16 @@ fn collect_loop_bounds(
                         .into(),
                     span: *span,
                 });
-                bounds.push(LoopBound::Unbounded { reason: "do/while loop".into() });
+                bounds.push(LoopBound::Unbounded {
+                    reason: "do/while loop".into(),
+                });
                 collect_loop_bounds(body, bounds, findings, config);
             }
-            Stmt::If { then_block, else_block, .. } => {
+            Stmt::If {
+                then_block,
+                else_block,
+                ..
+            } => {
                 collect_loop_bounds(then_block, bounds, findings, config);
                 if let Some(e) = else_block {
                     collect_loop_bounds(e, bounds, findings, config);
@@ -403,7 +418,9 @@ mod tests {
         );
         assert!(!r.is_compliant());
         assert!(r.kernels[0].violations().any(|f| f.rule == RuleId::BoundedLoops));
-        assert!(r.kernels[0].violations().any(|f| f.rule == RuleId::InstructionBudget));
+        assert!(r.kernels[0]
+            .violations()
+            .any(|f| f.rule == RuleId::InstructionBudget));
     }
 
     #[test]
@@ -494,14 +511,21 @@ mod tests {
              kernel void k(float a<>, out float o<>) { o = f5(a); }",
         );
         assert!(!r.is_compliant());
-        assert!(r.kernels[0].violations().any(|f| f.rule == RuleId::StackDepthBound));
+        assert!(r.kernels[0]
+            .violations()
+            .any(|f| f.rule == RuleId::StackDepthBound));
     }
 
     #[test]
     fn by_construction_rules_are_recorded() {
         let r = report_for("kernel void f(float a<>, out float o<>) { o = a; }");
         let k = &r.kernels[0];
-        for rule in [RuleId::NoPointers, RuleId::NoGoto, RuleId::NoFaultPropagation, RuleId::StaticStreamSizes] {
+        for rule in [
+            RuleId::NoPointers,
+            RuleId::NoGoto,
+            RuleId::NoFaultPropagation,
+            RuleId::StaticStreamSizes,
+        ] {
             assert!(
                 k.findings.iter().any(|f| f.rule == rule),
                 "missing by-construction record for {rule}"
@@ -528,7 +552,10 @@ mod tests {
 
     #[test]
     fn custom_config_tightens_limits() {
-        let cfg = CertConfig { max_loop_trips: 8, ..CertConfig::default() };
+        let cfg = CertConfig {
+            max_loop_trips: 8,
+            ..CertConfig::default()
+        };
         let (_, r) = certify_source(
             "kernel void f(float a<>, out float o<>) {
                 float s = 0.0;

@@ -10,7 +10,10 @@ use std::fmt::Write;
 /// `certification_report` example).
 pub fn render_rule_catalogue() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Brook Auto certification rule catalogue (ISO 26262 / MISRA C motivated)");
+    let _ = writeln!(
+        out,
+        "Brook Auto certification rule catalogue (ISO 26262 / MISRA C motivated)"
+    );
     let _ = writeln!(out, "{}", "-".repeat(78));
     for m in RULES {
         let _ = writeln!(out, "{}  {}", m.id.code(), m.title);
@@ -30,16 +33,37 @@ pub fn render_report(report: &ComplianceReport) -> String {
     let _ = writeln!(
         out,
         "OVERALL: {} ({} violation(s))",
-        if report.is_compliant() { "COMPLIANT" } else { "NOT COMPLIANT" },
+        if report.is_compliant() {
+            "COMPLIANT"
+        } else {
+            "NOT COMPLIANT"
+        },
         report.violation_count()
     );
     out
 }
 
 fn render_kernel(out: &mut String, k: &KernelReport) {
-    let _ = writeln!(out, "kernel `{}`: {}", k.kernel, if k.is_compliant() { "compliant" } else { "NOT compliant" });
+    let _ = writeln!(
+        out,
+        "kernel `{}`: {}",
+        k.kernel,
+        if k.is_compliant() {
+            "compliant"
+        } else {
+            "NOT compliant"
+        }
+    );
     let _ = writeln!(out, "  passes required : {}", k.passes_required);
-    let _ = writeln!(out, "  call depth      : {}", if k.call_depth == u32::MAX { "unbounded".to_owned() } else { k.call_depth.to_string() });
+    let _ = writeln!(
+        out,
+        "  call depth      : {}",
+        if k.call_depth == u32::MAX {
+            "unbounded".to_owned()
+        } else {
+            k.call_depth.to_string()
+        }
+    );
     match k.instruction_estimate {
         Some(est) => {
             let _ = writeln!(out, "  instruction est.: {est}");
@@ -54,7 +78,14 @@ fn render_kernel(out: &mut String, k: &KernelReport) {
             Severity::Warning => "warning  ",
             Severity::Note => "note     ",
         };
-        let _ = writeln!(out, "  [{}] {} {} — {}", f.rule.code(), marker, rule_meta(f.rule).title, f.message);
+        let _ = writeln!(
+            out,
+            "  [{}] {} {} — {}",
+            f.rule.code(),
+            marker,
+            rule_meta(f.rule).title,
+            f.message
+        );
     }
 }
 
@@ -69,7 +100,10 @@ pub fn render_matrix(report: &ComplianceReport) -> String {
     for rule in RuleId::all() {
         let _ = write!(out, "{:<8}", rule.code());
         for k in &report.kernels {
-            let violated = k.findings.iter().any(|f| f.rule == *rule && f.severity == Severity::Error);
+            let violated = k
+                .findings
+                .iter()
+                .any(|f| f.rule == *rule && f.severity == Severity::Error);
             let _ = write!(out, " {:>12}", if violated { "FAIL" } else { "pass" });
         }
         out.push('\n');

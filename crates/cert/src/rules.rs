@@ -196,7 +196,10 @@ pub const RULES: &[RuleMeta] = &[
 
 /// Looks up the metadata for a rule.
 pub fn rule_meta(id: RuleId) -> &'static RuleMeta {
-    RULES.iter().find(|m| m.id == id).expect("every rule has metadata")
+    RULES
+        .iter()
+        .find(|m| m.id == id)
+        .expect("every rule has metadata")
 }
 
 #[cfg(test)]

@@ -93,14 +93,22 @@ pub fn generate_kernel_shader(
             "reduce kernels compile through reduce_pass_shader".into(),
         ));
     }
-    if !kdef.params.iter().any(|p| p.name == output && p.kind == ParamKind::OutStream) {
+    if !kdef
+        .params
+        .iter()
+        .any(|p| p.name == output && p.kind == ParamKind::OutStream)
+    {
         return Err(CodegenError::UnknownOutput(output.to_owned()));
     }
     let mut gen = Gen {
         checked,
         storage,
         shapes,
-        params: kdef.params.iter().map(|p| (p.name.clone(), (p.ty, p.kind))).collect(),
+        params: kdef
+            .params
+            .iter()
+            .map(|p| (p.name.clone(), (p.ty, p.kind)))
+            .collect(),
         out: output.to_owned(),
     };
     gen.generate(kdef)
@@ -121,7 +129,9 @@ impl Gen<'_> {
             match p.kind {
                 ParamKind::Stream | ParamKind::Gather { .. } => {
                     if packed && p.ty.width > 1 {
-                        return Err(CodegenError::VectorStreamOnPackedTarget { param: p.name.clone() });
+                        return Err(CodegenError::VectorStreamOnPackedTarget {
+                            param: p.name.clone(),
+                        });
                     }
                     let _ = writeln!(header, "uniform sampler2D {};", tex_uniform(&p.name));
                     let _ = writeln!(header, "uniform vec4 {};", meta_uniform(&p.name));
@@ -136,7 +146,9 @@ impl Gen<'_> {
                 }
                 ParamKind::OutStream | ParamKind::ReduceOut => {
                     if packed && p.ty.width > 1 {
-                        return Err(CodegenError::VectorStreamOnPackedTarget { param: p.name.clone() });
+                        return Err(CodegenError::VectorStreamOnPackedTarget {
+                            param: p.name.clone(),
+                        });
                     }
                     if p.name == self.out {
                         let _ = writeln!(header, "uniform vec4 {};", meta_uniform(&p.name));
@@ -173,12 +185,24 @@ impl Gen<'_> {
         let _ = writeln!(body, "    float _lin = _pc.y * {VIEWPORT_UNIFORM}.x + _pc.x;");
         for p in &k.params {
             if p.kind == ParamKind::Stream {
-                let _ = writeln!(body, "    {} b_{} = _fetch_{}();", glsl_type(p.ty), p.name, p.name);
+                let _ = writeln!(
+                    body,
+                    "    {} b_{} = _fetch_{}();",
+                    glsl_type(p.ty),
+                    p.name,
+                    p.name
+                );
             }
         }
         for p in &k.params {
             if p.kind == ParamKind::OutStream {
-                let _ = writeln!(body, "    {} _out_{} = {};", glsl_type(p.ty), p.name, zero_literal(p.ty));
+                let _ = writeln!(
+                    body,
+                    "    {} _out_{} = {};",
+                    glsl_type(p.ty),
+                    p.name,
+                    zero_literal(p.ty)
+                );
             }
         }
         self.emit_block(&mut body, &k.body, 1)?;
@@ -261,12 +285,21 @@ impl Gen<'_> {
         let fetch = self.texel_fetch(p, "_col", "_row");
         match rank {
             1 => {
-                let _ = writeln!(out, "{ty} _gather_{}(float i0) {{\n{}}}", p.name, linear_body("i0", &fetch));
+                let _ = writeln!(
+                    out,
+                    "{ty} _gather_{}(float i0) {{\n{}}}",
+                    p.name,
+                    linear_body("i0", &fetch)
+                );
             }
             2 => match self.shapes.rank(&p.name) {
                 StreamRank::Grid => {
                     let direct = self.texel_fetch(p, "i1", "i0");
-                    let _ = writeln!(out, "{ty} _gather_{}(float i0, float i1) {{\n    return {direct};\n}}", p.name);
+                    let _ = writeln!(
+                        out,
+                        "{ty} _gather_{}(float i0, float i1) {{\n    return {direct};\n}}",
+                        p.name
+                    );
                 }
                 StreamRank::Linear => {
                     let _ = writeln!(
@@ -304,7 +337,11 @@ impl Gen<'_> {
             Some(t) => glsl_type(t),
             None => "void",
         };
-        let params: Vec<String> = f.params.iter().map(|(n, t)| format!("{} b_{n}", glsl_type(*t))).collect();
+        let params: Vec<String> = f
+            .params
+            .iter()
+            .map(|(n, t)| format!("{} b_{n}", glsl_type(*t)))
+            .collect();
         let _ = writeln!(out, "{ret} b_{}({}) {{", f.name, params.join(", "));
         let mut body = String::new();
         self.emit_block(&mut body, &f.body, 1)?;
@@ -340,7 +377,9 @@ impl Gen<'_> {
                     }
                 }
             }
-            Stmt::Assign { target, op, value, .. } => {
+            Stmt::Assign {
+                target, op, value, ..
+            } => {
                 Self::indent(out, level);
                 let t = self.emit_expr(target)?;
                 let tt = self.type_of(target)?;
@@ -354,7 +393,12 @@ impl Gen<'_> {
                 };
                 let _ = writeln!(out, "{t} {op} {v};");
             }
-            Stmt::If { cond, then_block, else_block, .. } => {
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+                ..
+            } => {
                 Self::indent(out, level);
                 let c = self.emit_expr(cond)?;
                 let _ = writeln!(out, "if ({c}) {{");
@@ -370,7 +414,13 @@ impl Gen<'_> {
                     None => out.push_str("}\n"),
                 }
             }
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 Self::indent(out, level);
                 let mut header = String::new();
                 if let Some(i) = init {
@@ -483,7 +533,11 @@ impl Gen<'_> {
                     UnOp::Not => format!("(!{o})"),
                 }
             }
-            ExprKind::Ternary { cond, then_expr, else_expr } => {
+            ExprKind::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 let c = self.emit_expr(cond)?;
                 let tt = self.type_of(e)?;
                 let t = self.emit_coerced(then_expr, tt)?;
@@ -493,7 +547,9 @@ impl Gen<'_> {
             ExprKind::Call { callee, args } => self.emit_call(e, callee, args)?,
             ExprKind::Index { base, indices } => {
                 let ExprKind::Var(name) = &base.kind else {
-                    return Err(CodegenError::Unsupported("indexed expression is not a gather".into()));
+                    return Err(CodegenError::Unsupported(
+                        "indexed expression is not a gather".into(),
+                    ));
                 };
                 let mut parts = Vec::new();
                 for ix in indices {
@@ -512,7 +568,13 @@ impl Gen<'_> {
                 // linear element index goes in .x (paper §5.2).
                 match self.shapes.rank(stream) {
                     StreamRank::Grid => {
-                        if stream == &self.out || self.params.get(stream).map(|(_, k)| k.is_output()).unwrap_or(false) {
+                        if stream == &self.out
+                            || self
+                                .params
+                                .get(stream)
+                                .map(|(_, k)| k.is_output())
+                                .unwrap_or(false)
+                        {
                             "_pc".to_owned()
                         } else {
                             format!("floor(v_texcoord * {}.zw)", meta_uniform(stream))
@@ -534,7 +596,10 @@ impl Gen<'_> {
             "int" => Some("int"),
             _ => None,
         } {
-            let parts = args.iter().map(|a| self.emit_expr(a)).collect::<Result<Vec<_>, _>>()?;
+            let parts = args
+                .iter()
+                .map(|a| self.emit_expr(a))
+                .collect::<Result<Vec<_>, _>>()?;
             return Ok(format!("{glsl}({})", parts.join(", ")));
         }
         if let Some(b) = builtin(callee) {
@@ -542,7 +607,11 @@ impl Gen<'_> {
             for a in args {
                 let s = self.emit_expr(a)?;
                 let t = self.type_of(a)?;
-                parts.push(if t.scalar == ScalarKind::Int { format!("float({s})") } else { s });
+                parts.push(if t.scalar == ScalarKind::Int {
+                    format!("float({s})")
+                } else {
+                    s
+                });
             }
             // Special lowerings where GLSL lacks a direct equivalent.
             return Ok(match callee {
@@ -560,7 +629,10 @@ impl Gen<'_> {
             }
             return Ok(format!("b_{callee}({})", parts.join(", ")));
         }
-        Err(CodegenError::Unsupported(format!("call to unknown function `{callee}` at {}", e.span)))
+        Err(CodegenError::Unsupported(format!(
+            "call to unknown function `{callee}` at {}",
+            e.span
+        )))
     }
 }
 
@@ -618,7 +690,13 @@ mod tests {
     use super::*;
     use brook_lang::parse_and_check;
 
-    fn gen(src: &str, kernel: &str, output: &str, shapes: KernelShapes, storage: StorageMode) -> GeneratedShader {
+    fn gen(
+        src: &str,
+        kernel: &str,
+        output: &str,
+        shapes: KernelShapes,
+        storage: StorageMode,
+    ) -> GeneratedShader {
         let checked = parse_and_check(src).expect("front-end");
         generate_kernel_shader(&checked, kernel, output, &shapes, storage)
             .unwrap_or_else(|e| panic!("codegen: {e}"))
@@ -636,7 +714,8 @@ mod tests {
         assert!(g.glsl.contains("ba_decode"));
         assert!(g.glsl.contains("ba_encode"));
         assert_eq!(g.samplers, vec!["a", "b"]);
-        glsl_es::compile(&g.glsl).unwrap_or_else(|e| panic!("generated GLSL does not compile: {e}\n{}", g.glsl));
+        glsl_es::compile(&g.glsl)
+            .unwrap_or_else(|e| panic!("generated GLSL does not compile: {e}\n{}", g.glsl));
     }
 
     #[test]
@@ -650,14 +729,15 @@ mod tests {
         );
         assert!(!g.glsl.contains("ba_decode"));
         assert_eq!(g.scalars, vec!["k"]);
-        glsl_es::compile(&g.glsl).unwrap_or_else(|e| panic!("generated GLSL does not compile: {e}\n{}", g.glsl));
+        glsl_es::compile(&g.glsl)
+            .unwrap_or_else(|e| panic!("generated GLSL does not compile: {e}\n{}", g.glsl));
     }
 
     #[test]
     fn vector_stream_rejected_on_packed() {
         let checked = parse_and_check("kernel void f(float4 a<>, out float4 o<>) { o = a; }").unwrap();
-        let err =
-            generate_kernel_shader(&checked, "f", "o", &KernelShapes::default(), StorageMode::Packed).unwrap_err();
+        let err = generate_kernel_shader(&checked, "f", "o", &KernelShapes::default(), StorageMode::Packed)
+            .unwrap_err();
         assert!(matches!(err, CodegenError::VectorStreamOnPackedTarget { .. }));
     }
 
@@ -676,7 +756,9 @@ mod tests {
 
     #[test]
     fn indexof_linear_uses_lin() {
-        let shapes = KernelShapes::default().with("o", StreamRank::Linear).with("a", StreamRank::Linear);
+        let shapes = KernelShapes::default()
+            .with("o", StreamRank::Linear)
+            .with("a", StreamRank::Linear);
         let g = gen(
             "kernel void f(float a<>, out float o<>) { o = indexof(o).x; }",
             "f",
@@ -742,7 +824,11 @@ mod tests {
             KernelShapes::default(),
             StorageMode::Packed,
         );
-        assert!(g.glsl.contains("for (b_i = 0; (b_i < 8); b_i += 1)"), "{}", g.glsl);
+        assert!(
+            g.glsl.contains("for (b_i = 0; (b_i < 8); b_i += 1)"),
+            "{}",
+            g.glsl
+        );
         glsl_es::compile(&g.glsl).unwrap();
     }
 
@@ -817,11 +903,23 @@ mod tests {
     fn unknown_kernel_and_output_rejected() {
         let checked = parse_and_check("kernel void f(float a<>, out float o<>) { o = a; }").unwrap();
         assert!(matches!(
-            generate_kernel_shader(&checked, "nope", "o", &KernelShapes::default(), StorageMode::Packed),
+            generate_kernel_shader(
+                &checked,
+                "nope",
+                "o",
+                &KernelShapes::default(),
+                StorageMode::Packed
+            ),
             Err(CodegenError::UnknownKernel(_))
         ));
         assert!(matches!(
-            generate_kernel_shader(&checked, "f", "nope", &KernelShapes::default(), StorageMode::Packed),
+            generate_kernel_shader(
+                &checked,
+                "f",
+                "nope",
+                &KernelShapes::default(),
+                StorageMode::Packed
+            ),
             Err(CodegenError::UnknownOutput(_))
         ));
     }
@@ -829,8 +927,8 @@ mod tests {
     #[test]
     fn reduce_kernel_rejected_here() {
         let checked = parse_and_check("reduce void s(float a<>, reduce float r<>) { r += a; }").unwrap();
-        let err =
-            generate_kernel_shader(&checked, "s", "r", &KernelShapes::default(), StorageMode::Packed).unwrap_err();
+        let err = generate_kernel_shader(&checked, "s", "r", &KernelShapes::default(), StorageMode::Packed)
+            .unwrap_err();
         assert!(matches!(err, CodegenError::Unsupported(_)));
     }
 }

@@ -80,7 +80,11 @@ pub fn reduce_pass_shader(op: ReduceOp, axis: ReduceAxis, storage: StorageMode) 
         }
     }
     let _ = writeln!(s, "    float _a = {};", fetch("((_s0 + 0.5) / _meta_src.xy)"));
-    let _ = writeln!(s, "    float _b = _in1 ? {} : {identity};", fetch("((_s1 + 0.5) / _meta_src.xy)"));
+    let _ = writeln!(
+        s,
+        "    float _b = _in1 ? {} : {identity};",
+        fetch("((_s1 + 0.5) / _meta_src.xy)")
+    );
     let _ = writeln!(s, "    float _r = {};", combine("_a", "_b"));
     match storage {
         StorageMode::Packed => {
@@ -104,8 +108,9 @@ mod tests {
             for axis in [ReduceAxis::X, ReduceAxis::Y] {
                 for storage in [StorageMode::Packed, StorageMode::Native] {
                     let src = reduce_pass_shader(op, axis, storage);
-                    glsl_es::compile(&src)
-                        .unwrap_or_else(|e| panic!("reduce shader failed ({op:?},{axis:?},{storage:?}): {e}\n{src}"));
+                    glsl_es::compile(&src).unwrap_or_else(|e| {
+                        panic!("reduce shader failed ({op:?},{axis:?},{storage:?}): {e}\n{src}")
+                    });
                 }
             }
         }

@@ -42,7 +42,13 @@ fn usage() -> ! {
 
 fn parse_args() -> Options {
     let mut input = None;
-    let mut opts = Options { input: String::new(), report: false, matrix: false, emit_glsl: false, native: false };
+    let mut opts = Options {
+        input: String::new(),
+        report: false,
+        matrix: false,
+        emit_glsl: false,
+        native: false,
+    };
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--report" => opts.report = true,
@@ -118,24 +124,43 @@ fn main() -> ExitCode {
             println!(
                 "{kind} `{}`: {} ({} pass(es), worst-case {} instruction(s))",
                 k.kernel,
-                if k.is_compliant() { "compliant" } else { "NOT COMPLIANT" },
+                if k.is_compliant() {
+                    "compliant"
+                } else {
+                    "NOT COMPLIANT"
+                },
                 k.passes_required,
-                k.instruction_estimate.map(|e| e.to_string()).unwrap_or_else(|| "unbounded".into()),
+                k.instruction_estimate
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| "unbounded".into()),
             );
         }
     }
     if opts.emit_glsl {
-        let storage = if opts.native { StorageMode::Native } else { StorageMode::Packed };
+        let storage = if opts.native {
+            StorageMode::Native
+        } else {
+            StorageMode::Packed
+        };
         for summary in &checked.kernels {
             if summary.is_reduce {
                 if let Some(op) = summary.reduce_op {
                     println!("// ---- reduce kernel `{}` (X-axis pass) ----", summary.name);
-                    print!("{}", brook_codegen::reduce_pass_shader(op, brook_codegen::ReduceAxis::X, storage));
+                    print!(
+                        "{}",
+                        brook_codegen::reduce_pass_shader(op, brook_codegen::ReduceAxis::X, storage)
+                    );
                 }
                 continue;
             }
             for output in &summary.outputs {
-                match generate_kernel_shader(&checked, &summary.name, output, &KernelShapes::default(), storage) {
+                match generate_kernel_shader(
+                    &checked,
+                    &summary.name,
+                    output,
+                    &KernelShapes::default(),
+                    storage,
+                ) {
                     Ok(generated) => {
                         println!("// ---- kernel `{}`, output `{output}` ----", summary.name);
                         print!("{}", generated.glsl);

@@ -55,7 +55,11 @@ impl MemoryPlan {
     pub fn render(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        let _ = writeln!(out, "{:<16} {:>16} {:>12} {:>10} {:>9}", "stream", "shape", "texture", "bytes", "overhead");
+        let _ = writeln!(
+            out,
+            "{:<16} {:>16} {:>12} {:>10} {:>9}",
+            "stream", "shape", "texture", "bytes", "overhead"
+        );
         for s in &self.streams {
             let _ = writeln!(
                 out,
@@ -67,7 +71,11 @@ impl MemoryPlan {
                 s.overhead
             );
         }
-        let _ = writeln!(out, "total: {} B (+{} B reduction scratch)", self.total_bytes, self.reduction_scratch_bytes);
+        let _ = writeln!(
+            out,
+            "total: {} B (+{} B reduction scratch)",
+            self.total_bytes, self.reduction_scratch_bytes
+        );
         out
     }
 }
@@ -136,7 +144,11 @@ mod tests {
         for (_, shape) in &shapes {
             ctx.stream(shape).expect("stream");
         }
-        assert_eq!(plan.total_bytes, ctx.gpu_memory_used(), "plan must equal actual allocation");
+        assert_eq!(
+            plan.total_bytes,
+            ctx.gpu_memory_used(),
+            "plan must equal actual allocation"
+        );
     }
 
     #[test]
@@ -160,7 +172,10 @@ mod tests {
         let device = DeviceProfile::videocore_iv();
         let plan = plan_memory(&[("small", vec![16]), ("big", vec![128, 128])], &device, true).expect("plan");
         assert_eq!(plan.reduction_scratch_bytes, 2 * 128 * 128 * 4);
-        assert_eq!(plan.worst_case_bytes(), plan.total_bytes + plan.reduction_scratch_bytes);
+        assert_eq!(
+            plan.worst_case_bytes(),
+            plan.total_bytes + plan.reduction_scratch_bytes
+        );
     }
 
     #[test]

@@ -1,6 +1,14 @@
 //! `BrookContext` — the user-facing Brook Auto runtime.
+//!
+//! The context owns compilation and certification and drives execution
+//! through the [`BackendExecutor`] trait: it validates and classifies
+//! every call into a backend-independent [`KernelLaunch`], then hands it
+//! to whichever substrate the context was built on. There is no
+//! per-backend dispatch here — adding a backend never touches this file.
 
-use crate::cpu::{self, CpuBinding};
+use crate::backend::{BackendExecutor, BoundArg, KernelLaunch};
+use crate::cpu::CpuBackend;
+use crate::cpu_parallel::ParallelCpuBackend;
 use crate::error::{BrookError, Result};
 use crate::gpu::GpuState;
 use crate::stream::{Stream, StreamDesc};
@@ -9,7 +17,6 @@ use brook_lang::ast::ParamKind;
 use brook_lang::CheckedProgram;
 use gles2_sim::{DeviceProfile, DrawMode, Value};
 use perf_model::GpuRun;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static NEXT_CONTEXT_ID: AtomicU64 = AtomicU64::new(1);
@@ -47,15 +54,10 @@ pub enum Arg<'a> {
     Float4([f32; 4]),
 }
 
-enum Backend {
-    Cpu { streams: Vec<(StreamDesc, Vec<f32>)> },
-    Gpu(Box<GpuState>),
-}
-
 /// The Brook Auto runtime context: owns streams, compiles kernels,
 /// dispatches them on the selected backend.
 pub struct BrookContext {
-    backend: Backend,
+    backend: Box<dyn BackendExecutor>,
     context_id: u64,
     next_module: u64,
     cert_config: CertConfig,
@@ -65,15 +67,31 @@ pub struct BrookContext {
 }
 
 impl BrookContext {
-    /// A context executing kernels on the interpreted CPU backend.
-    pub fn cpu() -> Self {
+    /// A context executing kernels on the given backend, enforcing the
+    /// given certification limits — the extension point for backends
+    /// implemented outside this crate.
+    pub fn with_backend(backend: Box<dyn BackendExecutor>, cert_config: CertConfig) -> Self {
         BrookContext {
-            backend: Backend::Cpu { streams: Vec::new() },
+            backend,
             context_id: NEXT_CONTEXT_ID.fetch_add(1, Ordering::Relaxed),
             next_module: 1,
-            cert_config: CertConfig::default(),
+            cert_config,
             enforce_certification: true,
         }
+    }
+
+    /// A context executing kernels on the serial interpreted CPU backend
+    /// (the reference semantics).
+    pub fn cpu() -> Self {
+        Self::with_backend(Box::new(CpuBackend::new()), CertConfig::default())
+    }
+
+    /// A context executing kernels on the data-parallel CPU backend: the
+    /// same element semantics as [`BrookContext::cpu`], with the output
+    /// domain split across worker threads. Results are bit-identical to
+    /// the serial backend.
+    pub fn cpu_parallel() -> Self {
+        Self::with_backend(Box::new(ParallelCpuBackend::new()), CertConfig::default())
     }
 
     /// A context executing kernels on the simulated OpenGL ES 2.0 GPU.
@@ -85,13 +103,12 @@ impl BrookContext {
             max_inputs: profile.texture_units,
             ..CertConfig::default()
         };
-        BrookContext {
-            backend: Backend::Gpu(Box::new(GpuState::new(profile))),
-            context_id: NEXT_CONTEXT_ID.fetch_add(1, Ordering::Relaxed),
-            next_module: 1,
-            cert_config,
-            enforce_certification: true,
-        }
+        Self::with_backend(Box::new(GpuState::new(profile)), cert_config)
+    }
+
+    /// The name of the backend this context executes on.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
     }
 
     /// The certification limits this context enforces at compile time.
@@ -132,21 +149,19 @@ impl BrookContext {
     /// reject `width > 1`.
     pub fn stream_with_width(&mut self, shape: &[usize], width: u8) -> Result<Stream> {
         if !(1..=4).contains(&width) {
-            return Err(BrookError::Usage(format!("element width {width} out of range 1..=4")));
+            return Err(BrookError::Usage(format!(
+                "element width {width} out of range 1..=4"
+            )));
         }
-        let desc = StreamDesc { shape: shape.to_vec(), width };
-        let index = match &mut self.backend {
-            Backend::Cpu { streams } => {
-                if desc.shape.is_empty() || desc.shape.len() > 4 || desc.shape.contains(&0) {
-                    return Err(BrookError::Usage("streams have 1 to 4 positive dimensions".into()));
-                }
-                let len = desc.scalar_len();
-                streams.push((desc, vec![0.0; len]));
-                streams.len() - 1
-            }
-            Backend::Gpu(gpu) => gpu.create_stream(desc)?,
+        let desc = StreamDesc {
+            shape: shape.to_vec(),
+            width,
         };
-        Ok(Stream { index, context_id: self.context_id })
+        let index = self.backend.create_stream(desc)?;
+        Ok(Stream {
+            index,
+            context_id: self.context_id,
+        })
     }
 
     fn check_stream(&self, s: &Stream) -> Result<()> {
@@ -158,10 +173,7 @@ impl BrookContext {
 
     /// Stream element count.
     pub fn stream_len(&self, s: &Stream) -> usize {
-        match &self.backend {
-            Backend::Cpu { streams } => streams[s.index].0.len(),
-            Backend::Gpu(gpu) => gpu.streams[s.index].desc.len(),
-        }
+        self.backend.stream_desc(s.index).len()
     }
 
     /// Copies values into a stream (`streamRead` in Brook terms).
@@ -170,33 +182,16 @@ impl BrookContext {
     /// Size mismatches and foreign streams.
     pub fn write(&mut self, s: &Stream, values: &[f32]) -> Result<()> {
         self.check_stream(s)?;
-        match &mut self.backend {
-            Backend::Cpu { streams } => {
-                let (desc, buf) = &mut streams[s.index];
-                if values.len() != desc.scalar_len() {
-                    return Err(BrookError::Usage(format!(
-                        "stream expects {} values, got {}",
-                        desc.scalar_len(),
-                        values.len()
-                    )));
-                }
-                buf.copy_from_slice(values);
-                Ok(())
-            }
-            Backend::Gpu(gpu) => gpu.write_stream(s.index, values),
-        }
+        self.backend.write_stream(s.index, values)
     }
 
     /// Copies a stream back to the host (`streamWrite` in Brook terms).
     ///
     /// # Errors
-    /// Foreign streams; GL failures.
+    /// Foreign streams; backend transfer failures.
     pub fn read(&mut self, s: &Stream) -> Result<Vec<f32>> {
         self.check_stream(s)?;
-        match &mut self.backend {
-            Backend::Cpu { streams } => Ok(streams[s.index].1.clone()),
-            Backend::Gpu(gpu) => gpu.read_stream(s.index),
-        }
+        self.backend.read_stream(s.index)
     }
 
     /// Runs a kernel with positional arguments (one per parameter).
@@ -225,19 +220,23 @@ impl BrookContext {
                 args.len()
             )));
         }
-        // Classify arguments against parameters.
-        let mut stream_args: Vec<(String, Option<usize>)> = Vec::new();
-        let mut scalar_args: Vec<(String, Value)> = Vec::new();
+        // Classify arguments against parameters into a backend-neutral
+        // launch description.
+        let mut bound_args: Vec<(String, BoundArg)> = Vec::new();
         let mut outputs: Vec<(String, usize)> = Vec::new();
         for (p, a) in kdef.params.iter().zip(args) {
             match (p.kind, a) {
-                (ParamKind::Stream | ParamKind::Gather { .. }, Arg::Stream(s)) => {
+                (ParamKind::Stream, Arg::Stream(s)) => {
                     self.check_stream(s)?;
-                    stream_args.push((p.name.clone(), Some(s.index)));
+                    bound_args.push((p.name.clone(), BoundArg::Elem(s.index)));
+                }
+                (ParamKind::Gather { .. }, Arg::Stream(s)) => {
+                    self.check_stream(s)?;
+                    bound_args.push((p.name.clone(), BoundArg::Gather(s.index)));
                 }
                 (ParamKind::OutStream, Arg::Stream(s)) => {
                     self.check_stream(s)?;
-                    stream_args.push((p.name.clone(), Some(s.index)));
+                    bound_args.push((p.name.clone(), BoundArg::Out(s.index)));
                     outputs.push((p.name.clone(), s.index));
                 }
                 (ParamKind::Scalar, arg) => {
@@ -272,7 +271,7 @@ impl BrookContext {
                             )))
                         }
                     };
-                    scalar_args.push((p.name.clone(), v));
+                    bound_args.push((p.name.clone(), BoundArg::Scalar(v)));
                 }
                 (_, _) => {
                     return Err(BrookError::Usage(format!(
@@ -283,74 +282,39 @@ impl BrookContext {
             }
         }
         if outputs.is_empty() {
-            return Err(BrookError::Usage(format!("kernel `{kernel}` has no output streams")));
+            return Err(BrookError::Usage(format!(
+                "kernel `{kernel}` has no output streams"
+            )));
         }
-        match &mut self.backend {
-            Backend::Gpu(gpu) => {
-                for (out_name, _) in &outputs {
-                    gpu.run_pass(&module.checked, module.id, kernel, out_name, &stream_args, &scalar_args)?;
+        // Brook kernels never read their own output (ping-pong streams
+        // instead), and every output needs its own stream — enforced
+        // uniformly so every backend may assume it.
+        for (name, arg) in &bound_args {
+            if let BoundArg::Elem(i) | BoundArg::Gather(i) = arg {
+                if let Some((out_name, _)) = outputs.iter().find(|(_, o)| o == i) {
+                    return Err(BrookError::Usage(format!(
+                        "stream bound to `{name}` is also the output `{out_name}`: Brook kernels \
+                         cannot read their own output (use ping-pong streams)"
+                    )));
                 }
-                Ok(())
-            }
-            Backend::Cpu { streams } => {
-                // Move output buffers out to satisfy the borrow checker,
-                // run, then put them back.
-                let mut out_bufs: Vec<Vec<f32>> = Vec::new();
-                let mut out_index_of: HashMap<String, usize> = HashMap::new();
-                for (name, idx) in &outputs {
-                    out_index_of.insert(name.clone(), out_bufs.len());
-                    out_bufs.push(std::mem::take(&mut streams[*idx].1));
-                }
-                let mut bindings: HashMap<String, CpuBinding<'_>> = HashMap::new();
-                for (p, a) in kdef.params.iter().zip(args) {
-                    match (p.kind, a) {
-                        (ParamKind::Stream, Arg::Stream(s)) => {
-                            let (desc, data) = &streams[s.index];
-                            bindings.insert(
-                                p.name.clone(),
-                                CpuBinding::Elem { data, shape: &desc.shape, width: desc.width },
-                            );
-                        }
-                        (ParamKind::Gather { .. }, Arg::Stream(s)) => {
-                            let (desc, data) = &streams[s.index];
-                            bindings.insert(
-                                p.name.clone(),
-                                CpuBinding::Gather { data, shape: &desc.shape, width: desc.width },
-                            );
-                        }
-                        (ParamKind::OutStream, Arg::Stream(_)) => {
-                            bindings.insert(p.name.clone(), CpuBinding::Out(out_index_of[&p.name]));
-                        }
-                        (ParamKind::Scalar, _) => {
-                            let v = scalar_args
-                                .iter()
-                                .find(|(n, _)| n == &p.name)
-                                .map(|(_, v)| *v)
-                                .expect("scalar classified above");
-                            bindings.insert(p.name.clone(), CpuBinding::Scalar(v));
-                        }
-                        _ => unreachable!("validated above"),
-                    }
-                }
-                // The output domain is the first output stream's shape.
-                let domain_shape = {
-                    let first_out = outputs[0].1;
-                    streams[first_out].0.shape.clone()
-                };
-                let result = cpu::run_kernel_shaped(
-                    &module.checked,
-                    kernel,
-                    &bindings,
-                    &mut out_bufs,
-                    &domain_shape,
-                );
-                drop(bindings);
-                for ((_, idx), buf) in outputs.iter().zip(out_bufs) {
-                    streams[*idx].1 = buf;
-                }
-                result
             }
         }
+        for (pos, (name, idx)) in outputs.iter().enumerate() {
+            if let Some((dup_name, _)) = outputs[..pos].iter().find(|(_, o)| o == idx) {
+                return Err(BrookError::Usage(format!(
+                    "outputs `{dup_name}` and `{name}` are bound to the same stream: each output \
+                     parameter needs its own stream"
+                )));
+            }
+        }
+        let launch = KernelLaunch {
+            checked: &module.checked,
+            module_id: module.id,
+            kernel,
+            args: bound_args,
+            outputs,
+        };
+        self.backend.dispatch(&launch)
     }
 
     /// Applies a reduce kernel to a stream, producing a scalar.
@@ -367,71 +331,43 @@ impl BrookContext {
             .summary(kernel)
             .ok_or_else(|| BrookError::Usage(format!("unknown kernel `{kernel}`")))?;
         if !summary.is_reduce {
-            return Err(BrookError::Usage(format!("kernel `{kernel}` is not a reduce kernel")));
+            return Err(BrookError::Usage(format!(
+                "kernel `{kernel}` is not a reduce kernel"
+            )));
         }
         let op = summary
             .reduce_op
             .ok_or_else(|| BrookError::Usage("reduce kernel without a detected operation".into()))?;
-        match &mut self.backend {
-            Backend::Gpu(gpu) => gpu.reduce(op, input.index),
-            Backend::Cpu { streams } => {
-                let data = streams[input.index].1.clone();
-                cpu::run_reduce(&module.checked, kernel, &data)
-            }
-        }
+        self.backend.reduce(&module.checked, kernel, op, input.index)
     }
 
-    /// Switches GPU dispatch between full execution and sampled cost
-    /// estimation (no effect on the CPU backend).
+    /// Switches device dispatch between full execution and sampled cost
+    /// estimation (no effect on backends without a device cost model).
     pub fn set_dispatch(&mut self, mode: DrawMode) {
-        if let Backend::Gpu(gpu) = &mut self.backend {
-            gpu.dispatch = mode;
-        }
+        self.backend.set_dispatch_mode(mode);
     }
 
-    /// Installs a GPU memory budget in bytes (BA002's runtime
+    /// Installs a device memory budget in bytes (BA002's runtime
     /// enforcement); `None` removes it.
     pub fn set_memory_budget(&mut self, bytes: Option<usize>) {
-        if let Backend::Gpu(gpu) = &mut self.backend {
-            gpu.gl.set_vram_budget(bytes);
-        }
+        self.backend.set_memory_budget(bytes);
     }
 
-    /// GPU execution counters for the performance model (zeros on the
-    /// CPU backend).
+    /// Device execution counters for the performance model (zeros on
+    /// backends without a cost model).
     pub fn gpu_counters(&self) -> GpuRun {
-        match &self.backend {
-            Backend::Cpu { .. } => GpuRun::default(),
-            Backend::Gpu(gpu) => {
-                let s = gpu.gl.stats();
-                GpuRun {
-                    alu_ops: s.alu_ops,
-                    tex_fetches: s.tex_fetches,
-                    fragments: s.fragments_shaded,
-                    draw_calls: s.draw_calls,
-                    readbacks: gpu.readbacks,
-                    bytes_uploaded: s.bytes_uploaded,
-                    bytes_downloaded: s.bytes_downloaded,
-                }
-            }
-        }
+        self.backend.counters()
     }
 
-    /// Resets GPU counters (e.g. to exclude warm-up and setup from a
+    /// Resets device counters (e.g. to exclude warm-up and setup from a
     /// measurement window).
     pub fn reset_counters(&mut self) {
-        if let Backend::Gpu(gpu) = &mut self.backend {
-            gpu.gl.reset_stats();
-            gpu.readbacks = 0;
-        }
+        self.backend.reset_counters();
     }
 
-    /// Bytes of GPU texture memory currently allocated (0 on CPU).
+    /// Bytes of device memory currently allocated (0 on host backends).
     pub fn gpu_memory_used(&self) -> usize {
-        match &self.backend {
-            Backend::Cpu { .. } => 0,
-            Backend::Gpu(gpu) => gpu.gl.vram_used(),
-        }
+        self.backend.memory_used()
     }
 }
 
@@ -441,27 +377,37 @@ mod tests {
 
     const ADD: &str = "kernel void add(float a<>, float b<>, out float c<>) { c = a + b; }";
 
-    fn both_contexts() -> Vec<BrookContext> {
-        vec![BrookContext::cpu(), BrookContext::gles2(DeviceProfile::videocore_iv())]
+    /// One context per registered backend — every cross-backend test in
+    /// this module runs the full matrix.
+    fn all_contexts() -> Vec<BrookContext> {
+        crate::backend::registered_backends()
+            .iter()
+            .map(|b| (b.make)())
+            .collect()
     }
 
     #[test]
     fn add_kernel_on_both_backends() {
-        for mut ctx in both_contexts() {
+        for mut ctx in all_contexts() {
             let module = ctx.compile(ADD).unwrap();
             let a = ctx.stream(&[2, 3]).unwrap();
             let b = ctx.stream(&[2, 3]).unwrap();
             let c = ctx.stream(&[2, 3]).unwrap();
             ctx.write(&a, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
             ctx.write(&b, &[10.0, 20.0, 30.0, 40.0, 50.0, 60.0]).unwrap();
-            ctx.run(&module, "add", &[Arg::Stream(&a), Arg::Stream(&b), Arg::Stream(&c)]).unwrap();
+            ctx.run(
+                &module,
+                "add",
+                &[Arg::Stream(&a), Arg::Stream(&b), Arg::Stream(&c)],
+            )
+            .unwrap();
             assert_eq!(ctx.read(&c).unwrap(), vec![11.0, 22.0, 33.0, 44.0, 55.0, 66.0]);
         }
     }
 
     #[test]
     fn scalar_uniform_argument() {
-        for mut ctx in both_contexts() {
+        for mut ctx in all_contexts() {
             let module = ctx
                 .compile("kernel void saxpy(float x<>, float y<>, float alpha, out float r<>) { r = alpha * x + y; }")
                 .unwrap();
@@ -470,8 +416,12 @@ mod tests {
             let r = ctx.stream(&[4]).unwrap();
             ctx.write(&x, &[1.0, 2.0, 3.0, 4.0]).unwrap();
             ctx.write(&y, &[0.5, 0.5, 0.5, 0.5]).unwrap();
-            ctx.run(&module, "saxpy", &[Arg::Stream(&x), Arg::Stream(&y), Arg::Float(2.0), Arg::Stream(&r)])
-                .unwrap();
+            ctx.run(
+                &module,
+                "saxpy",
+                &[Arg::Stream(&x), Arg::Stream(&y), Arg::Float(2.0), Arg::Stream(&r)],
+            )
+            .unwrap();
             assert_eq!(ctx.read(&r).unwrap(), vec![2.5, 4.5, 6.5, 8.5]);
         }
     }
@@ -487,8 +437,10 @@ mod tests {
 
     #[test]
     fn reduce_on_both_backends() {
-        for mut ctx in both_contexts() {
-            let module = ctx.compile("reduce void sum(float a<>, reduce float r<>) { r += a; }").unwrap();
+        for mut ctx in all_contexts() {
+            let module = ctx
+                .compile("reduce void sum(float a<>, reduce float r<>) { r += a; }")
+                .unwrap();
             let a = ctx.stream(&[100]).unwrap();
             let data: Vec<f32> = (1..=100).map(|i| i as f32).collect();
             ctx.write(&a, &data).unwrap();
@@ -499,8 +451,10 @@ mod tests {
 
     #[test]
     fn reduce_max_on_2d_stream() {
-        for mut ctx in both_contexts() {
-            let module = ctx.compile("reduce void m(float a<>, reduce float r<>) { r = max(r, a); }").unwrap();
+        for mut ctx in all_contexts() {
+            let module = ctx
+                .compile("reduce void m(float a<>, reduce float r<>) { r = max(r, a); }")
+                .unwrap();
             let a = ctx.stream(&[8, 8]).unwrap();
             let mut data: Vec<f32> = (0..64).map(|i| (i as f32 * 37.0) % 53.0).collect();
             data[37] = 1000.0;
@@ -514,8 +468,10 @@ mod tests {
         // 2049 elements on a 2048-wide device: linear layout wraps to a
         // second row with a 1-element tail; masking must keep the sum
         // exact.
-        for mut ctx in both_contexts() {
-            let module = ctx.compile("reduce void sum(float a<>, reduce float r<>) { r += a; }").unwrap();
+        for mut ctx in all_contexts() {
+            let module = ctx
+                .compile("reduce void sum(float a<>, reduce float r<>) { r += a; }")
+                .unwrap();
             let n = 2049;
             let a = ctx.stream(&[n]).unwrap();
             let data: Vec<f32> = vec![1.0; n];
@@ -530,50 +486,90 @@ mod tests {
         let table: Vec<f32> = (0..16).map(|i| (i * i) as f32).collect();
         let idx: Vec<f32> = vec![3.0, 0.0, 15.0, 7.0];
         let mut results = Vec::new();
-        for mut ctx in both_contexts() {
+        for mut ctx in all_contexts() {
             let module = ctx.compile(src).unwrap();
             let v = ctx.stream(&[16]).unwrap();
             let ix = ctx.stream(&[4]).unwrap();
             let o = ctx.stream(&[4]).unwrap();
             ctx.write(&v, &table).unwrap();
             ctx.write(&ix, &idx).unwrap();
-            ctx.run(&module, "perm", &[Arg::Stream(&v), Arg::Stream(&ix), Arg::Stream(&o)]).unwrap();
+            ctx.run(
+                &module,
+                "perm",
+                &[Arg::Stream(&v), Arg::Stream(&ix), Arg::Stream(&o)],
+            )
+            .unwrap();
             results.push(ctx.read(&o).unwrap());
         }
         assert_eq!(results[0], vec![9.0, 0.0, 225.0, 49.0]);
-        assert_eq!(results[0], results[1]);
+        for r in &results[1..] {
+            assert_eq!(&results[0], r);
+        }
     }
 
     #[test]
     fn indexof_matches_between_backends() {
-        let src = "kernel void idx(float a<>, out float o<>) { float2 p = indexof(o); o = p.y * 100.0 + p.x; }";
+        let src =
+            "kernel void idx(float a<>, out float o<>) { float2 p = indexof(o); o = p.y * 100.0 + p.x; }";
         let mut results = Vec::new();
-        for mut ctx in both_contexts() {
+        for mut ctx in all_contexts() {
             let module = ctx.compile(src).unwrap();
             let a = ctx.stream(&[3, 4]).unwrap();
             let o = ctx.stream(&[3, 4]).unwrap();
             ctx.write(&a, &[0.0; 12]).unwrap();
-            ctx.run(&module, "idx", &[Arg::Stream(&a), Arg::Stream(&o)]).unwrap();
+            ctx.run(&module, "idx", &[Arg::Stream(&a), Arg::Stream(&o)])
+                .unwrap();
             results.push(ctx.read(&o).unwrap());
         }
-        assert_eq!(results[0], results[1]);
+        for r in &results[1..] {
+            assert_eq!(&results[0], r);
+        }
         assert_eq!(results[0][0], 0.0);
         assert_eq!(results[0][5], 101.0); // row 1, col 1
     }
 
     #[test]
     fn multi_output_kernel_splits_passes() {
-        for mut ctx in both_contexts() {
+        for mut ctx in all_contexts() {
             let module = ctx
-                .compile("kernel void two(float a<>, out float x<>, out float y<>) { x = a * 2.0; y = a + 1.0; }")
+                .compile(
+                    "kernel void two(float a<>, out float x<>, out float y<>) { x = a * 2.0; y = a + 1.0; }",
+                )
                 .unwrap();
             let a = ctx.stream(&[4]).unwrap();
             let x = ctx.stream(&[4]).unwrap();
             let y = ctx.stream(&[4]).unwrap();
             ctx.write(&a, &[1.0, 2.0, 3.0, 4.0]).unwrap();
-            ctx.run(&module, "two", &[Arg::Stream(&a), Arg::Stream(&x), Arg::Stream(&y)]).unwrap();
+            ctx.run(
+                &module,
+                "two",
+                &[Arg::Stream(&a), Arg::Stream(&x), Arg::Stream(&y)],
+            )
+            .unwrap();
             assert_eq!(ctx.read(&x).unwrap(), vec![2.0, 4.0, 6.0, 8.0]);
             assert_eq!(ctx.read(&y).unwrap(), vec![2.0, 3.0, 4.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn duplicate_output_stream_rejected_on_every_backend() {
+        // One stream bound to two `out` parameters must be a clean usage
+        // error, not a backend-dependent panic or silent last-writer-wins.
+        for mut ctx in all_contexts() {
+            let module = ctx
+                .compile("kernel void two(float a<>, out float x<>, out float y<>) { x = a; y = a + 1.0; }")
+                .unwrap();
+            let a = ctx.stream(&[4]).unwrap();
+            let o = ctx.stream(&[4]).unwrap();
+            ctx.write(&a, &[0.0; 4]).unwrap();
+            let err = ctx
+                .run(
+                    &module,
+                    "two",
+                    &[Arg::Stream(&a), Arg::Stream(&o), Arg::Stream(&o)],
+                )
+                .unwrap_err();
+            assert!(matches!(err, BrookError::Usage(_)), "{}", ctx.backend_name());
         }
     }
 
@@ -593,15 +589,22 @@ mod tests {
     }
 
     #[test]
-    fn in_place_kernel_rejected_on_gpu() {
-        let mut ctx = BrookContext::gles2(DeviceProfile::videocore_iv());
-        let module = ctx.compile(ADD).unwrap();
-        let a = ctx.stream(&[4]).unwrap();
-        let b = ctx.stream(&[4]).unwrap();
-        ctx.write(&a, &[0.0; 4]).unwrap();
-        ctx.write(&b, &[0.0; 4]).unwrap();
-        let err = ctx.run(&module, "add", &[Arg::Stream(&a), Arg::Stream(&b), Arg::Stream(&a)]).unwrap_err();
-        assert!(matches!(err, BrookError::Usage(_)));
+    fn in_place_kernel_rejected_on_every_backend() {
+        for mut ctx in all_contexts() {
+            let module = ctx.compile(ADD).unwrap();
+            let a = ctx.stream(&[4]).unwrap();
+            let b = ctx.stream(&[4]).unwrap();
+            ctx.write(&a, &[0.0; 4]).unwrap();
+            ctx.write(&b, &[0.0; 4]).unwrap();
+            let err = ctx
+                .run(
+                    &module,
+                    "add",
+                    &[Arg::Stream(&a), Arg::Stream(&b), Arg::Stream(&a)],
+                )
+                .unwrap_err();
+            assert!(matches!(err, BrookError::Usage(_)), "{}", ctx.backend_name());
+        }
     }
 
     #[test]
@@ -622,7 +625,12 @@ mod tests {
         let c = ctx.stream(&[8, 8]).unwrap();
         ctx.write(&a, &vec![1.0; 64]).unwrap();
         ctx.write(&b, &vec![2.0; 64]).unwrap();
-        ctx.run(&module, "add", &[Arg::Stream(&a), Arg::Stream(&b), Arg::Stream(&c)]).unwrap();
+        ctx.run(
+            &module,
+            "add",
+            &[Arg::Stream(&a), Arg::Stream(&b), Arg::Stream(&c)],
+        )
+        .unwrap();
         let _ = ctx.read(&c).unwrap();
         let counters = ctx.gpu_counters();
         assert_eq!(counters.draw_calls, 1);
@@ -646,13 +654,16 @@ mod tests {
     #[test]
     fn linear_kernel_across_rows() {
         let mut ctx = BrookContext::gles2(DeviceProfile::videocore_iv());
-        let module = ctx.compile("kernel void dbl(float a<>, out float o<>) { o = a * 2.0; }").unwrap();
+        let module = ctx
+            .compile("kernel void dbl(float a<>, out float o<>) { o = a * 2.0; }")
+            .unwrap();
         let n = 3000;
         let a = ctx.stream(&[n]).unwrap();
         let o = ctx.stream(&[n]).unwrap();
         let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
         ctx.write(&a, &data).unwrap();
-        ctx.run(&module, "dbl", &[Arg::Stream(&a), Arg::Stream(&o)]).unwrap();
+        ctx.run(&module, "dbl", &[Arg::Stream(&a), Arg::Stream(&o)])
+            .unwrap();
         let out = ctx.read(&o).unwrap();
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i as f32 * 2.0, "element {i}");

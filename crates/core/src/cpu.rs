@@ -10,11 +10,14 @@
 //! mirroring the texture-unit semantics of the OpenGL ES 2.0 backend so
 //! both backends compute identical results even for sloppy kernels.
 
+use crate::backend::{BackendExecutor, BoundArg, KernelLaunch};
 use crate::error::{BrookError, Result};
+use crate::stream::StreamDesc;
 use brook_lang::ast::*;
-use brook_lang::CheckedProgram;
+use brook_lang::{CheckedProgram, ReduceOp};
 use glsl_es::Value;
 use std::collections::HashMap;
+use std::ops::Range;
 
 /// Iteration budget per element, defending against runaway loops that
 /// slipped past certification (e.g. `compile_unchecked`).
@@ -46,11 +49,15 @@ pub enum CpuBinding<'a> {
     Out(usize),
 }
 
-struct Interp<'a> {
+struct Interp<'a, 'b> {
     checked: &'a CheckedProgram,
     bindings: &'a HashMap<String, CpuBinding<'a>>,
-    outputs: &'a mut [Vec<f32>],
+    /// Output buffers — possibly *partitions* of the full domain when
+    /// running a chunk of a parallel dispatch (see [`run_kernel_range`]).
+    outputs: &'a mut [&'b mut [f32]],
     out_shapes: Vec<(String, Vec<usize>, u8)>,
+    /// First domain element the output slices cover (0 for full runs).
+    out_start: usize,
     /// Current output element index: (x = innermost/linear, y = row).
     pos: (usize, usize),
     /// Output domain extents (innermost, rows).
@@ -84,31 +91,29 @@ pub fn run_kernel(
         .program
         .kernel(kernel)
         .ok_or_else(|| BrookError::Usage(format!("unknown kernel `{kernel}`")))?;
-    let mut out_shapes = Vec::new();
     for p in &kdef.params {
         if !bindings.contains_key(&p.name) {
-            return Err(BrookError::Usage(format!("missing binding for parameter `{}`", p.name)));
-        }
-        if let Some(CpuBinding::Out(i)) = bindings.get(&p.name) {
-            // Output shape is carried by the corresponding Elem-style
-            // metadata in the binding map; outputs share the domain of
-            // the first output stream, whose shape the caller passes via
-            // the `out_shape` convention below.
-            let _ = i;
+            return Err(BrookError::Usage(format!(
+                "missing binding for parameter `{}`",
+                p.name
+            )));
         }
     }
-    // The caller encodes output shapes through a parallel `__shape_<name>`
-    // scalar convention? No — keep it simple: the first Elem binding of an
-    // output is not available, so the caller provides shapes separately.
-    // Instead: outputs follow the shape stored in `OutShapes`.
-    // (Set by `run_kernel_shaped`.)
+    // Outputs share the domain of the inputs; kernels without any
+    // elementwise input must state the domain via `run_kernel_shaped`.
+    let mut out_shapes = Vec::new();
     let domain_shape = bindings
         .iter()
         .find_map(|(_, b)| match b {
             CpuBinding::Elem { shape, .. } => Some(shape.to_vec()),
             _ => None,
         })
-        .ok_or_else(|| BrookError::Usage("CPU kernels need at least one elementwise input to infer the domain; use run_kernel_shaped".into()))?;
+        .ok_or_else(|| {
+            BrookError::Usage(
+                "CPU kernels need at least one elementwise input to infer the domain; use run_kernel_shaped"
+                    .into(),
+            )
+        })?;
     for p in &kdef.params {
         if let Some(CpuBinding::Out(idx)) = bindings.get(&p.name) {
             out_shapes.push((p.name.clone(), domain_shape.clone(), p.ty.width));
@@ -159,26 +164,90 @@ fn run_domain(
     out_shapes: Vec<(String, Vec<usize>, u8)>,
     domain_shape: &[usize],
 ) -> Result<()> {
+    let (dx, dy, _) = domain_extents(domain_shape);
+    let mut slices: Vec<&mut [f32]> = outputs.iter_mut().map(|v| v.as_mut_slice()).collect();
+    run_domain_range(
+        checked,
+        kdef,
+        bindings,
+        &mut slices,
+        out_shapes,
+        domain_shape,
+        0..dx * dy,
+    )
+}
+
+/// Runs a contiguous *partition* of a kernel's output domain: elements
+/// `range` (in row-major domain order), writing into output slices that
+/// cover exactly that partition. This is the primitive the data-parallel
+/// CPU backend fans out across worker threads — each worker gets a
+/// disjoint range and disjoint slices, so results are bit-identical to a
+/// serial full-domain run regardless of the partitioning.
+///
+/// Every output stream must have the domain shape (the context
+/// guarantees this for the first output; callers partitioning
+/// multi-output kernels must check the rest).
+///
+/// # Errors
+/// As [`run_kernel`], plus slice-length mismatches against `range`.
+pub fn run_kernel_range(
+    checked: &CheckedProgram,
+    kernel: &str,
+    bindings: &HashMap<String, CpuBinding<'_>>,
+    outputs: &mut [&mut [f32]],
+    domain_shape: &[usize],
+    range: Range<usize>,
+) -> Result<()> {
+    let kdef = checked
+        .program
+        .kernel(kernel)
+        .ok_or_else(|| BrookError::Usage(format!("unknown kernel `{kernel}`")))?;
+    let mut out_shapes = Vec::new();
+    for p in &kdef.params {
+        if let Some(CpuBinding::Out(idx)) = bindings.get(&p.name) {
+            let want = range.len() * p.ty.width as usize;
+            if outputs[*idx].len() != want {
+                return Err(BrookError::Usage(format!(
+                    "output slice for `{}` has {} values, expected {want} for domain range {range:?}",
+                    p.name,
+                    outputs[*idx].len()
+                )));
+            }
+            out_shapes.push((p.name.clone(), domain_shape.to_vec(), p.ty.width));
+        }
+    }
+    run_domain_range(checked, kdef, bindings, outputs, out_shapes, domain_shape, range)
+}
+
+fn run_domain_range(
+    checked: &CheckedProgram,
+    kdef: &KernelDef,
+    bindings: &HashMap<String, CpuBinding<'_>>,
+    outputs: &mut [&mut [f32]],
+    out_shapes: Vec<(String, Vec<usize>, u8)>,
+    domain_shape: &[usize],
+    range: Range<usize>,
+) -> Result<()> {
     let (dx, dy, linear) = domain_extents(domain_shape);
+    debug_assert!(range.end <= dx * dy, "domain range exceeds the domain");
     let mut interp = Interp {
         checked,
         bindings,
         outputs,
         out_shapes,
+        out_start: range.start,
         pos: (0, 0),
         domain: (dx, dy),
         linear,
         scopes: Vec::new(),
         iterations: 0,
     };
-    for y in 0..dy {
-        for x in 0..dx {
-            interp.pos = (x, y);
-            interp.scopes.clear();
-            interp.scopes.push(HashMap::new());
-            interp.iterations = 0;
-            interp.exec_block(&kdef.body)?;
-        }
+    for p in range {
+        interp.pos = (p % dx, p / dx);
+        interp.scopes.clear();
+        interp.scopes.push(HashMap::new());
+        interp.iterations = 0;
+        interp.exec_block(&kdef.body)?;
     }
     Ok(())
 }
@@ -187,17 +256,15 @@ fn run_domain(
 ///
 /// # Errors
 /// Usage errors for non-reduce kernels or missing bindings.
-pub fn run_reduce(
-    checked: &CheckedProgram,
-    kernel: &str,
-    data: &[f32],
-) -> Result<f32> {
+pub fn run_reduce(checked: &CheckedProgram, kernel: &str, data: &[f32]) -> Result<f32> {
     let kdef = checked
         .program
         .kernel(kernel)
         .ok_or_else(|| BrookError::Usage(format!("unknown kernel `{kernel}`")))?;
     if !kdef.is_reduce {
-        return Err(BrookError::Usage(format!("kernel `{kernel}` is not a reduce kernel")));
+        return Err(BrookError::Usage(format!(
+            "kernel `{kernel}` is not a reduce kernel"
+        )));
     }
     let summary = checked
         .summary(kernel)
@@ -224,13 +291,21 @@ pub fn run_reduce(
         // (not just the canonical ops) behave as written.
         let mut bindings: HashMap<String, CpuBinding<'_>> = HashMap::new();
         let elem = [*v];
-        bindings.insert(input_name.clone(), CpuBinding::Elem { data: &elem, shape: &[1], width: 1 });
+        bindings.insert(
+            input_name.clone(),
+            CpuBinding::Elem {
+                data: &elem,
+                shape: &[1],
+                width: 1,
+            },
+        );
         bindings.insert(acc_name.clone(), CpuBinding::Scalar(Value::Float(acc)));
         let mut interp = Interp {
             checked,
             bindings: &bindings,
             outputs: &mut [],
             out_shapes: vec![],
+            out_start: 0,
             pos: (i % shape[0], 0),
             domain: (1, 1),
             linear: true,
@@ -250,7 +325,7 @@ pub fn run_reduce(
     Ok(acc)
 }
 
-fn domain_extents(shape: &[usize]) -> (usize, usize, bool) {
+pub(crate) fn domain_extents(shape: &[usize]) -> (usize, usize, bool) {
     if shape.len() == 2 {
         (shape[1], shape[0], false)
     } else {
@@ -258,9 +333,21 @@ fn domain_extents(shape: &[usize]) -> (usize, usize, bool) {
     }
 }
 
-impl Interp<'_> {
+impl Interp<'_, '_> {
     fn err(&self, msg: impl Into<String>) -> BrookError {
         BrookError::Usage(msg.into())
+    }
+
+    /// Scalar offset of the current position inside the (possibly
+    /// partitioned) output buffers for an output of shape `shape`.
+    fn out_offset(&self, shape: &[usize], width: u8) -> usize {
+        let (x, y) = self.pos;
+        let elem = if shape.len() == 2 {
+            y * shape[1] + x
+        } else {
+            y * self.domain.0 + x
+        };
+        (elem - self.out_start) * width as usize
     }
 
     fn lookup(&self, name: &str) -> Option<Value> {
@@ -286,7 +373,11 @@ impl Interp<'_> {
     /// output position — identical arithmetic to the generated GLSL.
     fn elem_value(&self, data: &[f32], shape: &[usize], width: u8) -> Value {
         let (ix, iy) = self.input_index(shape);
-        let cols = if shape.len() == 2 { shape[1] } else { shape.iter().product() };
+        let cols = if shape.len() == 2 {
+            shape[1]
+        } else {
+            shape.iter().product()
+        };
         let idx = (iy * cols + ix) * width as usize;
         value_from_slice(&data[idx..idx + width as usize])
     }
@@ -332,12 +423,19 @@ impl Interp<'_> {
                 self.scopes.last_mut().expect("scope").insert(name.clone(), v);
                 Ok(Flow::Normal)
             }
-            Stmt::Assign { target, op, value, .. } => {
+            Stmt::Assign {
+                target, op, value, ..
+            } => {
                 let rhs = self.eval(value)?;
                 self.assign(target, *op, rhs)?;
                 Ok(Flow::Normal)
             }
-            Stmt::If { cond, then_block, else_block, .. } => {
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+                ..
+            } => {
                 let c = self
                     .eval(cond)?
                     .as_bool()
@@ -350,7 +448,13 @@ impl Interp<'_> {
                     Ok(Flow::Normal)
                 }
             }
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 self.scopes.push(HashMap::new());
                 if let Some(i) = init {
                     self.exec_stmt(i)?;
@@ -444,19 +548,15 @@ impl Interp<'_> {
                         .find(|(n, _, _)| n == name)
                         .map(|(_, s, w)| (s.clone(), *w))
                         .ok_or_else(|| self.err("unknown output shape"))?;
-                    let (dx, _) = self.domain;
-                    let (x, y) = self.pos;
-                    let cols = if shape.len() == 2 { shape[1] } else { shape.iter().product() };
-                    let base = (y * dx.min(cols.max(dx)) + x) * width as usize;
-                    // For rank-2, dx == cols; for linear, dx is the full
-                    // length and y == 0, so the expression reduces to the
-                    // right linear offset in both cases.
-                    let base = if shape.len() == 2 { (y * cols + x) * width as usize } else { base };
+                    let base = self.out_offset(&shape, width);
                     let idx = *idx;
                     let current = value_from_slice(&self.outputs[idx][base..base + width as usize]);
                     let combined = apply_assign(current, op, rhs).map_err(|m| self.err(m))?;
                     let lanes = combined.to_vec4();
-                    for (i, slot) in self.outputs[idx][base..base + width as usize].iter_mut().enumerate() {
+                    for (i, slot) in self.outputs[idx][base..base + width as usize]
+                        .iter_mut()
+                        .enumerate()
+                    {
                         *slot = lanes[i];
                     }
                     return Ok(());
@@ -521,9 +621,7 @@ impl Interp<'_> {
                             .find(|(n, _, _)| n == name)
                             .map(|(_, s, w)| (s.clone(), *w))
                             .ok_or_else(|| self.err("unknown output shape"))?;
-                        let (x, y) = self.pos;
-                        let cols = if shape.len() == 2 { shape[1] } else { shape.iter().product() };
-                        let base = if shape.len() == 2 { (y * cols + x) * width as usize } else { (y * self.domain.0 + x) * width as usize };
+                        let base = self.out_offset(&shape, width);
                         value_from_slice(&self.outputs[*idx][base..base + width as usize])
                     }
                     Some(CpuBinding::Gather { .. }) => {
@@ -542,12 +640,18 @@ impl Interp<'_> {
                 match op {
                     UnOp::Neg => match v {
                         Value::Int(i) => Value::Int(-i),
-                        other => other.map(|f| -f).ok_or_else(|| self.err("cannot negate a bool"))?,
+                        other => other
+                            .map(|f| -f)
+                            .ok_or_else(|| self.err("cannot negate a bool"))?,
                     },
                     UnOp::Not => Value::Bool(!v.as_bool().ok_or_else(|| self.err("`!` needs a bool"))?),
                 }
             }
-            ExprKind::Ternary { cond, then_expr, else_expr } => {
+            ExprKind::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 let c = self
                     .eval(cond)?
                     .as_bool()
@@ -899,11 +1003,178 @@ fn eval_brook_builtin(name: &str, args: &[Value]) -> std::result::Result<Value, 
             }
             Ok(Value::Float(a.iter().zip(b).map(|(x, y)| x * y).sum()))
         }
-        "length" => Ok(Value::Float(args[0].lanes().iter().map(|x| x * x).sum::<f32>().sqrt())),
+        "length" => Ok(Value::Float(
+            args[0].lanes().iter().map(|x| x * x).sum::<f32>().sqrt(),
+        )),
         "distance" => {
             let d = args[0].zip(&args[1], |x, y| x - y).ok_or_else(err)?;
             Ok(Value::Float(d.lanes().iter().map(|x| x * x).sum::<f32>().sqrt()))
         }
         _ => Err(format!("builtin `{name}` not implemented on the CPU backend")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Host-side stream storage and the serial CPU backend.
+// ---------------------------------------------------------------------------
+
+/// Validates a host stream shape and allocates its zero-filled buffer.
+pub(crate) fn host_create_stream(
+    streams: &mut Vec<(StreamDesc, Vec<f32>)>,
+    desc: StreamDesc,
+) -> Result<usize> {
+    if desc.shape.is_empty() || desc.shape.len() > 4 || desc.shape.contains(&0) {
+        return Err(BrookError::Usage(
+            "streams have 1 to 4 positive dimensions".into(),
+        ));
+    }
+    let len = desc.scalar_len();
+    streams.push((desc, vec![0.0; len]));
+    Ok(streams.len() - 1)
+}
+
+/// Size-checked host stream write.
+pub(crate) fn host_write_stream(
+    streams: &mut [(StreamDesc, Vec<f32>)],
+    index: usize,
+    values: &[f32],
+) -> Result<()> {
+    let (desc, buf) = &mut streams[index];
+    if values.len() != desc.scalar_len() {
+        return Err(BrookError::Usage(format!(
+            "stream expects {} values, got {}",
+            desc.scalar_len(),
+            values.len()
+        )));
+    }
+    buf.copy_from_slice(values);
+    Ok(())
+}
+
+/// Builds the [`CpuBinding`] map for a launch over host streams, hands
+/// the taken-out output buffers to `runner`, and restores them afterwards
+/// (whether or not the run succeeded).
+///
+/// `runner` receives `(program, kernel, bindings, output buffers, domain
+/// shape)`; the output domain is the first output stream's shape, as on
+/// the GPU path.
+pub(crate) fn dispatch_on_host<F>(
+    streams: &mut [(StreamDesc, Vec<f32>)],
+    launch: &KernelLaunch<'_>,
+    runner: F,
+) -> Result<()>
+where
+    F: FnOnce(
+        &CheckedProgram,
+        &str,
+        &HashMap<String, CpuBinding<'_>>,
+        &mut [Vec<f32>],
+        &[usize],
+    ) -> Result<()>,
+{
+    // Move output buffers out so the binding map can borrow the
+    // remaining streams immutably.
+    let mut out_bufs: Vec<Vec<f32>> = Vec::with_capacity(launch.outputs.len());
+    let mut out_index_of: HashMap<&str, usize> = HashMap::new();
+    for (name, idx) in &launch.outputs {
+        out_index_of.insert(name.as_str(), out_bufs.len());
+        out_bufs.push(std::mem::take(&mut streams[*idx].1));
+    }
+    let domain_shape = streams
+        .get(launch.outputs[0].1)
+        .map(|(desc, _)| desc.shape.clone())
+        .expect("output stream validated by the context");
+    let result = {
+        let mut bindings: HashMap<String, CpuBinding<'_>> = HashMap::new();
+        for (name, arg) in &launch.args {
+            let binding = match arg {
+                BoundArg::Elem(i) => {
+                    let (desc, data) = &streams[*i];
+                    CpuBinding::Elem {
+                        data,
+                        shape: &desc.shape,
+                        width: desc.width,
+                    }
+                }
+                BoundArg::Gather(i) => {
+                    let (desc, data) = &streams[*i];
+                    CpuBinding::Gather {
+                        data,
+                        shape: &desc.shape,
+                        width: desc.width,
+                    }
+                }
+                BoundArg::Scalar(v) => CpuBinding::Scalar(*v),
+                BoundArg::Out(_) => CpuBinding::Out(out_index_of[name.as_str()]),
+            };
+            bindings.insert(name.clone(), binding);
+        }
+        runner(
+            launch.checked,
+            launch.kernel,
+            &bindings,
+            &mut out_bufs,
+            &domain_shape,
+        )
+    };
+    for ((_, idx), buf) in launch.outputs.iter().zip(out_bufs) {
+        streams[*idx].1 = buf;
+    }
+    result
+}
+
+/// Serial CPU reduction over a host stream.
+pub(crate) fn reduce_on_host(
+    streams: &[(StreamDesc, Vec<f32>)],
+    checked: &CheckedProgram,
+    kernel: &str,
+    input: usize,
+) -> Result<f32> {
+    run_reduce(checked, kernel, &streams[input].1)
+}
+
+/// The serial CPU interpreter backend — the reference semantics every
+/// other backend is validated against (paper §6).
+#[derive(Default)]
+pub struct CpuBackend {
+    streams: Vec<(StreamDesc, Vec<f32>)>,
+}
+
+impl CpuBackend {
+    /// A backend with no streams.
+    pub fn new() -> Self {
+        CpuBackend::default()
+    }
+}
+
+impl BackendExecutor for CpuBackend {
+    fn name(&self) -> &'static str {
+        "cpu"
+    }
+
+    fn create_stream(&mut self, desc: StreamDesc) -> Result<usize> {
+        host_create_stream(&mut self.streams, desc)
+    }
+
+    fn stream_desc(&self, index: usize) -> &StreamDesc {
+        &self.streams[index].0
+    }
+
+    fn write_stream(&mut self, index: usize, values: &[f32]) -> Result<()> {
+        host_write_stream(&mut self.streams, index, values)
+    }
+
+    fn read_stream(&mut self, index: usize) -> Result<Vec<f32>> {
+        Ok(self.streams[index].1.clone())
+    }
+
+    fn dispatch(&mut self, launch: &KernelLaunch<'_>) -> Result<()> {
+        dispatch_on_host(&mut self.streams, launch, run_kernel_shaped)
+    }
+
+    fn reduce(&mut self, checked: &CheckedProgram, kernel: &str, _op: ReduceOp, input: usize) -> Result<f32> {
+        // The interpreter folds the actual kernel body, so the detected
+        // canonical op is only needed by ladder-style backends.
+        reduce_on_host(&self.streams, checked, kernel, input)
     }
 }

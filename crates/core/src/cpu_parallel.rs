@@ -1,0 +1,367 @@
+//! The data-parallel CPU backend: Brook's "every output element is
+//! independent" guarantee, cashed in on multi-core hosts.
+//!
+//! Brook kernels are forbidden from communicating between elements (no
+//! shared mutable state, no scatter), which is the paper's certification
+//! argument *and* a parallelization licence: the output domain can be
+//! split into contiguous chunks evaluated on worker threads with zero
+//! synchronization beyond the final join. Each worker runs the same
+//! interpreter core as [`crate::cpu::CpuBackend`]
+//! ([`crate::cpu::run_kernel_range`]) over a disjoint domain range,
+//! writing into a disjoint slice of each output buffer, so results are
+//! **bit-identical** to the serial backend no matter how many workers
+//! run.
+//!
+//! Reductions stay serial: a chunked tree fold would change the
+//! floating-point association order and break bit-equality with the
+//! reference backend, which the differential-test layer asserts.
+
+use crate::backend::{BackendExecutor, KernelLaunch};
+use crate::cpu::{self, CpuBinding};
+use crate::error::{BrookError, Result};
+use crate::stream::StreamDesc;
+use brook_lang::{CheckedProgram, ReduceOp};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Below this many output elements the thread fan-out costs more than it
+/// saves; dispatches fall back to the serial interpreter path.
+pub const PARALLEL_THRESHOLD: usize = 256;
+
+/// Upper bound on worker threads (beyond this the interpreter is memory-
+/// bound and extra workers only add scheduling noise).
+const MAX_WORKERS: usize = 16;
+
+/// The parallel CPU interpreter backend.
+pub struct ParallelCpuBackend {
+    streams: Vec<(StreamDesc, Vec<f32>)>,
+    workers: usize,
+}
+
+impl ParallelCpuBackend {
+    /// A backend using one worker per available core (capped).
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(MAX_WORKERS);
+        Self::with_workers(workers)
+    }
+
+    /// A backend with an explicit worker count (`0` is clamped to 1;
+    /// `1` degenerates to the serial path).
+    pub fn with_workers(workers: usize) -> Self {
+        ParallelCpuBackend {
+            streams: Vec::new(),
+            workers: workers.max(1),
+        }
+    }
+
+    /// The worker count this backend fans out to.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// True when a launch with this domain and output set takes the
+    /// parallel path (used by tests to pin coverage of both paths).
+    fn parallelizable(&self, total: usize, uniform_outputs: bool) -> bool {
+        self.workers > 1 && total >= PARALLEL_THRESHOLD && uniform_outputs
+    }
+}
+
+impl Default for ParallelCpuBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Runs `launch` over `domain_shape`, fanning contiguous domain chunks
+/// out to scoped worker threads. Output buffers are pre-split into
+/// per-chunk slices so workers never share mutable state.
+fn run_parallel(
+    checked: &CheckedProgram,
+    kernel: &str,
+    bindings: &HashMap<String, CpuBinding<'_>>,
+    outputs: &mut [Vec<f32>],
+    domain_shape: &[usize],
+    workers: usize,
+) -> Result<()> {
+    let (dx, dy, _) = cpu::domain_extents(domain_shape);
+    let total = dx * dy;
+    let widths: Vec<usize> = outputs
+        .iter()
+        .map(|buf| {
+            debug_assert!(buf.len().is_multiple_of(total.max(1)));
+            buf.len() / total.max(1)
+        })
+        .collect();
+    let chunk = total.div_ceil(workers);
+    let ranges: Vec<Range<usize>> = (0..workers)
+        .map(|w| (w * chunk).min(total)..((w + 1) * chunk).min(total))
+        .filter(|r| !r.is_empty())
+        .collect();
+    // Carve each output buffer into one disjoint slice per chunk.
+    let mut per_chunk: Vec<Vec<&mut [f32]>> = ranges.iter().map(|_| Vec::new()).collect();
+    for (oi, buf) in outputs.iter_mut().enumerate() {
+        let mut rest: &mut [f32] = buf;
+        for (ci, r) in ranges.iter().enumerate() {
+            let (head, tail) = rest.split_at_mut(r.len() * widths[oi]);
+            per_chunk[ci].push(head);
+            rest = tail;
+        }
+    }
+    let results: Vec<Result<()>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .zip(per_chunk)
+            .map(|(range, mut outs)| {
+                let range = range.clone();
+                scope.spawn(move || {
+                    cpu::run_kernel_range(checked, kernel, bindings, &mut outs, domain_shape, range)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(BrookError::Usage("parallel CPU worker panicked".into())))
+            })
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+impl BackendExecutor for ParallelCpuBackend {
+    fn name(&self) -> &'static str {
+        "cpu-parallel"
+    }
+
+    fn create_stream(&mut self, desc: StreamDesc) -> Result<usize> {
+        cpu::host_create_stream(&mut self.streams, desc)
+    }
+
+    fn stream_desc(&self, index: usize) -> &StreamDesc {
+        &self.streams[index].0
+    }
+
+    fn write_stream(&mut self, index: usize, values: &[f32]) -> Result<()> {
+        cpu::host_write_stream(&mut self.streams, index, values)
+    }
+
+    fn read_stream(&mut self, index: usize) -> Result<Vec<f32>> {
+        Ok(self.streams[index].1.clone())
+    }
+
+    fn dispatch(&mut self, launch: &KernelLaunch<'_>) -> Result<()> {
+        let domain_shape = self.streams[launch.outputs[0].1].0.shape.clone();
+        let (dx, dy, _) = cpu::domain_extents(&domain_shape);
+        // Chunked output slicing assumes every output spans the whole
+        // domain; kernels with shape-mismatched extra outputs (none in
+        // the app suite, but expressible) run serially.
+        let uniform = launch
+            .outputs
+            .iter()
+            .all(|(_, i)| self.streams[*i].0.shape == domain_shape);
+        let workers = self.workers;
+        if self.parallelizable(dx * dy, uniform) {
+            cpu::dispatch_on_host(
+                &mut self.streams,
+                launch,
+                |checked, kernel, bindings, outs, domain| {
+                    run_parallel(checked, kernel, bindings, outs, domain, workers)
+                },
+            )
+        } else {
+            cpu::dispatch_on_host(&mut self.streams, launch, cpu::run_kernel_shaped)
+        }
+    }
+
+    fn reduce(&mut self, checked: &CheckedProgram, kernel: &str, _op: ReduceOp, input: usize) -> Result<f32> {
+        // Serial on purpose — see the module docs.
+        cpu::reduce_on_host(&self.streams, checked, kernel, input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Arg, BrookContext};
+
+    /// Serial and parallel backends must agree bit-for-bit on a domain
+    /// large enough to take the parallel path, for every worker count.
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let src = "kernel void f(float a<>, float k, out float o<>) {
+            o = sin(a) * k + sqrt(abs(a)) - fmod(a, 3.0);
+        }";
+        let n = 4096; // >= PARALLEL_THRESHOLD
+        let data: Vec<f32> = (0..n).map(|i| (i as f32) * 0.37 - 700.0).collect();
+        let mut reference: Option<Vec<f32>> = None;
+        for workers in [1usize, 2, 3, 7, 16] {
+            let mut ctx = BrookContext::with_backend(
+                Box::new(ParallelCpuBackend::with_workers(workers)),
+                brook_cert::CertConfig::default(),
+            );
+            let module = ctx.compile(src).expect("compile");
+            let a = ctx.stream(&[n]).expect("a");
+            let o = ctx.stream(&[n]).expect("o");
+            ctx.write(&a, &data).expect("write");
+            ctx.run(&module, "f", &[Arg::Stream(&a), Arg::Float(2.5), Arg::Stream(&o)])
+                .expect("run");
+            let out = ctx.read(&o).expect("read");
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(r, &out, "worker count {workers} changed results"),
+            }
+        }
+        // And the serial backend agrees with all of them.
+        let mut ctx = BrookContext::cpu();
+        let module = ctx.compile(src).expect("compile");
+        let a = ctx.stream(&[n]).expect("a");
+        let o = ctx.stream(&[n]).expect("o");
+        ctx.write(&a, &data).expect("write");
+        ctx.run(&module, "f", &[Arg::Stream(&a), Arg::Float(2.5), Arg::Stream(&o)])
+            .expect("run");
+        assert_eq!(ctx.read(&o).expect("read"), reference.expect("reference"));
+    }
+
+    /// 2D domains chunk across rows mid-row too; indexof must stay
+    /// consistent with the serial interpreter.
+    #[test]
+    fn parallel_indexof_2d_matches_serial() {
+        let src = "kernel void idx(float a<>, out float o<>) {
+            float2 p = indexof(o);
+            o = p.y * 1000.0 + p.x + a * 0.0;
+        }";
+        let (rows, cols) = (48usize, 32usize);
+        let data = vec![0.0f32; rows * cols];
+        let mut outs = Vec::new();
+        for make in [
+            BrookContext::cpu as fn() -> BrookContext,
+            BrookContext::cpu_parallel,
+        ] {
+            let mut ctx = make();
+            let module = ctx.compile(src).expect("compile");
+            let a = ctx.stream(&[rows, cols]).expect("a");
+            let o = ctx.stream(&[rows, cols]).expect("o");
+            ctx.write(&a, &data).expect("write");
+            ctx.run(&module, "idx", &[Arg::Stream(&a), Arg::Stream(&o)])
+                .expect("run");
+            outs.push(ctx.read(&o).expect("read"));
+        }
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[0][cols + 1], 1001.0, "row 1, col 1");
+    }
+
+    /// Multi-output kernels split correctly: each output buffer is carved
+    /// into per-chunk slices independently.
+    #[test]
+    fn parallel_multi_output_matches_serial() {
+        let src = "kernel void two(float a<>, out float x<>, out float y<>) {
+            x = a * 2.0; y = a + 1.0;
+        }";
+        let n = 2000;
+        let data: Vec<f32> = (0..n).map(|i| i as f32 * 0.5).collect();
+        let mut all = Vec::new();
+        for make in [
+            BrookContext::cpu as fn() -> BrookContext,
+            BrookContext::cpu_parallel,
+        ] {
+            let mut ctx = make();
+            let module = ctx.compile(src).expect("compile");
+            let a = ctx.stream(&[n]).expect("a");
+            let x = ctx.stream(&[n]).expect("x");
+            let y = ctx.stream(&[n]).expect("y");
+            ctx.write(&a, &data).expect("write");
+            ctx.run(
+                &module,
+                "two",
+                &[Arg::Stream(&a), Arg::Stream(&x), Arg::Stream(&y)],
+            )
+            .expect("run");
+            all.push((ctx.read(&x).expect("x"), ctx.read(&y).expect("y")));
+        }
+        assert_eq!(all[0], all[1]);
+    }
+
+    /// Gathers read the full input stream from every chunk.
+    #[test]
+    fn parallel_gather_matches_serial() {
+        let src = "kernel void rev(float t[], float a<>, out float o<>) {
+            float2 p = indexof(o);
+            o = t[2047.0 - p.x] + a * 0.0;
+        }";
+        let n = 2048;
+        let table: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let zeros = vec![0.0f32; n];
+        let mut outs = Vec::new();
+        for make in [
+            BrookContext::cpu as fn() -> BrookContext,
+            BrookContext::cpu_parallel,
+        ] {
+            let mut ctx = make();
+            let module = ctx.compile(src).expect("compile");
+            let t = ctx.stream(&[n]).expect("t");
+            let a = ctx.stream(&[n]).expect("a");
+            let o = ctx.stream(&[n]).expect("o");
+            ctx.write(&t, &table).expect("write t");
+            ctx.write(&a, &zeros).expect("write a");
+            ctx.run(
+                &module,
+                "rev",
+                &[Arg::Stream(&t), Arg::Stream(&a), Arg::Stream(&o)],
+            )
+            .expect("run");
+            outs.push(ctx.read(&o).expect("read"));
+        }
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[0][0], 2047.0);
+    }
+
+    /// Reductions are bit-identical to the serial backend (serial fold by
+    /// design).
+    #[test]
+    fn parallel_reduce_is_bit_identical() {
+        let src = "reduce void sum(float a<>, reduce float r<>) { r += a; }";
+        let n = 3000;
+        let data: Vec<f32> = (0..n).map(|i| (i as f32 * 0.123).sin()).collect();
+        let mut totals = Vec::new();
+        for make in [
+            BrookContext::cpu as fn() -> BrookContext,
+            BrookContext::cpu_parallel,
+        ] {
+            let mut ctx = make();
+            let module = ctx.compile(src).expect("compile");
+            let s = ctx.stream(&[n]).expect("s");
+            ctx.write(&s, &data).expect("write");
+            totals.push(ctx.reduce(&module, "sum", &s).expect("reduce"));
+        }
+        assert_eq!(totals[0].to_bits(), totals[1].to_bits());
+    }
+
+    /// Errors inside worker chunks surface as errors, not hangs or
+    /// poisoned state.
+    #[test]
+    fn worker_errors_propagate() {
+        // An unbounded loop trips the per-element iteration budget inside
+        // the workers; certification is disabled to let it compile.
+        let mut ctx = BrookContext::cpu_parallel();
+        ctx.enforce_certification = false;
+        let module = ctx
+            .compile("kernel void spin(float a<>, out float o<>) { float s = a + 1.0; while (s > 0.0) { s += 1.0; } o = s; }")
+            .expect("compile (uncertified)");
+        let n = 1024;
+        let a = ctx.stream(&[n]).expect("a");
+        let o = ctx.stream(&[n]).expect("o");
+        ctx.write(&a, &vec![1.0; n]).expect("write");
+        let err = ctx
+            .run(&module, "spin", &[Arg::Stream(&a), Arg::Stream(&o)])
+            .expect_err("must fail");
+        assert!(
+            err.to_string().contains("iteration budget"),
+            "unexpected error: {err}"
+        );
+        // The context stays usable after the failed dispatch.
+        assert_eq!(ctx.read(&a).expect("read"), vec![1.0; n]);
+    }
+}

@@ -26,10 +26,20 @@ impl fmt::Display for BrookError {
         match self {
             BrookError::FrontEnd(e) => write!(f, "front-end: {e}"),
             BrookError::Certification(r) => {
-                write!(f, "certification failed with {} violation(s)", r.violation_count())?;
+                write!(
+                    f,
+                    "certification failed with {} violation(s)",
+                    r.violation_count()
+                )?;
                 if let Some(k) = r.kernels.iter().find(|k| !k.is_compliant()) {
                     if let Some(v) = k.violations().next() {
-                        write!(f, "; first: [{}] {} (kernel `{}`)", v.rule.code(), v.message, k.kernel)?;
+                        write!(
+                            f,
+                            "; first: [{}] {} (kernel `{}`)",
+                            v.rule.code(),
+                            v.message,
+                            k.kernel
+                        )?;
                     }
                 }
                 Ok(())

@@ -1,6 +1,7 @@
 //! The OpenGL ES 2.0 backend: streams as textures, kernels as
 //! full-screen passes, reductions as ping-pong ladders.
 
+use crate::backend::{BackendExecutor, KernelLaunch};
 use crate::error::{BrookError, Result};
 use crate::stream::{layout_for, StreamDesc, StreamLayout};
 use brook_codegen::{
@@ -8,6 +9,7 @@ use brook_codegen::{
 };
 use brook_lang::{CheckedProgram, ReduceOp};
 use gles2_sim::{DeviceProfile, DrawMode, FramebufferId, Gl, ProgramId, TexFormat, TextureId, Value};
+use perf_model::GpuRun;
 use std::collections::HashMap;
 
 pub(crate) struct GpuStream {
@@ -26,7 +28,7 @@ pub(crate) struct GpuState {
     mask_programs: HashMap<ReduceOp, ProgramId>,
     copy_program: Option<ProgramId>,
     pub readbacks: u64,
-    pub dispatch: DrawMode,
+    pub dispatch_mode: DrawMode,
 }
 
 impl GpuState {
@@ -48,7 +50,7 @@ impl GpuState {
             mask_programs: HashMap::new(),
             copy_program: None,
             readbacks: 0,
-            dispatch: DrawMode::Full,
+            dispatch_mode: DrawMode::Full,
         }
     }
 
@@ -72,7 +74,9 @@ impl GpuState {
         let profile = self.gl.profile().clone();
         let layout = layout_for(&desc.shape, !profile.npot_textures, profile.max_texture_size)
             .map_err(BrookError::Usage)?;
-        let tex = self.gl.create_texture(layout.alloc_w, layout.alloc_h, self.format_for(desc.width))?;
+        let tex = self
+            .gl
+            .create_texture(layout.alloc_w, layout.alloc_h, self.format_for(desc.width))?;
         self.streams.push(GpuStream { desc, layout, tex });
         Ok(self.streams.len() - 1)
     }
@@ -121,7 +125,14 @@ impl GpuState {
                 let full_rows = texels.len() / stride;
                 let tail = texels.len() % stride;
                 if full_rows > 0 {
-                    self.gl.upload_texture_sub(tex, 0, 0, stride as u32, full_rows as u32, &texels[..full_rows * stride])?;
+                    self.gl.upload_texture_sub(
+                        tex,
+                        0,
+                        0,
+                        stride as u32,
+                        full_rows as u32,
+                        &texels[..full_rows * stride],
+                    )?;
                 }
                 if tail > 0 {
                     self.gl.upload_texture_sub(
@@ -147,13 +158,16 @@ impl GpuState {
         self.gl.bind_framebuffer(self.fbo)?;
         self.readbacks += 1;
         let texels = match layout.rank {
-            StreamRank::Grid => self.gl.read_pixels_region(0, 0, layout.logical_x, layout.logical_y)?,
+            StreamRank::Grid => self
+                .gl
+                .read_pixels_region(0, 0, layout.logical_x, layout.logical_y)?,
             StreamRank::Linear => {
                 let stride = layout.alloc_w as usize;
                 let full_rows = len / stride;
                 let tail = len % stride;
                 let mut t = if full_rows > 0 {
-                    self.gl.read_pixels_region(0, 0, stride as u32, full_rows as u32)?
+                    self.gl
+                        .read_pixels_region(0, 0, stride as u32, full_rows as u32)?
                 } else {
                     Vec::new()
                 };
@@ -222,12 +236,14 @@ impl GpuState {
                 )));
             }
             self.gl.bind_texture(unit as u32, self.streams[idx].tex)?;
-            self.gl.set_uniform(program, &names::tex_uniform(name), Value::Int(unit as i32))?;
+            self.gl
+                .set_uniform(program, &names::tex_uniform(name), Value::Int(unit as i32))?;
         }
         for name in &generated.metas {
             let idx = stream_of(name)?;
             let m = self.streams[idx].layout.meta();
-            self.gl.set_uniform(program, &names::meta_uniform(name), Value::Vec4(m))?;
+            self.gl
+                .set_uniform(program, &names::meta_uniform(name), Value::Vec4(m))?;
         }
         for name in &generated.shapes_needed {
             let idx = stream_of(name)?;
@@ -236,23 +252,29 @@ impl GpuState {
             for (i, d) in shape.iter().enumerate() {
                 s[i] = *d as f32;
             }
-            self.gl.set_uniform(program, &names::shape_uniform(name), Value::Vec4(s))?;
+            self.gl
+                .set_uniform(program, &names::shape_uniform(name), Value::Vec4(s))?;
         }
         for (name, value) in scalar_args {
-            self.gl.set_uniform(program, &names::scalar_uniform(name), *value)?;
+            self.gl
+                .set_uniform(program, &names::scalar_uniform(name), *value)?;
         }
         let out_idx = stream_of(output)?;
         let (vw, vh) = self.streams[out_idx].layout.viewport;
-        self.gl.set_uniform(program, names::VIEWPORT_UNIFORM, Value::Vec2([vw as f32, vh as f32]))?;
+        self.gl.set_uniform(
+            program,
+            names::VIEWPORT_UNIFORM,
+            Value::Vec2([vw as f32, vh as f32]),
+        )?;
         self.gl.attach_texture(self.fbo, self.streams[out_idx].tex)?;
         self.gl.bind_framebuffer(self.fbo)?;
         self.gl.viewport(vw, vh);
-        self.gl.draw_fullscreen_quad(self.dispatch)?;
+        self.gl.draw_fullscreen_quad(self.dispatch_mode)?;
         Ok(())
     }
 
     /// Multi-pass reduction of a stream to a single scalar (paper §5.5).
-    pub fn reduce(&mut self, op: ReduceOp, input: usize) -> Result<f32> {
+    pub fn reduce_stream(&mut self, op: ReduceOp, input: usize) -> Result<f32> {
         let (in_tex, layout, len) = {
             let s = &self.streams[input];
             (s.tex, s.layout.clone(), s.desc.len())
@@ -269,23 +291,33 @@ impl GpuState {
             StreamRank::Grid => (layout.logical_x, layout.logical_y),
             StreamRank::Linear => (layout.alloc_w.min(len as u32), layout.logical_y),
         };
-        let needs_mask =
-            layout.rank == StreamRank::Linear && !(len as u32).is_multiple_of(layout.alloc_w) && layout.logical_y > 1;
-        let copy_prog = if needs_mask { self.mask_program(op)? } else { self.copy_program()? };
+        let needs_mask = layout.rank == StreamRank::Linear
+            && !(len as u32).is_multiple_of(layout.alloc_w)
+            && layout.logical_y > 1;
+        let copy_prog = if needs_mask {
+            self.mask_program(op)?
+        } else {
+            self.copy_program()?
+        };
         self.gl.use_program(copy_prog)?;
         self.gl.bind_texture(0, in_tex)?;
         self.gl.set_uniform(copy_prog, "_tex_src", Value::Int(0))?;
-        self.gl.set_uniform(copy_prog, "_meta_src", Value::Vec4(layout.meta()))?;
+        self.gl
+            .set_uniform(copy_prog, "_meta_src", Value::Vec4(layout.meta()))?;
         if needs_mask {
             w = layout.alloc_w;
-            self.gl.set_uniform(copy_prog, "_p_len", Value::Float(len as f32))?;
+            self.gl
+                .set_uniform(copy_prog, "_p_len", Value::Float(len as f32))?;
         }
-        self.gl
-            .set_uniform(copy_prog, names::VIEWPORT_UNIFORM, Value::Vec2([w as f32, h as f32]))?;
+        self.gl.set_uniform(
+            copy_prog,
+            names::VIEWPORT_UNIFORM,
+            Value::Vec2([w as f32, h as f32]),
+        )?;
         self.gl.attach_texture(self.fbo, ping)?;
         self.gl.bind_framebuffer(self.fbo)?;
         self.gl.viewport(w, h);
-        self.gl.draw_fullscreen_quad(self.dispatch)?;
+        self.gl.draw_fullscreen_quad(self.dispatch_mode)?;
         let mut current = ping;
         let mut other = pong;
         // X ladder then Y ladder.
@@ -317,7 +349,7 @@ impl GpuState {
                 self.gl.attach_texture(self.fbo, other)?;
                 self.gl.bind_framebuffer(self.fbo)?;
                 self.gl.viewport(nw, nh);
-                self.gl.draw_fullscreen_quad(self.dispatch)?;
+                self.gl.draw_fullscreen_quad(self.dispatch_mode)?;
                 std::mem::swap(&mut current, &mut other);
                 match axis {
                     ReduceAxis::X => w = next,
@@ -398,5 +430,92 @@ impl GpuState {
         let p = self.gl.create_program(&src)?;
         self.mask_programs.insert(op, p);
         Ok(p)
+    }
+}
+
+impl BackendExecutor for GpuState {
+    fn name(&self) -> &'static str {
+        match self.storage {
+            StorageMode::Native => "gles2-native",
+            StorageMode::Packed => "gles2-packed",
+        }
+    }
+
+    fn create_stream(&mut self, desc: crate::stream::StreamDesc) -> Result<usize> {
+        GpuState::create_stream(self, desc)
+    }
+
+    fn stream_desc(&self, index: usize) -> &crate::stream::StreamDesc {
+        &self.streams[index].desc
+    }
+
+    fn write_stream(&mut self, index: usize, values: &[f32]) -> Result<()> {
+        GpuState::write_stream(self, index, values)
+    }
+
+    fn read_stream(&mut self, index: usize) -> Result<Vec<f32>> {
+        GpuState::read_stream(self, index)
+    }
+
+    fn dispatch(&mut self, launch: &KernelLaunch<'_>) -> Result<()> {
+        // Multi-output kernels execute one pass per output — the kernel
+        // splitting of paper §6 (core GL ES 2.0 has a single render
+        // target).
+        let stream_args = launch.stream_args();
+        let scalar_args = launch.scalar_args();
+        for (out_name, _) in &launch.outputs {
+            self.run_pass(
+                launch.checked,
+                launch.module_id,
+                launch.kernel,
+                out_name,
+                &stream_args,
+                &scalar_args,
+            )?;
+        }
+        Ok(())
+    }
+
+    fn reduce(
+        &mut self,
+        _checked: &CheckedProgram,
+        _kernel: &str,
+        op: ReduceOp,
+        input: usize,
+    ) -> Result<f32> {
+        // The ladder implements the *canonical* operation certification
+        // extracted from the kernel body (paper §5.5); the body itself is
+        // not re-interpreted on the GPU.
+        self.reduce_stream(op, input)
+    }
+
+    fn set_dispatch_mode(&mut self, mode: DrawMode) {
+        self.dispatch_mode = mode;
+    }
+
+    fn set_memory_budget(&mut self, bytes: Option<usize>) {
+        self.gl.set_vram_budget(bytes);
+    }
+
+    fn counters(&self) -> GpuRun {
+        let s = self.gl.stats();
+        GpuRun {
+            alu_ops: s.alu_ops,
+            tex_fetches: s.tex_fetches,
+            fragments: s.fragments_shaded,
+            draw_calls: s.draw_calls,
+            readbacks: self.readbacks,
+            bytes_uploaded: s.bytes_uploaded,
+            bytes_downloaded: s.bytes_downloaded,
+        }
+    }
+
+    fn reset_counters(&mut self) {
+        self.gl.reset_stats();
+        self.readbacks = 0;
+    }
+
+    fn memory_used(&self) -> usize {
+        self.gl.vram_used()
     }
 }

@@ -13,8 +13,11 @@
 //! * `brook-cert` certification rule engine — every [`compile`] runs the
 //!   full ISO 26262 rule catalogue and refuses non-compliant kernels,
 //! * `brook-codegen` GLSL ES 1.00 generation with hidden size uniforms,
-//! * `gles2-sim` + `glsl-es` as the simulated device, and
-//! * a CPU interpreter backend providing the reference semantics.
+//! * the pluggable [`backend`] layer: a [`BackendExecutor`] trait with
+//!   three in-tree implementations — the serial CPU interpreter (the
+//!   reference semantics), a data-parallel CPU backend, and the
+//!   `gles2-sim` + `glsl-es` simulated device in native-float or packed
+//!   RGBA8 storage.
 //!
 //! ```
 //! use brook_auto::{Arg, BrookContext};
@@ -32,17 +35,44 @@
 //! # Ok::<(), brook_auto::BrookError>(())
 //! ```
 //!
+//! The same program runs unchanged on every registered backend — the
+//! paper's portability claim, executable:
+//!
+//! ```
+//! use brook_auto::{registered_backends, Arg};
+//! let mut results = Vec::new();
+//! for spec in registered_backends() {
+//!     let mut ctx = (spec.make)();
+//!     let module = ctx.compile(
+//!         "kernel void dbl(float a<>, out float o<>) { o = a * 2.0; }",
+//!     )?;
+//!     let a = ctx.stream(&[3])?;
+//!     let o = ctx.stream(&[3])?;
+//!     ctx.write(&a, &[1.0, 2.0, 3.0])?;
+//!     ctx.run(&module, "dbl", &[Arg::Stream(&a), Arg::Stream(&o)])?;
+//!     results.push((spec.name, ctx.read(&o)?));
+//! }
+//! assert!(results.iter().all(|(_, r)| r == &vec![2.0, 4.0, 6.0]));
+//! assert_eq!(results.len(), 4); // cpu, cpu-parallel, gles2-native, gles2-packed
+//! # Ok::<(), brook_auto::BrookError>(())
+//! ```
+//!
 //! [`compile`]: BrookContext::compile
 
+pub mod backend;
 pub mod budget;
 pub mod context;
 pub mod cpu;
+pub mod cpu_parallel;
 pub mod error;
 pub(crate) mod gpu;
 pub mod stream;
 
+pub use backend::{registered_backends, BackendExecutor, BackendSpec, BoundArg, KernelLaunch};
 pub use budget::{plan_memory, MemoryPlan, PlannedStream};
 pub use context::{Arg, BrookContext, BrookModule};
+pub use cpu::CpuBackend;
+pub use cpu_parallel::ParallelCpuBackend;
 pub use error::{BrookError, Result};
 pub use stream::{Stream, StreamDesc, StreamLayout};
 

@@ -71,7 +71,12 @@ impl StreamLayout {
     /// The `_meta_*` uniform payload: `(alloc_w, alloc_h, logical_x,
     /// logical_y)`.
     pub fn meta(&self) -> [f32; 4] {
-        [self.alloc_w as f32, self.alloc_h as f32, self.logical_x as f32, self.logical_y as f32]
+        [
+            self.alloc_w as f32,
+            self.alloc_h as f32,
+            self.logical_x as f32,
+            self.logical_y as f32,
+        ]
     }
 
     /// Allocated texture size in bytes for the given texel size.
@@ -222,7 +227,10 @@ mod tests {
 
     #[test]
     fn desc_lengths() {
-        let d = StreamDesc { shape: vec![3, 4], width: 2 };
+        let d = StreamDesc {
+            shape: vec![3, 4],
+            width: 2,
+        };
         assert_eq!(d.len(), 12);
         assert_eq!(d.scalar_len(), 24);
         assert!(!d.is_empty());

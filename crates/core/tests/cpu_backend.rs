@@ -11,7 +11,14 @@ fn elementwise_kernel_over_2d_domain() {
     let data: Vec<f32> = (0..12).map(|i| i as f32).collect();
     let shape = [3usize, 4];
     let mut bindings: HashMap<String, CpuBinding<'_>> = HashMap::new();
-    bindings.insert("a".into(), CpuBinding::Elem { data: &data, shape: &shape, width: 1 });
+    bindings.insert(
+        "a".into(),
+        CpuBinding::Elem {
+            data: &data,
+            shape: &shape,
+            width: 1,
+        },
+    );
     bindings.insert("o".into(), CpuBinding::Out(0));
     let mut outputs = vec![vec![0.0f32; 12]];
     run_kernel(&checked, "f", &bindings, &mut outputs).unwrap();
@@ -39,30 +46,47 @@ fn shaped_run_without_elementwise_inputs() {
 
 #[test]
 fn gather_with_clamping() {
-    let checked = parse_and_check(
-        "kernel void f(float t[], float a<>, out float o<>) { o = t[int(a)]; }",
-    )
-    .unwrap();
+    let checked =
+        parse_and_check("kernel void f(float t[], float a<>, out float o<>) { o = t[int(a)]; }").unwrap();
     let table: Vec<f32> = vec![10.0, 20.0, 30.0];
     let idx: Vec<f32> = vec![-5.0, 0.0, 2.0, 99.0];
     let tshape = [3usize];
     let ishape = [4usize];
     let mut bindings: HashMap<String, CpuBinding<'_>> = HashMap::new();
-    bindings.insert("t".into(), CpuBinding::Gather { data: &table, shape: &tshape, width: 1 });
-    bindings.insert("a".into(), CpuBinding::Elem { data: &idx, shape: &ishape, width: 1 });
+    bindings.insert(
+        "t".into(),
+        CpuBinding::Gather {
+            data: &table,
+            shape: &tshape,
+            width: 1,
+        },
+    );
+    bindings.insert(
+        "a".into(),
+        CpuBinding::Elem {
+            data: &idx,
+            shape: &ishape,
+            width: 1,
+        },
+    );
     bindings.insert("o".into(), CpuBinding::Out(0));
     let mut outputs = vec![vec![0.0f32; 4]];
     run_kernel(&checked, "f", &bindings, &mut outputs).unwrap();
-    assert_eq!(outputs[0], vec![10.0, 10.0, 30.0, 30.0], "out-of-range gathers clamp to the edge");
+    assert_eq!(
+        outputs[0],
+        vec![10.0, 10.0, 30.0, 30.0],
+        "out-of-range gathers clamp to the edge"
+    );
 }
 
 #[test]
 fn reduce_runs_the_actual_kernel_body() {
     // A reduce kernel with extra arithmetic in the body: the fold must
     // execute it, not just apply the canonical op.
-    let checked =
-        parse_and_check("reduce void s(float a<>, reduce float r<>) { float scaled = a * 2.0; r += scaled; }")
-            .unwrap();
+    let checked = parse_and_check(
+        "reduce void s(float a<>, reduce float r<>) { float scaled = a * 2.0; r += scaled; }",
+    )
+    .unwrap();
     let data = vec![1.0f32, 2.0, 3.0];
     let total = run_reduce(&checked, "s", &data).unwrap();
     assert_eq!(total, 12.0);
@@ -71,7 +95,11 @@ fn reduce_runs_the_actual_kernel_body() {
 #[test]
 fn reduce_min_identity_on_empty_and_singleton() {
     let checked = parse_and_check("reduce void m(float a<>, reduce float r<>) { r = min(r, a); }").unwrap();
-    assert_eq!(run_reduce(&checked, "m", &[]).unwrap(), f32::INFINITY, "empty fold yields the identity");
+    assert_eq!(
+        run_reduce(&checked, "m", &[]).unwrap(),
+        f32::INFINITY,
+        "empty fold yields the identity"
+    );
     assert_eq!(run_reduce(&checked, "m", &[5.0]).unwrap(), 5.0);
 }
 
@@ -88,7 +116,14 @@ fn vector_locals_and_swizzle_writes() {
     let data = vec![1.0f32];
     let shape = [1usize];
     let mut bindings: HashMap<String, CpuBinding<'_>> = HashMap::new();
-    bindings.insert("a".into(), CpuBinding::Elem { data: &data, shape: &shape, width: 1 });
+    bindings.insert(
+        "a".into(),
+        CpuBinding::Elem {
+            data: &data,
+            shape: &shape,
+            width: 1,
+        },
+    );
     bindings.insert("o".into(), CpuBinding::Out(0));
     let mut outputs = vec![vec![0.0f32; 1]];
     run_kernel(&checked, "f", &bindings, &mut outputs).unwrap();
@@ -128,7 +163,14 @@ fn integer_semantics_match_c() {
     let data = vec![0.0f32];
     let shape = [1usize];
     let mut bindings: HashMap<String, CpuBinding<'_>> = HashMap::new();
-    bindings.insert("a".into(), CpuBinding::Elem { data: &data, shape: &shape, width: 1 });
+    bindings.insert(
+        "a".into(),
+        CpuBinding::Elem {
+            data: &data,
+            shape: &shape,
+            width: 1,
+        },
+    );
     bindings.insert("o".into(), CpuBinding::Out(0));
     let mut outputs = vec![vec![0.0f32; 1]];
     run_kernel(&checked, "f", &bindings, &mut outputs).unwrap();

@@ -2,8 +2,8 @@
 //! arbitrary shapes, reduction correctness against serial folds, and
 //! layout invariants.
 
-use brook_auto::{Arg, BrookContext, DeviceProfile};
 use brook_auto::stream::layout_for;
+use brook_auto::{Arg, BrookContext, DeviceProfile};
 use proptest::prelude::*;
 
 proptest! {

@@ -178,7 +178,9 @@ impl Gl {
             )));
         }
         if self.profile.square_only && w != h {
-            return Err(GlError::InvalidValue(format!("device requires square textures, got {w}x{h}")));
+            return Err(GlError::InvalidValue(format!(
+                "device requires square textures, got {w}x{h}"
+            )));
         }
         Ok(())
     }
@@ -324,7 +326,13 @@ impl Gl {
         }
         let uniform_values = shader.uniforms.iter().map(|u| Value::zero(u.ty)).collect();
         let id = self.fresh_id();
-        self.programs.insert(id, Program { shader, uniform_values });
+        self.programs.insert(
+            id,
+            Program {
+                shader,
+                uniform_values,
+            },
+        );
         self.stats.programs_linked += 1;
         Ok(ProgramId(id))
     }
@@ -506,8 +514,16 @@ impl Gl {
         for y in (0..vh).step_by(stride as usize) {
             for x in (0..vw).step_by(stride as usize) {
                 let tc = Value::Vec2([(x as f32 + 0.5) / vw as f32, (y as f32 + 0.5) / vh as f32]);
-                let varyings: &[Value] = if needs_texcoord { std::slice::from_ref(&tc) } else { &[] };
-                let env = FragmentEnv { uniforms: &program.uniform_values, varyings, sample: &sample };
+                let varyings: &[Value] = if needs_texcoord {
+                    std::slice::from_ref(&tc)
+                } else {
+                    &[]
+                };
+                let env = FragmentEnv {
+                    uniforms: &program.uniform_values,
+                    varyings,
+                    sample: &sample,
+                };
                 let (color, c) = glsl_es::run_fragment(shader, &env)?;
                 cost = cost.add(&c);
                 executed += 1;
@@ -608,7 +624,12 @@ mod tests {
     #[test]
     fn constant_shader_fills_target() {
         let mut gl = gl();
-        let (out, stats) = draw_with(&mut gl, "void main() { gl_FragColor = vec4(1.0, 0.0, 0.0, 1.0); }", 4, 4);
+        let (out, stats) = draw_with(
+            &mut gl,
+            "void main() { gl_FragColor = vec4(1.0, 0.0, 0.0, 1.0); }",
+            4,
+            4,
+        );
         assert_eq!(stats.fragments, 16);
         assert_eq!(gl.debug_texel(out, 3, 3).unwrap(), [1.0, 0.0, 0.0, 1.0]);
     }
@@ -665,7 +686,12 @@ mod tests {
         let src_tex = gl.create_texture(2, 2, TexFormat::Rgba8).unwrap();
         gl.upload_texture(
             src_tex,
-            &[[1.0, 0.0, 0.0, 1.0], [0.0, 1.0, 0.0, 1.0], [0.0, 0.0, 1.0, 1.0], [1.0, 1.0, 1.0, 1.0]],
+            &[
+                [1.0, 0.0, 0.0, 1.0],
+                [0.0, 1.0, 0.0, 1.0],
+                [0.0, 0.0, 1.0, 1.0],
+                [1.0, 1.0, 1.0, 1.0],
+            ],
         )
         .unwrap();
         gl.bind_texture(0, src_tex).unwrap();
@@ -708,7 +734,9 @@ mod tests {
     #[test]
     fn uniform_type_checked() {
         let mut gl = gl();
-        let prog = gl.create_program("uniform vec2 d; void main() { gl_FragColor = vec4(d, 0.0, 1.0); }").unwrap();
+        let prog = gl
+            .create_program("uniform vec2 d; void main() { gl_FragColor = vec4(d, 0.0, 1.0); }")
+            .unwrap();
         assert!(gl.set_uniform(prog, "d", Value::Float(1.0)).is_err());
         assert!(gl.set_uniform(prog, "d", Value::Vec2([1.0, 2.0])).is_ok());
         assert!(gl.set_uniform(prog, "nope", Value::Float(0.0)).is_err());
@@ -755,7 +783,9 @@ mod tests {
         gl.attach_texture(fbo, out).unwrap();
         gl.bind_framebuffer(fbo).unwrap();
         gl.viewport(64, 64);
-        let prog = gl.create_program("void main() { gl_FragColor = vec4(0.5); }").unwrap();
+        let prog = gl
+            .create_program("void main() { gl_FragColor = vec4(0.5); }")
+            .unwrap();
         gl.use_program(prog).unwrap();
         let full = gl.draw_fullscreen_quad(DrawMode::Full).unwrap();
         let sampled = gl.draw_fullscreen_quad(DrawMode::Sampled { stride: 8 }).unwrap();
@@ -771,7 +801,10 @@ mod tests {
     #[test]
     fn draw_without_program_or_fbo_fails() {
         let mut gl = gl();
-        assert!(matches!(gl.draw_fullscreen_quad(DrawMode::Full), Err(GlError::InvalidOperation(_))));
+        assert!(matches!(
+            gl.draw_fullscreen_quad(DrawMode::Full),
+            Err(GlError::InvalidOperation(_))
+        ));
     }
 
     #[test]
@@ -782,7 +815,9 @@ mod tests {
         gl.attach_texture(fbo, out).unwrap();
         gl.bind_framebuffer(fbo).unwrap();
         gl.viewport(8, 8);
-        let prog = gl.create_program("void main() { gl_FragColor = vec4(1.0); }").unwrap();
+        let prog = gl
+            .create_program("void main() { gl_FragColor = vec4(1.0); }")
+            .unwrap();
         gl.use_program(prog).unwrap();
         assert!(gl.draw_fullscreen_quad(DrawMode::Full).is_err());
     }

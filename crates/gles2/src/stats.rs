@@ -55,8 +55,17 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = DrawStats { fragments: 10, alu: 100, ..DrawStats::default() };
-        let b = DrawStats { fragments: 5, alu: 50, estimated: true, ..DrawStats::default() };
+        let mut a = DrawStats {
+            fragments: 10,
+            alu: 100,
+            ..DrawStats::default()
+        };
+        let b = DrawStats {
+            fragments: 5,
+            alu: 50,
+            estimated: true,
+            ..DrawStats::default()
+        };
         a.merge(&b);
         assert_eq!(a.fragments, 15);
         assert_eq!(a.alu, 150);

@@ -44,7 +44,12 @@ pub struct Texture {
 impl Texture {
     /// Creates a texture filled with transparent black.
     pub fn new(width: u32, height: u32, format: TexFormat) -> Self {
-        Texture { width, height, format, data: vec![[0.0; 4]; (width * height) as usize] }
+        Texture {
+            width,
+            height,
+            format,
+            data: vec![[0.0; 4]; (width * height) as usize],
+        }
     }
 
     /// Texture width in texels.
@@ -101,7 +106,10 @@ impl Texture {
     /// Panics when the rectangle falls outside the texture; the GL
     /// front-end validates this and raises `GL_INVALID_VALUE` instead.
     pub fn upload_sub(&mut self, x: u32, y: u32, w: u32, h: u32, texels: &[[f32; 4]]) {
-        assert!(x + w <= self.width && y + h <= self.height, "sub-upload out of range");
+        assert!(
+            x + w <= self.width && y + h <= self.height,
+            "sub-upload out of range"
+        );
         assert_eq!(texels.len(), (w * h) as usize);
         for row in 0..h {
             for col in 0..w {

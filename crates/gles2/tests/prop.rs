@@ -83,7 +83,9 @@ fn draw_statistics_are_additive() {
     gl.attach_texture(fbo, out).expect("attach");
     gl.bind_framebuffer(fbo).expect("bind");
     gl.viewport(8, 8);
-    let prog = gl.create_program("void main() { gl_FragColor = vec4(0.5); }").expect("program");
+    let prog = gl
+        .create_program("void main() { gl_FragColor = vec4(0.5); }")
+        .expect("program");
     gl.use_program(prog).expect("use");
     let s1 = gl.draw_fullscreen_quad(DrawMode::Full).expect("draw");
     let after_one = *gl.stats();

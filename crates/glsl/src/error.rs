@@ -16,15 +16,23 @@ pub enum ShaderError {
 
 impl ShaderError {
     pub(crate) fn lex(line: u32, message: impl Into<String>) -> Self {
-        ShaderError::Lex { line, message: message.into() }
+        ShaderError::Lex {
+            line,
+            message: message.into(),
+        }
     }
 
     pub(crate) fn parse(line: u32, message: impl Into<String>) -> Self {
-        ShaderError::Parse { line, message: message.into() }
+        ShaderError::Parse {
+            line,
+            message: message.into(),
+        }
     }
 
     pub(crate) fn resolve(message: impl Into<String>) -> Self {
-        ShaderError::Resolve { message: message.into() }
+        ShaderError::Resolve {
+            message: message.into(),
+        }
     }
 }
 
@@ -53,7 +61,9 @@ pub struct ExecError {
 
 impl ExecError {
     pub(crate) fn new(message: impl Into<String>) -> Self {
-        ExecError { message: message.into() }
+        ExecError {
+            message: message.into(),
+        }
     }
 }
 
@@ -77,6 +87,8 @@ mod tests {
 
     #[test]
     fn exec_error_display() {
-        assert!(ExecError::new("missing uniform").to_string().contains("missing uniform"));
+        assert!(ExecError::new("missing uniform")
+            .to_string()
+            .contains("missing uniform"));
     }
 }

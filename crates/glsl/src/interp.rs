@@ -8,7 +8,7 @@
 //! availability property Brook Auto's certification argument builds on.
 
 use crate::error::ExecError;
-use crate::resolve::{BinKind, BuiltinId, Mask, RExpr, RFunction, Ref, RStmt, Shader};
+use crate::resolve::{BinKind, BuiltinId, Mask, RExpr, RFunction, RStmt, Ref, Shader};
 use crate::value::{GlslType, Value};
 
 /// Per-fragment execution cost counters.
@@ -26,7 +26,11 @@ pub struct Cost {
 impl Cost {
     /// Sum of two costs.
     pub fn add(&self, other: &Cost) -> Cost {
-        Cost { alu: self.alu + other.alu, tex: self.tex + other.tex, branch: self.branch + other.branch }
+        Cost {
+            alu: self.alu + other.alu,
+            tex: self.tex + other.tex,
+            branch: self.branch + other.branch,
+        }
     }
 }
 
@@ -113,12 +117,21 @@ impl Interp<'_, '_> {
 
     fn exec_stmt(&mut self, s: &RStmt, frame: &mut [Value]) -> Result<Flow, ExecError> {
         match s {
-            RStmt::Store { target, mask, op, value } => {
+            RStmt::Store {
+                target,
+                mask,
+                op,
+                value,
+            } => {
                 let rhs = self.eval(value, frame)?;
                 self.store(*target, *mask, *op, rhs, frame)?;
                 Ok(Flow::Normal)
             }
-            RStmt::If { cond, then_body, else_body } => {
+            RStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let c = self.eval(cond, frame)?;
                 let Some(c) = c.as_bool() else {
                     return Err(ExecError::new("if condition is not a bool"));
@@ -130,7 +143,12 @@ impl Interp<'_, '_> {
                     self.exec_block(else_body, frame)
                 }
             }
-            RStmt::For { init, cond, step, body } => {
+            RStmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.exec_stmt(init, frame)?;
                 loop {
                     let c = self.eval(cond, frame)?;
@@ -167,7 +185,14 @@ impl Interp<'_, '_> {
         }
     }
 
-    fn store(&mut self, target: Ref, mask: Option<Mask>, op: char, rhs: Value, frame: &mut [Value]) -> Result<(), ExecError> {
+    fn store(
+        &mut self,
+        target: Ref,
+        mask: Option<Mask>,
+        op: char,
+        rhs: Value,
+        frame: &mut [Value],
+    ) -> Result<(), ExecError> {
         let current = match target {
             Ref::Local(slot) => frame[slot as usize],
             Ref::FragColor => self.frag_color,
@@ -248,13 +273,17 @@ impl Interp<'_, '_> {
                 self.cost.alu += 1;
                 match v {
                     Value::Int(i) => Ok(Value::Int(-i)),
-                    other => other.map(|f| -f).ok_or_else(|| ExecError::new("cannot negate a bool")),
+                    other => other
+                        .map(|f| -f)
+                        .ok_or_else(|| ExecError::new("cannot negate a bool")),
                 }
             }
             RExpr::Not(x) => {
                 let v = self.eval(x, frame)?;
                 self.cost.alu += 1;
-                v.as_bool().map(|b| Value::Bool(!b)).ok_or_else(|| ExecError::new("`!` needs a bool"))
+                v.as_bool()
+                    .map(|b| Value::Bool(!b))
+                    .ok_or_else(|| ExecError::new("`!` needs a bool"))
             }
             RExpr::Ternary(c, t, f) => {
                 let cv = self.eval(c, frame)?;
@@ -287,7 +316,10 @@ impl Interp<'_, '_> {
                 match ret {
                     Some(v) => Ok(v),
                     None if callee.return_ty == GlslType::Void => Ok(Value::Float(0.0)),
-                    None => Err(ExecError::new(format!("function `{}` did not return a value", callee.name))),
+                    None => Err(ExecError::new(format!(
+                        "function `{}` did not return a value",
+                        callee.name
+                    ))),
                 }
             }
             RExpr::Construct(ty, args) => {
@@ -412,7 +444,9 @@ fn construct(ty: GlslType, args: &[Value]) -> Result<Value, ExecError> {
             }))
         }
         GlslType::Bool => {
-            let v = args.first().ok_or_else(|| ExecError::new("bool() needs an argument"))?;
+            let v = args
+                .first()
+                .ok_or_else(|| ExecError::new("bool() needs an argument"))?;
             Ok(Value::Bool(match v {
                 Value::Float(f) => *f != 0.0,
                 Value::Int(i) => *i != 0,
@@ -467,10 +501,14 @@ fn eval_builtin(id: BuiltinId, args: &[Value]) -> Result<Value, ExecError> {
         Ceil => unary(f32::ceil),
         Fract => unary(f32::fract),
         Sign => unary(f32::signum),
-        Mod => args[0].zip(&args[1], |x, y| x - y * (x / y).floor()).ok_or_else(err),
+        Mod => args[0]
+            .zip(&args[1], |x, y| x - y * (x / y).floor())
+            .ok_or_else(err),
         Min => args[0].zip(&args[1], f32::min).ok_or_else(err),
         Max => args[0].zip(&args[1], f32::max).ok_or_else(err),
-        Step => args[0].zip(&args[1], |edge, x| if x < edge { 0.0 } else { 1.0 }).ok_or_else(err),
+        Step => args[0]
+            .zip(&args[1], |edge, x| if x < edge { 0.0 } else { 1.0 })
+            .ok_or_else(err),
         Pow => args[0].zip(&args[1], f32::powf).ok_or_else(err),
         Atan => args[0].zip(&args[1], f32::atan2).ok_or_else(err),
         Clamp => {
@@ -539,14 +577,21 @@ mod tests {
 
     fn run_with(src: &str, uniforms: &[Value], varyings: &[Value]) -> [f32; 4] {
         let shader = compile(src).unwrap_or_else(|e| panic!("compile: {e}"));
-        let env = FragmentEnv { uniforms, varyings, sample: &no_tex };
+        let env = FragmentEnv {
+            uniforms,
+            varyings,
+            sample: &no_tex,
+        };
         let (color, _) = run_fragment(&shader, &env).unwrap_or_else(|e| panic!("run: {e}"));
         color
     }
 
     #[test]
     fn constant_color() {
-        assert_eq!(run("void main() { gl_FragColor = vec4(0.25, 0.5, 0.75, 1.0); }"), [0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(
+            run("void main() { gl_FragColor = vec4(0.25, 0.5, 0.75, 1.0); }"),
+            [0.25, 0.5, 0.75, 1.0]
+        );
     }
 
     #[test]
@@ -557,63 +602,56 @@ mod tests {
 
     #[test]
     fn vector_ops_and_swizzles() {
-        let c = run(
-            "void main() {
+        let c = run("void main() {
                  vec4 v = vec4(1.0, 2.0, 3.0, 4.0);
                  vec2 p = v.wy;
                  gl_FragColor = vec4(p, v.x + v.z, 1.0);
-             }",
-        );
+             }");
         assert_eq!(c, [4.0, 2.0, 4.0, 1.0]);
     }
 
     #[test]
     fn for_loop_accumulates() {
-        let c = run(
-            "void main() {
+        let c = run("void main() {
                  float s = 0.0;
                  for (int i = 0; i < 10; i++) { s += 2.0; }
                  gl_FragColor = vec4(s);
-             }",
-        );
+             }");
         assert_eq!(c[0], 20.0);
     }
 
     #[test]
     fn nested_loops() {
-        let c = run(
-            "void main() {
+        let c = run("void main() {
                  float s = 0.0;
                  for (int i = 0; i < 4; i++) { for (int j = 0; j < 4; j++) { s += 1.0; } }
                  gl_FragColor = vec4(s);
-             }",
-        );
+             }");
         assert_eq!(c[0], 16.0);
     }
 
     #[test]
     fn if_else_branches() {
-        let c = run(
-            "void main() {
+        let c = run("void main() {
                  float x = 3.0;
                  if (x > 2.0) { gl_FragColor = vec4(1.0); } else { gl_FragColor = vec4(0.0); }
-             }",
-        );
+             }");
         assert_eq!(c[0], 1.0);
     }
 
     #[test]
     fn ternary() {
-        assert_eq!(run("void main() { gl_FragColor = vec4(2.0 < 1.0 ? 5.0 : 7.0); }")[0], 7.0);
+        assert_eq!(
+            run("void main() { gl_FragColor = vec4(2.0 < 1.0 ? 5.0 : 7.0); }")[0],
+            7.0
+        );
     }
 
     #[test]
     fn user_function_call() {
-        let c = run(
-            "float sq(float x) { return x * x; }
+        let c = run("float sq(float x) { return x * x; }
              vec2 both(float a, float b) { return vec2(sq(a), sq(b)); }
-             void main() { gl_FragColor = vec4(both(3.0, 4.0), 0.0, 0.0); }",
-        );
+             void main() { gl_FragColor = vec4(both(3.0, 4.0), 0.0, 0.0); }");
         assert_eq!(c, [9.0, 16.0, 0.0, 0.0]);
     }
 
@@ -648,26 +686,42 @@ mod tests {
 
     #[test]
     fn builtins() {
-        assert_eq!(run("void main() { gl_FragColor = vec4(max(1.0, 2.0), min(1.0, 2.0), abs(-3.0), floor(1.7)); }"), [2.0, 1.0, 3.0, 1.0]);
-        assert_eq!(run("void main() { gl_FragColor = vec4(clamp(5.0, 0.0, 1.0)); }")[0], 1.0);
-        assert_eq!(run("void main() { gl_FragColor = vec4(mix(0.0, 10.0, 0.25)); }")[0], 2.5);
-        assert_eq!(run("void main() { gl_FragColor = vec4(dot(vec2(1.0, 2.0), vec2(3.0, 4.0))); }")[0], 11.0);
-        assert_eq!(run("void main() { gl_FragColor = vec4(length(vec3(3.0, 4.0, 0.0))); }")[0], 5.0);
+        assert_eq!(
+            run("void main() { gl_FragColor = vec4(max(1.0, 2.0), min(1.0, 2.0), abs(-3.0), floor(1.7)); }"),
+            [2.0, 1.0, 3.0, 1.0]
+        );
+        assert_eq!(
+            run("void main() { gl_FragColor = vec4(clamp(5.0, 0.0, 1.0)); }")[0],
+            1.0
+        );
+        assert_eq!(
+            run("void main() { gl_FragColor = vec4(mix(0.0, 10.0, 0.25)); }")[0],
+            2.5
+        );
+        assert_eq!(
+            run("void main() { gl_FragColor = vec4(dot(vec2(1.0, 2.0), vec2(3.0, 4.0))); }")[0],
+            11.0
+        );
+        assert_eq!(
+            run("void main() { gl_FragColor = vec4(length(vec3(3.0, 4.0, 0.0))); }")[0],
+            5.0
+        );
         assert_eq!(run("void main() { gl_FragColor = vec4(mod(7.0, 3.0)); }")[0], 1.0);
-        assert_eq!(run("void main() { gl_FragColor = vec4(step(2.0, 1.0), step(2.0, 3.0), 0.0, 0.0); }")[..2], [0.0, 1.0]);
+        assert_eq!(
+            run("void main() { gl_FragColor = vec4(step(2.0, 1.0), step(2.0, 3.0), 0.0, 0.0); }")[..2],
+            [0.0, 1.0]
+        );
         assert!((run("void main() { gl_FragColor = vec4(pow(2.0, 10.0)); }")[0] - 1024.0).abs() < 1e-3);
     }
 
     #[test]
     fn int_loop_counters_are_ints() {
         // `i / 2` on ints truncates.
-        let c = run(
-            "void main() {
+        let c = run("void main() {
                  float s = 0.0;
                  for (int i = 0; i < 5; i++) { s += float(i / 2); }
                  gl_FragColor = vec4(s);
-             }",
-        );
+             }");
         // 0 + 0 + 1 + 1 + 2 = 4
         assert_eq!(c[0], 4.0);
     }
@@ -675,42 +729,55 @@ mod tests {
     #[test]
     fn type_mismatch_is_an_error() {
         let shader = compile("void main() { gl_FragColor = vec4(1.0 + vec2(1.0, 2.0).x, 0.0, 0.0, 0.0); gl_FragColor = vec4(1.0); }").unwrap();
-        let env = FragmentEnv { uniforms: &[], varyings: &[], sample: &no_tex };
+        let env = FragmentEnv {
+            uniforms: &[],
+            varyings: &[],
+            sample: &no_tex,
+        };
         assert!(run_fragment(&shader, &env).is_ok());
         // int + float has no implicit conversion:
         let bad = compile("void main() { int i = 1; float f = 1.0; gl_FragColor = vec4(float(i) + f); float g = f; int j = i + 1; gl_FragColor = vec4(g + float(j)); }").unwrap();
-        assert!(run_fragment(&bad, &FragmentEnv { uniforms: &[], varyings: &[], sample: &no_tex }).is_ok());
+        assert!(run_fragment(
+            &bad,
+            &FragmentEnv {
+                uniforms: &[],
+                varyings: &[],
+                sample: &no_tex
+            }
+        )
+        .is_ok());
     }
 
     #[test]
     fn strict_no_implicit_int_float() {
-        let shader = compile("void main() { float f = 1.0; int i = 2; gl_FragColor = vec4(f * i); }").unwrap();
-        let env = FragmentEnv { uniforms: &[], varyings: &[], sample: &no_tex };
+        let shader =
+            compile("void main() { float f = 1.0; int i = 2; gl_FragColor = vec4(f * i); }").unwrap();
+        let env = FragmentEnv {
+            uniforms: &[],
+            varyings: &[],
+            sample: &no_tex,
+        };
         assert!(run_fragment(&shader, &env).is_err());
     }
 
     #[test]
     fn swizzled_store() {
-        let c = run(
-            "void main() {
+        let c = run("void main() {
                  vec4 v = vec4(0.0);
                  v.xz = vec2(1.0, 2.0);
                  v.w = 3.0;
                  gl_FragColor = v;
-             }",
-        );
+             }");
         assert_eq!(c, [1.0, 0.0, 2.0, 3.0]);
     }
 
     #[test]
     fn compound_assign_through_swizzle() {
-        let c = run(
-            "void main() {
+        let c = run("void main() {
                  vec4 v = vec4(1.0, 2.0, 3.0, 4.0);
                  v.x += 10.0;
                  gl_FragColor = v;
-             }",
-        );
+             }");
         assert_eq!(c, [11.0, 2.0, 3.0, 4.0]);
     }
 
@@ -724,7 +791,11 @@ mod tests {
              }",
         )
         .unwrap();
-        let env = FragmentEnv { uniforms: &[], varyings: &[], sample: &no_tex };
+        let env = FragmentEnv {
+            uniforms: &[],
+            varyings: &[],
+            sample: &no_tex,
+        };
         let (_, cost) = run_fragment(&shader, &env).unwrap();
         assert!(cost.alu >= 200, "alu cost {} too small", cost.alu);
         assert!(cost.branch >= 100);
@@ -741,7 +812,11 @@ mod tests {
              }",
         )
         .unwrap();
-        let env = FragmentEnv { uniforms: &[], varyings: &[], sample: &no_tex };
+        let env = FragmentEnv {
+            uniforms: &[],
+            varyings: &[],
+            sample: &no_tex,
+        };
         let err = run_fragment(&shader, &env).unwrap_err();
         assert!(err.to_string().contains("runaway"), "{err}");
     }
@@ -749,14 +824,22 @@ mod tests {
     #[test]
     fn frag_color_must_be_vec4() {
         let shader = compile("void main() { gl_FragColor = vec4(1.0); }").unwrap();
-        let env = FragmentEnv { uniforms: &[], varyings: &[], sample: &no_tex };
+        let env = FragmentEnv {
+            uniforms: &[],
+            varyings: &[],
+            sample: &no_tex,
+        };
         assert!(run_fragment(&shader, &env).is_ok());
     }
 
     #[test]
     fn uniform_count_mismatch_rejected() {
         let shader = compile("uniform float u; void main() { gl_FragColor = vec4(u); }").unwrap();
-        let env = FragmentEnv { uniforms: &[], varyings: &[], sample: &no_tex };
+        let env = FragmentEnv {
+            uniforms: &[],
+            varyings: &[],
+            sample: &no_tex,
+        };
         assert!(run_fragment(&shader, &env).is_err());
     }
 }

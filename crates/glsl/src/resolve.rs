@@ -80,7 +80,12 @@ impl BuiltinId {
     /// ALU cost in simulator units; transcendentals are multi-cycle.
     pub fn cost(&self) -> u64 {
         match self {
-            BuiltinId::Sin | BuiltinId::Cos | BuiltinId::Exp | BuiltinId::Exp2 | BuiltinId::Log | BuiltinId::Log2 => 4,
+            BuiltinId::Sin
+            | BuiltinId::Cos
+            | BuiltinId::Exp
+            | BuiltinId::Exp2
+            | BuiltinId::Log
+            | BuiltinId::Log2 => 4,
             BuiltinId::Tan | BuiltinId::Pow | BuiltinId::Atan => 6,
             BuiltinId::Sqrt | BuiltinId::InverseSqrt => 4,
             BuiltinId::Normalize | BuiltinId::Length | BuiltinId::Distance => 5,
@@ -127,7 +132,10 @@ impl Mask {
                 _ => 3,
             };
         }
-        Mask { lanes, len: components.len().min(4) as u8 }
+        Mask {
+            lanes,
+            len: components.len().min(4) as u8,
+        }
     }
 }
 
@@ -189,9 +197,23 @@ impl BinKind {
 pub enum RStmt {
     /// Store to a reference, optionally through a swizzle mask, with an
     /// optional compound op (`'='`, `'+'`, `'-'`, `'*'`, `'/'`).
-    Store { target: Ref, mask: Option<Mask>, op: char, value: RExpr },
-    If { cond: RExpr, then_body: Vec<RStmt>, else_body: Vec<RStmt> },
-    For { init: Box<RStmt>, cond: RExpr, step: Box<RStmt>, body: Vec<RStmt> },
+    Store {
+        target: Ref,
+        mask: Option<Mask>,
+        op: char,
+        value: RExpr,
+    },
+    If {
+        cond: RExpr,
+        then_body: Vec<RStmt>,
+        else_body: Vec<RStmt>,
+    },
+    For {
+        init: Box<RStmt>,
+        cond: RExpr,
+        step: Box<RStmt>,
+        body: Vec<RStmt>,
+    },
     Return(Option<RExpr>),
     Eval(RExpr),
 }
@@ -299,7 +321,10 @@ fn resolve(unit: &Unit) -> Result<Shader, ShaderError> {
     for g in &unit.globals {
         match g.kind {
             GlobalKind::Uniform => {
-                r.uniforms.push(UniformInfo { name: g.name.clone(), ty: g.ty });
+                r.uniforms.push(UniformInfo {
+                    name: g.name.clone(),
+                    ty: g.ty,
+                });
             }
             GlobalKind::Varying => {
                 r.varyings.push((g.name.clone(), g.ty));
@@ -307,8 +332,9 @@ fn resolve(unit: &Unit) -> Result<Shader, ShaderError> {
             GlobalKind::Const => {
                 let init = g.init.as_ref().expect("parser guarantees const init");
                 let rexpr = r.resolve_expr(init)?;
-                let v = const_eval(&rexpr, &r.consts)
-                    .ok_or_else(|| ShaderError::resolve(format!("const `{}` initializer is not constant", g.name)))?;
+                let v = const_eval(&rexpr, &r.consts).ok_or_else(|| {
+                    ShaderError::resolve(format!("const `{}` initializer is not constant", g.name))
+                })?;
                 r.const_names.push(g.name.clone());
                 r.consts.push(v);
             }
@@ -468,7 +494,12 @@ impl Resolver {
                     .last_mut()
                     .expect("scope stack never empty")
                     .insert(name.clone(), slot);
-                vec![RStmt::Store { target: Ref::Local(slot), mask: None, op: '=', value }]
+                vec![RStmt::Store {
+                    target: Ref::Local(slot),
+                    mask: None,
+                    op: '=',
+                    value,
+                }]
             }
             PStmt::Assign { target, op, value } => {
                 let value = self.resolve_expr(value)?;
@@ -485,15 +516,33 @@ impl Resolver {
                 if matches!(r, Ref::Uniform(_) | Ref::Varying(_) | Ref::Const(_)) {
                     return Err(ShaderError::resolve("cannot write to a uniform/varying/const"));
                 }
-                vec![RStmt::Store { target: r, mask, op: *op, value }]
+                vec![RStmt::Store {
+                    target: r,
+                    mask,
+                    op: *op,
+                    value,
+                }]
             }
-            PStmt::If { cond, then_body, else_body } => {
+            PStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let cond = self.resolve_expr(cond)?;
                 let then_body = self.resolve_block(then_body)?;
                 let else_body = self.resolve_block(else_body)?;
-                vec![RStmt::If { cond, then_body, else_body }]
+                vec![RStmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                }]
             }
-            PStmt::For { init, cond, step, body } => {
+            PStmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.scopes.push(HashMap::new());
                 let init_r = self.resolve_stmt(init)?;
                 let cond = self.resolve_expr(cond)?;
@@ -506,7 +555,12 @@ impl Resolver {
                     }
                     Ok(Box::new(v.remove(0)))
                 };
-                vec![RStmt::For { init: single(init_r)?, cond, step: single(step_r)?, body }]
+                vec![RStmt::For {
+                    init: single(init_r)?,
+                    cond,
+                    step: single(step_r)?,
+                    body,
+                }]
             }
             PStmt::Return(v) => {
                 let v = match v {
@@ -577,7 +631,10 @@ impl Resolver {
                     "bool" => Some(GlslType::Bool),
                     _ => None,
                 } {
-                    let args = args.iter().map(|a| self.resolve_expr(a)).collect::<Result<Vec<_>, _>>()?;
+                    let args = args
+                        .iter()
+                        .map(|a| self.resolve_expr(a))
+                        .collect::<Result<Vec<_>, _>>()?;
                     return Ok(RExpr::Construct(ty, args));
                 }
                 // Builtins.
@@ -588,7 +645,10 @@ impl Resolver {
                             args.len()
                         )));
                     }
-                    let args = args.iter().map(|a| self.resolve_expr(a)).collect::<Result<Vec<_>, _>>()?;
+                    let args = args
+                        .iter()
+                        .map(|a| self.resolve_expr(a))
+                        .collect::<Result<Vec<_>, _>>()?;
                     return Ok(RExpr::Builtin(id, args));
                 }
                 // User functions: declaration-before-use (rejects recursion).
@@ -604,7 +664,10 @@ impl Resolver {
                         args.len()
                     )));
                 }
-                let args = args.iter().map(|a| self.resolve_expr(a)).collect::<Result<Vec<_>, _>>()?;
+                let args = args
+                    .iter()
+                    .map(|a| self.resolve_expr(a))
+                    .collect::<Result<Vec<_>, _>>()?;
                 RExpr::CallUser(idx, args)
             }
         })
@@ -684,7 +747,8 @@ mod tests {
 
     #[test]
     fn swizzled_store_resolves() {
-        let s = compile("void main() { vec4 c = vec4(0.0); c.xy = vec2(1.0, 2.0); gl_FragColor = c; }").unwrap();
+        let s =
+            compile("void main() { vec4 c = vec4(0.0); c.xy = vec2(1.0, 2.0); gl_FragColor = c; }").unwrap();
         let f = &s.functions[s.main_index];
         assert!(matches!(&f.body[1], RStmt::Store { mask: Some(m), .. } if m.len == 2));
     }

@@ -142,10 +142,14 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, u32)>, ShaderError> {
             }
             let text = &src[start..i];
             if is_float {
-                let v = text.parse::<f32>().map_err(|_| ShaderError::lex(line, format!("bad float `{text}`")))?;
+                let v = text
+                    .parse::<f32>()
+                    .map_err(|_| ShaderError::lex(line, format!("bad float `{text}`")))?;
                 toks.push((Tok::FloatLit(v), line));
             } else {
-                let v = text.parse::<i32>().map_err(|_| ShaderError::lex(line, format!("bad int `{text}`")))?;
+                let v = text
+                    .parse::<i32>()
+                    .map_err(|_| ShaderError::lex(line, format!("bad int `{text}`")))?;
                 toks.push((Tok::IntLit(v), line));
             }
             continue;
@@ -232,7 +236,12 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, u32)>, ShaderError> {
                 b'!' => Tok::Bang,
                 b'?' => Tok::Question,
                 b':' => Tok::Colon,
-                other => return Err(ShaderError::lex(line, format!("unexpected character `{}`", other as char))),
+                other => {
+                    return Err(ShaderError::lex(
+                        line,
+                        format!("unexpected character `{}`", other as char),
+                    ))
+                }
             };
             (t, 1)
         };
@@ -282,10 +291,27 @@ pub struct Unit {
 /// Parsed statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PStmt {
-    Decl { ty: GlslType, name: String, init: Option<PExpr> },
-    Assign { target: PExpr, op: char, value: PExpr },
-    If { cond: PExpr, then_body: Vec<PStmt>, else_body: Vec<PStmt> },
-    For { init: Box<PStmt>, cond: PExpr, step: Box<PStmt>, body: Vec<PStmt> },
+    Decl {
+        ty: GlslType,
+        name: String,
+        init: Option<PExpr>,
+    },
+    Assign {
+        target: PExpr,
+        op: char,
+        value: PExpr,
+    },
+    If {
+        cond: PExpr,
+        then_body: Vec<PStmt>,
+        else_body: Vec<PStmt>,
+    },
+    For {
+        init: Box<PStmt>,
+        cond: PExpr,
+        step: Box<PStmt>,
+        body: Vec<PStmt>,
+    },
     Return(Option<PExpr>),
     Expr(PExpr),
     Block(Vec<PStmt>),
@@ -311,7 +337,11 @@ pub enum PExpr {
 /// Returns [`ShaderError::Parse`] describing the first syntax error.
 pub fn parse(src: &str) -> Result<Unit, ShaderError> {
     let toks = lex(src)?;
-    let mut p = P { toks, pos: 0, expr_depth: 0 };
+    let mut p = P {
+        toks,
+        pos: 0,
+        expr_depth: 0,
+    };
     p.unit()
 }
 
@@ -354,21 +384,30 @@ impl P {
         if self.eat(t) {
             Ok(())
         } else {
-            Err(ShaderError::parse(self.line(), format!("expected {t}, found {}", self.peek())))
+            Err(ShaderError::parse(
+                self.line(),
+                format!("expected {t}, found {}", self.peek()),
+            ))
         }
     }
 
     fn ident(&mut self) -> Result<String, ShaderError> {
         match self.bump() {
             Tok::Ident(s) => Ok(s),
-            other => Err(ShaderError::parse(self.line(), format!("expected identifier, found {other}"))),
+            other => Err(ShaderError::parse(
+                self.line(),
+                format!("expected identifier, found {other}"),
+            )),
         }
     }
 
     fn ty(&mut self) -> Result<GlslType, ShaderError> {
         match self.bump() {
             Tok::Type(t) => Ok(t),
-            other => Err(ShaderError::parse(self.line(), format!("expected type, found {other}"))),
+            other => Err(ShaderError::parse(
+                self.line(),
+                format!("expected type, found {other}"),
+            )),
         }
     }
 
@@ -392,9 +431,16 @@ impl P {
                     };
                     let ty = self.ty()?;
                     let name = self.ident()?;
-                    let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+                    let init = if self.eat(&Tok::Assign) {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
                     if kind == GlobalKind::Const && init.is_none() {
-                        return Err(ShaderError::parse(self.line(), "const globals need an initializer"));
+                        return Err(ShaderError::parse(
+                            self.line(),
+                            "const globals need an initializer",
+                        ));
                     }
                     self.expect(&Tok::Semi)?;
                     unit.globals.push(Global { kind, ty, name, init });
@@ -416,10 +462,18 @@ impl P {
                         self.expect(&Tok::RParen)?;
                     }
                     let body = self.block()?;
-                    unit.functions.push(PFunction { return_ty, name, params, body });
+                    unit.functions.push(PFunction {
+                        return_ty,
+                        name,
+                        params,
+                        body,
+                    });
                 }
                 other => {
-                    return Err(ShaderError::parse(self.line(), format!("unexpected token at top level: {other}")));
+                    return Err(ShaderError::parse(
+                        self.line(),
+                        format!("unexpected token at top level: {other}"),
+                    ));
                 }
             }
         }
@@ -459,7 +513,11 @@ impl P {
                 } else {
                     Vec::new()
                 };
-                Ok(PStmt::If { cond, then_body, else_body })
+                Ok(PStmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                })
             }
             Tok::For => {
                 self.bump();
@@ -471,17 +529,27 @@ impl P {
                 let step = Box::new(self.simple_stmt()?);
                 self.expect(&Tok::RParen)?;
                 let body = self.block_or_single()?;
-                Ok(PStmt::For { init, cond, step, body })
+                Ok(PStmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
             }
             Tok::Return => {
                 self.bump();
-                let v = if matches!(self.peek(), Tok::Semi) { None } else { Some(self.expr()?) };
+                let v = if matches!(self.peek(), Tok::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&Tok::Semi)?;
                 Ok(PStmt::Return(v))
             }
-            Tok::Discard => {
-                Err(ShaderError::parse(self.line(), "`discard` is not supported by the GPGPU subset"))
-            }
+            Tok::Discard => Err(ShaderError::parse(
+                self.line(),
+                "`discard` is not supported by the GPGPU subset",
+            )),
             _ => {
                 let s = self.simple_stmt()?;
                 self.expect(&Tok::Semi)?;
@@ -502,7 +570,11 @@ impl P {
         if let Tok::Type(_) = self.peek() {
             let ty = self.ty()?;
             let name = self.ident()?;
-            let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+            let init = if self.eat(&Tok::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
             return Ok(PStmt::Decl { ty, name, init });
         }
         let lhs = self.expr()?;
@@ -517,12 +589,20 @@ impl P {
         if let Some(op) = op {
             self.bump();
             let value = self.expr()?;
-            return Ok(PStmt::Assign { target: lhs, op, value });
+            return Ok(PStmt::Assign {
+                target: lhs,
+                op,
+                value,
+            });
         }
         if matches!(self.peek(), Tok::PlusPlus | Tok::MinusMinus) {
             let inc = matches!(self.bump(), Tok::PlusPlus);
             let one = PExpr::Int(1);
-            return Ok(PStmt::Assign { target: lhs, op: if inc { '+' } else { '-' }, value: one });
+            return Ok(PStmt::Assign {
+                target: lhs,
+                op: if inc { '+' } else { '-' },
+                value: one,
+            });
         }
         Ok(PStmt::Expr(lhs))
     }
@@ -611,8 +691,18 @@ impl P {
         let mut e = self.primary_expr()?;
         while self.eat(&Tok::Dot) {
             let name = self.ident()?;
-            if name.len() > 4 || !name.bytes().all(|c| matches!(c, b'x' | b'y' | b'z' | b'w' | b'r' | b'g' | b'b' | b'a' | b's' | b't' | b'p' | b'q')) {
-                return Err(ShaderError::parse(self.line(), format!("invalid swizzle `.{name}`")));
+            if name.len() > 4
+                || !name.bytes().all(|c| {
+                    matches!(
+                        c,
+                        b'x' | b'y' | b'z' | b'w' | b'r' | b'g' | b'b' | b'a' | b's' | b't' | b'p' | b'q'
+                    )
+                })
+            {
+                return Err(ShaderError::parse(
+                    self.line(),
+                    format!("invalid swizzle `.{name}`"),
+                ));
             }
             let normalized: String = name
                 .bytes()
@@ -670,7 +760,10 @@ impl P {
                     Ok(PExpr::Var(name))
                 }
             }
-            other => Err(ShaderError::parse(self.line(), format!("expected expression, found {other}"))),
+            other => Err(ShaderError::parse(
+                self.line(),
+                format!("expected expression, found {other}"),
+            )),
         }
     }
 }
@@ -731,8 +824,10 @@ mod tests {
 
     #[test]
     fn precision_qualifiers_ignored() {
-        parse("precision highp float; uniform highp vec2 d; void main() { gl_FragColor = vec4(d, 0.0, 0.0); }")
-            .unwrap();
+        parse(
+            "precision highp float; uniform highp vec2 d; void main() { gl_FragColor = vec4(d, 0.0, 0.0); }",
+        )
+        .unwrap();
     }
 
     #[test]
@@ -740,7 +835,9 @@ mod tests {
         let u = parse("void main() { vec4 c = vec4(1.0); gl_FragColor = vec4(c.rgb, c.a); }").unwrap();
         // .rgb normalized to .xyz
         let f = &u.functions[0];
-        let PStmt::Assign { value, .. } = &f.body[1] else { panic!() };
+        let PStmt::Assign { value, .. } = &f.body[1] else {
+            panic!()
+        };
         let PExpr::Call(_, args) = value else { panic!() };
         assert!(matches!(&args[0], PExpr::Swizzle(_, s) if s == "xyz"));
         assert!(matches!(&args[1], PExpr::Swizzle(_, s) if s == "w"));

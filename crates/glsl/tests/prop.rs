@@ -105,7 +105,11 @@ fn cost_is_deterministic() {
          }",
     )
     .expect("compile");
-    let env = FragmentEnv { uniforms: &[], varyings: &[Value::Vec2([0.3, 0.7])], sample: &no_tex };
+    let env = FragmentEnv {
+        uniforms: &[],
+        varyings: &[Value::Vec2([0.3, 0.7])],
+        sample: &no_tex,
+    };
     let (o1, c1) = run_fragment(&shader, &env).expect("run");
     let (o2, c2) = run_fragment(&shader, &env).expect("run");
     assert_eq!(o1, o2);

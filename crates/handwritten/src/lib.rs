@@ -35,7 +35,10 @@ pub fn shader_source(n: usize) -> String {
 /// (used by the tile ablation bench; the paper reports results "for the
 /// optimal tile size for each version").
 pub fn shader_source_with_tile(n: usize, tile: usize) -> String {
-    assert!(tile >= 1 && n.is_multiple_of(tile), "n must be a multiple of the tile factor");
+    assert!(
+        tile >= 1 && n.is_multiple_of(tile),
+        "n must be a multiple of the tile factor"
+    );
     let outer = n / tile;
     let mut body = String::new();
     for _ in 0..tile {
@@ -86,7 +89,13 @@ pub struct HandwrittenRun {
 /// # Panics
 /// Panics if `a`/`b` are not `n * n` long or `n` is not a multiple of
 /// [`TILE`].
-pub fn sgemm(a: &[f32], b: &[f32], n: usize, profile: DeviceProfile, mode: DrawMode) -> Result<HandwrittenRun, GlError> {
+pub fn sgemm(
+    a: &[f32],
+    b: &[f32],
+    n: usize,
+    profile: DeviceProfile,
+    mode: DrawMode,
+) -> Result<HandwrittenRun, GlError> {
     sgemm_with_tile(a, b, n, profile, mode, TILE)
 }
 
@@ -208,6 +217,10 @@ mod tests {
 
     #[test]
     fn loc_is_order_of_magnitude_above_brook_kernel() {
-        assert!(loc() > 100, "hand-written implementation should be sizeable, got {}", loc());
+        assert!(
+            loc() > 100,
+            "hand-written implementation should be sizeable, got {}",
+            loc()
+        );
     }
 }

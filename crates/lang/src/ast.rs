@@ -35,17 +35,35 @@ pub struct Type {
 
 impl Type {
     /// Scalar `float`.
-    pub const FLOAT: Type = Type { scalar: ScalarKind::Float, width: 1 };
+    pub const FLOAT: Type = Type {
+        scalar: ScalarKind::Float,
+        width: 1,
+    };
     /// `float2`.
-    pub const FLOAT2: Type = Type { scalar: ScalarKind::Float, width: 2 };
+    pub const FLOAT2: Type = Type {
+        scalar: ScalarKind::Float,
+        width: 2,
+    };
     /// `float3`.
-    pub const FLOAT3: Type = Type { scalar: ScalarKind::Float, width: 3 };
+    pub const FLOAT3: Type = Type {
+        scalar: ScalarKind::Float,
+        width: 3,
+    };
     /// `float4`.
-    pub const FLOAT4: Type = Type { scalar: ScalarKind::Float, width: 4 };
+    pub const FLOAT4: Type = Type {
+        scalar: ScalarKind::Float,
+        width: 4,
+    };
     /// Scalar `int`.
-    pub const INT: Type = Type { scalar: ScalarKind::Int, width: 1 };
+    pub const INT: Type = Type {
+        scalar: ScalarKind::Int,
+        width: 1,
+    };
     /// Scalar `bool`.
-    pub const BOOL: Type = Type { scalar: ScalarKind::Bool, width: 1 };
+    pub const BOOL: Type = Type {
+        scalar: ScalarKind::Bool,
+        width: 1,
+    };
 
     /// Float type of the given width.
     ///
@@ -53,7 +71,10 @@ impl Type {
     /// Panics if `width` is not in `1..=4`.
     pub fn float(width: u8) -> Type {
         assert!((1..=4).contains(&width), "vector width {width} out of range");
-        Type { scalar: ScalarKind::Float, width }
+        Type {
+            scalar: ScalarKind::Float,
+            width,
+        }
     }
 
     /// True for `float`..`float4`.
@@ -99,7 +120,10 @@ pub enum ParamKind {
 impl ParamKind {
     /// True for parameters the kernel may read.
     pub fn is_input(&self) -> bool {
-        matches!(self, ParamKind::Stream | ParamKind::Gather { .. } | ParamKind::Scalar)
+        matches!(
+            self,
+            ParamKind::Stream | ParamKind::Gather { .. } | ParamKind::Scalar
+        )
     }
 
     /// True for parameters the kernel writes.
@@ -145,7 +169,9 @@ impl KernelDef {
 
     /// Input stream and gather parameters in declaration order.
     pub fn stream_inputs(&self) -> impl Iterator<Item = &Param> {
-        self.params.iter().filter(|p| matches!(p.kind, ParamKind::Stream | ParamKind::Gather { .. }))
+        self.params
+            .iter()
+            .filter(|p| matches!(p.kind, ParamKind::Stream | ParamKind::Gather { .. }))
     }
 }
 
@@ -262,27 +288,13 @@ pub enum Stmt {
         span: Span,
     },
     /// `while` loop (rejected by certification rule BA003 unless bounded).
-    While {
-        cond: Expr,
-        body: Block,
-        span: Span,
-    },
+    While { cond: Expr, body: Block, span: Span },
     /// `do {..} while (cond);`.
-    DoWhile {
-        body: Block,
-        cond: Expr,
-        span: Span,
-    },
+    DoWhile { body: Block, cond: Expr, span: Span },
     /// `return e;` — helper functions only.
-    Return {
-        value: Option<Expr>,
-        span: Span,
-    },
+    Return { value: Option<Expr>, span: Span },
     /// Bare expression statement (function call for effect).
-    Expr {
-        expr: Expr,
-        span: Span,
-    },
+    Expr { expr: Expr, span: Span },
     /// Nested block.
     Block(Block),
 }
@@ -325,7 +337,10 @@ pub enum BinOp {
 impl BinOp {
     /// True for operators producing `bool`.
     pub fn is_comparison(&self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
 
     /// True for `&&` / `||`.
@@ -391,10 +406,7 @@ pub enum ExprKind {
         rhs: Box<Expr>,
     },
     /// Unary operation.
-    Unary {
-        op: UnOp,
-        operand: Box<Expr>,
-    },
+    Unary { op: UnOp, operand: Box<Expr> },
     /// `cond ? a : b`.
     Ternary {
         cond: Box<Expr>,
@@ -403,15 +415,9 @@ pub enum ExprKind {
     },
     /// Call of a builtin, a vector constructor (`float4(..)`) or a helper
     /// function.
-    Call {
-        callee: String,
-        args: Vec<Expr>,
-    },
+    Call { callee: String, args: Vec<Expr> },
     /// Gather access `a[i]` / `a[i][j]`; one index expression per rank.
-    Index {
-        base: Box<Expr>,
-        indices: Vec<Expr>,
-    },
+    Index { base: Box<Expr>, indices: Vec<Expr> },
     /// Component access/swizzle, e.g. `v.x`, `v.xyz`.
     Swizzle {
         base: Box<Expr>,
@@ -420,9 +426,7 @@ pub enum ExprKind {
         components: String,
     },
     /// `indexof(stream)` — index of the current element (paper §5.2).
-    Indexof {
-        stream: String,
-    },
+    Indexof { stream: String },
 }
 
 impl Expr {
@@ -465,13 +469,24 @@ mod tests {
 
     #[test]
     fn lvalue_recognition() {
-        let var = Expr { id: 0, kind: ExprKind::Var("x".into()), span: Span::synthetic() };
+        let var = Expr {
+            id: 0,
+            kind: ExprKind::Var("x".into()),
+            span: Span::synthetic(),
+        };
         assert!(var.is_lvalue());
-        let lit = Expr { id: 1, kind: ExprKind::FloatLit(1.0), span: Span::synthetic() };
+        let lit = Expr {
+            id: 1,
+            kind: ExprKind::FloatLit(1.0),
+            span: Span::synthetic(),
+        };
         assert!(!lit.is_lvalue());
         let sw = Expr {
             id: 2,
-            kind: ExprKind::Swizzle { base: Box::new(var), components: "xy".into() },
+            kind: ExprKind::Swizzle {
+                base: Box::new(var),
+                components: "xy".into(),
+            },
             span: Span::synthetic(),
         };
         assert!(sw.is_lvalue());

@@ -41,35 +41,180 @@ pub struct Builtin {
 /// Names follow Brook/HLSL conventions (`lerp`, `rsqrt`, `saturate`,
 /// `fmod`) with GLSL translations recorded per entry.
 pub const BUILTINS: &[Builtin] = &[
-    Builtin { name: "sin", sig: BuiltinSig::MapUnary, glsl_name: "sin", cost: 4 },
-    Builtin { name: "cos", sig: BuiltinSig::MapUnary, glsl_name: "cos", cost: 4 },
-    Builtin { name: "tan", sig: BuiltinSig::MapUnary, glsl_name: "tan", cost: 6 },
-    Builtin { name: "exp", sig: BuiltinSig::MapUnary, glsl_name: "exp", cost: 4 },
-    Builtin { name: "exp2", sig: BuiltinSig::MapUnary, glsl_name: "exp2", cost: 4 },
-    Builtin { name: "log", sig: BuiltinSig::MapUnary, glsl_name: "log", cost: 4 },
-    Builtin { name: "log2", sig: BuiltinSig::MapUnary, glsl_name: "log2", cost: 4 },
-    Builtin { name: "sqrt", sig: BuiltinSig::MapUnary, glsl_name: "sqrt", cost: 4 },
-    Builtin { name: "rsqrt", sig: BuiltinSig::MapUnary, glsl_name: "inversesqrt", cost: 4 },
-    Builtin { name: "abs", sig: BuiltinSig::MapUnary, glsl_name: "abs", cost: 1 },
-    Builtin { name: "floor", sig: BuiltinSig::MapUnary, glsl_name: "floor", cost: 1 },
-    Builtin { name: "ceil", sig: BuiltinSig::MapUnary, glsl_name: "ceil", cost: 1 },
-    Builtin { name: "fract", sig: BuiltinSig::MapUnary, glsl_name: "fract", cost: 1 },
-    Builtin { name: "round", sig: BuiltinSig::MapUnary, glsl_name: "floor", cost: 2 },
-    Builtin { name: "sign", sig: BuiltinSig::MapUnary, glsl_name: "sign", cost: 1 },
-    Builtin { name: "saturate", sig: BuiltinSig::MapUnary, glsl_name: "clamp", cost: 1 },
-    Builtin { name: "normalize", sig: BuiltinSig::MapUnary, glsl_name: "normalize", cost: 6 },
-    Builtin { name: "min", sig: BuiltinSig::MapBinary, glsl_name: "min", cost: 1 },
-    Builtin { name: "max", sig: BuiltinSig::MapBinary, glsl_name: "max", cost: 1 },
-    Builtin { name: "pow", sig: BuiltinSig::MapBinary, glsl_name: "pow", cost: 6 },
-    Builtin { name: "fmod", sig: BuiltinSig::MapBinary, glsl_name: "mod", cost: 2 },
-    Builtin { name: "step", sig: BuiltinSig::MapBinary, glsl_name: "step", cost: 1 },
-    Builtin { name: "atan2", sig: BuiltinSig::MapBinary, glsl_name: "atan", cost: 8 },
-    Builtin { name: "clamp", sig: BuiltinSig::MapTernary, glsl_name: "clamp", cost: 1 },
-    Builtin { name: "lerp", sig: BuiltinSig::MapTernary, glsl_name: "mix", cost: 2 },
-    Builtin { name: "smoothstep", sig: BuiltinSig::MapTernary, glsl_name: "smoothstep", cost: 3 },
-    Builtin { name: "dot", sig: BuiltinSig::DotLike, glsl_name: "dot", cost: 2 },
-    Builtin { name: "distance", sig: BuiltinSig::DotLike, glsl_name: "distance", cost: 6 },
-    Builtin { name: "length", sig: BuiltinSig::LengthLike, glsl_name: "length", cost: 5 },
+    Builtin {
+        name: "sin",
+        sig: BuiltinSig::MapUnary,
+        glsl_name: "sin",
+        cost: 4,
+    },
+    Builtin {
+        name: "cos",
+        sig: BuiltinSig::MapUnary,
+        glsl_name: "cos",
+        cost: 4,
+    },
+    Builtin {
+        name: "tan",
+        sig: BuiltinSig::MapUnary,
+        glsl_name: "tan",
+        cost: 6,
+    },
+    Builtin {
+        name: "exp",
+        sig: BuiltinSig::MapUnary,
+        glsl_name: "exp",
+        cost: 4,
+    },
+    Builtin {
+        name: "exp2",
+        sig: BuiltinSig::MapUnary,
+        glsl_name: "exp2",
+        cost: 4,
+    },
+    Builtin {
+        name: "log",
+        sig: BuiltinSig::MapUnary,
+        glsl_name: "log",
+        cost: 4,
+    },
+    Builtin {
+        name: "log2",
+        sig: BuiltinSig::MapUnary,
+        glsl_name: "log2",
+        cost: 4,
+    },
+    Builtin {
+        name: "sqrt",
+        sig: BuiltinSig::MapUnary,
+        glsl_name: "sqrt",
+        cost: 4,
+    },
+    Builtin {
+        name: "rsqrt",
+        sig: BuiltinSig::MapUnary,
+        glsl_name: "inversesqrt",
+        cost: 4,
+    },
+    Builtin {
+        name: "abs",
+        sig: BuiltinSig::MapUnary,
+        glsl_name: "abs",
+        cost: 1,
+    },
+    Builtin {
+        name: "floor",
+        sig: BuiltinSig::MapUnary,
+        glsl_name: "floor",
+        cost: 1,
+    },
+    Builtin {
+        name: "ceil",
+        sig: BuiltinSig::MapUnary,
+        glsl_name: "ceil",
+        cost: 1,
+    },
+    Builtin {
+        name: "fract",
+        sig: BuiltinSig::MapUnary,
+        glsl_name: "fract",
+        cost: 1,
+    },
+    Builtin {
+        name: "round",
+        sig: BuiltinSig::MapUnary,
+        glsl_name: "floor",
+        cost: 2,
+    },
+    Builtin {
+        name: "sign",
+        sig: BuiltinSig::MapUnary,
+        glsl_name: "sign",
+        cost: 1,
+    },
+    Builtin {
+        name: "saturate",
+        sig: BuiltinSig::MapUnary,
+        glsl_name: "clamp",
+        cost: 1,
+    },
+    Builtin {
+        name: "normalize",
+        sig: BuiltinSig::MapUnary,
+        glsl_name: "normalize",
+        cost: 6,
+    },
+    Builtin {
+        name: "min",
+        sig: BuiltinSig::MapBinary,
+        glsl_name: "min",
+        cost: 1,
+    },
+    Builtin {
+        name: "max",
+        sig: BuiltinSig::MapBinary,
+        glsl_name: "max",
+        cost: 1,
+    },
+    Builtin {
+        name: "pow",
+        sig: BuiltinSig::MapBinary,
+        glsl_name: "pow",
+        cost: 6,
+    },
+    Builtin {
+        name: "fmod",
+        sig: BuiltinSig::MapBinary,
+        glsl_name: "mod",
+        cost: 2,
+    },
+    Builtin {
+        name: "step",
+        sig: BuiltinSig::MapBinary,
+        glsl_name: "step",
+        cost: 1,
+    },
+    Builtin {
+        name: "atan2",
+        sig: BuiltinSig::MapBinary,
+        glsl_name: "atan",
+        cost: 8,
+    },
+    Builtin {
+        name: "clamp",
+        sig: BuiltinSig::MapTernary,
+        glsl_name: "clamp",
+        cost: 1,
+    },
+    Builtin {
+        name: "lerp",
+        sig: BuiltinSig::MapTernary,
+        glsl_name: "mix",
+        cost: 2,
+    },
+    Builtin {
+        name: "smoothstep",
+        sig: BuiltinSig::MapTernary,
+        glsl_name: "smoothstep",
+        cost: 3,
+    },
+    Builtin {
+        name: "dot",
+        sig: BuiltinSig::DotLike,
+        glsl_name: "dot",
+        cost: 2,
+    },
+    Builtin {
+        name: "distance",
+        sig: BuiltinSig::DotLike,
+        glsl_name: "distance",
+        cost: 6,
+    },
+    Builtin {
+        name: "length",
+        sig: BuiltinSig::LengthLike,
+        glsl_name: "length",
+        cost: 5,
+    },
 ];
 
 /// Looks up a builtin by Brook name.

@@ -46,23 +46,42 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Creates an error diagnostic.
     pub fn error(code: &str, message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { severity: Severity::Error, code: code.to_owned(), message: message.into(), span }
+        Diagnostic {
+            severity: Severity::Error,
+            code: code.to_owned(),
+            message: message.into(),
+            span,
+        }
     }
 
     /// Creates a warning diagnostic.
     pub fn warning(code: &str, message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { severity: Severity::Warning, code: code.to_owned(), message: message.into(), span }
+        Diagnostic {
+            severity: Severity::Warning,
+            code: code.to_owned(),
+            message: message.into(),
+            span,
+        }
     }
 
     /// Creates a note diagnostic.
     pub fn note(code: &str, message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { severity: Severity::Note, code: code.to_owned(), message: message.into(), span }
+        Diagnostic {
+            severity: Severity::Note,
+            code: code.to_owned(),
+            message: message.into(),
+            span,
+        }
     }
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {} [{}] at {}", self.severity, self.message, self.code, self.span)
+        write!(
+            f,
+            "{}: {} [{}] at {}",
+            self.severity, self.message, self.code, self.span
+        )
     }
 }
 
@@ -94,7 +113,11 @@ impl CompileError {
 
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let errors = self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count();
+        let errors = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
         write!(f, "{errors} error(s)")?;
         if let Some(first) = self.first_error() {
             write!(f, "; first: {first}")?;

@@ -34,7 +34,15 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1, tokens: Vec::new(), diags: Vec::new() }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+            diags: Vec::new(),
+        }
     }
 
     fn run(mut self) -> (Vec<Token>, Vec<Diagnostic>) {
@@ -58,7 +66,10 @@ impl<'a> Lexer<'a> {
             }
         }
         let eof = Span::new(self.pos, self.pos, self.line, self.col);
-        self.tokens.push(Token { kind: TokenKind::Eof, span: eof });
+        self.tokens.push(Token {
+            kind: TokenKind::Eof,
+            span: eof,
+        });
         (self.tokens, self.diags)
     }
 
@@ -309,7 +320,12 @@ mod tests {
         let (toks, diags) = lex("a @ b");
         assert_eq!(diags[0].code, "L001");
         // Lexing continues after the bad character.
-        assert_eq!(toks.iter().filter(|t| matches!(t.kind, TokenKind::Ident(_))).count(), 2);
+        assert_eq!(
+            toks.iter()
+                .filter(|t| matches!(t.kind, TokenKind::Ident(_)))
+                .count(),
+            2
+        );
     }
 
     #[test]

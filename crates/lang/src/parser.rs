@@ -42,7 +42,13 @@ pub fn parse(src: &str) -> Result<Program, CompileError> {
 
 fn parse_on_current_stack(src: &str) -> Result<Program, CompileError> {
     let (tokens, mut diags) = lex(src);
-    let mut parser = Parser { tokens, pos: 0, diags: Vec::new(), next_id: 0, expr_depth: 0 };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        diags: Vec::new(),
+        next_id: 0,
+        expr_depth: 0,
+    };
     let program = parser.program();
     diags.extend(parser.diags);
     if diags.iter().any(|d| d.severity == crate::diag::Severity::Error) {
@@ -124,7 +130,11 @@ impl Parser {
     }
 
     fn expr_node(&mut self, kind: ExprKind, span: Span) -> Expr {
-        Expr { id: self.fresh_id(), kind, span }
+        Expr {
+            id: self.fresh_id(),
+            kind,
+            span,
+        }
     }
 
     /// Skips tokens until a likely item boundary, for error recovery.
@@ -167,7 +177,10 @@ impl Parser {
                 }
             }
         }
-        Program { items, next_node_id: self.next_id }
+        Program {
+            items,
+            next_node_id: self.next_id,
+        }
     }
 
     fn item(&mut self) -> Option<Item> {
@@ -185,7 +198,11 @@ impl Parser {
             return Some(Item::Kernel(kernel));
         }
         // Helper function: `<type|void> name(params) { ... }`.
-        let return_ty = if self.eat_kw(Keyword::Void) { None } else { Some(self.parse_type()?) };
+        let return_ty = if self.eat_kw(Keyword::Void) {
+            None
+        } else {
+            Some(self.parse_type()?)
+        };
         let name = self.ident()?;
         self.expect(&TokenKind::LParen);
         let mut params = Vec::new();
@@ -202,7 +219,13 @@ impl Parser {
         }
         let body = self.block()?;
         let span = start.merge(self.prev_span());
-        Some(Item::Function(FunctionDef { name, return_ty, params, body, span }))
+        Some(Item::Function(FunctionDef {
+            name,
+            return_ty,
+            params,
+            body,
+            span,
+        }))
     }
 
     fn kernel_def(&mut self, is_reduce: bool, start: Span) -> Option<KernelDef> {
@@ -220,7 +243,13 @@ impl Parser {
         }
         let body = self.block()?;
         let span = start.merge(self.prev_span());
-        Some(KernelDef { name, is_reduce, params, body, span })
+        Some(KernelDef {
+            name,
+            is_reduce,
+            params,
+            body,
+            span,
+        })
     }
 
     fn param(&mut self) -> Option<Param> {
@@ -230,7 +259,10 @@ impl Parser {
         self.eat_kw(Keyword::Const);
         let ty = self.parse_type()?;
         if self.eat(&TokenKind::Star) {
-            self.error("BA001", "pointer parameters are forbidden in Brook Auto (ISO 26262 restricted pointer use)");
+            self.error(
+                "BA001",
+                "pointer parameters are forbidden in Brook Auto (ISO 26262 restricted pointer use)",
+            );
             return None;
         }
         let name = self.ident()?;
@@ -319,7 +351,10 @@ impl Parser {
                     if self.pos == before {
                         self.bump();
                     }
-                    while !matches!(self.peek(), TokenKind::Semicolon | TokenKind::RBrace | TokenKind::Eof) {
+                    while !matches!(
+                        self.peek(),
+                        TokenKind::Semicolon | TokenKind::RBrace | TokenKind::Eof
+                    ) {
                         self.bump();
                     }
                     self.eat(&TokenKind::Semicolon);
@@ -327,7 +362,10 @@ impl Parser {
             }
         }
         self.expect(&TokenKind::RBrace);
-        Some(Block { stmts, span: start.merge(self.prev_span()) })
+        Some(Block {
+            stmts,
+            span: start.merge(self.prev_span()),
+        })
     }
 
     fn stmt(&mut self) -> Option<Stmt> {
@@ -349,14 +387,22 @@ impl Parser {
                         // `else if` chains become a single-statement block.
                         let nested = self.stmt()?;
                         let span = nested.span();
-                        Some(Block { stmts: vec![nested], span })
+                        Some(Block {
+                            stmts: vec![nested],
+                            span,
+                        })
                     } else {
                         Some(self.block_or_single()?)
                     }
                 } else {
                     None
                 };
-                Some(Stmt::If { cond, then_block, else_block, span: start.merge(self.prev_span()) })
+                Some(Stmt::If {
+                    cond,
+                    then_block,
+                    else_block,
+                    span: start.merge(self.prev_span()),
+                })
             }
             TokenKind::Keyword(Keyword::For) => {
                 self.bump();
@@ -368,7 +414,11 @@ impl Parser {
                     self.expect(&TokenKind::Semicolon);
                     Some(Box::new(s))
                 };
-                let cond = if matches!(self.peek(), TokenKind::Semicolon) { None } else { Some(self.expr()?) };
+                let cond = if matches!(self.peek(), TokenKind::Semicolon) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&TokenKind::Semicolon);
                 let step = if matches!(self.peek(), TokenKind::RParen) {
                     None
@@ -377,7 +427,13 @@ impl Parser {
                 };
                 self.expect(&TokenKind::RParen);
                 let body = self.block_or_single()?;
-                Some(Stmt::For { init, cond, step, body, span: start.merge(self.prev_span()) })
+                Some(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    span: start.merge(self.prev_span()),
+                })
             }
             TokenKind::Keyword(Keyword::While) => {
                 self.bump();
@@ -385,7 +441,11 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(&TokenKind::RParen);
                 let body = self.block_or_single()?;
-                Some(Stmt::While { cond, body, span: start.merge(self.prev_span()) })
+                Some(Stmt::While {
+                    cond,
+                    body,
+                    span: start.merge(self.prev_span()),
+                })
             }
             TokenKind::Keyword(Keyword::Do) => {
                 self.bump();
@@ -398,13 +458,24 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(&TokenKind::RParen);
                 self.expect(&TokenKind::Semicolon);
-                Some(Stmt::DoWhile { body, cond, span: start.merge(self.prev_span()) })
+                Some(Stmt::DoWhile {
+                    body,
+                    cond,
+                    span: start.merge(self.prev_span()),
+                })
             }
             TokenKind::Keyword(Keyword::Return) => {
                 self.bump();
-                let value = if matches!(self.peek(), TokenKind::Semicolon) { None } else { Some(self.expr()?) };
+                let value = if matches!(self.peek(), TokenKind::Semicolon) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&TokenKind::Semicolon);
-                Some(Stmt::Return { value, span: start.merge(self.prev_span()) })
+                Some(Stmt::Return {
+                    value,
+                    span: start.merge(self.prev_span()),
+                })
             }
             _ => {
                 let s = self.simple_stmt()?;
@@ -444,7 +515,10 @@ impl Parser {
             self.eat_kw(Keyword::Const);
             let ty = self.parse_type()?;
             if self.eat(&TokenKind::Star) {
-                self.error("BA001", "pointer declarations are forbidden in Brook Auto (ISO 26262 restricted pointer use)");
+                self.error(
+                    "BA001",
+                    "pointer declarations are forbidden in Brook Auto (ISO 26262 restricted pointer use)",
+                );
                 return None;
             }
             let name = self.ident()?;
@@ -455,8 +529,17 @@ impl Parser {
                 );
                 return None;
             }
-            let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
-            return Some(Stmt::Decl { name, ty, init, span: start.merge(self.prev_span()) });
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Some(Stmt::Decl {
+                name,
+                ty,
+                init,
+                span: start.merge(self.prev_span()),
+            });
         }
         // Assignment / inc-dec / expression.
         let lhs = self.expr()?;
@@ -474,7 +557,12 @@ impl Parser {
             if !lhs.is_lvalue() {
                 self.error("P008", "left-hand side of assignment is not assignable");
             }
-            return Some(Stmt::Assign { target: lhs, op, value, span: start.merge(self.prev_span()) });
+            return Some(Stmt::Assign {
+                target: lhs,
+                op,
+                value,
+                span: start.merge(self.prev_span()),
+            });
         }
         if matches!(self.peek(), TokenKind::PlusPlus | TokenKind::MinusMinus) {
             let inc = matches!(self.bump(), TokenKind::PlusPlus);
@@ -483,17 +571,32 @@ impl Parser {
             }
             let span = start.merge(self.prev_span());
             let one = self.expr_node(ExprKind::IntLit(1), span);
-            let op = if inc { AssignOp::AddAssign } else { AssignOp::SubAssign };
-            return Some(Stmt::Assign { target: lhs, op, value: one, span });
+            let op = if inc {
+                AssignOp::AddAssign
+            } else {
+                AssignOp::SubAssign
+            };
+            return Some(Stmt::Assign {
+                target: lhs,
+                op,
+                value: one,
+                span,
+            });
         }
-        Some(Stmt::Expr { span: start.merge(lhs.span), expr: lhs })
+        Some(Stmt::Expr {
+            span: start.merge(lhs.span),
+            expr: lhs,
+        })
     }
 
     // ---- expressions --------------------------------------------------
 
     fn expr(&mut self) -> Option<Expr> {
         if self.expr_depth >= MAX_EXPR_DEPTH {
-            self.error("P011", format!("expression nesting exceeds the depth limit {MAX_EXPR_DEPTH}"));
+            self.error(
+                "P011",
+                format!("expression nesting exceeds the depth limit {MAX_EXPR_DEPTH}"),
+            );
             return None;
         }
         self.expr_depth += 1;
@@ -534,7 +637,11 @@ impl Parser {
                     let rhs = next(self)?;
                     let span = lhs.span.merge(rhs.span);
                     lhs = self.expr_node(
-                        ExprKind::Binary { op: *op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                        ExprKind::Binary {
+                            op: *op,
+                            lhs: Box::new(lhs),
+                            rhs: Box::new(rhs),
+                        },
                         span,
                     );
                     continue 'outer;
@@ -553,7 +660,10 @@ impl Parser {
     }
 
     fn equality(&mut self) -> Option<Expr> {
-        self.binary_level(Self::relational, &[(TokenKind::EqEq, BinOp::Eq), (TokenKind::Ne, BinOp::Ne)])
+        self.binary_level(
+            Self::relational,
+            &[(TokenKind::EqEq, BinOp::Eq), (TokenKind::Ne, BinOp::Ne)],
+        )
     }
 
     fn relational(&mut self) -> Option<Expr> {
@@ -569,7 +679,10 @@ impl Parser {
     }
 
     fn additive(&mut self) -> Option<Expr> {
-        self.binary_level(Self::multiplicative, &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)])
+        self.binary_level(
+            Self::multiplicative,
+            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+        )
     }
 
     fn multiplicative(&mut self) -> Option<Expr> {
@@ -588,20 +701,38 @@ impl Parser {
         if self.eat(&TokenKind::Minus) {
             let operand = self.unary()?;
             let span = start.merge(operand.span);
-            return Some(self.expr_node(ExprKind::Unary { op: UnOp::Neg, operand: Box::new(operand) }, span));
+            return Some(self.expr_node(
+                ExprKind::Unary {
+                    op: UnOp::Neg,
+                    operand: Box::new(operand),
+                },
+                span,
+            ));
         }
         if self.eat(&TokenKind::Bang) {
             let operand = self.unary()?;
             let span = start.merge(operand.span);
-            return Some(self.expr_node(ExprKind::Unary { op: UnOp::Not, operand: Box::new(operand) }, span));
+            return Some(self.expr_node(
+                ExprKind::Unary {
+                    op: UnOp::Not,
+                    operand: Box::new(operand),
+                },
+                span,
+            ));
         }
         if self.eat(&TokenKind::Amp) {
-            self.error("BA001", "address-of is forbidden in Brook Auto (ISO 26262 restricted pointer use)");
+            self.error(
+                "BA001",
+                "address-of is forbidden in Brook Auto (ISO 26262 restricted pointer use)",
+            );
             return None;
         }
         if matches!(self.peek(), TokenKind::Star) && !matches!(self.peek_at(1), TokenKind::Eof) {
             // A leading `*` can only be a dereference attempt here.
-            self.error("BA001", "pointer dereference is forbidden in Brook Auto (ISO 26262 restricted pointer use)");
+            self.error(
+                "BA001",
+                "pointer dereference is forbidden in Brook Auto (ISO 26262 restricted pointer use)",
+            );
             return None;
         }
         self.postfix()
@@ -618,7 +749,13 @@ impl Parser {
                         self.expect(&TokenKind::RBracket);
                     }
                     let span = e.span.merge(self.prev_span());
-                    e = self.expr_node(ExprKind::Index { base: Box::new(e), indices }, span);
+                    e = self.expr_node(
+                        ExprKind::Index {
+                            base: Box::new(e),
+                            indices,
+                        },
+                        span,
+                    );
                 }
                 TokenKind::Dot => {
                     self.bump();
@@ -627,10 +764,19 @@ impl Parser {
                     match norm {
                         Some(components) => {
                             let span = e.span.merge(self.prev_span());
-                            e = self.expr_node(ExprKind::Swizzle { base: Box::new(e), components }, span);
+                            e = self.expr_node(
+                                ExprKind::Swizzle {
+                                    base: Box::new(e),
+                                    components,
+                                },
+                                span,
+                            );
                         }
                         None => {
-                            self.error("P009", format!("invalid swizzle `{name}` (components must be from xyzw/rgba)"));
+                            self.error(
+                                "P009",
+                                format!("invalid swizzle `{name}` (components must be from xyzw/rgba)"),
+                            );
                             return None;
                         }
                     }
@@ -667,7 +813,9 @@ impl Parser {
                 let span = start.merge(self.prev_span());
                 Some(self.expr_node(ExprKind::Indexof { stream }, span))
             }
-            TokenKind::Keyword(kw @ (Keyword::Float | Keyword::Float2 | Keyword::Float3 | Keyword::Float4 | Keyword::Int)) => {
+            TokenKind::Keyword(
+                kw @ (Keyword::Float | Keyword::Float2 | Keyword::Float3 | Keyword::Float4 | Keyword::Int),
+            ) => {
                 // Constructor / cast call: float2(a, b), float(x), int(x).
                 self.bump();
                 self.expect(&TokenKind::LParen);
@@ -682,7 +830,13 @@ impl Parser {
                     self.expect(&TokenKind::RParen);
                 }
                 let span = start.merge(self.prev_span());
-                Some(self.expr_node(ExprKind::Call { callee: kw.as_str().to_owned(), args }, span))
+                Some(self.expr_node(
+                    ExprKind::Call {
+                        callee: kw.as_str().to_owned(),
+                        args,
+                    },
+                    span,
+                ))
             }
             TokenKind::Ident(name) => {
                 self.bump();
@@ -868,7 +1022,9 @@ mod tests {
 
     #[test]
     fn increments_lower_to_assignments() {
-        let p = parse_ok("kernel void f(float a<>, out float o<>) { int i; i = 0; for (; i < 4; i++) { } o = a; }");
+        let p = parse_ok(
+            "kernel void f(float a<>, out float o<>) { int i; i = 0; for (; i < 4; i++) { } o = a; }",
+        );
         assert_eq!(p.kernels().count(), 1);
     }
 
@@ -876,7 +1032,9 @@ mod tests {
     fn error_recovery_continues_to_next_kernel() {
         // The first kernel is malformed; the parser should still report and
         // reach EOF without panicking.
-        let e = parse_err("kernel void f(float a<>) { o = ; } kernel void g(float a<>, out float o<>) { o = a; }");
+        let e = parse_err(
+            "kernel void f(float a<>) { o = ; } kernel void g(float a<>, out float o<>) { o = a; }",
+        );
         assert!(e.first_error().is_some());
     }
 

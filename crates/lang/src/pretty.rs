@@ -112,7 +112,9 @@ fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
             }
             out.push_str(";\n");
         }
-        Stmt::Assign { target, op, value, .. } => {
+        Stmt::Assign {
+            target, op, value, ..
+        } => {
             print_expr(out, target);
             out.push_str(match op {
                 AssignOp::Assign => " = ",
@@ -124,7 +126,12 @@ fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
             print_expr(out, value);
             out.push_str(";\n");
         }
-        Stmt::If { cond, then_block, else_block, .. } => {
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+            ..
+        } => {
             out.push_str("if (");
             print_expr(out, cond);
             out.push_str(") ");
@@ -135,7 +142,13 @@ fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
             }
             out.push('\n');
         }
-        Stmt::For { init, cond, step, body, .. } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
             out.push_str("for (");
             if let Some(i) = init {
                 print_inline_stmt(out, i);
@@ -232,7 +245,11 @@ fn print_expr(out: &mut String, e: &Expr) {
             print_expr(out, operand);
             out.push(')');
         }
-        ExprKind::Ternary { cond, then_expr, else_expr } => {
+        ExprKind::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
             out.push('(');
             print_expr(out, cond);
             out.push_str(" ? ");
@@ -321,7 +338,9 @@ mod tests {
 
     #[test]
     fn roundtrip_helper_function() {
-        roundtrip("float sq(float x) { return x * x; }\nkernel void f(float a<>, out float o<>) { o = sq(a); }");
+        roundtrip(
+            "float sq(float x) { return x * x; }\nkernel void f(float a<>, out float o<>) { o = sq(a); }",
+        );
     }
 
     #[test]

@@ -26,7 +26,12 @@ pub struct Span {
 impl Span {
     /// Creates a span covering `start..end` starting at `line:col`.
     pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
-        Span { start, end, line, col }
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
     }
 
     /// A zero-width placeholder span for synthesized nodes.
@@ -46,8 +51,17 @@ impl Span {
 
     /// Smallest span covering both `self` and `other`.
     pub fn merge(&self, other: Span) -> Span {
-        let (first, last) = if self.start <= other.start { (*self, other) } else { (other, *self) };
-        Span { start: first.start, end: first.end.max(last.end), line: first.line, col: first.col }
+        let (first, last) = if self.start <= other.start {
+            (*self, other)
+        } else {
+            (other, *self)
+        };
+        Span {
+            start: first.start,
+            end: first.end.max(last.end),
+            line: first.line,
+            col: first.col,
+        }
     }
 }
 

@@ -200,7 +200,13 @@ mod tests {
 
     #[test]
     fn keyword_roundtrip() {
-        for kw in [Keyword::Kernel, Keyword::Reduce, Keyword::Float4, Keyword::Indexof, Keyword::Goto] {
+        for kw in [
+            Keyword::Kernel,
+            Keyword::Reduce,
+            Keyword::Float4,
+            Keyword::Indexof,
+            Keyword::Goto,
+        ] {
             assert_eq!(Keyword::lookup(kw.as_str()), Some(kw));
         }
         assert_eq!(Keyword::lookup("double"), None);

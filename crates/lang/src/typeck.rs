@@ -92,7 +92,10 @@ impl CheckedProgram {
     /// Panics if the node id does not belong to this program — that is a
     /// toolchain bug, not a user error.
     pub fn type_of(&self, e: &Expr) -> Type {
-        *self.types.get(&e.id).unwrap_or_else(|| panic!("untyped node {}", e.id))
+        *self
+            .types
+            .get(&e.id)
+            .unwrap_or_else(|| panic!("untyped node {}", e.id))
     }
 
     /// Finds a kernel summary by name.
@@ -120,8 +123,16 @@ pub fn check(program: Program) -> Result<CheckedProgram, CompileError> {
         current_return: None,
     };
     for f in program.functions() {
-        if cx.functions.insert(f.name.clone(), (f.params.clone(), f.return_ty)).is_some() {
-            cx.diags.push(Diagnostic::error("T012", format!("duplicate function `{}`", f.name), f.span));
+        if cx
+            .functions
+            .insert(f.name.clone(), (f.params.clone(), f.return_ty))
+            .is_some()
+        {
+            cx.diags.push(Diagnostic::error(
+                "T012",
+                format!("duplicate function `{}`", f.name),
+                f.span,
+            ));
         }
     }
     let mut kernels = Vec::new();
@@ -132,14 +143,25 @@ pub fn check(program: Program) -> Result<CheckedProgram, CompileError> {
     for k in program.kernels() {
         if let Some(prev) = seen_kernels.insert(k.name.clone(), k.span) {
             let _ = prev;
-            cx.diags.push(Diagnostic::error("T012", format!("duplicate kernel `{}`", k.name), k.span));
+            cx.diags.push(Diagnostic::error(
+                "T012",
+                format!("duplicate kernel `{}`", k.name),
+                k.span,
+            ));
         }
         kernels.push(cx.check_kernel(k));
     }
-    let (errors, warnings): (Vec<_>, Vec<_>) =
-        cx.diags.into_iter().partition(|d| d.severity == crate::diag::Severity::Error);
+    let (errors, warnings): (Vec<_>, Vec<_>) = cx
+        .diags
+        .into_iter()
+        .partition(|d| d.severity == crate::diag::Severity::Error);
     if errors.is_empty() {
-        Ok(CheckedProgram { program, types: cx.types, kernels, warnings })
+        Ok(CheckedProgram {
+            program,
+            types: cx.types,
+            kernels,
+            warnings,
+        })
     } else {
         let mut all = errors;
         all.extend(warnings);
@@ -223,14 +245,22 @@ impl Checker {
         let mut gathers = Vec::new();
         let mut scalars = Vec::new();
         for p in &k.params {
-            if self.current_params.insert(p.name.clone(), (p.ty, p.kind)).is_some() {
+            if self
+                .current_params
+                .insert(p.name.clone(), (p.ty, p.kind))
+                .is_some()
+            {
                 self.err("T015", format!("duplicate parameter `{}`", p.name), p.span);
             }
             match p.kind {
                 ParamKind::OutStream => outputs.push(p.name.clone()),
                 ParamKind::ReduceOut => {
                     if self.reduce_param.is_some() {
-                        self.err("T016", "a reduce kernel has exactly one `reduce` parameter", p.span);
+                        self.err(
+                            "T016",
+                            "a reduce kernel has exactly one `reduce` parameter",
+                            p.span,
+                        );
                     }
                     self.reduce_param = Some(p.name.clone());
                     outputs.push(p.name.clone());
@@ -240,7 +270,11 @@ impl Checker {
                 ParamKind::Scalar => scalars.push(p.name.clone()),
             }
             if !p.ty.is_float() && !matches!(p.kind, ParamKind::Scalar) {
-                self.err("T017", format!("stream `{}` must have a float element type", p.name), p.span);
+                self.err(
+                    "T017",
+                    format!("stream `{}` must have a float element type", p.name),
+                    p.span,
+                );
             }
         }
         if k.is_reduce {
@@ -251,9 +285,17 @@ impl Checker {
                 self.err("T018", "reduce kernels take exactly one input stream", k.span);
             }
         } else if self.reduce_param.is_some() {
-            self.err("T019", "`reduce` parameters are only allowed in `reduce` kernels", k.span);
+            self.err(
+                "T019",
+                "`reduce` parameters are only allowed in `reduce` kernels",
+                k.span,
+            );
         } else if outputs.is_empty() {
-            self.err("T020", format!("kernel `{}` has no output stream", k.name), k.span);
+            self.err(
+                "T020",
+                format!("kernel `{}` has no output stream", k.name),
+                k.span,
+            );
         }
         self.scopes.push(HashMap::new());
         self.check_block(&k.body, true);
@@ -312,7 +354,12 @@ impl Checker {
                 }
                 self.declare(name, *ty, *span);
             }
-            Stmt::Assign { target, op, value, span } => {
+            Stmt::Assign {
+                target,
+                op,
+                value,
+                span,
+            } => {
                 let tt = self.check_lvalue(target, *span);
                 let vt = self.check_expr(value);
                 if let (Some(tt), Some(vt)) = (tt, vt) {
@@ -325,14 +372,25 @@ impl Checker {
                     self.detect_reduce_update(target, *op, value, *span);
                 }
             }
-            Stmt::If { cond, then_block, else_block, span } => {
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+                span,
+            } => {
                 self.expect_bool(cond, *span);
                 self.check_block(then_block, in_kernel);
                 if let Some(e) = else_block {
                     self.check_block(e, in_kernel);
                 }
             }
-            Stmt::For { init, cond, step, body, span } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                span,
+            } => {
                 self.scopes.push(HashMap::new());
                 if let Some(init) = init {
                     self.check_stmt(init, in_kernel);
@@ -364,7 +422,11 @@ impl Checker {
                         (Some(rt), Some(v)) => {
                             if let Some(vt) = self.check_expr(v) {
                                 if !assignable(rt, vt) {
-                                    self.err("T003", format!("return type mismatch: expected `{rt}`, found `{vt}`"), *span);
+                                    self.err(
+                                        "T003",
+                                        format!("return type mismatch: expected `{rt}`, found `{vt}`"),
+                                        *span,
+                                    );
                                 }
                             }
                         }
@@ -388,8 +450,12 @@ impl Checker {
     /// Records the reduce op when the statement matches an accumulator
     /// update pattern (`r += a`, `r = min(r, x)`, ...).
     fn detect_reduce_update(&mut self, target: &Expr, op: AssignOp, value: &Expr, span: Span) {
-        let Some(reduce_name) = self.reduce_param.clone() else { return };
-        let ExprKind::Var(tname) = &target.kind else { return };
+        let Some(reduce_name) = self.reduce_param.clone() else {
+            return;
+        };
+        let ExprKind::Var(tname) = &target.kind else {
+            return;
+        };
         if tname != &reduce_name {
             return;
         }
@@ -398,7 +464,9 @@ impl Checker {
             AssignOp::MulAssign => Some(ReduceOp::Mul),
             AssignOp::Assign => match &value.kind {
                 ExprKind::Call { callee, args } if args.len() == 2 => {
-                    let touches_acc = args.iter().any(|a| matches!(&a.kind, ExprKind::Var(n) if n == &reduce_name));
+                    let touches_acc = args
+                        .iter()
+                        .any(|a| matches!(&a.kind, ExprKind::Var(n) if n == &reduce_name));
                     match (callee.as_str(), touches_acc) {
                         ("min", true) => Some(ReduceOp::Min),
                         ("max", true) => Some(ReduceOp::Max),
@@ -424,7 +492,11 @@ impl Checker {
             Some(op) => {
                 if let Some(prev) = self.reduce_op {
                     if prev != op {
-                        self.err("T022", "reduce kernel mixes different accumulator operations", span);
+                        self.err(
+                            "T022",
+                            "reduce kernel mixes different accumulator operations",
+                            span,
+                        );
                     }
                 }
                 self.reduce_op = Some(op);
@@ -501,7 +573,11 @@ impl Checker {
                 let rt = self.check_expr(rhs)?;
                 if op.is_logical() {
                     if lt != Type::BOOL || rt != Type::BOOL {
-                        self.err("T008", format!("`{}` requires bool operands", op.as_str()), e.span);
+                        self.err(
+                            "T008",
+                            format!("`{}` requires bool operands", op.as_str()),
+                            e.span,
+                        );
                         return None;
                     }
                     return Some(Type::BOOL);
@@ -526,7 +602,11 @@ impl Checker {
                         Some(t)
                     }
                     None => {
-                        self.err("T009", format!("mismatched operand types `{lt}` and `{rt}`"), e.span);
+                        self.err(
+                            "T009",
+                            format!("mismatched operand types `{lt}` and `{rt}`"),
+                            e.span,
+                        );
                         None
                     }
                 }
@@ -550,17 +630,29 @@ impl Checker {
                     }
                 }
             }
-            ExprKind::Ternary { cond, then_expr, else_expr } => {
+            ExprKind::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 let ct = self.check_expr(cond)?;
                 if ct != Type::BOOL {
-                    self.err("T004", format!("ternary condition must be `bool`, found `{ct}`"), e.span);
+                    self.err(
+                        "T004",
+                        format!("ternary condition must be `bool`, found `{ct}`"),
+                        e.span,
+                    );
                 }
                 let tt = self.check_expr(then_expr)?;
                 let et = self.check_expr(else_expr)?;
                 match unify(tt, et) {
                     Some(t) => Some(t),
                     None => {
-                        self.err("T009", format!("ternary arms have mismatched types `{tt}` and `{et}`"), e.span);
+                        self.err(
+                            "T009",
+                            format!("ternary arms have mismatched types `{tt}` and `{et}`"),
+                            e.span,
+                        );
                         None
                     }
                 }
@@ -583,14 +675,21 @@ impl Checker {
                 if indices.len() != rank as usize {
                     self.err(
                         "T011",
-                        format!("gather `{name}` has rank {rank} but {} indices were given", indices.len()),
+                        format!(
+                            "gather `{name}` has rank {rank} but {} indices were given",
+                            indices.len()
+                        ),
                         e.span,
                     );
                 }
                 for ix in indices {
                     if let Some(it) = self.check_expr(ix) {
                         if !(it == Type::INT || it == Type::FLOAT) {
-                            self.err("BA011", format!("gather index must be scalar int or float, found `{it}`"), ix.span);
+                            self.err(
+                                "BA011",
+                                format!("gather index must be scalar int or float, found `{it}`"),
+                                ix.span,
+                            );
                         }
                     }
                 }
@@ -613,7 +712,11 @@ impl Checker {
                     .max()
                     .unwrap_or(1);
                 if max > bt.width {
-                    self.err("T023", format!("swizzle `.{components}` out of range for `{bt}`"), e.span);
+                    self.err(
+                        "T023",
+                        format!("swizzle `.{components}` out of range for `{bt}`"),
+                        e.span,
+                    );
                     return None;
                 }
                 Some(Type::float(components.len() as u8))
@@ -625,7 +728,11 @@ impl Checker {
                         Some(Type::FLOAT2)
                     }
                     Some(_) => {
-                        self.err("T024", format!("`indexof` requires a stream parameter, `{stream}` is not one"), e.span);
+                        self.err(
+                            "T024",
+                            format!("`indexof` requires a stream parameter, `{stream}` is not one"),
+                            e.span,
+                        );
                         None
                     }
                     None => {
@@ -650,7 +757,11 @@ impl Checker {
             for a in args {
                 let at = self.check_expr(a)?;
                 if !(at.is_float() || at == Type::INT) {
-                    self.err("T025", format!("constructor argument must be numeric, found `{at}`"), a.span);
+                    self.err(
+                        "T025",
+                        format!("constructor argument must be numeric, found `{at}`"),
+                        a.span,
+                    );
                     return None;
                 }
                 total += if at == Type::INT { 1 } else { at.width };
@@ -686,7 +797,11 @@ impl Checker {
             if args.len() != builtin_arity(b) {
                 self.err(
                     "T026",
-                    format!("`{callee}` takes {} argument(s), found {}", builtin_arity(b), args.len()),
+                    format!(
+                        "`{callee}` takes {} argument(s), found {}",
+                        builtin_arity(b),
+                        args.len()
+                    ),
                     e.span,
                 );
                 return None;
@@ -697,7 +812,11 @@ impl Checker {
                 let at = self.check_expr(a)?;
                 let at = if at == Type::INT { Type::FLOAT } else { at };
                 if !at.is_float() {
-                    self.err("T026", format!("`{callee}` requires float arguments, found `{at}`"), a.span);
+                    self.err(
+                        "T026",
+                        format!("`{callee}` requires float arguments, found `{at}`"),
+                        a.span,
+                    );
                     return None;
                 }
                 width = width.max(at.width);
@@ -705,7 +824,11 @@ impl Checker {
             }
             // All non-scalar arguments must agree on the width.
             if tys.iter().any(|t| t.width != 1 && t.width != width) {
-                self.err("T026", format!("`{callee}` arguments have mismatched widths"), e.span);
+                self.err(
+                    "T026",
+                    format!("`{callee}` arguments have mismatched widths"),
+                    e.span,
+                );
                 return None;
             }
             if matches!(b.sig, BuiltinSig::DotLike) && tys.iter().any(|t| t.width != width) {
@@ -719,7 +842,11 @@ impl Checker {
             if args.len() != params.len() {
                 self.err(
                     "T027",
-                    format!("`{callee}` takes {} argument(s), found {}", params.len(), args.len()),
+                    format!(
+                        "`{callee}` takes {} argument(s), found {}",
+                        params.len(),
+                        args.len()
+                    ),
                     e.span,
                 );
                 return None;
@@ -739,7 +866,11 @@ impl Checker {
             return match ret {
                 Some(t) => Some(t),
                 None => {
-                    self.err("T027", format!("void function `{callee}` used as a value"), e.span);
+                    self.err(
+                        "T027",
+                        format!("void function `{callee}` used as a value"),
+                        e.span,
+                    );
                     None
                 }
             };
@@ -917,7 +1048,8 @@ mod tests {
 
     #[test]
     fn indexof_types_as_float2() {
-        let cp = check_ok("kernel void f(float a<>, out float o<>) { float2 p = indexof(o); o = p.x + p.y; }");
+        let cp =
+            check_ok("kernel void f(float a<>, out float o<>) { float2 p = indexof(o); o = p.x + p.y; }");
         assert!(cp.kernels[0].uses_indexof);
     }
 

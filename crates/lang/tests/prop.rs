@@ -50,7 +50,8 @@ fn expr_strategy() -> impl Strategy<Value = String> {
             (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("({l} - {r})")),
             inner.clone().prop_map(|e| format!("abs({e})")),
             inner.clone().prop_map(|e| format!("(-{e})")),
-            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| format!("((({c}) > 1.0) ? ({t}) : ({f}))")),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, f)| format!("((({c}) > 1.0) ? ({t}) : ({f}))")),
         ]
     })
 }
@@ -137,7 +138,11 @@ fn node_ids_unique_across_whole_program() {
             }
             ExprKind::Unary { operand, .. } => walk_expr(operand, seen),
             ExprKind::Call { args, .. } => args.iter().for_each(|a| walk_expr(a, seen)),
-            ExprKind::Ternary { cond, then_expr, else_expr } => {
+            ExprKind::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 walk_expr(cond, seen);
                 walk_expr(then_expr, seen);
                 walk_expr(else_expr, seen);
@@ -157,7 +162,12 @@ fn node_ids_unique_across_whole_program() {
                 walk_expr(target, seen);
                 walk_expr(value, seen);
             }
-            Stmt::If { cond, then_block, else_block, .. } => {
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+                ..
+            } => {
                 walk_expr(cond, seen);
                 then_block.stmts.iter().for_each(|s| walk_stmt(s, seen));
                 if let Some(b) = else_block {

@@ -78,7 +78,12 @@ pub fn floats_to_texels(values: &[f32]) -> Vec<[f32; 4]> {
         .iter()
         .map(|v| {
             let b = encode_f32(*v);
-            [byte_to_channel(b[0]), byte_to_channel(b[1]), byte_to_channel(b[2]), byte_to_channel(b[3])]
+            [
+                byte_to_channel(b[0]),
+                byte_to_channel(b[1]),
+                byte_to_channel(b[2]),
+                byte_to_channel(b[3]),
+            ]
         })
         .collect()
 }
@@ -151,7 +156,18 @@ mod tests {
 
     #[test]
     fn roundtrip_simple_values() {
-        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 123.456, -9.875e10, 3.0e-30, f32::MAX, f32::MIN_POSITIVE] {
+        for v in [
+            0.0f32,
+            1.0,
+            -1.0,
+            0.5,
+            2.0,
+            123.456,
+            -9.875e10,
+            3.0e-30,
+            f32::MAX,
+            f32::MIN_POSITIVE,
+        ] {
             assert_eq!(decode_f32(encode_f32(v)), v, "roundtrip failed for {v}");
         }
     }

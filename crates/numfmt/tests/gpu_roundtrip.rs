@@ -28,10 +28,15 @@ fn double_shader() -> String {
 fn run_shader(values: &[f32], shader: &str, side: u32) -> Vec<f32> {
     assert_eq!(values.len(), (side * side) as usize);
     let mut gl = Gl::new(DeviceProfile::videocore_iv());
-    let input = gl.create_texture(side, side, TexFormat::Rgba8).expect("input texture");
-    gl.upload_texture(input, &floats_to_texels(values)).expect("upload");
+    let input = gl
+        .create_texture(side, side, TexFormat::Rgba8)
+        .expect("input texture");
+    gl.upload_texture(input, &floats_to_texels(values))
+        .expect("upload");
     gl.bind_texture(0, input).expect("bind");
-    let output = gl.create_texture(side, side, TexFormat::Rgba8).expect("output texture");
+    let output = gl
+        .create_texture(side, side, TexFormat::Rgba8)
+        .expect("output texture");
     let fbo = gl.create_framebuffer();
     gl.attach_texture(fbo, output).expect("attach");
     gl.bind_framebuffer(fbo).expect("bind fbo");
@@ -46,8 +51,22 @@ fn run_shader(values: &[f32], shader: &str, side: u32) -> Vec<f32> {
 #[test]
 fn gpu_identity_roundtrip_exact() {
     let values: Vec<f32> = vec![
-        0.0, 1.0, -1.0, 0.5, 2.0, -0.25, 3.25159, -2.61828, 1e10, -1e-10, 65535.0, 1.0 / 3.0, 1024.0, -4096.5,
-        f32::MAX, f32::MIN_POSITIVE,
+        0.0,
+        1.0,
+        -1.0,
+        0.5,
+        2.0,
+        -0.25,
+        3.25159,
+        -2.61828,
+        1e10,
+        -1e-10,
+        65535.0,
+        1.0 / 3.0,
+        1024.0,
+        -4096.5,
+        f32::MAX,
+        f32::MIN_POSITIVE,
     ];
     let out = run_shader(&values, &identity_shader(), 4);
     for (i, (a, b)) in values.iter().zip(&out).enumerate() {

@@ -25,9 +25,17 @@ impl CacheSim {
     pub fn new(capacity_bytes: u64, ways: usize, line_bytes: u64) -> Self {
         assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
         let lines = capacity_bytes / line_bytes;
-        assert!(lines > 0 && lines.is_multiple_of(ways as u64), "capacity/ways/line geometry inconsistent");
+        assert!(
+            lines > 0 && lines.is_multiple_of(ways as u64),
+            "capacity/ways/line geometry inconsistent"
+        );
         let n_sets = (lines / ways as u64) as usize;
-        CacheSim { sets: vec![vec![None; ways]; n_sets], line_bytes, hits: 0, misses: 0 }
+        CacheSim {
+            sets: vec![vec![None; ways]; n_sets],
+            line_bytes,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Simulates an access to `addr`; returns true on hit.

@@ -71,7 +71,13 @@ pub struct MemSpec {
 impl MemSpec {
     /// Seconds for `accesses` reads/writes of `access_bytes` each over a
     /// working set of `working_set` bytes with the given pattern.
-    pub fn access_time(&self, accesses: u64, access_bytes: u64, working_set: u64, pattern: AccessPattern) -> f64 {
+    pub fn access_time(
+        &self,
+        accesses: u64,
+        access_bytes: u64,
+        working_set: u64,
+        pattern: AccessPattern,
+    ) -> f64 {
         match pattern {
             AccessPattern::Sequential => {
                 if working_set <= self.l1_bytes {
@@ -181,12 +187,26 @@ pub struct CpuRun {
 impl CpuRun {
     /// Creates a run with the given op count and no memory phases.
     pub fn with_ops(ops: u64) -> Self {
-        CpuRun { ops, ..CpuRun::default() }
+        CpuRun {
+            ops,
+            ..CpuRun::default()
+        }
     }
 
     /// Adds a memory phase (builder style).
-    pub fn phase(mut self, accesses: u64, access_bytes: u64, working_set: u64, pattern: AccessPattern) -> Self {
-        self.phases.push(MemPhase { accesses, access_bytes, working_set, pattern });
+    pub fn phase(
+        mut self,
+        accesses: u64,
+        access_bytes: u64,
+        working_set: u64,
+        pattern: AccessPattern,
+    ) -> Self {
+        self.phases.push(MemPhase {
+            accesses,
+            access_bytes,
+            working_set,
+            pattern,
+        });
         self
     }
 }
@@ -218,7 +238,11 @@ impl Platform {
     pub fn target() -> Platform {
         Platform {
             name: "ARM + VideoCore IV (Brook Auto, OpenGL ES 2)".to_owned(),
-            cpu: CpuSpec { name: "ARM11 700 MHz".to_owned(), ops_per_sec: 3.5e8, simd_width: 1.0 },
+            cpu: CpuSpec {
+                name: "ARM11 700 MHz".to_owned(),
+                ops_per_sec: 3.5e8,
+                simd_width: 1.0,
+            },
             mem: MemSpec {
                 l1_bytes: 16 * 1024,
                 l2_bytes: 128 * 1024,
@@ -247,7 +271,11 @@ impl Platform {
     pub fn reference() -> Platform {
         Platform {
             name: "x86 + Radeon HD 3400 (Brook+, CAL)".to_owned(),
-            cpu: CpuSpec { name: "Core 2 Duo T9400 2.53 GHz".to_owned(), ops_per_sec: 2.5e9, simd_width: 4.0 },
+            cpu: CpuSpec {
+                name: "Core 2 Duo T9400 2.53 GHz".to_owned(),
+                ops_per_sec: 2.5e9,
+                simd_width: 4.0,
+            },
             mem: MemSpec {
                 l1_bytes: 32 * 1024,
                 l2_bytes: 6 * 1024 * 1024,
@@ -273,10 +301,16 @@ impl Platform {
 
     /// Modeled CPU time of an instrumented run.
     pub fn cpu_time(&self, run: &CpuRun) -> f64 {
-        let rate = if run.vectorized { self.cpu.ops_per_sec * self.cpu.simd_width } else { self.cpu.ops_per_sec };
+        let rate = if run.vectorized {
+            self.cpu.ops_per_sec * self.cpu.simd_width
+        } else {
+            self.cpu.ops_per_sec
+        };
         let mut t = run.ops as f64 / rate;
         for p in &run.phases {
-            t += self.mem.access_time(p.accesses, p.access_bytes, p.working_set, p.pattern);
+            t += self
+                .mem
+                .access_time(p.accesses, p.access_bytes, p.working_set, p.pattern);
         }
         t
     }
@@ -308,15 +342,27 @@ mod tests {
     #[test]
     fn gpu_time_scales_with_work() {
         let p = Platform::target();
-        let small = GpuRun { alu_ops: 1_000, draw_calls: 1, ..GpuRun::default() };
-        let big = GpuRun { alu_ops: 1_000_000_000, draw_calls: 1, ..GpuRun::default() };
+        let small = GpuRun {
+            alu_ops: 1_000,
+            draw_calls: 1,
+            ..GpuRun::default()
+        };
+        let big = GpuRun {
+            alu_ops: 1_000_000_000,
+            draw_calls: 1,
+            ..GpuRun::default()
+        };
         assert!(p.gpu_time(&big) > p.gpu_time(&small) * 100.0);
     }
 
     #[test]
     fn draw_overhead_dominates_tiny_kernels() {
         let p = Platform::target();
-        let tiny = GpuRun { alu_ops: 10, draw_calls: 1, ..GpuRun::default() };
+        let tiny = GpuRun {
+            alu_ops: 10,
+            draw_calls: 1,
+            ..GpuRun::default()
+        };
         let t = p.gpu_time(&tiny);
         assert!(t >= p.gpu.draw_overhead_s);
         assert!(t < p.gpu.draw_overhead_s * 1.01);
@@ -325,8 +371,16 @@ mod tests {
     #[test]
     fn cpu_vectorization_speeds_up() {
         let p = Platform::reference();
-        let scalar = CpuRun { ops: 1_000_000, vectorized: false, phases: vec![] };
-        let vector = CpuRun { ops: 1_000_000, vectorized: true, phases: vec![] };
+        let scalar = CpuRun {
+            ops: 1_000_000,
+            vectorized: false,
+            phases: vec![],
+        };
+        let vector = CpuRun {
+            ops: 1_000_000,
+            vectorized: true,
+            phases: vec![],
+        };
         let ratio = p.cpu_time(&scalar) / p.cpu_time(&vector);
         assert!((ratio - p.cpu.simd_width).abs() < 1e-9);
     }
@@ -336,7 +390,9 @@ mod tests {
         let p = Platform::reference();
         let in_l1 = p.mem.access_time(1000, 4, 16 * 1024, AccessPattern::Random);
         let in_l2 = p.mem.access_time(1000, 4, 1024 * 1024, AccessPattern::Random);
-        let in_mem = p.mem.access_time(1000, 4, 64 * 1024 * 1024, AccessPattern::Random);
+        let in_mem = p
+            .mem
+            .access_time(1000, 4, 64 * 1024 * 1024, AccessPattern::Random);
         assert!(in_l1 < in_l2 && in_l2 < in_mem);
         assert!(in_mem / in_l1 > 10.0, "DRAM must be much slower than L1");
     }
@@ -344,9 +400,16 @@ mod tests {
     #[test]
     fn sequential_access_is_bandwidth_bound() {
         let p = Platform::reference();
-        let seq = p.mem.access_time(1_000_000, 4, 64 * 1024 * 1024, AccessPattern::Sequential);
-        let rnd = p.mem.access_time(1_000_000, 4, 64 * 1024 * 1024, AccessPattern::Random);
-        assert!(seq < rnd / 10.0, "streaming should be much faster than random access");
+        let seq = p
+            .mem
+            .access_time(1_000_000, 4, 64 * 1024 * 1024, AccessPattern::Sequential);
+        let rnd = p
+            .mem
+            .access_time(1_000_000, 4, 64 * 1024 * 1024, AccessPattern::Random);
+        assert!(
+            seq < rnd / 10.0,
+            "streaming should be much faster than random access"
+        );
     }
 
     #[test]

@@ -50,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = &module.report;
     println!(
         "sobel_x certification: {} ({} finding(s) recorded)",
-        if report.is_compliant() { "COMPLIANT" } else { "NOT COMPLIANT" },
+        if report.is_compliant() {
+            "COMPLIANT"
+        } else {
+            "NOT COMPLIANT"
+        },
         report.kernels[0].findings.len()
     );
 
@@ -74,6 +78,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         edge_cols.iter().any(|c| c.abs_diff(2 * size / 3 + 3) <= 4),
         "right lane marking not detected"
     );
-    println!("both lane markings detected; {} fragments shaded", ctx.gpu_counters().fragments);
+    println!(
+        "both lane markings detected; {} fragments shaded",
+        ctx.gpu_counters().fragments
+    );
     Ok(())
 }

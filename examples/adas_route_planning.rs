@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 32;
     let mut ctx = BrookContext::gles2(DeviceProfile::videocore_iv());
     let module = ctx.compile(FW)?;
-    println!("fw_step passes per relaxation: {}", module.report.kernels[0].passes_required);
+    println!(
+        "fw_step passes per relaxation: {}",
+        module.report.kernels[0].passes_required
+    );
 
     let init_d = road_graph(n);
     let init_p: Vec<f32> = (0..n * n).map(|i| (i % n) as f32).collect();
@@ -91,10 +94,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     route.reverse();
     println!("route: {route:?}");
-    assert!(route.len() <= 4, "expressway route should be short, got {route:?}");
+    assert!(
+        route.len() <= 4,
+        "expressway route should be short, got {route:?}"
+    );
 
     let stats = ctx.gpu_counters();
-    println!("GPU passes: {} (2 per relaxation step: dist + pred)", stats.draw_calls);
+    println!(
+        "GPU passes: {} (2 per relaxation step: dist + pred)",
+        stats.draw_calls
+    );
     assert_eq!(stats.draw_calls as usize, 2 * n);
     Ok(())
 }

@@ -89,7 +89,10 @@ fn main() {
                     .iter()
                     .flat_map(|k| k.violations())
                     .any(|f| f.rule.code() == *rule);
-                println!("{what}: {}", if caught { "rejected as expected" } else { "MISSED" });
+                println!(
+                    "{what}: {}",
+                    if caught { "rejected as expected" } else { "MISSED" }
+                );
                 assert!(caught, "{what} was not caught");
             }
             Err(e) => {
@@ -124,10 +127,19 @@ fn main() {
     // Pointers and goto never reach the rule engine — the grammar itself
     // rejects them with the certification rule's code.
     for (what, src) in [
-        ("pointer parameter (BA001)", "kernel void f(float *p, out float o<>) { o = 0.0; }"),
-        ("goto (BA007)", "kernel void f(float a<>, out float o<>) { goto end; }"),
+        (
+            "pointer parameter (BA001)",
+            "kernel void f(float *p, out float o<>) { o = 0.0; }",
+        ),
+        (
+            "goto (BA007)",
+            "kernel void f(float a<>, out float o<>) { goto end; }",
+        ),
     ] {
         let err = brook_lang::parse(src).expect_err("must fail");
-        println!("{what}: rejected at parse time [{}]", err.first_error().map(|d| d.code.as_str()).unwrap_or("?"));
+        println!(
+            "{what}: rejected at parse time [{}]",
+            err.first_error().map(|d| d.code.as_str()).unwrap_or("?")
+        );
     }
 }

@@ -34,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let r = ctx.stream(&[n])?;
         ctx.write(&x, &xs)?;
         ctx.write(&y, &ys)?;
-        ctx.run(&module, "saxpy", &[Arg::Stream(&x), Arg::Stream(&y), Arg::Float(2.0), Arg::Stream(&r)])?;
+        ctx.run(
+            &module,
+            "saxpy",
+            &[Arg::Stream(&x), Arg::Stream(&y), Arg::Float(2.0), Arg::Stream(&r)],
+        )?;
         results.push(ctx.read(&r)?);
     }
 

@@ -1,1 +1,33 @@
+//! # brook-auto-suite — the whole Brook Auto reproduction behind one
+//! dependency
+//!
+//! The facade re-exports the runtime crate (`brook-auto`) and anchors
+//! the workspace-level integration tests (`tests/`) and examples
+//! (`examples/`):
+//!
+//! * `tests/backend_equivalence.rs` — the differential matrix: every
+//!   registered backend × every paper workload;
+//! * `tests/paper_claims.rs` — the paper's qualitative evaluation
+//!   claims;
+//! * `tests/fault_injection.rs` — the certification argument under
+//!   injected faults.
+//!
+//! See `ARCHITECTURE.md` at the repository root for the layer stack and
+//! how to add an execution backend.
+
 pub use brook_auto as core;
+
+pub use brook_auto::{
+    registered_backends, Arg, BackendExecutor, BackendSpec, BrookContext, BrookError, BrookModule,
+    KernelLaunch,
+};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reaches_the_runtime() {
+        let ctx = crate::BrookContext::cpu();
+        assert_eq!(ctx.backend_name(), "cpu");
+        assert_eq!(crate::registered_backends().len(), 4);
+    }
+}

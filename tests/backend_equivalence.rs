@@ -1,31 +1,49 @@
-//! Cross-crate integration: the CPU interpreter backend and the OpenGL
-//! ES 2.0 simulator backend must compute identical results for the same
-//! kernels — the property the paper's evaluation relies on ("the
-//! correctness of the GPU implementation is retained by validating it
-//! with the CPU output", §6).
+//! Cross-crate differential testing: every registered execution backend
+//! must compute equivalent results for the same certified kernels — the
+//! property the paper's evaluation relies on ("the correctness of the
+//! GPU implementation is retained by validating it with the CPU
+//! output", §6), generalized from the original CPU-vs-GPU pair to the
+//! whole backend matrix (serial CPU, parallel CPU, GL ES 2.0 in native
+//! and packed storage).
+//!
+//! Two layers:
+//!
+//! * hand-written and property-based *kernel-level* tests over
+//!   [`brook_auto::registered_backends`];
+//! * the *application-level* matrix: all eleven paper workloads run on
+//!   every backend through [`brook_apps::run_backend_matrix`], which
+//!   also asserts the serial and parallel CPU backends agree
+//!   bit-for-bit.
 
-use brook_auto::{Arg, BrookContext, DeviceProfile};
+use brook_apps::{run_backend_matrix, PaperApp};
+use brook_auto::{registered_backends, Arg, BrookContext};
 use proptest::prelude::*;
 
-/// Runs a kernel over 2D streams on both backends and returns both
-/// outputs.
-fn run_both(src: &str, kernel: &str, inputs: &[Vec<f32>], scalars: &[f32], shape: [usize; 2]) -> (Vec<f32>, Vec<f32>) {
+const SEED: u64 = 20180624;
+
+/// Runs a kernel over streams of `shape` on every registered backend and
+/// returns `(backend name, output)` per backend.
+fn run_everywhere(
+    src: &str,
+    kernel: &str,
+    inputs: &[Vec<f32>],
+    scalars: &[f32],
+    shape: &[usize],
+) -> Vec<(&'static str, Vec<f32>)> {
     let mut outs = Vec::new();
-    for gpu in [false, true] {
-        let mut ctx = if gpu {
-            BrookContext::gles2(DeviceProfile::videocore_iv())
-        } else {
-            BrookContext::cpu()
-        };
-        let module = ctx.compile(src).expect("compile");
-        let mut args = Vec::new();
+    for spec in registered_backends() {
+        let mut ctx: BrookContext = (spec.make)();
+        let module = ctx
+            .compile(src)
+            .unwrap_or_else(|e| panic!("{}: compile: {e}", spec.name));
         let mut streams = Vec::new();
         for data in inputs {
-            let s = ctx.stream(&shape).expect("stream");
+            let s = ctx.stream(shape).expect("stream");
             ctx.write(&s, data).expect("write");
             streams.push(s);
         }
-        let out = ctx.stream(&shape).expect("out stream");
+        let out = ctx.stream(shape).expect("out stream");
+        let mut args = Vec::new();
         for s in &streams {
             args.push(Arg::Stream(s));
         }
@@ -33,17 +51,31 @@ fn run_both(src: &str, kernel: &str, inputs: &[Vec<f32>], scalars: &[f32], shape
             args.push(Arg::Float(*v));
         }
         args.push(Arg::Stream(&out));
-        ctx.run(&module, kernel, &args).expect("run");
-        outs.push(ctx.read(&out).expect("read"));
+        ctx.run(&module, kernel, &args)
+            .unwrap_or_else(|e| panic!("{}: run: {e}", spec.name));
+        outs.push((spec.name, ctx.read(&out).expect("read")));
     }
-    (outs.remove(0), outs.remove(0))
+    outs
 }
 
-fn assert_close(cpu: &[f32], gpu: &[f32], tol: f32) {
-    assert_eq!(cpu.len(), gpu.len());
-    for (i, (c, g)) in cpu.iter().zip(gpu).enumerate() {
-        let scale = 1.0f32.max(c.abs());
-        assert!((c - g).abs() <= tol * scale, "element {i}: cpu {c} vs gpu {g}");
+/// Asserts every backend's output is within `tol` of the first (the
+/// serial CPU reference), and that the two CPU backends agree exactly.
+fn assert_all_close(runs: &[(&'static str, Vec<f32>)], tol: f32) {
+    let (ref_name, reference) = &runs[0];
+    assert_eq!(*ref_name, "cpu", "registry must lead with the reference backend");
+    for (name, out) in &runs[1..] {
+        assert_eq!(reference.len(), out.len(), "{name}: length mismatch");
+        for (i, (c, g)) in reference.iter().zip(out).enumerate() {
+            let scale = 1.0f32.max(c.abs());
+            assert!(
+                (c - g).abs() <= tol * scale,
+                "{name}: element {i}: cpu {c} vs {g}"
+            );
+        }
+        if *name == "cpu-parallel" {
+            let same_bits = reference.iter().zip(out).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same_bits, "cpu-parallel must be bit-identical to cpu");
+        }
     }
 }
 
@@ -54,8 +86,8 @@ fn arithmetic_kernel_matches() {
     }";
     let a: Vec<f32> = (0..64).map(|i| i as f32 * 0.5 - 16.0).collect();
     let b: Vec<f32> = (0..64).map(|i| (i as f32 * 0.37).sin()).collect();
-    let (c, g) = run_both(src, "f", &[a, b], &[2.5], [8, 8]);
-    assert_close(&c, &g, 1e-5);
+    let runs = run_everywhere(src, "f", &[a, b], &[2.5], &[8, 8]);
+    assert_all_close(&runs, 1e-5);
 }
 
 #[test]
@@ -69,8 +101,8 @@ fn control_flow_kernel_matches() {
         o = s;
     }";
     let a: Vec<f32> = (0..64).map(|i| (i % 7) as f32 * 0.3).collect();
-    let (c, g) = run_both(src, "f", &[a], &[], [8, 8]);
-    assert_close(&c, &g, 1e-5);
+    let runs = run_everywhere(src, "f", &[a], &[], &[8, 8]);
+    assert_all_close(&runs, 1e-5);
 }
 
 #[test]
@@ -80,8 +112,8 @@ fn builtin_heavy_kernel_matches() {
     }";
     let a: Vec<f32> = (0..64).map(|i| i as f32 - 32.0).collect();
     let b: Vec<f32> = (0..64).map(|i| (i as f32) * 0.1 - 3.0).collect();
-    let (c, g) = run_both(src, "f", &[a, b], &[], [8, 8]);
-    assert_close(&c, &g, 1e-4);
+    let runs = run_everywhere(src, "f", &[a, b], &[], &[8, 8]);
+    assert_all_close(&runs, 1e-4);
 }
 
 #[test]
@@ -92,13 +124,13 @@ fn gather_and_indexof_kernel_matches() {
     }";
     let t: Vec<f32> = (0..64).map(|i| i as f32).collect();
     let a: Vec<f32> = vec![0.5; 64];
-    let (c, g) = run_both(src, "f", &[t, a], &[], [8, 8]);
-    assert_close(&c, &g, 1e-5);
+    let runs = run_everywhere(src, "f", &[t, a], &[], &[8, 8]);
+    assert_all_close(&runs, 1e-5);
 }
 
 #[test]
 fn out_of_bounds_gather_clamps_identically() {
-    // Indices reach far outside the table on purpose: both backends must
+    // Indices reach far outside the table on purpose: every backend must
     // clamp to the edge element (paper §4) and agree.
     let src = "kernel void f(float t[][], float a<>, out float o<>) {
         float2 p = indexof(o);
@@ -106,8 +138,8 @@ fn out_of_bounds_gather_clamps_identically() {
     }";
     let t: Vec<f32> = (0..64).map(|i| i as f32 * 3.0).collect();
     let a = vec![1.0; 64];
-    let (c, g) = run_both(src, "f", &[t, a], &[], [8, 8]);
-    assert_close(&c, &g, 1e-5);
+    let runs = run_everywhere(src, "f", &[t, a], &[], &[8, 8]);
+    assert_all_close(&runs, 1e-5);
 }
 
 #[test]
@@ -117,8 +149,92 @@ fn helper_functions_match() {
         float twice(float x) { return horner(x) + horner(-x); }
         kernel void f(float a<>, out float o<>) { o = twice(a); }";
     let a: Vec<f32> = (0..64).map(|i| i as f32 * 0.25 - 8.0).collect();
-    let (c, g) = run_both(src, "f", &[a], &[], [8, 8]);
-    assert_close(&c, &g, 1e-5);
+    let runs = run_everywhere(src, "f", &[a], &[], &[8, 8]);
+    assert_all_close(&runs, 1e-5);
+}
+
+#[test]
+fn large_domain_exercises_the_parallel_path() {
+    // 128x128 = 16384 elements, far above the parallel backend's
+    // fan-out threshold; cross-backend agreement must survive chunking.
+    let src = "kernel void f(float a<>, float k, out float o<>) {
+        o = a * k + sin(a * 0.01);
+    }";
+    let n = 128 * 128;
+    let a: Vec<f32> = (0..n).map(|i| (i % 977) as f32 * 0.11 - 50.0).collect();
+    let runs = run_everywhere(src, "f", &[a], &[3.0], &[128, 128]);
+    assert_all_close(&runs, 1e-4);
+}
+
+#[test]
+fn reductions_agree_across_all_backends() {
+    let src = "reduce void sum(float a<>, reduce float r<>) { r += a; }
+               reduce void mx(float a<>, reduce float m<>) { m = max(m, a); }";
+    let data: Vec<f32> = (0..500).map(|i| ((i * 37) % 101) as f32 * 0.25 - 12.0).collect();
+    let want_max = data.iter().fold(f32::NEG_INFINITY, |a, b| a.max(*b));
+    let want_sum: f64 = data.iter().map(|v| *v as f64).sum();
+    for spec in registered_backends() {
+        let mut ctx = (spec.make)();
+        let module = ctx.compile(src).expect("compile");
+        let s = ctx.stream(&[500]).expect("stream");
+        ctx.write(&s, &data).expect("write");
+        let got_max = ctx.reduce(&module, "mx", &s).expect("max");
+        assert_eq!(got_max, want_max, "{}", spec.name);
+        let got_sum = ctx.reduce(&module, "sum", &s).expect("sum") as f64;
+        assert!(
+            (got_sum - want_sum).abs() <= want_sum.abs().max(1.0) * 1e-4,
+            "{}: sum {got_sum} vs {want_sum}",
+            spec.name
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The application-level backend matrix: all eleven paper workloads on
+// every registered backend. One test per app so the harness runs them in
+// parallel and failures name the workload directly.
+// ---------------------------------------------------------------------------
+
+fn matrix(app: &dyn PaperApp) {
+    let size = app.matrix_size();
+    let runs = run_backend_matrix(app, size, SEED).unwrap_or_else(|e| panic!("backend matrix failed: {e}"));
+    assert_eq!(
+        runs.len(),
+        registered_backends().len(),
+        "{}: every registered backend must run",
+        app.name()
+    );
+}
+
+macro_rules! app_matrix_tests {
+    ($($test_name:ident => $app:expr;)*) => {$(
+        #[test]
+        fn $test_name() {
+            matrix(&$app);
+        }
+    )*};
+}
+
+app_matrix_tests! {
+    matrix_flops => brook_apps::flops::Flops::default();
+    matrix_binomial => brook_apps::binomial::Binomial;
+    matrix_black_scholes => brook_apps::black_scholes::BlackScholes;
+    matrix_prefix_sum => brook_apps::prefix_sum::PrefixSum;
+    matrix_spmv => brook_apps::spmv::Spmv;
+    matrix_binary_search => brook_apps::binary_search::BinarySearch;
+    matrix_bitonic_sort => brook_apps::bitonic_sort::BitonicSort;
+    matrix_image_filter => brook_apps::image_filter::ImageFilter::default();
+    matrix_mandelbrot => brook_apps::mandelbrot::Mandelbrot;
+    matrix_sgemm => brook_apps::sgemm::Sgemm;
+    matrix_floyd_warshall => brook_apps::floyd_warshall::FloydWarshall;
+}
+
+/// The eleven-app list itself is matrixed: `all_apps` and the per-app
+/// tests above must stay in sync.
+#[test]
+fn matrix_covers_every_shipped_app() {
+    let apps = brook_apps::all_apps();
+    assert_eq!(apps.len(), 11, "the paper's suite is eleven applications");
 }
 
 proptest! {
@@ -127,24 +243,21 @@ proptest! {
     #[test]
     fn random_data_through_polynomial_kernel(values in proptest::collection::vec(-100.0f32..100.0, 64)) {
         let src = "kernel void f(float a<>, out float o<>) { o = a * a * 0.01 - a * 0.5 + 3.0; }";
-        let (c, g) = run_both(src, "f", &[values], &[], [8, 8]);
-        assert_close(&c, &g, 1e-4);
+        let runs = run_everywhere(src, "f", &[values], &[], &[8, 8]);
+        assert_all_close(&runs, 1e-4);
     }
 
     #[test]
     fn random_reductions_agree(values in proptest::collection::vec(-50.0f32..50.0, 100)) {
         let src = "reduce void mx(float a<>, reduce float m<>) { m = max(m, a); }";
-        let mut cpu = BrookContext::cpu();
-        let mut gpu = BrookContext::gles2(DeviceProfile::videocore_iv());
-        let mut results = Vec::new();
-        for ctx in [&mut cpu, &mut gpu] {
+        let expect = values.iter().fold(f32::NEG_INFINITY, |a, b| a.max(*b));
+        for spec in registered_backends() {
+            let mut ctx = (spec.make)();
             let module = ctx.compile(src).expect("compile");
             let s = ctx.stream(&[100]).expect("stream");
             ctx.write(&s, &values).expect("write");
-            results.push(ctx.reduce(&module, "mx", &s).expect("reduce"));
+            let got = ctx.reduce(&module, "mx", &s).expect("reduce");
+            prop_assert_eq!(got, expect, "{}", spec.name);
         }
-        let expect = values.iter().fold(f32::NEG_INFINITY, |a, b| a.max(*b));
-        prop_assert_eq!(results[0], expect);
-        prop_assert_eq!(results[1], expect);
     }
 }

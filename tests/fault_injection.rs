@@ -22,14 +22,27 @@ fn wild_gather_indices_never_crash_and_results_stay_deterministic() {
     let table: Vec<f32> = (0..256).map(|i| i as f32).collect();
     ctx.write(&t, &table).expect("write");
     ctx.write(&a, &vec![123.456; 256]).expect("write");
-    ctx.run(&module, "wild", &[Arg::Stream(&t), Arg::Stream(&a), Arg::Stream(&o)]).expect("must not fault");
+    ctx.run(
+        &module,
+        "wild",
+        &[Arg::Stream(&t), Arg::Stream(&a), Arg::Stream(&o)],
+    )
+    .expect("must not fault");
     let first = ctx.read(&o).expect("read");
     // Deterministic: a second run yields the identical clamped result.
-    ctx.run(&module, "wild", &[Arg::Stream(&t), Arg::Stream(&a), Arg::Stream(&o)]).expect("second run");
+    ctx.run(
+        &module,
+        "wild",
+        &[Arg::Stream(&t), Arg::Stream(&a), Arg::Stream(&o)],
+    )
+    .expect("second run");
     assert_eq!(first, ctx.read(&o).expect("read"));
     // Every value is a clamped table element, not garbage.
     for v in &first {
-        assert!(table.contains(v), "non-table value {v} leaked out of a clamped gather");
+        assert!(
+            table.contains(v),
+            "non-table value {v} leaked out of a clamped gather"
+        );
     }
 }
 
@@ -91,7 +104,9 @@ fn runtime_loop_guard_contains_certification_bypass() {
     let a = ctx.stream(&[2, 2]).expect("a");
     let o = ctx.stream(&[2, 2]).expect("o");
     ctx.write(&a, &[1.0; 4]).expect("write");
-    let err = ctx.run(&module, "spin", &[Arg::Stream(&a), Arg::Stream(&o)]).expect_err("must be stopped");
+    let err = ctx
+        .run(&module, "spin", &[Arg::Stream(&a), Arg::Stream(&o)])
+        .expect_err("must be stopped");
     assert!(err.to_string().contains("runaway"), "unexpected error: {err}");
 }
 
@@ -104,8 +119,10 @@ fn nan_and_infinity_inputs_flow_through_without_faults() {
     let module = ctx.compile(src).expect("compile");
     let a = ctx.stream(&[4]).expect("a");
     let o = ctx.stream(&[4]).expect("o");
-    ctx.write(&a, &[f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 1.5]).expect("write");
-    ctx.run(&module, "pass", &[Arg::Stream(&a), Arg::Stream(&o)]).expect("run");
+    ctx.write(&a, &[f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 1.5])
+        .expect("write");
+    ctx.run(&module, "pass", &[Arg::Stream(&a), Arg::Stream(&o)])
+        .expect("run");
     let out = ctx.read(&o).expect("read");
     assert_eq!(out[0], 0.0, "NaN must canonicalize to zero");
     assert_eq!(out[1], f32::MAX, "+inf must saturate");
@@ -119,7 +136,10 @@ fn oversized_streams_fail_at_allocation_with_clear_diagnostics() {
     // 4096 exceeds the 2048 texture limit of the target (paper §6.1).
     let err = ctx.stream(&[4096, 4096]).expect_err("must fail");
     let msg = err.to_string();
-    assert!(msg.contains("2048"), "diagnostic should name the device limit: {msg}");
+    assert!(
+        msg.contains("2048"),
+        "diagnostic should name the device limit: {msg}"
+    );
 }
 
 #[test]

@@ -21,8 +21,16 @@ fn figure1_capability_ratios_match_paper_band() {
     // Paper: target 26.7x, reference 23x.
     let t = measure(&Flops::default(), PlatformKind::Target, 512, SEED).expect("target");
     let r = measure(&Flops::default(), PlatformKind::Reference, 512, SEED).expect("reference");
-    assert!((20.0..33.0).contains(&t.speedup), "target capability ratio {} off-band", t.speedup);
-    assert!((17.0..29.0).contains(&r.speedup), "reference capability ratio {} off-band", r.speedup);
+    assert!(
+        (20.0..33.0).contains(&t.speedup),
+        "target capability ratio {} off-band",
+        t.speedup
+    );
+    assert!(
+        (17.0..29.0).contains(&r.speedup),
+        "reference capability ratio {} off-band",
+        r.speedup
+    );
     // Same order of magnitude on both systems — the premise of §6.
     let ratio = t.speedup / r.speedup;
     assert!((0.5..2.0).contains(&ratio));
@@ -32,15 +40,30 @@ fn figure1_capability_ratios_match_paper_band() {
 fn figure2_binomial_cpu_wins_but_trend_rises() {
     let small = measure(&Binomial, PlatformKind::Target, 128, SEED).expect("small");
     let large = measure(&Binomial, PlatformKind::Target, 1024, SEED).expect("large");
-    assert!(small.speedup < 1.0, "paper: binomial below CPU ({})", small.speedup);
-    assert!(large.speedup < 1.0, "paper: binomial below CPU ({})", large.speedup);
-    assert!(large.speedup > small.speedup, "paper: speedup grows with input size");
+    assert!(
+        small.speedup < 1.0,
+        "paper: binomial below CPU ({})",
+        small.speedup
+    );
+    assert!(
+        large.speedup < 1.0,
+        "paper: binomial below CPU ({})",
+        large.speedup
+    );
+    assert!(
+        large.speedup > small.speedup,
+        "paper: speedup grows with input size"
+    );
 }
 
 #[test]
 fn figure2_prefix_sum_cpu_dominates() {
     let p = measure(&PrefixSum, PlatformKind::Target, 256, SEED).expect("prefix");
-    assert!(p.speedup < 0.2, "paper: the accumulation loop CPU wins big ({})", p.speedup);
+    assert!(
+        p.speedup < 0.2,
+        "paper: the accumulation loop CPU wins big ({})",
+        p.speedup
+    );
 }
 
 #[test]
@@ -48,7 +71,10 @@ fn figure2_spmv_transfers_dominate_but_trend_rises() {
     let small = measure(&Spmv, PlatformKind::Target, 128, SEED).expect("small");
     let large = measure(&Spmv, PlatformKind::Target, 1024, SEED).expect("large");
     assert!(small.speedup < 1.0 && large.speedup < 1.0);
-    assert!(large.speedup > small.speedup, "paper: SpMV trend indicates larger sets would pay off");
+    assert!(
+        large.speedup > small.speedup,
+        "paper: SpMV trend indicates larger sets would pay off"
+    );
 }
 
 #[test]
@@ -64,7 +90,11 @@ fn figure3_bitonic_sort_is_the_headline_speedup() {
 #[test]
 fn figure3_mandelbrot_gpu_wins_and_only_output_transfers() {
     let p = measure(&Mandelbrot, PlatformKind::Target, 512, SEED).expect("mandelbrot");
-    assert!(p.speedup > 2.0, "paper: mandelbrot is a GPU showcase ({})", p.speedup);
+    assert!(
+        p.speedup > 2.0,
+        "paper: mandelbrot is a GPU showcase ({})",
+        p.speedup
+    );
     assert_eq!(p.gpu.bytes_uploaded, 0, "paper: value does not depend on input");
 }
 
@@ -74,7 +104,10 @@ fn figure3_sgemm_wins_and_reference_scales_better() {
     let t512 = measure(&Sgemm, PlatformKind::Target, 512, SEED).expect("t512");
     let r512 = measure(&Sgemm, PlatformKind::Reference, 512, SEED).expect("r512");
     assert!(t512.speedup > 1.0, "paper: sgemm achieves significant speedups");
-    assert!(t512.speedup >= t256.speedup * 0.9, "speedup should not collapse with size");
+    assert!(
+        t512.speedup >= t256.speedup * 0.9,
+        "speedup should not collapse with size"
+    );
     // Paper §6.2: the vectorized x86 Brook+ achieves better scalability
     // than the scalar Brook Auto version past 256x256.
     assert!(
@@ -105,7 +138,8 @@ fn sampled_and_full_dispatch_agree_on_counters() {
         let a = ctx.stream(&[64, 64]).expect("a");
         let o = ctx.stream(&[64, 64]).expect("o");
         ctx.write(&a, &vec![1.0; 4096]).expect("write");
-        ctx.run(&module, "f", &[Arg::Stream(&a), Arg::Stream(&o)]).expect("run");
+        ctx.run(&module, "f", &[Arg::Stream(&a), Arg::Stream(&o)])
+            .expect("run");
         counts.push(ctx.gpu_counters().alu_ops as f64);
     }
     let rel = (counts[0] - counts[1]).abs() / counts[0];
@@ -119,5 +153,8 @@ fn productivity_gap_reproduced_in_direction() {
     // be substantial.
     let brook_loc = brook_apps::sgemm::kernel_source(1024).lines().count();
     let hand_loc = gles2_handwritten::loc();
-    assert!(hand_loc >= brook_loc * 5, "productivity gap too small: {brook_loc} vs {hand_loc}");
+    assert!(
+        hand_loc >= brook_loc * 5,
+        "productivity gap too small: {brook_loc} vs {hand_loc}"
+    );
 }
