@@ -25,10 +25,12 @@
 
 pub mod analysis;
 pub mod engine;
+pub mod predicates;
 pub mod report;
 pub mod rules;
 
 pub use analysis::{CallGraph, LoopBound};
 pub use engine::{certify, certify_source, CertConfig, ComplianceReport, Finding, KernelReport};
+pub use predicates::{violated_rules, violates, CertPredicates};
 pub use report::{render_matrix, render_report, render_rule_catalogue};
 pub use rules::{rule_meta, Discharge, RuleId, RuleMeta, RULES};

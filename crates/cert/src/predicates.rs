@@ -1,0 +1,167 @@
+//! Machine-queryable certification-rule predicates.
+//!
+//! The report types in [`crate::engine`] answer "*is this program
+//! compliant?*" after the fact; this module answers the forward question
+//! a *program generator* needs: "*would a kernel with these
+//! characteristics pass the gate?*". The `brook-fuzz` differential
+//! fuzzer uses it in both directions — to keep random kernels inside the
+//! certifiable subset, and to construct kernels that step outside it by
+//! exactly one rule so the gate's rejection can be asserted.
+//!
+//! The predicates are deliberately defined in terms of the same
+//! [`CertConfig`] fields the engine enforces, so generator and gate can
+//! never drift apart silently: `kernel_limits` tests below pin each
+//! predicate to the engine's behaviour on a concrete program.
+
+use crate::engine::{CertConfig, ComplianceReport};
+use crate::rules::RuleId;
+use std::collections::BTreeSet;
+
+/// Forward view of a [`CertConfig`]: for each statically analysed rule,
+/// whether a candidate value stays within the gate's limit, and the
+/// smallest value that violates it.
+#[derive(Debug, Clone, Copy)]
+pub struct CertPredicates<'a> {
+    cfg: &'a CertConfig,
+}
+
+impl<'a> CertPredicates<'a> {
+    /// Predicates for the given gate configuration.
+    pub fn new(cfg: &'a CertConfig) -> Self {
+        CertPredicates { cfg }
+    }
+
+    /// BA005: would `n` output streams pass?
+    pub fn outputs_within_limit(&self, n: u32) -> bool {
+        n <= self.cfg.max_outputs
+    }
+
+    /// BA006: would `n` input streams/gathers pass?
+    pub fn inputs_within_limit(&self, n: u32) -> bool {
+        n <= self.cfg.max_inputs
+    }
+
+    /// BA003: would a single loop of `trips` iterations pass?
+    pub fn loop_trips_within_limit(&self, trips: u64) -> bool {
+        trips <= self.cfg.max_loop_trips
+    }
+
+    /// BA009: would a helper call chain of depth `d` pass?
+    pub fn call_depth_within_limit(&self, d: u32) -> bool {
+        d <= self.cfg.max_call_depth
+    }
+
+    /// BA010: would a worst-case estimate of `est` instructions pass?
+    pub fn instructions_within_limit(&self, est: u64) -> bool {
+        est <= self.cfg.max_instructions
+    }
+
+    /// Smallest output count the gate rejects (BA005).
+    pub fn min_violating_outputs(&self) -> u32 {
+        self.cfg.max_outputs + 1
+    }
+
+    /// Smallest input count the gate rejects (BA006).
+    pub fn min_violating_inputs(&self) -> u32 {
+        self.cfg.max_inputs + 1
+    }
+
+    /// Smallest loop trip count the gate rejects (BA003).
+    pub fn min_violating_trips(&self) -> u64 {
+        self.cfg.max_loop_trips + 1
+    }
+
+    /// Smallest helper call depth the gate rejects (BA009).
+    pub fn min_violating_call_depth(&self) -> u32 {
+        self.cfg.max_call_depth + 1
+    }
+}
+
+/// The set of rules violated anywhere in a report, in code order.
+pub fn violated_rules(report: &ComplianceReport) -> BTreeSet<RuleId> {
+    report
+        .kernels
+        .iter()
+        .flat_map(|k| k.violations().map(|f| f.rule))
+        .collect()
+}
+
+/// True when the report carries at least one violation of `rule`.
+pub fn violates(report: &ComplianceReport, rule: RuleId) -> bool {
+    violated_rules(report).contains(&rule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::certify_source;
+
+    #[test]
+    fn predicates_mirror_config() {
+        let cfg = CertConfig::default();
+        let p = CertPredicates::new(&cfg);
+        assert!(p.outputs_within_limit(cfg.max_outputs));
+        assert!(!p.outputs_within_limit(p.min_violating_outputs()));
+        assert!(p.inputs_within_limit(cfg.max_inputs));
+        assert!(!p.inputs_within_limit(p.min_violating_inputs()));
+        assert!(p.loop_trips_within_limit(cfg.max_loop_trips));
+        assert!(!p.loop_trips_within_limit(p.min_violating_trips()));
+        assert!(p.call_depth_within_limit(cfg.max_call_depth));
+        assert!(!p.call_depth_within_limit(p.min_violating_call_depth()));
+        assert!(p.instructions_within_limit(cfg.max_instructions));
+        assert!(!p.instructions_within_limit(cfg.max_instructions + 1));
+    }
+
+    /// The forward predicates and the engine must agree on concrete
+    /// programs at the exact boundary.
+    #[test]
+    fn kernel_limits_match_engine_behaviour() {
+        let cfg = CertConfig {
+            max_loop_trips: 8,
+            ..CertConfig::default()
+        };
+        let p = CertPredicates::new(&cfg);
+        let src_at = "kernel void f(float a<>, out float o<>) {
+            float s = 0.0;
+            int i;
+            for (i = 0; i < 8; i += 1) { s += a; }
+            o = s;
+        }";
+        let src_over = "kernel void f(float a<>, out float o<>) {
+            float s = 0.0;
+            int i;
+            for (i = 0; i < 9; i += 1) { s += a; }
+            o = s;
+        }";
+        let (_, at) = certify_source(src_at, &cfg).unwrap();
+        let (_, over) = certify_source(src_over, &cfg).unwrap();
+        assert!(p.loop_trips_within_limit(8));
+        assert!(at.is_compliant());
+        assert!(!p.loop_trips_within_limit(9));
+        assert!(violates(&over, RuleId::BoundedLoops));
+    }
+
+    #[test]
+    fn violated_rules_collects_in_code_order() {
+        let src = "kernel void f(float a<>, out float o<>) {
+            float s = 0.0;
+            while (s < 1.0) { s += a; }
+            o = s;
+        }";
+        let (_, r) = certify_source(src, &CertConfig::default()).unwrap();
+        let rules: Vec<RuleId> = violated_rules(&r).into_iter().collect();
+        assert_eq!(rules, vec![RuleId::BoundedLoops, RuleId::InstructionBudget]);
+        assert!(violates(&r, RuleId::BoundedLoops));
+        assert!(!violates(&r, RuleId::OutputLimit));
+    }
+
+    #[test]
+    fn compliant_report_has_no_violated_rules() {
+        let (_, r) = certify_source(
+            "kernel void f(float a<>, out float o<>) { o = a; }",
+            &CertConfig::default(),
+        )
+        .unwrap();
+        assert!(violated_rules(&r).is_empty());
+    }
+}

@@ -273,6 +273,13 @@ impl Gen<'_> {
         }
     }
 
+    /// Emits the `_gather_<name>` helper. Out-of-range indices clamp to
+    /// the nearest valid element in *logical* index space, matching the
+    /// CPU reference interpreter and the paper's CLAMP_TO_EDGE argument
+    /// (§4, BA012). Relying on texel-space clamping alone is not enough:
+    /// power-of-two padding and linear row wrapping would map an
+    /// out-of-range logical index onto a padding texel or a foreign row
+    /// instead of the edge element.
     fn emit_gather_fetch(&self, out: &mut String, p: &Param, rank: u8) {
         let ty = glsl_type(p.ty);
         let meta = meta_uniform(&p.name);
@@ -285,46 +292,50 @@ impl Gen<'_> {
         let fetch = self.texel_fetch(p, "_col", "_row");
         match rank {
             1 => {
+                // meta.z carries the total logical length of a
+                // linear-packed stream.
                 let _ = writeln!(
                     out,
-                    "{ty} _gather_{}(float i0) {{\n{}}}",
+                    "{ty} _gather_{}(float i0) {{\n    float _i0 = clamp(i0, 0.0, {meta}.z - 1.0);\n{}}}",
                     p.name,
-                    linear_body("i0", &fetch)
+                    linear_body("_i0", &fetch)
                 );
             }
             2 => match self.shapes.rank(&p.name) {
                 StreamRank::Grid => {
-                    let direct = self.texel_fetch(p, "i1", "i0");
+                    let direct = self.texel_fetch(p, "_i1", "_i0");
                     let _ = writeln!(
                         out,
-                        "{ty} _gather_{}(float i0, float i1) {{\n    return {direct};\n}}",
+                        "{ty} _gather_{}(float i0, float i1) {{\n    float _i0 = clamp(i0, 0.0, {meta}.w - 1.0);\n    float _i1 = clamp(i1, 0.0, {meta}.z - 1.0);\n    return {direct};\n}}",
                         p.name
                     );
                 }
                 StreamRank::Linear => {
+                    // Rank-2 gather over a linear-packed stream: clamp
+                    // the combined index to the logical length.
                     let _ = writeln!(
                         out,
                         "{ty} _gather_{}(float i0, float i1) {{\n{}}}",
                         p.name,
-                        linear_body(&format!("i0 * {meta}.z + i1"), &fetch)
+                        linear_body(&format!("clamp(i0 * {meta}.z + i1, 0.0, {meta}.z - 1.0)"), &fetch)
                     );
                 }
             },
             3 => {
                 let _ = writeln!(
                     out,
-                    "{ty} _gather_{}(float i0, float i1, float i2) {{\n{}}}",
+                    "{ty} _gather_{}(float i0, float i1, float i2) {{\n    float _i0 = clamp(i0, 0.0, {shape}.x - 1.0);\n    float _i1 = clamp(i1, 0.0, {shape}.y - 1.0);\n    float _i2 = clamp(i2, 0.0, {shape}.z - 1.0);\n{}}}",
                     p.name,
-                    linear_body(&format!("(i0 * {shape}.y + i1) * {shape}.z + i2"), &fetch)
+                    linear_body(&format!("(_i0 * {shape}.y + _i1) * {shape}.z + _i2"), &fetch)
                 );
             }
             _ => {
                 let _ = writeln!(
                     out,
-                    "{ty} _gather_{}(float i0, float i1, float i2, float i3) {{\n{}}}",
+                    "{ty} _gather_{}(float i0, float i1, float i2, float i3) {{\n    float _i0 = clamp(i0, 0.0, {shape}.x - 1.0);\n    float _i1 = clamp(i1, 0.0, {shape}.y - 1.0);\n    float _i2 = clamp(i2, 0.0, {shape}.z - 1.0);\n    float _i3 = clamp(i3, 0.0, {shape}.w - 1.0);\n{}}}",
                     p.name,
                     linear_body(
-                        &format!("((i0 * {shape}.y + i1) * {shape}.z + i2) * {shape}.w + i3"),
+                        &format!("((_i0 * {shape}.y + _i1) * {shape}.z + _i2) * {shape}.w + _i3"),
                         &fetch
                     )
                 );

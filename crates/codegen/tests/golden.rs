@@ -1,0 +1,152 @@
+//! Golden-snapshot tests: generated GLSL for representative kernels is
+//! pinned against committed `.glsl` fixtures, so any codegen drift —
+//! intended or not — shows up as a reviewable diff instead of a silent
+//! behaviour change three layers down.
+//!
+//! To update the fixtures after an *intentional* codegen change:
+//!
+//! ```text
+//! BROOK_BLESS=1 cargo test -p brook-codegen --test golden
+//! ```
+//!
+//! then review the diff like any other code change.
+
+use brook_codegen::{generate_kernel_shader, KernelShapes, StorageMode, StreamRank};
+use brook_lang::parse_and_check;
+use std::fs;
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(format!("{name}.glsl"))
+}
+
+fn check_golden(
+    name: &str,
+    src: &str,
+    kernel: &str,
+    output: &str,
+    shapes: KernelShapes,
+    storage: StorageMode,
+) {
+    let checked = parse_and_check(src).expect("front-end");
+    let generated = generate_kernel_shader(&checked, kernel, output, &shapes, storage).expect("codegen");
+    // The generated shader must always be valid GLSL ES for the
+    // simulator, golden or not.
+    glsl_es::compile(&generated.glsl).expect("generated GLSL must compile");
+    let path = fixture_path(name);
+    if std::env::var_os("BROOK_BLESS").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, &generated.glsl).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run with BROOK_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        generated.glsl, expected,
+        "generated GLSL for `{name}` drifted from its golden fixture; \
+         if intentional, re-bless with BROOK_BLESS=1 and review the diff"
+    );
+}
+
+/// The canonical elementwise kernel on the native-float desktop profile.
+#[test]
+fn golden_saxpy_native_grid() {
+    check_golden(
+        "saxpy_native_grid",
+        "kernel void saxpy(float x<>, float y<>, float alpha, out float r<>) { r = alpha * x + y; }",
+        "saxpy",
+        "r",
+        KernelShapes::default()
+            .with("x", StreamRank::Grid)
+            .with("y", StreamRank::Grid)
+            .with("r", StreamRank::Grid),
+        StorageMode::Native,
+    );
+}
+
+/// Packed RGBA8 storage: every fetch routes through `ba_decode` and the
+/// result through `ba_encode` (paper §5.4).
+#[test]
+fn golden_scale_packed_linear() {
+    check_golden(
+        "scale_packed_linear",
+        "kernel void scale(float a<>, float k, out float o<>) { o = a * k; }",
+        "scale",
+        "o",
+        KernelShapes::default()
+            .with("a", StreamRank::Linear)
+            .with("o", StreamRank::Linear),
+        StorageMode::Packed,
+    );
+}
+
+/// Gathers in both ranks: logical-space edge clamping plus the hidden
+/// `_meta_*` size uniforms (paper §5.2-§5.3).
+#[test]
+fn golden_gather_mix_packed() {
+    check_golden(
+        "gather_mix_packed",
+        "kernel void g(float lut[], float m[][], float i<>, out float o<>) {
+            o = lut[int(i)] + m[int(i) + 1][int(i)];
+        }",
+        "g",
+        "o",
+        KernelShapes::default()
+            .with("lut", StreamRank::Linear)
+            .with("m", StreamRank::Grid)
+            .with("i", StreamRank::Linear)
+            .with("o", StreamRank::Linear),
+        StorageMode::Packed,
+    );
+}
+
+/// Control flow, `indexof` and a helper function call in one kernel.
+#[test]
+fn golden_loop_indexof_helper_native() {
+    check_golden(
+        "loop_indexof_helper_native",
+        "float sq(float v) { return v * v; }
+         kernel void f(float a<>, out float o<>) {
+            float s = 0.0;
+            int i;
+            for (i = 0; i < 8; i += 1) {
+                if (a > 0.5) { s += sq(a); } else { s -= 0.25; }
+            }
+            o = s + indexof(o).x;
+         }",
+        "f",
+        "o",
+        KernelShapes::default()
+            .with("a", StreamRank::Grid)
+            .with("o", StreamRank::Grid),
+        StorageMode::Native,
+    );
+}
+
+/// Every fixture on disk corresponds to a test above (no stale goldens).
+#[test]
+fn no_orphan_fixtures() {
+    let dir = fixture_path("x");
+    let dir = dir.parent().unwrap();
+    let known = [
+        "saxpy_native_grid.glsl",
+        "scale_packed_linear.glsl",
+        "gather_mix_packed.glsl",
+        "loop_indexof_helper_native.glsl",
+    ];
+    for entry in fs::read_dir(dir).expect("golden dir") {
+        let name = entry.unwrap().file_name();
+        let name = name.to_string_lossy().into_owned();
+        assert!(
+            known.contains(&name.as_str()),
+            "orphan golden fixture `{name}`: remove it or add a test"
+        );
+    }
+}

@@ -1,0 +1,31 @@
+precision highp float;
+varying vec2 v_texcoord;
+uniform vec2 _ba_vp;
+uniform sampler2D _tex_a;
+uniform vec4 _meta_a;
+uniform vec4 _meta_o;
+float _fetch_a() {
+    vec2 _i = floor(v_texcoord * _meta_a.zw);
+    return texture2D(_tex_a, (vec2(_i.x, _i.y) + 0.5) / _meta_a.xy).x;
+}
+float b_sq(float b_v) {
+    return (b_v * b_v);
+}
+
+void main() {
+    vec2 _pc = floor(v_texcoord * _ba_vp);
+    float _lin = _pc.y * _ba_vp.x + _pc.x;
+    float b_a = _fetch_a();
+    float _out_o = 0.0;
+    float b_s = 0.0;
+    int b_i = 0;
+    for (b_i = 0; (b_i < 8); b_i += 1) {
+        if ((b_a > 5e-1)) {
+            b_s += b_sq(b_a);
+        } else {
+            b_s -= 2.5e-1;
+        }
+    }
+    _out_o = (b_s + _pc.x);
+    gl_FragColor = vec4(_out_o, 0.0, 0.0, 0.0);
+}

@@ -230,8 +230,22 @@ impl BrookContext {
                     self.check_stream(s)?;
                     bound_args.push((p.name.clone(), BoundArg::Elem(s.index)));
                 }
-                (ParamKind::Gather { .. }, Arg::Stream(s)) => {
+                (ParamKind::Gather { rank }, Arg::Stream(s)) => {
                     self.check_stream(s)?;
+                    // A rank-R gather must be bound to a rank-R stream:
+                    // the backends translate indices through the
+                    // stream's layout, and the CPU fallback for
+                    // mismatched ranks (first-index clamp) is not
+                    // expressible in the GL index translation — enforced
+                    // here so every backend computes the same element.
+                    let srank = self.backend.stream_desc(s.index).shape.len();
+                    if srank != rank as usize {
+                        return Err(BrookError::Usage(format!(
+                            "gather `{}` has rank {rank} but the bound stream has {srank} \
+                             dimension(s)",
+                            p.name
+                        )));
+                    }
                     bound_args.push((p.name.clone(), BoundArg::Gather(s.index)));
                 }
                 (ParamKind::OutStream, Arg::Stream(s)) => {

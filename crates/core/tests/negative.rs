@@ -1,0 +1,299 @@
+//! Negative-path validation of `BrookContext`: every misuse must fail
+//! with the *same, specific* `BrookError` variant on every registered
+//! backend — a clean `Usage`/`Certification` error, never a
+//! backend-dependent panic, GL fault or silent wrong answer. This is the
+//! runtime half of the certification story: the static gate rejects bad
+//! programs, the context rejects bad launches.
+
+use brook_auto::{registered_backends, Arg, BrookContext, BrookError};
+
+const ADD: &str = "kernel void add(float a<>, float b<>, out float c<>) { c = a + b; }";
+const SAXPY: &str = "kernel void saxpy(float x<>, float alpha, out float r<>) { r = alpha * x; }";
+const SUM: &str = "reduce void sum(float a<>, reduce float r<>) { r += a; }";
+
+fn all_contexts() -> Vec<BrookContext> {
+    registered_backends().iter().map(|b| (b.make)()).collect()
+}
+
+/// Asserts the error is the `Usage` variant, tagged with the backend.
+fn assert_usage(err: BrookError, backend: &str, what: &str) {
+    assert!(
+        matches!(err, BrookError::Usage(_)),
+        "{backend}: {what}: expected BrookError::Usage, got: {err}"
+    );
+}
+
+#[test]
+fn too_few_arguments_rejected_everywhere() {
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let module = ctx.compile(ADD).unwrap();
+        let a = ctx.stream(&[4]).unwrap();
+        let c = ctx.stream(&[4]).unwrap();
+        let err = ctx
+            .run(&module, "add", &[Arg::Stream(&a), Arg::Stream(&c)])
+            .unwrap_err();
+        assert_usage(err, name, "2 args for 3 params");
+    }
+}
+
+#[test]
+fn too_many_arguments_rejected_everywhere() {
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let module = ctx.compile(ADD).unwrap();
+        let a = ctx.stream(&[4]).unwrap();
+        let b = ctx.stream(&[4]).unwrap();
+        let c = ctx.stream(&[4]).unwrap();
+        let err = ctx
+            .run(
+                &module,
+                "add",
+                &[Arg::Stream(&a), Arg::Stream(&b), Arg::Stream(&c), Arg::Float(1.0)],
+            )
+            .unwrap_err();
+        assert_usage(err, name, "4 args for 3 params");
+    }
+}
+
+#[test]
+fn stream_passed_for_scalar_parameter_rejected_everywhere() {
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let module = ctx.compile(SAXPY).unwrap();
+        let x = ctx.stream(&[4]).unwrap();
+        let bogus = ctx.stream(&[4]).unwrap();
+        let r = ctx.stream(&[4]).unwrap();
+        let err = ctx
+            .run(
+                &module,
+                "saxpy",
+                &[Arg::Stream(&x), Arg::Stream(&bogus), Arg::Stream(&r)],
+            )
+            .unwrap_err();
+        assert_usage(err, name, "stream bound to scalar param");
+    }
+}
+
+#[test]
+fn scalar_passed_for_stream_parameter_rejected_everywhere() {
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let module = ctx.compile(ADD).unwrap();
+        let b = ctx.stream(&[4]).unwrap();
+        let c = ctx.stream(&[4]).unwrap();
+        let err = ctx
+            .run(
+                &module,
+                "add",
+                &[Arg::Float(1.0), Arg::Stream(&b), Arg::Stream(&c)],
+            )
+            .unwrap_err();
+        assert_usage(err, name, "scalar bound to stream param");
+    }
+}
+
+#[test]
+fn scalar_width_mismatch_rejected_everywhere() {
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let module = ctx.compile(SAXPY).unwrap();
+        let x = ctx.stream(&[4]).unwrap();
+        let r = ctx.stream(&[4]).unwrap();
+        let err = ctx
+            .run(
+                &module,
+                "saxpy",
+                &[Arg::Stream(&x), Arg::Float4([1.0; 4]), Arg::Stream(&r)],
+            )
+            .unwrap_err();
+        assert_usage(err, name, "float4 for float scalar");
+    }
+}
+
+#[test]
+fn unknown_kernel_rejected_everywhere() {
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let module = ctx.compile(ADD).unwrap();
+        let err = ctx.run(&module, "nonsense", &[]).unwrap_err();
+        assert_usage(err, name, "unknown kernel name");
+    }
+}
+
+#[test]
+fn run_on_reduce_kernel_rejected_everywhere() {
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let module = ctx.compile(SUM).unwrap();
+        let a = ctx.stream(&[4]).unwrap();
+        let r = ctx.stream(&[1]).unwrap();
+        let err = ctx
+            .run(&module, "sum", &[Arg::Stream(&a), Arg::Stream(&r)])
+            .unwrap_err();
+        assert_usage(err, name, "run() on a reduce kernel");
+    }
+}
+
+#[test]
+fn reduce_on_map_kernel_rejected_everywhere() {
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let module = ctx.compile(ADD).unwrap();
+        let a = ctx.stream(&[4]).unwrap();
+        let err = ctx.reduce(&module, "add", &a).unwrap_err();
+        assert_usage(err, name, "reduce() on a map kernel");
+    }
+}
+
+#[test]
+fn in_place_kernel_rejected_everywhere() {
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let module = ctx.compile(ADD).unwrap();
+        let a = ctx.stream(&[4]).unwrap();
+        let b = ctx.stream(&[4]).unwrap();
+        ctx.write(&a, &[0.0; 4]).unwrap();
+        ctx.write(&b, &[0.0; 4]).unwrap();
+        let err = ctx
+            .run(
+                &module,
+                "add",
+                &[Arg::Stream(&a), Arg::Stream(&b), Arg::Stream(&a)],
+            )
+            .unwrap_err();
+        assert_usage(err, name, "output aliases an input");
+    }
+}
+
+#[test]
+fn gather_aliasing_output_rejected_everywhere() {
+    let src = "kernel void g(float t[], float i<>, out float o<>) { o = t[int(i)]; }";
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let module = ctx.compile(src).unwrap();
+        let t = ctx.stream(&[4]).unwrap();
+        let i = ctx.stream(&[4]).unwrap();
+        ctx.write(&t, &[0.0; 4]).unwrap();
+        ctx.write(&i, &[0.0; 4]).unwrap();
+        let err = ctx
+            .run(&module, "g", &[Arg::Stream(&t), Arg::Stream(&i), Arg::Stream(&t)])
+            .unwrap_err();
+        assert_usage(err, name, "output aliases a gather");
+    }
+}
+
+#[test]
+fn gather_rank_mismatch_rejected_everywhere() {
+    // A rank-2 gather bound to a 1-D stream (and vice versa) has no
+    // consistent cross-backend index translation; the context must
+    // refuse the binding instead of letting backends disagree.
+    let rank2 = "kernel void g(float t[][], float i<>, out float o<>) { o = t[int(i)][0]; }";
+    let rank1 = "kernel void g(float t[], float i<>, out float o<>) { o = t[int(i)]; }";
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let module = ctx.compile(rank2).unwrap();
+        let t = ctx.stream(&[10]).unwrap(); // 1-D stream for a 2-D gather
+        let i = ctx.stream(&[4]).unwrap();
+        let o = ctx.stream(&[4]).unwrap();
+        let err = ctx
+            .run(&module, "g", &[Arg::Stream(&t), Arg::Stream(&i), Arg::Stream(&o)])
+            .unwrap_err();
+        assert_usage(err, name, "rank-2 gather bound to 1-D stream");
+
+        let module = ctx.compile(rank1).unwrap();
+        let t2 = ctx.stream(&[3, 5]).unwrap(); // 2-D stream for a 1-D gather
+        let err = ctx
+            .run(
+                &module,
+                "g",
+                &[Arg::Stream(&t2), Arg::Stream(&i), Arg::Stream(&o)],
+            )
+            .unwrap_err();
+        assert_usage(err, name, "rank-1 gather bound to 2-D stream");
+    }
+}
+
+#[test]
+fn duplicate_output_streams_rejected_everywhere() {
+    let src = "kernel void two(float a<>, out float x<>, out float y<>) { x = a; y = a + 1.0; }";
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let module = ctx.compile(src).unwrap();
+        let a = ctx.stream(&[4]).unwrap();
+        let o = ctx.stream(&[4]).unwrap();
+        ctx.write(&a, &[0.0; 4]).unwrap();
+        let err = ctx
+            .run(
+                &module,
+                "two",
+                &[Arg::Stream(&a), Arg::Stream(&o), Arg::Stream(&o)],
+            )
+            .unwrap_err();
+        assert_usage(err, name, "same stream bound to two outputs");
+    }
+}
+
+#[test]
+fn foreign_stream_rejected_everywhere() {
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let module = ctx.compile(ADD).unwrap();
+        let mut other = BrookContext::cpu();
+        let foreign = other.stream(&[4]).unwrap();
+        let b = ctx.stream(&[4]).unwrap();
+        let c = ctx.stream(&[4]).unwrap();
+        let err = ctx
+            .run(
+                &module,
+                "add",
+                &[Arg::Stream(&foreign), Arg::Stream(&b), Arg::Stream(&c)],
+            )
+            .unwrap_err();
+        assert_usage(err, name, "stream from another context");
+    }
+}
+
+#[test]
+fn wrong_size_write_rejected_everywhere() {
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let s = ctx.stream(&[8]).unwrap();
+        let err = ctx.write(&s, &[1.0, 2.0]).unwrap_err();
+        assert_usage(err, name, "2 values into an 8-element stream");
+    }
+}
+
+#[test]
+fn noncompliant_program_yields_certification_variant_everywhere() {
+    let src = "kernel void f(float a<>, out float o<>) {
+        float s = 0.0;
+        while (s < 10.0) { s += a; }
+        o = s;
+    }";
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let err = ctx.compile(src).unwrap_err();
+        match err {
+            BrookError::Certification(report) => {
+                assert!(
+                    report.violation_count() >= 1,
+                    "{name}: report must carry the violations"
+                );
+            }
+            other => panic!("{name}: expected Certification, got: {other}"),
+        }
+    }
+}
+
+#[test]
+fn front_end_error_yields_frontend_variant_everywhere() {
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let err = ctx.compile("kernel void broken(float a<> { }").unwrap_err();
+        assert!(
+            matches!(err, BrookError::FrontEnd(_)),
+            "{name}: expected FrontEnd, got: {err}"
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Mutation testing for the fuzzer itself: a deliberately *buggy*
+//! backend.
+//!
+//! A differential harness that never fires is indistinguishable from one
+//! that works. [`SaboteurBackend`] wraps the serial CPU reference
+//! through the public [`BackendExecutor`] trait — exactly like an
+//! out-of-tree backend would plug in — and corrupts one element of one
+//! output after every dispatch. The integration tests register it in the
+//! matrix and assert the campaign (a) catches the divergence, (b)
+//! shrinks the case, and (c) emits a repro bundle. If a refactor ever
+//! silences the comparison, this canary test fails first.
+
+use brook_auto::{BackendExecutor, BrookContext, CpuBackend, KernelLaunch, Result, StreamDesc};
+use brook_cert::CertConfig;
+use brook_lang::{CheckedProgram, ReduceOp};
+
+/// How much the saboteur perturbs the corrupted element — far outside
+/// every comparison tolerance.
+const CORRUPTION: f32 = 0.125;
+
+/// A CPU backend with an injected bug: after every successful dispatch,
+/// the first element of the first output stream is nudged by
+/// [`CORRUPTION`].
+pub struct SaboteurBackend {
+    inner: CpuBackend,
+}
+
+impl SaboteurBackend {
+    /// A fresh sabotaged backend.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        SaboteurBackend {
+            inner: CpuBackend::new(),
+        }
+    }
+
+    /// A ready-made context on the sabotaged backend, named so the
+    /// bitwise (`cpu*`) comparison policy applies.
+    pub fn context() -> BrookContext {
+        BrookContext::with_backend(Box::new(SaboteurBackend::new()), CertConfig::default())
+    }
+}
+
+impl BackendExecutor for SaboteurBackend {
+    fn name(&self) -> &'static str {
+        "cpu-sabotaged"
+    }
+
+    fn create_stream(&mut self, desc: StreamDesc) -> Result<usize> {
+        self.inner.create_stream(desc)
+    }
+
+    fn stream_desc(&self, index: usize) -> &StreamDesc {
+        self.inner.stream_desc(index)
+    }
+
+    fn write_stream(&mut self, index: usize, values: &[f32]) -> Result<()> {
+        self.inner.write_stream(index, values)
+    }
+
+    fn read_stream(&mut self, index: usize) -> Result<Vec<f32>> {
+        self.inner.read_stream(index)
+    }
+
+    fn dispatch(&mut self, launch: &KernelLaunch<'_>) -> Result<()> {
+        self.inner.dispatch(launch)?;
+        // The injected bug: corrupt output element 0.
+        if let Some((_, out_idx)) = launch.outputs.first() {
+            let mut data = self.inner.read_stream(*out_idx)?;
+            if let Some(v) = data.first_mut() {
+                *v += CORRUPTION;
+            }
+            self.inner.write_stream(*out_idx, &data)?;
+        }
+        Ok(())
+    }
+
+    fn reduce(&mut self, checked: &CheckedProgram, kernel: &str, op: ReduceOp, input: usize) -> Result<f32> {
+        self.inner.reduce(checked, kernel, op, input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brook_auto::Arg;
+
+    #[test]
+    fn saboteur_differs_from_reference_by_exactly_the_corruption() {
+        let src = "kernel void dbl(float a<>, out float o<>) { o = a * 2.0; }";
+        let mut good = BrookContext::cpu();
+        let mut bad = SaboteurBackend::context();
+        let run = |ctx: &mut BrookContext| {
+            let module = ctx.compile(src).unwrap();
+            let a = ctx.stream(&[4]).unwrap();
+            let o = ctx.stream(&[4]).unwrap();
+            ctx.write(&a, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+            ctx.run(&module, "dbl", &[Arg::Stream(&a), Arg::Stream(&o)])
+                .unwrap();
+            ctx.read(&o).unwrap()
+        };
+        let reference = run(&mut good);
+        let sabotaged = run(&mut bad);
+        assert_eq!(reference, vec![2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(sabotaged[0], reference[0] + CORRUPTION);
+        assert_eq!(&sabotaged[1..], &reference[1..]);
+    }
+}

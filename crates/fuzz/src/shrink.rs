@@ -1,0 +1,277 @@
+//! Minimizing a diverging case.
+//!
+//! Shrinking never invents new programs: every candidate is an edit of
+//! the failing case (fewer statements, simpler control flow, smaller
+//! loop bounds, smaller shapes), revalidated through the *real*
+//! front-end and certification gate, and re-run through the caller's
+//! failure predicate. The result is the smallest edit of the original
+//! that still diverges — which is what a backend author wants to stare
+//! at, not a 40-line random kernel.
+
+use crate::gen::FuzzCase;
+use brook_cert::{certify, CertConfig};
+use brook_lang::ast::*;
+
+/// Maximum shrink iterations (each iteration tries every candidate edit
+/// once); a backstop, normal cases converge in a handful.
+const MAX_ROUNDS: usize = 64;
+
+/// Shrinks `case` while `still_fails` keeps returning `true` for the
+/// candidate. Returns the smallest failing case found (possibly the
+/// original if nothing simpler still fails).
+pub fn shrink<F>(case: &FuzzCase, mut still_fails: F) -> FuzzCase
+where
+    F: FnMut(&FuzzCase) -> bool,
+{
+    let mut best = case.clone();
+    for _ in 0..MAX_ROUNDS {
+        let mut improved = false;
+
+        // 1. Drop one top-level kernel statement at a time (reverse
+        //    order, so consumers go before their declarations). Output
+        //    assignments are kept: a kernel that writes nothing cannot
+        //    witness a divergence, so removing them never minimizes a
+        //    real failure — it only degenerates the case.
+        let kernel_len = kernel_stmt_len(&best);
+        for idx in (0..kernel_len).rev() {
+            if is_output_assignment(&best, idx) {
+                continue;
+            }
+            let mut cand = best.clone();
+            remove_kernel_stmt(&mut cand, idx);
+            if try_accept(&mut cand, &mut still_fails) {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+        if improved {
+            continue;
+        }
+
+        // 2. Flatten control flow: replace an `if` with its then-branch,
+        //    a `for` with its body.
+        for idx in 0..kernel_stmt_len(&best) {
+            let mut cand = best.clone();
+            if flatten_kernel_stmt(&mut cand, idx) && try_accept(&mut cand, &mut still_fails) {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+        if improved {
+            continue;
+        }
+
+        // 3. Shrink loop bounds to a single trip.
+        {
+            let mut cand = best.clone();
+            if shrink_loop_bounds(&mut cand) && try_accept(&mut cand, &mut still_fails) {
+                best = cand;
+                continue;
+            }
+        }
+
+        // 4. Shrink the domain and gather shapes.
+        {
+            let mut cand = best.clone();
+            if halve_shapes(&mut cand) && try_accept(&mut cand, &mut still_fails) {
+                best = cand;
+                continue;
+            }
+        }
+
+        break; // fixpoint: no candidate this round still fails
+    }
+    best
+}
+
+/// Refreshes the candidate's source/data and accepts it when it is still
+/// a valid, certifiable program that still fails.
+fn try_accept<F>(cand: &mut FuzzCase, still_fails: &mut F) -> bool
+where
+    F: FnMut(&FuzzCase) -> bool,
+{
+    cand.refresh();
+    if !revalidate(cand) {
+        return false;
+    }
+    still_fails(cand)
+}
+
+/// A candidate must still round-trip through the real front-end and the
+/// certification gate — shrinking must not escape the tested subset.
+fn revalidate(case: &FuzzCase) -> bool {
+    let Ok(checked) = brook_lang::parse_and_check(&case.source) else {
+        return false;
+    };
+    certify(&checked, &CertConfig::default()).is_compliant()
+}
+
+fn kernel_body_mut(case: &mut FuzzCase) -> Option<&mut Block> {
+    case.program.items.iter_mut().find_map(|i| match i {
+        Item::Kernel(k) => Some(&mut k.body),
+        Item::Function(_) => None,
+    })
+}
+
+fn kernel_stmt_len(case: &FuzzCase) -> usize {
+    case.program
+        .kernels()
+        .next()
+        .map(|k| k.body.stmts.len())
+        .unwrap_or(0)
+}
+
+/// True when kernel-body statement `idx` assigns directly to an `out`
+/// stream parameter.
+fn is_output_assignment(case: &FuzzCase, idx: usize) -> bool {
+    let Some(k) = case.program.kernels().next() else {
+        return false;
+    };
+    let Some(Stmt::Assign { target, .. }) = k.body.stmts.get(idx) else {
+        return false;
+    };
+    let ExprKind::Var(name) = &target.kind else {
+        return false;
+    };
+    k.params
+        .iter()
+        .any(|p| p.kind == ParamKind::OutStream && &p.name == name)
+}
+
+fn remove_kernel_stmt(case: &mut FuzzCase, idx: usize) {
+    if let Some(body) = kernel_body_mut(case) {
+        if idx < body.stmts.len() {
+            body.stmts.remove(idx);
+        }
+    }
+}
+
+/// Replaces `if`/`for` statement `idx` with its (then-)body statements.
+/// Returns false when the statement has no body to flatten into.
+fn flatten_kernel_stmt(case: &mut FuzzCase, idx: usize) -> bool {
+    let Some(body) = kernel_body_mut(case) else {
+        return false;
+    };
+    if idx >= body.stmts.len() {
+        return false;
+    }
+    let inner: Option<Vec<Stmt>> = match &body.stmts[idx] {
+        Stmt::If { then_block, .. } => Some(then_block.stmts.clone()),
+        Stmt::For { body: b, .. } => Some(b.stmts.clone()),
+        _ => None,
+    };
+    match inner {
+        Some(stmts) => {
+            body.stmts.splice(idx..idx + 1, stmts);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Rewrites every counted-loop bound greater than 1 down to 1. Returns
+/// whether anything changed.
+fn shrink_loop_bounds(case: &mut FuzzCase) -> bool {
+    fn visit(b: &mut Block) -> bool {
+        let mut changed = false;
+        for s in &mut b.stmts {
+            match s {
+                Stmt::For { cond, body, .. } => {
+                    if let Some(Expr {
+                        kind: ExprKind::Binary { rhs, .. },
+                        ..
+                    }) = cond
+                    {
+                        if let ExprKind::IntLit(v) = &mut rhs.kind {
+                            if *v > 1 {
+                                *v = 1;
+                                changed = true;
+                            }
+                        }
+                    }
+                    changed |= visit(body);
+                }
+                Stmt::If {
+                    then_block,
+                    else_block,
+                    ..
+                } => {
+                    changed |= visit(then_block);
+                    if let Some(e) = else_block {
+                        changed |= visit(e);
+                    }
+                }
+                Stmt::Block(inner) => changed |= visit(inner),
+                _ => {}
+            }
+        }
+        changed
+    }
+    let Some(body) = kernel_body_mut(case) else {
+        return false;
+    };
+    visit(body)
+}
+
+/// Halves every domain/gather dimension (floor at 1). Returns whether
+/// anything changed. `FuzzCase::refresh` regenerates the input buffers
+/// for the new sizes.
+fn halve_shapes(case: &mut FuzzCase) -> bool {
+    let mut changed = false;
+    for d in &mut case.domain_shape {
+        if *d > 1 {
+            *d = (*d).div_ceil(2);
+            changed = true;
+        }
+    }
+    if let Some(g) = &mut case.gather {
+        for d in &mut g.shape {
+            if *d > 1 {
+                *d = (*d).div_ceil(2);
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gen_case, GenConfig};
+    use brook_lang::pretty::print_program;
+
+    /// With a predicate that always fails, shrinking must drive the case
+    /// to its skeleton: output assignments only, unit shapes.
+    #[test]
+    fn shrinks_to_minimal_under_always_failing_predicate() {
+        let case = gen_case(0x5111, 7, &GenConfig::default());
+        let small = shrink(&case, |_| true);
+        assert!(small.stmt_count() <= case.stmt_count());
+        assert!(small.domain_len() <= case.domain_len());
+        assert!(small.domain_shape.iter().all(|d| *d == 1));
+        // The result must still be a valid, certifiable program.
+        assert!(revalidate(&small), "{}", small.source);
+        // Outputs must survive: removing them would break compilation,
+        // so the skeleton keeps at least one statement per output.
+        assert!(small.stmt_count() >= small.n_outputs);
+    }
+
+    /// With a predicate that never fails again, the original comes back
+    /// unchanged (shrinking must not "improve" a passing case).
+    #[test]
+    fn keeps_original_when_nothing_simpler_fails() {
+        let case = gen_case(0x5112, 3, &GenConfig::default());
+        let same = shrink(&case, |_| false);
+        assert_eq!(same.source, case.source);
+    }
+
+    #[test]
+    fn shrunk_sources_stay_in_sync_with_ast() {
+        let case = gen_case(0x5113, 1, &GenConfig::default());
+        let small = shrink(&case, |c| c.stmt_count() > 1);
+        assert_eq!(small.source, print_program(&small.program));
+    }
+}

@@ -1,0 +1,134 @@
+//! The fuzz smoke suite CI runs on every PR: a fixed-seed differential
+//! campaign across every registered backend, gate-escape checks, and the
+//! mutation self-test proving the harness actually catches bugs.
+
+use brook_fuzz::{
+    gen_case, run_campaign, run_campaign_on, CampaignFailure, FuzzConfig, GenConfig, Matrix, SaboteurBackend,
+};
+
+/// The pinned CI seed. Changing it invalidates triage links in old CI
+/// logs, so bump it deliberately, not incidentally.
+const CI_SEED: u64 = 0xB400_A070;
+
+/// ≥256 generated programs, every registered backend, zero divergence,
+/// zero gate escapes — the acceptance bar for the differential pipeline.
+#[test]
+fn campaign_256_cases_across_all_backends() {
+    let cfg = FuzzConfig {
+        seed: CI_SEED,
+        cases: 256,
+        negative_cases: 64,
+        ..FuzzConfig::default()
+    };
+    let stats = run_campaign(&cfg).unwrap_or_else(|f| panic!("campaign failed:\n{f}"));
+    assert_eq!(stats.positive_cases, 256);
+    assert_eq!(stats.negative_cases, 64);
+    assert!(
+        stats.rejected_by_rule.len() >= 4,
+        "negative generation should exercise several rules, got {:?}",
+        stats.rejected_by_rule
+    );
+}
+
+/// The campaign is a pure function of the seed: two runs generate the
+/// same programs (cheap proxy: the generated sources are identical).
+#[test]
+fn campaign_generation_is_deterministic() {
+    let gen_cfg = GenConfig::default();
+    for i in 0..32 {
+        let a = gen_case(CI_SEED, i, &gen_cfg);
+        let b = gen_case(CI_SEED, i, &gen_cfg);
+        assert_eq!(a.source, b.source, "case {i} not deterministic");
+        assert_eq!(a.inputs, b.inputs, "case {i} data not deterministic");
+    }
+}
+
+/// Mutation self-test: inject a sabotaged backend (one output element
+/// corrupted per dispatch, wired in through the public
+/// `BackendExecutor` trait) and require the campaign to catch it, shrink
+/// the case, and leave a repro bundle behind.
+#[test]
+fn injected_backend_bug_is_caught_minimized_and_bundled() {
+    let mut matrix = Matrix::default();
+    matrix.specs.push(brook_auto::BackendSpec {
+        name: "cpu-sabotaged",
+        make: SaboteurBackend::context,
+    });
+    let cfg = FuzzConfig {
+        seed: CI_SEED ^ 0xDEAD,
+        cases: 8, // the very first dispatch already trips the bug
+        negative_cases: 0,
+        ..FuzzConfig::default()
+    };
+    let failure = run_campaign_on(&cfg, &matrix).expect_err("sabotage must be detected");
+    match failure {
+        CampaignFailure::CaseFailed {
+            minimized,
+            original,
+            failure,
+            repro,
+        } => {
+            let text = failure.to_string();
+            assert!(
+                text.contains("cpu-sabotaged"),
+                "failure must name the buggy backend: {text}"
+            );
+            assert!(
+                minimized.stmt_count() <= original.stmt_count(),
+                "shrinking must not grow the case"
+            );
+            assert!(
+                minimized.domain_len() <= original.domain_len(),
+                "shrinking must not grow the domain"
+            );
+            // The corruption hits element 0 regardless of program shape,
+            // so the minimal domain is a single element.
+            assert_eq!(minimized.domain_len(), 1, "{}", minimized.source);
+            let dir = repro.expect("repro bundle must be written");
+            assert!(dir.join("program.br").is_file());
+            assert!(dir.join("inputs.txt").is_file());
+            assert!(dir.join("README.md").is_file());
+            assert!(
+                dir.join("output-cpu.txt").is_file(),
+                "reference outputs belong in the bundle"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        other => panic!("expected CaseFailed, got: {other}"),
+    }
+}
+
+/// A campaign against the real backends with a *different* seed than CI
+/// still passes — i.e. the smoke seed is not a lucky one. Kept small so
+/// the suite stays fast.
+#[test]
+fn alternate_seed_spot_check() {
+    let cfg = FuzzConfig {
+        seed: 0x5EED_0002,
+        cases: 24,
+        negative_cases: 16,
+        ..FuzzConfig::default()
+    };
+    let stats = run_campaign(&cfg).unwrap_or_else(|f| panic!("campaign failed:\n{f}"));
+    assert_eq!(stats.positive_cases, 24);
+}
+
+mod roundtrip_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Property form of the front-end round trip: for arbitrary
+        /// seeds (not just the CI seed), generated programs reparse and
+        /// re-print to the same canonical source.
+        #[test]
+        fn print_parse_fixed_point(seed in 0u64..1_000_000, index in 0u32..8) {
+            let case = gen_case(seed, index, &GenConfig::default());
+            let reparsed = brook_lang::parse(&case.source).expect("reparse");
+            let printed = brook_lang::pretty::print_program(&reparsed);
+            prop_assert_eq!(printed, case.source);
+        }
+    }
+}

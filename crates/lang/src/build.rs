@@ -1,0 +1,389 @@
+//! Programmatic AST construction.
+//!
+//! The parser is not the only producer of Brook syntax trees: the
+//! `brook-fuzz` generator assembles random well-typed kernels directly at
+//! the AST level, and tooling (e.g. kernel specializers) may want to do
+//! the same. [`AstBuilder`] owns the one piece of bookkeeping a
+//! hand-built tree needs — fresh, unique [`NodeId`]s — and provides
+//! constructors for every expression and statement form with synthetic
+//! spans.
+//!
+//! A builder-produced [`Program`] is a first-class citizen: it
+//! pretty-prints through [`crate::pretty`], re-parses, type-checks and
+//! certifies exactly like a parsed one.
+//!
+//! ```
+//! use brook_lang::ast::{ParamKind, Type};
+//! use brook_lang::build::AstBuilder;
+//!
+//! let mut b = AstBuilder::new();
+//! let a = b.var("a");
+//! let two = b.float_lit(2.0);
+//! let rhs = b.binary(brook_lang::ast::BinOp::Mul, a, two);
+//! let o = b.var("o");
+//! let body = vec![b.assign(o, rhs)];
+//! let kernel = b.kernel(
+//!     "dbl",
+//!     vec![
+//!         b.param("a", Type::FLOAT, ParamKind::Stream),
+//!         b.param("o", Type::FLOAT, ParamKind::OutStream),
+//!     ],
+//!     body,
+//! );
+//! let program = b.program(vec![kernel]);
+//! let src = brook_lang::pretty::print_program(&program);
+//! brook_lang::parse_and_check(&src).expect("builder output is valid Brook");
+//! ```
+
+use crate::ast::*;
+use crate::span::Span;
+
+/// Constructs AST nodes with unique ids and synthetic spans.
+#[derive(Debug, Default)]
+pub struct AstBuilder {
+    next_id: NodeId,
+}
+
+impl AstBuilder {
+    /// A fresh builder; ids start at 0.
+    pub fn new() -> Self {
+        AstBuilder { next_id: 0 }
+    }
+
+    fn id(&mut self) -> NodeId {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn expr(&mut self, kind: ExprKind) -> Expr {
+        Expr {
+            id: self.id(),
+            kind,
+            span: Span::synthetic(),
+        }
+    }
+
+    // -- expressions --------------------------------------------------------
+
+    /// Float literal.
+    pub fn float_lit(&mut self, v: f32) -> Expr {
+        self.expr(ExprKind::FloatLit(v))
+    }
+
+    /// Integer literal.
+    pub fn int_lit(&mut self, v: i64) -> Expr {
+        self.expr(ExprKind::IntLit(v))
+    }
+
+    /// Boolean literal.
+    pub fn bool_lit(&mut self, v: bool) -> Expr {
+        self.expr(ExprKind::BoolLit(v))
+    }
+
+    /// Variable or parameter reference.
+    pub fn var(&mut self, name: impl Into<String>) -> Expr {
+        self.expr(ExprKind::Var(name.into()))
+    }
+
+    /// Binary operation.
+    pub fn binary(&mut self, op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        self.expr(ExprKind::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
+    }
+
+    /// Unary operation.
+    pub fn unary(&mut self, op: UnOp, operand: Expr) -> Expr {
+        self.expr(ExprKind::Unary {
+            op,
+            operand: Box::new(operand),
+        })
+    }
+
+    /// `cond ? t : f`.
+    pub fn ternary(&mut self, cond: Expr, then_expr: Expr, else_expr: Expr) -> Expr {
+        self.expr(ExprKind::Ternary {
+            cond: Box::new(cond),
+            then_expr: Box::new(then_expr),
+            else_expr: Box::new(else_expr),
+        })
+    }
+
+    /// Builtin/helper/constructor call.
+    pub fn call(&mut self, callee: impl Into<String>, args: Vec<Expr>) -> Expr {
+        self.expr(ExprKind::Call {
+            callee: callee.into(),
+            args,
+        })
+    }
+
+    /// Gather access `base[i0]..[iN]`.
+    pub fn index(&mut self, base: Expr, indices: Vec<Expr>) -> Expr {
+        self.expr(ExprKind::Index {
+            base: Box::new(base),
+            indices,
+        })
+    }
+
+    /// Component access/swizzle (`components` in normalized `xyzw` form).
+    pub fn swizzle(&mut self, base: Expr, components: impl Into<String>) -> Expr {
+        self.expr(ExprKind::Swizzle {
+            base: Box::new(base),
+            components: components.into(),
+        })
+    }
+
+    /// `indexof(stream)`.
+    pub fn indexof(&mut self, stream: impl Into<String>) -> Expr {
+        self.expr(ExprKind::Indexof {
+            stream: stream.into(),
+        })
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    /// Local declaration, optionally initialized.
+    pub fn decl(&mut self, name: impl Into<String>, ty: Type, init: Option<Expr>) -> Stmt {
+        Stmt::Decl {
+            name: name.into(),
+            ty,
+            init,
+            span: Span::synthetic(),
+        }
+    }
+
+    /// Plain `target = value;`.
+    pub fn assign(&mut self, target: Expr, value: Expr) -> Stmt {
+        self.assign_op(target, AssignOp::Assign, value)
+    }
+
+    /// Compound assignment (`+=`, `-=`, ...).
+    pub fn assign_op(&mut self, target: Expr, op: AssignOp, value: Expr) -> Stmt {
+        Stmt::Assign {
+            target,
+            op,
+            value,
+            span: Span::synthetic(),
+        }
+    }
+
+    /// `if (cond) { then } else { else }`.
+    pub fn if_stmt(&mut self, cond: Expr, then_stmts: Vec<Stmt>, else_stmts: Option<Vec<Stmt>>) -> Stmt {
+        Stmt::If {
+            cond,
+            then_block: self.block(then_stmts),
+            else_block: else_stmts.map(|s| self.block(s)),
+            span: Span::synthetic(),
+        }
+    }
+
+    /// The canonical certifiable counted loop
+    /// `for (var = start; var < bound; var += 1) { body }` — the shape
+    /// the `brook-cert` BA003 analysis deduces a static trip count for.
+    pub fn counted_for(&mut self, var: &str, start: i64, bound: i64, body: Vec<Stmt>) -> Stmt {
+        let init_value = self.int_lit(start);
+        let init_target = self.var(var);
+        let init = self.assign(init_target, init_value);
+        let cond_lhs = self.var(var);
+        let cond_rhs = self.int_lit(bound);
+        let cond = self.binary(BinOp::Lt, cond_lhs, cond_rhs);
+        let step_target = self.var(var);
+        let step_value = self.int_lit(1);
+        let step = self.assign_op(step_target, AssignOp::AddAssign, step_value);
+        self.for_loop(Some(init), Some(cond), Some(step), body)
+    }
+
+    /// General `for` loop from explicit parts.
+    pub fn for_loop(
+        &mut self,
+        init: Option<Stmt>,
+        cond: Option<Expr>,
+        step: Option<Stmt>,
+        body: Vec<Stmt>,
+    ) -> Stmt {
+        Stmt::For {
+            init: init.map(Box::new),
+            cond,
+            step: step.map(Box::new),
+            body: self.block(body),
+            span: Span::synthetic(),
+        }
+    }
+
+    /// `while (cond) { body }` — deliberately constructible: the fuzz
+    /// generator uses it to assert the BA003 gate rejects it.
+    pub fn while_loop(&mut self, cond: Expr, body: Vec<Stmt>) -> Stmt {
+        Stmt::While {
+            cond,
+            body: self.block(body),
+            span: Span::synthetic(),
+        }
+    }
+
+    /// `return e;` / `return;` (helper functions only).
+    pub fn ret(&mut self, value: Option<Expr>) -> Stmt {
+        Stmt::Return {
+            value,
+            span: Span::synthetic(),
+        }
+    }
+
+    /// A `{ ... }` block.
+    pub fn block(&mut self, stmts: Vec<Stmt>) -> Block {
+        Block {
+            stmts,
+            span: Span::synthetic(),
+        }
+    }
+
+    // -- items --------------------------------------------------------------
+
+    /// One kernel parameter.
+    pub fn param(&self, name: impl Into<String>, ty: Type, kind: ParamKind) -> Param {
+        Param {
+            name: name.into(),
+            ty,
+            kind,
+            span: Span::synthetic(),
+        }
+    }
+
+    /// A `kernel void` definition.
+    pub fn kernel(&mut self, name: impl Into<String>, params: Vec<Param>, body: Vec<Stmt>) -> Item {
+        self.kernel_def(name, false, params, body)
+    }
+
+    /// A `reduce void` definition.
+    pub fn reduce_kernel(&mut self, name: impl Into<String>, params: Vec<Param>, body: Vec<Stmt>) -> Item {
+        self.kernel_def(name, true, params, body)
+    }
+
+    fn kernel_def(
+        &mut self,
+        name: impl Into<String>,
+        is_reduce: bool,
+        params: Vec<Param>,
+        body: Vec<Stmt>,
+    ) -> Item {
+        Item::Kernel(KernelDef {
+            name: name.into(),
+            is_reduce,
+            params,
+            body: self.block(body),
+            span: Span::synthetic(),
+        })
+    }
+
+    /// A helper function definition.
+    pub fn function(
+        &mut self,
+        name: impl Into<String>,
+        return_ty: Option<Type>,
+        params: Vec<(String, Type)>,
+        body: Vec<Stmt>,
+    ) -> Item {
+        Item::Function(FunctionDef {
+            name: name.into(),
+            return_ty,
+            params,
+            body: self.block(body),
+            span: Span::synthetic(),
+        })
+    }
+
+    /// Finishes the program, recording the id watermark so later passes
+    /// can keep allocating unique ids.
+    pub fn program(&mut self, items: Vec<Item>) -> Program {
+        Program {
+            items,
+            next_node_id: self.next_id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretty::print_program;
+
+    #[test]
+    fn built_kernel_parses_and_checks() {
+        let mut b = AstBuilder::new();
+        let two = b.float_lit(2.0);
+        let a = b.var("a");
+        let rhs = b.binary(BinOp::Mul, a, two);
+        let o = b.var("o");
+        let body = vec![b.assign(o, rhs)];
+        let k = b.kernel(
+            "dbl",
+            vec![
+                b.param("a", Type::FLOAT, ParamKind::Stream),
+                b.param("o", Type::FLOAT, ParamKind::OutStream),
+            ],
+            body,
+        );
+        let p = b.program(vec![k]);
+        let src = print_program(&p);
+        let checked = crate::parse_and_check(&src).expect("valid");
+        assert_eq!(checked.kernels[0].outputs, vec!["o"]);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut b = AstBuilder::new();
+        let e1 = b.float_lit(1.0);
+        let e2 = b.float_lit(1.0);
+        assert_ne!(e1.id, e2.id);
+    }
+
+    #[test]
+    fn counted_for_is_ba003_deducible() {
+        let mut b = AstBuilder::new();
+        let s = b.var("s");
+        let a = b.var("a");
+        let add = b.assign_op(s, AssignOp::AddAssign, a);
+        let loop_stmt = b.counted_for("i", 0, 8, vec![add]);
+        let zero = b.float_lit(0.0);
+        let o = b.var("o");
+        let s2 = b.var("s");
+        let body = vec![
+            b.decl("s", Type::FLOAT, Some(zero)),
+            b.decl("i", Type::INT, None),
+            loop_stmt,
+            b.assign(o, s2),
+        ];
+        let k = b.kernel(
+            "acc",
+            vec![
+                b.param("a", Type::FLOAT, ParamKind::Stream),
+                b.param("o", Type::FLOAT, ParamKind::OutStream),
+            ],
+            body,
+        );
+        let p = b.program(vec![k]);
+        let src = print_program(&p);
+        crate::parse_and_check(&src).expect("valid");
+        assert!(src.contains("for (i = 0; (i < 8); i += 1)"), "{src}");
+    }
+
+    #[test]
+    fn program_records_id_watermark() {
+        let mut b = AstBuilder::new();
+        let o = b.var("o");
+        let a = b.var("a");
+        let body = vec![b.assign(o, a)];
+        let k = b.kernel(
+            "f",
+            vec![
+                b.param("a", Type::FLOAT, ParamKind::Stream),
+                b.param("o", Type::FLOAT, ParamKind::OutStream),
+            ],
+            body,
+        );
+        let p = b.program(vec![k]);
+        assert!(p.next_node_id >= 2);
+    }
+}

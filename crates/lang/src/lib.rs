@@ -34,6 +34,7 @@
 //! [Trompouki & Kosmidis, DAC 2018]: https://doi.org/10.1145/3195970.3196002
 
 pub mod ast;
+pub mod build;
 pub mod builtins;
 pub mod diag;
 pub mod lexer;

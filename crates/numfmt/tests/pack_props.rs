@@ -1,0 +1,113 @@
+//! Property tests for the RGBA8 pack/unpack transformations across the
+//! full `f32` range: arbitrary bit patterns, subnormals, signed zeros
+//! and values at the pack-range edges.
+//!
+//! Documented tolerance (crate docs): the roundtrip is *exact* for every
+//! canonical value — `decode(encode(v)) == canonicalize(v)` bit-for-bit
+//! aside from `-0.0` (whose sign bit is preserved in the encoding but
+//! compares equal to `0.0`). Non-canonical inputs (NaN, infinities,
+//! subnormals) first map onto the representable set via `canonicalize`.
+
+use brook_numfmt::{canonicalize, decode_f32, encode_f32, floats_to_texels, texels_to_floats};
+use proptest::prelude::*;
+use proptest::sample::select;
+
+/// Exact-roundtrip check used by every property below.
+fn assert_exact_roundtrip(v: f32) {
+    let c = canonicalize(v);
+    let back = decode_f32(encode_f32(v));
+    assert!(
+        back == c || (back == 0.0 && c == 0.0),
+        "roundtrip of {v} ({:#010x}): expected {c}, got {back}",
+        v.to_bits()
+    );
+    // And through the channel (shader-visible) representation.
+    let through = texels_to_floats(&floats_to_texels(&[v]));
+    assert!(
+        through[0] == c || (through[0] == 0.0 && c == 0.0),
+        "channel roundtrip of {v}: expected {c}, got {}",
+        through[0]
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every possible bit pattern — including NaN payloads and both
+    /// infinities — roundtrips to its canonical value.
+    #[test]
+    fn full_bit_range_roundtrips_to_canonical(bits in any::<u32>()) {
+        assert_exact_roundtrip(f32::from_bits(bits));
+    }
+
+    /// Subnormals flush to a (signed) zero and stay there.
+    #[test]
+    fn subnormals_flush_to_zero(v in proptest::num::f32::SUBNORMAL) {
+        prop_assert!(v != 0.0 && v.abs() < f32::MIN_POSITIVE, "strategy must be subnormal");
+        prop_assert_eq!(canonicalize(v), 0.0);
+        prop_assert_eq!(decode_f32(encode_f32(v)), 0.0);
+        assert_exact_roundtrip(v);
+    }
+
+    /// Normal values roundtrip bit-exactly.
+    #[test]
+    fn normals_roundtrip_bit_exact(v in proptest::num::f32::NORMAL) {
+        prop_assert_eq!(decode_f32(encode_f32(v)).to_bits(), v.to_bits());
+    }
+
+    /// One-ulp walks around the pack-range edges: the largest finite
+    /// values, the smallest normals, and the subnormal boundary.
+    #[test]
+    fn pack_range_edges_roundtrip(
+        anchor in select(vec![
+            f32::MAX,
+            f32::MIN, // most negative finite
+            f32::MIN_POSITIVE,
+            -f32::MIN_POSITIVE,
+            1.0,
+            -1.0,
+        ]),
+        steps in 0u32..=3,
+        down in any::<bool>(),
+    ) {
+        let mut bits = anchor.to_bits();
+        for _ in 0..steps {
+            // Walking the bit pattern walks magnitude ulp by ulp.
+            bits = if down { bits.wrapping_sub(1) } else { bits.wrapping_add(1) };
+        }
+        assert_exact_roundtrip(f32::from_bits(bits));
+    }
+
+    /// Encoding is sign-symmetric for canonical values.
+    #[test]
+    fn encode_is_sign_symmetric(v in proptest::num::f32::NORMAL) {
+        let pos = encode_f32(v.abs());
+        let neg = encode_f32(-v.abs());
+        prop_assert_eq!(pos[0], neg[0]);
+        prop_assert_eq!(pos[1], neg[1]);
+        prop_assert_eq!(pos[2], neg[2]);
+        prop_assert_eq!(neg[3], pos[3] | 0x80);
+    }
+}
+
+#[test]
+fn signed_zeros_roundtrip_with_sign_bit() {
+    let pz = encode_f32(0.0);
+    let nz = encode_f32(-0.0);
+    assert_eq!(decode_f32(pz), 0.0);
+    assert_eq!(decode_f32(nz), 0.0);
+    assert_eq!(pz[3] & 0x80, 0, "+0.0 must not carry the sign bit");
+    assert_eq!(nz[3] & 0x80, 0x80, "-0.0 must keep the sign bit");
+    assert!(decode_f32(nz).is_sign_negative());
+}
+
+#[test]
+fn saturation_edges_are_exact() {
+    assert_eq!(decode_f32(encode_f32(f32::INFINITY)), f32::MAX);
+    assert_eq!(decode_f32(encode_f32(f32::NEG_INFINITY)), f32::MIN);
+    assert_eq!(decode_f32(encode_f32(f32::NAN)), 0.0);
+    // The boundary values themselves are representable and exact.
+    for v in [f32::MAX, f32::MIN, f32::MIN_POSITIVE, -f32::MIN_POSITIVE] {
+        assert_eq!(decode_f32(encode_f32(v)).to_bits(), v.to_bits());
+    }
+}

@@ -1,0 +1,162 @@
+//! Gather edge-clamp boundary semantics (paper §4, rules BA011/BA012):
+//! out-of-range gather indices clamp to the nearest valid element — the
+//! `CLAMP_TO_EDGE` texture behaviour that makes memory violations
+//! unable to crash the system — and they must clamp to the **same**
+//! element on every backend, including when power-of-two texture
+//! padding or linear row wrapping would otherwise expose padding
+//! texels.
+//!
+//! Probed indices per dimension: `-1`, `0`, `len-1`, `len`, and far out
+//! of range in both directions.
+
+use brook_auto::{registered_backends, Arg, BrookContext};
+use proptest::prelude::*;
+
+/// Runs `src` on every backend with the given streams; returns each
+/// backend's output.
+fn run_everywhere(
+    src: &str,
+    kernel: &str,
+    gather: (&[usize], &[f32]),
+    index_data: &[f32],
+    shape: &[usize],
+) -> Vec<(&'static str, Vec<f32>)> {
+    let mut runs = Vec::new();
+    for spec in registered_backends() {
+        let mut ctx: BrookContext = (spec.make)();
+        let module = ctx
+            .compile(src)
+            .unwrap_or_else(|e| panic!("{}: compile: {e}", spec.name));
+        let t = ctx.stream(gather.0).expect("gather stream");
+        ctx.write(&t, gather.1).expect("gather write");
+        let i = ctx.stream(shape).expect("index stream");
+        ctx.write(&i, index_data).expect("index write");
+        let o = ctx.stream(shape).expect("out stream");
+        ctx.run(
+            &module,
+            kernel,
+            &[Arg::Stream(&t), Arg::Stream(&i), Arg::Stream(&o)],
+        )
+        .unwrap_or_else(|e| panic!("{}: run: {e}", spec.name));
+        runs.push((spec.name, ctx.read(&o).expect("read")));
+    }
+    runs
+}
+
+fn assert_backends_agree(runs: &[(&'static str, Vec<f32>)], what: &str) {
+    let (ref_name, reference) = &runs[0];
+    assert_eq!(*ref_name, "cpu");
+    for (name, out) in &runs[1..] {
+        for (i, (c, g)) in reference.iter().zip(out).enumerate() {
+            let scale = 1.0f32.max(c.abs());
+            assert!(
+                (c - g).abs() <= 1e-3 * scale,
+                "{what}: {name} element {i}: cpu {c} vs {g}"
+            );
+        }
+    }
+}
+
+/// 1-D gather on a deliberately padding-exposed table: 10 elements in a
+/// 16-wide power-of-two texture. Indices beyond `len-1` used to land on
+/// padding texels on the GL path.
+#[test]
+fn rank1_boundary_indices_agree_on_padded_table() {
+    let src = "kernel void g(float t[], float i<>, out float o<>) { o = t[int(i)]; }";
+    let table: Vec<f32> = (0..10).map(|k| (k * k) as f32 + 1.0).collect();
+    let indices = vec![-1.0, 0.0, 9.0, 10.0, 12.0, 15.0, -10000.0, 10000.0];
+    let shape = [indices.len()];
+    let runs = run_everywhere(src, "g", (&[10], &table), &indices, &shape);
+    // CPU clamp semantics are the oracle: -1 -> 0, >=len -> len-1.
+    assert_eq!(
+        runs[0].1,
+        vec![table[0], table[0], table[9], table[9], table[9], table[9], table[0], table[9]]
+    );
+    assert_backends_agree(&runs, "rank1 padded table");
+}
+
+/// 1-D gather large enough to wrap texture rows on the embedded target
+/// (width 2048): linear index clamping must happen before the row/col
+/// translation, or index `len` wraps to the start of the last row.
+#[test]
+fn rank1_boundary_indices_agree_on_row_wrapped_table() {
+    let src = "kernel void g(float t[], float i<>, out float o<>) { o = t[int(i)]; }";
+    let n = 3000; // wraps to a second row at width 2048
+    let table: Vec<f32> = (0..n).map(|k| k as f32 * 0.25).collect();
+    let indices = vec![-1.0, 0.0, 2999.0, 3000.0, 4095.0, 100000.0];
+    let shape = [indices.len()];
+    let runs = run_everywhere(src, "g", (&[n], &table), &indices, &shape);
+    assert_eq!(
+        runs[0].1,
+        vec![
+            table[0],
+            table[0],
+            table[2999],
+            table[2999],
+            table[2999],
+            table[2999]
+        ]
+    );
+    assert_backends_agree(&runs, "rank1 row-wrapped table");
+}
+
+/// 2-D gather on a padded grid (3x5 in a 4x8 texture): each dimension
+/// clamps independently, exactly as the CPU reference does.
+#[test]
+fn rank2_boundary_indices_agree_on_padded_grid() {
+    let src = "kernel void g(float t[][], float i<>, out float o<>) {
+        float2 p = indexof(o);
+        int r = int(i);
+        int c = int(p.x) - 1;
+        o = t[r][c];
+    }";
+    let (rows, cols) = (3usize, 5usize);
+    let table: Vec<f32> = (0..rows * cols).map(|k| k as f32 + 1.0).collect();
+    // One output row per probed row index; the column index sweeps
+    // -1..cols+1 via the indexof-derived `c`.
+    let row_probes = [-1.0f32, 0.0, 2.0, 3.0, 100.0, -100.0];
+    for probe in row_probes {
+        let shape = [cols + 2]; // c in -1 ..= cols
+        let indices = vec![probe; cols + 2];
+        let runs = run_everywhere(src, "g", (&[rows, cols], &table), &indices, &shape);
+        let r = (probe as i64).clamp(0, rows as i64 - 1) as usize;
+        let expected: Vec<f32> = (0..cols + 2)
+            .map(|x| {
+                let c = (x as i64 - 1).clamp(0, cols as i64 - 1) as usize;
+                table[r * cols + c]
+            })
+            .collect();
+        assert_eq!(runs[0].1, expected, "cpu oracle at row probe {probe}");
+        assert_backends_agree(&runs, &format!("rank2 padded grid row {probe}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Property form: any table length and any index (derived from the
+    /// length via `prop_flat_map`, so far-out probes scale with the
+    /// table) agree across all backends.
+    #[test]
+    fn any_index_agrees_everywhere(
+        (len, idx) in (2usize..40).prop_flat_map(|len| {
+            let l = len as i64;
+            (Just(len), -2 * l..2 * l)
+        })
+    ) {
+        let src = "kernel void g(float t[], float i<>, out float o<>) { o = t[int(i)]; }";
+        let table: Vec<f32> = (0..len).map(|k| (k as f32).sin()).collect();
+        let indices = vec![idx as f32; 4];
+        let runs = run_everywhere(src, "g", (&[len], &table), &indices, &[4]);
+        let expected = table[idx.clamp(0, len as i64 - 1) as usize];
+        for (name, out) in &runs {
+            for v in out {
+                prop_assert!(
+                    (v - expected).abs() <= 1e-3 * 1.0f32.max(expected.abs()),
+                    "{} idx {} len {}: expected {expected}, got {v}",
+                    name, idx, len
+                );
+            }
+        }
+    }
+}

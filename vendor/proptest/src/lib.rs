@@ -3,8 +3,9 @@
 //! The build environment has no crates.io access, so this vendored crate
 //! implements the subset of proptest's API this workspace's property
 //! tests use: the [`proptest!`] macro, range/string/collection/tuple
-//! strategies, `prop_oneof!`/`Just`, `prop_map`/`prop_recursive`,
-//! `proptest::num::f32::{ANY, NORMAL}`, `any::<T>()` and the
+//! strategies, `prop_oneof!`/`Just`/`sample::select`,
+//! `prop_map`/`prop_flat_map`/`prop_recursive`,
+//! `proptest::num::f32::{ANY, NORMAL, SUBNORMAL}`, `any::<T>()` and the
 //! `prop_assert*` macros.
 //!
 //! Differences from the real crate, none of which the tests rely on:
@@ -179,6 +180,52 @@ pub mod num {
                 let mantissa = rng.below(1 << 23);
                 f32::from_bits(sign as u32 | (exponent as u32) << 23 | mantissa as u32)
             }
+        }
+
+        /// Strategy over subnormal (denormal) floats: zero exponent,
+        /// non-zero mantissa, either sign.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Subnormal;
+
+        /// Subnormal `f32` values (the flush-to-zero edge cases of
+        /// GPU-storage formats).
+        pub const SUBNORMAL: Subnormal = Subnormal;
+
+        impl Strategy for Subnormal {
+            type Value = f32;
+
+            fn generate(&self, rng: &mut TestRng) -> f32 {
+                let sign = (rng.next_u64() & 1) << 31;
+                let mantissa = 1 + rng.below((1 << 23) - 1);
+                f32::from_bits(sign as u32 | mantissa as u32)
+            }
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling from explicit value lists.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy drawing uniformly from a fixed list of values.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Uniform draw from `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
         }
     }
 }

@@ -1,7 +1,7 @@
 //! The [`Strategy`] trait and its combinators.
 
 use crate::test_runner::TestRng;
-use std::ops::Range;
+use std::ops::{Range, RangeInclusive};
 use std::rc::Rc;
 
 /// A recipe for generating values of one type.
@@ -22,6 +22,18 @@ pub trait Strategy {
         F: Fn(Self::Value) -> O,
     {
         Map { inner: self, f }
+    }
+
+    /// Derives a dependent strategy from each generated value: `f` maps
+    /// the value to a new strategy, which produces the final value (e.g.
+    /// pick a length, then an index valid for that length).
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
     }
 
     /// Type-erases the strategy behind a cheap-to-clone handle.
@@ -108,6 +120,26 @@ where
     }
 }
 
+/// [`Strategy::prop_flat_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
 /// Uniform choice among type-erased strategies ([`crate::prop_oneof!`]).
 pub struct Union<T> {
     options: Vec<BoxedStrategy<T>>,
@@ -161,6 +193,23 @@ macro_rules! impl_range_strategy_int {
 }
 
 impl_range_strategy_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+macro_rules! impl_range_inclusive_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "cannot sample empty range");
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u128;
+                let off = (rng.next_u64() as u128 % span) as $t;
+                self.start().wrapping_add(off)
+            }
+        }
+    )*};
+}
+
+impl_range_inclusive_strategy_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
 
 impl Strategy for Range<f32> {
     type Value = f32;
