@@ -1,0 +1,26 @@
+//! Prints the eager-vs-fused pass-count / bytes-moved table for the
+//! three chained app workloads on the embedded GL ES 2.0 profile — the
+//! CI bench job's fusion-regression tripwire.
+//!
+//! ```text
+//! cargo run --release -p brook-bench --bin fusion_report
+//! ```
+
+use brook_bench::fusion::{chains, render_table, run_chain};
+
+fn main() {
+    let rows: Vec<_> = chains()
+        .iter()
+        .map(|c| run_chain(c).unwrap_or_else(|e| panic!("{}: {e}", c.app)))
+        .collect();
+    print!("{}", render_table(&rows));
+    let worst = rows
+        .iter()
+        .map(|r| r.pass_reduction())
+        .fold(f64::INFINITY, f64::min);
+    println!("\nworst pass reduction: {:.0}%", worst * 100.0);
+    if worst < 0.30 {
+        eprintln!("FUSION REGRESSION: a chained workload fell below the 30% pass-reduction bar");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,399 @@
+//! Eager-vs-fused pass accounting for chained app workloads.
+//!
+//! Three of the paper's eleven applications extend naturally into
+//! producer→consumer pipelines — exactly the shape §6's pass-splitting
+//! punishes and the stream-graph planner collapses:
+//!
+//! * **image_filter**: Sobel-X 3×3 convolution (the ADAS kernel) →
+//!   edge threshold;
+//! * **mandelbrot**: escape-time iteration → normalize → gamma;
+//! * **flops**: the vec4 MAD ladder → scale → offset.
+//!
+//! [`run_chain`] executes each chain twice on a fresh GL ES 2.0 context
+//! — eagerly with real intermediates, then deferred through
+//! [`BrookContext::graph`] — and reads the device's *measured* draw-call
+//! counter plus the planner's byte accounting. [`render_table`] prints
+//! the comparison the CI bench job surfaces, so a planner regression
+//! (fusion silently stopping) is visible in plain logs.
+
+use brook_apps::image_filter::{KERNEL as CONV_KERNEL, SOBEL_X};
+use brook_apps::{flops, mandelbrot};
+use brook_auto::{Arg, BrookContext, BrookError, Stream};
+use gles2_sim::DeviceProfile;
+
+/// One chained workload: its kernels and how to record it.
+pub struct Chain {
+    /// App the chain extends.
+    pub app: &'static str,
+    /// Pipeline description for the table.
+    pub pipeline: &'static str,
+    /// Stage launches, in order. Each stage receives the context/graph
+    /// recorder, the previous stage's output and its own output stream.
+    build: fn(&mut Recorder<'_, '_>) -> Result<(), BrookError>,
+    /// Domain shape.
+    shape: Vec<usize>,
+}
+
+/// Measured pass/byte costs of one execution mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeCost {
+    /// GPU draw calls actually issued (one per pass).
+    pub draw_calls: u64,
+    /// Device bytes the intermediates cost (texture write + read per
+    /// intermediate element); 0 when intermediates were elided.
+    pub intermediate_bytes: usize,
+}
+
+/// Eager-vs-fused comparison for one chain.
+#[derive(Debug, Clone)]
+pub struct ChainComparison {
+    /// App name.
+    pub app: &'static str,
+    /// Pipeline description.
+    pub pipeline: &'static str,
+    /// Eager execution cost.
+    pub eager: ModeCost,
+    /// Deferred-fused execution cost.
+    pub fused: ModeCost,
+    /// Final outputs of both modes (for validation).
+    pub outputs: (Vec<f32>, Vec<f32>),
+}
+
+impl ChainComparison {
+    /// Fraction of GPU passes fusion removed.
+    pub fn pass_reduction(&self) -> f64 {
+        1.0 - self.fused.draw_calls as f64 / self.eager.draw_calls as f64
+    }
+}
+
+/// Either the eager context or a graph recorder — lets one chain
+/// definition drive both modes.
+enum Mode<'g, 'ctx> {
+    Eager(&'g mut BrookContext),
+    Deferred(&'g mut brook_auto::BrookGraph<'ctx>),
+}
+
+/// What a chain's `build` function records against.
+pub struct Recorder<'g, 'ctx> {
+    mode: Mode<'g, 'ctx>,
+    shape: Vec<usize>,
+    /// The chain's final output (pre-created on the context).
+    out: Stream,
+    /// The previous stage's output.
+    prev: Option<Stream>,
+    /// Round-trip bytes (one texture write + one read per element) of
+    /// every intermediate this recording created — the eager cost the
+    /// planner gets to elide.
+    intermediate_bytes: usize,
+}
+
+impl Recorder<'_, '_> {
+    /// A fresh intermediate stream: real when eager, virtual when
+    /// deferred.
+    fn intermediate(&mut self) -> Result<Stream, BrookError> {
+        self.intermediate_bytes += self.shape.iter().product::<usize>() * 4 * 2;
+        match &mut self.mode {
+            Mode::Eager(ctx) => ctx.stream(&self.shape),
+            Mode::Deferred(g) => g.stream(&self.shape),
+        }
+    }
+
+    /// Records one stage: `mk_args` receives the stage's output stream
+    /// and builds the full argument list. The final stage writes the
+    /// chain output.
+    fn stage(
+        &mut self,
+        module: &brook_auto::BrookModule,
+        kernel: &str,
+        last: bool,
+        mk_args: impl FnOnce(&Stream, Option<&Stream>) -> Vec<OwnedArg>,
+    ) -> Result<(), BrookError> {
+        let out = if last { self.out } else { self.intermediate()? };
+        let prev = self.prev;
+        let owned = mk_args(&out, prev.as_ref());
+        let args: Vec<Arg<'_>> = owned.iter().map(OwnedArg::as_arg).collect();
+        match &mut self.mode {
+            Mode::Eager(ctx) => ctx.run(module, kernel, &args)?,
+            Mode::Deferred(g) => g.run(module, kernel, &args)?,
+        }
+        self.prev = Some(out);
+        Ok(())
+    }
+
+    fn compile(&mut self, source: &str) -> Result<brook_auto::BrookModule, BrookError> {
+        match &mut self.mode {
+            Mode::Eager(ctx) => ctx.compile(source),
+            Mode::Deferred(g) => g.compile(source),
+        }
+    }
+}
+
+/// An argument the chain definitions can build without borrowing pain.
+enum OwnedArg {
+    Stream(Stream),
+    Float(f32),
+    Float4([f32; 4]),
+}
+
+impl OwnedArg {
+    fn as_arg(&self) -> Arg<'_> {
+        match self {
+            OwnedArg::Stream(s) => Arg::Stream(s),
+            OwnedArg::Float(f) => Arg::Float(*f),
+            OwnedArg::Float4(v) => Arg::Float4(*v),
+        }
+    }
+}
+
+const THRESH_KERNEL: &str =
+    "kernel void thresh(float a<>, float lim, out float o<>) { o = (abs(a) > lim) ? 1.0 : 0.0; }";
+const NORM_KERNEL: &str = "kernel void norm(float a<>, float s, out float o<>) { o = a * s; }";
+const GAMMA_KERNEL: &str = "kernel void gamma(float a<>, out float o<>) { o = a * a; }";
+const OFFSET_KERNEL: &str = "kernel void offset(float a<>, float b, out float o<>) { o = a + b; }";
+
+fn sobel_threshold(r: &mut Recorder<'_, '_>) -> Result<(), BrookError> {
+    let module = r.compile(&format!("{CONV_KERNEL}\n{THRESH_KERNEL}"))?;
+    let w = SOBEL_X;
+    r.stage(&module, "conv3x3", false, |out, prev| {
+        vec![
+            OwnedArg::Stream(*prev.expect("image preloaded")),
+            OwnedArg::Float4([w[0], w[1], w[2], w[3]]),
+            OwnedArg::Float4([w[4], w[5], w[6], w[7]]),
+            OwnedArg::Float(w[8]),
+            OwnedArg::Stream(*out),
+        ]
+    })?;
+    r.stage(&module, "thresh", true, |out, prev| {
+        vec![
+            OwnedArg::Stream(*prev.expect("conv output")),
+            OwnedArg::Float(0.5),
+            OwnedArg::Stream(*out),
+        ]
+    })
+}
+
+fn mandelbrot_palette(r: &mut Recorder<'_, '_>) -> Result<(), BrookError> {
+    let size = r.shape[0];
+    let module = r.compile(&format!(
+        "{}\n{NORM_KERNEL}\n{GAMMA_KERNEL}",
+        mandelbrot::kernel_source()
+    ))?;
+    let (x0, y0, _, _) = mandelbrot::REGION;
+    let (dx, dy) = (3.5 / size as f32, 2.5 / size as f32);
+    r.stage(&module, "mandelbrot", false, |out, _| {
+        vec![
+            OwnedArg::Float(x0),
+            OwnedArg::Float(y0),
+            OwnedArg::Float(dx),
+            OwnedArg::Float(dy),
+            OwnedArg::Stream(*out),
+        ]
+    })?;
+    r.stage(&module, "norm", false, |out, prev| {
+        vec![
+            OwnedArg::Stream(*prev.expect("counts")),
+            OwnedArg::Float(1.0 / mandelbrot::MAX_ITER as f32),
+            OwnedArg::Stream(*out),
+        ]
+    })?;
+    r.stage(&module, "gamma", true, |out, prev| {
+        vec![
+            OwnedArg::Stream(*prev.expect("normalized")),
+            OwnedArg::Stream(*out),
+        ]
+    })
+}
+
+fn flops_postprocess(r: &mut Recorder<'_, '_>) -> Result<(), BrookError> {
+    let app = flops::Flops { iters: 16 };
+    let module = r.compile(&format!(
+        "{}\n{NORM_KERNEL}\n{OFFSET_KERNEL}",
+        app.kernel_source()
+    ))?;
+    r.stage(&module, "flops", false, |out, prev| {
+        vec![
+            OwnedArg::Stream(*prev.expect("a preloaded")),
+            OwnedArg::Stream(*prev.expect("b reuses a")),
+            OwnedArg::Stream(*out),
+        ]
+    })?;
+    r.stage(&module, "norm", false, |out, prev| {
+        vec![
+            OwnedArg::Stream(*prev.expect("flops output")),
+            OwnedArg::Float(1.0e-3),
+            OwnedArg::Stream(*out),
+        ]
+    })?;
+    r.stage(&module, "offset", true, |out, prev| {
+        vec![
+            OwnedArg::Stream(*prev.expect("normalized")),
+            OwnedArg::Float(1.0),
+            OwnedArg::Stream(*out),
+        ]
+    })
+}
+
+/// The three chained workloads of the fusion benchmark.
+pub fn chains() -> Vec<Chain> {
+    vec![
+        Chain {
+            app: "image_filter",
+            pipeline: "sobel3x3 → thresh",
+            build: sobel_threshold,
+            shape: vec![128, 128],
+        },
+        Chain {
+            app: "mandelbrot",
+            pipeline: "mandelbrot → norm → gamma",
+            build: mandelbrot_palette,
+            shape: vec![96, 96],
+        },
+        Chain {
+            app: "flops",
+            pipeline: "flops16 → norm → offset",
+            build: flops_postprocess,
+            shape: vec![64, 64],
+        },
+    ]
+}
+
+/// Deterministic input data in `[0, 1)` (the image/flops band).
+fn input_data(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((i * 2654435761) % 1000) as f32 / 1000.0)
+        .collect()
+}
+
+/// Runs `chain` eagerly and deferred-fused on fresh GL ES 2.0 contexts
+/// (embedded VideoCore profile), returning measured draw calls and the
+/// intermediates' byte traffic.
+///
+/// # Errors
+/// Compilation or dispatch failures on either path.
+pub fn run_chain(chain: &Chain) -> Result<ChainComparison, BrookError> {
+    let mut outputs = Vec::new();
+    let mut costs = Vec::new();
+    // Each intermediate costs one texture write plus one texture read of
+    // its full extent eagerly; the fused plan's report says how much of
+    // that it elided (both modes record the same intermediates, so the
+    // recorder's count is the eager traffic).
+    for fused in [false, true] {
+        let mut ctx = BrookContext::gles2(DeviceProfile::videocore_iv());
+        let n: usize = chain.shape.iter().product();
+        let first = ctx.stream(&chain.shape)?;
+        ctx.write(&first, &input_data(n))?;
+        let out = ctx.stream(&chain.shape)?;
+        ctx.reset_counters();
+        let intermediate_bytes = if fused {
+            let mut g = ctx.graph();
+            let mut r = Recorder {
+                mode: Mode::Deferred(&mut g),
+                shape: chain.shape.clone(),
+                out,
+                prev: Some(first),
+                intermediate_bytes: 0,
+            };
+            (chain.build)(&mut r)?;
+            let eager_traffic = r.intermediate_bytes;
+            let report = g.execute()?;
+            eager_traffic - report.intermediate_bytes_elided
+        } else {
+            let mut r = Recorder {
+                mode: Mode::Eager(&mut ctx),
+                shape: chain.shape.clone(),
+                out,
+                prev: Some(first),
+                intermediate_bytes: 0,
+            };
+            (chain.build)(&mut r)?;
+            r.intermediate_bytes
+        };
+        let draws = ctx.gpu_counters().draw_calls;
+        let result = ctx.read(&out)?;
+        outputs.push(result);
+        costs.push((draws, intermediate_bytes));
+    }
+    Ok(ChainComparison {
+        app: chain.app,
+        pipeline: chain.pipeline,
+        eager: ModeCost {
+            draw_calls: costs[0].0,
+            intermediate_bytes: costs[0].1,
+        },
+        fused: ModeCost {
+            draw_calls: costs[1].0,
+            intermediate_bytes: costs[1].1,
+        },
+        outputs: (outputs.swap_remove(0), outputs.swap_remove(0)),
+    })
+}
+
+/// Renders the eager-vs-fused table the CI bench job prints.
+pub fn render_table(rows: &[ChainComparison]) -> String {
+    let mut out = String::new();
+    out.push_str("chained workload                         | passes eager | passes fused | bytes moved eager | bytes moved fused | pass cut\n");
+    out.push_str("-----------------------------------------+--------------+--------------+-------------------+-------------------+---------\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:>12}: {:<26} | {:>12} | {:>12} | {:>17} | {:>17} | {:>7.0}%\n",
+            r.app,
+            r.pipeline,
+            r.eager.draw_calls,
+            r.fused.draw_calls,
+            r.eager.intermediate_bytes,
+            r.fused.intermediate_bytes,
+            r.pass_reduction() * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance bar: every chained workload loses ≥30% of its GPU
+    /// passes to fusion, and fusion does not change the result beyond
+    /// the storage tolerance (identical storage mode on both paths, so
+    /// the comparison is tight).
+    #[test]
+    fn all_three_chains_cut_passes_by_at_least_30_percent() {
+        let rows: Vec<ChainComparison> = chains()
+            .iter()
+            .map(|c| run_chain(c).unwrap_or_else(|e| panic!("{}: {e}", c.app)))
+            .collect();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(
+                r.pass_reduction() >= 0.30,
+                "{}: only {:.0}% pass reduction",
+                r.app,
+                r.pass_reduction() * 100.0
+            );
+            assert!(
+                r.fused.intermediate_bytes < r.eager.intermediate_bytes,
+                "{}: fusion must reduce intermediate traffic",
+                r.app
+            );
+            let (eager, fused) = &r.outputs;
+            assert_eq!(eager.len(), fused.len(), "{}", r.app);
+            for (i, (a, b)) in eager.iter().zip(fused).enumerate() {
+                let scale = 1.0f32.max(a.abs());
+                assert!(
+                    (a - b).abs() <= 1e-3 * scale,
+                    "{}: element {i}: eager {a} vs fused {b}",
+                    r.app
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let rows: Vec<ChainComparison> = chains().iter().map(|c| run_chain(c).expect("chain")).collect();
+        let table = render_table(&rows);
+        assert!(table.contains("image_filter"));
+        assert!(table.contains("mandelbrot"));
+        assert!(table.contains("flops"));
+    }
+}

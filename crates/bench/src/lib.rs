@@ -14,7 +14,9 @@
 //! (compiler, simulator, reductions) as a regression harness.
 
 pub mod figures;
+pub mod fusion;
 pub mod render;
 
 pub use figures::{fig1, fig2, fig3, fig4, Fig4Point, FigureSeries};
+pub use fusion::{chains, run_chain, ChainComparison};
 pub use render::{render_series, render_speedup_table};

@@ -56,6 +56,20 @@ impl<'a> CertPredicates<'a> {
         est <= self.cfg.max_instructions
     }
 
+    /// Kernel-fusion admissibility pre-check: would a *fused* kernel with
+    /// `inputs` stream/gather parameters and `outputs` output streams
+    /// still pass BA005/BA006?
+    ///
+    /// A fusing planner merges the parameter lists of a producer and a
+    /// consumer, so the fused kernel can exceed limits both originals
+    /// respected. This is the cheap forward filter; the planner must
+    /// still push the fused program through the full gate (the same
+    /// engine the eager path uses), because instruction budgets and loop
+    /// bounds compose in ways only the analysis can decide.
+    pub fn fusion_io_within_limits(&self, inputs: u32, outputs: u32) -> bool {
+        self.inputs_within_limit(inputs) && self.outputs_within_limit(outputs)
+    }
+
     /// Smallest output count the gate rejects (BA005).
     pub fn min_violating_outputs(&self) -> u32 {
         self.cfg.max_outputs + 1
@@ -110,6 +124,22 @@ mod tests {
         assert!(!p.call_depth_within_limit(p.min_violating_call_depth()));
         assert!(p.instructions_within_limit(cfg.max_instructions));
         assert!(!p.instructions_within_limit(cfg.max_instructions + 1));
+    }
+
+    /// The fusion pre-check is the conjunction of the input and output
+    /// limits, at their exact boundaries.
+    #[test]
+    fn fusion_io_mirrors_both_limits() {
+        let cfg = CertConfig {
+            max_inputs: 4,
+            max_outputs: 2,
+            ..CertConfig::default()
+        };
+        let p = CertPredicates::new(&cfg);
+        assert!(p.fusion_io_within_limits(4, 2));
+        assert!(!p.fusion_io_within_limits(5, 2));
+        assert!(!p.fusion_io_within_limits(4, 3));
+        assert!(!p.fusion_io_within_limits(5, 3));
     }
 
     /// The forward predicates and the engine must agree on concrete

@@ -130,6 +130,33 @@ fn golden_loop_indexof_helper_native() {
     );
 }
 
+/// The shape the stream-graph fuser emits (see `brook-auto`'s graph
+/// planner): a producer's body inlined ahead of the consumer's, its
+/// output let-bound to the zero-initialized local `t0`, every `indexof`
+/// redirected to the fused output. Pinned in packed storage so the
+/// let-bound intermediate demonstrably stays in registers — no
+/// `ba_encode`/`ba_decode` round-trip between the fused halves.
+/// (`brook-auto`'s `tests/graph.rs` pins the planner's actual output and
+/// its native-mode GLSL; this fixture pins the packed codegen for the
+/// same source.)
+#[test]
+fn golden_fused_chain_packed() {
+    check_golden(
+        "fused_chain_packed",
+        "kernel void fused_dbl_inc(float in0<>, out float o0<>) {
+    float t0 = 0.0;
+    t0 = (in0 * 2.0);
+    o0 = (t0 + 1.0);
+}",
+        "fused_dbl_inc",
+        "o0",
+        KernelShapes::default()
+            .with("in0", StreamRank::Linear)
+            .with("o0", StreamRank::Linear),
+        StorageMode::Packed,
+    );
+}
+
 /// Every fixture on disk corresponds to a test above (no stale goldens).
 #[test]
 fn no_orphan_fixtures() {
@@ -140,6 +167,7 @@ fn no_orphan_fixtures() {
         "scale_packed_linear.glsl",
         "gather_mix_packed.glsl",
         "loop_indexof_helper_native.glsl",
+        "fused_chain_packed.glsl",
     ];
     for entry in fs::read_dir(dir).expect("golden dir") {
         let name = entry.unwrap().file_name();

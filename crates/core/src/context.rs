@@ -13,21 +13,40 @@ use crate::error::{BrookError, Result};
 use crate::gpu::GpuState;
 use crate::stream::{Stream, StreamDesc};
 use brook_cert::{certify, CertConfig, ComplianceReport};
-use brook_lang::ast::ParamKind;
+use brook_lang::ast::{KernelDef, Param, ParamKind};
 use brook_lang::CheckedProgram;
 use gles2_sim::{DeviceProfile, DrawMode, Value};
 use perf_model::GpuRun;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 static NEXT_CONTEXT_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_MODULE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A fresh identifier from the same namespace contexts draw theirs from.
+/// Graph recorders use it to tag virtual streams so a handle can never
+/// be mistaken for one owned by any live context.
+pub(crate) fn fresh_owner_id() -> u64 {
+    NEXT_CONTEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A compiled, certified Brook Auto translation unit.
 #[derive(Debug, Clone)]
 pub struct BrookModule {
-    pub(crate) checked: CheckedProgram,
+    /// Shared so cloning a module (the graph recorder stores one clone
+    /// per recorded launch) never deep-copies the program AST.
+    pub(crate) checked: Arc<CheckedProgram>,
     /// The certification data produced at compile time (paper §4).
     pub report: ComplianceReport,
+    /// Globally unique module identity (backends key compiled-artifact
+    /// caches on it, so two contexts can never alias cache entries).
     pub(crate) id: u64,
+    /// The context that compiled (and certified) this module. `run` and
+    /// `reduce` reject modules from any other context: certification
+    /// limits are per-context, so letting a module compiled under a lax
+    /// [`CertConfig`] execute on a stricter context would bypass the
+    /// gate.
+    pub(crate) context_id: u64,
 }
 
 impl BrookModule {
@@ -57,9 +76,8 @@ pub enum Arg<'a> {
 /// The Brook Auto runtime context: owns streams, compiles kernels,
 /// dispatches them on the selected backend.
 pub struct BrookContext {
-    backend: Box<dyn BackendExecutor>,
-    context_id: u64,
-    next_module: u64,
+    pub(crate) backend: Box<dyn BackendExecutor>,
+    pub(crate) context_id: u64,
     cert_config: CertConfig,
     /// When false, `compile` accepts non-compliant programs (used for
     /// negative tests and for measuring what certification would reject).
@@ -74,7 +92,6 @@ impl BrookContext {
         BrookContext {
             backend,
             context_id: NEXT_CONTEXT_ID.fetch_add(1, Ordering::Relaxed),
-            next_module: 1,
             cert_config,
             enforce_certification: true,
         }
@@ -128,9 +145,21 @@ impl BrookContext {
         if self.enforce_certification && !report.is_compliant() {
             return Err(BrookError::Certification(Box::new(report)));
         }
-        let id = self.next_module;
-        self.next_module += 1;
-        Ok(BrookModule { checked, report, id })
+        Ok(BrookModule {
+            checked: Arc::new(checked),
+            report,
+            id: NEXT_MODULE_ID.fetch_add(1, Ordering::Relaxed),
+            context_id: self.context_id,
+        })
+    }
+
+    /// Opens a deferred recording scope: kernel launches recorded through
+    /// the returned [`crate::graph::BrookGraph`] are captured as a
+    /// dataflow graph, optimized (producer→consumer chains fused into
+    /// single passes, intermediates elided) and executed on this
+    /// context's backend by `execute()`.
+    pub fn graph(&mut self) -> crate::graph::BrookGraph<'_> {
+        crate::graph::BrookGraph::new(self)
     }
 
     /// Creates a statically-sized scalar `float` stream.
@@ -148,11 +177,7 @@ impl BrookContext {
     /// As [`BrookContext::stream`]; additionally, packed-storage devices
     /// reject `width > 1`.
     pub fn stream_with_width(&mut self, shape: &[usize], width: u8) -> Result<Stream> {
-        if !(1..=4).contains(&width) {
-            return Err(BrookError::Usage(format!(
-                "element width {width} out of range 1..=4"
-            )));
-        }
+        crate::stream::validate_stream_params(shape, width).map_err(BrookError::Usage)?;
         let desc = StreamDesc {
             shape: shape.to_vec(),
             width,
@@ -171,9 +196,29 @@ impl BrookContext {
         Ok(())
     }
 
+    /// A module is only valid on the context that compiled it: the
+    /// certification gate ran with *this* context's limits, and backends
+    /// key compiled-artifact caches on module identity.
+    pub(crate) fn check_module(&self, module: &BrookModule) -> Result<()> {
+        if module.context_id != self.context_id {
+            return Err(BrookError::Usage(
+                "module was compiled by a different context; certification limits are \
+                 per-context, so modules must be recompiled on the context that runs them"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
     /// Stream element count.
-    pub fn stream_len(&self, s: &Stream) -> usize {
-        self.backend.stream_desc(s.index).len()
+    ///
+    /// # Errors
+    /// Foreign streams — a handle from another context indexes a
+    /// different backend's stream table, so answering for it would
+    /// return an unrelated stream's length (or panic out of bounds).
+    pub fn stream_len(&self, s: &Stream) -> Result<usize> {
+        self.check_stream(s)?;
+        Ok(self.backend.stream_desc(s.index).len())
     }
 
     /// Copies values into a stream (`streamRead` in Brook terms).
@@ -202,131 +247,27 @@ impl BrookContext {
     /// Argument/parameter mismatches, certification-mode violations and
     /// backend failures.
     pub fn run(&mut self, module: &BrookModule, kernel: &str, args: &[Arg<'_>]) -> Result<()> {
+        self.check_module(module)?;
         let kdef = module
             .checked
             .program
             .kernel(kernel)
             .ok_or_else(|| BrookError::Usage(format!("unknown kernel `{kernel}`")))?
             .clone();
-        if kdef.is_reduce {
-            return Err(BrookError::Usage(format!(
-                "`{kernel}` is a reduce kernel; call `reduce` instead"
-            )));
-        }
-        if args.len() != kdef.params.len() {
-            return Err(BrookError::Usage(format!(
-                "kernel `{kernel}` has {} parameters, {} arguments given",
-                kdef.params.len(),
-                args.len()
-            )));
-        }
-        // Classify arguments against parameters into a backend-neutral
-        // launch description.
-        let mut bound_args: Vec<(String, BoundArg)> = Vec::new();
-        let mut outputs: Vec<(String, usize)> = Vec::new();
-        for (p, a) in kdef.params.iter().zip(args) {
-            match (p.kind, a) {
-                (ParamKind::Stream, Arg::Stream(s)) => {
-                    self.check_stream(s)?;
-                    bound_args.push((p.name.clone(), BoundArg::Elem(s.index)));
-                }
-                (ParamKind::Gather { rank }, Arg::Stream(s)) => {
-                    self.check_stream(s)?;
-                    // A rank-R gather must be bound to a rank-R stream:
-                    // the backends translate indices through the
-                    // stream's layout, and the CPU fallback for
-                    // mismatched ranks (first-index clamp) is not
-                    // expressible in the GL index translation — enforced
-                    // here so every backend computes the same element.
-                    let srank = self.backend.stream_desc(s.index).shape.len();
-                    if srank != rank as usize {
-                        return Err(BrookError::Usage(format!(
-                            "gather `{}` has rank {rank} but the bound stream has {srank} \
-                             dimension(s)",
-                            p.name
-                        )));
-                    }
-                    bound_args.push((p.name.clone(), BoundArg::Gather(s.index)));
-                }
-                (ParamKind::OutStream, Arg::Stream(s)) => {
-                    self.check_stream(s)?;
-                    bound_args.push((p.name.clone(), BoundArg::Out(s.index)));
-                    outputs.push((p.name.clone(), s.index));
-                }
-                (ParamKind::Scalar, arg) => {
-                    let v = match (p.ty.width, arg) {
-                        (_, Arg::Stream(_)) => {
-                            return Err(BrookError::Usage(format!(
-                                "parameter `{}` is a scalar but a stream was passed",
-                                p.name
-                            )))
-                        }
-                        (1, Arg::Float(f)) => {
-                            if p.ty.scalar == brook_lang::ast::ScalarKind::Int {
-                                Value::Int(*f as i32)
-                            } else {
-                                Value::Float(*f)
-                            }
-                        }
-                        (1, Arg::Int(i)) => {
-                            if p.ty.scalar == brook_lang::ast::ScalarKind::Int {
-                                Value::Int(*i)
-                            } else {
-                                Value::Float(*i as f32)
-                            }
-                        }
-                        (2, Arg::Float2(v)) => Value::Vec2(*v),
-                        (3, Arg::Float3(v)) => Value::Vec3(*v),
-                        (4, Arg::Float4(v)) => Value::Vec4(*v),
-                        _ => {
-                            return Err(BrookError::Usage(format!(
-                                "argument for `{}` does not match its type {}",
-                                p.name, p.ty
-                            )))
-                        }
-                    };
-                    bound_args.push((p.name.clone(), BoundArg::Scalar(v)));
-                }
-                (_, _) => {
-                    return Err(BrookError::Usage(format!(
-                        "parameter `{}` needs a stream argument",
-                        p.name
-                    )))
-                }
-            }
-        }
-        if outputs.is_empty() {
-            return Err(BrookError::Usage(format!(
-                "kernel `{kernel}` has no output streams"
-            )));
-        }
-        // Brook kernels never read their own output (ping-pong streams
-        // instead), and every output needs its own stream — enforced
-        // uniformly so every backend may assume it.
-        for (name, arg) in &bound_args {
-            if let BoundArg::Elem(i) | BoundArg::Gather(i) = arg {
-                if let Some((out_name, _)) = outputs.iter().find(|(_, o)| o == i) {
-                    return Err(BrookError::Usage(format!(
-                        "stream bound to `{name}` is also the output `{out_name}`: Brook kernels \
-                         cannot read their own output (use ping-pong streams)"
-                    )));
-                }
-            }
-        }
-        for (pos, (name, idx)) in outputs.iter().enumerate() {
-            if let Some((dup_name, _)) = outputs[..pos].iter().find(|(_, o)| o == idx) {
-                return Err(BrookError::Usage(format!(
-                    "outputs `{dup_name}` and `{name}` are bound to the same stream: each output \
-                     parameter needs its own stream"
-                )));
-            }
-        }
+        let (handle_args, outputs) = classify_call(&kdef, kernel, args, &mut |s| {
+            self.check_stream(s)?;
+            Ok(self.backend.stream_desc(s.index).clone())
+        })?;
+        let bound_args = handle_args
+            .iter()
+            .map(|(n, h)| (n.clone(), h.to_bound()))
+            .collect();
         let launch = KernelLaunch {
             checked: &module.checked,
             module_id: module.id,
             kernel,
             args: bound_args,
-            outputs,
+            outputs: outputs.iter().map(|(n, s)| (n.clone(), s.index)).collect(),
         };
         self.backend.dispatch(&launch)
     }
@@ -339,6 +280,7 @@ impl BrookContext {
     /// # Errors
     /// Unknown/non-reduce kernels and backend failures.
     pub fn reduce(&mut self, module: &BrookModule, kernel: &str, input: &Stream) -> Result<f32> {
+        self.check_module(module)?;
         self.check_stream(input)?;
         let summary = module
             .checked
@@ -383,6 +325,193 @@ impl BrookContext {
     pub fn gpu_memory_used(&self) -> usize {
         self.backend.memory_used()
     }
+}
+
+/// A classified kernel argument still carrying the *handle* (not a
+/// backend index): the shared representation between the eager path
+/// ([`BrookContext::run`], which resolves handles immediately) and the
+/// deferred graph recorder (which resolves them at execute time, after
+/// virtual streams have been materialized or fused away).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum HandleArg {
+    /// Elementwise input stream.
+    Elem(Stream),
+    /// Random-access gather stream.
+    Gather(Stream),
+    /// Scalar uniform, already converted to its parameter type.
+    Scalar(Value),
+    /// Output stream.
+    Out(Stream),
+}
+
+impl HandleArg {
+    /// The backend-index form, valid once every handle is real.
+    pub(crate) fn to_bound(self) -> BoundArg {
+        match self {
+            HandleArg::Elem(s) => BoundArg::Elem(s.index),
+            HandleArg::Gather(s) => BoundArg::Gather(s.index),
+            HandleArg::Scalar(v) => BoundArg::Scalar(v),
+            HandleArg::Out(s) => BoundArg::Out(s.index),
+        }
+    }
+
+    /// The stream this binding refers to, if any.
+    pub(crate) fn stream(&self) -> Option<Stream> {
+        match self {
+            HandleArg::Elem(s) | HandleArg::Gather(s) | HandleArg::Out(s) => Some(*s),
+            HandleArg::Scalar(_) => None,
+        }
+    }
+}
+
+/// Converts one scalar argument to its parameter's value type.
+///
+/// Float arguments for `int` parameters must be integral and within
+/// `i32` range: `Arg::Float(2.9)` used to truncate silently to `2`,
+/// which for loop bounds and gather strides is a wrong answer, not a
+/// convenience. (The comparison goes through `f64`, where every `f32` is
+/// exact, so `2^31` — unrepresentable in `f32`, which would otherwise
+/// round `i32::MAX` on top of it — is rejected rather than saturated.)
+pub(crate) fn convert_scalar(p: &Param, arg: &Arg<'_>) -> Result<Value> {
+    let v = match (p.ty.width, arg) {
+        (_, Arg::Stream(_)) => {
+            return Err(BrookError::Usage(format!(
+                "parameter `{}` is a scalar but a stream was passed",
+                p.name
+            )))
+        }
+        (1, Arg::Float(f)) => {
+            if p.ty.scalar == brook_lang::ast::ScalarKind::Int {
+                let fd = f64::from(*f);
+                if fd.fract() != 0.0 || fd < f64::from(i32::MIN) || fd > f64::from(i32::MAX) {
+                    return Err(BrookError::Usage(format!(
+                        "parameter `{}` is an int scalar but {f:?} is not an integral value \
+                         in i32 range; pass Arg::Int or an exact integral float",
+                        p.name
+                    )));
+                }
+                Value::Int(fd as i32)
+            } else {
+                Value::Float(*f)
+            }
+        }
+        (1, Arg::Int(i)) => {
+            if p.ty.scalar == brook_lang::ast::ScalarKind::Int {
+                Value::Int(*i)
+            } else {
+                Value::Float(*i as f32)
+            }
+        }
+        (2, Arg::Float2(v)) => Value::Vec2(*v),
+        (3, Arg::Float3(v)) => Value::Vec3(*v),
+        (4, Arg::Float4(v)) => Value::Vec4(*v),
+        _ => {
+            return Err(BrookError::Usage(format!(
+                "argument for `{}` does not match its type {}",
+                p.name, p.ty
+            )))
+        }
+    };
+    Ok(v)
+}
+
+/// Classifies positional arguments against a kernel's parameters into
+/// handle-level bindings plus the output list — every launch-validation
+/// rule the backends rely on, shared verbatim between the eager path and
+/// the graph recorder so deferred execution can never accept a launch
+/// the eager path would reject.
+///
+/// `lookup` resolves a stream handle to its descriptor, rejecting
+/// foreign handles; it is the only part that differs between callers
+/// (the context accepts its own streams, a graph additionally accepts
+/// its virtual ones).
+#[allow(clippy::type_complexity)]
+pub(crate) fn classify_call(
+    kdef: &KernelDef,
+    kernel: &str,
+    args: &[Arg<'_>],
+    lookup: &mut dyn FnMut(&Stream) -> Result<StreamDesc>,
+) -> Result<(Vec<(String, HandleArg)>, Vec<(String, Stream)>)> {
+    if kdef.is_reduce {
+        return Err(BrookError::Usage(format!(
+            "`{kernel}` is a reduce kernel; call `reduce` instead"
+        )));
+    }
+    if args.len() != kdef.params.len() {
+        return Err(BrookError::Usage(format!(
+            "kernel `{kernel}` has {} parameters, {} arguments given",
+            kdef.params.len(),
+            args.len()
+        )));
+    }
+    let mut handle_args: Vec<(String, HandleArg)> = Vec::new();
+    let mut outputs: Vec<(String, Stream)> = Vec::new();
+    for (p, a) in kdef.params.iter().zip(args) {
+        match (p.kind, a) {
+            (ParamKind::Stream, Arg::Stream(s)) => {
+                lookup(s)?;
+                handle_args.push((p.name.clone(), HandleArg::Elem(**s)));
+            }
+            (ParamKind::Gather { rank }, Arg::Stream(s)) => {
+                // A rank-R gather must be bound to a rank-R stream: the
+                // backends translate indices through the stream's
+                // layout, and the CPU fallback for mismatched ranks
+                // (first-index clamp) is not expressible in the GL index
+                // translation — enforced here so every backend computes
+                // the same element.
+                let srank = lookup(s)?.shape.len();
+                if srank != rank as usize {
+                    return Err(BrookError::Usage(format!(
+                        "gather `{}` has rank {rank} but the bound stream has {srank} \
+                         dimension(s)",
+                        p.name
+                    )));
+                }
+                handle_args.push((p.name.clone(), HandleArg::Gather(**s)));
+            }
+            (ParamKind::OutStream, Arg::Stream(s)) => {
+                lookup(s)?;
+                handle_args.push((p.name.clone(), HandleArg::Out(**s)));
+                outputs.push((p.name.clone(), **s));
+            }
+            (ParamKind::Scalar, arg) => {
+                handle_args.push((p.name.clone(), HandleArg::Scalar(convert_scalar(p, arg)?)));
+            }
+            (_, _) => {
+                return Err(BrookError::Usage(format!(
+                    "parameter `{}` needs a stream argument",
+                    p.name
+                )))
+            }
+        }
+    }
+    if outputs.is_empty() {
+        return Err(BrookError::Usage(format!(
+            "kernel `{kernel}` has no output streams"
+        )));
+    }
+    // Brook kernels never read their own output (ping-pong streams
+    // instead), and every output needs its own stream — enforced
+    // uniformly so every backend may assume it.
+    for (name, arg) in &handle_args {
+        if let HandleArg::Elem(s) | HandleArg::Gather(s) = arg {
+            if let Some((out_name, _)) = outputs.iter().find(|(_, o)| o == s) {
+                return Err(BrookError::Usage(format!(
+                    "stream bound to `{name}` is also the output `{out_name}`: Brook kernels \
+                     cannot read their own output (use ping-pong streams)"
+                )));
+            }
+        }
+    }
+    for (pos, (name, s)) in outputs.iter().enumerate() {
+        if let Some((dup_name, _)) = outputs[..pos].iter().find(|(_, o)| o == s) {
+            return Err(BrookError::Usage(format!(
+                "outputs `{dup_name}` and `{name}` are bound to the same stream: each output \
+                 parameter needs its own stream"
+            )));
+        }
+    }
+    Ok((handle_args, outputs))
 }
 
 #[cfg(test)]

@@ -339,6 +339,112 @@ mod tests {
         assert_eq!(totals[0].to_bits(), totals[1].to_bits());
     }
 
+    /// A zero-length domain produces zero chunks: every range is empty
+    /// and filtered out, no worker spawns, and the call succeeds with
+    /// untouched (empty) outputs. The public API rejects zero-sized
+    /// streams, so this pins the internal chunking edge directly.
+    #[test]
+    fn zero_length_domain_spawns_no_workers() {
+        let checked =
+            brook_lang::parse_and_check("kernel void dbl(float a<>, out float o<>) { o = a * 2.0; }")
+                .expect("check");
+        let shape: Vec<usize> = vec![0];
+        let bindings: HashMap<String, CpuBinding<'_>> = [
+            (
+                "a".to_string(),
+                CpuBinding::Elem {
+                    data: &[],
+                    shape: &shape,
+                    width: 1,
+                },
+            ),
+            ("o".to_string(), CpuBinding::Out(0)),
+        ]
+        .into_iter()
+        .collect();
+        let mut outputs = vec![Vec::<f32>::new()];
+        for workers in [1usize, 4, 16] {
+            run_parallel(&checked, "dbl", &bindings, &mut outputs, &shape, workers)
+                .unwrap_or_else(|e| panic!("workers={workers}: {e}"));
+            assert!(outputs[0].is_empty());
+        }
+    }
+
+    /// More workers than elements: trailing chunks are empty and must be
+    /// filtered, and the populated chunks still tile the domain exactly.
+    #[test]
+    fn more_workers_than_elements_matches_serial() {
+        let src = "kernel void f(float a<>, out float o<>) { o = a * 3.0 + 1.0; }";
+        // 300 >= PARALLEL_THRESHOLD so the fan-out path runs; 17 workers
+        // over 300 elements leaves the last chunk short.
+        let n = 300;
+        let data: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7).cos()).collect();
+        let mut serial_ctx = BrookContext::cpu();
+        let module = serial_ctx.compile(src).expect("compile");
+        let a = serial_ctx.stream(&[n]).expect("a");
+        let o = serial_ctx.stream(&[n]).expect("o");
+        serial_ctx.write(&a, &data).expect("write");
+        serial_ctx
+            .run(&module, "f", &[Arg::Stream(&a), Arg::Stream(&o)])
+            .expect("run");
+        let reference = serial_ctx.read(&o).expect("read");
+
+        // 17 > 16 = MAX_WORKERS is reachable through with_workers, and
+        // 301 workers exceed the element count outright.
+        for workers in [17usize, 301] {
+            let mut ctx = BrookContext::with_backend(
+                Box::new(ParallelCpuBackend::with_workers(workers)),
+                brook_cert::CertConfig::default(),
+            );
+            let module = ctx.compile(src).expect("compile");
+            let a = ctx.stream(&[n]).expect("a");
+            let o = ctx.stream(&[n]).expect("o");
+            ctx.write(&a, &data).expect("write");
+            ctx.run(&module, "f", &[Arg::Stream(&a), Arg::Stream(&o)])
+                .expect("run");
+            assert_eq!(ctx.read(&o).expect("read"), reference, "workers={workers}");
+        }
+    }
+
+    /// The serial/parallel decision boundary: one element below
+    /// `PARALLEL_THRESHOLD` takes the serial path, at and above it the
+    /// fan-out path — all three bit-identical to the serial backend.
+    #[test]
+    fn threshold_boundary_is_bit_exact_on_both_paths() {
+        let src = "kernel void f(float a<>, out float o<>) { o = sin(a) + a * 0.5; }";
+        for n in [PARALLEL_THRESHOLD - 1, PARALLEL_THRESHOLD, PARALLEL_THRESHOLD + 1] {
+            let data: Vec<f32> = (0..n).map(|i| i as f32 * 0.11 - 9.0).collect();
+            let mut serial_ctx = BrookContext::cpu();
+            let module = serial_ctx.compile(src).expect("compile");
+            let a = serial_ctx.stream(&[n]).expect("a");
+            let o = serial_ctx.stream(&[n]).expect("o");
+            serial_ctx.write(&a, &data).expect("write");
+            serial_ctx
+                .run(&module, "f", &[Arg::Stream(&a), Arg::Stream(&o)])
+                .expect("run");
+            let reference = serial_ctx.read(&o).expect("read");
+
+            let backend = ParallelCpuBackend::with_workers(4);
+            assert_eq!(
+                backend.parallelizable(n, true),
+                n >= PARALLEL_THRESHOLD,
+                "path selection at n={n}"
+            );
+            let mut ctx = BrookContext::with_backend(Box::new(backend), brook_cert::CertConfig::default());
+            let module = ctx.compile(src).expect("compile");
+            let a = ctx.stream(&[n]).expect("a");
+            let o = ctx.stream(&[n]).expect("o");
+            ctx.write(&a, &data).expect("write");
+            ctx.run(&module, "f", &[Arg::Stream(&a), Arg::Stream(&o)])
+                .expect("run");
+            let out = ctx.read(&o).expect("read");
+            assert_eq!(out.len(), reference.len());
+            for (i, (r, p)) in reference.iter().zip(&out).enumerate() {
+                assert_eq!(r.to_bits(), p.to_bits(), "n={n} element {i}");
+            }
+        }
+    }
+
     /// Errors inside worker chunks surface as errors, not hangs or
     /// poisoned state.
     #[test]

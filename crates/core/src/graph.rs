@@ -1,0 +1,909 @@
+//! Deferred stream-graph execution: record kernel launches, fuse
+//! producer→consumer chains into single passes, elide the intermediates.
+//!
+//! Eager execution pays the paper's pass-count economics in full: §6
+//! *splits* multi-output kernels into one GL pass per output, and every
+//! pass costs a texture round-trip. This module implements the converse
+//! transform. A [`BrookGraph`] opened with [`crate::BrookContext::graph`]
+//! records the same `run`/`reduce` calls the eager API takes, as a
+//! dataflow DAG over streams; `execute()` then runs a planner that
+//!
+//! 1. **fuses** chains of elementwise kernels — a producer whose single
+//!    output feeds exactly one consumer elementwise — into one synthetic
+//!    kernel, built with [`brook_lang::build::AstBuilder`] by inlining
+//!    the producer's body as a let-bound local ahead of the consumer's
+//!    body, and
+//! 2. **elides** the fused-away intermediates entirely: virtual streams
+//!    created with [`BrookGraph::stream`] that no surviving launch
+//!    touches are never allocated — no texture, no round-trip.
+//!
+//! Fusion can never bypass certification: every fused kernel is
+//! pretty-printed, re-parsed, re-type-checked and pushed through the
+//! same [`crate::BrookContext::compile`] gate as user code, under the
+//! executing context's own limits. A fusion the gate rejects (too many
+//! merged inputs, blown instruction budget) is silently skipped and the
+//! original launches run unchanged — the planner is an optimizer, not a
+//! loophole. [`brook_cert::CertPredicates`] provides the cheap forward
+//! filter so hopeless fusions never reach the gate.
+//!
+//! ## Fusability rules
+//!
+//! A producer P feeding a consumer C over stream `s` is fused only when:
+//!
+//! * `s` is **virtual** (graph-created, so no host handle can observe
+//!   it) and is referenced exactly once — C's elementwise binding;
+//! * P has exactly one output, written once (by P);
+//! * every elementwise input and every output of both kernels shares
+//!   `s`'s shape (so `indexof` is interchangeable across them); gather
+//!   tables are exempt — random access inlines soundly;
+//! * neither kernel calls helper functions or takes `indexof` of a
+//!   gather (both inline unsoundly without more bookkeeping);
+//! * no launch between P and C writes any stream P reads (fusion moves
+//!   P's reads to C's position);
+//! * the merged parameter lists pass
+//!   [`CertPredicates::fusion_io_within_limits`], and the fused program
+//!   passes the full gate.
+//!
+//! Execution itself is backend-agnostic: fused launches are ordinary
+//! [`KernelLaunch`]es dispatched through the same
+//! [`crate::backend::BackendExecutor`]
+//! every eager launch uses, so all registered backends inherit fusion
+//! for free — on the GL backend the fused GLSL falls out of codegen.
+//!
+//! ```
+//! use brook_auto::{Arg, BrookContext};
+//! let mut ctx = BrookContext::cpu();
+//! let module = ctx.compile(
+//!     "kernel void dbl(float a<>, out float o<>) { o = a * 2.0; }
+//!      kernel void inc(float a<>, out float o<>) { o = a + 1.0; }",
+//! )?;
+//! let a = ctx.stream(&[4])?;
+//! let out = ctx.stream(&[4])?;
+//! ctx.write(&a, &[1.0, 2.0, 3.0, 4.0])?;
+//! let mut g = ctx.graph();
+//! let tmp = g.stream(&[4])?; // virtual: never allocated when fused away
+//! g.run(&module, "dbl", &[Arg::Stream(&a), Arg::Stream(&tmp)])?;
+//! g.run(&module, "inc", &[Arg::Stream(&tmp), Arg::Stream(&out)])?;
+//! let report = g.execute()?;
+//! assert_eq!(report.eager_passes, 2);
+//! assert_eq!(report.executed_passes, 1);
+//! assert_eq!(report.elided_streams, 1);
+//! assert_eq!(ctx.read(&out)?, vec![3.0, 5.0, 7.0, 9.0]);
+//! # Ok::<(), brook_auto::BrookError>(())
+//! ```
+
+use crate::backend::KernelLaunch;
+use crate::context::{classify_call, fresh_owner_id, Arg, BrookContext, BrookModule, HandleArg};
+use crate::error::{BrookError, Result};
+use crate::stream::{Stream, StreamDesc};
+use brook_cert::CertPredicates;
+use brook_lang::ast::{Block, Expr, ExprKind, KernelDef, ParamKind, ScalarKind, Stmt, Type};
+use brook_lang::build::{declared_locals, AstBuilder, RenameMap};
+use brook_lang::pretty::print_program;
+use brook_lang::ReduceOp;
+use std::collections::{HashMap, HashSet};
+
+/// Ticket for a recorded `reduce`; redeem it against the issuing
+/// graph's [`GraphReport`] after `execute()`. Like streams and modules,
+/// the handle is stamped with its owner — redeeming it against another
+/// graph's report is rejected instead of silently returning that
+/// graph's value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReduceHandle {
+    slot: usize,
+    graph_id: u64,
+}
+
+/// One synthetic kernel the planner created.
+#[derive(Debug, Clone)]
+pub struct FusedKernel {
+    /// Name of the fused kernel (derived from its constituents).
+    pub name: String,
+    /// Kernel names folded into it, producer first.
+    pub replaced: Vec<String>,
+    /// Canonical Brook source of the fused program — the exact text that
+    /// went back through the certification gate.
+    pub source: String,
+}
+
+/// What `execute()` did: the launch plan it ran and what fusion saved.
+#[derive(Debug, Clone)]
+pub struct GraphReport {
+    /// Passes the recording would have cost eagerly (one per output per
+    /// launch, one per reduce).
+    pub eager_passes: usize,
+    /// Passes actually executed after fusion.
+    pub executed_passes: usize,
+    /// Virtual intermediates fused away — never allocated on the
+    /// backend.
+    pub elided_streams: usize,
+    /// Bytes of device traffic the elided intermediates would have cost
+    /// (one texture write plus one texture read each).
+    pub intermediate_bytes_elided: usize,
+    /// The synthetic kernels the planner built, in creation order.
+    pub fused: Vec<FusedKernel>,
+    reduce_values: Vec<f32>,
+    graph_id: u64,
+}
+
+impl GraphReport {
+    /// The scalar a recorded `reduce` produced.
+    ///
+    /// # Panics
+    /// Panics when the handle was issued by a different graph — a caller
+    /// bug (mixed-up recordings), not a runtime condition, so it is not
+    /// a recoverable error.
+    pub fn reduce_value(&self, handle: ReduceHandle) -> f32 {
+        assert_eq!(
+            handle.graph_id, self.graph_id,
+            "ReduceHandle redeemed against a different graph's report"
+        );
+        self.reduce_values[handle.slot]
+    }
+}
+
+enum OpKind {
+    Launch {
+        module: BrookModule,
+        kernel: String,
+        args: Vec<(String, HandleArg)>,
+        outputs: Vec<(String, Stream)>,
+        /// Kernel names this launch stands for (len > 1 after fusion).
+        replaced: Vec<String>,
+    },
+    Reduce {
+        module: BrookModule,
+        kernel: String,
+        op: ReduceOp,
+        input: Stream,
+        slot: usize,
+    },
+}
+
+struct Op {
+    /// Stable identity across plan rewrites (indices shift when ops
+    /// merge; the planner's no-retry set is keyed on uids).
+    uid: usize,
+    kind: OpKind,
+}
+
+/// A deferred recording of kernel launches on one context.
+///
+/// Obtained from [`crate::BrookContext::graph`]; borrows the context
+/// exclusively until [`BrookGraph::execute`] consumes the recording, so
+/// the captured dataflow cannot be invalidated mid-recording.
+pub struct BrookGraph<'ctx> {
+    ctx: &'ctx mut BrookContext,
+    graph_id: u64,
+    virtuals: Vec<StreamDesc>,
+    ops: Vec<Op>,
+    next_uid: usize,
+    n_reduces: usize,
+}
+
+impl<'ctx> BrookGraph<'ctx> {
+    pub(crate) fn new(ctx: &'ctx mut BrookContext) -> Self {
+        BrookGraph {
+            ctx,
+            graph_id: fresh_owner_id(),
+            virtuals: Vec::new(),
+            ops: Vec::new(),
+            next_uid: 0,
+            n_reduces: 0,
+        }
+    }
+
+    fn uid(&mut self) -> usize {
+        let u = self.next_uid;
+        self.next_uid += 1;
+        u
+    }
+
+    /// Creates a *virtual* scalar `float` stream: a handle usable only
+    /// inside this recording. If fusion elides it, it is never allocated
+    /// on the backend; otherwise it is materialized at execute time.
+    ///
+    /// # Errors
+    /// Shape violations (same rules as [`crate::BrookContext::stream`]).
+    pub fn stream(&mut self, shape: &[usize]) -> Result<Stream> {
+        self.stream_with_width(shape, 1)
+    }
+
+    /// Creates a virtual stream of `floatN` elements (`width` in 1..=4).
+    ///
+    /// # Errors
+    /// As [`BrookGraph::stream`].
+    pub fn stream_with_width(&mut self, shape: &[usize], width: u8) -> Result<Stream> {
+        crate::stream::validate_stream_params(shape, width).map_err(BrookError::Usage)?;
+        let index = self.virtuals.len();
+        self.virtuals.push(StreamDesc {
+            shape: shape.to_vec(),
+            width,
+        });
+        Ok(Stream {
+            index,
+            context_id: self.graph_id,
+        })
+    }
+
+    fn lookup_desc(&self, s: &Stream) -> Result<StreamDesc> {
+        lookup_stream_desc(self.ctx, self.graph_id, &self.virtuals, s)
+    }
+
+    /// Compiles and certifies Brook source on the underlying context —
+    /// a passthrough so recording code that owns the graph (which holds
+    /// the context borrow) can still compile modules.
+    ///
+    /// # Errors
+    /// As [`crate::BrookContext::compile`].
+    pub fn compile(&mut self, source: &str) -> Result<BrookModule> {
+        self.ctx.compile(source)
+    }
+
+    /// Records a kernel launch — same signature, same validation and
+    /// same error surface as [`crate::BrookContext::run`], but nothing
+    /// executes until [`BrookGraph::execute`].
+    ///
+    /// # Errors
+    /// Exactly the eager path's: argument/parameter mismatches, foreign
+    /// streams and foreign modules.
+    pub fn run(&mut self, module: &BrookModule, kernel: &str, args: &[Arg<'_>]) -> Result<()> {
+        self.ctx.check_module(module)?;
+        let kdef = module
+            .checked
+            .program
+            .kernel(kernel)
+            .ok_or_else(|| BrookError::Usage(format!("unknown kernel `{kernel}`")))?
+            .clone();
+        let graph_id = self.graph_id;
+        let (args, outputs) = {
+            let ctx = &*self.ctx;
+            let virtuals = &self.virtuals;
+            classify_call(&kdef, kernel, args, &mut |s: &Stream| {
+                lookup_stream_desc(ctx, graph_id, virtuals, s)
+            })?
+        };
+        let uid = self.uid();
+        self.ops.push(Op {
+            uid,
+            kind: OpKind::Launch {
+                module: module.clone(),
+                kernel: kernel.to_owned(),
+                args,
+                outputs,
+                replaced: vec![kernel.to_owned()],
+            },
+        });
+        Ok(())
+    }
+
+    /// Records a reduction; the scalar becomes available on the report
+    /// via the returned handle after `execute()`.
+    ///
+    /// # Errors
+    /// As [`crate::BrookContext::reduce`] (unknown/non-reduce kernels,
+    /// foreign streams/modules).
+    pub fn reduce(&mut self, module: &BrookModule, kernel: &str, input: &Stream) -> Result<ReduceHandle> {
+        self.ctx.check_module(module)?;
+        self.lookup_desc(input)?;
+        let summary = module
+            .checked
+            .summary(kernel)
+            .ok_or_else(|| BrookError::Usage(format!("unknown kernel `{kernel}`")))?;
+        if !summary.is_reduce {
+            return Err(BrookError::Usage(format!(
+                "kernel `{kernel}` is not a reduce kernel"
+            )));
+        }
+        let op = summary
+            .reduce_op
+            .ok_or_else(|| BrookError::Usage("reduce kernel without a detected operation".into()))?;
+        let slot = self.n_reduces;
+        self.n_reduces += 1;
+        let uid = self.uid();
+        self.ops.push(Op {
+            uid,
+            kind: OpKind::Reduce {
+                module: module.clone(),
+                kernel: kernel.to_owned(),
+                op,
+                input: *input,
+                slot,
+            },
+        });
+        Ok(ReduceHandle {
+            slot,
+            graph_id: self.graph_id,
+        })
+    }
+
+    /// Pass cost of the current plan: one per output per launch (the §6
+    /// splitting), one per reduce.
+    fn passes(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|o| match &o.kind {
+                OpKind::Launch { outputs, .. } => outputs.len(),
+                OpKind::Reduce { .. } => 1,
+            })
+            .sum()
+    }
+
+    /// Optimizes the recorded graph, materializes surviving virtual
+    /// streams, runs every planned launch on the context's backend and
+    /// returns the report.
+    ///
+    /// # Errors
+    /// Backend failures during materialization or dispatch. Planning
+    /// itself never fails a recording the eager path would have run:
+    /// unfusable or gate-rejected chains simply execute unfused.
+    pub fn execute(mut self) -> Result<GraphReport> {
+        let eager_passes = self.passes();
+        let (elided, fused) = self.fuse_pass();
+        let executed_passes = self.passes();
+        let intermediate_bytes_elided = elided.iter().map(|d| d.scalar_len() * 4 * 2).sum();
+
+        // Materialize every virtual stream a surviving launch touches.
+        let mut needed: Vec<usize> = Vec::new();
+        for op in &self.ops {
+            let streams: Vec<Stream> = match &op.kind {
+                OpKind::Launch { args, .. } => args.iter().filter_map(|(_, h)| h.stream()).collect(),
+                OpKind::Reduce { input, .. } => vec![*input],
+            };
+            for s in streams {
+                if s.context_id == self.graph_id && !needed.contains(&s.index) {
+                    needed.push(s.index);
+                }
+            }
+        }
+        let mut materialized: HashMap<usize, Stream> = HashMap::new();
+        for v in needed {
+            let desc = self.virtuals[v].clone();
+            let real = self.ctx.stream_with_width(&desc.shape, desc.width)?;
+            materialized.insert(v, real);
+        }
+        let graph_id = self.graph_id;
+        let resolve = |s: Stream| -> Stream {
+            if s.context_id == graph_id {
+                materialized[&s.index]
+            } else {
+                s
+            }
+        };
+
+        let mut reduce_values = vec![0.0f32; self.n_reduces];
+        for op in &self.ops {
+            match &op.kind {
+                OpKind::Launch {
+                    module,
+                    kernel,
+                    args,
+                    outputs,
+                    ..
+                } => {
+                    let bound = args
+                        .iter()
+                        .map(|(n, h)| {
+                            let h = match h {
+                                HandleArg::Elem(s) => HandleArg::Elem(resolve(*s)),
+                                HandleArg::Gather(s) => HandleArg::Gather(resolve(*s)),
+                                HandleArg::Out(s) => HandleArg::Out(resolve(*s)),
+                                HandleArg::Scalar(v) => HandleArg::Scalar(*v),
+                            };
+                            (n.clone(), h.to_bound())
+                        })
+                        .collect();
+                    let launch = KernelLaunch {
+                        checked: &module.checked,
+                        module_id: module.id,
+                        kernel,
+                        args: bound,
+                        outputs: outputs
+                            .iter()
+                            .map(|(n, s)| (n.clone(), resolve(*s).index))
+                            .collect(),
+                    };
+                    self.ctx.backend.dispatch(&launch)?;
+                }
+                OpKind::Reduce {
+                    module,
+                    kernel,
+                    op,
+                    input,
+                    slot,
+                } => {
+                    reduce_values[*slot] =
+                        self.ctx
+                            .backend
+                            .reduce(&module.checked, kernel, *op, resolve(*input).index)?;
+                }
+            }
+        }
+        Ok(GraphReport {
+            eager_passes,
+            executed_passes,
+            elided_streams: elided.len(),
+            intermediate_bytes_elided,
+            fused,
+            reduce_values,
+            graph_id,
+        })
+    }
+
+    // -- planner -------------------------------------------------------------
+
+    /// Repeatedly fuses the first admissible producer→consumer pair
+    /// until none remains. Returns the elided intermediates' descriptors
+    /// and the fused-kernel records.
+    fn fuse_pass(&mut self) -> (Vec<StreamDesc>, Vec<FusedKernel>) {
+        let mut elided = Vec::new();
+        let mut fused = Vec::new();
+        // Pairs the gate (or construction) already rejected, by op uid —
+        // never retried, so the scan terminates.
+        let mut rejected: HashSet<(usize, usize)> = HashSet::new();
+        while let Some((i, j, inter)) = self.find_candidate(&rejected) {
+            let pair = (self.ops[i].uid, self.ops[j].uid);
+            match self.try_fuse(i, j, inter) {
+                Some((kind, record)) => {
+                    elided.push(self.virtuals[inter.index].clone());
+                    fused.push(record);
+                    let uid = self.uid();
+                    self.ops[j] = Op { uid, kind };
+                    self.ops.remove(i);
+                }
+                None => {
+                    rejected.insert(pair);
+                }
+            }
+        }
+        (elided, fused)
+    }
+
+    /// Finds the first fusable (producer index, consumer index,
+    /// intermediate) triple the cheap rules admit and `rejected` does
+    /// not veto. The expensive check — the certification gate on the
+    /// fused program — happens in `try_fuse`.
+    fn find_candidate(&self, rejected: &HashSet<(usize, usize)>) -> Option<(usize, usize, Stream)> {
+        for j in 0..self.ops.len() {
+            let OpKind::Launch {
+                module: c_module,
+                kernel: c_kernel,
+                args: c_args,
+                outputs: c_outputs,
+                ..
+            } = &self.ops[j].kind
+            else {
+                continue;
+            };
+            for (_, h) in c_args {
+                let HandleArg::Elem(s) = h else { continue };
+                if s.context_id != self.graph_id {
+                    continue; // only virtual intermediates are elidable
+                }
+                // Exactly one writer, before the consumer.
+                let writers: Vec<usize> = (0..self.ops.len())
+                    .filter(|&k| self.writes(&self.ops[k].kind, *s))
+                    .collect();
+                let [i] = writers[..] else { continue };
+                if i >= j {
+                    continue;
+                }
+                if rejected.contains(&(self.ops[i].uid, self.ops[j].uid)) {
+                    continue;
+                }
+                // Exactly one reader anywhere: this binding.
+                if self.read_count(*s) != 1 {
+                    continue;
+                }
+                let OpKind::Launch {
+                    module: p_module,
+                    kernel: p_kernel,
+                    args: p_args,
+                    outputs: p_outputs,
+                    ..
+                } = &self.ops[i].kind
+                else {
+                    continue;
+                };
+                if p_outputs.len() != 1 {
+                    continue;
+                }
+                let p_kdef = p_module
+                    .checked
+                    .program
+                    .kernel(p_kernel)
+                    .expect("recorded kernel");
+                let c_kdef = c_module
+                    .checked
+                    .program
+                    .kernel(c_kernel)
+                    .expect("recorded kernel");
+                if calls_helper(&p_kdef.body, &p_module.checked.program)
+                    || calls_helper(&c_kdef.body, &c_module.checked.program)
+                {
+                    continue;
+                }
+                // Shape/width uniformity across the chain (gathers exempt).
+                let inter_desc = &self.virtuals[s.index];
+                if !self.elementwise_uniform(p_args, p_outputs, inter_desc)
+                    || !self.elementwise_uniform(c_args, c_outputs, inter_desc)
+                {
+                    continue;
+                }
+                let p_out_ty = p_kdef.params.iter().find(|p| p.kind == ParamKind::OutStream);
+                let widths_ok = p_out_ty
+                    .is_some_and(|p| p.ty.scalar == ScalarKind::Float && p.ty.width == inter_desc.width);
+                if !widths_ok {
+                    continue;
+                }
+                // Fusion moves the producer's reads to the consumer's
+                // position; nothing in between may overwrite them.
+                let p_reads: Vec<Stream> = p_args
+                    .iter()
+                    .filter_map(|(_, h)| match h {
+                        HandleArg::Elem(s) | HandleArg::Gather(s) => Some(*s),
+                        _ => None,
+                    })
+                    .collect();
+                let interference =
+                    (i + 1..j).any(|k| p_reads.iter().any(|r| self.writes(&self.ops[k].kind, *r)));
+                if interference {
+                    continue;
+                }
+                // The producer's reads must also be disjoint from the
+                // consumer's outputs: a read-then-overwrite pipeline
+                // (P reads x, C writes x) is legal eagerly, but fused it
+                // would become a kernel reading its own output — the
+                // exact launch shape `classify_call` forbids.
+                if p_reads.iter().any(|r| c_outputs.iter().any(|(_, o)| o == r)) {
+                    continue;
+                }
+                // Cheap gate pre-filter: merged I/O within limits.
+                let mut inputs: HashSet<(u64, usize)> = HashSet::new();
+                for (_, h) in p_args.iter().chain(c_args) {
+                    if let HandleArg::Elem(st) | HandleArg::Gather(st) = h {
+                        if st != s {
+                            inputs.insert((st.context_id, st.index));
+                        }
+                    }
+                }
+                let preds = CertPredicates::new(self.ctx.cert_config());
+                if !preds.fusion_io_within_limits(inputs.len() as u32, c_outputs.len() as u32) {
+                    continue;
+                }
+                return Some((i, j, *s));
+            }
+        }
+        None
+    }
+
+    fn writes(&self, kind: &OpKind, s: Stream) -> bool {
+        match kind {
+            OpKind::Launch { outputs, .. } => outputs.iter().any(|(_, o)| *o == s),
+            OpKind::Reduce { .. } => false,
+        }
+    }
+
+    /// How many times `s` is read anywhere in the plan (elementwise,
+    /// gather, or as a reduce input).
+    fn read_count(&self, s: Stream) -> usize {
+        self.ops
+            .iter()
+            .map(|op| match &op.kind {
+                OpKind::Launch { args, .. } => args
+                    .iter()
+                    .filter(|(_, h)| matches!(h, HandleArg::Elem(x) | HandleArg::Gather(x) if *x == s))
+                    .count(),
+                OpKind::Reduce { input, .. } => usize::from(*input == s),
+            })
+            .sum()
+    }
+
+    /// True when every elementwise input and every output of a launch
+    /// shares `domain`'s shape — the condition under which `indexof` is
+    /// interchangeable across the chain.
+    fn elementwise_uniform(
+        &self,
+        args: &[(String, HandleArg)],
+        outputs: &[(String, Stream)],
+        domain: &StreamDesc,
+    ) -> bool {
+        let shape_of = |s: &Stream| self.lookup_desc(s).map(|d| d.shape).ok();
+        args.iter().all(|(_, h)| match h {
+            HandleArg::Elem(s) => shape_of(s).is_some_and(|sh| sh == domain.shape),
+            _ => true,
+        }) && outputs
+            .iter()
+            .all(|(_, s)| shape_of(s).is_some_and(|sh| sh == domain.shape))
+    }
+
+    /// Builds the fused kernel for `ops[i] → ops[j]` over `inter`,
+    /// compiles it through the real certification gate, and returns the
+    /// replacement op. `None` means "leave the pair unfused" — the gate
+    /// rejected it or construction hit an inlining limitation.
+    fn try_fuse(&mut self, i: usize, j: usize, inter: Stream) -> Option<(OpKind, FusedKernel)> {
+        let built = {
+            let OpKind::Launch {
+                module: p_module,
+                kernel: p_kernel,
+                args: p_args,
+                replaced: p_replaced,
+                ..
+            } = &self.ops[i].kind
+            else {
+                return None;
+            };
+            let OpKind::Launch {
+                module: c_module,
+                kernel: c_kernel,
+                args: c_args,
+                outputs: c_outputs,
+                replaced: c_replaced,
+            } = &self.ops[j].kind
+            else {
+                return None;
+            };
+            let p_kdef = p_module.checked.program.kernel(p_kernel)?;
+            let c_kdef = c_module.checked.program.kernel(c_kernel)?;
+            let replaced: Vec<String> = p_replaced.iter().chain(c_replaced).cloned().collect();
+            let name = format!("fused_{}", replaced.join("_"));
+            build_fused_kernel(&name, p_kdef, p_args, c_kdef, c_args, inter).map(|(source, args, outputs)| {
+                (
+                    source,
+                    args,
+                    outputs
+                        .into_iter()
+                        .zip(c_outputs)
+                        .map(|(n, (_, s))| (n, *s))
+                        .collect::<Vec<_>>(),
+                    replaced,
+                    name,
+                )
+            })
+        };
+        let (source, args, outputs, replaced, name) = built?;
+        // The real gate: parse, type-check and certify the fused program
+        // under this context's limits. Any rejection leaves the chain
+        // unfused. (`compile` errors when enforcement is on; the
+        // explicit compliance check covers contexts that disabled
+        // enforcement — fusion never relaxes the gate.)
+        let module = match self.ctx.compile(&source) {
+            Ok(m) if m.report.is_compliant() => m,
+            _ => return None,
+        };
+        let record = FusedKernel {
+            name: name.clone(),
+            replaced: replaced.clone(),
+            source,
+        };
+        Some((
+            OpKind::Launch {
+                module,
+                kernel: name,
+                args,
+                outputs,
+                replaced,
+            },
+            record,
+        ))
+    }
+}
+
+/// The three-way stream-ownership resolution a recording needs: the
+/// context's own streams, this graph's virtual streams, anything else
+/// foreign. One implementation serves both record-time classification
+/// and plan-time shape queries, so the two can never disagree.
+fn lookup_stream_desc(
+    ctx: &BrookContext,
+    graph_id: u64,
+    virtuals: &[StreamDesc],
+    s: &Stream,
+) -> Result<StreamDesc> {
+    if s.context_id == ctx.context_id {
+        Ok(ctx.backend.stream_desc(s.index).clone())
+    } else if s.context_id == graph_id {
+        virtuals
+            .get(s.index)
+            .cloned()
+            .ok_or_else(|| BrookError::Usage("unknown virtual stream".into()))
+    } else {
+        Err(BrookError::Usage("stream belongs to a different context".into()))
+    }
+}
+
+/// True when the block calls any helper function defined in `program`
+/// (builtins and vector constructors are not items, so they never
+/// match).
+fn calls_helper(body: &Block, program: &brook_lang::ast::Program) -> bool {
+    fn expr(e: &Expr, program: &brook_lang::ast::Program) -> bool {
+        match &e.kind {
+            ExprKind::Call { callee, args } => {
+                program.function(callee).is_some() || args.iter().any(|a| expr(a, program))
+            }
+            ExprKind::Binary { lhs, rhs, .. } => expr(lhs, program) || expr(rhs, program),
+            ExprKind::Unary { operand, .. } => expr(operand, program),
+            ExprKind::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => expr(cond, program) || expr(then_expr, program) || expr(else_expr, program),
+            ExprKind::Index { base, indices } => {
+                expr(base, program) || indices.iter().any(|i| expr(i, program))
+            }
+            ExprKind::Swizzle { base, .. } => expr(base, program),
+            _ => false,
+        }
+    }
+    fn stmt(s: &Stmt, program: &brook_lang::ast::Program) -> bool {
+        match s {
+            Stmt::Decl { init, .. } => init.as_ref().is_some_and(|e| expr(e, program)),
+            Stmt::Assign { target, value, .. } => expr(target, program) || expr(value, program),
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+                ..
+            } => {
+                expr(cond, program)
+                    || block(then_block, program)
+                    || else_block.as_ref().is_some_and(|b| block(b, program))
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                init.as_ref().is_some_and(|s| stmt(s, program))
+                    || cond.as_ref().is_some_and(|e| expr(e, program))
+                    || step.as_ref().is_some_and(|s| stmt(s, program))
+                    || block(body, program)
+            }
+            Stmt::While { cond, body, .. } | Stmt::DoWhile { cond, body, .. } => {
+                expr(cond, program) || block(body, program)
+            }
+            Stmt::Return { value, .. } => value.as_ref().is_some_and(|e| expr(e, program)),
+            Stmt::Expr { expr: e, .. } => expr(e, program),
+            Stmt::Block(b) => block(b, program),
+        }
+    }
+    fn block(b: &Block, program: &brook_lang::ast::Program) -> bool {
+        b.stmts.iter().any(|s| stmt(s, program))
+    }
+    block(body, program)
+}
+
+/// Constructs the fused kernel source for producer→consumer over
+/// `inter`: canonical parameter names (`in*` elementwise, `g*` gathers,
+/// `k*` scalars, `o*` outputs), the producer's body inlined first with
+/// its output let-bound to the zero-initialized local `t0` (virtual
+/// intermediates are zero-filled, so conditional producer writes keep
+/// eager semantics), then the consumer's body reading `t0`. Every
+/// `indexof` is redirected to the first output — sound because the
+/// planner already proved the chain elementwise-uniform.
+///
+/// Returns `(source, fused bindings, fused output names)`; `None` when
+/// an inlining limitation (unmapped name, `indexof` of a gather,
+/// non-float intermediate) blocks construction.
+#[allow(clippy::type_complexity)]
+fn build_fused_kernel(
+    name: &str,
+    p_kdef: &KernelDef,
+    p_args: &[(String, HandleArg)],
+    c_kdef: &KernelDef,
+    c_args: &[(String, HandleArg)],
+    inter: Stream,
+) -> Option<(String, Vec<(String, HandleArg)>, Vec<String>)> {
+    let mut b = AstBuilder::new();
+    let mut params: Vec<brook_lang::ast::Param> = Vec::new();
+    let mut out_params: Vec<brook_lang::ast::Param> = Vec::new();
+    let mut bindings: Vec<(String, HandleArg)> = Vec::new();
+    let mut out_bindings: Vec<(String, HandleArg)> = Vec::new();
+    let mut by_stream: HashMap<(u64, usize), String> = HashMap::new();
+    let (mut n_in, mut n_g, mut n_k, mut n_out) = (0usize, 0usize, 0usize, 0usize);
+    let mut out_names: Vec<String> = Vec::new();
+
+    // The first fused output's name; every indexof redirects to it.
+    let indexof_target = "o0".to_owned();
+    let local = "t0";
+
+    let mut map_stage = |b: &mut AstBuilder,
+                         kdef: &KernelDef,
+                         args: &[(String, HandleArg)],
+                         is_consumer: bool|
+     -> Option<RenameMap> {
+        let mut map = RenameMap::default();
+        for p in &kdef.params {
+            let (_, h) = args.iter().find(|(n, _)| *n == p.name)?;
+            let new = match (p.kind, h) {
+                (ParamKind::Stream, HandleArg::Elem(s)) if *s == inter => {
+                    // The chain edge: reads become the let-bound local.
+                    local.to_owned()
+                }
+                (ParamKind::Stream, HandleArg::Elem(s)) => by_stream
+                    .entry((s.context_id, s.index))
+                    .or_insert_with(|| {
+                        let n = format!("in{n_in}");
+                        n_in += 1;
+                        params.push(b.param(&n, p.ty, ParamKind::Stream));
+                        bindings.push((n.clone(), HandleArg::Elem(*s)));
+                        n
+                    })
+                    .clone(),
+                (ParamKind::Gather { rank }, HandleArg::Gather(s)) => by_stream
+                    .entry((s.context_id, s.index))
+                    .or_insert_with(|| {
+                        let n = format!("g{n_g}");
+                        n_g += 1;
+                        params.push(b.param(&n, p.ty, ParamKind::Gather { rank }));
+                        bindings.push((n.clone(), HandleArg::Gather(*s)));
+                        n
+                    })
+                    .clone(),
+                (ParamKind::Scalar, HandleArg::Scalar(v)) => {
+                    let n = format!("k{n_k}");
+                    n_k += 1;
+                    params.push(b.param(&n, p.ty, ParamKind::Scalar));
+                    bindings.push((n.clone(), HandleArg::Scalar(*v)));
+                    n
+                }
+                (ParamKind::OutStream, HandleArg::Out(s)) => {
+                    if is_consumer {
+                        let n = format!("o{n_out}");
+                        n_out += 1;
+                        out_params.push(b.param(&n, p.ty, ParamKind::OutStream));
+                        out_bindings.push((n.clone(), HandleArg::Out(*s)));
+                        out_names.push(n.clone());
+                        n
+                    } else {
+                        // The producer's single output becomes the local.
+                        local.to_owned()
+                    }
+                }
+                _ => return None,
+            };
+            // indexof of a stream-domain parameter redirects to the
+            // fused output; gathers get no entry, so indexof of a
+            // gather fails the clone and vetoes the fusion.
+            if matches!(p.kind, ParamKind::Stream | ParamKind::OutStream) {
+                map.indexof.insert(p.name.clone(), indexof_target.clone());
+            }
+            map.vars.insert(p.name.clone(), new);
+        }
+        let prefix = if is_consumer { "c" } else { "p" };
+        for l in declared_locals(&kdef.body) {
+            map.vars.insert(l.clone(), format!("{prefix}_{l}"));
+        }
+        Some(map)
+    };
+
+    let p_map = map_stage(&mut b, p_kdef, p_args, false)?;
+    let c_map = map_stage(&mut b, c_kdef, c_args, true)?;
+
+    // `t0` mirrors the virtual intermediate: zero-filled before the
+    // producer runs.
+    let p_out = p_kdef.params.iter().find(|p| p.kind == ParamKind::OutStream)?;
+    if p_out.ty.scalar != ScalarKind::Float {
+        return None;
+    }
+    let init = if p_out.ty.width == 1 {
+        b.float_lit(0.0)
+    } else {
+        let zeros: Vec<Expr> = (0..p_out.ty.width).map(|_| b.float_lit(0.0)).collect();
+        b.call(format!("float{}", p_out.ty.width), zeros)
+    };
+    let mut body = vec![b.decl(local, Type::float(p_out.ty.width), Some(init))];
+    for s in &p_kdef.body.stmts {
+        body.push(b.clone_stmt_renamed(s, &p_map).ok()?);
+    }
+    for s in &c_kdef.body.stmts {
+        body.push(b.clone_stmt_renamed(s, &c_map).ok()?);
+    }
+
+    params.extend(out_params);
+    bindings.extend(out_bindings);
+    let kernel = b.kernel(name, params, body);
+    let program = b.program(vec![kernel]);
+    Some((print_program(&program), bindings, out_names))
+}

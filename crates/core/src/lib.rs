@@ -66,6 +66,7 @@ pub mod cpu;
 pub mod cpu_parallel;
 pub mod error;
 pub(crate) mod gpu;
+pub mod graph;
 pub mod stream;
 
 pub use backend::{registered_backends, BackendExecutor, BackendSpec, BoundArg, KernelLaunch};
@@ -74,6 +75,7 @@ pub use context::{Arg, BrookContext, BrookModule};
 pub use cpu::CpuBackend;
 pub use cpu_parallel::ParallelCpuBackend;
 pub use error::{BrookError, Result};
+pub use graph::{BrookGraph, FusedKernel, GraphReport, ReduceHandle};
 pub use stream::{Stream, StreamDesc, StreamLayout};
 
 // Re-exports so applications only need this crate.

@@ -46,6 +46,23 @@ impl StreamDesc {
     }
 }
 
+/// The public stream-creation rules, shared by real streams
+/// ([`crate::BrookContext::stream_with_width`]) and virtual ones
+/// ([`crate::graph::BrookGraph::stream_with_width`]) so both surfaces
+/// accept exactly the same shapes with exactly the same diagnostics.
+pub(crate) fn validate_stream_params(shape: &[usize], width: u8) -> std::result::Result<(), String> {
+    if !(1..=4).contains(&width) {
+        return Err(format!("element width {width} out of range 1..=4"));
+    }
+    if shape.is_empty() || shape.len() > 4 {
+        return Err(format!("streams have 1 to 4 dimensions, got {}", shape.len()));
+    }
+    if shape.contains(&0) {
+        return Err("stream dimensions must be positive".into());
+    }
+    Ok(())
+}
+
 /// Computed 2D texture layout for a stream on a particular device.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StreamLayout {

@@ -1,0 +1,163 @@
+//! Cross-context identity enforcement: modules and streams are only
+//! valid on the context that created them. Before these fixes a module
+//! compiled under one context's lax `CertConfig` would `run()` on a
+//! stricter context (silently bypassing the certification gate, and
+//! poisoning the GLES2 program cache with colliding per-context module
+//! ids), and `stream_len` indexed another backend's stream table.
+
+use brook_auto::{registered_backends, Arg, BrookContext, BrookError, CertConfig, CpuBackend};
+use gles2_sim::DeviceProfile;
+
+const ADD: &str = "kernel void add(float a<>, float b<>, out float c<>) { c = a + b; }";
+const SUM: &str = "reduce void sum(float a<>, reduce float r<>) { r += a; }";
+
+fn assert_usage(err: BrookError, backend: &str, what: &str) {
+    assert!(
+        matches!(err, BrookError::Usage(_)),
+        "{backend}: {what}: expected BrookError::Usage, got: {err}"
+    );
+}
+
+/// A module compiled on context A must be rejected by context B's `run`,
+/// on every registered backend (including two contexts of the *same*
+/// backend, where per-context module-id counters used to collide).
+#[test]
+fn foreign_module_rejected_in_run_on_every_backend() {
+    for spec in registered_backends() {
+        let mut compiler: BrookContext = (spec.make)();
+        let module = compiler.compile(ADD).expect("compile");
+        for runner_spec in registered_backends() {
+            let mut runner: BrookContext = (runner_spec.make)();
+            let a = runner.stream(&[4]).expect("a");
+            let b = runner.stream(&[4]).expect("b");
+            let c = runner.stream(&[4]).expect("c");
+            runner.write(&a, &[0.0; 4]).expect("write");
+            runner.write(&b, &[0.0; 4]).expect("write");
+            let err = runner
+                .run(
+                    &module,
+                    "add",
+                    &[Arg::Stream(&a), Arg::Stream(&b), Arg::Stream(&c)],
+                )
+                .unwrap_err();
+            assert_usage(
+                err,
+                runner_spec.name,
+                &format!("module from {} must be foreign", spec.name),
+            );
+        }
+    }
+}
+
+#[test]
+fn foreign_module_rejected_in_reduce_on_every_backend() {
+    for spec in registered_backends() {
+        let mut compiler: BrookContext = (spec.make)();
+        let module = compiler.compile(SUM).expect("compile");
+        for runner_spec in registered_backends() {
+            let mut runner: BrookContext = (runner_spec.make)();
+            let s = runner.stream(&[4]).expect("s");
+            runner.write(&s, &[1.0; 4]).expect("write");
+            let err = runner.reduce(&module, "sum", &s).unwrap_err();
+            assert_usage(err, runner_spec.name, "foreign module in reduce");
+        }
+    }
+}
+
+/// The exact bypass scenario: a kernel with more inputs than an embedded
+/// device has texture units, compiled on a lax CPU context, must not be
+/// runnable on the strict GLES2 context — and the strict context's own
+/// gate proves it would never have compiled it.
+#[test]
+fn lax_module_cannot_bypass_strict_contexts_gate() {
+    // 10 elementwise inputs: past the VideoCore's 8 texture units but
+    // comfortably within the default CPU limits... make the CPU config
+    // explicitly lax so the test does not depend on defaults.
+    let src = "kernel void wide(float a<>, float b<>, float c<>, float d<>, float e<>, \
+                float f<>, float g<>, float h<>, float i<>, float j<>, out float o<>) { \
+                o = a + b + c + d + e + f + g + h + i + j; }";
+    let lax = CertConfig {
+        max_inputs: 32,
+        ..CertConfig::default()
+    };
+    let mut lax_ctx = BrookContext::with_backend(Box::new(CpuBackend::new()), lax);
+    let module = lax_ctx.compile(src).expect("lax context accepts 10 inputs");
+
+    let mut strict = BrookContext::gles2(DeviceProfile::videocore_iv());
+    assert!(
+        matches!(strict.compile(src), Err(BrookError::Certification(_))),
+        "the strict gate itself must reject this kernel"
+    );
+    let streams: Vec<_> = (0..11).map(|_| strict.stream(&[4]).expect("stream")).collect();
+    let args: Vec<Arg<'_>> = streams.iter().map(Arg::Stream).collect();
+    let err = strict.run(&module, "wide", &args).unwrap_err();
+    assert_usage(err, "gles2-packed", "lax module on strict context");
+}
+
+/// Recompiling the same source on the running context is the sanctioned
+/// path and still works.
+#[test]
+fn recompiling_on_the_running_context_is_fine() {
+    let mut a = BrookContext::cpu();
+    let _elsewhere = a.compile(ADD).expect("compile");
+    let mut b = BrookContext::cpu_parallel();
+    let module = b.compile(ADD).expect("recompile");
+    let x = b.stream(&[2]).expect("x");
+    let y = b.stream(&[2]).expect("y");
+    let z = b.stream(&[2]).expect("z");
+    b.write(&x, &[1.0, 2.0]).expect("write");
+    b.write(&y, &[10.0, 20.0]).expect("write");
+    b.run(
+        &module,
+        "add",
+        &[Arg::Stream(&x), Arg::Stream(&y), Arg::Stream(&z)],
+    )
+    .expect("run");
+    assert_eq!(b.read(&z).expect("read"), vec![11.0, 22.0]);
+}
+
+/// Two same-backend contexts with interleaved compiles: module ids are
+/// globally unique, so even if a foreign module slipped past (it cannot),
+/// artifact caches could never alias. Observable contract: each context
+/// runs its own module correctly after the other context compiled a
+/// *different* kernel that would have received the same per-context id
+/// under the old counter scheme.
+#[test]
+fn interleaved_contexts_do_not_alias_module_identity() {
+    let mut c1 = BrookContext::gles2(DeviceProfile::videocore_iv());
+    let mut c2 = BrookContext::gles2(DeviceProfile::videocore_iv());
+    let m1 = c1
+        .compile("kernel void f(float a<>, out float o<>) { o = a * 2.0; }")
+        .expect("m1");
+    let m2 = c2
+        .compile("kernel void f(float a<>, out float o<>) { o = a * 3.0; }")
+        .expect("m2");
+    for (ctx, module, factor) in [(&mut c1, &m1, 2.0f32), (&mut c2, &m2, 3.0f32)] {
+        let a = ctx.stream(&[4]).expect("a");
+        let o = ctx.stream(&[4]).expect("o");
+        ctx.write(&a, &[1.0, 2.0, 3.0, 4.0]).expect("write");
+        ctx.run(module, "f", &[Arg::Stream(&a), Arg::Stream(&o)])
+            .expect("run");
+        assert_eq!(
+            ctx.read(&o).expect("read"),
+            vec![factor, 2.0 * factor, 3.0 * factor, 4.0 * factor]
+        );
+    }
+}
+
+/// `stream_len` is fallible now: a foreign stream is a `Usage` error
+/// (it used to answer from the wrong backend's stream table, or panic).
+#[test]
+fn stream_len_rejects_foreign_streams() {
+    let mut a = BrookContext::cpu();
+    let mut b = BrookContext::cpu();
+    let s_a = a.stream(&[3, 5]).expect("a stream");
+    assert_eq!(a.stream_len(&s_a).expect("own stream"), 15);
+    let err = b.stream_len(&s_a).unwrap_err();
+    assert!(matches!(err, BrookError::Usage(_)), "{err}");
+    // In particular: a handle whose index is out of range for the other
+    // backend's table must error, not panic.
+    let _ = b.stream(&[2]).expect("b stream");
+    let s_a2 = a.stream(&[7]).expect("a second stream");
+    assert!(matches!(b.stream_len(&s_a2), Err(BrookError::Usage(_))));
+}

@@ -1,0 +1,24 @@
+precision highp float;
+varying vec2 v_texcoord;
+uniform vec2 _ba_vp;
+uniform sampler2D _tex_in0;
+uniform vec4 _meta_in0;
+uniform vec4 _meta_o0;
+float _fetch_in0() {
+    vec2 _pcf = floor(v_texcoord * _ba_vp);
+    float _l = _pcf.y * _ba_vp.x + _pcf.x;
+    float _row = floor(_l / _meta_in0.x);
+    float _col = _l - _row * _meta_in0.x;
+    return texture2D(_tex_in0, (vec2(_col, _row) + 0.5) / _meta_in0.xy).x;
+}
+
+void main() {
+    vec2 _pc = floor(v_texcoord * _ba_vp);
+    float _lin = _pc.y * _ba_vp.x + _pc.x;
+    float b_in0 = _fetch_in0();
+    float _out_o0 = 0.0;
+    float b_t0 = 0.0;
+    b_t0 = (b_in0 * 2.0);
+    _out_o0 = (b_t0 + 1.0);
+    gl_FragColor = vec4(_out_o0, 0.0, 0.0, 0.0);
+}

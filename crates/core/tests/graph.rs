@@ -1,0 +1,617 @@
+//! The deferred stream-graph executor, cross-validated against eager
+//! execution on every registered backend: fusion must be invisible in
+//! results (bit-exact on the CPU interpreters, storage tolerance on the
+//! device) and visible only in the pass/byte accounting.
+
+use brook_auto::{
+    registered_backends, Arg, BrookContext, BrookError, CertConfig, GraphReport, ParallelCpuBackend,
+};
+
+const CHAIN2: &str = "kernel void dbl(float a<>, out float o<>) { o = a * 2.0; }
+kernel void inc(float a<>, out float o<>) { o = a + 1.0; }";
+
+const CHAIN3: &str = "kernel void dbl(float a<>, out float o<>) { o = a * 2.0; }
+kernel void addk(float a<>, float k, out float o<>) { o = a + k; }
+kernel void square(float a<>, out float o<>) { o = a * a; }";
+
+fn all_contexts() -> Vec<BrookContext> {
+    registered_backends().iter().map(|b| (b.make)()).collect()
+}
+
+/// Eager and deferred-fused execution of `dbl → inc`, compared
+/// elementwise on one context pair from the same factory.
+fn run_chain2(make: fn() -> BrookContext) -> (Vec<f32>, Vec<f32>, GraphReport) {
+    let data: Vec<f32> = (0..64).map(|i| i as f32 * 0.25 - 4.0).collect();
+    // Eager: a real intermediate stream, two passes.
+    let mut ctx = make();
+    let module = ctx.compile(CHAIN2).expect("compile");
+    let a = ctx.stream(&[64]).expect("a");
+    let tmp = ctx.stream(&[64]).expect("tmp");
+    let out = ctx.stream(&[64]).expect("out");
+    ctx.write(&a, &data).expect("write");
+    ctx.run(&module, "dbl", &[Arg::Stream(&a), Arg::Stream(&tmp)])
+        .expect("dbl");
+    ctx.run(&module, "inc", &[Arg::Stream(&tmp), Arg::Stream(&out)])
+        .expect("inc");
+    let eager = ctx.read(&out).expect("read");
+
+    // Deferred: a virtual intermediate, fused into one pass.
+    let mut ctx = make();
+    let module = ctx.compile(CHAIN2).expect("compile");
+    let a = ctx.stream(&[64]).expect("a");
+    let out = ctx.stream(&[64]).expect("out");
+    ctx.write(&a, &data).expect("write");
+    let mut g = ctx.graph();
+    let tmp = g.stream(&[64]).expect("virtual");
+    g.run(&module, "dbl", &[Arg::Stream(&a), Arg::Stream(&tmp)])
+        .expect("record dbl");
+    g.run(&module, "inc", &[Arg::Stream(&tmp), Arg::Stream(&out)])
+        .expect("record inc");
+    let report = g.execute().expect("execute");
+    let fused = ctx.read(&out).expect("read");
+    (eager, fused, report)
+}
+
+#[test]
+fn two_kernel_chain_fuses_to_one_pass_everywhere() {
+    for spec in registered_backends() {
+        let (eager, fused, report) = run_chain2(spec.make);
+        assert_eq!(eager, fused, "{}: fusion changed results", spec.name);
+        assert_eq!(report.eager_passes, 2, "{}", spec.name);
+        assert_eq!(report.executed_passes, 1, "{}", spec.name);
+        assert_eq!(report.elided_streams, 1, "{}", spec.name);
+        assert_eq!(report.fused.len(), 1, "{}", spec.name);
+        assert_eq!(report.fused[0].replaced, vec!["dbl", "inc"], "{}", spec.name);
+        assert_eq!(
+            report.intermediate_bytes_elided,
+            64 * 4 * 2,
+            "{}: one write + one read of 64 floats",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn three_kernel_chain_collapses_to_single_pass() {
+    for spec in registered_backends() {
+        let data: Vec<f32> = (0..100).map(|i| (i as f32).sin()).collect();
+        // Eager reference.
+        let mut ctx = (spec.make)();
+        let module = ctx.compile(CHAIN3).expect("compile");
+        let a = ctx.stream(&[100]).expect("a");
+        let t1 = ctx.stream(&[100]).expect("t1");
+        let t2 = ctx.stream(&[100]).expect("t2");
+        let out = ctx.stream(&[100]).expect("out");
+        ctx.write(&a, &data).expect("write");
+        ctx.run(&module, "dbl", &[Arg::Stream(&a), Arg::Stream(&t1)])
+            .expect("dbl");
+        ctx.run(
+            &module,
+            "addk",
+            &[Arg::Stream(&t1), Arg::Float(3.5), Arg::Stream(&t2)],
+        )
+        .expect("addk");
+        ctx.run(&module, "square", &[Arg::Stream(&t2), Arg::Stream(&out)])
+            .expect("square");
+        let eager = ctx.read(&out).expect("read");
+
+        let mut ctx = (spec.make)();
+        let module = ctx.compile(CHAIN3).expect("compile");
+        let a = ctx.stream(&[100]).expect("a");
+        let out = ctx.stream(&[100]).expect("out");
+        ctx.write(&a, &data).expect("write");
+        let mut g = ctx.graph();
+        let t1 = g.stream(&[100]).expect("t1");
+        let t2 = g.stream(&[100]).expect("t2");
+        g.run(&module, "dbl", &[Arg::Stream(&a), Arg::Stream(&t1)])
+            .expect("record");
+        g.run(
+            &module,
+            "addk",
+            &[Arg::Stream(&t1), Arg::Float(3.5), Arg::Stream(&t2)],
+        )
+        .expect("record");
+        g.run(&module, "square", &[Arg::Stream(&t2), Arg::Stream(&out)])
+            .expect("record");
+        let report = g.execute().expect("execute");
+        assert_eq!(report.eager_passes, 3, "{}", spec.name);
+        assert_eq!(report.executed_passes, 1, "{}", spec.name);
+        assert_eq!(report.elided_streams, 2, "{}", spec.name);
+        assert_eq!(ctx.read(&out).expect("read"), eager, "{}", spec.name);
+    }
+}
+
+/// A gather-carrying producer (convolution-style) inlines soundly: the
+/// external table is random-access, only the chain edge must be
+/// elementwise.
+#[test]
+fn gather_producer_fuses_with_elementwise_consumer() {
+    let src = "kernel void shift(float t[], float a<>, out float o<>) {
+        float2 p = indexof(o);
+        o = t[p.x + 1.0] + a;
+    }
+    kernel void thresh(float a<>, float lim, out float o<>) {
+        o = (a > lim) ? 1.0 : 0.0;
+    }";
+    for spec in registered_backends() {
+        let n = 32;
+        let table: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let zeros = vec![0.0f32; n];
+
+        let mut ctx = (spec.make)();
+        let module = ctx.compile(src).expect("compile");
+        let t = ctx.stream(&[n]).expect("t");
+        let a = ctx.stream(&[n]).expect("a");
+        let tmp = ctx.stream(&[n]).expect("tmp");
+        let out = ctx.stream(&[n]).expect("out");
+        ctx.write(&t, &table).expect("write t");
+        ctx.write(&a, &zeros).expect("write a");
+        ctx.run(
+            &module,
+            "shift",
+            &[Arg::Stream(&t), Arg::Stream(&a), Arg::Stream(&tmp)],
+        )
+        .expect("shift");
+        ctx.run(
+            &module,
+            "thresh",
+            &[Arg::Stream(&tmp), Arg::Float(15.0), Arg::Stream(&out)],
+        )
+        .expect("thresh");
+        let eager = ctx.read(&out).expect("read");
+
+        let mut ctx = (spec.make)();
+        let module = ctx.compile(src).expect("compile");
+        let t = ctx.stream(&[n]).expect("t");
+        let a = ctx.stream(&[n]).expect("a");
+        let out = ctx.stream(&[n]).expect("out");
+        ctx.write(&t, &table).expect("write t");
+        ctx.write(&a, &zeros).expect("write a");
+        let mut g = ctx.graph();
+        let tmp = g.stream(&[n]).expect("virtual");
+        g.run(
+            &module,
+            "shift",
+            &[Arg::Stream(&t), Arg::Stream(&a), Arg::Stream(&tmp)],
+        )
+        .expect("record");
+        g.run(
+            &module,
+            "thresh",
+            &[Arg::Stream(&tmp), Arg::Float(15.0), Arg::Stream(&out)],
+        )
+        .expect("record");
+        let report = g.execute().expect("execute");
+        assert_eq!(report.executed_passes, 1, "{}", spec.name);
+        assert_eq!(ctx.read(&out).expect("read"), eager, "{}", spec.name);
+    }
+}
+
+/// An intermediate consumed twice stays unfused (fusing would duplicate
+/// the producer's work and is out of scope); results must still match
+/// eager execution exactly.
+#[test]
+fn twice_read_intermediate_is_not_fused() {
+    let src = "kernel void dbl(float a<>, out float o<>) { o = a * 2.0; }
+    kernel void add(float a<>, float b<>, out float o<>) { o = a + b; }";
+    for spec in registered_backends() {
+        let data: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let mut ctx = (spec.make)();
+        let module = ctx.compile(src).expect("compile");
+        let a = ctx.stream(&[16]).expect("a");
+        let out = ctx.stream(&[16]).expect("out");
+        ctx.write(&a, &data).expect("write");
+        let mut g = ctx.graph();
+        let tmp = g.stream(&[16]).expect("virtual");
+        g.run(&module, "dbl", &[Arg::Stream(&a), Arg::Stream(&tmp)])
+            .expect("record");
+        g.run(
+            &module,
+            "add",
+            &[Arg::Stream(&tmp), Arg::Stream(&tmp), Arg::Stream(&out)],
+        )
+        .expect("record");
+        let report = g.execute().expect("execute");
+        assert_eq!(report.executed_passes, 2, "{}: must stay unfused", spec.name);
+        assert_eq!(report.elided_streams, 0, "{}", spec.name);
+        let expected: Vec<f32> = data.iter().map(|v| v * 4.0).collect();
+        assert_eq!(ctx.read(&out).expect("read"), expected, "{}", spec.name);
+    }
+}
+
+/// Fusion that would exceed the context's input limit is rejected by the
+/// gate pre-filter and the chain runs unfused — certification is never
+/// bypassed, results are still correct.
+#[test]
+fn gate_rejected_fusion_falls_back_to_unfused() {
+    let src = "kernel void mix2(float a<>, float b<>, out float o<>) { o = a + b; }
+    kernel void mix3(float a<>, float b<>, float c<>, out float o<>) { o = a * b - c; }";
+    let cfg = CertConfig {
+        max_inputs: 3,
+        ..CertConfig::default()
+    };
+    let mut ctx = BrookContext::with_backend(Box::new(brook_auto::CpuBackend::new()), cfg);
+    let module = ctx.compile(src).expect("both kernels fit the limit alone");
+    let mk = |ctx: &mut BrookContext, v: f32| {
+        let s = ctx.stream(&[8]).unwrap();
+        ctx.write(&s, &[v; 8]).unwrap();
+        s
+    };
+    let (a, b, c, d) = (
+        mk(&mut ctx, 1.0),
+        mk(&mut ctx, 2.0),
+        mk(&mut ctx, 3.0),
+        mk(&mut ctx, 4.0),
+    );
+    let out = ctx.stream(&[8]).unwrap();
+    let mut g = ctx.graph();
+    let tmp = g.stream(&[8]).expect("virtual");
+    g.run(
+        &module,
+        "mix2",
+        &[Arg::Stream(&a), Arg::Stream(&b), Arg::Stream(&tmp)],
+    )
+    .expect("record");
+    // Fused would need inputs {a, b, c, d} = 4 > max_inputs = 3.
+    g.run(
+        &module,
+        "mix3",
+        &[
+            Arg::Stream(&tmp),
+            Arg::Stream(&c),
+            Arg::Stream(&d),
+            Arg::Stream(&out),
+        ],
+    )
+    .expect("record");
+    let report = g.execute().expect("execute");
+    assert_eq!(report.executed_passes, 2, "fusion must be vetoed by the gate");
+    assert!(report.fused.is_empty());
+    assert_eq!(ctx.read(&out).unwrap(), vec![(1.0 + 2.0) * 3.0 - 4.0; 8]);
+}
+
+/// A producer that assigns its output only conditionally keeps eager
+/// semantics after fusion: the elided intermediate was zero-filled, and
+/// so is the fused kernel's let-bound local.
+#[test]
+fn conditionally_written_intermediate_keeps_zero_fill_semantics() {
+    let src = "kernel void gate(float a<>, out float o<>) { if (a > 0.0) { o = a * 10.0; } }
+    kernel void inc(float a<>, out float o<>) { o = a + 1.0; }";
+    for spec in registered_backends() {
+        let data = vec![-1.0f32, 2.0, -3.0, 4.0];
+        let mut ctx = (spec.make)();
+        let module = ctx.compile(src).expect("compile");
+        let a = ctx.stream(&[4]).expect("a");
+        let out = ctx.stream(&[4]).expect("out");
+        ctx.write(&a, &data).expect("write");
+        let mut g = ctx.graph();
+        let tmp = g.stream(&[4]).expect("virtual");
+        g.run(&module, "gate", &[Arg::Stream(&a), Arg::Stream(&tmp)])
+            .expect("record");
+        g.run(&module, "inc", &[Arg::Stream(&tmp), Arg::Stream(&out)])
+            .expect("record");
+        let report = g.execute().expect("execute");
+        assert_eq!(report.executed_passes, 1, "{}", spec.name);
+        assert_eq!(
+            ctx.read(&out).expect("read"),
+            vec![1.0, 21.0, 1.0, 41.0],
+            "{}: unwritten lanes must read the zero fill",
+            spec.name
+        );
+    }
+}
+
+/// A read-then-overwrite pipeline — the producer reads a stream the
+/// consumer overwrites — is legal eagerly but must never fuse: fused,
+/// it would be a kernel reading its own output. (Regression: the
+/// planner used to fuse this and crash or silently diverge.)
+#[test]
+fn producer_read_consumer_written_stream_blocks_fusion() {
+    for spec in registered_backends() {
+        let data: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let mut ctx = (spec.make)();
+        let module = ctx.compile(CHAIN2).expect("compile");
+        let x = ctx.stream(&[16]).expect("x");
+        ctx.write(&x, &data).expect("write");
+        let mut g = ctx.graph();
+        let tmp = g.stream(&[16]).expect("virtual");
+        // dbl reads x into tmp; inc reads tmp and overwrites x.
+        g.run(&module, "dbl", &[Arg::Stream(&x), Arg::Stream(&tmp)])
+            .expect("record");
+        g.run(&module, "inc", &[Arg::Stream(&tmp), Arg::Stream(&x)])
+            .expect("record");
+        let report = g
+            .execute()
+            .expect("execute must not fuse into an in-place kernel");
+        assert_eq!(report.executed_passes, 2, "{}: must stay unfused", spec.name);
+        let expected: Vec<f32> = data.iter().map(|v| v * 2.0 + 1.0).collect();
+        assert_eq!(ctx.read(&x).expect("read"), expected, "{}", spec.name);
+    }
+}
+
+/// A `ReduceHandle` is stamped with its graph: redeeming it against
+/// another graph's report is a caller bug and panics instead of
+/// silently returning the wrong scalar.
+#[test]
+#[should_panic(expected = "different graph")]
+fn reduce_handle_rejected_on_foreign_report() {
+    let src = "reduce void sum(float a<>, reduce float r<>) { r += a; }";
+    let mut ctx = BrookContext::cpu();
+    let module = ctx.compile(src).expect("compile");
+    let s = ctx.stream(&[4]).expect("s");
+    ctx.write(&s, &[1.0, 2.0, 3.0, 4.0]).expect("write");
+    let mut g = ctx.graph();
+    let handle_a = g.reduce(&module, "sum", &s).expect("record");
+    let _report_a = g.execute().expect("execute");
+    let mut g = ctx.graph();
+    let _handle_b = g.reduce(&module, "sum", &s).expect("record");
+    let report_b = g.execute().expect("execute");
+    let _ = report_b.reduce_value(handle_a);
+}
+
+/// Virtual and real streams accept exactly the same shapes with the
+/// same diagnostics — one validator serves both surfaces.
+#[test]
+fn virtual_and_real_stream_validation_agree() {
+    let mut ctx = BrookContext::cpu();
+    for (shape, width) in [
+        (vec![0usize], 1u8),
+        (vec![], 1),
+        (vec![1, 1, 1, 1, 1], 1),
+        (vec![4], 0),
+        (vec![4], 5),
+    ] {
+        let real = ctx.stream_with_width(&shape, width).unwrap_err().to_string();
+        let mut g = ctx.graph();
+        let virt = g.stream_with_width(&shape, width).unwrap_err().to_string();
+        assert_eq!(real, virt, "shape {shape:?} width {width}");
+    }
+}
+
+/// Reduces record into the graph, run after their producers, and a
+/// fused producer chain can feed them.
+#[test]
+fn reduce_over_fused_chain() {
+    let src = "kernel void dbl(float a<>, out float o<>) { o = a * 2.0; }
+    kernel void inc(float a<>, out float o<>) { o = a + 1.0; }
+    reduce void sum(float a<>, reduce float r<>) { r += a; }";
+    for spec in registered_backends() {
+        let n = 100;
+        let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let mut ctx = (spec.make)();
+        let module = ctx.compile(src).expect("compile");
+        let a = ctx.stream(&[n]).expect("a");
+        let out = ctx.stream(&[n]).expect("out");
+        ctx.write(&a, &data).expect("write");
+        let mut g = ctx.graph();
+        let tmp = g.stream(&[n]).expect("virtual");
+        g.run(&module, "dbl", &[Arg::Stream(&a), Arg::Stream(&tmp)])
+            .expect("record");
+        g.run(&module, "inc", &[Arg::Stream(&tmp), Arg::Stream(&out)])
+            .expect("record");
+        let h = g.reduce(&module, "sum", &out).expect("record reduce");
+        let report = g.execute().expect("execute");
+        // dbl→inc fused; the reduce is its own pass.
+        assert_eq!(report.executed_passes, 2, "{}", spec.name);
+        let expected: f32 = data.iter().map(|v| v * 2.0 + 1.0).sum();
+        let got = report.reduce_value(h);
+        assert!(
+            (got - expected).abs() <= expected.abs() * 1e-3,
+            "{}: reduce over fused chain: {got} vs {expected}",
+            spec.name
+        );
+    }
+}
+
+/// Multi-output consumers fuse too (the fused kernel keeps every
+/// consumer output and still splits one pass per output downstream).
+#[test]
+fn multi_output_consumer_fuses() {
+    let src = "kernel void dbl(float a<>, out float o<>) { o = a * 2.0; }
+    kernel void two(float a<>, out float x<>, out float y<>) { x = a + 1.0; y = a - 1.0; }";
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let module = ctx.compile(src).expect("compile");
+        let a = ctx.stream(&[8]).expect("a");
+        let x = ctx.stream(&[8]).expect("x");
+        let y = ctx.stream(&[8]).expect("y");
+        ctx.write(&a, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+            .expect("write");
+        let mut g = ctx.graph();
+        let tmp = g.stream(&[8]).expect("virtual");
+        g.run(&module, "dbl", &[Arg::Stream(&a), Arg::Stream(&tmp)])
+            .expect("record");
+        g.run(
+            &module,
+            "two",
+            &[Arg::Stream(&tmp), Arg::Stream(&x), Arg::Stream(&y)],
+        )
+        .expect("record");
+        let report = g.execute().expect("execute");
+        assert_eq!(report.eager_passes, 3, "{name}"); // 1 + 2 outputs
+        assert_eq!(report.executed_passes, 2, "{name}"); // fused, 2 outputs
+        assert_eq!(
+            ctx.read(&x).expect("x"),
+            vec![3.0, 5.0, 7.0, 9.0, 11.0, 13.0, 15.0, 17.0],
+            "{name}"
+        );
+        assert_eq!(
+            ctx.read(&y).expect("y"),
+            vec![1.0, 3.0, 5.0, 7.0, 9.0, 11.0, 13.0, 15.0],
+            "{name}"
+        );
+    }
+}
+
+/// The graph executor composes with the data-parallel CPU backend at
+/// degenerate and oversubscribed worker counts.
+#[test]
+fn graph_execution_under_extreme_worker_counts() {
+    for workers in [1usize, 17] {
+        let mut ctx = BrookContext::with_backend(
+            Box::new(ParallelCpuBackend::with_workers(workers)),
+            CertConfig::default(),
+        );
+        let module = ctx.compile(CHAIN2).expect("compile");
+        let n = 1000; // > PARALLEL_THRESHOLD so the fan-out path runs
+        let data: Vec<f32> = (0..n).map(|i| i as f32 * 0.5).collect();
+        let a = ctx.stream(&[n]).expect("a");
+        let out = ctx.stream(&[n]).expect("out");
+        ctx.write(&a, &data).expect("write");
+        let mut g = ctx.graph();
+        let tmp = g.stream(&[n]).expect("virtual");
+        g.run(&module, "dbl", &[Arg::Stream(&a), Arg::Stream(&tmp)])
+            .expect("record");
+        g.run(&module, "inc", &[Arg::Stream(&tmp), Arg::Stream(&out)])
+            .expect("record");
+        let report = g.execute().expect("execute");
+        assert_eq!(report.executed_passes, 1, "workers={workers}");
+        let expected: Vec<f32> = data.iter().map(|v| v * 2.0 + 1.0).collect();
+        assert_eq!(ctx.read(&out).expect("read"), expected, "workers={workers}");
+    }
+}
+
+/// Virtual streams are recording-scoped: the context refuses them, and a
+/// graph refuses another context's streams.
+#[test]
+fn virtual_streams_cannot_escape_their_recording() {
+    let mut ctx = BrookContext::cpu();
+    let module = ctx.compile(CHAIN2).expect("compile");
+    let a = ctx.stream(&[4]).expect("a");
+    ctx.write(&a, &[0.0; 4]).expect("write");
+    let virt = {
+        let mut g = ctx.graph();
+        let v = g.stream(&[4]).expect("virtual");
+        g.run(&module, "dbl", &[Arg::Stream(&a), Arg::Stream(&v)])
+            .expect("record");
+        g.execute().expect("execute");
+        v
+    };
+    assert!(matches!(ctx.read(&virt), Err(BrookError::Usage(_))));
+    assert!(matches!(ctx.write(&virt, &[0.0; 4]), Err(BrookError::Usage(_))));
+
+    let mut other = BrookContext::cpu();
+    let foreign = other.stream(&[4]).expect("foreign");
+    let out = ctx.stream(&[4]).expect("out");
+    let mut g = ctx.graph();
+    let err = g
+        .run(&module, "dbl", &[Arg::Stream(&foreign), Arg::Stream(&out)])
+        .unwrap_err();
+    assert!(matches!(err, BrookError::Usage(_)));
+    // Foreign modules are rejected at record time too.
+    let foreign_module = other.compile(CHAIN2).expect("compile");
+    let err = g
+        .run(&foreign_module, "dbl", &[Arg::Stream(&a), Arg::Stream(&out)])
+        .unwrap_err();
+    assert!(matches!(err, BrookError::Usage(_)));
+}
+
+/// The fused source is deterministic — the contract the golden GLSL
+/// snapshot (and any triage of a fused kernel) rests on.
+#[test]
+fn fused_source_is_deterministic() {
+    let expected = "kernel void fused_dbl_inc(float in0<>, out float o0<>) {
+    float t0 = 0.0;
+    t0 = (in0 * 2.0);
+    o0 = (t0 + 1.0);
+}
+";
+    let (_, _, report) = run_chain2(BrookContext::cpu);
+    assert_eq!(report.fused.len(), 1);
+    assert_eq!(report.fused[0].name, "fused_dbl_inc");
+    assert_eq!(report.fused[0].source, expected);
+}
+
+/// Golden snapshot of the GLSL generated for a fused kernel — the fused
+/// AST flows through codegen like any user kernel, so the shader is
+/// pinned the same way `crates/codegen/tests/golden.rs` pins eager ones.
+/// Re-bless with `BROOK_BLESS=1 cargo test -p brook-auto --test graph`.
+#[test]
+fn fused_kernel_glsl_matches_golden_fixture() {
+    use brook_codegen::{generate_kernel_shader, KernelShapes, StorageMode, StreamRank};
+
+    let (_, _, report) = run_chain2(BrookContext::cpu);
+    let checked = brook_lang::parse_and_check(&report.fused[0].source).expect("fused source re-checks");
+    let shapes = KernelShapes::default()
+        .with("in0", StreamRank::Linear)
+        .with("o0", StreamRank::Linear);
+    let generated = generate_kernel_shader(&checked, "fused_dbl_inc", "o0", &shapes, StorageMode::Native)
+        .expect("codegen");
+    glsl_es::compile(&generated.glsl).expect("fused GLSL must compile");
+
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("fused_dbl_inc.glsl");
+    if std::env::var_os("BROOK_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &generated.glsl).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run with BROOK_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        generated.glsl, expected,
+        "fused GLSL drifted from its golden fixture; if intentional, re-bless with BROOK_BLESS=1"
+    );
+}
+
+/// On the GL backend the saving is observable in device counters: fused
+/// execution issues fewer draw calls than eager.
+#[test]
+fn gles2_draw_calls_drop_under_fusion() {
+    let make = || BrookContext::gles2(gles2_sim::DeviceProfile::videocore_iv());
+    let data: Vec<f32> = (0..256).map(|i| i as f32 * 0.01).collect();
+
+    let mut eager = make();
+    let module = eager.compile(CHAIN3).expect("compile");
+    let a = eager.stream(&[256]).expect("a");
+    let t1 = eager.stream(&[256]).expect("t1");
+    let t2 = eager.stream(&[256]).expect("t2");
+    let out = eager.stream(&[256]).expect("out");
+    eager.write(&a, &data).expect("write");
+    eager.reset_counters();
+    eager
+        .run(&module, "dbl", &[Arg::Stream(&a), Arg::Stream(&t1)])
+        .expect("dbl");
+    eager
+        .run(
+            &module,
+            "addk",
+            &[Arg::Stream(&t1), Arg::Float(1.0), Arg::Stream(&t2)],
+        )
+        .expect("addk");
+    eager
+        .run(&module, "square", &[Arg::Stream(&t2), Arg::Stream(&out)])
+        .expect("square");
+    let eager_draws = eager.gpu_counters().draw_calls;
+
+    let mut ctx = make();
+    let module = ctx.compile(CHAIN3).expect("compile");
+    let a = ctx.stream(&[256]).expect("a");
+    let out = ctx.stream(&[256]).expect("out");
+    ctx.write(&a, &data).expect("write");
+    ctx.reset_counters();
+    let mut g = ctx.graph();
+    let t1 = g.stream(&[256]).expect("t1");
+    let t2 = g.stream(&[256]).expect("t2");
+    g.run(&module, "dbl", &[Arg::Stream(&a), Arg::Stream(&t1)])
+        .expect("record");
+    g.run(
+        &module,
+        "addk",
+        &[Arg::Stream(&t1), Arg::Float(1.0), Arg::Stream(&t2)],
+    )
+    .expect("record");
+    g.run(&module, "square", &[Arg::Stream(&t2), Arg::Stream(&out)])
+        .expect("record");
+    g.execute().expect("execute");
+    let fused_draws = ctx.gpu_counters().draw_calls;
+
+    assert_eq!(eager_draws, 3);
+    assert_eq!(fused_draws, 1, "fused chain must be one draw call");
+}

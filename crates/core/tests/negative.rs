@@ -297,3 +297,114 @@ fn front_end_error_yields_frontend_variant_everywhere() {
         );
     }
 }
+
+/// `Arg::Float` for an `int` parameter must be an exact integral value
+/// in `i32` range — `Arg::Float(2.9)` used to truncate silently to `2`.
+#[test]
+fn non_integral_float_for_int_scalar_rejected_everywhere() {
+    let src = "kernel void scl(float a<>, int n, out float o<>) { o = a * float(n); }";
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let module = ctx.compile(src).unwrap();
+        let a = ctx.stream(&[4]).unwrap();
+        let o = ctx.stream(&[4]).unwrap();
+        ctx.write(&a, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+
+        // Exact integral values convert.
+        ctx.run(
+            &module,
+            "scl",
+            &[Arg::Stream(&a), Arg::Float(2.0), Arg::Stream(&o)],
+        )
+        .unwrap_or_else(|e| panic!("{name}: Float(2.0) must convert: {e}"));
+        assert_eq!(ctx.read(&o).unwrap(), vec![2.0, 4.0, 6.0, 8.0], "{name}");
+
+        // Fractional values are an error, not a truncation.
+        let err = ctx
+            .run(
+                &module,
+                "scl",
+                &[Arg::Stream(&a), Arg::Float(2.5), Arg::Stream(&o)],
+            )
+            .unwrap_err();
+        assert_usage(err, name, "Float(2.5) for int param");
+
+        // i32::MIN is exactly representable in f32 and accepted...
+        ctx.run(
+            &module,
+            "scl",
+            &[Arg::Stream(&a), Arg::Float(-2147483648.0), Arg::Stream(&o)],
+        )
+        .unwrap_or_else(|e| panic!("{name}: Float(i32::MIN) must convert: {e}"));
+
+        // ...but 2^31 (what `i32::MAX as f32` rounds to) is out of range
+        // and used to saturate silently.
+        let err = ctx
+            .run(
+                &module,
+                "scl",
+                &[Arg::Stream(&a), Arg::Float(2147483648.0), Arg::Stream(&o)],
+            )
+            .unwrap_err();
+        assert_usage(err, name, "Float(2^31) for int param");
+
+        // Non-finite values cannot name an integer at all.
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let err = ctx
+                .run(
+                    &module,
+                    "scl",
+                    &[Arg::Stream(&a), Arg::Float(bad), Arg::Stream(&o)],
+                )
+                .unwrap_err();
+            assert_usage(err, name, &format!("Float({bad}) for int param"));
+        }
+    }
+}
+
+/// `Arg::Int` remains the precise path for int parameters, including
+/// both `i32` extremes.
+#[test]
+fn int_argument_edges_accepted_everywhere() {
+    let src = "kernel void pick(float a<>, int n, out float o<>) {
+        o = (n < 0) ? (a - 1.0) : (a + 1.0);
+    }";
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let module = ctx.compile(src).unwrap();
+        let a = ctx.stream(&[2]).unwrap();
+        let o = ctx.stream(&[2]).unwrap();
+        ctx.write(&a, &[5.0, 6.0]).unwrap();
+        ctx.run(
+            &module,
+            "pick",
+            &[Arg::Stream(&a), Arg::Int(i32::MIN), Arg::Stream(&o)],
+        )
+        .unwrap_or_else(|e| panic!("{name}: Int(i32::MIN): {e}"));
+        assert_eq!(ctx.read(&o).unwrap(), vec![4.0, 5.0], "{name}");
+        ctx.run(
+            &module,
+            "pick",
+            &[Arg::Stream(&a), Arg::Int(i32::MAX), Arg::Stream(&o)],
+        )
+        .unwrap_or_else(|e| panic!("{name}: Int(i32::MAX): {e}"));
+        assert_eq!(ctx.read(&o).unwrap(), vec![6.0, 7.0], "{name}");
+    }
+}
+
+/// `stream_len` routes through the foreign-stream check like
+/// `read`/`write` do — it used to index another backend's stream table
+/// directly, returning a wrong length or panicking out of bounds.
+#[test]
+fn stream_len_on_foreign_stream_rejected_everywhere() {
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let own = ctx.stream(&[6]).unwrap();
+        assert_eq!(ctx.stream_len(&own).unwrap(), 6, "{name}");
+        for mut other in all_contexts() {
+            let foreign = other.stream(&[2, 2]).unwrap();
+            let err = ctx.stream_len(&foreign).unwrap_err();
+            assert_usage(err, name, "stream_len on a foreign stream");
+        }
+    }
+}

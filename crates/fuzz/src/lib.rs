@@ -41,12 +41,14 @@
 //! assert!(stats.rejected_by_rule.len() >= 1);
 //! ```
 
+pub mod chain;
 pub mod differential;
 pub mod gen;
 pub mod mutation;
 pub mod repro;
 pub mod shrink;
 
+pub use chain::{gen_chain, run_chain_campaign, run_chain_case, ChainCase, ChainConfig, ChainStats};
 pub use differential::{compare, run_case, BackendOutput, CaseFailure, Divergence, Matrix};
 pub use gen::{gen_case, gen_noncompliant, FuzzCase, GenConfig};
 pub use mutation::SaboteurBackend;

@@ -30,6 +30,32 @@ fn campaign_256_cases_across_all_backends() {
     );
 }
 
+/// 128 random 2–5 kernel pipelines, each run eagerly and through the
+/// deferred fusing graph executor on every registered backend: zero
+/// divergence against the eager CPU oracle (bit-exact on CPU backends),
+/// every chain actually collapsed by the planner, every fused kernel
+/// re-certified through the real gate (fusion silently skipping the gate
+/// would show up as a `NotFused` failure on restricted contexts; fusion
+/// miscompiling shows up as a divergence).
+#[test]
+fn chain_campaign_128_cases_eager_vs_fused() {
+    let stats = brook_fuzz::run_chain_campaign(CI_SEED, 128, &brook_fuzz::ChainConfig::default())
+        .unwrap_or_else(|f| panic!("chain campaign failed:\n{f}"));
+    assert_eq!(stats.cases, 128);
+    assert_eq!(
+        stats.executed_passes, stats.cases as usize,
+        "every chain must collapse to a single pass"
+    );
+    assert_eq!(stats.eager_passes, stats.stages);
+    assert_eq!(stats.elided_streams, stats.stages - stats.cases as usize);
+    assert!(
+        stats.eager_passes as f64 >= 1.3 * stats.executed_passes as f64,
+        "the campaign must demonstrate ≥30% pass reduction, got {} → {}",
+        stats.eager_passes,
+        stats.executed_passes
+    );
+}
+
 /// The campaign is a pure function of the seed: two runs generate the
 /// same programs (cheap proxy: the generated sources are identical).
 #[test]

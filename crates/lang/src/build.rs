@@ -37,6 +37,66 @@
 
 use crate::ast::*;
 use crate::span::Span;
+use std::collections::HashMap;
+
+/// Identifier maps for [`AstBuilder::clone_stmt_renamed`]: how variable
+/// references and `indexof` targets translate into the destination
+/// kernel. Lookups are total — a name absent from the relevant map makes
+/// the clone fail, which is what an inliner wants: silently keeping an
+/// unmapped identifier would capture whatever happens to share its name
+/// in the destination scope.
+#[derive(Debug, Default, Clone)]
+pub struct RenameMap {
+    /// Variable/parameter/local renames (also applied to `Decl` names).
+    pub vars: HashMap<String, String>,
+    /// `indexof(name)` target renames. Kept separate from `vars` because
+    /// an inliner typically redirects every `indexof` to the fused
+    /// kernel's output (all elementwise streams share the domain) while
+    /// plain reads of the same parameter become a let-bound local.
+    pub indexof: HashMap<String, String>,
+}
+
+/// Local variable names declared anywhere in a block, in declaration
+/// order (recursing into nested control flow, including `for`
+/// initializers). An inliner renames these before cloning so a
+/// producer's locals can never capture a consumer's.
+pub fn declared_locals(block: &Block) -> Vec<String> {
+    fn walk(b: &Block, out: &mut Vec<String>) {
+        for s in &b.stmts {
+            walk_stmt(s, out);
+        }
+    }
+    fn walk_stmt(s: &Stmt, out: &mut Vec<String>) {
+        match s {
+            Stmt::Decl { name, .. } => out.push(name.clone()),
+            Stmt::If {
+                then_block,
+                else_block,
+                ..
+            } => {
+                walk(then_block, out);
+                if let Some(e) = else_block {
+                    walk(e, out);
+                }
+            }
+            Stmt::For { init, step, body, .. } => {
+                if let Some(i) = init {
+                    walk_stmt(i, out);
+                }
+                if let Some(st) = step {
+                    walk_stmt(st, out);
+                }
+                walk(body, out);
+            }
+            Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => walk(body, out),
+            Stmt::Block(b) => walk(b, out),
+            Stmt::Assign { .. } | Stmt::Return { .. } | Stmt::Expr { .. } => {}
+        }
+    }
+    let mut out = Vec::new();
+    walk(block, &mut out);
+    out
+}
 
 /// Constructs AST nodes with unique ids and synthetic spans.
 #[derive(Debug, Default)]
@@ -239,6 +299,176 @@ impl AstBuilder {
         }
     }
 
+    // -- renamed deep clones (kernel inlining support) -----------------------
+
+    /// Deep-clones an expression with fresh node ids, renaming every
+    /// identifier through `map` — the expression-level primitive for
+    /// inlining one kernel's body into another as let-bound locals.
+    ///
+    /// # Errors
+    /// Returns the offending name when a variable or `indexof` target has
+    /// no entry in the relevant map (callees of `Call` are *not* renamed;
+    /// the caller decides whether helper calls are admissible).
+    pub fn clone_expr_renamed(&mut self, e: &Expr, map: &RenameMap) -> Result<Expr, String> {
+        let kind = match &e.kind {
+            ExprKind::FloatLit(v) => ExprKind::FloatLit(*v),
+            ExprKind::IntLit(v) => ExprKind::IntLit(*v),
+            ExprKind::BoolLit(v) => ExprKind::BoolLit(*v),
+            ExprKind::Var(name) => ExprKind::Var(
+                map.vars
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| format!("unmapped variable `{name}`"))?,
+            ),
+            ExprKind::Binary { op, lhs, rhs } => ExprKind::Binary {
+                op: *op,
+                lhs: Box::new(self.clone_expr_renamed(lhs, map)?),
+                rhs: Box::new(self.clone_expr_renamed(rhs, map)?),
+            },
+            ExprKind::Unary { op, operand } => ExprKind::Unary {
+                op: *op,
+                operand: Box::new(self.clone_expr_renamed(operand, map)?),
+            },
+            ExprKind::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => ExprKind::Ternary {
+                cond: Box::new(self.clone_expr_renamed(cond, map)?),
+                then_expr: Box::new(self.clone_expr_renamed(then_expr, map)?),
+                else_expr: Box::new(self.clone_expr_renamed(else_expr, map)?),
+            },
+            ExprKind::Call { callee, args } => ExprKind::Call {
+                callee: callee.clone(),
+                args: args
+                    .iter()
+                    .map(|a| self.clone_expr_renamed(a, map))
+                    .collect::<Result<_, _>>()?,
+            },
+            ExprKind::Index { base, indices } => ExprKind::Index {
+                base: Box::new(self.clone_expr_renamed(base, map)?),
+                indices: indices
+                    .iter()
+                    .map(|i| self.clone_expr_renamed(i, map))
+                    .collect::<Result<_, _>>()?,
+            },
+            ExprKind::Swizzle { base, components } => ExprKind::Swizzle {
+                base: Box::new(self.clone_expr_renamed(base, map)?),
+                components: components.clone(),
+            },
+            ExprKind::Indexof { stream } => ExprKind::Indexof {
+                stream: map
+                    .indexof
+                    .get(stream)
+                    .cloned()
+                    .ok_or_else(|| format!("unmapped indexof target `{stream}`"))?,
+            },
+        };
+        Ok(self.expr(kind))
+    }
+
+    /// Deep-clones a statement with fresh node ids, renaming every
+    /// identifier (including `Decl` names) through `map`.
+    ///
+    /// # Errors
+    /// As [`AstBuilder::clone_expr_renamed`].
+    pub fn clone_stmt_renamed(&mut self, s: &Stmt, map: &RenameMap) -> Result<Stmt, String> {
+        Ok(match s {
+            Stmt::Decl { name, ty, init, .. } => Stmt::Decl {
+                name: map
+                    .vars
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| format!("unmapped local `{name}`"))?,
+                ty: *ty,
+                init: init
+                    .as_ref()
+                    .map(|e| self.clone_expr_renamed(e, map))
+                    .transpose()?,
+                span: Span::synthetic(),
+            },
+            Stmt::Assign {
+                target, op, value, ..
+            } => Stmt::Assign {
+                target: self.clone_expr_renamed(target, map)?,
+                op: *op,
+                value: self.clone_expr_renamed(value, map)?,
+                span: Span::synthetic(),
+            },
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+                ..
+            } => Stmt::If {
+                cond: self.clone_expr_renamed(cond, map)?,
+                then_block: self.clone_block_renamed(then_block, map)?,
+                else_block: else_block
+                    .as_ref()
+                    .map(|b| self.clone_block_renamed(b, map))
+                    .transpose()?,
+                span: Span::synthetic(),
+            },
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => Stmt::For {
+                init: init
+                    .as_ref()
+                    .map(|i| self.clone_stmt_renamed(i, map).map(Box::new))
+                    .transpose()?,
+                cond: cond
+                    .as_ref()
+                    .map(|c| self.clone_expr_renamed(c, map))
+                    .transpose()?,
+                step: step
+                    .as_ref()
+                    .map(|st| self.clone_stmt_renamed(st, map).map(Box::new))
+                    .transpose()?,
+                body: self.clone_block_renamed(body, map)?,
+                span: Span::synthetic(),
+            },
+            Stmt::While { cond, body, .. } => Stmt::While {
+                cond: self.clone_expr_renamed(cond, map)?,
+                body: self.clone_block_renamed(body, map)?,
+                span: Span::synthetic(),
+            },
+            Stmt::DoWhile { body, cond, .. } => Stmt::DoWhile {
+                body: self.clone_block_renamed(body, map)?,
+                cond: self.clone_expr_renamed(cond, map)?,
+                span: Span::synthetic(),
+            },
+            Stmt::Return { value, .. } => Stmt::Return {
+                value: value
+                    .as_ref()
+                    .map(|v| self.clone_expr_renamed(v, map))
+                    .transpose()?,
+                span: Span::synthetic(),
+            },
+            Stmt::Expr { expr, .. } => Stmt::Expr {
+                expr: self.clone_expr_renamed(expr, map)?,
+                span: Span::synthetic(),
+            },
+            Stmt::Block(b) => Stmt::Block(self.clone_block_renamed(b, map)?),
+        })
+    }
+
+    /// Deep-clones a block with fresh node ids through `map`.
+    ///
+    /// # Errors
+    /// As [`AstBuilder::clone_expr_renamed`].
+    pub fn clone_block_renamed(&mut self, b: &Block, map: &RenameMap) -> Result<Block, String> {
+        let stmts = b
+            .stmts
+            .iter()
+            .map(|s| self.clone_stmt_renamed(s, map))
+            .collect::<Result<_, _>>()?;
+        Ok(self.block(stmts))
+    }
+
     // -- items --------------------------------------------------------------
 
     /// One kernel parameter.
@@ -367,6 +597,84 @@ mod tests {
         let src = print_program(&p);
         crate::parse_and_check(&src).expect("valid");
         assert!(src.contains("for (i = 0; (i < 8); i += 1)"), "{src}");
+    }
+
+    /// The inlining primitive: clone a producer's body with its output
+    /// renamed to a local, splice it ahead of a consumer's body, and the
+    /// result parses, checks and computes the composition.
+    #[test]
+    fn renamed_clone_inlines_producer_body() {
+        let producer = crate::parse_and_check("kernel void dbl(float a<>, out float o<>) { o = a * 2.0; }")
+            .expect("producer");
+        let pk = producer.program.kernel("dbl").unwrap().clone();
+        let mut b = AstBuilder::new();
+        let mut map = RenameMap::default();
+        map.vars.insert("a".into(), "in0".into());
+        map.vars.insert("o".into(), "t0".into());
+        map.indexof.insert("a".into(), "out0".into());
+        map.indexof.insert("o".into(), "out0".into());
+        let zero = b.float_lit(0.0);
+        let mut body = vec![b.decl("t0", Type::FLOAT, Some(zero))];
+        for s in &pk.body.stmts {
+            body.push(b.clone_stmt_renamed(s, &map).expect("clone"));
+        }
+        let t = b.var("t0");
+        let one = b.float_lit(1.0);
+        let sum = b.binary(BinOp::Add, t, one);
+        let out = b.var("out0");
+        body.push(b.assign(out, sum));
+        let k = b.kernel(
+            "fused",
+            vec![
+                b.param("in0", Type::FLOAT, ParamKind::Stream),
+                b.param("out0", Type::FLOAT, ParamKind::OutStream),
+            ],
+            body,
+        );
+        let p = b.program(vec![k]);
+        let src = print_program(&p);
+        let checked = crate::parse_and_check(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        assert_eq!(checked.kernels[0].outputs, vec!["out0"]);
+        assert!(src.contains("t0 = (in0 * 2"), "{src}");
+    }
+
+    /// Unmapped identifiers fail the clone instead of silently capturing
+    /// destination-scope names; `indexof` uses its own map.
+    #[test]
+    fn renamed_clone_rejects_unmapped_names() {
+        let mut b = AstBuilder::new();
+        let v = b.var("mystery");
+        let o = b.var("o");
+        let assign = b.assign(o, v);
+        let mut map = RenameMap::default();
+        map.vars.insert("o".into(), "t0".into());
+        let err = b.clone_stmt_renamed(&assign, &map).unwrap_err();
+        assert!(err.contains("mystery"), "{err}");
+
+        let ix = b.indexof("g");
+        let o2 = b.var("o");
+        let assign2 = b.assign(o2, ix);
+        let err2 = b.clone_stmt_renamed(&assign2, &map).unwrap_err();
+        assert!(err2.contains("indexof") && err2.contains('g'), "{err2}");
+    }
+
+    /// Locals are collected from every nesting level, including `for`
+    /// initializers.
+    #[test]
+    fn declared_locals_recurse_into_control_flow() {
+        let checked = crate::parse_and_check(
+            "kernel void f(float a<>, out float o<>) {
+                float s = 0.0;
+                int i;
+                for (i = 0; i < 4; i += 1) { float inner = a; s += inner; }
+                if (a > 0.0) { float branch = 1.0; s += branch; }
+                o = s;
+            }",
+        )
+        .expect("valid");
+        let k = checked.program.kernel("f").unwrap();
+        let locals = declared_locals(&k.body);
+        assert_eq!(locals, vec!["s", "i", "inner", "branch"]);
     }
 
     #[test]
