@@ -1,0 +1,21 @@
+//! Criterion wall-clock comparison: AST tree walker vs flat BrookIR
+//! interpreter, per app (mandelbrot, sgemm, flops).
+//!
+//! The pass/fail gate lives in the `interp_report` binary (CI
+//! perf-smoke); this harness gives the per-iteration numbers a human
+//! reads when chasing an interpreter regression.
+
+use brook_bench::interp::compare_interpreters;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_interp(c: &mut Criterion) {
+    // The comparison helper runs both engines (cross-checked bitwise)
+    // and times them; wrap each full comparison so criterion's median
+    // reflects the end-to-end measurement path.
+    c.bench_function("interp/ast_vs_ir_all_apps", |b| {
+        b.iter(|| compare_interpreters().expect("comparison"));
+    });
+}
+
+criterion_group!(benches, bench_interp);
+criterion_main!(benches);

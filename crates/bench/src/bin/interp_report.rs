@@ -1,0 +1,37 @@
+//! CI perf-smoke gate: AST tree walker vs flat BrookIR interpreter.
+//!
+//! Prints the per-app comparison table, writes the `BENCH_interp.json`
+//! trajectory file, and exits nonzero if the IR interpreter is not
+//! strictly faster than the AST walker on every benched app — the
+//! BrookIR refactor's performance claim, enforced in CI.
+
+use brook_bench::interp::{compare_interpreters, interp_json, render_interp_table};
+
+fn main() {
+    let rows = compare_interpreters().unwrap_or_else(|e| {
+        eprintln!("interp comparison failed: {e}");
+        std::process::exit(2);
+    });
+    print!("{}", render_interp_table(&rows));
+    let json = interp_json(&rows);
+    let path = std::path::Path::new("BENCH_interp.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(2);
+    }
+    println!("\ntrajectory written to {}", path.display());
+    let mut ok = true;
+    for r in &rows {
+        if r.ir_ns >= r.ast_ns {
+            eprintln!(
+                "PERF REGRESSION: {}: IR interpreter ({} ns) is not faster than the AST walker ({} ns)",
+                r.app, r.ir_ns, r.ast_ns
+            );
+            ok = false;
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("IR interpreter strictly faster on all {} apps.", rows.len());
+}

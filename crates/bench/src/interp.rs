@@ -1,0 +1,259 @@
+//! AST-walk vs flat-IR interpreter comparison — the perf headline of
+//! the BrookIR refactor, measured, not asserted.
+//!
+//! Three paper apps with very different hot-loop shapes run identical
+//! workloads on two CPU contexts: the legacy AST tree walker
+//! ([`brook_auto::BrookContext::cpu_ast_oracle`], hash-map scopes and
+//! `Box`-chasing per node) and the flat IR interpreter (the default
+//! `cpu` backend: preallocated register frame, direct `pc` dispatch).
+//! Results are cross-checked bit-exactly while timing, so the
+//! comparison can never quietly measure two different computations.
+//!
+//! `interp_report` renders the table, writes the `BENCH_interp.json`
+//! trajectory file and **fails** if the IR interpreter is not strictly
+//! faster on every app — the CI perf-smoke gate against interpreter
+//! regressions.
+
+use brook_apps::{flops::Flops, mandelbrot, sgemm};
+use brook_auto::{Arg, BrookContext, BrookError};
+use std::time::Instant;
+
+/// One app's timing comparison.
+#[derive(Debug, Clone)]
+pub struct InterpComparison {
+    /// App name.
+    pub app: &'static str,
+    /// Output elements per dispatch.
+    pub elements: usize,
+    /// Best-of-N wall time per dispatch, AST tree walker, nanoseconds.
+    pub ast_ns: u128,
+    /// Best-of-N wall time per dispatch, flat IR interpreter,
+    /// nanoseconds.
+    pub ir_ns: u128,
+}
+
+impl InterpComparison {
+    /// AST time over IR time (>1 means the IR interpreter is faster).
+    pub fn speedup(&self) -> f64 {
+        self.ast_ns as f64 / self.ir_ns as f64
+    }
+}
+
+/// A timed workload: kernel source plus a launch recipe.
+struct Workload {
+    app: &'static str,
+    source: String,
+    /// (shape, per-stream data) for the elementwise inputs.
+    inputs: Vec<(Vec<usize>, Vec<f32>)>,
+    /// Gather tables (shape, data).
+    gathers: Vec<(Vec<usize>, Vec<f32>)>,
+    scalars: Vec<f32>,
+    kernel: &'static str,
+    out_shape: Vec<usize>,
+}
+
+fn workloads() -> Vec<Workload> {
+    let mb = 48usize;
+    let (x0, y0, x1, y1) = mandelbrot::REGION;
+    let (dx, dy) = ((x1 - x0) / mb as f32, (y1 - y0) / mb as f32);
+    let n = 24usize; // sgemm matrix dimension
+    let ramp = |len: usize, k: f32| (0..len).map(|i| (i as f32 * k).sin() + 1.5).collect::<Vec<f32>>();
+    vec![
+        Workload {
+            app: "mandelbrot",
+            source: mandelbrot::kernel_source(),
+            inputs: vec![],
+            gathers: vec![],
+            scalars: vec![x0, y0, dx, dy],
+            kernel: "mandelbrot",
+            out_shape: vec![mb, mb],
+        },
+        Workload {
+            app: "sgemm",
+            source: sgemm::kernel_source(n),
+            inputs: vec![],
+            gathers: vec![(vec![n, n], ramp(n * n, 0.37)), (vec![n, n], ramp(n * n, 0.11))],
+            scalars: vec![],
+            kernel: "sgemm",
+            out_shape: vec![n, n],
+        },
+        Workload {
+            app: "flops",
+            source: Flops { iters: 96 }.kernel_source(),
+            inputs: vec![
+                (vec![64, 64], ramp(64 * 64, 0.13)),
+                (vec![64, 64], ramp(64 * 64, 0.29)),
+            ],
+            gathers: vec![],
+            scalars: vec![],
+            kernel: "flops",
+            out_shape: vec![64, 64],
+        },
+    ]
+}
+
+struct Prepared {
+    ctx: BrookContext,
+    module: brook_auto::BrookModule,
+    args_spec: ArgsSpec,
+    out: brook_auto::Stream,
+}
+
+/// Ordered argument recipe (streams held by the context).
+struct ArgsSpec {
+    inputs: Vec<brook_auto::Stream>,
+    gathers: Vec<brook_auto::Stream>,
+    scalars: Vec<f32>,
+}
+
+fn prepare(w: &Workload, mut ctx: BrookContext) -> Result<Prepared, BrookError> {
+    let module = ctx.compile(&w.source)?;
+    let mut inputs = Vec::new();
+    for (shape, data) in &w.inputs {
+        let s = ctx.stream(shape)?;
+        ctx.write(&s, data)?;
+        inputs.push(s);
+    }
+    let mut gathers = Vec::new();
+    for (shape, data) in &w.gathers {
+        let s = ctx.stream(shape)?;
+        ctx.write(&s, data)?;
+        gathers.push(s);
+    }
+    let out = ctx.stream(&w.out_shape)?;
+    Ok(Prepared {
+        ctx,
+        module,
+        args_spec: ArgsSpec {
+            inputs,
+            gathers,
+            scalars: w.scalars.clone(),
+        },
+        out,
+    })
+}
+
+/// One dispatch of the prepared workload.
+fn dispatch(p: &mut Prepared, kernel: &str) -> Result<(), BrookError> {
+    // Canonical parameter order matches the workload sources: gathers,
+    // then elementwise inputs, then scalars, then the output.
+    let mut args: Vec<Arg<'_>> = Vec::new();
+    for g in &p.args_spec.gathers {
+        args.push(Arg::Stream(g));
+    }
+    for s in &p.args_spec.inputs {
+        args.push(Arg::Stream(s));
+    }
+    for v in &p.args_spec.scalars {
+        args.push(Arg::Float(*v));
+    }
+    args.push(Arg::Stream(&p.out));
+    p.ctx.run(&p.module, kernel, &args)
+}
+
+fn best_of(reps: usize, mut f: impl FnMut()) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos());
+    }
+    best
+}
+
+/// Runs the comparison. Each workload executes on both interpreters,
+/// results are cross-checked bit-exactly, then each side is timed
+/// best-of-5.
+///
+/// # Errors
+/// Compile/run failures, or an interpreter disagreement (which would
+/// invalidate the comparison).
+pub fn compare_interpreters() -> Result<Vec<InterpComparison>, BrookError> {
+    let mut rows = Vec::new();
+    for w in workloads() {
+        let mut ast = prepare(&w, BrookContext::cpu_ast_oracle())?;
+        let mut ir = prepare(&w, BrookContext::cpu())?;
+        // Correctness first: both engines must agree bitwise.
+        dispatch(&mut ast, w.kernel)?;
+        dispatch(&mut ir, w.kernel)?;
+        let a = ast.ctx.read(&ast.out)?;
+        let b = ir.ctx.read(&ir.out)?;
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                return Err(BrookError::Usage(format!(
+                    "{}: AST and IR interpreters disagree at element {i}: {x} vs {y}",
+                    w.app
+                )));
+            }
+        }
+        let reps = 5;
+        let ast_ns = best_of(reps, || {
+            dispatch(&mut ast, w.kernel).expect("ast dispatch");
+        });
+        let ir_ns = best_of(reps, || {
+            dispatch(&mut ir, w.kernel).expect("ir dispatch");
+        });
+        rows.push(InterpComparison {
+            app: w.app,
+            elements: w.out_shape.iter().product(),
+            ast_ns,
+            ir_ns,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the comparison table.
+pub fn render_interp_table(rows: &[InterpComparison]) -> String {
+    let mut out = String::new();
+    out.push_str("AST tree walker vs flat BrookIR interpreter (best-of-5 per dispatch)\n");
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>14} {:>14} {:>9}\n",
+        "app", "elements", "ast ns", "ir ns", "speedup"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>14} {:>14} {:>8.2}x\n",
+            r.app,
+            r.elements,
+            r.ast_ns,
+            r.ir_ns,
+            r.speedup()
+        ));
+    }
+    out
+}
+
+/// Serializes the rows as the `BENCH_interp.json` trajectory document.
+pub fn interp_json(rows: &[InterpComparison]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"interp\",\n  \"unit\": \"ns/dispatch\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"app\": \"{}\", \"elements\": {}, \"ast_ns\": {}, \"ir_ns\": {}, \"speedup\": {:.4}}}{}\n",
+            r.app,
+            r.elements,
+            r.ast_ns,
+            r.ir_ns,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpreters_agree_and_json_is_well_formed() {
+        let rows = compare_interpreters().expect("comparison");
+        assert_eq!(rows.len(), 3);
+        let json = interp_json(&rows);
+        assert!(json.contains("\"app\": \"mandelbrot\""));
+        assert!(json.contains("\"bench\": \"interp\""));
+        let table = render_interp_table(&rows);
+        assert!(table.contains("sgemm"));
+    }
+}

@@ -8,6 +8,7 @@
 //! | Figure 2 (non-scalable programs) | [`figures::fig2`] | `fig2_nonscalable` |
 //! | Figure 3 (scalable programs) | [`figures::fig3`] | `fig3_scalable` |
 //! | Figure 4 + §6.3 (hand-written comparison, productivity) | [`figures::fig4`] | `fig4_handwritten` |
+//! | AST-walk vs BrookIR interpreter (perf-smoke) | [`interp::compare_interpreters`] | `interp_report` |
 //!
 //! Run all of them with `cargo run --release -p brook-bench --bin <name>`.
 //! Criterion benches in `benches/` wall-clock the substrate itself
@@ -15,8 +16,10 @@
 
 pub mod figures;
 pub mod fusion;
+pub mod interp;
 pub mod render;
 
 pub use figures::{fig1, fig2, fig3, fig4, Fig4Point, FigureSeries};
 pub use fusion::{chains, run_chain, ChainComparison};
+pub use interp::{compare_interpreters, interp_json, render_interp_table, InterpComparison};
 pub use render::{render_series, render_speedup_table};

@@ -5,214 +5,10 @@
 use brook_lang::ast::*;
 use std::collections::HashMap;
 
-/// Result of analysing one loop.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum LoopBound {
-    /// Canonical counted loop; the maximum trip count was deduced.
-    Static {
-        /// Maximum number of iterations.
-        trips: u64,
-    },
-    /// The loop shape prevents static deduction (BA003 violation).
-    Unbounded {
-        /// Human-readable reason.
-        reason: String,
-    },
-}
-
-impl LoopBound {
-    /// The deduced trip count, if static.
-    pub fn trips(&self) -> Option<u64> {
-        match self {
-            LoopBound::Static { trips } => Some(*trips),
-            LoopBound::Unbounded { .. } => None,
-        }
-    }
-}
-
-/// Tries to evaluate an expression to a compile-time integer.
-///
-/// Only literal arithmetic is accepted: Brook Auto requires loop bounds to
-/// be manifest in the kernel source (the runtime regenerates kernels per
-/// configuration, so workload sizes appear as literals).
-pub fn const_int(e: &Expr) -> Option<i64> {
-    match &e.kind {
-        ExprKind::IntLit(v) => Some(*v),
-        ExprKind::FloatLit(v) if v.fract() == 0.0 => Some(*v as i64),
-        ExprKind::Unary {
-            op: UnOp::Neg,
-            operand,
-        } => const_int(operand).map(|v| -v),
-        ExprKind::Binary { op, lhs, rhs } => {
-            let l = const_int(lhs)?;
-            let r = const_int(rhs)?;
-            match op {
-                BinOp::Add => Some(l + r),
-                BinOp::Sub => Some(l - r),
-                BinOp::Mul => Some(l * r),
-                BinOp::Div if r != 0 => Some(l / r),
-                BinOp::Rem if r != 0 => Some(l % r),
-                _ => None,
-            }
-        }
-        ExprKind::Call { callee, args } if callee == "int" && args.len() == 1 => const_int(&args[0]),
-        _ => None,
-    }
-}
-
-/// Analyses a `for` statement for a statically deducible trip count.
-///
-/// The canonical accepted shapes are
-/// `for (i = C0; i < C1; i += S)` (and `<=`, and the decreasing mirror
-/// with `>`/`>=` and `-=`), where `C0`, `C1`, `S` are literal integers and
-/// `i` is not reassigned in the body.
-pub fn for_loop_bound(
-    init: Option<&Stmt>,
-    cond: Option<&Expr>,
-    step: Option<&Stmt>,
-    body: &Block,
-) -> LoopBound {
-    let unbounded = |reason: &str| LoopBound::Unbounded {
-        reason: reason.to_owned(),
-    };
-    // Extract the induction variable and start value.
-    let (var, start) = match init {
-        Some(Stmt::Decl {
-            name, init: Some(e), ..
-        }) => match const_int(e) {
-            Some(v) => (name.clone(), v),
-            None => return unbounded("loop start value is not a compile-time constant"),
-        },
-        Some(Stmt::Assign {
-            target,
-            op: AssignOp::Assign,
-            value,
-            ..
-        }) => match (&target.kind, const_int(value)) {
-            (ExprKind::Var(name), Some(v)) => (name.clone(), v),
-            _ => return unbounded("loop start value is not a compile-time constant"),
-        },
-        _ => return unbounded("loop has no initializer with a constant start value"),
-    };
-    // Extract the comparison bound.
-    let Some(cond) = cond else {
-        return unbounded("loop has no condition");
-    };
-    let ExprKind::Binary { op, lhs, rhs } = &cond.kind else {
-        return unbounded("loop condition is not a comparison against a constant");
-    };
-    let (bound, cmp_op, var_on_left) = match (&lhs.kind, &rhs.kind) {
-        (ExprKind::Var(n), _) if n == &var => match const_int(rhs) {
-            Some(b) => (b, *op, true),
-            None => return unbounded("loop bound is not a compile-time constant"),
-        },
-        (_, ExprKind::Var(n)) if n == &var => match const_int(lhs) {
-            Some(b) => (b, *op, false),
-            None => return unbounded("loop bound is not a compile-time constant"),
-        },
-        _ => return unbounded("loop condition does not test the induction variable"),
-    };
-    // Normalize so the comparison reads `var OP bound`.
-    let cmp = if var_on_left {
-        cmp_op
-    } else {
-        match cmp_op {
-            BinOp::Lt => BinOp::Gt,
-            BinOp::Le => BinOp::Ge,
-            BinOp::Gt => BinOp::Lt,
-            BinOp::Ge => BinOp::Le,
-            other => other,
-        }
-    };
-    // Extract the stride.
-    let Some(step) = step else {
-        return unbounded("loop has no step statement");
-    };
-    let (step_op, stride) = match step {
-        Stmt::Assign {
-            target, op, value, ..
-        } => match (&target.kind, const_int(value)) {
-            (ExprKind::Var(n), Some(s)) if n == &var => (*op, s),
-            _ => return unbounded("loop step does not advance the induction variable by a constant"),
-        },
-        _ => return unbounded("loop step is not an assignment"),
-    };
-    let delta = match step_op {
-        AssignOp::AddAssign => stride,
-        AssignOp::SubAssign => -stride,
-        AssignOp::MulAssign if stride > 1 && start != 0 => {
-            // Geometric loop: for (i = a; i < b; i *= s).
-            return match cmp {
-                BinOp::Lt | BinOp::Le if start > 0 && bound > start => {
-                    let mut trips = 0u64;
-                    let mut v = start;
-                    while (cmp == BinOp::Lt && v < bound) || (cmp == BinOp::Le && v <= bound) {
-                        trips += 1;
-                        v = v.saturating_mul(stride);
-                        if trips > 1_000_000 {
-                            return LoopBound::Unbounded {
-                                reason: "geometric loop does not terminate".into(),
-                            };
-                        }
-                    }
-                    LoopBound::Static { trips }
-                }
-                _ => LoopBound::Unbounded {
-                    reason: "geometric loop with unsupported condition".into(),
-                },
-            };
-        }
-        _ => return unbounded("loop step operator is not a constant increment/decrement"),
-    };
-    if delta == 0 {
-        return unbounded("loop stride is zero");
-    }
-    // The induction variable must not be written in the body.
-    if body_writes_var(body, &var) {
-        return unbounded("induction variable is modified inside the loop body");
-    }
-    let trips = match (cmp, delta > 0) {
-        (BinOp::Lt, true) if bound > start => ((bound - start + delta - 1) / delta) as u64,
-        (BinOp::Le, true) if bound >= start => ((bound - start) / delta + 1) as u64,
-        (BinOp::Gt, false) if bound < start => ((start - bound + (-delta) - 1) / (-delta)) as u64,
-        (BinOp::Ge, false) if bound <= start => ((start - bound) / (-delta) + 1) as u64,
-        (BinOp::Lt | BinOp::Le, true) => 0,
-        (BinOp::Gt | BinOp::Ge, false) => 0,
-        (BinOp::Ne, _) => return unbounded("`!=` loop conditions cannot be bounded"),
-        _ => return unbounded("loop direction contradicts its condition (never terminates)"),
-    };
-    LoopBound::Static { trips }
-}
-
-fn body_writes_var(b: &Block, var: &str) -> bool {
-    b.stmts.iter().any(|s| stmt_writes_var(s, var))
-}
-
-fn stmt_writes_var(s: &Stmt, var: &str) -> bool {
-    match s {
-        Stmt::Assign { target, .. } => matches!(&target.kind, ExprKind::Var(n) if n == var),
-        Stmt::Decl { name, .. } => name == var,
-        Stmt::If {
-            then_block,
-            else_block,
-            ..
-        } => {
-            body_writes_var(then_block, var)
-                || else_block
-                    .as_ref()
-                    .map(|e| body_writes_var(e, var))
-                    .unwrap_or(false)
-        }
-        Stmt::For { init, step, body, .. } => {
-            init.as_deref().map(|s| stmt_writes_var(s, var)).unwrap_or(false)
-                || step.as_deref().map(|s| stmt_writes_var(s, var)).unwrap_or(false)
-                || body_writes_var(body, var)
-        }
-        Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => body_writes_var(body, var),
-        Stmt::Block(b) => body_writes_var(b, var),
-        Stmt::Return { .. } | Stmt::Expr { .. } => false,
-    }
-}
+// The loop-bound deduction moved into the front-end crate so the
+// BrookIR lowerer records the same bounds the engine enforces; it is
+// re-exported here so certification consumers keep one import path.
+pub use brook_lang::loopbound::{const_int, for_loop_bound, LoopBound};
 
 /// Call graph over helper functions, used for recursion and depth checks.
 #[derive(Debug, Clone, Default)]

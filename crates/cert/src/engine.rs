@@ -89,6 +89,11 @@ impl KernelReport {
 pub struct ComplianceReport {
     /// Per-kernel reports in source order.
     pub kernels: Vec<KernelReport>,
+    /// Provenance of the IR pass pipeline: one record per
+    /// (kernel, pass) step, including rollbacks — the certification
+    /// data package shows exactly which transformations ran
+    /// (see `ir_check::optimize_program`). Empty before lowering.
+    pub passes: Vec<crate::ir_check::PassRecord>,
 }
 
 impl ComplianceReport {
@@ -116,7 +121,10 @@ pub fn certify(checked: &CheckedProgram, config: &CertConfig) -> ComplianceRepor
     for k in checked.program.kernels() {
         kernels.push(certify_kernel(checked, k, config, &cg, &helper_costs));
     }
-    ComplianceReport { kernels }
+    ComplianceReport {
+        kernels,
+        passes: Vec::new(),
+    }
 }
 
 fn helper_cost_table(program: &Program) -> HashMap<String, u64> {

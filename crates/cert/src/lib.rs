@@ -25,12 +25,17 @@
 
 pub mod analysis;
 pub mod engine;
+pub mod ir_check;
 pub mod predicates;
 pub mod report;
 pub mod rules;
 
 pub use analysis::{CallGraph, LoopBound};
 pub use engine::{certify, certify_source, CertConfig, ComplianceReport, Finding, KernelReport};
+pub use ir_check::{
+    check_kernel as check_kernel_ir, check_program as check_program_ir, optimize_program, IrKernelCheck,
+    PassAction, PassRecord,
+};
 pub use predicates::{violated_rules, violates, CertPredicates};
 pub use report::{render_matrix, render_report, render_rule_catalogue};
 pub use rules::{rule_meta, Discharge, RuleId, RuleMeta, RULES};

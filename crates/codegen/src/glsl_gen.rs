@@ -230,117 +230,14 @@ impl Gen<'_> {
         })
     }
 
-    /// Raw texel fetch expression for parameter `p` at float coordinates
-    /// `col`/`row`, including decode in packed mode.
-    fn texel_fetch(&self, p: &Param, col: &str, row: &str) -> String {
-        let tex = tex_uniform(&p.name);
-        let meta = meta_uniform(&p.name);
-        let raw = format!("texture2D({tex}, (vec2({col}, {row}) + 0.5) / {meta}.xy)");
-        match self.storage {
-            StorageMode::Packed => format!("ba_decode({raw})"),
-            StorageMode::Native => match p.ty.width {
-                1 => format!("{raw}.x"),
-                2 => format!("{raw}.xy"),
-                3 => format!("{raw}.xyz"),
-                _ => raw,
-            },
-        }
-    }
-
     fn emit_elem_fetch(&self, out: &mut String, p: &Param) {
-        let ty = glsl_type(p.ty);
-        let meta = meta_uniform(&p.name);
-        match self.shapes.rank(&p.name) {
-            StreamRank::Grid => {
-                // Proportional resampling over the stream's own logical
-                // extents (exact when shapes match the output's).
-                let fetch = self.texel_fetch(p, "_i.x", "_i.y");
-                let _ = writeln!(
-                    out,
-                    "{ty} _fetch_{name}() {{\n    vec2 _i = floor(v_texcoord * {meta}.zw);\n    return {fetch};\n}}",
-                    name = p.name
-                );
-            }
-            StreamRank::Linear => {
-                let fetch = self.texel_fetch(p, "_col", "_row");
-                let _ = writeln!(
-                    out,
-                    "{ty} _fetch_{name}() {{\n    vec2 _pcf = floor(v_texcoord * {vp});\n    float _l = _pcf.y * {vp}.x + _pcf.x;\n    float _row = floor(_l / {meta}.x);\n    float _col = _l - _row * {meta}.x;\n    return {fetch};\n}}",
-                    name = p.name,
-                    vp = VIEWPORT_UNIFORM
-                );
-            }
-        }
+        crate::fetch::emit_elem_fetch(out, &p.name, p.ty, self.shapes, self.storage);
     }
 
-    /// Emits the `_gather_<name>` helper. Out-of-range indices clamp to
-    /// the nearest valid element in *logical* index space, matching the
-    /// CPU reference interpreter and the paper's CLAMP_TO_EDGE argument
-    /// (§4, BA012). Relying on texel-space clamping alone is not enough:
-    /// power-of-two padding and linear row wrapping would map an
-    /// out-of-range logical index onto a padding texel or a foreign row
-    /// instead of the edge element.
+    /// Emits the `_gather_<name>` helper (see `crate::fetch` for the
+    /// logical-space clamping rationale).
     fn emit_gather_fetch(&self, out: &mut String, p: &Param, rank: u8) {
-        let ty = glsl_type(p.ty);
-        let meta = meta_uniform(&p.name);
-        let shape = shape_uniform(&p.name);
-        let linear_body = |linear_expr: &str, fetch: &str| {
-            format!(
-                "    float _l = {linear_expr};\n    float _row = floor(_l / {meta}.x);\n    float _col = _l - _row * {meta}.x;\n    return {fetch};\n"
-            )
-        };
-        let fetch = self.texel_fetch(p, "_col", "_row");
-        match rank {
-            1 => {
-                // meta.z carries the total logical length of a
-                // linear-packed stream.
-                let _ = writeln!(
-                    out,
-                    "{ty} _gather_{}(float i0) {{\n    float _i0 = clamp(i0, 0.0, {meta}.z - 1.0);\n{}}}",
-                    p.name,
-                    linear_body("_i0", &fetch)
-                );
-            }
-            2 => match self.shapes.rank(&p.name) {
-                StreamRank::Grid => {
-                    let direct = self.texel_fetch(p, "_i1", "_i0");
-                    let _ = writeln!(
-                        out,
-                        "{ty} _gather_{}(float i0, float i1) {{\n    float _i0 = clamp(i0, 0.0, {meta}.w - 1.0);\n    float _i1 = clamp(i1, 0.0, {meta}.z - 1.0);\n    return {direct};\n}}",
-                        p.name
-                    );
-                }
-                StreamRank::Linear => {
-                    // Rank-2 gather over a linear-packed stream: clamp
-                    // the combined index to the logical length.
-                    let _ = writeln!(
-                        out,
-                        "{ty} _gather_{}(float i0, float i1) {{\n{}}}",
-                        p.name,
-                        linear_body(&format!("clamp(i0 * {meta}.z + i1, 0.0, {meta}.z - 1.0)"), &fetch)
-                    );
-                }
-            },
-            3 => {
-                let _ = writeln!(
-                    out,
-                    "{ty} _gather_{}(float i0, float i1, float i2) {{\n    float _i0 = clamp(i0, 0.0, {shape}.x - 1.0);\n    float _i1 = clamp(i1, 0.0, {shape}.y - 1.0);\n    float _i2 = clamp(i2, 0.0, {shape}.z - 1.0);\n{}}}",
-                    p.name,
-                    linear_body(&format!("(_i0 * {shape}.y + _i1) * {shape}.z + _i2"), &fetch)
-                );
-            }
-            _ => {
-                let _ = writeln!(
-                    out,
-                    "{ty} _gather_{}(float i0, float i1, float i2, float i3) {{\n    float _i0 = clamp(i0, 0.0, {shape}.x - 1.0);\n    float _i1 = clamp(i1, 0.0, {shape}.y - 1.0);\n    float _i2 = clamp(i2, 0.0, {shape}.z - 1.0);\n    float _i3 = clamp(i3, 0.0, {shape}.w - 1.0);\n{}}}",
-                    p.name,
-                    linear_body(
-                        &format!("((_i0 * {shape}.y + _i1) * {shape}.z + _i2) * {shape}.w + _i3"),
-                        &fetch
-                    )
-                );
-            }
-        }
+        crate::fetch::emit_gather_fetch(out, &p.name, p.ty, rank, self.shapes, self.storage);
     }
 
     fn emit_function(&self, out: &mut String, f: &FunctionDef) -> Result<(), CodegenError> {
@@ -647,53 +544,22 @@ impl Gen<'_> {
     }
 }
 
-/// Brook type -> GLSL type spelling.
+/// Brook type -> GLSL type spelling (shared with the IR emitter).
 fn glsl_type(t: Type) -> &'static str {
-    match (t.scalar, t.width) {
-        (ScalarKind::Float, 1) => "float",
-        (ScalarKind::Float, 2) => "vec2",
-        (ScalarKind::Float, 3) => "vec3",
-        (ScalarKind::Float, _) => "vec4",
-        (ScalarKind::Int, _) => "int",
-        (ScalarKind::Bool, _) => "bool",
-    }
+    crate::fetch::glsl_type(t)
 }
 
 fn zero_literal(t: Type) -> String {
-    match (t.scalar, t.width) {
-        (ScalarKind::Float, 1) => "0.0".to_owned(),
-        (ScalarKind::Float, w) => format!("vec{w}(0.0)"),
-        (ScalarKind::Int, _) => "0".to_owned(),
-        (ScalarKind::Bool, _) => "false".to_owned(),
-    }
+    crate::fetch::zero_literal(t)
 }
 
 fn float_literal(v: f32) -> String {
-    if v == v.trunc() && v.is_finite() && v.abs() < 1e16 {
-        format!("{v:.1}")
-    } else {
-        format!("{v:e}")
-    }
+    crate::fetch::float_literal(v)
 }
 
 /// Inserts Brook's implicit conversions explicitly for GLSL.
 fn coerce(expr: String, from: Type, to: Type) -> String {
-    if from == to {
-        return expr;
-    }
-    if to.scalar == ScalarKind::Float && from.scalar == ScalarKind::Int {
-        let f = format!("float({expr})");
-        if to.width > 1 {
-            return format!("vec{}({f})", to.width);
-        }
-        return f;
-    }
-    if to.scalar == ScalarKind::Float && from == Type::FLOAT && to.width > 1 {
-        // Scalar-to-vector assignment broadcast (Brook allows it; GLSL
-        // constructors splat).
-        return format!("vec{}({expr})", to.width);
-    }
-    expr
+    crate::fetch::coerce(expr, from, to)
 }
 
 #[cfg(test)]

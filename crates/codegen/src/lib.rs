@@ -23,11 +23,14 @@
 //!   two-to-one combining pass executed iteratively over ping-pong
 //!   textures by the runtime.
 
+pub(crate) mod fetch;
 pub mod glsl_gen;
+pub mod ir_gen;
 pub mod names;
 pub mod reduce;
 
 pub use glsl_gen::{generate_kernel_shader, GeneratedShader, KernelShapes, StreamRank};
+pub use ir_gen::generate_ir_kernel_shader;
 pub use reduce::{reduce_pass_shader, ReduceAxis};
 
 use std::error::Error;

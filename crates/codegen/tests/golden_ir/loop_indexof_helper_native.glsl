@@ -1,0 +1,72 @@
+precision highp float;
+varying vec2 v_texcoord;
+uniform vec2 _ba_vp;
+uniform sampler2D _tex_a;
+uniform vec4 _meta_a;
+uniform vec4 _meta_o;
+float _fetch_a() {
+    vec2 _i = floor(v_texcoord * _meta_a.zw);
+    return texture2D(_tex_a, (vec2(_i.x, _i.y) + 0.5) / _meta_a.xy).x;
+}
+
+void main() {
+    vec2 _pc = floor(v_texcoord * _ba_vp);
+    float _lin = _pc.y * _ba_vp.x + _pc.x;
+    float b_a = _fetch_a();
+    float _out_o = 0.0;
+    float _r0 = 0.0;
+    float _r1 = 0.0;
+    int _r2 = 0;
+    int _r3 = 0;
+    int _r4 = 0;
+    bool _r5 = false;
+    float _r6 = 0.0;
+    float _r7 = 0.0;
+    bool _r8 = false;
+    float _r9 = 0.0;
+    float _r10 = 0.0;
+    float _r11 = 0.0;
+    bool _r12 = false;
+    float _r13 = 0.0;
+    float _r14 = 0.0;
+    int _r15 = 0;
+    vec2 _r16 = vec2(0.0);
+    float _r17 = 0.0;
+    float _r18 = 0.0;
+    bool _lg0 = true;
+    _r0 = 0.0;
+    _r1 = _r0;
+    _r2 = 0;
+    _r3 = 0;
+    _r2 = _r3;
+    for (_lg0 = true; _lg0; _lg0 = _lg0) {
+        _r4 = 8;
+        _r5 = (_r2 < _r4);
+        _lg0 = _r5;
+        if (_lg0) {
+            _r6 = b_a;
+            _r7 = 5e-1;
+            _r8 = (_r6 > _r7);
+            if (_r8) {
+                _r9 = b_a;
+                _r10 = _r9;
+                _r11 = 0.0;
+                _r12 = false;
+                _r13 = (_r10 * _r10);
+                _r11 = _r13;
+                _r12 = true;
+                _r1 += _r11;
+            } else {
+                _r14 = 2.5e-1;
+                _r1 -= _r14;
+            }
+            _r15 = 1;
+            _r2 += _r15;
+        }
+    }
+    _r16 = _pc;
+    _r17 = _r16.x;
+    _r18 = (_r1 + _r17);
+    _out_o = _r18;
+    gl_FragColor = vec4(_out_o, 0.0, 0.0, 0.0);
+}

@@ -1,0 +1,37 @@
+precision highp float;
+varying vec2 v_texcoord;
+uniform vec2 _ba_vp;
+uniform sampler2D _tex_x;
+uniform vec4 _meta_x;
+uniform sampler2D _tex_y;
+uniform vec4 _meta_y;
+uniform float _p_alpha;
+uniform vec4 _meta_r;
+float _fetch_x() {
+    vec2 _i = floor(v_texcoord * _meta_x.zw);
+    return texture2D(_tex_x, (vec2(_i.x, _i.y) + 0.5) / _meta_x.xy).x;
+}
+float _fetch_y() {
+    vec2 _i = floor(v_texcoord * _meta_y.zw);
+    return texture2D(_tex_y, (vec2(_i.x, _i.y) + 0.5) / _meta_y.xy).x;
+}
+
+void main() {
+    vec2 _pc = floor(v_texcoord * _ba_vp);
+    float _lin = _pc.y * _ba_vp.x + _pc.x;
+    float b_x = _fetch_x();
+    float b_y = _fetch_y();
+    float _out_r = 0.0;
+    float _r0 = 0.0;
+    float _r1 = 0.0;
+    float _r2 = 0.0;
+    float _r3 = 0.0;
+    float _r4 = 0.0;
+    _r0 = _p_alpha;
+    _r1 = b_x;
+    _r2 = (_r0 * _r1);
+    _r3 = b_y;
+    _r4 = (_r2 + _r3);
+    _out_r = _r4;
+    gl_FragColor = vec4(_out_r, 0.0, 0.0, 0.0);
+}

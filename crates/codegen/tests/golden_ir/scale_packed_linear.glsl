@@ -1,0 +1,58 @@
+precision highp float;
+varying vec2 v_texcoord;
+uniform vec2 _ba_vp;
+uniform sampler2D _tex_a;
+uniform vec4 _meta_a;
+uniform float _p_k;
+uniform vec4 _meta_o;
+
+float ba_decode(vec4 rgba) {
+    vec4 b = floor(rgba * 255.0 + 0.5);
+    float sgn = 1.0 - 2.0 * step(128.0, b.w);
+    float expo = mod(b.w, 128.0) * 2.0 + step(128.0, b.z);
+    float mant = mod(b.z, 128.0) * 65536.0 + b.y * 256.0 + b.x;
+    if (expo == 0.0) { return 0.0; }
+    return sgn * (1.0 + mant * 0.00000011920928955078125) * exp2(expo - 127.0);
+}
+
+vec4 ba_encode(float v) {
+    if (v == 0.0) { return vec4(0.0); }
+    float sgn = v < 0.0 ? 128.0 : 0.0;
+    float av = abs(v);
+    float expo = floor(log2(av));
+    if (av * exp2(-expo) >= 2.0) { expo = expo + 1.0; }
+    if (av * exp2(-expo) < 1.0) { expo = expo - 1.0; }
+    float be = expo + 127.0;
+    if (be >= 255.0) { be = 254.0; av = exp2(128.0) - exp2(104.0); expo = 127.0; }
+    if (be <= 0.0) { return vec4(0.0); }
+    float mant = av * exp2(-expo) - 1.0;
+    float m = floor(mant * 8388608.0 + 0.5);
+    if (m >= 8388608.0) { m = 8388607.0; }
+    float b0 = mod(m, 256.0);
+    float b1 = mod(floor(m / 256.0), 256.0);
+    float b2 = floor(m / 65536.0) + mod(be, 2.0) * 128.0;
+    float b3 = sgn + floor(be / 2.0);
+    return vec4(b0, b1, b2, b3) / 255.0;
+}
+float _fetch_a() {
+    vec2 _pcf = floor(v_texcoord * _ba_vp);
+    float _l = _pcf.y * _ba_vp.x + _pcf.x;
+    float _row = floor(_l / _meta_a.x);
+    float _col = _l - _row * _meta_a.x;
+    return ba_decode(texture2D(_tex_a, (vec2(_col, _row) + 0.5) / _meta_a.xy));
+}
+
+void main() {
+    vec2 _pc = floor(v_texcoord * _ba_vp);
+    float _lin = _pc.y * _ba_vp.x + _pc.x;
+    float b_a = _fetch_a();
+    float _out_o = 0.0;
+    float _r0 = 0.0;
+    float _r1 = 0.0;
+    float _r2 = 0.0;
+    _r0 = b_a;
+    _r1 = _p_k;
+    _r2 = (_r0 * _r1);
+    _out_o = _r2;
+    gl_FragColor = ba_encode(_out_o);
+}

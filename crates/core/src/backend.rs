@@ -57,6 +57,11 @@ pub enum BoundArg {
 pub struct KernelLaunch<'a> {
     /// The type-checked translation unit owning the kernel.
     pub checked: &'a CheckedProgram,
+    /// The lowered (and optimized, re-certified) BrookIR of the unit —
+    /// the form backends execute. Kernels absent from it (possible only
+    /// past a disabled certification gate, e.g. recursive helpers) fall
+    /// back to the AST tree walker / AST shader generator.
+    pub ir: &'a brook_ir::IrProgram,
     /// Module identity, stable across launches (backends key compiled
     /// artifact caches on it).
     pub module_id: u64,
@@ -143,11 +148,20 @@ pub trait BackendExecutor {
     /// Code generation, device and evaluation failures.
     fn dispatch(&mut self, launch: &KernelLaunch<'_>) -> Result<()>;
 
-    /// Folds `input` to a scalar with a reduce kernel.
+    /// Folds `input` to a scalar with a reduce kernel. `ir` is the
+    /// module's lowered program (host backends fold its flat form; the
+    /// device ladder only needs the canonical `op`).
     ///
     /// # Errors
     /// Evaluation and device failures.
-    fn reduce(&mut self, checked: &CheckedProgram, kernel: &str, op: ReduceOp, input: usize) -> Result<f32>;
+    fn reduce(
+        &mut self,
+        checked: &CheckedProgram,
+        ir: &brook_ir::IrProgram,
+        kernel: &str,
+        op: ReduceOp,
+        input: usize,
+    ) -> Result<f32>;
 
     /// Switches between full execution and sampled cost estimation
     /// (meaningful for device-model backends; no-op elsewhere).
@@ -265,8 +279,14 @@ mod tests {
             "kernel void f(float a<>, float t[], float k, out float o<>) { o = a + t[0] + k; }",
         )
         .expect("check");
+        let ir = {
+            let (p, errs) = brook_ir::lower::lower_program(&checked);
+            assert!(errs.is_empty(), "{errs:?}");
+            p
+        };
         let launch = KernelLaunch {
             checked: &checked,
+            ir: &ir,
             module_id: 1,
             kernel: "f",
             args: vec![

@@ -13,6 +13,7 @@ use crate::error::{BrookError, Result};
 use crate::gpu::GpuState;
 use crate::stream::{Stream, StreamDesc};
 use brook_cert::{certify, CertConfig, ComplianceReport};
+use brook_ir::IrProgram;
 use brook_lang::ast::{KernelDef, Param, ParamKind};
 use brook_lang::CheckedProgram;
 use gles2_sim::{DeviceProfile, DrawMode, Value};
@@ -30,12 +31,25 @@ pub(crate) fn fresh_owner_id() -> u64 {
     NEXT_CONTEXT_ID.fetch_add(1, Ordering::Relaxed)
 }
 
+/// A fresh module id for synthetic modules (the fusion planner's fused
+/// kernels) — same uniqueness contract as compiled modules, so backend
+/// program caches can never alias.
+pub(crate) fn fresh_module_id() -> u64 {
+    NEXT_MODULE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
 /// A compiled, certified Brook Auto translation unit.
 #[derive(Debug, Clone)]
 pub struct BrookModule {
     /// Shared so cloning a module (the graph recorder stores one clone
     /// per recorded launch) never deep-copies the program AST.
     pub(crate) checked: Arc<CheckedProgram>,
+    /// The lowered, optimized and re-certified BrookIR — the form every
+    /// backend executes (flat interpreter on the CPU backends, GLSL
+    /// generation on the device). Kernels that could not lower (possible
+    /// only with certification disabled) are absent; backends fall back
+    /// to the AST walker / AST shader generator for them.
+    pub(crate) ir: Arc<IrProgram>,
     /// The certification data produced at compile time (paper §4).
     pub report: ComplianceReport,
     /// Globally unique module identity (backends key compiled-artifact
@@ -82,6 +96,10 @@ pub struct BrookContext {
     /// When false, `compile` accepts non-compliant programs (used for
     /// negative tests and for measuring what certification would reject).
     pub enforce_certification: bool,
+    /// When false, `compile` skips the BrookIR optimization pipeline
+    /// (used by the optimized-vs-unoptimized differential campaigns and
+    /// the interpreter benches; execution still runs the flat IR).
+    pub ir_optimize: bool,
 }
 
 impl BrookContext {
@@ -94,7 +112,18 @@ impl BrookContext {
             context_id: NEXT_CONTEXT_ID.fetch_add(1, Ordering::Relaxed),
             cert_config,
             enforce_certification: true,
+            ir_optimize: true,
         }
+    }
+
+    /// A context executing kernels through the legacy AST tree walker —
+    /// the differential oracle the IR interpreter is validated against.
+    /// Not part of [`crate::backend::registered_backends`]; the fuzz
+    /// campaigns and benches construct it explicitly.
+    pub fn cpu_ast_oracle() -> Self {
+        let mut ctx = Self::with_backend(Box::new(CpuBackend::ast_walker()), CertConfig::default());
+        ctx.ir_optimize = false;
+        ctx
     }
 
     /// A context executing kernels on the serial interpreted CPU backend
@@ -141,14 +170,74 @@ impl BrookContext {
     /// is on.
     pub fn compile(&mut self, source: &str) -> Result<BrookModule> {
         let checked = brook_lang::parse_and_check(source)?;
-        let report = certify(&checked, &self.cert_config);
+        let mut report = certify(&checked, &self.cert_config);
         if self.enforce_certification && !report.is_compliant() {
             return Err(BrookError::Certification(Box::new(report)));
         }
+        // Lower to BrookIR — the form every backend executes.
+        let (mut ir, lower_errors) = brook_ir::lower::lower_program(&checked);
+        if self.enforce_certification {
+            // A certified program always lowers (no recursion, bounded
+            // call depth); anything else is a toolchain bug surfaced
+            // loudly rather than silently falling back.
+            if let Some(e) = lower_errors.first() {
+                return Err(BrookError::Usage(format!("internal lowering failure: {e}")));
+            }
+            // Lower → re-gate: the IR-level re-check must agree that the
+            // lowered program is still certifiable.
+            let (checks, ok) = brook_cert::ir_check::check_program(&ir, &self.cert_config);
+            if !ok {
+                let first = checks
+                    .iter()
+                    .flat_map(|c| c.findings.iter())
+                    .find(|f| f.severity == brook_lang::diag::Severity::Error)
+                    .map(|f| format!("[{}] {} (source {})", f.rule.code(), f.message, f.span))
+                    .unwrap_or_else(|| "unspecified".into());
+                return Err(BrookError::Usage(format!(
+                    "internal: lowering broke certifiability: {first}"
+                )));
+            }
+        }
+        // Optimize under the cert rollback gate, recording provenance.
+        if self.ir_optimize {
+            report.passes = brook_cert::ir_check::optimize_program(
+                &mut ir,
+                &self.cert_config,
+                &brook_ir::passes::default_passes(),
+            );
+        }
         Ok(BrookModule {
             checked: Arc::new(checked),
+            ir: Arc::new(ir),
             report,
-            id: NEXT_MODULE_ID.fetch_add(1, Ordering::Relaxed),
+            id: fresh_module_id(),
+            context_id: self.context_id,
+        })
+    }
+
+    /// Renders the module's BrookIR in its canonical textual form — the
+    /// debug surface golden IR snapshots pin.
+    ///
+    /// # Errors
+    /// Foreign modules.
+    pub fn emit_ir(&self, module: &BrookModule) -> Result<String> {
+        self.check_module(module)?;
+        Ok(brook_ir::pretty::print_program(&module.ir))
+    }
+
+    /// Builds a module around hand-built IR, bypassing lowering — for
+    /// negative tests that must prove every backend path rejects
+    /// malformed IR. The `source` still goes through the front-end so
+    /// the module carries a valid checked program.
+    #[doc(hidden)]
+    pub fn module_with_raw_ir(&mut self, source: &str, ir: IrProgram) -> Result<BrookModule> {
+        let checked = brook_lang::parse_and_check(source)?;
+        let report = certify(&checked, &self.cert_config);
+        Ok(BrookModule {
+            checked: Arc::new(checked),
+            ir: Arc::new(ir),
+            report,
+            id: fresh_module_id(),
             context_id: self.context_id,
         })
     }
@@ -262,8 +351,13 @@ impl BrookContext {
             .iter()
             .map(|(n, h)| (n.clone(), h.to_bound()))
             .collect();
+        // Every backend path executes through the IR: verify it at the
+        // launch boundary so malformed IR (hand-built, corrupted, or a
+        // pass-pipeline escape) is rejected uniformly on all substrates.
+        verify_launch_ir(&module.ir, kernel)?;
         let launch = KernelLaunch {
             checked: &module.checked,
+            ir: &module.ir,
             module_id: module.id,
             kernel,
             args: bound_args,
@@ -294,7 +388,9 @@ impl BrookContext {
         let op = summary
             .reduce_op
             .ok_or_else(|| BrookError::Usage("reduce kernel without a detected operation".into()))?;
-        self.backend.reduce(&module.checked, kernel, op, input.index)
+        verify_launch_ir(&module.ir, kernel)?;
+        self.backend
+            .reduce(&module.checked, &module.ir, kernel, op, input.index)
     }
 
     /// Switches device dispatch between full execution and sampled cost
@@ -325,6 +421,16 @@ impl BrookContext {
     pub fn gpu_memory_used(&self) -> usize {
         self.backend.memory_used()
     }
+}
+
+/// Verifies the IR of a kernel about to launch; kernels absent from the
+/// IR (AST fallback) pass through. Shared by the eager path and the
+/// graph executor so no backend can receive malformed IR.
+pub(crate) fn verify_launch_ir(ir: &IrProgram, kernel: &str) -> Result<()> {
+    if let Some(k) = ir.kernel(kernel) {
+        brook_ir::verify::verify(k).map_err(|e| BrookError::Usage(e.to_string()))?;
+    }
+    Ok(())
 }
 
 /// A classified kernel argument still carrying the *handle* (not a

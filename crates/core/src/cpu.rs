@@ -13,6 +13,11 @@
 use crate::backend::{BackendExecutor, BoundArg, KernelLaunch};
 use crate::error::{BrookError, Result};
 use crate::stream::StreamDesc;
+use brook_ir::eval::{
+    apply_assign, brook_bin_op, brook_to_glsl_type, coerce_to, eval_brook_builtin, gather_clamped,
+    lane_index, swizzle, value_from_slice,
+};
+use brook_ir::interp as ir_interp;
 use brook_lang::ast::*;
 use brook_lang::{CheckedProgram, ReduceOp};
 use glsl_es::Value;
@@ -639,7 +644,7 @@ impl Interp<'_, '_> {
                 let v = self.eval(operand)?;
                 match op {
                     UnOp::Neg => match v {
-                        Value::Int(i) => Value::Int(-i),
+                        Value::Int(i) => Value::Int(i.wrapping_neg()),
                         other => other
                             .map(|f| -f)
                             .ok_or_else(|| self.err("cannot negate a bool"))?,
@@ -788,231 +793,12 @@ impl Interp<'_, '_> {
     }
 }
 
-fn lane_index(c: u8) -> usize {
-    match c {
-        b'x' => 0,
-        b'y' => 1,
-        b'z' => 2,
-        _ => 3,
-    }
-}
-
-fn swizzle(v: &Value, components: &str) -> std::result::Result<Value, String> {
-    let lanes = v.lanes();
-    if lanes.is_empty() {
-        return Err("cannot swizzle a non-float value".into());
-    }
-    let mut out = Vec::with_capacity(components.len());
-    for c in components.bytes() {
-        let i = lane_index(c);
-        if i >= lanes.len() {
-            return Err(format!("swizzle `.{components}` out of range"));
-        }
-        out.push(lanes[i]);
-    }
-    Ok(value_from_slice(&out))
-}
-
-fn value_from_slice(lanes: &[f32]) -> Value {
-    Value::from_lanes(lanes)
-}
-
-fn brook_to_glsl_type(t: Type) -> glsl_es::GlslType {
-    match (t.scalar, t.width) {
-        (ScalarKind::Float, 1) => glsl_es::GlslType::Float,
-        (ScalarKind::Float, 2) => glsl_es::GlslType::Vec2,
-        (ScalarKind::Float, 3) => glsl_es::GlslType::Vec3,
-        (ScalarKind::Float, _) => glsl_es::GlslType::Vec4,
-        (ScalarKind::Int, _) => glsl_es::GlslType::Int,
-        (ScalarKind::Bool, _) => glsl_es::GlslType::Bool,
-    }
-}
-
-/// Brook-style implicit promotion for assignment.
-fn coerce_to(v: Value, ty: Type) -> Value {
-    match (v, ty.scalar) {
-        (Value::Int(i), ScalarKind::Float) => {
-            if ty.width == 1 {
-                Value::Float(i as f32)
-            } else {
-                value_from_slice(&vec![i as f32; ty.width as usize])
-            }
-        }
-        (Value::Float(f), ScalarKind::Float) if ty.width > 1 => value_from_slice(&vec![f; ty.width as usize]),
-        _ => v,
-    }
-}
-
-fn apply_assign(current: Value, op: AssignOp, rhs: Value) -> std::result::Result<Value, String> {
-    let bop = match op {
-        AssignOp::Assign => {
-            // Plain assignment still broadcasts scalars into vectors.
-            if current.width() > 1 && rhs.width() == 1 {
-                if let Some(f) = rhs.as_float() {
-                    return Ok(value_from_slice(&vec![f; current.width()]));
-                }
-                if let Value::Int(i) = rhs {
-                    return Ok(value_from_slice(&vec![i as f32; current.width()]));
-                }
-            }
-            if current.glsl_type() == glsl_es::GlslType::Float {
-                if let Value::Int(i) = rhs {
-                    return Ok(Value::Float(i as f32));
-                }
-            }
-            return Ok(rhs);
-        }
-        AssignOp::AddAssign => BinOp::Add,
-        AssignOp::SubAssign => BinOp::Sub,
-        AssignOp::MulAssign => BinOp::Mul,
-        AssignOp::DivAssign => BinOp::Div,
-    };
-    brook_bin_op(bop, current, rhs)
-}
-
-/// Binary operation with Brook's implicit int -> float promotion.
-pub(crate) fn brook_bin_op(op: BinOp, l: Value, r: Value) -> std::result::Result<Value, String> {
-    // Pure integer arithmetic stays integral.
-    if let (Value::Int(a), Value::Int(b)) = (l, r) {
-        return Ok(match op {
-            BinOp::Add => Value::Int(a.wrapping_add(b)),
-            BinOp::Sub => Value::Int(a.wrapping_sub(b)),
-            BinOp::Mul => Value::Int(a.wrapping_mul(b)),
-            BinOp::Div => Value::Int(if b == 0 { 0 } else { a / b }),
-            BinOp::Rem => Value::Int(if b == 0 { 0 } else { a % b }),
-            BinOp::Lt => Value::Bool(a < b),
-            BinOp::Le => Value::Bool(a <= b),
-            BinOp::Gt => Value::Bool(a > b),
-            BinOp::Ge => Value::Bool(a >= b),
-            BinOp::Eq => Value::Bool(a == b),
-            BinOp::Ne => Value::Bool(a != b),
-            BinOp::And | BinOp::Or => return Err("logical op on ints".into()),
-        });
-    }
-    if let (Value::Bool(a), Value::Bool(b)) = (l, r) {
-        return Ok(match op {
-            BinOp::And => Value::Bool(a && b),
-            BinOp::Or => Value::Bool(a || b),
-            BinOp::Eq => Value::Bool(a == b),
-            BinOp::Ne => Value::Bool(a != b),
-            _ => return Err("arithmetic on bools".into()),
-        });
-    }
-    // Promote ints to floats (Brook implicit conversion).
-    let promote = |v: Value| match v {
-        Value::Int(i) => Value::Float(i as f32),
-        other => other,
-    };
-    let (l, r) = (promote(l), promote(r));
-    if op.is_comparison() {
-        let (Some(a), Some(b)) = (l.as_float(), r.as_float()) else {
-            return Err("comparisons need scalar operands".into());
-        };
-        return Ok(Value::Bool(match op {
-            BinOp::Lt => a < b,
-            BinOp::Le => a <= b,
-            BinOp::Gt => a > b,
-            BinOp::Ge => a >= b,
-            BinOp::Eq => a == b,
-            _ => a != b,
-        }));
-    }
-    if op.is_logical() {
-        return Err("logical op on non-bools".into());
-    }
-    let f = match op {
-        BinOp::Add => |a: f32, b: f32| a + b,
-        BinOp::Sub => |a: f32, b: f32| a - b,
-        BinOp::Mul => |a: f32, b: f32| a * b,
-        BinOp::Div => |a: f32, b: f32| a / b,
-        BinOp::Rem => |a: f32, b: f32| a - b * (a / b).floor(),
-        _ => unreachable!("handled above"),
-    };
-    l.zip(&r, f).ok_or_else(|| "operand shape mismatch".into())
-}
-
-fn gather_clamped(data: &[f32], shape: &[usize], width: u8, idx: &[i64]) -> Value {
-    // Clamp per dimension, then linearize row-major — the CPU analogue of
-    // CLAMP_TO_EDGE (paper §4).
-    let mut linear: usize = 0;
-    if idx.len() == shape.len() {
-        for (i, (&ix, &dim)) in idx.iter().zip(shape).enumerate() {
-            let clamped = ix.clamp(0, dim as i64 - 1) as usize;
-            let _ = i;
-            linear = linear * dim + clamped;
-        }
-    } else {
-        // Rank mismatch: treat as linear index into the whole stream.
-        let len: usize = shape.iter().product();
-        linear = idx.first().copied().unwrap_or(0).clamp(0, len as i64 - 1) as usize;
-    }
-    let base = linear * width as usize;
-    value_from_slice(&data[base..base + width as usize])
-}
-
-fn eval_brook_builtin(name: &str, args: &[Value]) -> std::result::Result<Value, String> {
-    let err = || format!("invalid arguments for `{name}`");
-    let unary = |f: fn(f32) -> f32| args[0].map(f).ok_or_else(err);
-    let binary = |f: fn(f32, f32) -> f32| args[0].zip(&args[1], f).ok_or_else(err);
-    match name {
-        "sin" => unary(f32::sin),
-        "cos" => unary(f32::cos),
-        "tan" => unary(f32::tan),
-        "exp" => unary(f32::exp),
-        "exp2" => unary(f32::exp2),
-        "log" => unary(f32::ln),
-        "log2" => unary(f32::log2),
-        "sqrt" => unary(f32::sqrt),
-        "rsqrt" => unary(|x| 1.0 / x.sqrt()),
-        "abs" => unary(f32::abs),
-        "floor" => unary(f32::floor),
-        "ceil" => unary(f32::ceil),
-        "fract" => unary(f32::fract),
-        "round" => unary(|x| (x + 0.5).floor()),
-        "sign" => unary(f32::signum),
-        "saturate" => unary(|x| x.clamp(0.0, 1.0)),
-        "normalize" => {
-            let len = args[0].lanes().iter().map(|x| x * x).sum::<f32>().sqrt();
-            args[0].map(|x| x / len).ok_or_else(err)
-        }
-        "min" => binary(f32::min),
-        "max" => binary(f32::max),
-        "pow" => binary(f32::powf),
-        "fmod" => binary(|a, b| a - b * (a / b).floor()),
-        "step" => binary(|edge, x| if x < edge { 0.0 } else { 1.0 }),
-        "atan2" => binary(f32::atan2),
-        "clamp" => {
-            let lo = args[0].zip(&args[1], f32::max).ok_or_else(err)?;
-            lo.zip(&args[2], f32::min).ok_or_else(err)
-        }
-        "lerp" => {
-            let bt = args[1].zip(&args[2], |x, t| x * t).ok_or_else(err)?;
-            let at = args[0].zip(&args[2], |x, t| x * (1.0 - t)).ok_or_else(err)?;
-            at.zip(&bt, |x, y| x + y).ok_or_else(err)
-        }
-        "smoothstep" => {
-            let num = args[2].zip(&args[0], |a, b| a - b).ok_or_else(err)?;
-            let den = args[1].zip(&args[0], |a, b| a - b).ok_or_else(err)?;
-            let t = num.zip(&den, |a, b| (a / b).clamp(0.0, 1.0)).ok_or_else(err)?;
-            t.map(|v| v * v * (3.0 - 2.0 * v)).ok_or_else(err)
-        }
-        "dot" => {
-            let (a, b) = (args[0].lanes(), args[1].lanes());
-            if a.is_empty() || a.len() != b.len() {
-                return Err(err());
-            }
-            Ok(Value::Float(a.iter().zip(b).map(|(x, y)| x * y).sum()))
-        }
-        "length" => Ok(Value::Float(
-            args[0].lanes().iter().map(|x| x * x).sum::<f32>().sqrt(),
-        )),
-        "distance" => {
-            let d = args[0].zip(&args[1], |x, y| x - y).ok_or_else(err)?;
-            Ok(Value::Float(d.lanes().iter().map(|x| x * x).sum::<f32>().sqrt()))
-        }
-        _ => Err(format!("builtin `{name}` not implemented on the CPU backend")),
-    }
-}
+// The scalar semantics (binary ops, builtins, swizzles, gather
+// clamping, implicit conversions) moved to `brook_ir::eval` so the flat
+// IR interpreter and this tree walker execute the same functions —
+// bit-exactness between the oracle and the IR path is a property of
+// construction. The imports above keep the walker's call sites
+// unchanged.
 
 // ---------------------------------------------------------------------------
 // Host-side stream storage and the serial CPU backend.
@@ -1133,23 +919,137 @@ pub(crate) fn reduce_on_host(
     run_reduce(checked, kernel, &streams[input].1)
 }
 
-/// The serial CPU interpreter backend — the reference semantics every
-/// other backend is validated against (paper §6).
+// ---------------------------------------------------------------------------
+// The flat-IR execution path (the default since BrookIR).
+// ---------------------------------------------------------------------------
+
+/// Converts an IR interpreter fault into the runtime's error type,
+/// keeping the source provenance the IR threads through.
+pub(crate) fn exec_err(e: ir_interp::ExecError) -> BrookError {
+    BrookError::Usage(e.render())
+}
+
+/// Builds the *positional* binding vector for an IR kernel launch.
+/// `launch.args` pairs every parameter in declaration order, which is
+/// exactly the IR's parameter order, so the translation is index-wise.
+pub(crate) fn ir_bindings<'a>(
+    streams: &'a [(StreamDesc, Vec<f32>)],
+    launch_args: &[(String, BoundArg)],
+    out_index_of: &HashMap<&str, usize>,
+) -> Vec<ir_interp::Binding<'a>> {
+    launch_args
+        .iter()
+        .map(|(name, arg)| match arg {
+            BoundArg::Elem(i) => {
+                let (desc, data) = &streams[*i];
+                ir_interp::Binding::Elem {
+                    data,
+                    shape: &desc.shape,
+                    width: desc.width,
+                }
+            }
+            BoundArg::Gather(i) => {
+                let (desc, data) = &streams[*i];
+                ir_interp::Binding::Gather {
+                    data,
+                    shape: &desc.shape,
+                    width: desc.width,
+                }
+            }
+            BoundArg::Scalar(v) => ir_interp::Binding::Scalar(*v),
+            BoundArg::Out(_) => ir_interp::Binding::Out(out_index_of[name.as_str()]),
+        })
+        .collect()
+}
+
+/// Dispatches a launch through the flat IR interpreter. `run_range`
+/// receives `(kernel, bindings, output buffers, domain shape)` and
+/// partitions the domain however it likes (serially here; the parallel
+/// backend fans chunks out to workers).
+pub(crate) fn dispatch_ir_on_host<F>(
+    streams: &mut [(StreamDesc, Vec<f32>)],
+    launch: &KernelLaunch<'_>,
+    kernel: &brook_ir::IrKernel,
+    runner: F,
+) -> Result<()>
+where
+    F: FnOnce(&brook_ir::IrKernel, &[ir_interp::Binding<'_>], &mut [Vec<f32>], &[usize]) -> Result<()>,
+{
+    // Move output buffers out so the binding vector can borrow the
+    // remaining streams immutably.
+    let mut out_bufs: Vec<Vec<f32>> = Vec::with_capacity(launch.outputs.len());
+    let mut out_index_of: HashMap<&str, usize> = HashMap::new();
+    for (name, idx) in &launch.outputs {
+        out_index_of.insert(name.as_str(), out_bufs.len());
+        out_bufs.push(std::mem::take(&mut streams[*idx].1));
+    }
+    let domain_shape = streams
+        .get(launch.outputs[0].1)
+        .map(|(desc, _)| desc.shape.clone())
+        .expect("output stream validated by the context");
+    let result = {
+        let bindings = ir_bindings(streams, &launch.args, &out_index_of);
+        runner(kernel, &bindings, &mut out_bufs, &domain_shape)
+    };
+    for ((_, idx), buf) in launch.outputs.iter().zip(out_bufs) {
+        streams[*idx].1 = buf;
+    }
+    result
+}
+
+/// Serial full-domain IR run (the default `runner` for
+/// [`dispatch_ir_on_host`]).
+pub(crate) fn ir_run_full(
+    kernel: &brook_ir::IrKernel,
+    bindings: &[ir_interp::Binding<'_>],
+    outputs: &mut [Vec<f32>],
+    domain_shape: &[usize],
+) -> Result<()> {
+    let (dx, dy, _) = ir_interp::domain_extents(domain_shape);
+    let mut slices: Vec<&mut [f32]> = outputs.iter_mut().map(|v| v.as_mut_slice()).collect();
+    ir_interp::run_kernel_range(kernel, bindings, &mut slices, domain_shape, 0..dx * dy).map_err(exec_err)
+}
+
+/// The serial CPU backend — the reference semantics every other backend
+/// is validated against (paper §6).
+///
+/// Since BrookIR, the default execution engine is the flat IR
+/// interpreter (`brook_ir::interp`): a preallocated register frame, no
+/// tree walk. The AST tree walker in this module is retained as the
+/// *differential oracle* — [`CpuBackend::ast_walker`] builds a backend
+/// that still executes it, and the fuzz campaigns assert bit-exactness
+/// between the two on every generated kernel. Kernels absent from a
+/// module's IR (possible only past a disabled certification gate, e.g.
+/// recursive helpers) transparently fall back to the walker.
 #[derive(Default)]
 pub struct CpuBackend {
     streams: Vec<(StreamDesc, Vec<f32>)>,
+    use_ast_walker: bool,
 }
 
 impl CpuBackend {
-    /// A backend with no streams.
+    /// A backend with no streams, executing the flat IR.
     pub fn new() -> Self {
         CpuBackend::default()
+    }
+
+    /// A backend executing the legacy AST tree walker — the
+    /// differential oracle the IR interpreter is validated against.
+    pub fn ast_walker() -> Self {
+        CpuBackend {
+            streams: Vec::new(),
+            use_ast_walker: true,
+        }
     }
 }
 
 impl BackendExecutor for CpuBackend {
     fn name(&self) -> &'static str {
-        "cpu"
+        if self.use_ast_walker {
+            "cpu-ast"
+        } else {
+            "cpu"
+        }
     }
 
     fn create_stream(&mut self, desc: StreamDesc) -> Result<usize> {
@@ -1169,12 +1069,34 @@ impl BackendExecutor for CpuBackend {
     }
 
     fn dispatch(&mut self, launch: &KernelLaunch<'_>) -> Result<()> {
+        // The walker itself can only execute kernels present in the
+        // checked AST; synthetic kernels (the fusion planner's) exist
+        // only in IR form, so even the oracle backend runs those
+        // through the IR interpreter.
+        let ast_has_kernel = launch.checked.program.kernel(launch.kernel).is_some();
+        if !self.use_ast_walker || !ast_has_kernel {
+            if let Some(kernel) = launch.ir.kernel(launch.kernel) {
+                return dispatch_ir_on_host(&mut self.streams, launch, kernel, ir_run_full);
+            }
+        }
         dispatch_on_host(&mut self.streams, launch, run_kernel_shaped)
     }
 
-    fn reduce(&mut self, checked: &CheckedProgram, kernel: &str, _op: ReduceOp, input: usize) -> Result<f32> {
-        // The interpreter folds the actual kernel body, so the detected
+    fn reduce(
+        &mut self,
+        checked: &CheckedProgram,
+        ir: &brook_ir::IrProgram,
+        kernel: &str,
+        _op: ReduceOp,
+        input: usize,
+    ) -> Result<f32> {
+        // The interpreters fold the actual kernel body, so the detected
         // canonical op is only needed by ladder-style backends.
+        if !self.use_ast_walker {
+            if let Some(k) = ir.kernel(kernel) {
+                return ir_interp::run_reduce(k, &self.streams[input].1).map_err(exec_err);
+            }
+        }
         reduce_on_host(&self.streams, checked, kernel, input)
     }
 }

@@ -20,6 +20,8 @@ use crate::backend::{BackendExecutor, KernelLaunch};
 use crate::cpu::{self, CpuBinding};
 use crate::error::{BrookError, Result};
 use crate::stream::StreamDesc;
+use brook_ir::interp as ir_interp;
+use brook_ir::IrKernel;
 use brook_lang::{CheckedProgram, ReduceOp};
 use std::collections::HashMap;
 use std::ops::Range;
@@ -131,6 +133,63 @@ fn run_parallel(
     results.into_iter().collect()
 }
 
+/// IR flavour of [`run_parallel`]: the same chunking, with each worker
+/// running the flat IR interpreter over its disjoint range. Bit-exact
+/// with the serial IR backend for any worker count, by the same
+/// disjointness argument.
+fn run_parallel_ir(
+    kernel: &IrKernel,
+    bindings: &[ir_interp::Binding<'_>],
+    outputs: &mut [Vec<f32>],
+    domain_shape: &[usize],
+    workers: usize,
+) -> Result<()> {
+    let (dx, dy, _) = ir_interp::domain_extents(domain_shape);
+    let total = dx * dy;
+    let widths: Vec<usize> = outputs
+        .iter()
+        .map(|buf| {
+            debug_assert!(buf.len().is_multiple_of(total.max(1)));
+            buf.len() / total.max(1)
+        })
+        .collect();
+    let chunk = total.div_ceil(workers);
+    let ranges: Vec<Range<usize>> = (0..workers)
+        .map(|w| (w * chunk).min(total)..((w + 1) * chunk).min(total))
+        .filter(|r| !r.is_empty())
+        .collect();
+    let mut per_chunk: Vec<Vec<&mut [f32]>> = ranges.iter().map(|_| Vec::new()).collect();
+    for (oi, buf) in outputs.iter_mut().enumerate() {
+        let mut rest: &mut [f32] = buf;
+        for (ci, r) in ranges.iter().enumerate() {
+            let (head, tail) = rest.split_at_mut(r.len() * widths[oi]);
+            per_chunk[ci].push(head);
+            rest = tail;
+        }
+    }
+    let results: Vec<Result<()>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .zip(per_chunk)
+            .map(|(range, mut outs)| {
+                let range = range.clone();
+                scope.spawn(move || {
+                    ir_interp::run_kernel_range(kernel, bindings, &mut outs, domain_shape, range)
+                        .map_err(cpu::exec_err)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(BrookError::Usage("parallel CPU worker panicked".into())))
+            })
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
 impl BackendExecutor for ParallelCpuBackend {
     fn name(&self) -> &'static str {
         "cpu-parallel"
@@ -163,7 +222,16 @@ impl BackendExecutor for ParallelCpuBackend {
             .iter()
             .all(|(_, i)| self.streams[*i].0.shape == domain_shape);
         let workers = self.workers;
-        if self.parallelizable(dx * dy, uniform) {
+        if let Some(kernel) = launch.ir.kernel(launch.kernel) {
+            if self.parallelizable(dx * dy, uniform) {
+                cpu::dispatch_ir_on_host(&mut self.streams, launch, kernel, |k, bindings, outs, domain| {
+                    run_parallel_ir(k, bindings, outs, domain, workers)
+                })
+            } else {
+                cpu::dispatch_ir_on_host(&mut self.streams, launch, kernel, cpu::ir_run_full)
+            }
+        } else if self.parallelizable(dx * dy, uniform) {
+            // AST fallback (kernels that could not lower).
             cpu::dispatch_on_host(
                 &mut self.streams,
                 launch,
@@ -176,8 +244,18 @@ impl BackendExecutor for ParallelCpuBackend {
         }
     }
 
-    fn reduce(&mut self, checked: &CheckedProgram, kernel: &str, _op: ReduceOp, input: usize) -> Result<f32> {
+    fn reduce(
+        &mut self,
+        checked: &CheckedProgram,
+        ir: &brook_ir::IrProgram,
+        kernel: &str,
+        _op: ReduceOp,
+        input: usize,
+    ) -> Result<f32> {
         // Serial on purpose — see the module docs.
+        if let Some(k) = ir.kernel(kernel) {
+            return ir_interp::run_reduce(k, &self.streams[input].1).map_err(cpu::exec_err);
+        }
         cpu::reduce_on_host(&self.streams, checked, kernel, input)
     }
 }

@@ -5,7 +5,8 @@ use crate::backend::{BackendExecutor, KernelLaunch};
 use crate::error::{BrookError, Result};
 use crate::stream::{layout_for, StreamDesc, StreamLayout};
 use brook_codegen::{
-    generate_kernel_shader, names, reduce_pass_shader, KernelShapes, ReduceAxis, StorageMode, StreamRank,
+    generate_ir_kernel_shader, generate_kernel_shader, names, reduce_pass_shader, KernelShapes, ReduceAxis,
+    StorageMode, StreamRank,
 };
 use brook_lang::{CheckedProgram, ReduceOp};
 use gles2_sim::{DeviceProfile, DrawMode, FramebufferId, Gl, ProgramId, TexFormat, TextureId, Value};
@@ -195,9 +196,11 @@ impl GpuState {
     ///
     /// `stream_args`: (param name, stream index) for every stream/gather
     /// param including outputs; `scalar_args`: (param name, value).
+    #[allow(clippy::too_many_arguments)]
     pub fn run_pass(
         &mut self,
         checked: &CheckedProgram,
+        ir: &brook_ir::IrProgram,
         module_key: u64,
         kernel: &str,
         output: &str,
@@ -212,7 +215,15 @@ impl GpuState {
             key.push_str(&format!(":{n}={r:?}"));
         }
         if !self.programs.contains_key(&key) {
-            let generated = generate_kernel_shader(checked, kernel, output, &shapes, self.storage)?;
+            // The live path generates GLSL from the optimized,
+            // re-certified BrookIR; kernels absent from the IR (only
+            // possible past a disabled certification gate) fall back to
+            // the legacy AST generator.
+            let generated = if ir.kernel(kernel).is_some() {
+                generate_ir_kernel_shader(ir, kernel, output, &shapes, self.storage)?
+            } else {
+                generate_kernel_shader(checked, kernel, output, &shapes, self.storage)?
+            };
             let p = self.gl.create_program(&generated.glsl)?;
             self.programs.insert(key.clone(), (p, generated));
         }
@@ -466,6 +477,7 @@ impl BackendExecutor for GpuState {
         for (out_name, _) in &launch.outputs {
             self.run_pass(
                 launch.checked,
+                launch.ir,
                 launch.module_id,
                 launch.kernel,
                 out_name,
@@ -479,6 +491,7 @@ impl BackendExecutor for GpuState {
     fn reduce(
         &mut self,
         _checked: &CheckedProgram,
+        _ir: &brook_ir::IrProgram,
         _kernel: &str,
         op: ReduceOp,
         input: usize,

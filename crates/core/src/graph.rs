@@ -10,21 +10,26 @@
 //!
 //! 1. **fuses** chains of elementwise kernels — a producer whose single
 //!    output feeds exactly one consumer elementwise — into one synthetic
-//!    kernel, built with [`brook_lang::build::AstBuilder`] by inlining
-//!    the producer's body as a let-bound local ahead of the consumer's
-//!    body, and
+//!    kernel, by inlining the producer's **BrookIR** ahead of the
+//!    consumer's: the producer's output writes become register
+//!    assignments to a zero-initialized chain register, the consumer's
+//!    elementwise reads of the intermediate become reads of that
+//!    register, and both instruction streams concatenate with their
+//!    structured region trees intact (no AST surgery, no re-parse), and
 //! 2. **elides** the fused-away intermediates entirely: virtual streams
 //!    created with [`BrookGraph::stream`] that no surviving launch
 //!    touches are never allocated — no texture, no round-trip.
 //!
-//! Fusion can never bypass certification: every fused kernel is
-//! pretty-printed, re-parsed, re-type-checked and pushed through the
-//! same [`crate::BrookContext::compile`] gate as user code, under the
-//! executing context's own limits. A fusion the gate rejects (too many
-//! merged inputs, blown instruction budget) is silently skipped and the
-//! original launches run unchanged — the planner is an optimizer, not a
-//! loophole. [`brook_cert::CertPredicates`] provides the cheap forward
-//! filter so hopeless fusions never reach the gate.
+//! Fusion can never bypass certification: every fused kernel is pushed
+//! through the BrookIR verifier and the IR-level certification re-check
+//! (`brook_cert::ir_check`) under the executing context's own limits,
+//! then through the cert-gated optimization pipeline — the same
+//! lower→check→optimize→re-check spine `compile` applies to user code.
+//! A fusion the gate rejects (too many merged inputs, blown instruction
+//! budget) is silently skipped and the original launches run unchanged —
+//! the planner is an optimizer, not a loophole.
+//! [`brook_cert::CertPredicates`] provides the cheap forward filter so
+//! hopeless fusions never reach the gate.
 //!
 //! ## Fusability rules
 //!
@@ -36,8 +41,8 @@
 //! * every elementwise input and every output of both kernels shares
 //!   `s`'s shape (so `indexof` is interchangeable across them); gather
 //!   tables are exempt — random access inlines soundly;
-//! * neither kernel calls helper functions or takes `indexof` of a
-//!   gather (both inline unsoundly without more bookkeeping);
+//! * helper calls are no obstacle — they were already inlined into the
+//!   IR by lowering (the AST-surgery planner had to veto them);
 //! * no launch between P and C writes any stream P reads (fusion moves
 //!   P's reads to C's position);
 //! * the merged parameter lists pass
@@ -73,15 +78,17 @@
 //! ```
 
 use crate::backend::KernelLaunch;
-use crate::context::{classify_call, fresh_owner_id, Arg, BrookContext, BrookModule, HandleArg};
+use crate::context::{
+    classify_call, fresh_owner_id, verify_launch_ir, Arg, BrookContext, BrookModule, HandleArg,
+};
 use crate::error::{BrookError, Result};
 use crate::stream::{Stream, StreamDesc};
 use brook_cert::CertPredicates;
-use brook_lang::ast::{Block, Expr, ExprKind, KernelDef, ParamKind, ScalarKind, Stmt, Type};
-use brook_lang::build::{declared_locals, AstBuilder, RenameMap};
-use brook_lang::pretty::print_program;
+use brook_ir::{Inst, IrKernel, IrParam, IrProgram, LoopNode, Node, Reg};
+use brook_lang::ast::{ParamKind, ScalarKind, Type};
 use brook_lang::ReduceOp;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Ticket for a recorded `reduce`; redeem it against the issuing
 /// graph's [`GraphReport`] after `execute()`. Like streams and modules,
@@ -101,9 +108,13 @@ pub struct FusedKernel {
     pub name: String,
     /// Kernel names folded into it, producer first.
     pub replaced: Vec<String>,
-    /// Canonical Brook source of the fused program — the exact text that
-    /// went back through the certification gate.
+    /// Canonical BrookIR text of the fused kernel — the exact form that
+    /// went through the IR verifier + certification re-check (and the
+    /// golden-snapshot anchor).
     pub source: String,
+    /// The fused IR itself (what every backend executes / the GL
+    /// backend generates GLSL from).
+    pub ir: Arc<IrProgram>,
 }
 
 /// What `execute()` did: the launch plan it ran and what fusion saved.
@@ -393,8 +404,10 @@ impl<'ctx> BrookGraph<'ctx> {
                             (n.clone(), h.to_bound())
                         })
                         .collect();
+                    verify_launch_ir(&module.ir, kernel)?;
                     let launch = KernelLaunch {
                         checked: &module.checked,
+                        ir: &module.ir,
                         module_id: module.id,
                         kernel,
                         args: bound,
@@ -412,10 +425,14 @@ impl<'ctx> BrookGraph<'ctx> {
                     input,
                     slot,
                 } => {
-                    reduce_values[*slot] =
-                        self.ctx
-                            .backend
-                            .reduce(&module.checked, kernel, *op, resolve(*input).index)?;
+                    verify_launch_ir(&module.ir, kernel)?;
+                    reduce_values[*slot] = self.ctx.backend.reduce(
+                        &module.checked,
+                        &module.ir,
+                        kernel,
+                        *op,
+                        resolve(*input).index,
+                    )?;
                 }
             }
         }
@@ -508,19 +525,13 @@ impl<'ctx> BrookGraph<'ctx> {
                 if p_outputs.len() != 1 {
                     continue;
                 }
-                let p_kdef = p_module
-                    .checked
-                    .program
-                    .kernel(p_kernel)
-                    .expect("recorded kernel");
-                let c_kdef = c_module
-                    .checked
-                    .program
-                    .kernel(c_kernel)
-                    .expect("recorded kernel");
-                if calls_helper(&p_kdef.body, &p_module.checked.program)
-                    || calls_helper(&c_kdef.body, &c_module.checked.program)
-                {
+                // Both kernels must have lowered IR (always true behind
+                // an enforcing gate); helper calls are already inlined
+                // there, so they no longer veto fusion.
+                let Some(p_ir) = p_module.ir.kernel(p_kernel) else {
+                    continue;
+                };
+                if c_module.ir.kernel(c_kernel).is_none() {
                     continue;
                 }
                 // Shape/width uniformity across the chain (gathers exempt).
@@ -530,7 +541,7 @@ impl<'ctx> BrookGraph<'ctx> {
                 {
                     continue;
                 }
-                let p_out_ty = p_kdef.params.iter().find(|p| p.kind == ParamKind::OutStream);
+                let p_out_ty = p_ir.params.iter().find(|p| p.kind == ParamKind::OutStream);
                 let widths_ok = p_out_ty
                     .is_some_and(|p| p.ty.scalar == ScalarKind::Float && p.ty.width == inter_desc.width);
                 if !widths_ok {
@@ -617,10 +628,10 @@ impl<'ctx> BrookGraph<'ctx> {
             .all(|(_, s)| shape_of(s).is_some_and(|sh| sh == domain.shape))
     }
 
-    /// Builds the fused kernel for `ops[i] → ops[j]` over `inter`,
-    /// compiles it through the real certification gate, and returns the
-    /// replacement op. `None` means "leave the pair unfused" — the gate
-    /// rejected it or construction hit an inlining limitation.
+    /// Builds the fused IR kernel for `ops[i] → ops[j]` over `inter`,
+    /// pushes it through the IR verifier + certification re-check (and
+    /// the cert-gated pass pipeline), and returns the replacement op.
+    /// `None` means "leave the pair unfused" — the gate rejected it.
     fn try_fuse(&mut self, i: usize, j: usize, inter: Stream) -> Option<(OpKind, FusedKernel)> {
         let built = {
             let OpKind::Launch {
@@ -643,38 +654,63 @@ impl<'ctx> BrookGraph<'ctx> {
             else {
                 return None;
             };
-            let p_kdef = p_module.checked.program.kernel(p_kernel)?;
-            let c_kdef = c_module.checked.program.kernel(c_kernel)?;
+            let p_ir = p_module.ir.kernel(p_kernel)?;
+            let c_ir = c_module.ir.kernel(c_kernel)?;
             let replaced: Vec<String> = p_replaced.iter().chain(c_replaced).cloned().collect();
             let name = format!("fused_{}", replaced.join("_"));
-            build_fused_kernel(&name, p_kdef, p_args, c_kdef, c_args, inter).map(|(source, args, outputs)| {
+            build_fused_ir(&name, p_ir, p_args, c_ir, c_args, inter).map(|(kernel, args, out_names)| {
                 (
-                    source,
+                    kernel,
                     args,
-                    outputs
+                    out_names
                         .into_iter()
                         .zip(c_outputs)
                         .map(|(n, (_, s))| (n, *s))
                         .collect::<Vec<_>>(),
                     replaced,
                     name,
+                    c_module.checked.clone(),
                 )
             })
         };
-        let (source, args, outputs, replaced, name) = built?;
-        // The real gate: parse, type-check and certify the fused program
-        // under this context's limits. Any rejection leaves the chain
-        // unfused. (`compile` errors when enforcement is on; the
-        // explicit compliance check covers contexts that disabled
-        // enforcement — fusion never relaxes the gate.)
-        let module = match self.ctx.compile(&source) {
-            Ok(m) if m.report.is_compliant() => m,
-            _ => return None,
+        let (kernel, args, outputs, replaced, name, checked) = built?;
+        // The real gate: verify the fused IR and re-run the IR-level
+        // certification check under this context's limits, then the
+        // cert-gated pass pipeline — the same spine `compile` applies.
+        // Any rejection leaves the chain unfused.
+        brook_ir::verify::verify(&kernel).ok()?;
+        if !brook_cert::ir_check::check_kernel(&kernel, self.ctx.cert_config()).is_compliant() {
+            return None;
+        }
+        let mut program = IrProgram {
+            kernels: vec![kernel],
+        };
+        let passes = if self.ctx.ir_optimize {
+            brook_cert::ir_check::optimize_program(
+                &mut program,
+                self.ctx.cert_config(),
+                &brook_ir::passes::default_passes(),
+            )
+        } else {
+            Vec::new()
+        };
+        let ir = Arc::new(program);
+        let source = brook_ir::pretty::print_program(&ir);
+        let module = BrookModule {
+            checked,
+            ir: ir.clone(),
+            report: brook_cert::ComplianceReport {
+                kernels: Vec::new(),
+                passes,
+            },
+            id: crate::context::fresh_module_id(),
+            context_id: self.ctx.context_id,
         };
         let record = FusedKernel {
             name: name.clone(),
             replaced: replaced.clone(),
             source,
+            ir,
         };
         Some((
             OpKind::Launch {
@@ -686,6 +722,355 @@ impl<'ctx> BrookGraph<'ctx> {
             },
             record,
         ))
+    }
+}
+
+/// How a stage parameter maps into the fused kernel.
+#[derive(Clone, Copy)]
+enum PAct {
+    /// Becomes fused parameter `fused_param_index`.
+    Fused(u16),
+    /// The chain edge (the consumer's elementwise read of the
+    /// intermediate, or the producer's output): becomes the chain
+    /// register.
+    Chain,
+}
+
+/// Constructs the fused IR kernel for producer→consumer over `inter`:
+/// canonical parameter names (`in*` elementwise, `g*` gathers, `k*`
+/// scalars, `o*` outputs, streams deduplicated by identity), the
+/// producer's instruction stream first with its output stores rewritten
+/// to assignments of the zero-initialized chain register `r0` (virtual
+/// intermediates are zero-filled, so conditional producer writes keep
+/// eager semantics), then the consumer's stream reading `r0` where it
+/// read the intermediate. `indexof` of the vanished intermediate (or of
+/// the producer's output) is redirected to the first fused output —
+/// sound because the planner already proved the chain
+/// elementwise-uniform.
+///
+/// Returns `(fused kernel, fused bindings, fused output names)`.
+#[allow(clippy::type_complexity)]
+fn build_fused_ir(
+    name: &str,
+    p_ir: &IrKernel,
+    p_args: &[(String, HandleArg)],
+    c_ir: &IrKernel,
+    c_args: &[(String, HandleArg)],
+    inter: Stream,
+) -> Option<(IrKernel, Vec<(String, HandleArg)>, Vec<String>)> {
+    let mut ins: Vec<(IrParam, HandleArg)> = Vec::new();
+    let mut outs: Vec<(IrParam, HandleArg)> = Vec::new();
+    let mut by_stream: HashMap<(u64, usize), u16> = HashMap::new();
+    let (mut n_in, mut n_g, mut n_k, mut n_out) = (0usize, 0usize, 0usize, 0usize);
+
+    let mut map_stage =
+        |ir: &IrKernel, args: &[(String, HandleArg)], is_consumer: bool| -> Option<Vec<PAct>> {
+            if ir.params.len() != args.len() {
+                return None;
+            }
+            let mut acts = Vec::with_capacity(ir.params.len());
+            for (p, (_, h)) in ir.params.iter().zip(args) {
+                let act = match (p.kind, h) {
+                    (ParamKind::Stream, HandleArg::Elem(st)) if *st == inter => PAct::Chain,
+                    (ParamKind::Stream, HandleArg::Elem(st)) => {
+                        let idx = *by_stream.entry((st.context_id, st.index)).or_insert_with(|| {
+                            let idx = ins.len() as u16;
+                            ins.push((
+                                IrParam {
+                                    name: format!("in{n_in}"),
+                                    ty: p.ty,
+                                    kind: ParamKind::Stream,
+                                },
+                                HandleArg::Elem(*st),
+                            ));
+                            n_in += 1;
+                            idx
+                        });
+                        PAct::Fused(idx)
+                    }
+                    (ParamKind::Gather { rank }, HandleArg::Gather(st)) => {
+                        let idx = *by_stream.entry((st.context_id, st.index)).or_insert_with(|| {
+                            let idx = ins.len() as u16;
+                            ins.push((
+                                IrParam {
+                                    name: format!("g{n_g}"),
+                                    ty: p.ty,
+                                    kind: ParamKind::Gather { rank },
+                                },
+                                HandleArg::Gather(*st),
+                            ));
+                            n_g += 1;
+                            idx
+                        });
+                        PAct::Fused(idx)
+                    }
+                    (ParamKind::Scalar, HandleArg::Scalar(v)) => {
+                        let idx = ins.len() as u16;
+                        ins.push((
+                            IrParam {
+                                name: format!("k{n_k}"),
+                                ty: p.ty,
+                                kind: ParamKind::Scalar,
+                            },
+                            HandleArg::Scalar(*v),
+                        ));
+                        n_k += 1;
+                        PAct::Fused(idx)
+                    }
+                    (ParamKind::OutStream, HandleArg::Out(st)) => {
+                        if is_consumer {
+                            let idx = outs.len() as u16;
+                            outs.push((
+                                IrParam {
+                                    name: format!("o{n_out}"),
+                                    ty: p.ty,
+                                    kind: ParamKind::OutStream,
+                                },
+                                HandleArg::Out(*st),
+                            ));
+                            n_out += 1;
+                            PAct::Fused(idx) // index into `outs`; rebased below
+                        } else {
+                            PAct::Chain
+                        }
+                    }
+                    _ => return None,
+                };
+                acts.push(act);
+            }
+            Some(acts)
+        };
+
+    // A producer with a kernel-level `return;` cannot concatenate: its
+    // Ret would terminate the *fused* element before the consumer's
+    // body runs, silently diverging from eager execution. (A consumer
+    // Ret is fine — the producer has already run by then.)
+    if p_ir.insts.iter().any(|i| matches!(i, Inst::Ret)) {
+        return None;
+    }
+    let p_acts = map_stage(p_ir, p_args, false)?;
+    let c_acts = map_stage(c_ir, c_args, true)?;
+    let n_ins = ins.len() as u16;
+    // Rebase output actions past the input parameters.
+    let rebase = |acts: Vec<PAct>, ir: &IrKernel| -> Vec<PAct> {
+        acts.into_iter()
+            .zip(&ir.params)
+            .map(|(a, p)| match (a, p.kind) {
+                (PAct::Fused(i), ParamKind::OutStream) => PAct::Fused(n_ins + i),
+                other => other.0,
+            })
+            .collect()
+    };
+    let p_acts = rebase(p_acts, p_ir);
+    let c_acts = rebase(c_acts, c_ir);
+    if outs.is_empty() {
+        return None;
+    }
+    let o0_param = n_ins; // fused param index of the first output
+
+    // The chain register mirrors the virtual intermediate: zero-filled
+    // before the producer runs.
+    let p_out = p_ir.params.iter().find(|p| p.kind == ParamKind::OutStream)?;
+    if p_out.ty.scalar != ScalarKind::Float {
+        return None;
+    }
+    let chain: Reg = 0;
+    let mut regs: Vec<Type> = Vec::with_capacity(1 + p_ir.regs.len() + c_ir.regs.len());
+    regs.push(p_out.ty);
+    regs.extend(p_ir.regs.iter().copied());
+    regs.extend(c_ir.regs.iter().copied());
+
+    let mut insts: Vec<Inst> = Vec::with_capacity(1 + p_ir.insts.len() + c_ir.insts.len());
+    let mut spans = Vec::with_capacity(insts.capacity());
+    insts.push(Inst::Const {
+        dst: chain,
+        v: glsl_es::Value::zero(brook_ir::eval::brook_to_glsl_type(p_out.ty)),
+    });
+    spans.push(brook_lang::span::Span::synthetic());
+
+    let append_stage = |insts: &mut Vec<Inst>,
+                        spans: &mut Vec<brook_lang::span::Span>,
+                        ir: &IrKernel,
+                        acts: &[PAct],
+                        reg_off: u32,
+                        inst_off: u32,
+                        is_consumer: bool|
+     -> Option<()> {
+        for (inst, span) in ir.insts.iter().zip(&ir.spans) {
+            let mut inst = inst.clone();
+            shift_regs(&mut inst, reg_off);
+            let mapped = match inst {
+                Inst::ReadElem { dst, param } => match acts[param as usize] {
+                    PAct::Fused(fp) => Inst::ReadElem { dst, param: fp },
+                    PAct::Chain => Inst::Mov { dst, src: chain },
+                },
+                Inst::ReadScalar { dst, param } => match acts[param as usize] {
+                    PAct::Fused(fp) => Inst::ReadScalar { dst, param: fp },
+                    PAct::Chain => return None,
+                },
+                Inst::Gather { dst, param, idx } => match acts[param as usize] {
+                    PAct::Fused(fp) => Inst::Gather { dst, param: fp, idx },
+                    PAct::Chain => return None,
+                },
+                Inst::Indexof { dst, param } => match acts[param as usize] {
+                    PAct::Fused(fp) => Inst::Indexof { dst, param: fp },
+                    // indexof of the vanished intermediate / producer
+                    // output: the chain is elementwise-uniform, so the
+                    // fused output's index space is the same.
+                    PAct::Chain => Inst::Indexof { dst, param: o0_param },
+                },
+                Inst::ReadOut { dst, out } => {
+                    if is_consumer {
+                        Inst::ReadOut { dst, out }
+                    } else {
+                        Inst::Mov { dst, src: chain }
+                    }
+                }
+                Inst::WriteOut { out, op, src } => {
+                    if is_consumer {
+                        Inst::WriteOut { out, op, src }
+                    } else {
+                        Inst::AssignLocal { dst: chain, op, src }
+                    }
+                }
+                Inst::Jump { target } => Inst::Jump {
+                    target: target + inst_off,
+                },
+                Inst::BranchIfFalse { cond, target } => Inst::BranchIfFalse {
+                    cond,
+                    target: target + inst_off,
+                },
+                other => other,
+            };
+            insts.push(mapped);
+            spans.push(*span);
+        }
+        Some(())
+    };
+
+    let p_reg_off = 1u32;
+    let c_reg_off = 1 + p_ir.regs.len() as u32;
+    let p_inst_off = 1u32;
+    let c_inst_off = 1 + p_ir.insts.len() as u32;
+    append_stage(
+        &mut insts, &mut spans, p_ir, &p_acts, p_reg_off, p_inst_off, false,
+    )?;
+    append_stage(&mut insts, &mut spans, c_ir, &c_acts, c_reg_off, c_inst_off, true)?;
+
+    let mut body: Vec<Node> = vec![Node::Seq { start: 0, end: 1 }];
+    body.extend(p_ir.body.iter().map(|n| shift_node(n, p_inst_off, p_reg_off)));
+    body.extend(c_ir.body.iter().map(|n| shift_node(n, c_inst_off, c_reg_off)));
+
+    let params: Vec<IrParam> = ins
+        .iter()
+        .map(|(p, _)| p.clone())
+        .chain(outs.iter().map(|(p, _)| p.clone()))
+        .collect();
+    let bindings: Vec<(String, HandleArg)> = ins
+        .iter()
+        .chain(outs.iter())
+        .map(|(p, h)| (p.name.clone(), *h))
+        .collect();
+    let out_names: Vec<String> = outs.iter().map(|(p, _)| p.name.clone()).collect();
+    let outputs: Vec<u16> = (0..outs.len() as u16).map(|i| n_ins + i).collect();
+    let kernel = IrKernel {
+        name: name.to_owned(),
+        is_reduce: false,
+        reduce_op: None,
+        params,
+        outputs,
+        acc_reg: None,
+        regs,
+        insts,
+        spans,
+        body,
+        span: brook_lang::span::Span::synthetic(),
+        uses_indexof: p_ir.uses_indexof || c_ir.uses_indexof,
+    };
+    Some((kernel, bindings, out_names))
+}
+
+/// Shifts every register mention of an instruction by `off`.
+fn shift_regs(inst: &mut Inst, off: u32) {
+    match inst {
+        Inst::Nop | Inst::Jump { .. } | Inst::Ret | Inst::Fail { .. } => {}
+        Inst::Const { dst, .. }
+        | Inst::ReadElem { dst, .. }
+        | Inst::ReadScalar { dst, .. }
+        | Inst::ReadOut { dst, .. }
+        | Inst::Indexof { dst, .. } => *dst += off,
+        Inst::Mov { dst, src }
+        | Inst::DeclInit { dst, src, .. }
+        | Inst::AssignLocal { dst, src, .. }
+        | Inst::Un { dst, src, .. }
+        | Inst::CastInt { dst, src }
+        | Inst::Swizzle { dst, src, .. }
+        | Inst::SwizzleStore { dst, src, .. } => {
+            *dst += off;
+            *src += off;
+        }
+        Inst::Bin { dst, lhs, rhs, .. } => {
+            *dst += off;
+            *lhs += off;
+            *rhs += off;
+        }
+        Inst::Construct { dst, args, .. } | Inst::Builtin { dst, args, .. } => {
+            *dst += off;
+            for a in args {
+                *a += off;
+            }
+        }
+        Inst::Select { dst, cond, a, b } => {
+            *dst += off;
+            *cond += off;
+            *a += off;
+            *b += off;
+        }
+        Inst::Gather { dst, idx, .. } => {
+            *dst += off;
+            for i in idx {
+                *i += off;
+            }
+        }
+        Inst::WriteOut { src, .. } => *src += off,
+        Inst::BranchIfFalse { cond, .. } => *cond += off,
+    }
+}
+
+/// Clones a region node shifting instruction indices and registers.
+fn shift_node(n: &Node, inst_off: u32, reg_off: u32) -> Node {
+    match n {
+        Node::Seq { start, end } => Node::Seq {
+            start: start + inst_off,
+            end: end + inst_off,
+        },
+        Node::If {
+            cond,
+            branch_at,
+            then,
+            jump_at,
+            els,
+        } => Node::If {
+            cond: cond + reg_off,
+            branch_at: branch_at + inst_off,
+            then: then.iter().map(|n| shift_node(n, inst_off, reg_off)).collect(),
+            jump_at: jump_at.map(|j| j + inst_off),
+            els: els.iter().map(|n| shift_node(n, inst_off, reg_off)).collect(),
+        },
+        Node::Loop(l) => Node::Loop(Box::new(LoopNode {
+            kind: l.kind,
+            bound: l.bound.clone(),
+            span: l.span,
+            header: l
+                .header
+                .iter()
+                .map(|n| shift_node(n, inst_off, reg_off))
+                .collect(),
+            cond: l.cond + reg_off,
+            exit_at: l.exit_at + inst_off,
+            body: l.body.iter().map(|n| shift_node(n, inst_off, reg_off)).collect(),
+            back_at: l.back_at + inst_off,
+        })),
     }
 }
 
@@ -709,201 +1094,4 @@ fn lookup_stream_desc(
     } else {
         Err(BrookError::Usage("stream belongs to a different context".into()))
     }
-}
-
-/// True when the block calls any helper function defined in `program`
-/// (builtins and vector constructors are not items, so they never
-/// match).
-fn calls_helper(body: &Block, program: &brook_lang::ast::Program) -> bool {
-    fn expr(e: &Expr, program: &brook_lang::ast::Program) -> bool {
-        match &e.kind {
-            ExprKind::Call { callee, args } => {
-                program.function(callee).is_some() || args.iter().any(|a| expr(a, program))
-            }
-            ExprKind::Binary { lhs, rhs, .. } => expr(lhs, program) || expr(rhs, program),
-            ExprKind::Unary { operand, .. } => expr(operand, program),
-            ExprKind::Ternary {
-                cond,
-                then_expr,
-                else_expr,
-            } => expr(cond, program) || expr(then_expr, program) || expr(else_expr, program),
-            ExprKind::Index { base, indices } => {
-                expr(base, program) || indices.iter().any(|i| expr(i, program))
-            }
-            ExprKind::Swizzle { base, .. } => expr(base, program),
-            _ => false,
-        }
-    }
-    fn stmt(s: &Stmt, program: &brook_lang::ast::Program) -> bool {
-        match s {
-            Stmt::Decl { init, .. } => init.as_ref().is_some_and(|e| expr(e, program)),
-            Stmt::Assign { target, value, .. } => expr(target, program) || expr(value, program),
-            Stmt::If {
-                cond,
-                then_block,
-                else_block,
-                ..
-            } => {
-                expr(cond, program)
-                    || block(then_block, program)
-                    || else_block.as_ref().is_some_and(|b| block(b, program))
-            }
-            Stmt::For {
-                init,
-                cond,
-                step,
-                body,
-                ..
-            } => {
-                init.as_ref().is_some_and(|s| stmt(s, program))
-                    || cond.as_ref().is_some_and(|e| expr(e, program))
-                    || step.as_ref().is_some_and(|s| stmt(s, program))
-                    || block(body, program)
-            }
-            Stmt::While { cond, body, .. } | Stmt::DoWhile { cond, body, .. } => {
-                expr(cond, program) || block(body, program)
-            }
-            Stmt::Return { value, .. } => value.as_ref().is_some_and(|e| expr(e, program)),
-            Stmt::Expr { expr: e, .. } => expr(e, program),
-            Stmt::Block(b) => block(b, program),
-        }
-    }
-    fn block(b: &Block, program: &brook_lang::ast::Program) -> bool {
-        b.stmts.iter().any(|s| stmt(s, program))
-    }
-    block(body, program)
-}
-
-/// Constructs the fused kernel source for producer→consumer over
-/// `inter`: canonical parameter names (`in*` elementwise, `g*` gathers,
-/// `k*` scalars, `o*` outputs), the producer's body inlined first with
-/// its output let-bound to the zero-initialized local `t0` (virtual
-/// intermediates are zero-filled, so conditional producer writes keep
-/// eager semantics), then the consumer's body reading `t0`. Every
-/// `indexof` is redirected to the first output — sound because the
-/// planner already proved the chain elementwise-uniform.
-///
-/// Returns `(source, fused bindings, fused output names)`; `None` when
-/// an inlining limitation (unmapped name, `indexof` of a gather,
-/// non-float intermediate) blocks construction.
-#[allow(clippy::type_complexity)]
-fn build_fused_kernel(
-    name: &str,
-    p_kdef: &KernelDef,
-    p_args: &[(String, HandleArg)],
-    c_kdef: &KernelDef,
-    c_args: &[(String, HandleArg)],
-    inter: Stream,
-) -> Option<(String, Vec<(String, HandleArg)>, Vec<String>)> {
-    let mut b = AstBuilder::new();
-    let mut params: Vec<brook_lang::ast::Param> = Vec::new();
-    let mut out_params: Vec<brook_lang::ast::Param> = Vec::new();
-    let mut bindings: Vec<(String, HandleArg)> = Vec::new();
-    let mut out_bindings: Vec<(String, HandleArg)> = Vec::new();
-    let mut by_stream: HashMap<(u64, usize), String> = HashMap::new();
-    let (mut n_in, mut n_g, mut n_k, mut n_out) = (0usize, 0usize, 0usize, 0usize);
-    let mut out_names: Vec<String> = Vec::new();
-
-    // The first fused output's name; every indexof redirects to it.
-    let indexof_target = "o0".to_owned();
-    let local = "t0";
-
-    let mut map_stage = |b: &mut AstBuilder,
-                         kdef: &KernelDef,
-                         args: &[(String, HandleArg)],
-                         is_consumer: bool|
-     -> Option<RenameMap> {
-        let mut map = RenameMap::default();
-        for p in &kdef.params {
-            let (_, h) = args.iter().find(|(n, _)| *n == p.name)?;
-            let new = match (p.kind, h) {
-                (ParamKind::Stream, HandleArg::Elem(s)) if *s == inter => {
-                    // The chain edge: reads become the let-bound local.
-                    local.to_owned()
-                }
-                (ParamKind::Stream, HandleArg::Elem(s)) => by_stream
-                    .entry((s.context_id, s.index))
-                    .or_insert_with(|| {
-                        let n = format!("in{n_in}");
-                        n_in += 1;
-                        params.push(b.param(&n, p.ty, ParamKind::Stream));
-                        bindings.push((n.clone(), HandleArg::Elem(*s)));
-                        n
-                    })
-                    .clone(),
-                (ParamKind::Gather { rank }, HandleArg::Gather(s)) => by_stream
-                    .entry((s.context_id, s.index))
-                    .or_insert_with(|| {
-                        let n = format!("g{n_g}");
-                        n_g += 1;
-                        params.push(b.param(&n, p.ty, ParamKind::Gather { rank }));
-                        bindings.push((n.clone(), HandleArg::Gather(*s)));
-                        n
-                    })
-                    .clone(),
-                (ParamKind::Scalar, HandleArg::Scalar(v)) => {
-                    let n = format!("k{n_k}");
-                    n_k += 1;
-                    params.push(b.param(&n, p.ty, ParamKind::Scalar));
-                    bindings.push((n.clone(), HandleArg::Scalar(*v)));
-                    n
-                }
-                (ParamKind::OutStream, HandleArg::Out(s)) => {
-                    if is_consumer {
-                        let n = format!("o{n_out}");
-                        n_out += 1;
-                        out_params.push(b.param(&n, p.ty, ParamKind::OutStream));
-                        out_bindings.push((n.clone(), HandleArg::Out(*s)));
-                        out_names.push(n.clone());
-                        n
-                    } else {
-                        // The producer's single output becomes the local.
-                        local.to_owned()
-                    }
-                }
-                _ => return None,
-            };
-            // indexof of a stream-domain parameter redirects to the
-            // fused output; gathers get no entry, so indexof of a
-            // gather fails the clone and vetoes the fusion.
-            if matches!(p.kind, ParamKind::Stream | ParamKind::OutStream) {
-                map.indexof.insert(p.name.clone(), indexof_target.clone());
-            }
-            map.vars.insert(p.name.clone(), new);
-        }
-        let prefix = if is_consumer { "c" } else { "p" };
-        for l in declared_locals(&kdef.body) {
-            map.vars.insert(l.clone(), format!("{prefix}_{l}"));
-        }
-        Some(map)
-    };
-
-    let p_map = map_stage(&mut b, p_kdef, p_args, false)?;
-    let c_map = map_stage(&mut b, c_kdef, c_args, true)?;
-
-    // `t0` mirrors the virtual intermediate: zero-filled before the
-    // producer runs.
-    let p_out = p_kdef.params.iter().find(|p| p.kind == ParamKind::OutStream)?;
-    if p_out.ty.scalar != ScalarKind::Float {
-        return None;
-    }
-    let init = if p_out.ty.width == 1 {
-        b.float_lit(0.0)
-    } else {
-        let zeros: Vec<Expr> = (0..p_out.ty.width).map(|_| b.float_lit(0.0)).collect();
-        b.call(format!("float{}", p_out.ty.width), zeros)
-    };
-    let mut body = vec![b.decl(local, Type::float(p_out.ty.width), Some(init))];
-    for s in &p_kdef.body.stmts {
-        body.push(b.clone_stmt_renamed(s, &p_map).ok()?);
-    }
-    for s in &c_kdef.body.stmts {
-        body.push(b.clone_stmt_renamed(s, &c_map).ok()?);
-    }
-
-    params.extend(out_params);
-    bindings.extend(out_bindings);
-    let kernel = b.kernel(name, params, body);
-    let program = b.program(vec![kernel]);
-    Some((print_program(&program), bindings, out_names))
 }

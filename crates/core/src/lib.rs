@@ -12,7 +12,12 @@
 //! * `brook-lang` front-end (lexer/parser/type checker),
 //! * `brook-cert` certification rule engine — every [`compile`] runs the
 //!   full ISO 26262 rule catalogue and refuses non-compliant kernels,
-//! * `brook-codegen` GLSL ES 1.00 generation with hidden size uniforms,
+//! * `brook-ir` — BrookIR, the typed flat register-based mid-level IR
+//!   every backend executes: [`compile`] lowers the checked program,
+//!   re-gates it at the IR level and runs the cert-gated optimization
+//!   pipeline (rollback on any violation, provenance recorded in the
+//!   module's `ComplianceReport`),
+//! * `brook-codegen` GLSL ES 1.00 generation from the optimized IR,
 //! * the pluggable [`backend`] layer: a [`BackendExecutor`] trait with
 //!   three in-tree implementations — the serial CPU interpreter (the
 //!   reference semantics), a data-parallel CPU backend, and the
@@ -79,7 +84,8 @@ pub use graph::{BrookGraph, FusedKernel, GraphReport, ReduceHandle};
 pub use stream::{Stream, StreamDesc, StreamLayout};
 
 // Re-exports so applications only need this crate.
-pub use brook_cert::{CertConfig, ComplianceReport};
+pub use brook_cert::{CertConfig, ComplianceReport, PassAction, PassRecord};
 pub use brook_codegen::StorageMode;
+pub use brook_ir;
 pub use brook_lang::ReduceOp;
 pub use gles2_sim::{DeviceProfile, DrawMode};

@@ -17,8 +17,21 @@ void main() {
     float _lin = _pc.y * _ba_vp.x + _pc.x;
     float b_in0 = _fetch_in0();
     float _out_o0 = 0.0;
-    float b_t0 = 0.0;
-    b_t0 = (b_in0 * 2.0);
-    _out_o0 = (b_t0 + 1.0);
+    float _r0 = 0.0;
+    float _r1 = 0.0;
+    float _r2 = 0.0;
+    float _r3 = 0.0;
+    float _r4 = 0.0;
+    float _r5 = 0.0;
+    float _r6 = 0.0;
+    _r0 = 0.0;
+    _r1 = b_in0;
+    _r2 = 2.0;
+    _r3 = (_r1 * _r2);
+    _r0 = _r3;
+    _r4 = _r0;
+    _r5 = 1.0;
+    _r6 = (_r4 + _r5);
+    _out_o0 = _r6;
     gl_FragColor = vec4(_out_o0, 0.0, 0.0, 0.0);
 }

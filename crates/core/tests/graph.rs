@@ -329,6 +329,49 @@ fn producer_read_consumer_written_stream_blocks_fusion() {
     }
 }
 
+/// Fused kernels exist only in IR form — the AST-walking oracle
+/// backend must execute them through the IR interpreter rather than
+/// failing the lookup in the checked program. (Regression: the graph
+/// path on `cpu_ast_oracle` used to error with "unknown kernel".)
+#[test]
+fn fused_chain_executes_on_the_ast_oracle_backend() {
+    let (eager, fused, report) = run_chain2(BrookContext::cpu_ast_oracle);
+    assert_eq!(report.executed_passes, 1, "chain must fuse on the oracle too");
+    assert_eq!(eager, fused, "oracle fusion changed results");
+}
+
+/// A producer with a kernel-level `return;` must not fuse: its Ret
+/// would terminate the fused element before the consumer's body runs.
+/// (Regression: the IR fuser used to concatenate it and silently drop
+/// the consumer's work on early-returning elements.)
+#[test]
+fn early_returning_producer_is_not_fused() {
+    let src = "kernel void gate(float a<>, out float o<>) { o = 1.0; if (a > 0.0) { return; } o = 2.0; }
+    kernel void inc(float a<>, out float o<>) { o = a + 10.0; }";
+    for spec in registered_backends() {
+        let data = vec![1.0f32, -1.0, 0.5, -0.5];
+        let mut ctx = (spec.make)();
+        let module = ctx.compile(src).expect("compile");
+        let a = ctx.stream(&[4]).expect("a");
+        let out = ctx.stream(&[4]).expect("out");
+        ctx.write(&a, &data).expect("write");
+        let mut g = ctx.graph();
+        let tmp = g.stream(&[4]).expect("virtual");
+        g.run(&module, "gate", &[Arg::Stream(&a), Arg::Stream(&tmp)])
+            .expect("record");
+        g.run(&module, "inc", &[Arg::Stream(&tmp), Arg::Stream(&out)])
+            .expect("record");
+        let report = g.execute().expect("execute");
+        assert_eq!(report.executed_passes, 2, "{}: must stay unfused", spec.name);
+        assert_eq!(
+            ctx.read(&out).expect("read"),
+            vec![11.0, 12.0, 11.0, 12.0],
+            "{}: fused-away consumer work",
+            spec.name
+        );
+    }
+}
+
 /// A `ReduceHandle` is stamped with its graph: redeeming it against
 /// another graph's report is a caller bug and panics instead of
 /// silently returning the wrong scalar.
@@ -506,14 +549,23 @@ fn virtual_streams_cannot_escape_their_recording() {
     assert!(matches!(err, BrookError::Usage(_)));
 }
 
-/// The fused source is deterministic — the contract the golden GLSL
-/// snapshot (and any triage of a fused kernel) rests on.
+/// The fused IR text is deterministic — the contract the golden GLSL
+/// snapshot (and any triage of a fused kernel) rests on. Since the
+/// planner inlines at the BrookIR level, the pinned "source" is the
+/// canonical IR rendering: the producer's body writing the chain
+/// register `r0`, then the consumer's body reading it.
 #[test]
 fn fused_source_is_deterministic() {
-    let expected = "kernel void fused_dbl_inc(float in0<>, out float o0<>) {
-    float t0 = 0.0;
-    t0 = (in0 * 2.0);
-    o0 = (t0 + 1.0);
+    let expected = "kernel fused_dbl_inc(float in0<>, out float o0<>) {
+    r0: float = const 0.0
+    r1: float = elem in0
+    r2: float = const 2.0
+    r3: float = r1 * r2
+    r0 = r3
+    r4: float = r0
+    r5: float = const 1.0
+    r6: float = r4 + r5
+    out o0 = r6
 }
 ";
     let (_, _, report) = run_chain2(BrookContext::cpu);
@@ -523,20 +575,26 @@ fn fused_source_is_deterministic() {
 }
 
 /// Golden snapshot of the GLSL generated for a fused kernel — the fused
-/// AST flows through codegen like any user kernel, so the shader is
-/// pinned the same way `crates/codegen/tests/golden.rs` pins eager ones.
+/// BrookIR flows through the IR shader generator like any user kernel,
+/// so the shader is pinned the same way `crates/codegen/tests/golden.rs`
+/// pins eager ones.
 /// Re-bless with `BROOK_BLESS=1 cargo test -p brook-auto --test graph`.
 #[test]
 fn fused_kernel_glsl_matches_golden_fixture() {
-    use brook_codegen::{generate_kernel_shader, KernelShapes, StorageMode, StreamRank};
+    use brook_codegen::{generate_ir_kernel_shader, KernelShapes, StorageMode, StreamRank};
 
     let (_, _, report) = run_chain2(BrookContext::cpu);
-    let checked = brook_lang::parse_and_check(&report.fused[0].source).expect("fused source re-checks");
     let shapes = KernelShapes::default()
         .with("in0", StreamRank::Linear)
         .with("o0", StreamRank::Linear);
-    let generated = generate_kernel_shader(&checked, "fused_dbl_inc", "o0", &shapes, StorageMode::Native)
-        .expect("codegen");
+    let generated = generate_ir_kernel_shader(
+        &report.fused[0].ir,
+        "fused_dbl_inc",
+        "o0",
+        &shapes,
+        StorageMode::Native,
+    )
+    .expect("codegen");
     glsl_es::compile(&generated.glsl).expect("fused GLSL must compile");
 
     let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))

@@ -1,0 +1,135 @@
+//! Hand-built malformed BrookIR must be rejected by the IR verifier on
+//! *every* backend path — launch-time verification sits between the
+//! context and `BackendExecutor::dispatch`, so no substrate can ever
+//! receive (and miscompute on) broken IR, whether it came from a buggy
+//! pass, a corrupted module or a hostile caller.
+
+use brook_auto::{registered_backends, Arg, BrookContext, BrookError};
+use brook_ir::{BinOp, Inst, IrProgram, LoopNode, Node};
+use brook_lang::parse_and_check;
+
+const SRC: &str = "kernel void f(float a<>, out float o<>) { o = a + 1.0; }";
+
+const LOOP_SRC: &str = "kernel void f(float a<>, out float o<>) {
+    float s = 0.0;
+    int i;
+    for (i = 0; i < 4; i++) { s += a; }
+    o = s;
+}";
+
+fn lowered(src: &str) -> IrProgram {
+    let checked = parse_and_check(src).expect("front-end");
+    let (p, errs) = brook_ir::lower::lower_program(&checked);
+    assert!(errs.is_empty(), "{errs:?}");
+    p
+}
+
+/// Runs `f` on a module carrying `ir` on every registered backend and
+/// asserts the launch is rejected with an IR-verification usage error.
+fn assert_rejected_everywhere(src: &str, ir: IrProgram, what: &str) {
+    for spec in registered_backends() {
+        let mut ctx: BrookContext = (spec.make)();
+        let module = ctx.module_with_raw_ir(src, ir.clone()).expect("module");
+        let a = ctx.stream(&[4]).expect("a");
+        let o = ctx.stream(&[4]).expect("o");
+        ctx.write(&a, &[1.0; 4]).expect("write");
+        let err = ctx
+            .run(&module, "f", &[Arg::Stream(&a), Arg::Stream(&o)])
+            .expect_err(&format!("{}: {what} must be rejected", spec.name));
+        match err {
+            BrookError::Usage(m) => assert!(
+                m.contains("IR verification failed"),
+                "{}: {what}: unexpected message {m}",
+                spec.name
+            ),
+            other => panic!("{}: {what}: unexpected error {other}", spec.name),
+        }
+        // The context stays usable after the rejected launch.
+        assert_eq!(ctx.read(&a).expect("read"), vec![1.0; 4], "{}", spec.name);
+    }
+}
+
+#[test]
+fn type_mismatch_rejected_on_every_backend() {
+    let mut ir = lowered(SRC);
+    // Turn the float add into a logical AND over float registers.
+    for inst in &mut ir.kernels[0].insts {
+        if let Inst::Bin { op, .. } = inst {
+            *op = BinOp::And;
+        }
+    }
+    assert_rejected_everywhere(SRC, ir, "logical op on float registers");
+}
+
+#[test]
+fn read_own_output_rejected_on_every_backend() {
+    let mut ir = lowered(SRC);
+    // Retarget the elementwise read at the `out` parameter — the
+    // read-own-output shape the launch layer forbids for streams.
+    for inst in &mut ir.kernels[0].insts {
+        if let Inst::ReadElem { param, .. } = inst {
+            *param = 1; // `o`
+        }
+    }
+    assert_rejected_everywhere(SRC, ir, "ReadElem of an output parameter");
+}
+
+#[test]
+fn unbounded_loop_region_rejected_on_every_backend() {
+    let mut ir = lowered(LOOP_SRC);
+    // Point the loop's exit branch back into the region: structurally,
+    // the loop can never terminate.
+    fn find_loop(nodes: &mut [Node]) -> Option<&mut LoopNode> {
+        for n in nodes {
+            if let Node::Loop(l) = n {
+                return Some(l);
+            }
+        }
+        None
+    }
+    let exit_at = find_loop(&mut ir.kernels[0].body).expect("loop node").exit_at;
+    if let Inst::BranchIfFalse { target, .. } = &mut ir.kernels[0].insts[exit_at as usize] {
+        *target = exit_at;
+    } else {
+        panic!("exit_at does not point at a branch");
+    }
+    assert_rejected_everywhere(LOOP_SRC, ir, "loop region without an exit");
+}
+
+#[test]
+fn out_of_range_register_rejected_on_every_backend() {
+    let mut ir = lowered(SRC);
+    if let Some(Inst::Bin { lhs, .. }) = ir.kernels[0]
+        .insts
+        .iter_mut()
+        .find(|i| matches!(i, Inst::Bin { .. }))
+    {
+        *lhs = 10_000;
+    }
+    assert_rejected_everywhere(SRC, ir, "register out of range");
+}
+
+/// The same malformed IR is rejected on the graph (deferred) path too —
+/// record succeeds, execution verifies at launch.
+#[test]
+fn malformed_ir_rejected_on_graph_path() {
+    let mut ir = lowered(SRC);
+    for inst in &mut ir.kernels[0].insts {
+        if let Inst::Bin { op, .. } = inst {
+            *op = BinOp::And;
+        }
+    }
+    let mut ctx = BrookContext::cpu();
+    let module = ctx.module_with_raw_ir(SRC, ir).expect("module");
+    let a = ctx.stream(&[4]).expect("a");
+    let o = ctx.stream(&[4]).expect("o");
+    ctx.write(&a, &[1.0; 4]).expect("write");
+    let mut g = ctx.graph();
+    g.run(&module, "f", &[Arg::Stream(&a), Arg::Stream(&o)])
+        .expect("recording succeeds");
+    let err = g.execute().expect_err("execution must verify the IR");
+    assert!(
+        err.to_string().contains("IR verification failed"),
+        "unexpected error: {err}"
+    );
+}

@@ -45,6 +45,7 @@ pub mod chain;
 pub mod differential;
 pub mod gen;
 pub mod mutation;
+pub mod optdiff;
 pub mod repro;
 pub mod shrink;
 
@@ -52,6 +53,7 @@ pub use chain::{gen_chain, run_chain_campaign, run_chain_case, ChainCase, ChainC
 pub use differential::{compare, run_case, BackendOutput, CaseFailure, Divergence, Matrix};
 pub use gen::{gen_case, gen_noncompliant, FuzzCase, GenConfig};
 pub use mutation::SaboteurBackend;
+pub use optdiff::{opt_matrix, run_optdiff_campaign, OptDiffStats};
 pub use repro::{repro_root, write_repro};
 pub use shrink::shrink;
 

@@ -75,8 +75,15 @@ impl BackendExecutor for SaboteurBackend {
         Ok(())
     }
 
-    fn reduce(&mut self, checked: &CheckedProgram, kernel: &str, op: ReduceOp, input: usize) -> Result<f32> {
-        self.inner.reduce(checked, kernel, op, input)
+    fn reduce(
+        &mut self,
+        checked: &CheckedProgram,
+        ir: &brook_ir::IrProgram,
+        kernel: &str,
+        op: ReduceOp,
+        input: usize,
+    ) -> Result<f32> {
+        self.inner.reduce(checked, ir, kernel, op, input)
     }
 }
 

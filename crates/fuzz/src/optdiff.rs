@@ -1,0 +1,124 @@
+//! Optimized-vs-unoptimized differential mode.
+//!
+//! The BrookIR pass pipeline (constant folding, algebraic
+//! simplification, CSE, DCE) promises **bit-exactness**: an optimized
+//! program must produce the same f32 bit patterns as the unoptimized
+//! one on the CPU backends, and stay within storage tolerance on the
+//! device. This module widens the differential matrix to assert that
+//! promise on every generated kernel, against the strongest available
+//! oracle — the legacy AST tree walker, which never touches the IR at
+//! all:
+//!
+//! | spec          | engine                       | policy    |
+//! |---------------|------------------------------|-----------|
+//! | `cpu-ast`     | AST tree walker (oracle)     | reference |
+//! | `cpu-noopt`   | flat IR, passes disabled     | bitwise   |
+//! | `cpu`         | flat IR, full pipeline       | bitwise   |
+//! | `cpu-parallel`| flat IR, full pipeline       | bitwise   |
+//! | `gles2-*`     | GLSL generated from the IR   | tolerance |
+//!
+//! One diverging case therefore localizes the bug: `cpu-noopt` vs
+//! `cpu-ast` is a lowering/interpreter fault, `cpu` vs `cpu-noopt` is a
+//! pass-pipeline fault, `gles2-*` vs `cpu` is a shader-generation
+//! fault.
+
+use crate::differential::{run_case, BackendOutput, CaseFailure, Matrix};
+use crate::gen::{gen_case, GenConfig};
+use brook_auto::{registered_backends, BackendSpec, BrookContext};
+
+fn cpu_noopt() -> BrookContext {
+    let mut ctx = BrookContext::cpu();
+    ctx.ir_optimize = false;
+    ctx
+}
+
+/// The widened matrix: AST oracle first, then the unoptimized IR
+/// interpreter, then every registered (optimized) backend.
+pub fn opt_matrix() -> Matrix {
+    let mut specs = vec![
+        BackendSpec {
+            name: "cpu-ast",
+            make: BrookContext::cpu_ast_oracle,
+        },
+        BackendSpec {
+            name: "cpu-noopt",
+            make: cpu_noopt,
+        },
+    ];
+    specs.extend(registered_backends());
+    Matrix {
+        specs,
+        tolerance: 1e-3,
+    }
+}
+
+/// Statistics of one optimized-vs-unoptimized campaign.
+#[derive(Debug, Clone, Default)]
+pub struct OptDiffStats {
+    /// Cases that ran and agreed across the whole matrix.
+    pub cases: u32,
+    /// Total output elements cross-checked.
+    pub elements_checked: u64,
+}
+
+/// Runs `cases` seeded kernels through the widened matrix.
+///
+/// # Errors
+/// The first case failure, annotated with the case name (the seed and
+/// index regenerate it anywhere).
+pub fn run_optdiff_campaign(seed: u64, cases: u32, cfg: &GenConfig) -> Result<OptDiffStats, String> {
+    let matrix = opt_matrix();
+    let mut stats = OptDiffStats::default();
+    for index in 0..cases {
+        let case = gen_case(seed, index, cfg);
+        let runs: Vec<BackendOutput> = run_case(&case, &matrix).map_err(|f| {
+            let detail = match &f {
+                CaseFailure::Setup { backend, message } => format!("{backend}: {message}"),
+                CaseFailure::Divergence(d) => d.to_string(),
+            };
+            format!(
+                "case {} (seed {seed:#x}, index {index}): {detail}\n{}",
+                case.name, case.source
+            )
+        })?;
+        stats.cases += 1;
+        stats.elements_checked += runs
+            .first()
+            .map(|r| r.outputs.iter().map(|o| o.len() as u64).sum::<u64>())
+            .unwrap_or(0);
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_leads_with_the_ast_oracle() {
+        let m = opt_matrix();
+        let names: Vec<_> = m.specs.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "cpu-ast",
+                "cpu-noopt",
+                "cpu",
+                "cpu-parallel",
+                "gles2-native",
+                "gles2-packed"
+            ]
+        );
+        // Both extra specs report the names the bitwise policy keys on.
+        assert_eq!((m.specs[0].make)().backend_name(), "cpu-ast");
+        assert_eq!((m.specs[1].make)().backend_name(), "cpu");
+    }
+
+    #[test]
+    fn small_campaign_is_bit_exact() {
+        let stats =
+            run_optdiff_campaign(0x0917_0D1F, 8, &GenConfig::default()).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(stats.cases, 8);
+        assert!(stats.elements_checked > 0);
+    }
+}

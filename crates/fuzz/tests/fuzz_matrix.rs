@@ -30,6 +30,25 @@ fn campaign_256_cases_across_all_backends() {
     );
 }
 
+/// 96 generated kernels through the *widened* matrix of
+/// `brook_fuzz::optdiff`: the AST tree-walking oracle (which never
+/// touches BrookIR), the unoptimized flat-IR interpreter, and every
+/// registered backend running the fully optimized pipeline — bitwise on
+/// all CPU specs, storage tolerance on the device. This is the
+/// acceptance bar for the cert-gated pass pipeline: optimization must
+/// be invisible in results, element for element, bit for bit.
+#[test]
+fn optdiff_campaign_96_cases_bitwise_vs_ast_oracle() {
+    let stats = brook_fuzz::run_optdiff_campaign(CI_SEED, 96, &brook_fuzz::GenConfig::default())
+        .unwrap_or_else(|e| panic!("optdiff campaign failed:\n{e}"));
+    assert_eq!(stats.cases, 96);
+    assert!(
+        stats.elements_checked > 1_000,
+        "campaign too small to mean anything: {} elements",
+        stats.elements_checked
+    );
+}
+
 /// 128 random 2–5 kernel pipelines, each run eagerly and through the
 /// deferred fusing graph executor on every registered backend: zero
 /// divergence against the eager CPU oracle (bit-exact on CPU backends),

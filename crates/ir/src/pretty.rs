@@ -1,0 +1,246 @@
+//! Deterministic textual rendering of BrookIR — the `emit_ir()` debug
+//! surface, the golden-snapshot format, and the pinned "source" of
+//! fused kernels in the stream-graph planner.
+//!
+//! The format is stable by design (goldens diff against it): one
+//! instruction per line as `r<N>: <ty> = <op> ...`, structured regions
+//! indented, `Nop`s elided.
+
+use crate::{Inst, IrKernel, IrProgram, LoopKind, Node, Reg};
+use brook_lang::ast::{AssignOp, ParamKind};
+use brook_lang::builtins::BUILTINS;
+use glsl_es::Value;
+use std::fmt::Write;
+
+/// Renders a whole program.
+pub fn print_program(p: &IrProgram) -> String {
+    let mut out = String::new();
+    for (i, k) in p.kernels.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&print_kernel(k));
+    }
+    out
+}
+
+/// Renders one kernel.
+pub fn print_kernel(k: &IrKernel) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = k.params.iter().map(print_param).collect();
+    let _ = writeln!(
+        out,
+        "{} {}({}) {{",
+        if k.is_reduce { "reduce kernel" } else { "kernel" },
+        k.name,
+        params.join(", ")
+    );
+    if let Some(acc) = k.acc_reg {
+        let _ = writeln!(out, "    ; accumulator r{acc}");
+    }
+    print_nodes(&mut out, k, &k.body, 1);
+    out.push_str("}\n");
+    out
+}
+
+fn print_param(p: &crate::IrParam) -> String {
+    match p.kind {
+        ParamKind::Stream => format!("{} {}<>", p.ty, p.name),
+        ParamKind::OutStream => format!("out {} {}<>", p.ty, p.name),
+        ParamKind::ReduceOut => format!("reduce {} {}<>", p.ty, p.name),
+        ParamKind::Gather { rank } => {
+            format!("{} {}{}", p.ty, p.name, "[]".repeat(rank as usize))
+        }
+        ParamKind::Scalar => format!("{} {}", p.ty, p.name),
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_nodes(out: &mut String, k: &IrKernel, nodes: &[Node], level: usize) {
+    for n in nodes {
+        match n {
+            Node::Seq { start, end } => {
+                for i in *start..*end {
+                    let inst = &k.insts[i as usize];
+                    if matches!(inst, Inst::Nop) {
+                        continue;
+                    }
+                    indent(out, level);
+                    let _ = writeln!(out, "{}", print_inst(k, inst));
+                }
+            }
+            Node::If { cond, then, els, .. } => {
+                indent(out, level);
+                let _ = writeln!(out, "if r{cond} {{");
+                print_nodes(out, k, then, level + 1);
+                if !els.is_empty() {
+                    indent(out, level);
+                    let _ = writeln!(out, "}} else {{");
+                    print_nodes(out, k, els, level + 1);
+                }
+                indent(out, level);
+                let _ = writeln!(out, "}}");
+            }
+            Node::Loop(l) => {
+                indent(out, level);
+                let kind = match l.kind {
+                    LoopKind::For => "for",
+                    LoopKind::While => "while",
+                    LoopKind::DoWhile => "do-while",
+                };
+                let bound = match l.bound.trips() {
+                    Some(t) => format!("bound={t}"),
+                    None => "unbounded".to_owned(),
+                };
+                let _ = writeln!(out, "loop {kind} [{bound}] {{");
+                if l.kind == LoopKind::DoWhile {
+                    indent(out, level + 1);
+                    let _ = writeln!(out, "body:");
+                    print_nodes(out, k, &l.body, level + 1);
+                    indent(out, level + 1);
+                    let _ = writeln!(out, "cond:");
+                    print_nodes(out, k, &l.header, level + 1);
+                } else {
+                    indent(out, level + 1);
+                    let _ = writeln!(out, "cond:");
+                    print_nodes(out, k, &l.header, level + 1);
+                    indent(out, level + 1);
+                    let _ = writeln!(out, "body:");
+                    print_nodes(out, k, &l.body, level + 1);
+                }
+                indent(out, level + 1);
+                let _ = writeln!(out, "exit unless r{}", l.cond);
+                indent(out, level);
+                let _ = writeln!(out, "}}");
+            }
+        }
+    }
+}
+
+fn print_value(v: &Value) -> String {
+    let f = |x: f32| {
+        if x == x.trunc() && x.is_finite() && x.abs() < 1e16 {
+            format!("{x:.1}")
+        } else {
+            format!("{x:e}")
+        }
+    };
+    match v {
+        Value::Float(x) => f(*x),
+        Value::Vec2(l) => format!("float2({}, {})", f(l[0]), f(l[1])),
+        Value::Vec3(l) => format!("float3({}, {}, {})", f(l[0]), f(l[1]), f(l[2])),
+        Value::Vec4(l) => format!("float4({}, {}, {}, {})", f(l[0]), f(l[1]), f(l[2]), f(l[3])),
+        Value::Int(i) => format!("{i}"),
+        Value::Bool(b) => format!("{b}"),
+    }
+}
+
+fn dst(k: &IrKernel, r: Reg) -> String {
+    format!("r{r}: {}", k.regs[r as usize])
+}
+
+fn op_str(op: AssignOp) -> &'static str {
+    match op {
+        AssignOp::Assign => "=",
+        AssignOp::AddAssign => "+=",
+        AssignOp::SubAssign => "-=",
+        AssignOp::MulAssign => "*=",
+        AssignOp::DivAssign => "/=",
+    }
+}
+
+fn regs_list(rs: &[Reg]) -> String {
+    rs.iter().map(|r| format!("r{r}")).collect::<Vec<_>>().join(", ")
+}
+
+fn print_inst(k: &IrKernel, inst: &Inst) -> String {
+    match inst {
+        Inst::Nop => "nop".into(),
+        Inst::Const { dst: d, v } => format!("{} = const {}", dst(k, *d), print_value(v)),
+        Inst::Mov { dst: d, src } => format!("{} = r{src}", dst(k, *d)),
+        Inst::DeclInit { dst: d, src, ty } => format!("{} = init[{ty}] r{src}", dst(k, *d)),
+        Inst::AssignLocal { dst: d, op, src } => format!("r{d} {} r{src}", op_str(*op)),
+        Inst::Bin { dst: d, op, lhs, rhs } => format!("{} = r{lhs} {} r{rhs}", dst(k, *d), op.as_str()),
+        Inst::Un { dst: d, op, src } => {
+            let o = match op {
+                brook_lang::ast::UnOp::Neg => "-",
+                brook_lang::ast::UnOp::Not => "!",
+            };
+            format!("{} = {o}r{src}", dst(k, *d))
+        }
+        Inst::CastInt { dst: d, src } => format!("{} = int(r{src})", dst(k, *d)),
+        Inst::Construct { dst: d, width, args } => {
+            format!("{} = float{width}({})", dst(k, *d), regs_list(args))
+        }
+        Inst::Swizzle { dst: d, src, sel } => format!("{} = r{src}.{sel}", dst(k, *d)),
+        Inst::SwizzleStore { dst: d, op, src, sel } => {
+            format!("r{d}.{sel} {} r{src}", op_str(*op))
+        }
+        Inst::Builtin { dst: d, which, args } => format!(
+            "{} = {}({})",
+            dst(k, *d),
+            BUILTINS[*which as usize].name,
+            regs_list(args)
+        ),
+        Inst::Select { dst: d, cond, a, b } => {
+            format!("{} = select r{cond}, r{a}, r{b}", dst(k, *d))
+        }
+        Inst::ReadElem { dst: d, param } => {
+            format!("{} = elem {}", dst(k, *d), k.params[*param as usize].name)
+        }
+        Inst::ReadScalar { dst: d, param } => {
+            format!("{} = scalar {}", dst(k, *d), k.params[*param as usize].name)
+        }
+        Inst::ReadOut { dst: d, out } => {
+            format!("{} = out {}", dst(k, *d), k.out_param(*out).name)
+        }
+        Inst::WriteOut { out, op, src } => {
+            format!("out {} {} r{src}", k.out_param(*out).name, op_str(*op))
+        }
+        Inst::Gather { dst: d, param, idx } => format!(
+            "{} = gather {}[{}]",
+            dst(k, *d),
+            k.params[*param as usize].name,
+            regs_list(idx)
+        ),
+        Inst::Indexof { dst: d, param } => {
+            format!("{} = indexof {}", dst(k, *d), k.params[*param as usize].name)
+        }
+        Inst::Jump { target } => format!("jump @{target}"),
+        Inst::BranchIfFalse { cond, target } => format!("branch-if-false r{cond} @{target}"),
+        Inst::Ret => "ret".into(),
+        Inst::Fail { msg, .. } => format!("fail {msg:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_kernel;
+    use brook_lang::parse_and_check;
+
+    #[test]
+    fn print_is_deterministic_and_structured() {
+        let src = "kernel void f(float a<>, out float o<>) {
+            float s = 0.0;
+            int i;
+            for (i = 0; i < 4; i++) { if (a > 0.0) { s += a; } }
+            o = s;
+        }";
+        let checked = parse_and_check(src).expect("front-end");
+        let kdef = checked.program.kernels().next().expect("kernel");
+        let k = lower_kernel(&checked, kdef).expect("lower");
+        let a = print_kernel(&k);
+        let b = print_kernel(&k);
+        assert_eq!(a, b);
+        assert!(a.contains("loop for [bound=4]"), "{a}");
+        assert!(a.contains("if r"), "{a}");
+        assert!(a.contains("out o ="), "{a}");
+        assert!(a.starts_with("kernel f(float a<>, out float o<>)"), "{a}");
+    }
+}

@@ -38,6 +38,7 @@ pub mod build;
 pub mod builtins;
 pub mod diag;
 pub mod lexer;
+pub mod loopbound;
 pub mod parser;
 pub mod pretty;
 pub mod span;
