@@ -1,0 +1,22 @@
+//! Criterion wall-clock comparison: scalar BrookIR interpreter vs the
+//! lane-vectorized engine, per app (mandelbrot, sgemm, flops,
+//! image_filter).
+//!
+//! The pass/fail gate lives in the `lanes_report` binary (CI
+//! perf-smoke); this harness gives the per-iteration numbers a human
+//! reads when chasing a lane-engine regression.
+
+use brook_bench::lanes::compare_lanes;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_lanes(c: &mut Criterion) {
+    // The comparison helper runs both engines (cross-checked bitwise)
+    // and times them; wrap each full comparison so criterion's median
+    // reflects the end-to-end measurement path.
+    c.bench_function("lanes/scalar_vs_lane_all_apps", |b| {
+        b.iter(|| compare_lanes().expect("comparison"));
+    });
+}
+
+criterion_group!(benches, bench_lanes);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! CI perf-smoke gate: scalar BrookIR interpreter vs lane engine.
+//!
+//! Prints the per-app comparison table, writes the `BENCH_lanes.json`
+//! trajectory file, and exits nonzero if the lane engine is not
+//! strictly faster than the scalar IR interpreter on every vectorizable
+//! benched app — the lane-execution performance claim, enforced in CI.
+
+use brook_bench::lanes::{compare_lanes, lanes_json, render_lanes_table};
+
+fn main() {
+    let rows = compare_lanes().unwrap_or_else(|e| {
+        eprintln!("lane comparison failed: {e}");
+        std::process::exit(2);
+    });
+    print!("{}", render_lanes_table(&rows));
+    let json = lanes_json(&rows);
+    let path = std::path::Path::new("BENCH_lanes.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(2);
+    }
+    println!("\ntrajectory written to {}", path.display());
+    let mut ok = true;
+    for r in &rows {
+        if r.lane_ns >= r.scalar_ns {
+            eprintln!(
+                "PERF REGRESSION: {}: lane engine ({} ns) is not faster than the scalar IR \
+                 interpreter ({} ns)",
+                r.app, r.lane_ns, r.scalar_ns
+            );
+            ok = false;
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("Lane engine strictly faster on all {} apps.", rows.len());
+}

@@ -1,0 +1,292 @@
+//! Scalar flat-IR interpreter vs lane-vectorized engine — the perf
+//! headline of the lane-execution work, measured, not asserted.
+//!
+//! Four paper apps with very different hot-loop shapes run identical
+//! workloads on two CPU contexts: the scalar BrookIR interpreter (a
+//! `cpu` context with `lane_execution = false`, one element per
+//! instruction-dispatch) and the lane engine (the default `cpu`
+//! backend: blocks of `brook_ir::lanes::LANES` elements per dispatch,
+//! structure-of-arrays register slabs, mask-predicated control flow).
+//! Results are cross-checked bit-exactly while timing, so the
+//! comparison can never quietly measure two different computations,
+//! and every workload's kernel is asserted to be planner-admitted — a
+//! planner regression that silently sent an app back to the scalar
+//! path would fail the bench, not flatter it.
+//!
+//! `lanes_report` renders the table, writes the `BENCH_lanes.json`
+//! trajectory file and **fails** if the lane engine is not strictly
+//! faster on every vectorizable app — the CI perf-smoke gate against
+//! lane-engine regressions.
+
+use brook_apps::{flops::Flops, image_filter, mandelbrot, sgemm};
+use brook_auto::{Arg, BrookContext, BrookError};
+use std::time::Instant;
+
+/// One app's timing comparison.
+#[derive(Debug, Clone)]
+pub struct LaneComparison {
+    /// App name.
+    pub app: &'static str,
+    /// Output elements per dispatch.
+    pub elements: usize,
+    /// Best-of-N wall time per dispatch, scalar IR interpreter, ns.
+    pub scalar_ns: u128,
+    /// Best-of-N wall time per dispatch, lane engine, ns.
+    pub lane_ns: u128,
+}
+
+impl LaneComparison {
+    /// Scalar time over lane time (>1 means the lane engine is faster).
+    pub fn speedup(&self) -> f64 {
+        self.scalar_ns as f64 / self.lane_ns as f64
+    }
+}
+
+/// One positional kernel argument of a timed workload.
+enum ArgSpec {
+    /// Gather table (shape, data).
+    Gather(Vec<usize>, Vec<f32>),
+    /// Elementwise input (shape, data).
+    Input(Vec<usize>, Vec<f32>),
+    /// Scalar float.
+    F(f32),
+    /// `float4` constant.
+    F4([f32; 4]),
+}
+
+struct Workload {
+    app: &'static str,
+    source: String,
+    kernel: &'static str,
+    args: Vec<ArgSpec>,
+    out_shape: Vec<usize>,
+}
+
+fn workloads() -> Vec<Workload> {
+    let mb = 64usize;
+    let (x0, y0, x1, y1) = mandelbrot::REGION;
+    let (dx, dy) = ((x1 - x0) / mb as f32, (y1 - y0) / mb as f32);
+    let n = 32usize; // sgemm matrix dimension
+    let img = 96usize; // image_filter side
+    let ramp = |len: usize, k: f32| (0..len).map(|i| (i as f32 * k).sin() + 1.5).collect::<Vec<f32>>();
+    let w = image_filter::GAUSSIAN;
+    vec![
+        Workload {
+            app: "mandelbrot",
+            source: mandelbrot::kernel_source(),
+            kernel: "mandelbrot",
+            args: vec![ArgSpec::F(x0), ArgSpec::F(y0), ArgSpec::F(dx), ArgSpec::F(dy)],
+            out_shape: vec![mb, mb],
+        },
+        Workload {
+            app: "sgemm",
+            source: sgemm::kernel_source(n),
+            kernel: "sgemm",
+            args: vec![
+                ArgSpec::Gather(vec![n, n], ramp(n * n, 0.37)),
+                ArgSpec::Gather(vec![n, n], ramp(n * n, 0.11)),
+            ],
+            out_shape: vec![n, n],
+        },
+        Workload {
+            app: "flops",
+            source: Flops { iters: 96 }.kernel_source(),
+            kernel: "flops",
+            args: vec![
+                ArgSpec::Input(vec![64, 64], ramp(64 * 64, 0.13)),
+                ArgSpec::Input(vec![64, 64], ramp(64 * 64, 0.29)),
+            ],
+            out_shape: vec![64, 64],
+        },
+        Workload {
+            app: "image_filter",
+            source: image_filter::KERNEL.to_string(),
+            kernel: "conv3x3",
+            args: vec![
+                ArgSpec::Gather(vec![img, img], ramp(img * img, 0.41)),
+                ArgSpec::F4([w[0], w[1], w[2], w[3]]),
+                ArgSpec::F4([w[4], w[5], w[6], w[7]]),
+                ArgSpec::F(w[8]),
+            ],
+            out_shape: vec![img, img],
+        },
+    ]
+}
+
+struct Prepared {
+    ctx: BrookContext,
+    module: brook_auto::BrookModule,
+    streams: Vec<Option<brook_auto::Stream>>,
+    out: brook_auto::Stream,
+}
+
+fn prepare(w: &Workload, mut ctx: BrookContext) -> Result<Prepared, BrookError> {
+    let module = ctx.compile(&w.source)?;
+    let mut streams = Vec::new();
+    for a in &w.args {
+        match a {
+            ArgSpec::Gather(shape, data) | ArgSpec::Input(shape, data) => {
+                let s = ctx.stream(shape)?;
+                ctx.write(&s, data)?;
+                streams.push(Some(s));
+            }
+            _ => streams.push(None),
+        }
+    }
+    let out = ctx.stream(&w.out_shape)?;
+    Ok(Prepared {
+        ctx,
+        module,
+        streams,
+        out,
+    })
+}
+
+fn dispatch(p: &mut Prepared, w: &Workload) -> Result<(), BrookError> {
+    let mut args: Vec<Arg<'_>> = Vec::new();
+    for (a, s) in w.args.iter().zip(&p.streams) {
+        match (a, s) {
+            (ArgSpec::Gather(..) | ArgSpec::Input(..), Some(s)) => args.push(Arg::Stream(s)),
+            (ArgSpec::F(v), _) => args.push(Arg::Float(*v)),
+            (ArgSpec::F4(v), _) => args.push(Arg::Float4(*v)),
+            _ => unreachable!("stream argument lost its stream"),
+        }
+    }
+    args.push(Arg::Stream(&p.out));
+    p.ctx.run(&p.module, w.kernel, &args)
+}
+
+fn best_of(reps: usize, mut f: impl FnMut()) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos());
+    }
+    best
+}
+
+fn scalar_ir_context() -> BrookContext {
+    let mut ctx = BrookContext::cpu();
+    ctx.lane_execution = false;
+    ctx
+}
+
+/// Runs the comparison. Each workload executes on both engines, the
+/// lane planner is asserted to have admitted the kernel, results are
+/// cross-checked bit-exactly, then each side is timed best-of-5.
+///
+/// # Errors
+/// Compile/run failures, a planner rejection of a bench app, or an
+/// engine disagreement (which would invalidate the comparison).
+pub fn compare_lanes() -> Result<Vec<LaneComparison>, BrookError> {
+    let mut rows = Vec::new();
+    for w in workloads() {
+        let mut scalar = prepare(&w, scalar_ir_context())?;
+        let mut lane = prepare(&w, BrookContext::cpu())?;
+        // Every bench app must actually take the lane path.
+        let plan = lane
+            .module
+            .report
+            .lane_plans
+            .iter()
+            .find(|p| p.kernel == w.kernel)
+            .ok_or_else(|| BrookError::Usage(format!("{}: no lane plan recorded", w.app)))?;
+        if !plan.vectorized {
+            return Err(BrookError::Usage(format!(
+                "{}: planner rejected the kernel ({}) — the bench would compare scalar to scalar",
+                w.app, plan.detail
+            )));
+        }
+        // Correctness first: both engines must agree bitwise.
+        dispatch(&mut scalar, &w)?;
+        dispatch(&mut lane, &w)?;
+        let a = scalar.ctx.read(&scalar.out)?;
+        let b = lane.ctx.read(&lane.out)?;
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                return Err(BrookError::Usage(format!(
+                    "{}: scalar and lane engines disagree at element {i}: {x} vs {y}",
+                    w.app
+                )));
+            }
+        }
+        let reps = 5;
+        let scalar_ns = best_of(reps, || {
+            dispatch(&mut scalar, &w).expect("scalar dispatch");
+        });
+        let lane_ns = best_of(reps, || {
+            dispatch(&mut lane, &w).expect("lane dispatch");
+        });
+        rows.push(LaneComparison {
+            app: w.app,
+            elements: w.out_shape.iter().product(),
+            scalar_ns,
+            lane_ns,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the comparison table.
+pub fn render_lanes_table(rows: &[LaneComparison]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Scalar BrookIR interpreter vs lane engine (L={}, best-of-5 per dispatch)\n",
+        brook_ir::lanes::LANES
+    ));
+    out.push_str(&format!(
+        "{:<14} {:>10} {:>14} {:>14} {:>9}\n",
+        "app", "elements", "scalar ns", "lane ns", "speedup"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>10} {:>14} {:>14} {:>8.2}x\n",
+            r.app,
+            r.elements,
+            r.scalar_ns,
+            r.lane_ns,
+            r.speedup()
+        ));
+    }
+    out
+}
+
+/// Serializes the rows as the `BENCH_lanes.json` trajectory document.
+pub fn lanes_json(rows: &[LaneComparison]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"lanes\",\n  \"unit\": \"ns/dispatch\",\n");
+    out.push_str(&format!(
+        "  \"lanes\": {},\n  \"rows\": [\n",
+        brook_ir::lanes::LANES
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"app\": \"{}\", \"elements\": {}, \"scalar_ns\": {}, \"lane_ns\": {}, \"speedup\": {:.4}}}{}\n",
+            r.app,
+            r.elements,
+            r.scalar_ns,
+            r.lane_ns,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_agree_and_json_is_well_formed() {
+        let rows = compare_lanes().expect("comparison");
+        assert_eq!(rows.len(), 4);
+        let json = lanes_json(&rows);
+        assert!(json.contains("\"app\": \"mandelbrot\""));
+        assert!(json.contains("\"app\": \"image_filter\""));
+        assert!(json.contains("\"bench\": \"lanes\""));
+        let table = render_lanes_table(&rows);
+        assert!(table.contains("sgemm"));
+    }
+}

@@ -17,6 +17,7 @@
 pub mod figures;
 pub mod fusion;
 pub mod interp;
+pub mod lanes;
 pub mod render;
 
 pub use figures::{fig1, fig2, fig3, fig4, Fig4Point, FigureSeries};

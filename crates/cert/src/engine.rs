@@ -84,6 +84,20 @@ impl KernelReport {
     }
 }
 
+/// One kernel's lane-vectorization decision, recorded at compile time
+/// when the runtime consults `brook_ir::lanes::plan`: the certification
+/// data package names which kernels execute on the lane engine and why
+/// the rest fall back to the scalar interpreter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LanePlan {
+    /// Kernel name.
+    pub kernel: String,
+    /// True when the planner admitted the kernel to the lane engine.
+    pub vectorized: bool,
+    /// `"lane-vectorized"` or the planner's rejection reason.
+    pub detail: String,
+}
+
 /// Whole-program compliance result.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ComplianceReport {
@@ -94,6 +108,10 @@ pub struct ComplianceReport {
     /// data package shows exactly which transformations ran
     /// (see `ir_check::optimize_program`). Empty before lowering.
     pub passes: Vec<crate::ir_check::PassRecord>,
+    /// Lane-vectorization decisions, one per lowered kernel (see
+    /// `brook_ir::lanes::plan`). Empty before lowering or when lane
+    /// execution is disabled on the compiling context.
+    pub lane_plans: Vec<LanePlan>,
 }
 
 impl ComplianceReport {
@@ -124,6 +142,7 @@ pub fn certify(checked: &CheckedProgram, config: &CertConfig) -> ComplianceRepor
     ComplianceReport {
         kernels,
         passes: Vec::new(),
+        lane_plans: Vec::new(),
     }
 }
 

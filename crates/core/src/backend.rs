@@ -62,6 +62,11 @@ pub struct KernelLaunch<'a> {
     /// past a disabled certification gate, e.g. recursive helpers) fall
     /// back to the AST tree walker / AST shader generator.
     pub ir: &'a brook_ir::IrProgram,
+    /// Lane-vectorization plans for the unit, decided once at compile
+    /// time (`brook_ir::lanes::plan`). CPU backends execute kernels
+    /// present here through the lane engine in element blocks; rejected
+    /// kernels run the scalar IR interpreter.
+    pub lanes: &'a brook_ir::lanes::LaneProgram,
     /// Module identity, stable across launches (backends key compiled
     /// artifact caches on it).
     pub module_id: u64,
@@ -284,9 +289,11 @@ mod tests {
             assert!(errs.is_empty(), "{errs:?}");
             p
         };
+        let lanes = brook_ir::lanes::LaneProgram::plan_program(&ir);
         let launch = KernelLaunch {
             checked: &checked,
             ir: &ir,
+            lanes: &lanes,
             module_id: 1,
             kernel: "f",
             args: vec![

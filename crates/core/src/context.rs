@@ -50,6 +50,12 @@ pub struct BrookModule {
     /// only with certification disabled) are absent; backends fall back
     /// to the AST walker / AST shader generator for them.
     pub(crate) ir: Arc<IrProgram>,
+    /// Lane-vectorization plans, decided once at compile time by
+    /// `brook_ir::lanes::plan` and recorded in the report's
+    /// `lane_plans`. CPU backends execute admitted kernels in element
+    /// blocks; rejected kernels keep the scalar interpreter. Empty when
+    /// the compiling context disabled lane execution.
+    pub(crate) lanes: Arc<brook_ir::lanes::LaneProgram>,
     /// The certification data produced at compile time (paper §4).
     pub report: ComplianceReport,
     /// Globally unique module identity (backends key compiled-artifact
@@ -100,6 +106,11 @@ pub struct BrookContext {
     /// (used by the optimized-vs-unoptimized differential campaigns and
     /// the interpreter benches; execution still runs the flat IR).
     pub ir_optimize: bool,
+    /// When false, `compile` skips lane-vectorization planning, so the
+    /// CPU backends execute the scalar IR interpreter for every kernel
+    /// (used by the lane differential campaigns and the lane benches as
+    /// the scalar baseline).
+    pub lane_execution: bool,
 }
 
 impl BrookContext {
@@ -113,6 +124,7 @@ impl BrookContext {
             cert_config,
             enforce_certification: true,
             ir_optimize: true,
+            lane_execution: true,
         }
     }
 
@@ -206,9 +218,20 @@ impl BrookContext {
                 &brook_ir::passes::default_passes(),
             );
         }
+        // Lane-vectorization planning: consulted once here, recorded in
+        // the report, executed by the CPU backends per launch. Rejected
+        // kernels keep the scalar interpreter — semantics are identical
+        // by construction, so this can only change speed, never results.
+        let lanes = if self.lane_execution {
+            brook_ir::lanes::LaneProgram::plan_program(&ir)
+        } else {
+            brook_ir::lanes::LaneProgram::default()
+        };
+        report.lane_plans = lane_plan_records(&lanes);
         Ok(BrookModule {
             checked: Arc::new(checked),
             ir: Arc::new(ir),
+            lanes: Arc::new(lanes),
             report,
             id: fresh_module_id(),
             context_id: self.context_id,
@@ -236,6 +259,9 @@ impl BrookContext {
         Ok(BrookModule {
             checked: Arc::new(checked),
             ir: Arc::new(ir),
+            // Hand-built IR is never lane-planned: it executes through
+            // the scalar interpreter behind the launch-boundary verifier.
+            lanes: Arc::new(brook_ir::lanes::LaneProgram::default()),
             report,
             id: fresh_module_id(),
             context_id: self.context_id,
@@ -358,6 +384,7 @@ impl BrookContext {
         let launch = KernelLaunch {
             checked: &module.checked,
             ir: &module.ir,
+            lanes: &module.lanes,
             module_id: module.id,
             kernel,
             args: bound_args,
@@ -421,6 +448,24 @@ impl BrookContext {
     pub fn gpu_memory_used(&self) -> usize {
         self.backend.memory_used()
     }
+}
+
+/// Renders lane-plan decisions into the report records the compliance
+/// data package carries. Shared by `compile` and the graph executor's
+/// fused-module path.
+pub(crate) fn lane_plan_records(lanes: &brook_ir::lanes::LaneProgram) -> Vec<brook_cert::LanePlan> {
+    lanes
+        .kernels
+        .iter()
+        .map(|(name, plan)| brook_cert::LanePlan {
+            kernel: name.clone(),
+            vectorized: plan.is_ok(),
+            detail: match plan {
+                Ok(_) => "lane-vectorized".into(),
+                Err(reason) => reason.clone(),
+            },
+        })
+        .collect()
 }
 
 /// Verifies the IR of a kernel about to launch; kernels absent from the

@@ -998,16 +998,27 @@ where
 }
 
 /// Serial full-domain IR run (the default `runner` for
-/// [`dispatch_ir_on_host`]).
+/// [`dispatch_ir_on_host`]): the lane engine in element blocks when the
+/// compile-time planner admitted the kernel, the scalar interpreter
+/// otherwise — bit-identical either way, by the lane engine's fallback
+/// guarantee.
 pub(crate) fn ir_run_full(
     kernel: &brook_ir::IrKernel,
+    lane: Option<&brook_ir::lanes::LaneKernel>,
     bindings: &[ir_interp::Binding<'_>],
     outputs: &mut [Vec<f32>],
     domain_shape: &[usize],
 ) -> Result<()> {
     let (dx, dy, _) = ir_interp::domain_extents(domain_shape);
     let mut slices: Vec<&mut [f32]> = outputs.iter_mut().map(|v| v.as_mut_slice()).collect();
-    ir_interp::run_kernel_range(kernel, bindings, &mut slices, domain_shape, 0..dx * dy).map_err(exec_err)
+    match lane {
+        Some(lk) => {
+            brook_ir::lanes::run_kernel_range(lk, kernel, bindings, &mut slices, domain_shape, 0..dx * dy)
+                .map_err(exec_err)
+        }
+        None => ir_interp::run_kernel_range(kernel, bindings, &mut slices, domain_shape, 0..dx * dy)
+            .map_err(exec_err),
+    }
 }
 
 /// The serial CPU backend — the reference semantics every other backend
@@ -1076,7 +1087,14 @@ impl BackendExecutor for CpuBackend {
         let ast_has_kernel = launch.checked.program.kernel(launch.kernel).is_some();
         if !self.use_ast_walker || !ast_has_kernel {
             if let Some(kernel) = launch.ir.kernel(launch.kernel) {
-                return dispatch_ir_on_host(&mut self.streams, launch, kernel, ir_run_full);
+                let lane = if self.use_ast_walker {
+                    None
+                } else {
+                    launch.lanes.kernel(launch.kernel)
+                };
+                return dispatch_ir_on_host(&mut self.streams, launch, kernel, |k, b, outs, domain| {
+                    ir_run_full(k, lane, b, outs, domain)
+                });
             }
         }
         dispatch_on_host(&mut self.streams, launch, run_kernel_shaped)

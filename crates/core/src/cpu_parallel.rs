@@ -134,11 +134,15 @@ fn run_parallel(
 }
 
 /// IR flavour of [`run_parallel`]: the same chunking, with each worker
-/// running the flat IR interpreter over its disjoint range. Bit-exact
-/// with the serial IR backend for any worker count, by the same
-/// disjointness argument.
+/// running the flat IR engine over its disjoint range. Bit-exact with
+/// the serial IR backend for any worker count, by the same disjointness
+/// argument. When the kernel carries a lane plan, each worker executes
+/// the lane engine and chunk boundaries are aligned to lane-block
+/// multiples, so workers iterate whole register slabs — only the final
+/// chunk sees a remainder block.
 fn run_parallel_ir(
     kernel: &IrKernel,
+    lane: Option<&brook_ir::lanes::LaneKernel>,
     bindings: &[ir_interp::Binding<'_>],
     outputs: &mut [Vec<f32>],
     domain_shape: &[usize],
@@ -153,7 +157,10 @@ fn run_parallel_ir(
             buf.len() / total.max(1)
         })
         .collect();
-    let chunk = total.div_ceil(workers);
+    let mut chunk = total.div_ceil(workers);
+    if lane.is_some() {
+        chunk = chunk.div_ceil(brook_ir::lanes::LANES) * brook_ir::lanes::LANES;
+    }
     let ranges: Vec<Range<usize>> = (0..workers)
         .map(|w| (w * chunk).min(total)..((w + 1) * chunk).min(total))
         .filter(|r| !r.is_empty())
@@ -173,9 +180,18 @@ fn run_parallel_ir(
             .zip(per_chunk)
             .map(|(range, mut outs)| {
                 let range = range.clone();
-                scope.spawn(move || {
-                    ir_interp::run_kernel_range(kernel, bindings, &mut outs, domain_shape, range)
-                        .map_err(cpu::exec_err)
+                scope.spawn(move || match lane {
+                    Some(lk) => brook_ir::lanes::run_kernel_range(
+                        lk,
+                        kernel,
+                        bindings,
+                        &mut outs,
+                        domain_shape,
+                        range,
+                    )
+                    .map_err(cpu::exec_err),
+                    None => ir_interp::run_kernel_range(kernel, bindings, &mut outs, domain_shape, range)
+                        .map_err(cpu::exec_err),
                 })
             })
             .collect();
@@ -223,12 +239,15 @@ impl BackendExecutor for ParallelCpuBackend {
             .all(|(_, i)| self.streams[*i].0.shape == domain_shape);
         let workers = self.workers;
         if let Some(kernel) = launch.ir.kernel(launch.kernel) {
+            let lane = launch.lanes.kernel(launch.kernel);
             if self.parallelizable(dx * dy, uniform) {
                 cpu::dispatch_ir_on_host(&mut self.streams, launch, kernel, |k, bindings, outs, domain| {
-                    run_parallel_ir(k, bindings, outs, domain, workers)
+                    run_parallel_ir(k, lane, bindings, outs, domain, workers)
                 })
             } else {
-                cpu::dispatch_ir_on_host(&mut self.streams, launch, kernel, cpu::ir_run_full)
+                cpu::dispatch_ir_on_host(&mut self.streams, launch, kernel, |k, bindings, outs, domain| {
+                    cpu::ir_run_full(k, lane, bindings, outs, domain)
+                })
             }
         } else if self.parallelizable(dx * dy, uniform) {
             // AST fallback (kernels that could not lower).

@@ -408,6 +408,7 @@ impl<'ctx> BrookGraph<'ctx> {
                     let launch = KernelLaunch {
                         checked: &module.checked,
                         ir: &module.ir,
+                        lanes: &module.lanes,
                         module_id: module.id,
                         kernel,
                         args: bound,
@@ -695,13 +696,23 @@ impl<'ctx> BrookGraph<'ctx> {
             Vec::new()
         };
         let ir = Arc::new(program);
+        // Fused kernels are ordinary IrKernels, so they inherit lane
+        // vectorization for free: plan them exactly as `compile` does.
+        let lanes = if self.ctx.lane_execution {
+            brook_ir::lanes::LaneProgram::plan_program(&ir)
+        } else {
+            brook_ir::lanes::LaneProgram::default()
+        };
+        let lane_plans = crate::context::lane_plan_records(&lanes);
         let source = brook_ir::pretty::print_program(&ir);
         let module = BrookModule {
             checked,
             ir: ir.clone(),
+            lanes: Arc::new(lanes),
             report: brook_cert::ComplianceReport {
                 kernels: Vec::new(),
                 passes,
+                lane_plans,
             },
             id: crate::context::fresh_module_id(),
             context_id: self.ctx.context_id,

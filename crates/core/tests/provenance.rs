@@ -117,3 +117,83 @@ fn emit_ir_shows_the_optimization_effect() {
         "unoptimized IR keeps the multiply:\n{ir_off}"
     );
 }
+
+/// Budget exhaustion raised out of a lane block must cite the faulting
+/// *element's* index and source line — not the block. Covers the first
+/// lane of the first block, the last lane of the last (partial) block,
+/// and a lone diverged lane mid-block, on both CPU backends; with a
+/// single faulting element the lane engine's scalar re-run must name
+/// exactly that element.
+#[test]
+fn lane_fault_cites_the_faulting_element_and_source_line() {
+    use brook_ir::lanes::LANES;
+    let src = "kernel void spin(float a<>, out float o<>) {\n    float s = a;\n    while (s > 0.5) { }\n    o = s;\n}";
+    let n = 2 * LANES + 7; // three blocks, the last one partial
+    type ContextFactory = Box<dyn Fn() -> BrookContext>;
+    let make: Vec<(&str, ContextFactory)> = vec![
+        ("cpu", Box::new(BrookContext::cpu)),
+        (
+            "cpu-parallel",
+            Box::new(|| {
+                BrookContext::with_backend(
+                    Box::new(ParallelCpuBackend::with_workers(4)),
+                    CertConfig::default(),
+                )
+            }),
+        ),
+    ];
+    for (name, make) in &make {
+        for bad in [0usize, n - 1, LANES + 3] {
+            let mut ctx = make();
+            ctx.enforce_certification = false;
+            let module = ctx.compile(src).expect("compile (uncertified)");
+            // The planner must still admit the kernel: data-dependent
+            // loops run masked-until-all-exit, and only the diverged
+            // lane exhausts the budget.
+            let plan = &module.report.lane_plans[0];
+            assert!(plan.vectorized, "{name}: {plan:?}");
+            let a = ctx.stream(&[n]).expect("a");
+            let o = ctx.stream(&[n]).expect("o");
+            let data: Vec<f32> = (0..n).map(|i| if i == bad { 1.0 } else { 0.0 }).collect();
+            ctx.write(&a, &data).expect("write");
+            let err = ctx
+                .run(&module, "spin", &[Arg::Stream(&a), Arg::Stream(&o)])
+                .expect_err("must exhaust the budget");
+            let msg = err.to_string();
+            assert!(msg.contains("iteration budget"), "{name} bad={bad}: {msg}");
+            assert!(
+                msg.contains(&format!("element {bad},")),
+                "{name}: fault must cite element {bad}, got: {msg}"
+            );
+            assert!(
+                msg.contains("source line 3:"),
+                "{name}: fault must cite the while-loop's source line, got: {msg}"
+            );
+        }
+    }
+}
+
+/// The same fault on the lane engine and on a lane-disabled (scalar IR)
+/// context must render identically — the lane engine's fault surface is
+/// the scalar interpreter's, verbatim.
+#[test]
+fn lane_fault_is_the_scalar_fault_verbatim() {
+    use brook_ir::lanes::LANES;
+    let src = "kernel void spin(float a<>, out float o<>) {\n    float s = a;\n    while (s > 0.5) { }\n    o = s;\n}";
+    let n = LANES + 5;
+    let bad = LANES + 2;
+    let render = |lane_execution: bool| {
+        let mut ctx = BrookContext::cpu();
+        ctx.lane_execution = lane_execution;
+        ctx.enforce_certification = false;
+        let module = ctx.compile(src).expect("compile (uncertified)");
+        let a = ctx.stream(&[n]).expect("a");
+        let o = ctx.stream(&[n]).expect("o");
+        let data: Vec<f32> = (0..n).map(|i| if i == bad { 2.0 } else { 0.0 }).collect();
+        ctx.write(&a, &data).expect("write");
+        ctx.run(&module, "spin", &[Arg::Stream(&a), Arg::Stream(&o)])
+            .expect_err("must exhaust the budget")
+            .to_string()
+    };
+    assert_eq!(render(true), render(false));
+}

@@ -1,0 +1,233 @@
+//! Lane-engine differential mode.
+//!
+//! The lane-vectorized executor (`brook_ir::lanes`) promises
+//! **bit-exactness with the scalar IR interpreter by construction**:
+//! the planner only admits kernels whose dynamic semantics resolve
+//! statically, and faulting blocks re-run scalar. This module widens
+//! the differential matrix to assert that promise on every generated
+//! kernel, against the two engines that never touch lane slabs at all:
+//!
+//! | spec           | engine                                   | policy  |
+//! |----------------|------------------------------------------|---------|
+//! | `cpu-ast`      | AST tree walker (oracle)                 | reference |
+//! | `cpu-scalar`   | scalar flat-IR interpreter (lanes off)   | bitwise |
+//! | `cpu`          | lane engine (planner-admitted kernels)   | bitwise |
+//! | `cpu-parallel` | lane engine, block-aligned worker chunks | bitwise |
+//!
+//! One diverging case localizes the bug: `cpu-scalar` vs `cpu-ast` is a
+//! lowering/interpreter fault, `cpu` vs `cpu-scalar` is a lane-engine
+//! fault, `cpu-parallel` vs `cpu` is a chunk-alignment fault.
+//!
+//! Every case is also compile-probed to record the planner's decision,
+//! and the campaign runs a fixed set of certifiable kernels the planner
+//! *rejects* (lane-divergent ternary arm types), proving the scalar
+//! fallback path is actually exercised and bit-exact too.
+
+use crate::differential::{run_case, BackendOutput, CaseFailure, Matrix};
+use crate::gen::{gen_case, GenConfig};
+use brook_auto::{Arg, BackendSpec, BrookContext};
+
+fn cpu_scalar() -> BrookContext {
+    let mut ctx = BrookContext::cpu();
+    ctx.lane_execution = false;
+    ctx
+}
+
+/// The widened matrix: AST oracle, scalar IR interpreter, lane engine,
+/// and the parallel backend's lane-aligned chunking — all CPU specs, so
+/// the comparison policy is bitwise everywhere.
+pub fn lanes_matrix() -> Matrix {
+    Matrix {
+        specs: vec![
+            BackendSpec {
+                name: "cpu-ast",
+                make: BrookContext::cpu_ast_oracle,
+            },
+            BackendSpec {
+                name: "cpu-scalar",
+                make: cpu_scalar,
+            },
+            BackendSpec {
+                name: "cpu",
+                make: BrookContext::cpu,
+            },
+            BackendSpec {
+                name: "cpu-parallel",
+                make: BrookContext::cpu_parallel,
+            },
+        ],
+        tolerance: 0.0,
+    }
+}
+
+/// Statistics of one lane differential campaign.
+#[derive(Debug, Clone, Default)]
+pub struct LanesStats {
+    /// Cases that ran and agreed bitwise across the whole matrix.
+    pub cases: u32,
+    /// Kernels the planner admitted to the lane engine.
+    pub vectorized_kernels: u32,
+    /// Kernels the planner rejected (scalar fallback exercised),
+    /// including the fixed rejected set.
+    pub fallback_kernels: u32,
+    /// Total output elements cross-checked.
+    pub elements_checked: u64,
+}
+
+/// Certifiable kernels the planner must *reject* — their ternary arms
+/// carry lane-divergent runtime types (int vs float), which the scalar
+/// interpreter resolves per element but a lane slab cannot represent.
+/// They compile, certify, and must still agree bitwise across the
+/// matrix through the scalar fallback.
+const REJECTED_SOURCES: &[&str] = &[
+    "kernel void mixed_arms(float a<>, out float o<>) {
+        o = a > 2.0 ? 1 : a * 0.5;
+    }",
+    "kernel void mixed_arms_deep(float a<>, out float o<>) {
+        float s = 0.0;
+        int i;
+        for (i = 0; i < 4; i++) { s += a > float(i) ? 1 : 0.25; }
+        o = s;
+    }",
+];
+
+/// Compile-probes one source on a lane-enabled CPU context and returns
+/// `(vectorized, fallback)` kernel counts from the recorded lane plans.
+///
+/// # Errors
+/// Compile failures.
+fn probe_plans(source: &str) -> Result<(u32, u32), String> {
+    let mut ctx = BrookContext::cpu();
+    let module = ctx.compile(source).map_err(|e| format!("probe compile: {e}"))?;
+    let mut vectorized = 0;
+    let mut fallback = 0;
+    for plan in &module.report.lane_plans {
+        if plan.vectorized {
+            vectorized += 1;
+        } else {
+            fallback += 1;
+        }
+    }
+    Ok((vectorized, fallback))
+}
+
+/// Runs one fixed source across the matrix with a deterministic ramp
+/// input, requiring bitwise agreement with the AST oracle.
+///
+/// # Errors
+/// Compile/run failures and divergences, rendered with the source.
+fn run_fixed(source: &str, n: usize) -> Result<u64, String> {
+    let input: Vec<f32> = (0..n).map(|i| (i as f32) * 0.73 - 3.0).collect();
+    let mut reference: Option<(&'static str, Vec<f32>)> = None;
+    let mut checked = 0u64;
+    for spec in lanes_matrix().specs {
+        let mut ctx = (spec.make)();
+        let module = ctx
+            .compile(source)
+            .map_err(|e| format!("{}: compile: {e}\n{source}", spec.name))?;
+        let kernel = module.kernels().first().cloned().ok_or("no kernel")?;
+        let a = ctx.stream(&[n]).map_err(|e| format!("{}: {e}", spec.name))?;
+        let o = ctx.stream(&[n]).map_err(|e| format!("{}: {e}", spec.name))?;
+        ctx.write(&a, &input).map_err(|e| format!("{}: {e}", spec.name))?;
+        ctx.run(&module, &kernel, &[Arg::Stream(&a), Arg::Stream(&o)])
+            .map_err(|e| format!("{}: run: {e}\n{source}", spec.name))?;
+        let out = ctx.read(&o).map_err(|e| format!("{}: {e}", spec.name))?;
+        match &reference {
+            None => reference = Some((spec.name, out)),
+            Some((ref_name, r)) => {
+                for (i, (x, y)) in r.iter().zip(&out).enumerate() {
+                    if x.to_bits() != y.to_bits() {
+                        return Err(format!(
+                            "{} diverged from {ref_name} at element {i}: {x} vs {y}\n{source}",
+                            spec.name
+                        ));
+                    }
+                }
+                checked += out.len() as u64;
+            }
+        }
+    }
+    Ok(checked)
+}
+
+/// Runs `cases` seeded kernels through the lane matrix, plus the fixed
+/// planner-rejected set.
+///
+/// # Errors
+/// The first case failure, annotated with the case name (the seed and
+/// index regenerate it anywhere).
+pub fn run_lanes_campaign(seed: u64, cases: u32, cfg: &GenConfig) -> Result<LanesStats, String> {
+    let matrix = lanes_matrix();
+    let mut stats = LanesStats::default();
+    for index in 0..cases {
+        let case = gen_case(seed, index, cfg);
+        let (vectorized, fallback) = probe_plans(&case.source)
+            .map_err(|e| format!("case {} (seed {seed:#x}, index {index}): {e}", case.name))?;
+        stats.vectorized_kernels += vectorized;
+        stats.fallback_kernels += fallback;
+        let runs: Vec<BackendOutput> = run_case(&case, &matrix).map_err(|f| {
+            let detail = match &f {
+                CaseFailure::Setup { backend, message } => format!("{backend}: {message}"),
+                CaseFailure::Divergence(d) => d.to_string(),
+            };
+            format!(
+                "case {} (seed {seed:#x}, index {index}): {detail}\n{}",
+                case.name, case.source
+            )
+        })?;
+        stats.cases += 1;
+        stats.elements_checked += runs
+            .first()
+            .map(|r| r.outputs.iter().map(|o| o.len() as u64).sum::<u64>())
+            .unwrap_or(0);
+    }
+    // The forced-fallback set: certifiable, planner-rejected, bit-exact
+    // through the scalar path on every spec.
+    for source in REJECTED_SOURCES {
+        let (vectorized, fallback) = probe_plans(source)?;
+        if vectorized != 0 || fallback == 0 {
+            return Err(format!(
+                "planner unexpectedly admitted a kernel built to be rejected:\n{source}"
+            ));
+        }
+        stats.fallback_kernels += fallback;
+        stats.elements_checked += run_fixed(source, 3 * brook_ir::lanes::LANES + 5)?;
+        stats.cases += 1;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_leads_with_the_ast_oracle() {
+        let m = lanes_matrix();
+        let names: Vec<_> = m.specs.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["cpu-ast", "cpu-scalar", "cpu", "cpu-parallel"]);
+        // The scalar spec really is the lane-disabled flat interpreter.
+        let ctx = (m.specs[1].make)();
+        assert!(!ctx.lane_execution);
+        assert_eq!(ctx.backend_name(), "cpu");
+    }
+
+    #[test]
+    fn rejected_sources_certify_but_fall_back() {
+        for source in REJECTED_SOURCES {
+            let (v, f) = probe_plans(source).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(v, 0, "planner must reject:\n{source}");
+            assert!(f >= 1);
+        }
+    }
+
+    #[test]
+    fn small_campaign_is_bit_exact() {
+        let stats =
+            run_lanes_campaign(0x1A9E_5EED, 8, &GenConfig::default()).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(stats.cases, 8 + REJECTED_SOURCES.len() as u32);
+        assert!(stats.vectorized_kernels > 0, "{stats:?}");
+        assert!(stats.fallback_kernels >= REJECTED_SOURCES.len() as u32);
+        assert!(stats.elements_checked > 0);
+    }
+}

@@ -44,6 +44,7 @@
 pub mod chain;
 pub mod differential;
 pub mod gen;
+pub mod lanes;
 pub mod mutation;
 pub mod optdiff;
 pub mod repro;
@@ -52,6 +53,7 @@ pub mod shrink;
 pub use chain::{gen_chain, run_chain_campaign, run_chain_case, ChainCase, ChainConfig, ChainStats};
 pub use differential::{compare, run_case, BackendOutput, CaseFailure, Divergence, Matrix};
 pub use gen::{gen_case, gen_noncompliant, FuzzCase, GenConfig};
+pub use lanes::{lanes_matrix, run_lanes_campaign, LanesStats};
 pub use mutation::SaboteurBackend;
 pub use optdiff::{opt_matrix, run_optdiff_campaign, OptDiffStats};
 pub use repro::{repro_root, write_repro};

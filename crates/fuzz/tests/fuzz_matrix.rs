@@ -49,6 +49,35 @@ fn optdiff_campaign_96_cases_bitwise_vs_ast_oracle() {
     );
 }
 
+/// 96 generated kernels through the lane differential matrix: the AST
+/// tree-walking oracle, the scalar flat-IR interpreter (lane execution
+/// disabled), the lane engine, and the parallel backend's lane-aligned
+/// chunking — all bitwise. Plus the fixed planner-rejected set, which
+/// must certify, be refused by the planner, and still agree bitwise
+/// through the forced scalar fallback. This is the acceptance bar for
+/// lane vectorization: batching must be invisible in results, element
+/// for element, bit for bit, and the fallback path must demonstrably
+/// run.
+#[test]
+fn lanes_campaign_96_cases_bitwise_vs_scalar_and_ast() {
+    let stats = brook_fuzz::run_lanes_campaign(CI_SEED, 96, &brook_fuzz::GenConfig::default())
+        .unwrap_or_else(|e| panic!("lanes campaign failed:\n{e}"));
+    assert!(stats.cases >= 96 + 2, "{stats:?}");
+    assert!(
+        stats.vectorized_kernels >= 64,
+        "the campaign must mostly exercise the lane engine: {stats:?}"
+    );
+    assert!(
+        stats.fallback_kernels >= 2,
+        "the campaign must exercise the scalar fallback: {stats:?}"
+    );
+    assert!(
+        stats.elements_checked > 1_000,
+        "campaign too small to mean anything: {} elements",
+        stats.elements_checked
+    );
+}
+
 /// 128 random 2–5 kernel pipelines, each run eagerly and through the
 /// deferred fusing graph executor on every registered backend: zero
 /// divergence against the eager CPU oracle (bit-exact on CPU backends),

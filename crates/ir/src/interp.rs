@@ -48,22 +48,31 @@ pub enum Binding<'a> {
 }
 
 /// A runtime fault, carrying the source span of the faulting
-/// instruction so diagnostics point at the original program text.
+/// instruction and the domain element being computed, so diagnostics
+/// point at the original program text *and* the offending data point —
+/// for a fault raised out of a lane block, the element index names the
+/// exact diverged lane, not the block.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecError {
     /// Human-readable message (tree-walker compatible).
     pub msg: String,
     /// Source location of the instruction that faulted.
     pub span: Span,
+    /// Linear domain index of the element whose execution faulted
+    /// (row-major; `None` for faults raised outside element execution).
+    pub element: Option<usize>,
 }
 
 impl ExecError {
-    /// Renders the message with its source location when one exists.
+    /// Renders the message with its element and source location when
+    /// they exist.
     pub fn render(&self) -> String {
-        if self.span.is_empty() && self.span.line == 0 {
-            self.msg.clone()
-        } else {
-            format!("{} (source line {})", self.msg, self.span)
+        let at_span = !(self.span.is_empty() && self.span.line == 0);
+        match (self.element, at_span) {
+            (Some(e), true) => format!("{} (element {e}, source line {})", self.msg, self.span),
+            (Some(e), false) => format!("{} (element {e})", self.msg),
+            (None, true) => format!("{} (source line {})", self.msg, self.span),
+            (None, false) => self.msg.clone(),
         }
     }
 }
@@ -84,9 +93,48 @@ pub fn domain_extents(shape: &[usize]) -> (usize, usize, bool) {
     }
 }
 
+/// Proportional element index of an input stream of `shape` for output
+/// position `pos` in `domain` — identical arithmetic to the tree walker
+/// and the generated GLSL. Shared by the scalar interpreter and the
+/// lane engine, whose bit-exactness depends on this exact float
+/// arithmetic never drifting between the two.
+pub fn input_index(pos: (usize, usize), domain: (usize, usize), shape: &[usize]) -> (usize, usize) {
+    let (dx, dy) = domain;
+    let (x, y) = pos;
+    if shape.len() == 2 {
+        let (rows, cols) = (shape[0], shape[1]);
+        let ix = ((x as f32 + 0.5) / dx as f32 * cols as f32).floor() as usize;
+        let iy = ((y as f32 + 0.5) / dy as f32 * rows as f32).floor() as usize;
+        (ix.min(cols - 1), iy.min(rows - 1))
+    } else {
+        let len: usize = shape.iter().product();
+        let l = y * dx + x;
+        (l.min(len - 1), 0)
+    }
+}
+
+/// `indexof` of an elementwise input of `shape` at `pos` (both engines).
+pub fn indexof_elem(pos: (usize, usize), domain: (usize, usize), shape: &[usize]) -> [f32; 2] {
+    let (ix, iy) = input_index(pos, domain, shape);
+    if shape.len() == 2 {
+        [ix as f32, iy as f32]
+    } else {
+        [(iy * domain.0 + ix) as f32, 0.0]
+    }
+}
+
+/// `indexof` of an output or scalar binding at `pos` (both engines).
+pub fn indexof_pos(pos: (usize, usize), domain: (usize, usize), linear: bool) -> [f32; 2] {
+    let (x, y) = pos;
+    if linear {
+        [(y * domain.0 + x) as f32, 0.0]
+    } else {
+        [x as f32, y as f32]
+    }
+}
+
 struct Machine<'a, 'b> {
     kernel: &'a IrKernel,
-    bindings: &'a [Binding<'a>],
     outputs: &'a mut [&'b mut [f32]],
     /// Output-slot -> index into `outputs` (from the `Out` bindings).
     out_buf: Vec<usize>,
@@ -127,6 +175,7 @@ pub fn run_kernel_range(
                 return Err(ExecError {
                     msg: format!("output parameter `{}` is not bound to an output buffer", p.name),
                     span: kernel.span,
+                    element: None,
                 })
             }
         }
@@ -134,7 +183,6 @@ pub fn run_kernel_range(
     }
     let mut m = Machine {
         kernel,
-        bindings,
         outputs,
         out_buf,
         out_width,
@@ -152,7 +200,7 @@ pub fn run_kernel_range(
     for p in range {
         m.pos = (p % dx, p / dx);
         m.iterations = 0;
-        m.run_element()?;
+        m.run_element(bindings)?;
     }
     Ok(())
 }
@@ -164,35 +212,35 @@ pub fn run_kernel_range(
 /// # Errors
 /// Usage faults (non-reduce kernel) and runtime faults.
 pub fn run_reduce(kernel: &IrKernel, data: &[f32]) -> Result<f32, ExecError> {
+    let usage = |msg: String| ExecError {
+        msg,
+        span: kernel.span,
+        element: None,
+    };
     if !kernel.is_reduce {
-        return Err(ExecError {
-            msg: format!("kernel `{}` is not a reduce kernel", kernel.name),
-            span: kernel.span,
-        });
+        return Err(usage(format!("kernel `{}` is not a reduce kernel", kernel.name)));
     }
-    let op = kernel.reduce_op.ok_or_else(|| ExecError {
-        msg: "reduce kernel without a detected operation".into(),
-        span: kernel.span,
-    })?;
-    let acc_reg = kernel.acc_reg.ok_or_else(|| ExecError {
-        msg: "reduce kernel without an accumulator".into(),
-        span: kernel.span,
-    })?;
+    let op = kernel
+        .reduce_op
+        .ok_or_else(|| usage("reduce kernel without a detected operation".into()))?;
+    let acc_reg = kernel
+        .acc_reg
+        .ok_or_else(|| usage("reduce kernel without an accumulator".into()))?;
     let input_param = kernel
         .params
         .iter()
         .position(|p| p.kind == brook_lang::ast::ParamKind::Stream)
-        .ok_or_else(|| ExecError {
-            msg: "reduce kernel without an input stream".into(),
-            span: kernel.span,
-        })?;
+        .ok_or_else(|| usage("reduce kernel without an input stream".into()))?;
     let mut acc = op.identity();
     let elem_shape = [1usize];
-    // Bindings and register frame are built once and updated in place —
-    // the fold loop itself allocates nothing. The per-step slice of the
-    // input (`&data[i..=i]` with shape `[1]`, position `(i, 0)`, domain
-    // `(1, 1)`) mirrors the tree walker exactly, keeping `indexof` and
-    // element addressing bit-identical.
+    // Binding setup is hoisted out of the fold loop: the vector, the
+    // non-input (accumulator-scalar) slot list, the machine and its
+    // register frame are all built once and updated in place, so the
+    // loop itself allocates nothing and touches exactly two bindings
+    // per step. The per-step slice of the input (`&data[i..=i]` with
+    // shape `[1]`, position `(i, 0)`, domain `(1, 1)`) mirrors the tree
+    // walker exactly, keeping `indexof` and element addressing
+    // bit-identical.
     let mut bindings: Vec<Binding<'_>> = kernel
         .params
         .iter()
@@ -209,44 +257,39 @@ pub fn run_reduce(kernel: &IrKernel, data: &[f32]) -> Result<f32, ExecError> {
             }
         })
         .collect();
-    let mut regs_store: Vec<Value> = kernel
-        .regs
-        .iter()
-        .map(|t| Value::zero(eval::brook_to_glsl_type(*t)))
-        .collect();
+    let scalar_slots: Vec<usize> = (0..kernel.params.len()).filter(|pi| *pi != input_param).collect();
+    let mut m = Machine {
+        kernel,
+        outputs: &mut [],
+        out_buf: Vec::new(),
+        out_width: Vec::new(),
+        out_start: 0,
+        pos: (0, 0),
+        domain: (1, 1),
+        linear: true,
+        regs: kernel
+            .regs
+            .iter()
+            .map(|t| Value::zero(eval::brook_to_glsl_type(*t)))
+            .collect(),
+        iterations: 0,
+    };
     for i in 0..data.len() {
         bindings[input_param] = Binding::Elem {
             data: &data[i..=i],
             shape: &elem_shape,
             width: 1,
         };
-        for (pi, b) in bindings.iter_mut().enumerate() {
-            if pi != input_param {
-                *b = Binding::Scalar(Value::Float(acc));
-            }
+        for pi in &scalar_slots {
+            bindings[*pi] = Binding::Scalar(Value::Float(acc));
         }
-        let mut m = Machine {
-            kernel,
-            bindings: &bindings,
-            outputs: &mut [],
-            out_buf: Vec::new(),
-            out_width: Vec::new(),
-            out_start: 0,
-            pos: (i, 0),
-            domain: (1, 1),
-            linear: true,
-            regs: std::mem::take(&mut regs_store),
-            iterations: 0,
-        };
+        m.pos = (i, 0);
+        m.iterations = 0;
         m.regs[acc_reg as usize] = Value::Float(acc);
-        let run = m.run_element();
-        regs_store = m.regs;
-        run?;
-        let result = regs_store[acc_reg as usize].as_float().ok_or_else(|| ExecError {
-            msg: "reduce accumulator lost its value".into(),
-            span: kernel.span,
-        })?;
-        acc = result;
+        m.run_element(&bindings)?;
+        acc = m.regs[acc_reg as usize]
+            .as_float()
+            .ok_or_else(|| usage("reduce accumulator lost its value".into()))?;
     }
     Ok(acc)
 }
@@ -256,6 +299,10 @@ impl Machine<'_, '_> {
         ExecError {
             msg: msg.into(),
             span: self.kernel.spans[at],
+            // Row-major linear index of the faulting element — the lane
+            // engine's fault tests pin that this names the diverged
+            // lane's element, not its block.
+            element: Some(self.pos.1 * self.domain.0 + self.pos.0),
         }
     }
 
@@ -271,18 +318,7 @@ impl Machine<'_, '_> {
     /// current output position — identical arithmetic to the tree
     /// walker and the generated GLSL.
     fn input_index(&self, shape: &[usize]) -> (usize, usize) {
-        let (dx, dy) = self.domain;
-        let (x, y) = self.pos;
-        if shape.len() == 2 {
-            let (rows, cols) = (shape[0], shape[1]);
-            let ix = ((x as f32 + 0.5) / dx as f32 * cols as f32).floor() as usize;
-            let iy = ((y as f32 + 0.5) / dy as f32 * rows as f32).floor() as usize;
-            (ix.min(cols - 1), iy.min(rows - 1))
-        } else {
-            let len: usize = shape.iter().product();
-            let l = y * dx + x;
-            (l.min(len - 1), 0)
-        }
+        input_index(self.pos, self.domain, shape)
     }
 
     fn elem_value(&self, data: &[f32], shape: &[usize], width: u8) -> Value {
@@ -315,7 +351,7 @@ impl Machine<'_, '_> {
     }
 
     #[inline]
-    fn run_element(&mut self) -> Result<(), ExecError> {
+    fn run_element(&mut self, bindings: &[Binding<'_>]) -> Result<(), ExecError> {
         let insts = &self.kernel.insts;
         let mut pc = 0usize;
         while pc < insts.len() {
@@ -410,7 +446,7 @@ impl Machine<'_, '_> {
                     };
                 }
                 Inst::ReadElem { dst, param } => {
-                    let Binding::Elem { data, shape, width } = &self.bindings[*param as usize] else {
+                    let Binding::Elem { data, shape, width } = &bindings[*param as usize] else {
                         return Err(self.err_at(
                             pc,
                             format!(
@@ -422,7 +458,7 @@ impl Machine<'_, '_> {
                     self.regs[*dst as usize] = self.elem_value(data, shape, *width);
                 }
                 Inst::ReadScalar { dst, param } => {
-                    let Binding::Scalar(v) = &self.bindings[*param as usize] else {
+                    let Binding::Scalar(v) = &bindings[*param as usize] else {
                         return Err(self.err_at(
                             pc,
                             format!(
@@ -443,7 +479,7 @@ impl Machine<'_, '_> {
                     self.write_out(*out, combined);
                 }
                 Inst::Gather { dst, param, idx } => {
-                    let Binding::Gather { data, shape, width } = &self.bindings[*param as usize] else {
+                    let Binding::Gather { data, shape, width } = &bindings[*param as usize] else {
                         return Err(self.err_at(
                             pc,
                             format!(
@@ -459,22 +495,12 @@ impl Machine<'_, '_> {
                     self.regs[*dst as usize] = eval::gather_clamped(data, shape, *width, &ix);
                 }
                 Inst::Indexof { dst, param } => {
-                    self.regs[*dst as usize] = match &self.bindings[*param as usize] {
+                    self.regs[*dst as usize] = match &bindings[*param as usize] {
                         Binding::Elem { shape, .. } => {
-                            let (ix, iy) = self.input_index(shape);
-                            if shape.len() == 2 {
-                                Value::Vec2([ix as f32, iy as f32])
-                            } else {
-                                Value::Vec2([(iy * self.domain.0 + ix) as f32, 0.0])
-                            }
+                            Value::Vec2(indexof_elem(self.pos, self.domain, shape))
                         }
                         Binding::Out(_) | Binding::Scalar(_) => {
-                            let (x, y) = self.pos;
-                            if self.linear {
-                                Value::Vec2([(y * self.domain.0 + x) as f32, 0.0])
-                            } else {
-                                Value::Vec2([x as f32, y as f32])
-                            }
+                            Value::Vec2(indexof_pos(self.pos, self.domain, self.linear))
                         }
                         Binding::Gather { .. } => {
                             return Err(self.err_at(

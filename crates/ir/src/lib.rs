@@ -33,6 +33,7 @@
 
 pub mod eval;
 pub mod interp;
+pub mod lanes;
 pub mod lower;
 pub mod passes;
 pub mod pretty;
