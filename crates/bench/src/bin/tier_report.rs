@@ -1,0 +1,39 @@
+//! CI perf-smoke gate: lane engine vs Tier-2 closure chains.
+//!
+//! Prints the per-app comparison table, writes the `BENCH_tier.json`
+//! trajectory file, and exits nonzero if Tier-2 is not strictly faster
+//! than the lane engine on every benched app — the closure-threading
+//! performance claim, enforced in CI. Both engines are measured in the
+//! same process on the same machine, warm (compile/plan/tier-compile
+//! excluded), so the gate compares steady-state dispatch cost only.
+
+use brook_bench::tier::{compare_tiers, render_tier_table, tier_json};
+
+fn main() {
+    let rows = compare_tiers().unwrap_or_else(|e| {
+        eprintln!("tier comparison failed: {e}");
+        std::process::exit(2);
+    });
+    print!("{}", render_tier_table(&rows));
+    let json = tier_json(&rows);
+    let path = std::path::Path::new("BENCH_tier.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(2);
+    }
+    println!("\ntrajectory written to {}", path.display());
+    let mut ok = true;
+    for r in &rows {
+        if r.tier_ns >= r.lane_ns {
+            eprintln!(
+                "PERF REGRESSION: {}: Tier-2 ({} ns) is not faster than the lane engine ({} ns)",
+                r.app, r.tier_ns, r.lane_ns
+            );
+            ok = false;
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("Tier-2 strictly faster on all {} apps.", rows.len());
+}

@@ -43,7 +43,7 @@ impl LaneComparison {
 }
 
 /// One positional kernel argument of a timed workload.
-enum ArgSpec {
+pub(crate) enum ArgSpec {
     /// Gather table (shape, data).
     Gather(Vec<usize>, Vec<f32>),
     /// Elementwise input (shape, data).
@@ -54,15 +54,17 @@ enum ArgSpec {
     F4([f32; 4]),
 }
 
-struct Workload {
-    app: &'static str,
-    source: String,
-    kernel: &'static str,
-    args: Vec<ArgSpec>,
-    out_shape: Vec<usize>,
+pub(crate) struct Workload {
+    pub(crate) app: &'static str,
+    pub(crate) source: String,
+    pub(crate) kernel: &'static str,
+    pub(crate) args: Vec<ArgSpec>,
+    pub(crate) out_shape: Vec<usize>,
 }
 
-fn workloads() -> Vec<Workload> {
+/// The shared four-app workload suite (`tier` reuses it so both perf
+/// gates measure identical dispatches).
+pub(crate) fn workloads() -> Vec<Workload> {
     let mb = 64usize;
     let (x0, y0, x1, y1) = mandelbrot::REGION;
     let (dx, dy) = ((x1 - x0) / mb as f32, (y1 - y0) / mb as f32);
@@ -113,14 +115,14 @@ fn workloads() -> Vec<Workload> {
     ]
 }
 
-struct Prepared {
-    ctx: BrookContext,
-    module: brook_auto::BrookModule,
-    streams: Vec<Option<brook_auto::Stream>>,
-    out: brook_auto::Stream,
+pub(crate) struct Prepared {
+    pub(crate) ctx: BrookContext,
+    pub(crate) module: brook_auto::BrookModule,
+    pub(crate) streams: Vec<Option<brook_auto::Stream>>,
+    pub(crate) out: brook_auto::Stream,
 }
 
-fn prepare(w: &Workload, mut ctx: BrookContext) -> Result<Prepared, BrookError> {
+pub(crate) fn prepare(w: &Workload, mut ctx: BrookContext) -> Result<Prepared, BrookError> {
     let module = ctx.compile(&w.source)?;
     let mut streams = Vec::new();
     for a in &w.args {
@@ -142,7 +144,7 @@ fn prepare(w: &Workload, mut ctx: BrookContext) -> Result<Prepared, BrookError> 
     })
 }
 
-fn dispatch(p: &mut Prepared, w: &Workload) -> Result<(), BrookError> {
+pub(crate) fn dispatch(p: &mut Prepared, w: &Workload) -> Result<(), BrookError> {
     let mut args: Vec<Arg<'_>> = Vec::new();
     for (a, s) in w.args.iter().zip(&p.streams) {
         match (a, s) {
@@ -156,7 +158,7 @@ fn dispatch(p: &mut Prepared, w: &Workload) -> Result<(), BrookError> {
     p.ctx.run(&p.module, w.kernel, &args)
 }
 
-fn best_of(reps: usize, mut f: impl FnMut()) -> u128 {
+pub(crate) fn best_of(reps: usize, mut f: impl FnMut()) -> u128 {
     let mut best = u128::MAX;
     for _ in 0..reps {
         let t = Instant::now();
@@ -174,7 +176,11 @@ fn scalar_ir_context() -> BrookContext {
 
 /// Runs the comparison. Each workload executes on both engines, the
 /// lane planner is asserted to have admitted the kernel, results are
-/// cross-checked bit-exactly, then each side is timed best-of-5.
+/// cross-checked bit-exactly, both sides are warmed up, then each side
+/// is timed best-of-5. One-time compile/plan cost is excluded by
+/// construction: compilation happens once in `prepare`, and the
+/// cross-check plus an explicit warm-up dispatch precede every timed
+/// rep, so the reported ns are steady-state dispatches only.
 ///
 /// # Errors
 /// Compile/run failures, a planner rejection of a bench app, or an
@@ -211,6 +217,9 @@ pub fn compare_lanes() -> Result<Vec<LaneComparison>, BrookError> {
                 )));
             }
         }
+        // Explicit warm-up so the timed reps see steady state only.
+        dispatch(&mut scalar, &w)?;
+        dispatch(&mut lane, &w)?;
         let reps = 5;
         let scalar_ns = best_of(reps, || {
             dispatch(&mut scalar, &w).expect("scalar dispatch");

@@ -1,0 +1,199 @@
+//! Lane engine vs Tier-2 closure-threaded engine — the perf headline
+//! of the closure-threading work, measured, not asserted.
+//!
+//! The same four paper apps as `lanes` run identical workloads on two
+//! CPU contexts: the lane engine alone (a `cpu` context with
+//! `tier_execution = false`: blocks of `LANES` elements, but a full
+//! decoded-op dispatch per op per block) and the Tier-2 closure chains
+//! (the default `cpu` backend: pre-compiled monomorphized closures,
+//! superword-fused pairs, hoisted uniform subchains). Results are
+//! cross-checked bit-exactly while timing, and every workload's kernel
+//! is asserted to be tier-admitted — a compiler regression that
+//! silently sent an app back to the lane engine would fail the bench,
+//! not flatter it.
+//!
+//! One-time compile/plan/tier-compile cost is **excluded** from the
+//! per-dispatch numbers: compilation happens once in `prepare`, the
+//! bit-exact cross-check plus an explicit warm-up dispatch run before
+//! any timing, and best-of-N then times steady-state executions only.
+//!
+//! `tier_report` renders the table, writes the `BENCH_tier.json`
+//! trajectory file and **fails** if Tier-2 is not strictly faster than
+//! the lane engine on every benched app — the CI perf-smoke gate
+//! against tier-engine regressions.
+
+use crate::lanes::{best_of, dispatch, prepare, workloads, Workload};
+use brook_auto::{BrookContext, BrookError};
+
+/// One app's timing comparison.
+#[derive(Debug, Clone)]
+pub struct TierComparison {
+    /// App name.
+    pub app: &'static str,
+    /// Output elements per dispatch.
+    pub elements: usize,
+    /// Best-of-N wall time per dispatch, lane engine (tier off), ns.
+    pub lane_ns: u128,
+    /// Best-of-N wall time per dispatch, Tier-2 closure chains, ns.
+    pub tier_ns: u128,
+}
+
+impl TierComparison {
+    /// Lane time over tier time (>1 means Tier-2 is faster).
+    pub fn speedup(&self) -> f64 {
+        self.lane_ns as f64 / self.tier_ns as f64
+    }
+}
+
+fn lane_only_context() -> BrookContext {
+    let mut ctx = BrookContext::cpu();
+    ctx.tier_execution = false;
+    ctx
+}
+
+/// Asserts a workload's kernel was tier-admitted and returns the
+/// recorded compile summary.
+fn require_tier_plan(w: &Workload, module: &brook_auto::BrookModule) -> Result<(), BrookError> {
+    let plan = module
+        .report
+        .tier_plans
+        .iter()
+        .find(|p| p.kernel == w.kernel)
+        .ok_or_else(|| BrookError::Usage(format!("{}: no tier plan recorded", w.app)))?;
+    if !plan.compiled {
+        return Err(BrookError::Usage(format!(
+            "{}: tier compiler rejected the kernel ({}) — the bench would compare lanes to lanes",
+            w.app, plan.detail
+        )));
+    }
+    Ok(())
+}
+
+/// Runs the comparison. Each workload executes on both engines, the
+/// tier compiler is asserted to have admitted the kernel, results are
+/// cross-checked bit-exactly, both sides are warmed up, then each side
+/// is timed best-of-5 (steady-state dispatches only; compile and tier
+/// compilation happened once, before timing).
+///
+/// # Errors
+/// Compile/run failures, a tier rejection of a bench app, or an engine
+/// disagreement (which would invalidate the comparison).
+pub fn compare_tiers() -> Result<Vec<TierComparison>, BrookError> {
+    let mut rows = Vec::new();
+    for w in workloads() {
+        let mut lane = prepare(&w, lane_only_context())?;
+        let mut tier = prepare(&w, BrookContext::cpu())?;
+        // Every bench app must actually take the Tier-2 path (and the
+        // lane-only context must really have it disabled).
+        require_tier_plan(&w, &tier.module)?;
+        if tier
+            .module
+            .report
+            .lane_plans
+            .iter()
+            .any(|p| p.kernel == w.kernel && !p.vectorized)
+        {
+            return Err(BrookError::Usage(format!(
+                "{}: lane planner rejected the kernel under the tier context",
+                w.app
+            )));
+        }
+        // Correctness first: both engines must agree bitwise. These
+        // dispatches double as the first warm-up round.
+        dispatch(&mut lane, &w)?;
+        dispatch(&mut tier, &w)?;
+        let a = lane.ctx.read(&lane.out)?;
+        let b = tier.ctx.read(&tier.out)?;
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                return Err(BrookError::Usage(format!(
+                    "{}: lane and tier engines disagree at element {i}: {x} vs {y}",
+                    w.app
+                )));
+            }
+        }
+        // Explicit warm-up so the timed reps see steady state only.
+        dispatch(&mut lane, &w)?;
+        dispatch(&mut tier, &w)?;
+        let reps = 5;
+        let lane_ns = best_of(reps, || {
+            dispatch(&mut lane, &w).expect("lane dispatch");
+        });
+        let tier_ns = best_of(reps, || {
+            dispatch(&mut tier, &w).expect("tier dispatch");
+        });
+        rows.push(TierComparison {
+            app: w.app,
+            elements: w.out_shape.iter().product(),
+            lane_ns,
+            tier_ns,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the comparison table.
+pub fn render_tier_table(rows: &[TierComparison]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Lane engine vs Tier-2 closure chains (L={}, best-of-5 per dispatch, warm)\n",
+        brook_ir::lanes::LANES
+    ));
+    out.push_str(&format!(
+        "{:<14} {:>10} {:>14} {:>14} {:>9}\n",
+        "app", "elements", "lane ns", "tier ns", "speedup"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>10} {:>14} {:>14} {:>8.2}x\n",
+            r.app,
+            r.elements,
+            r.lane_ns,
+            r.tier_ns,
+            r.speedup()
+        ));
+    }
+    let geo: f64 = rows.iter().map(|r| r.speedup().ln()).sum::<f64>() / rows.len().max(1) as f64;
+    out.push_str(&format!("geomean speedup: {:.2}x\n", geo.exp()));
+    out
+}
+
+/// Serializes the rows as the `BENCH_tier.json` trajectory document.
+pub fn tier_json(rows: &[TierComparison]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"tier\",\n  \"unit\": \"ns/dispatch\",\n");
+    out.push_str(&format!(
+        "  \"lanes\": {},\n  \"rows\": [\n",
+        brook_ir::lanes::LANES
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"app\": \"{}\", \"elements\": {}, \"lane_ns\": {}, \"tier_ns\": {}, \"speedup\": {:.4}}}{}\n",
+            r.app,
+            r.elements,
+            r.lane_ns,
+            r.tier_ns,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_agree_and_json_is_well_formed() {
+        let rows = compare_tiers().expect("comparison");
+        assert_eq!(rows.len(), 4);
+        let json = tier_json(&rows);
+        assert!(json.contains("\"app\": \"mandelbrot\""));
+        assert!(json.contains("\"app\": \"image_filter\""));
+        assert!(json.contains("\"bench\": \"tier\""));
+        let table = render_tier_table(&rows);
+        assert!(table.contains("sgemm"));
+        assert!(table.contains("geomean"));
+    }
+}

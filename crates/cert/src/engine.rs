@@ -98,6 +98,20 @@ pub struct LanePlan {
     pub detail: String,
 }
 
+/// One kernel's Tier-2 closure-threading decision, recorded at
+/// compile time when the runtime consults `brook_ir::tier::compile`:
+/// which kernels execute as pre-compiled closure chains and why the
+/// rest stay on the lane engine (or scalar interpreter).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierPlan {
+    /// Kernel name.
+    pub kernel: String,
+    /// True when the compiler admitted the kernel to Tier-2.
+    pub compiled: bool,
+    /// The compilation summary or the rejection reason.
+    pub detail: String,
+}
+
 /// Whole-program compliance result.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ComplianceReport {
@@ -112,6 +126,10 @@ pub struct ComplianceReport {
     /// `brook_ir::lanes::plan`). Empty before lowering or when lane
     /// execution is disabled on the compiling context.
     pub lane_plans: Vec<LanePlan>,
+    /// Tier-2 closure-threading decisions, one per lowered kernel (see
+    /// `brook_ir::tier::compile`). Empty before lowering or when tier
+    /// execution is disabled on the compiling context.
+    pub tier_plans: Vec<TierPlan>,
 }
 
 impl ComplianceReport {
@@ -143,6 +161,7 @@ pub fn certify(checked: &CheckedProgram, config: &CertConfig) -> ComplianceRepor
         kernels,
         passes: Vec::new(),
         lane_plans: Vec::new(),
+        tier_plans: Vec::new(),
     }
 }
 

@@ -31,7 +31,9 @@ pub mod report;
 pub mod rules;
 
 pub use analysis::{CallGraph, LoopBound};
-pub use engine::{certify, certify_source, CertConfig, ComplianceReport, Finding, KernelReport, LanePlan};
+pub use engine::{
+    certify, certify_source, CertConfig, ComplianceReport, Finding, KernelReport, LanePlan, TierPlan,
+};
 pub use ir_check::{
     check_kernel as check_kernel_ir, check_program as check_program_ir, optimize_program, IrKernelCheck,
     PassAction, PassRecord,

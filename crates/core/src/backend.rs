@@ -67,6 +67,12 @@ pub struct KernelLaunch<'a> {
     /// present here through the lane engine in element blocks; rejected
     /// kernels run the scalar IR interpreter.
     pub lanes: &'a brook_ir::lanes::LaneProgram,
+    /// Tier-2 closure-chain plans for the unit, compiled once at
+    /// compile time (`brook_ir::tier::compile`) from the lane plans.
+    /// CPU backends execute kernels present here through the
+    /// closure-threaded engine; rejected kernels keep the lane engine
+    /// (or the scalar interpreter).
+    pub tiers: &'a brook_ir::tier::TierProgram,
     /// Module identity, stable across launches (backends key compiled
     /// artifact caches on it).
     pub module_id: u64,
@@ -290,10 +296,12 @@ mod tests {
             p
         };
         let lanes = brook_ir::lanes::LaneProgram::plan_program(&ir);
+        let tiers = brook_ir::tier::TierProgram::compile_program(&ir, &lanes);
         let launch = KernelLaunch {
             checked: &checked,
             ir: &ir,
             lanes: &lanes,
+            tiers: &tiers,
             module_id: 1,
             kernel: "f",
             args: vec![

@@ -56,6 +56,14 @@ pub struct BrookModule {
     /// blocks; rejected kernels keep the scalar interpreter. Empty when
     /// the compiling context disabled lane execution.
     pub(crate) lanes: Arc<brook_ir::lanes::LaneProgram>,
+    /// Tier-2 closure-chain plans, compiled once at compile time by
+    /// `brook_ir::tier::compile` from the lane plans and recorded in
+    /// the report's `tier_plans`. CPU backends execute admitted kernels
+    /// as pre-compiled closure chains; rejected kernels keep the lane
+    /// engine. Empty when the compiling context disabled tier (or lane)
+    /// execution. Shared: closure chains are compiled once per module,
+    /// never per clone.
+    pub(crate) tiers: Arc<brook_ir::tier::TierProgram>,
     /// The certification data produced at compile time (paper §4).
     pub report: ComplianceReport,
     /// Globally unique module identity (backends key compiled-artifact
@@ -111,6 +119,12 @@ pub struct BrookContext {
     /// (used by the lane differential campaigns and the lane benches as
     /// the scalar baseline).
     pub lane_execution: bool,
+    /// When false, `compile` skips Tier-2 closure-chain compilation, so
+    /// admitted kernels execute on the lane engine instead (used by the
+    /// tier differential campaigns and the tier benches as the lane
+    /// baseline). Has no effect when `lane_execution` is false: Tier-2
+    /// builds on the lane plan.
+    pub tier_execution: bool,
 }
 
 impl BrookContext {
@@ -125,6 +139,7 @@ impl BrookContext {
             enforce_certification: true,
             ir_optimize: true,
             lane_execution: true,
+            tier_execution: true,
         }
     }
 
@@ -228,10 +243,21 @@ impl BrookContext {
             brook_ir::lanes::LaneProgram::default()
         };
         report.lane_plans = lane_plan_records(&lanes);
+        // Tier-2 compilation: lane-admitted kernels become closure
+        // chains here, once; the decision (and the compile summary) is
+        // part of the certification data package. Same fallback story
+        // as lanes — rejection changes speed, never results.
+        let tiers = if self.lane_execution && self.tier_execution {
+            brook_ir::tier::TierProgram::compile_program(&ir, &lanes)
+        } else {
+            brook_ir::tier::TierProgram::default()
+        };
+        report.tier_plans = tier_plan_records(&tiers);
         Ok(BrookModule {
             checked: Arc::new(checked),
             ir: Arc::new(ir),
             lanes: Arc::new(lanes),
+            tiers: Arc::new(tiers),
             report,
             id: fresh_module_id(),
             context_id: self.context_id,
@@ -262,6 +288,7 @@ impl BrookContext {
             // Hand-built IR is never lane-planned: it executes through
             // the scalar interpreter behind the launch-boundary verifier.
             lanes: Arc::new(brook_ir::lanes::LaneProgram::default()),
+            tiers: Arc::new(brook_ir::tier::TierProgram::default()),
             report,
             id: fresh_module_id(),
             context_id: self.context_id,
@@ -385,6 +412,7 @@ impl BrookContext {
             checked: &module.checked,
             ir: &module.ir,
             lanes: &module.lanes,
+            tiers: &module.tiers,
             module_id: module.id,
             kernel,
             args: bound_args,
@@ -462,6 +490,24 @@ pub(crate) fn lane_plan_records(lanes: &brook_ir::lanes::LaneProgram) -> Vec<bro
             vectorized: plan.is_ok(),
             detail: match plan {
                 Ok(_) => "lane-vectorized".into(),
+                Err(reason) => reason.clone(),
+            },
+        })
+        .collect()
+}
+
+/// Renders Tier-2 decisions into the report records the compliance
+/// data package carries. Shared by `compile` and the graph executor's
+/// fused-module path.
+pub(crate) fn tier_plan_records(tiers: &brook_ir::tier::TierProgram) -> Vec<brook_cert::TierPlan> {
+    tiers
+        .kernels
+        .iter()
+        .map(|(name, plan)| brook_cert::TierPlan {
+            kernel: name.clone(),
+            compiled: plan.is_ok(),
+            detail: match plan {
+                Ok(t) => t.detail(),
                 Err(reason) => reason.clone(),
             },
         })

@@ -998,25 +998,30 @@ where
 }
 
 /// Serial full-domain IR run (the default `runner` for
-/// [`dispatch_ir_on_host`]): the lane engine in element blocks when the
-/// compile-time planner admitted the kernel, the scalar interpreter
-/// otherwise — bit-identical either way, by the lane engine's fallback
-/// guarantee.
+/// [`dispatch_ir_on_host`]): the Tier-2 closure chain when the compiler
+/// admitted the kernel, the lane engine in element blocks when only the
+/// lane planner did, the scalar interpreter otherwise — bit-identical
+/// every way, by the engines' fallback guarantees.
 pub(crate) fn ir_run_full(
     kernel: &brook_ir::IrKernel,
     lane: Option<&brook_ir::lanes::LaneKernel>,
+    tier: Option<&brook_ir::tier::TierKernel>,
     bindings: &[ir_interp::Binding<'_>],
     outputs: &mut [Vec<f32>],
     domain_shape: &[usize],
 ) -> Result<()> {
     let (dx, dy, _) = ir_interp::domain_extents(domain_shape);
     let mut slices: Vec<&mut [f32]> = outputs.iter_mut().map(|v| v.as_mut_slice()).collect();
-    match lane {
-        Some(lk) => {
+    match (tier, lane) {
+        (Some(tk), Some(lk)) => {
+            brook_ir::tier::run_kernel_range(tk, lk, kernel, bindings, &mut slices, domain_shape, 0..dx * dy)
+                .map_err(exec_err)
+        }
+        (None, Some(lk)) => {
             brook_ir::lanes::run_kernel_range(lk, kernel, bindings, &mut slices, domain_shape, 0..dx * dy)
                 .map_err(exec_err)
         }
-        None => ir_interp::run_kernel_range(kernel, bindings, &mut slices, domain_shape, 0..dx * dy)
+        _ => ir_interp::run_kernel_range(kernel, bindings, &mut slices, domain_shape, 0..dx * dy)
             .map_err(exec_err),
     }
 }
@@ -1087,13 +1092,16 @@ impl BackendExecutor for CpuBackend {
         let ast_has_kernel = launch.checked.program.kernel(launch.kernel).is_some();
         if !self.use_ast_walker || !ast_has_kernel {
             if let Some(kernel) = launch.ir.kernel(launch.kernel) {
-                let lane = if self.use_ast_walker {
-                    None
+                let (lane, tier) = if self.use_ast_walker {
+                    (None, None)
                 } else {
-                    launch.lanes.kernel(launch.kernel)
+                    (
+                        launch.lanes.kernel(launch.kernel),
+                        launch.tiers.kernel(launch.kernel),
+                    )
                 };
                 return dispatch_ir_on_host(&mut self.streams, launch, kernel, |k, b, outs, domain| {
-                    ir_run_full(k, lane, b, outs, domain)
+                    ir_run_full(k, lane, tier, b, outs, domain)
                 });
             }
         }

@@ -140,9 +140,11 @@ fn run_parallel(
 /// the lane engine and chunk boundaries are aligned to lane-block
 /// multiples, so workers iterate whole register slabs — only the final
 /// chunk sees a remainder block.
+#[allow(clippy::too_many_arguments)]
 fn run_parallel_ir(
     kernel: &IrKernel,
     lane: Option<&brook_ir::lanes::LaneKernel>,
+    tier: Option<&brook_ir::tier::TierKernel>,
     bindings: &[ir_interp::Binding<'_>],
     outputs: &mut [Vec<f32>],
     domain_shape: &[usize],
@@ -180,17 +182,38 @@ fn run_parallel_ir(
             .zip(per_chunk)
             .map(|(range, mut outs)| {
                 let range = range.clone();
-                scope.spawn(move || match lane {
-                    Some(lk) => brook_ir::lanes::run_kernel_range(
-                        lk,
-                        kernel,
-                        bindings,
-                        &mut outs,
-                        domain_shape,
-                        range,
-                    )
-                    .map_err(cpu::exec_err),
-                    None => ir_interp::run_kernel_range(kernel, bindings, &mut outs, domain_shape, range)
+                scope.spawn(move || match (tier, lane) {
+                    // The worker's slab frame: allocated once here and
+                    // reused across every block in the chunk (`_in`
+                    // entry points), instead of rebuilt per dispatch.
+                    (Some(tk), Some(lk)) => {
+                        let mut slabs = brook_ir::lanes::LaneSlabs::new();
+                        brook_ir::tier::run_kernel_range_in(
+                            &mut slabs,
+                            tk,
+                            lk,
+                            kernel,
+                            bindings,
+                            &mut outs,
+                            domain_shape,
+                            range,
+                        )
+                        .map_err(cpu::exec_err)
+                    }
+                    (None, Some(lk)) => {
+                        let mut slabs = brook_ir::lanes::LaneSlabs::new();
+                        brook_ir::lanes::run_kernel_range_in(
+                            &mut slabs,
+                            lk,
+                            kernel,
+                            bindings,
+                            &mut outs,
+                            domain_shape,
+                            range,
+                        )
+                        .map_err(cpu::exec_err)
+                    }
+                    _ => ir_interp::run_kernel_range(kernel, bindings, &mut outs, domain_shape, range)
                         .map_err(cpu::exec_err),
                 })
             })
@@ -240,13 +263,14 @@ impl BackendExecutor for ParallelCpuBackend {
         let workers = self.workers;
         if let Some(kernel) = launch.ir.kernel(launch.kernel) {
             let lane = launch.lanes.kernel(launch.kernel);
+            let tier = launch.tiers.kernel(launch.kernel);
             if self.parallelizable(dx * dy, uniform) {
                 cpu::dispatch_ir_on_host(&mut self.streams, launch, kernel, |k, bindings, outs, domain| {
-                    run_parallel_ir(k, lane, bindings, outs, domain, workers)
+                    run_parallel_ir(k, lane, tier, bindings, outs, domain, workers)
                 })
             } else {
                 cpu::dispatch_ir_on_host(&mut self.streams, launch, kernel, |k, bindings, outs, domain| {
-                    cpu::ir_run_full(k, lane, bindings, outs, domain)
+                    cpu::ir_run_full(k, lane, tier, bindings, outs, domain)
                 })
             }
         } else if self.parallelizable(dx * dy, uniform) {
@@ -566,5 +590,51 @@ mod tests {
         );
         // The context stays usable after the failed dispatch.
         assert_eq!(ctx.read(&a).expect("read"), vec![1.0; n]);
+    }
+
+    /// The Tier-2 closure chain runs inside every worker with its own
+    /// reused slab frame; a degenerate single worker and an
+    /// over-subscribed seventeen must stay bit-exact (branchy, loopy
+    /// kernel so divergence crosses chunk boundaries).
+    #[test]
+    fn tier_workers_one_and_seventeen_bit_exact() {
+        let src = "kernel void f(float a<>, out float o<>) {
+            float s = a * 0.5 + 0.25;
+            int i;
+            for (i = 0; i < 24; i++) {
+                if (s < 10.0) { s = s * 1.5 + 1.0; } else { s = s - 7.75; }
+            }
+            o = s * 2.0 + a;
+        }";
+        let n = 4096; // >= PARALLEL_THRESHOLD
+        let data: Vec<f32> = (0..n).map(|i| (i as f32 * 0.83) % 37.0).collect();
+        let mut results = Vec::new();
+        for workers in [1usize, 17] {
+            let mut ctx = BrookContext::with_backend(
+                Box::new(ParallelCpuBackend::with_workers(workers)),
+                brook_cert::CertConfig::default(),
+            );
+            let module = ctx.compile(src).expect("compile");
+            assert!(
+                module
+                    .report
+                    .tier_plans
+                    .iter()
+                    .any(|t| t.kernel == "f" && t.compiled),
+                "kernel must be tier-admitted for this test to cover Tier-2"
+            );
+            let a = ctx.stream(&[n]).expect("a");
+            let o = ctx.stream(&[n]).expect("o");
+            ctx.write(&a, &data).expect("write");
+            ctx.run(&module, "f", &[Arg::Stream(&a), Arg::Stream(&o)])
+                .expect("run");
+            results.push(ctx.read(&o).expect("read"));
+        }
+        let bits = |v: &Vec<f32>| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&results[0]),
+            bits(&results[1]),
+            "worker count changed results"
+        );
     }
 }

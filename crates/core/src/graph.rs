@@ -409,6 +409,7 @@ impl<'ctx> BrookGraph<'ctx> {
                         checked: &module.checked,
                         ir: &module.ir,
                         lanes: &module.lanes,
+                        tiers: &module.tiers,
                         module_id: module.id,
                         kernel,
                         args: bound,
@@ -704,15 +705,26 @@ impl<'ctx> BrookGraph<'ctx> {
             brook_ir::lanes::LaneProgram::default()
         };
         let lane_plans = crate::context::lane_plan_records(&lanes);
+        // Fused kernels are tier-compiled at fuse time, exactly like
+        // `compile` does: the collapsed producer->consumer chain goes
+        // straight to the closure-threaded engine when admitted.
+        let tiers = if self.ctx.lane_execution && self.ctx.tier_execution {
+            brook_ir::tier::TierProgram::compile_program(&ir, &lanes)
+        } else {
+            brook_ir::tier::TierProgram::default()
+        };
+        let tier_plans = crate::context::tier_plan_records(&tiers);
         let source = brook_ir::pretty::print_program(&ir);
         let module = BrookModule {
             checked,
             ir: ir.clone(),
             lanes: Arc::new(lanes),
+            tiers: Arc::new(tiers),
             report: brook_cert::ComplianceReport {
                 kernels: Vec::new(),
                 passes,
                 lane_plans,
+                tier_plans,
             },
             id: crate::context::fresh_module_id(),
             context_id: self.ctx.context_id,

@@ -49,6 +49,7 @@ pub mod mutation;
 pub mod optdiff;
 pub mod repro;
 pub mod shrink;
+pub mod tier;
 
 pub use chain::{gen_chain, run_chain_campaign, run_chain_case, ChainCase, ChainConfig, ChainStats};
 pub use differential::{compare, run_case, BackendOutput, CaseFailure, Divergence, Matrix};
@@ -58,6 +59,7 @@ pub use mutation::SaboteurBackend;
 pub use optdiff::{opt_matrix, run_optdiff_campaign, OptDiffStats};
 pub use repro::{repro_root, write_repro};
 pub use shrink::shrink;
+pub use tier::{run_tier_campaign, tier_matrix, TierStats};
 
 use brook_auto::BrookError;
 use brook_cert::{certify, violates, CertConfig, RuleId};

@@ -78,6 +78,37 @@ fn lanes_campaign_96_cases_bitwise_vs_scalar_and_ast() {
     );
 }
 
+/// 96 generated kernels through the tier differential matrix: the AST
+/// tree-walking oracle, the scalar flat-IR interpreter, the lane
+/// engine with tier compilation disabled, the Tier-2 closure chains,
+/// and the parallel backend running Tier-2 inside its workers — all
+/// bitwise. Plus the fixed tier-rejected set (cross-component
+/// reductions), which must certify, lane-vectorize, be refused by the
+/// tier compiler, and still agree bitwise through the forced
+/// lane-engine fallback. This is the acceptance bar for Tier-2:
+/// closure threading, superword fusion and uniform hoisting must be
+/// invisible in results, element for element, bit for bit, and the
+/// fallback path must demonstrably run.
+#[test]
+fn tier_campaign_96_cases_bitwise_vs_lanes_scalar_and_ast() {
+    let stats = brook_fuzz::run_tier_campaign(CI_SEED, 96, &brook_fuzz::GenConfig::default())
+        .unwrap_or_else(|e| panic!("tier campaign failed:\n{e}"));
+    assert!(stats.cases >= 96 + 2, "{stats:?}");
+    assert!(
+        stats.tier_kernels >= 64,
+        "the campaign must mostly exercise Tier-2: {stats:?}"
+    );
+    assert!(
+        stats.fallback_kernels >= 2,
+        "the campaign must exercise the lane-engine fallback: {stats:?}"
+    );
+    assert!(
+        stats.elements_checked > 1_000,
+        "campaign too small to mean anything: {} elements",
+        stats.elements_checked
+    );
+}
+
 /// 128 random 2–5 kernel pipelines, each run eagerly and through the
 /// deferred fusing graph executor on every registered backend: zero
 /// divergence against the eager CPU oracle (bit-exact on CPU backends),

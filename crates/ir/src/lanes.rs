@@ -66,7 +66,7 @@ pub const FULL: Mask = (1 << LANES) - 1;
 
 /// The stable runtime type of a register, as the planner deduced it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum LaneTy {
+pub(crate) enum LaneTy {
     /// Float vector of width 1..=4 — an `f32` slab per component.
     F(u8),
     /// Scalar int — an `i32` slab.
@@ -76,7 +76,7 @@ enum LaneTy {
 }
 
 impl LaneTy {
-    fn of_type(t: Type) -> LaneTy {
+    pub(crate) fn of_type(t: Type) -> LaneTy {
         match t.scalar {
             ScalarKind::Float => LaneTy::F(t.width.clamp(1, 4)),
             ScalarKind::Int => LaneTy::I,
@@ -84,7 +84,7 @@ impl LaneTy {
         }
     }
 
-    fn of_value(v: &Value) -> LaneTy {
+    pub(crate) fn of_value(v: &Value) -> LaneTy {
         match v {
             Value::Float(_) => LaneTy::F(1),
             Value::Vec2(_) => LaneTy::F(2),
@@ -102,7 +102,7 @@ impl LaneTy {
 
 /// Componentwise float arithmetic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FOp {
+pub(crate) enum FOp {
     Add,
     Sub,
     Mul,
@@ -114,7 +114,7 @@ enum FOp {
 /// Wrapping int arithmetic (division by zero yields zero, as in the
 /// scalar semantics).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum IOp {
+pub(crate) enum IOp {
     Add,
     Sub,
     Mul,
@@ -124,7 +124,7 @@ enum IOp {
 
 /// Scalar comparison, writing a bool slab.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum COp {
+pub(crate) enum COp {
     Lt,
     Le,
     Gt,
@@ -135,7 +135,7 @@ enum COp {
 
 /// Bool-slab logic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum BOp {
+pub(crate) enum BOp {
     And,
     Or,
     Eq,
@@ -144,7 +144,7 @@ enum BOp {
 
 /// Componentwise unary builtins.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Un1 {
+pub(crate) enum Un1 {
     Sin,
     Cos,
     Tan,
@@ -167,7 +167,7 @@ enum Un1 {
 
 /// Componentwise binary builtins (zip semantics with scalar broadcast).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Bi2 {
+pub(crate) enum Bi2 {
     Min,
     Max,
     Pow,
@@ -191,7 +191,7 @@ enum Bi2 {
 /// consecutive entries), the `i32` slab, or the bool-mask slab,
 /// according to the op's type.
 #[derive(Debug, Clone, PartialEq)]
-enum Op {
+pub(crate) enum Op {
     ConstF {
         dst: u32,
         w: u8,
@@ -381,32 +381,32 @@ enum Op {
 /// from. Produced by [`plan`]; executed by [`run_kernel_range`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct LaneKernel {
-    ops: Vec<Op>,
+    pub(crate) ops: Vec<Op>,
     /// `insts[pc]`'s ops live at `ops[op_start[pc]..op_start[pc + 1]]`.
-    op_start: Vec<u32>,
-    f_len: usize,
-    i_len: usize,
-    b_len: usize,
+    pub(crate) op_start: Vec<u32>,
+    pub(crate) f_len: usize,
+    pub(crate) i_len: usize,
+    pub(crate) b_len: usize,
     /// Bool-slab offset per register (valid only for `B` registers);
     /// the tree executor reads branch conditions through it.
-    cond_off: Vec<u32>,
+    pub(crate) cond_off: Vec<u32>,
     /// f-slab staging offset and width per output slot.
-    out_off: Vec<u32>,
-    out_w: Vec<u8>,
+    pub(crate) out_off: Vec<u32>,
+    pub(crate) out_w: Vec<u8>,
     /// Whether a slot's staging slab must be pre-read from the real
     /// buffer each block: true when the kernel observes current output
     /// values (`ReadOut`, compound `WriteOut`) or may leave lanes
     /// unwritten (conditional write, early return). False — the common
     /// unconditional-overwrite case — skips the pre-read entirely.
-    out_preload: Vec<bool>,
+    pub(crate) out_preload: Vec<bool>,
     /// Parameters read elementwise (with their planned widths).
-    elem_params: Vec<(u16, u8)>,
+    pub(crate) elem_params: Vec<(u16, u8)>,
     /// Parameters used by `indexof`.
-    indexof_params: Vec<u16>,
+    pub(crate) indexof_params: Vec<u16>,
     /// Scalar parameters with their expected runtime types.
-    scalar_params: Vec<(u16, LaneTy)>,
+    pub(crate) scalar_params: Vec<(u16, LaneTy)>,
     /// Gather parameters with their planned widths.
-    gather_params: Vec<(u16, u8)>,
+    pub(crate) gather_params: Vec<(u16, u8)>,
 }
 
 /// Lane plans for a whole module, parallel to `IrProgram::kernels`.
@@ -1608,14 +1608,43 @@ macro_rules! lanes_loop {
     };
 }
 
+/// Reusable slab storage for the lane (and Tier-2) engines: the f32
+/// register/staging arena, the i32 arena and the bool-mask arena.
+/// Allocated once — per worker in the parallel backend — and re-prepared
+/// per kernel, so per-dispatch execution never reallocates.
+#[derive(Debug, Default)]
+pub struct LaneSlabs {
+    pub(crate) f: Vec<f32>,
+    pub(crate) i: Vec<i32>,
+    pub(crate) b: Vec<Mask>,
+}
+
+impl LaneSlabs {
+    /// An empty frame; sized on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes and zero-fills the arenas for one kernel's slab layout.
+    pub(crate) fn prepare(&mut self, lk: &LaneKernel) {
+        self.f.clear();
+        self.f.resize(lk.f_len, 0.0);
+        self.i.clear();
+        self.i.resize(lk.i_len, 0);
+        self.b.clear();
+        self.b.resize(lk.b_len, 0);
+    }
+}
+
 struct Engine<'a, 'p> {
     lk: &'p LaneKernel,
     bindings: &'a [Binding<'a>],
     /// Float register + output staging slabs (component-major, one
     /// component = [`LANES`] consecutive values).
-    f: Vec<f32>,
-    i: Vec<i32>,
-    b: Vec<Mask>,
+    f: &'a mut [f32],
+    i: &'a mut [i32],
+    b: &'a mut [Mask],
     /// Lanes retired by a kernel-level `return` in this block.
     dead: Mask,
     /// Per-lane loop back-edge counts (the scalar budget, per lane).
@@ -1640,6 +1669,26 @@ struct Engine<'a, 'p> {
 /// # Errors
 /// Exactly the scalar interpreter's faults, with element attribution.
 pub fn run_kernel_range(
+    lane: &LaneKernel,
+    kernel: &IrKernel,
+    bindings: &[Binding<'_>],
+    outputs: &mut [&mut [f32]],
+    domain_shape: &[usize],
+    range: Range<usize>,
+) -> Result<(), ExecError> {
+    let mut slabs = LaneSlabs::new();
+    run_kernel_range_in(&mut slabs, lane, kernel, bindings, outputs, domain_shape, range)
+}
+
+/// [`run_kernel_range`] with caller-owned slab storage: the parallel
+/// backend allocates one [`LaneSlabs`] per worker and reuses it across
+/// every block of the worker's chunk instead of rebuilding the frame
+/// per dispatch.
+///
+/// # Errors
+/// Exactly the scalar interpreter's faults, with element attribution.
+pub fn run_kernel_range_in(
+    slabs: &mut LaneSlabs,
     lane: &LaneKernel,
     kernel: &IrKernel,
     bindings: &[Binding<'_>],
@@ -1705,12 +1754,13 @@ pub fn run_kernel_range(
             return scalar(outputs);
         }
     }
+    slabs.prepare(lane);
     let mut eng = Engine {
         lk: lane,
         bindings,
-        f: vec![0.0; lane.f_len],
-        i: vec![0; lane.i_len],
-        b: vec![0; lane.b_len],
+        f: &mut slabs.f,
+        i: &mut slabs.i,
+        b: &mut slabs.b,
         dead: 0,
         iters: [0; LANES],
         elem_data,

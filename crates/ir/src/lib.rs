@@ -37,6 +37,7 @@ pub mod lanes;
 pub mod lower;
 pub mod passes;
 pub mod pretty;
+pub mod tier;
 pub mod verify;
 
 pub use brook_lang::ast::{AssignOp, BinOp, ParamKind, Type, UnOp};

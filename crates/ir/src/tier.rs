@@ -1,0 +1,2444 @@
+//! Tier-2 closure-threaded BrookIR execution: lane-planned kernels
+//! pre-compiled into chains of **monomorphized boxed closures** over
+//! the lane engine's SoA slabs.
+//!
+//! The lane engine ([`crate::lanes`]) already amortizes instruction
+//! dispatch over [`LANES`]-element blocks, but it still pays a full
+//! decoded-`Op` `match` (operand kind, broadcast flags, width, builtin
+//! selection) per op per block. Tier-2 resolves all of that **once at
+//! `compile()` time**: every admitted op becomes a boxed `fn(&mut
+//! Frame)` whose register offsets, widths, constants and operation are
+//! baked into a monomorphized closure body — per-block execution is a
+//! straight walk of indirect calls with zero decode and zero type
+//! dispatch. On top of the threading, two compile-time specializations
+//! remove work entirely:
+//!
+//! * a **peephole superword pass** fuses recurring adjacent dependent
+//!   pairs — `mul`+`add` style arith chains, arith+compare,
+//!   compare+select, elementwise-fetch+arith and gather+arith — into
+//!   single fused closures that keep the intermediate in a machine
+//!   register instead of round-tripping it through the slab;
+//! * **uniform subchains are hoisted**: any op whose sources are
+//!   dispatch-invariant (constants, scalar parameters, and values
+//!   computed from them) and whose destination is written exactly once
+//!   is moved into a *prologue* evaluated once per dispatch instead of
+//!   once per block.
+//!
+//! # The fallback guarantee
+//!
+//! Certification-wise Tier-2 sits strictly *on top of* the lane
+//! engine's guarantee and adds no new trusted surface:
+//!
+//! 1. Admission ([`compile`]) starts from a lane-planner-admitted
+//!    kernel (so slab layout, def-before-use and static semantics are
+//!    already established) and additionally rejects any op the closure
+//!    model does not cover — cross-component reductions and statically
+//!    planned fault sites. Rejections are recorded per kernel in the
+//!    module's `ComplianceReport` (`tier_plans`) and the backends run
+//!    the lane engine instead.
+//! 2. At run time any unmodeled binding shape falls back to the lane
+//!    engine for the whole range, and any faulting block (iteration
+//!    budget) discards its staged slabs and re-runs **exactly that
+//!    block** through the lane engine — which itself re-runs it through
+//!    the scalar interpreter. Results, partial writes, fault messages,
+//!    element attribution and source spans are therefore bit-exact with
+//!    the scalar path by construction, through the tier → lanes →
+//!    scalar chain.
+
+use crate::interp::{
+    domain_extents, indexof_elem, indexof_pos, input_index, Binding, ExecError, MAX_ITERATIONS,
+};
+use crate::lanes::{
+    self, BOp, Bi2, COp, FOp, IOp, LaneKernel, LaneProgram, LaneSlabs, LaneTy, Mask, Op, Un1, FULL, LANES,
+};
+use crate::{IrKernel, IrProgram, LoopKind, Node};
+use glsl_es::Value;
+use std::fmt;
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// The execution frame and the step type.
+// ---------------------------------------------------------------------------
+
+/// The per-dispatch execution state a compiled step runs against: the
+/// slab arenas plus the per-block access tables the driver refreshes
+/// between blocks. Mirrors the lane engine's `Engine` exactly — the
+/// slabs are caller-owned [`LaneSlabs`] so workers reuse them.
+pub(crate) struct Frame<'a> {
+    bindings: &'a [Binding<'a>],
+    f: &'a mut [f32],
+    i: &'a mut [i32],
+    b: &'a mut [Mask],
+    /// The active mask for the straight-line segment being executed.
+    m: Mask,
+    /// Lanes retired by a kernel-level `return` in this block.
+    dead: Mask,
+    /// Per-lane loop back-edge counts (the scalar budget, per lane).
+    iters: [u32; LANES],
+    elem_data: Vec<&'a [f32]>,
+    elem_off: Vec<[usize; LANES]>,
+    scalar_f: Vec<[f32; 4]>,
+    scalar_i: Vec<i32>,
+    idx_vals: Vec<[[f32; 2]; LANES]>,
+}
+
+/// One compiled execution step: a monomorphized closure with all
+/// operand offsets, widths and the operation baked in.
+type Step = Box<dyn for<'f> Fn(&mut Frame<'f>) + Send + Sync>;
+
+macro_rules! tier_loop {
+    ($m:expr, $l:ident, $body:block) => {
+        if $m == FULL {
+            for $l in 0..LANES {
+                $body
+            }
+        } else {
+            let mut mm = $m;
+            while mm != 0 {
+                let $l = mm.trailing_zeros() as usize;
+                $body
+                mm &= mm - 1;
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// The compiled form.
+// ---------------------------------------------------------------------------
+
+/// The closure-threaded control tree, mirroring the kernel's structured
+/// [`Node`] regions with conditions pre-resolved to bool-slab offsets.
+enum TNode {
+    /// A run of straight-line steps sharing one execution mask.
+    Straight(Vec<Step>),
+    /// Kernel-level `return`: retire the active lanes.
+    Ret,
+    If {
+        cond: usize,
+        then: Vec<TNode>,
+        els: Vec<TNode>,
+    },
+    Loop {
+        dowhile: bool,
+        cond: usize,
+        header: Vec<TNode>,
+        body: Vec<TNode>,
+    },
+}
+
+/// A Tier-2-compiled kernel: the once-per-dispatch uniform prologue
+/// plus the per-block closure chain. Produced by [`compile`]; executed
+/// by [`run_kernel_range`].
+pub struct TierKernel {
+    /// Hoisted uniform steps, run once per dispatch at full mask.
+    prologue: Vec<Step>,
+    /// The per-block closure-threaded control tree.
+    chain: Vec<TNode>,
+    /// Decoded lane ops the kernel compiled from.
+    ops_in: usize,
+    /// Per-block steps after fusion and hoisting.
+    steps: usize,
+    /// Adjacent pairs fused into single closures.
+    fused: usize,
+    /// Uniform ops hoisted into the prologue.
+    hoisted: usize,
+}
+
+impl TierKernel {
+    /// A one-line human-readable compilation summary for the
+    /// compliance report.
+    #[must_use]
+    pub fn detail(&self) -> String {
+        format!(
+            "closure-threaded: {} lane ops -> {} block steps ({} fused pairs, {} hoisted uniform)",
+            self.ops_in, self.steps, self.fused, self.hoisted
+        )
+    }
+
+    /// Adjacent op pairs the superword pass fused.
+    #[must_use]
+    pub fn fused_pairs(&self) -> usize {
+        self.fused
+    }
+
+    /// Uniform ops hoisted out of the per-block path.
+    #[must_use]
+    pub fn hoisted_uniform(&self) -> usize {
+        self.hoisted
+    }
+}
+
+impl fmt::Debug for TierKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TierKernel")
+            .field("ops_in", &self.ops_in)
+            .field("steps", &self.steps)
+            .field("fused", &self.fused)
+            .field("hoisted", &self.hoisted)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Tier-2 plans for a whole module, parallel to `IrProgram::kernels`.
+/// Kernels the compiler rejected carry the reason; backends fall back
+/// to the lane engine (or scalar interpreter) for them.
+#[derive(Debug, Default)]
+pub struct TierProgram {
+    /// `(kernel name, compiled chain or rejection reason)`.
+    pub kernels: Vec<(String, Result<TierKernel, String>)>,
+}
+
+impl TierProgram {
+    /// Tier-compiles every lane-admitted kernel of a lowered program.
+    /// Lane-rejected kernels are recorded as tier-rejected too (Tier-2
+    /// builds on the lane plan's slab layout and admission analysis).
+    #[must_use]
+    pub fn compile_program(ir: &IrProgram, lanes: &LaneProgram) -> TierProgram {
+        TierProgram {
+            kernels: ir
+                .kernels
+                .iter()
+                .map(|k| {
+                    let plan = match lanes.kernel(&k.name) {
+                        Some(lk) => compile(lk, k),
+                        None => Err(match lanes.decision(&k.name) {
+                            Some(Err(e)) => format!("lane planner rejected the kernel: {e}"),
+                            _ => "lane planner rejected the kernel".into(),
+                        }),
+                    };
+                    (k.name.clone(), plan)
+                })
+                .collect(),
+        }
+    }
+
+    /// The compiled chain for `name`, when admission succeeded.
+    #[must_use]
+    pub fn kernel(&self, name: &str) -> Option<&TierKernel> {
+        self.kernels
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, p)| p.as_ref().ok())
+    }
+
+    /// The compilation decision for `name`: `Ok(())` for Tier-2
+    /// execution, `Err(reason)` for lane-engine fallback.
+    #[must_use]
+    pub fn decision(&self, name: &str) -> Option<Result<(), &str>> {
+        self.kernels
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p.as_ref().map(|_| ()).map_err(|e| e.as_str()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Uniform hoisting analysis.
+// ---------------------------------------------------------------------------
+
+/// One component-granular slab: an `f32` component slab, an `i32` slab
+/// or a bool mask word. All lane-op `f`/`i` offsets are
+/// [`LANES`]-aligned by construction, so component indices are exact.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    F(usize),
+    I(usize),
+    B(usize),
+}
+
+/// Enumerates the component slabs `op` reads and writes.
+#[allow(clippy::too_many_lines)]
+fn op_slots(op: &Op, reads: &mut Vec<Slot>, writes: &mut Vec<Slot>) {
+    reads.clear();
+    writes.clear();
+    let fc = |o: u32| o as usize / LANES;
+    let ic = |o: u32| o as usize / LANES;
+    match op {
+        Op::ConstF { dst, w, .. } => {
+            for c in 0..*w as usize {
+                writes.push(Slot::F(fc(*dst) + c));
+            }
+        }
+        Op::ConstI { dst, .. } => writes.push(Slot::I(ic(*dst))),
+        Op::ConstB { dst, .. } => writes.push(Slot::B(*dst as usize)),
+        Op::CopyF { dst, src, n } => {
+            for c in 0..*n as usize {
+                reads.push(Slot::F(fc(*src) + c));
+                writes.push(Slot::F(fc(*dst) + c));
+            }
+        }
+        Op::CopyI { dst, src } => {
+            reads.push(Slot::I(ic(*src)));
+            writes.push(Slot::I(ic(*dst)));
+        }
+        Op::CopyB { dst, src } => {
+            reads.push(Slot::B(*src as usize));
+            writes.push(Slot::B(*dst as usize));
+        }
+        Op::SplatF { dst, w, src } => {
+            reads.push(Slot::F(fc(*src)));
+            for c in 0..*w as usize {
+                writes.push(Slot::F(fc(*dst) + c));
+            }
+        }
+        Op::SplatI { dst, w, src } => {
+            reads.push(Slot::I(ic(*src)));
+            for c in 0..*w as usize {
+                writes.push(Slot::F(fc(*dst) + c));
+            }
+        }
+        Op::ItoF { dst, src } => {
+            reads.push(Slot::I(ic(*src)));
+            writes.push(Slot::F(fc(*dst)));
+        }
+        Op::FtoI { dst, src } => {
+            reads.push(Slot::F(fc(*src)));
+            writes.push(Slot::I(ic(*dst)));
+        }
+        Op::ArithF {
+            dst, w, a, ab, b, bb, ..
+        }
+        | Op::Map2 {
+            dst, w, a, ab, b, bb, ..
+        } => {
+            for c in 0..if *ab { 1 } else { *w as usize } {
+                reads.push(Slot::F(fc(*a) + c));
+            }
+            for c in 0..if *bb { 1 } else { *w as usize } {
+                reads.push(Slot::F(fc(*b) + c));
+            }
+            for c in 0..*w as usize {
+                writes.push(Slot::F(fc(*dst) + c));
+            }
+        }
+        Op::ArithI { dst, a, b, .. } => {
+            reads.push(Slot::I(ic(*a)));
+            reads.push(Slot::I(ic(*b)));
+            writes.push(Slot::I(ic(*dst)));
+        }
+        Op::CmpF { dst, a, b, .. } => {
+            reads.push(Slot::F(fc(*a)));
+            reads.push(Slot::F(fc(*b)));
+            writes.push(Slot::B(*dst as usize));
+        }
+        Op::CmpI { dst, a, b, .. } => {
+            reads.push(Slot::I(ic(*a)));
+            reads.push(Slot::I(ic(*b)));
+            writes.push(Slot::B(*dst as usize));
+        }
+        Op::LogicB { dst, a, b, .. } => {
+            reads.push(Slot::B(*a as usize));
+            reads.push(Slot::B(*b as usize));
+            writes.push(Slot::B(*dst as usize));
+        }
+        Op::NotB { dst, src } => {
+            reads.push(Slot::B(*src as usize));
+            writes.push(Slot::B(*dst as usize));
+        }
+        Op::NegF { dst, src, w } | Op::Map1 { dst, src, w, .. } => {
+            for c in 0..*w as usize {
+                reads.push(Slot::F(fc(*src) + c));
+                writes.push(Slot::F(fc(*dst) + c));
+            }
+        }
+        Op::NegI { dst, src } => {
+            reads.push(Slot::I(ic(*src)));
+            writes.push(Slot::I(ic(*dst)));
+        }
+        Op::Dot { dst, a, b, w } => {
+            for c in 0..*w as usize {
+                reads.push(Slot::F(fc(*a) + c));
+                reads.push(Slot::F(fc(*b) + c));
+            }
+            writes.push(Slot::F(fc(*dst)));
+        }
+        Op::Length { dst, src, w } => {
+            for c in 0..*w as usize {
+                reads.push(Slot::F(fc(*src) + c));
+            }
+            writes.push(Slot::F(fc(*dst)));
+        }
+        Op::Normalize { dst, src, w } => {
+            for c in 0..*w as usize {
+                reads.push(Slot::F(fc(*src) + c));
+                writes.push(Slot::F(fc(*dst) + c));
+            }
+        }
+        Op::SelF { dst, cond, a, b, w } => {
+            reads.push(Slot::B(*cond as usize));
+            for c in 0..*w as usize {
+                reads.push(Slot::F(fc(*a) + c));
+                reads.push(Slot::F(fc(*b) + c));
+                writes.push(Slot::F(fc(*dst) + c));
+            }
+        }
+        Op::SelI { dst, cond, a, b } => {
+            reads.push(Slot::B(*cond as usize));
+            reads.push(Slot::I(ic(*a)));
+            reads.push(Slot::I(ic(*b)));
+            writes.push(Slot::I(ic(*dst)));
+        }
+        Op::SelB { dst, cond, a, b } => {
+            reads.push(Slot::B(*cond as usize));
+            reads.push(Slot::B(*a as usize));
+            reads.push(Slot::B(*b as usize));
+            writes.push(Slot::B(*dst as usize));
+        }
+        Op::ReadElem { dst, w, .. } => {
+            for c in 0..*w as usize {
+                writes.push(Slot::F(fc(*dst) + c));
+            }
+        }
+        Op::ReadScalarF { dst, w, .. } => {
+            for c in 0..*w as usize {
+                writes.push(Slot::F(fc(*dst) + c));
+            }
+        }
+        Op::ReadScalarI { dst, .. } => writes.push(Slot::I(ic(*dst))),
+        Op::Gather { dst, w, idx, .. } => {
+            for (off, is_int) in idx {
+                reads.push(if *is_int {
+                    Slot::I(ic(*off))
+                } else {
+                    Slot::F(fc(*off))
+                });
+            }
+            for c in 0..*w as usize {
+                writes.push(Slot::F(fc(*dst) + c));
+            }
+        }
+        Op::Indexof { dst, .. } => {
+            writes.push(Slot::F(fc(*dst)));
+            writes.push(Slot::F(fc(*dst) + 1));
+        }
+        Op::Ret | Op::Bail => {}
+    }
+}
+
+/// Whether `op`'s value is dispatch-invariant when all its slab sources
+/// are: pure slab-to-slab computation or scalar-parameter reads.
+/// Element-dependent reads (`ReadElem`, `Gather`, `Indexof`) and
+/// control ops are excluded.
+fn hoistable_kind(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::ConstF { .. }
+            | Op::ConstI { .. }
+            | Op::ConstB { .. }
+            | Op::CopyF { .. }
+            | Op::CopyI { .. }
+            | Op::CopyB { .. }
+            | Op::SplatF { .. }
+            | Op::SplatI { .. }
+            | Op::ItoF { .. }
+            | Op::FtoI { .. }
+            | Op::ArithF { .. }
+            | Op::ArithI { .. }
+            | Op::CmpF { .. }
+            | Op::CmpI { .. }
+            | Op::LogicB { .. }
+            | Op::NotB { .. }
+            | Op::NegF { .. }
+            | Op::NegI { .. }
+            | Op::Map1 { .. }
+            | Op::Map2 { .. }
+            | Op::SelF { .. }
+            | Op::SelI { .. }
+            | Op::SelB { .. }
+            | Op::ReadScalarF { .. }
+            | Op::ReadScalarI { .. }
+    )
+}
+
+/// Finds the ops whose results are uniform across the whole dispatch:
+/// hoistable-kind ops all of whose sources are themselves uniform and
+/// whose destination slabs are written **exactly once** in the entire
+/// program (so the prologue's one evaluation is the only definition)
+/// and are not output staging (which the per-block preload rewrites).
+///
+/// Returns the per-op hoist flags plus the prologue emission order —
+/// a topological order by construction, because an op is only marked
+/// after every producer of its sources has been appended.
+fn hoist_plan(lane: &LaneKernel) -> (Vec<bool>, Vec<usize>) {
+    let nf = lane.f_len / LANES;
+    let ni = lane.i_len / LANES;
+    let nb = lane.b_len;
+    let mut staged = vec![false; nf];
+    for (slot, off) in lane.out_off.iter().enumerate() {
+        for c in 0..lane.out_w[slot] as usize {
+            staged[*off as usize / LANES + c] = true;
+        }
+    }
+    let mut wc_f = vec![0u32; nf];
+    let mut wc_i = vec![0u32; ni];
+    let mut wc_b = vec![0u32; nb];
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    for op in &lane.ops {
+        op_slots(op, &mut reads, &mut writes);
+        for s in &writes {
+            match s {
+                Slot::F(c) => wc_f[*c] += 1,
+                Slot::I(c) => wc_i[*c] += 1,
+                Slot::B(c) => wc_b[*c] += 1,
+            }
+        }
+    }
+    let mut uf = vec![false; nf];
+    let mut ui = vec![false; ni];
+    let mut ub = vec![false; nb];
+    let mut hoisted = vec![false; lane.ops.len()];
+    let mut order = Vec::new();
+    loop {
+        let mut changed = false;
+        for (i, op) in lane.ops.iter().enumerate() {
+            if hoisted[i] || !hoistable_kind(op) {
+                continue;
+            }
+            op_slots(op, &mut reads, &mut writes);
+            let srcs_uniform = reads.iter().all(|s| match s {
+                Slot::F(c) => uf[*c],
+                Slot::I(c) => ui[*c],
+                Slot::B(c) => ub[*c],
+            });
+            let dsts_ok = writes.iter().all(|s| match s {
+                Slot::F(c) => wc_f[*c] == 1 && !staged[*c],
+                Slot::I(c) => wc_i[*c] == 1,
+                Slot::B(c) => wc_b[*c] == 1,
+            });
+            if !(srcs_uniform && dsts_ok) {
+                continue;
+            }
+            hoisted[i] = true;
+            for s in &writes {
+                match s {
+                    Slot::F(c) => uf[*c] = true,
+                    Slot::I(c) => ui[*c] = true,
+                    Slot::B(c) => ub[*c] = true,
+                }
+            }
+            order.push(i);
+            changed = true;
+        }
+        if !changed {
+            break;
+        }
+    }
+    (hoisted, order)
+}
+
+// ---------------------------------------------------------------------------
+// Monomorphization: operation-selection macros and generic builders.
+// ---------------------------------------------------------------------------
+
+macro_rules! with_fop {
+    ($op:expr, $g:ident, $e:expr) => {
+        match $op {
+            FOp::Add => {
+                let $g = |a: f32, b: f32| a + b;
+                $e
+            }
+            FOp::Sub => {
+                let $g = |a: f32, b: f32| a - b;
+                $e
+            }
+            FOp::Mul => {
+                let $g = |a: f32, b: f32| a * b;
+                $e
+            }
+            FOp::Div => {
+                let $g = |a: f32, b: f32| a / b;
+                $e
+            }
+            FOp::Rem => {
+                let $g = |a: f32, b: f32| a - b * (a / b).floor();
+                $e
+            }
+        }
+    };
+}
+
+macro_rules! with_iop {
+    ($op:expr, $g:ident, $e:expr) => {
+        match $op {
+            IOp::Add => {
+                let $g = |a: i32, b: i32| a.wrapping_add(b);
+                $e
+            }
+            IOp::Sub => {
+                let $g = |a: i32, b: i32| a.wrapping_sub(b);
+                $e
+            }
+            IOp::Mul => {
+                let $g = |a: i32, b: i32| a.wrapping_mul(b);
+                $e
+            }
+            IOp::Div => {
+                let $g = |a: i32, b: i32| if b == 0 { 0 } else { a.wrapping_div(b) };
+                $e
+            }
+            IOp::Rem => {
+                let $g = |a: i32, b: i32| if b == 0 { 0 } else { a.wrapping_rem(b) };
+                $e
+            }
+        }
+    };
+}
+
+/// Untyped comparator closures: the generic call site fixes the operand
+/// type (`f32` or `i32`).
+macro_rules! with_cop {
+    ($op:expr, $g:ident, $e:expr) => {
+        match $op {
+            COp::Lt => {
+                let $g = |a, b| a < b;
+                $e
+            }
+            COp::Le => {
+                let $g = |a, b| a <= b;
+                $e
+            }
+            COp::Gt => {
+                let $g = |a, b| a > b;
+                $e
+            }
+            COp::Ge => {
+                let $g = |a, b| a >= b;
+                $e
+            }
+            COp::Eq => {
+                let $g = |a, b| a == b;
+                $e
+            }
+            COp::Ne => {
+                let $g = |a, b| a != b;
+                $e
+            }
+        }
+    };
+}
+
+macro_rules! with_un1 {
+    ($op:expr, $g:ident, $e:expr) => {
+        match $op {
+            Un1::Sin => {
+                let $g = f32::sin;
+                $e
+            }
+            Un1::Cos => {
+                let $g = f32::cos;
+                $e
+            }
+            Un1::Tan => {
+                let $g = f32::tan;
+                $e
+            }
+            Un1::Exp => {
+                let $g = f32::exp;
+                $e
+            }
+            Un1::Exp2 => {
+                let $g = f32::exp2;
+                $e
+            }
+            Un1::Log => {
+                let $g = f32::ln;
+                $e
+            }
+            Un1::Log2 => {
+                let $g = f32::log2;
+                $e
+            }
+            Un1::Sqrt => {
+                let $g = f32::sqrt;
+                $e
+            }
+            Un1::Rsqrt => {
+                let $g = |x: f32| 1.0 / x.sqrt();
+                $e
+            }
+            Un1::Abs => {
+                let $g = f32::abs;
+                $e
+            }
+            Un1::Floor => {
+                let $g = f32::floor;
+                $e
+            }
+            Un1::Ceil => {
+                let $g = f32::ceil;
+                $e
+            }
+            Un1::Fract => {
+                let $g = f32::fract;
+                $e
+            }
+            Un1::Round => {
+                let $g = |x: f32| (x + 0.5).floor();
+                $e
+            }
+            Un1::Sign => {
+                let $g = f32::signum;
+                $e
+            }
+            Un1::Saturate => {
+                let $g = |x: f32| x.clamp(0.0, 1.0);
+                $e
+            }
+            Un1::Hermite => {
+                let $g = |v: f32| v * v * (3.0 - 2.0 * v);
+                $e
+            }
+        }
+    };
+}
+
+macro_rules! with_bi2 {
+    ($op:expr, $g:ident, $e:expr) => {
+        match $op {
+            Bi2::Min => {
+                let $g = f32::min;
+                $e
+            }
+            Bi2::Max => {
+                let $g = f32::max;
+                $e
+            }
+            Bi2::Pow => {
+                let $g = f32::powf;
+                $e
+            }
+            Bi2::Fmod => {
+                let $g = |x: f32, y: f32| x - y * (x / y).floor();
+                $e
+            }
+            Bi2::Step => {
+                let $g = |e: f32, x: f32| if x < e { 0.0 } else { 1.0 };
+                $e
+            }
+            Bi2::Atan2 => {
+                let $g = f32::atan2;
+                $e
+            }
+            Bi2::MulOneMinusB => {
+                let $g = |x: f32, t: f32| x * (1.0 - t);
+                $e
+            }
+            Bi2::DivClamp01 => {
+                let $g = |x: f32, y: f32| (x / y).clamp(0.0, 1.0);
+                $e
+            }
+            Bi2::Add2 => {
+                let $g = |x: f32, y: f32| x + y;
+                $e
+            }
+            Bi2::Sub2 => {
+                let $g = |x: f32, y: f32| x - y;
+                $e
+            }
+            Bi2::Mul => {
+                let $g = |x: f32, y: f32| x * y;
+                $e
+            }
+        }
+    };
+}
+
+/// Componentwise float zip (`ArithF` / `Map2`) with pre-resolved
+/// broadcast handling.
+fn zip2_step<G>(g: G, dst: usize, w: usize, a: usize, ab: bool, b: usize, bb: bool) -> Step
+where
+    G: Fn(f32, f32) -> f32 + Send + Sync + 'static,
+{
+    Box::new(move |fr| {
+        let m = fr.m;
+        for c in 0..w {
+            let d = dst + c * LANES;
+            let x = a + if ab { 0 } else { c * LANES };
+            let y = b + if bb { 0 } else { c * LANES };
+            tier_loop!(m, l, {
+                fr.f[d + l] = g(fr.f[x + l], fr.f[y + l]);
+            });
+        }
+    })
+}
+
+fn map1_step<G>(g: G, dst: usize, src: usize, w: usize) -> Step
+where
+    G: Fn(f32) -> f32 + Send + Sync + 'static,
+{
+    Box::new(move |fr| {
+        let m = fr.m;
+        for c in 0..w {
+            let d = dst + c * LANES;
+            let s = src + c * LANES;
+            tier_loop!(m, l, {
+                fr.f[d + l] = g(fr.f[s + l]);
+            });
+        }
+    })
+}
+
+fn arithi_step<G>(g: G, dst: usize, a: usize, b: usize) -> Step
+where
+    G: Fn(i32, i32) -> i32 + Send + Sync + 'static,
+{
+    Box::new(move |fr| {
+        let m = fr.m;
+        tier_loop!(m, l, {
+            fr.i[dst + l] = g(fr.i[a + l], fr.i[b + l]);
+        });
+    })
+}
+
+fn cmpf_step<G>(g: G, dst: usize, a: usize, b: usize) -> Step
+where
+    G: Fn(f32, f32) -> bool + Send + Sync + 'static,
+{
+    Box::new(move |fr| {
+        let m = fr.m;
+        let mut bits: Mask = 0;
+        tier_loop!(m, l, {
+            if g(fr.f[a + l], fr.f[b + l]) {
+                bits |= 1 << l;
+            }
+        });
+        fr.b[dst] = (fr.b[dst] & !m) | bits;
+    })
+}
+
+fn cmpi_step<G>(g: G, dst: usize, a: usize, b: usize) -> Step
+where
+    G: Fn(i32, i32) -> bool + Send + Sync + 'static,
+{
+    Box::new(move |fr| {
+        let m = fr.m;
+        let mut bits: Mask = 0;
+        tier_loop!(m, l, {
+            if g(fr.i[a + l], fr.i[b + l]) {
+                bits |= 1 << l;
+            }
+        });
+        fr.b[dst] = (fr.b[dst] & !m) | bits;
+    })
+}
+
+fn logicb_step<G>(g: G, dst: usize, a: usize, b: usize) -> Step
+where
+    G: Fn(Mask, Mask) -> Mask + Send + Sync + 'static,
+{
+    Box::new(move |fr| {
+        let bits = g(fr.b[a], fr.b[b]);
+        fr.b[dst] = (fr.b[dst] & !fr.m) | (bits & fr.m);
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Fused superword closures.
+// ---------------------------------------------------------------------------
+
+/// Operand layout of a fused zip→zip pair: op2 consumes op1's result
+/// in-register (`ta`/`tb`) instead of reloading the slab.
+#[derive(Clone, Copy)]
+struct ZipZip {
+    w: usize,
+    a1: usize,
+    ab1: bool,
+    b1: usize,
+    bb1: bool,
+    d1: usize,
+    a2: usize,
+    ab2: bool,
+    b2: usize,
+    bb2: bool,
+    d2: usize,
+    ta: bool,
+    tb: bool,
+}
+
+fn fuse_ff<G1, G2>(g1: G1, g2: G2, p: ZipZip) -> Step
+where
+    G1: Fn(f32, f32) -> f32 + Send + Sync + 'static,
+    G2: Fn(f32, f32) -> f32 + Send + Sync + 'static,
+{
+    Box::new(move |fr| {
+        let m = fr.m;
+        for c in 0..p.w {
+            let cl = c * LANES;
+            let x1 = p.a1 + if p.ab1 { 0 } else { cl };
+            let y1 = p.b1 + if p.bb1 { 0 } else { cl };
+            let d1 = p.d1 + cl;
+            let x2 = p.a2 + if p.ab2 { 0 } else { cl };
+            let y2 = p.b2 + if p.bb2 { 0 } else { cl };
+            let d2 = p.d2 + cl;
+            tier_loop!(m, l, {
+                let t = g1(fr.f[x1 + l], fr.f[y1 + l]);
+                fr.f[d1 + l] = t;
+                let xa = if p.ta { t } else { fr.f[x2 + l] };
+                let xb = if p.tb { t } else { fr.f[y2 + l] };
+                fr.f[d2 + l] = g2(xa, xb);
+            });
+        }
+    })
+}
+
+/// Fused scalar arith→compare: the arith result feeds the comparison
+/// in-register and the bool slab is merged once.
+#[derive(Clone, Copy)]
+struct FCmp {
+    a1: usize,
+    b1: usize,
+    d1: usize,
+    a2: usize,
+    b2: usize,
+    d2: usize,
+    ta: bool,
+    tb: bool,
+}
+
+fn fuse_fc<G1, G2>(g1: G1, g2: G2, p: FCmp) -> Step
+where
+    G1: Fn(f32, f32) -> f32 + Send + Sync + 'static,
+    G2: Fn(f32, f32) -> bool + Send + Sync + 'static,
+{
+    Box::new(move |fr| {
+        let m = fr.m;
+        let mut bits: Mask = 0;
+        tier_loop!(m, l, {
+            let t = g1(fr.f[p.a1 + l], fr.f[p.b1 + l]);
+            fr.f[p.d1 + l] = t;
+            let xa = if p.ta { t } else { fr.f[p.a2 + l] };
+            let xb = if p.tb { t } else { fr.f[p.b2 + l] };
+            if g2(xa, xb) {
+                bits |= 1 << l;
+            }
+        });
+        fr.b[p.d2] = (fr.b[p.d2] & !m) | bits;
+    })
+}
+
+/// Fused compare→select: the per-lane condition drives the select
+/// directly, skipping the bool-slab round trip.
+#[derive(Clone, Copy)]
+struct CSel {
+    a1: usize,
+    b1: usize,
+    d1: usize,
+    a2: usize,
+    b2: usize,
+    d2: usize,
+    w: usize,
+}
+
+fn fuse_cs<G1>(g1: G1, p: CSel) -> Step
+where
+    G1: Fn(f32, f32) -> bool + Send + Sync + 'static,
+{
+    Box::new(move |fr| {
+        let m = fr.m;
+        let mut bits: Mask = 0;
+        tier_loop!(m, l, {
+            let take = g1(fr.f[p.a1 + l], fr.f[p.b1 + l]);
+            let src = if take {
+                bits |= 1 << l;
+                p.a2
+            } else {
+                p.b2
+            };
+            for c in 0..p.w {
+                fr.f[p.d2 + c * LANES + l] = fr.f[src + c * LANES + l];
+            }
+        });
+        fr.b[p.d1] = (fr.b[p.d1] & !m) | bits;
+    })
+}
+
+/// Fused elementwise-fetch→arith: the loaded element feeds the arith
+/// in-register.
+#[derive(Clone, Copy)]
+struct EZip {
+    slot: usize,
+    d1: usize,
+    w: usize,
+    a2: usize,
+    ab2: bool,
+    b2: usize,
+    bb2: bool,
+    d2: usize,
+    ta: bool,
+    tb: bool,
+}
+
+fn fuse_ra<G2>(g2: G2, p: EZip) -> Step
+where
+    G2: Fn(f32, f32) -> f32 + Send + Sync + 'static,
+{
+    Box::new(move |fr| {
+        let m = fr.m;
+        let data = fr.elem_data[p.slot];
+        let off = fr.elem_off[p.slot];
+        for c in 0..p.w {
+            let cl = c * LANES;
+            let d1 = p.d1 + cl;
+            let x2 = p.a2 + if p.ab2 { 0 } else { cl };
+            let y2 = p.b2 + if p.bb2 { 0 } else { cl };
+            let d2 = p.d2 + cl;
+            tier_loop!(m, l, {
+                let t = data[off[l] + c];
+                fr.f[d1 + l] = t;
+                let xa = if p.ta { t } else { fr.f[x2 + l] };
+                let xb = if p.tb { t } else { fr.f[y2 + l] };
+                fr.f[d2 + l] = g2(xa, xb);
+            });
+        }
+    })
+}
+
+/// Fused gather→arith (both scalar-width): the gathered value feeds
+/// the arith in-register.
+#[derive(Clone, Copy)]
+struct GZip {
+    param: usize,
+    d1: usize,
+    a2: usize,
+    b2: usize,
+    d2: usize,
+    ta: bool,
+    tb: bool,
+}
+
+fn fuse_ga<G2>(g2: G2, p: GZip, idx: Vec<(u32, bool)>) -> Step
+where
+    G2: Fn(f32, f32) -> f32 + Send + Sync + 'static,
+{
+    if let Some((o0, o1)) = gather_ff(&idx) {
+        // The hot specialization: two float indices into a 2-D table
+        // (sgemm's a[y][k]/b[k][x], conv3x3's img[y±1][x±1]) — clamp
+        // both coordinates inline, no dynamic index walk per lane.
+        return Box::new(move |fr| {
+            let m = fr.m;
+            let bindings = fr.bindings;
+            let Binding::Gather { data, shape, width } = &bindings[p.param] else {
+                unreachable!("gather binding validated at dispatch");
+            };
+            if let [d0, d1] = shape[..] {
+                let wd = *width as usize;
+                tier_loop!(m, l, {
+                    let iy = (fr.f[o0 + l] + 0.5).floor() as i64;
+                    let ix = (fr.f[o1 + l] + 0.5).floor() as i64;
+                    let linear =
+                        iy.clamp(0, d0 as i64 - 1) as usize * d1 + ix.clamp(0, d1 as i64 - 1) as usize;
+                    let t = data[linear * wd];
+                    fr.f[p.d1 + l] = t;
+                    let xa = if p.ta { t } else { fr.f[p.a2 + l] };
+                    let xb = if p.tb { t } else { fr.f[p.b2 + l] };
+                    fr.f[p.d2 + l] = g2(xa, xb);
+                });
+            } else {
+                let idx = [(o0 as u32, false), (o1 as u32, false)];
+                tier_loop!(m, l, {
+                    let t = data[gather_linear(fr, &idx, shape, l) * *width as usize];
+                    fr.f[p.d1 + l] = t;
+                    let xa = if p.ta { t } else { fr.f[p.a2 + l] };
+                    let xb = if p.tb { t } else { fr.f[p.b2 + l] };
+                    fr.f[p.d2 + l] = g2(xa, xb);
+                });
+            }
+        });
+    }
+    Box::new(move |fr| {
+        let m = fr.m;
+        let bindings = fr.bindings;
+        let Binding::Gather { data, shape, width } = &bindings[p.param] else {
+            unreachable!("gather binding validated at dispatch");
+        };
+        tier_loop!(m, l, {
+            let t = data[gather_linear(fr, &idx, shape, l) * *width as usize];
+            fr.f[p.d1 + l] = t;
+            let xa = if p.ta { t } else { fr.f[p.a2 + l] };
+            let xb = if p.tb { t } else { fr.f[p.b2 + l] };
+            fr.f[p.d2 + l] = g2(xa, xb);
+        });
+    })
+}
+
+/// The statically-known two-float-index gather pattern (`t[y][x]` with
+/// float coordinates — every gather in the app suite). Specialized
+/// closures avoid the per-lane dynamic index walk entirely.
+fn gather_ff(idx: &[(u32, bool)]) -> Option<(usize, usize)> {
+    match idx {
+        [(o0, false), (o1, false)] => Some((*o0 as usize, *o1 as usize)),
+        _ => None,
+    }
+}
+
+/// The scalar gather index computation: per-dimension clamp when the
+/// index arity matches the shape, linear clamp otherwise. Float
+/// indices round like the scalar path (`(v + 0.5).floor()`).
+#[inline(always)]
+fn gather_linear(fr: &Frame<'_>, idx: &[(u32, bool)], shape: &[usize], l: usize) -> usize {
+    if idx.len() == shape.len() {
+        let mut linear = 0usize;
+        for (k, (off, is_int)) in idx.iter().enumerate() {
+            let iv: i64 = if *is_int {
+                i64::from(fr.i[*off as usize + l])
+            } else {
+                (fr.f[*off as usize + l] + 0.5).floor() as i64
+            };
+            let dim = shape[k];
+            linear = linear * dim + iv.clamp(0, dim as i64 - 1) as usize;
+        }
+        linear
+    } else {
+        let len: usize = shape.iter().product();
+        let first: i64 = match idx.first() {
+            Some((off, true)) => i64::from(fr.i[*off as usize + l]),
+            Some((off, false)) => (fr.f[*off as usize + l] + 0.5).floor() as i64,
+            None => 0,
+        };
+        first.clamp(0, len as i64 - 1) as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-op step builders.
+// ---------------------------------------------------------------------------
+
+/// Builds the monomorphized closure for one lane op. `Ret` is handled
+/// structurally and rejected kinds never reach this point.
+#[allow(clippy::too_many_lines)]
+fn step_for(op: &Op) -> Step {
+    match op {
+        Op::ConstF { dst, w, v } => {
+            let (dst, w, v) = (*dst as usize, *w as usize, *v);
+            Box::new(move |fr| {
+                let m = fr.m;
+                for (c, val) in v.iter().copied().take(w).enumerate() {
+                    let d = dst + c * LANES;
+                    tier_loop!(m, l, {
+                        fr.f[d + l] = val;
+                    });
+                }
+            })
+        }
+        Op::ConstI { dst, v } => {
+            let (dst, v) = (*dst as usize, *v);
+            Box::new(move |fr| {
+                let m = fr.m;
+                tier_loop!(m, l, {
+                    fr.i[dst + l] = v;
+                });
+            })
+        }
+        Op::ConstB { dst, v } => {
+            let (dst, v) = (*dst as usize, *v);
+            Box::new(move |fr| {
+                let m = fr.m;
+                let bits = if v { m } else { 0 };
+                fr.b[dst] = (fr.b[dst] & !m) | bits;
+            })
+        }
+        Op::CopyF { dst, src, n } => {
+            let (dst, src, n) = (*dst as usize, *src as usize, *n as usize);
+            Box::new(move |fr| {
+                let m = fr.m;
+                for c in 0..n {
+                    let d = dst + c * LANES;
+                    let s = src + c * LANES;
+                    tier_loop!(m, l, {
+                        fr.f[d + l] = fr.f[s + l];
+                    });
+                }
+            })
+        }
+        Op::CopyI { dst, src } => {
+            let (d, s) = (*dst as usize, *src as usize);
+            Box::new(move |fr| {
+                let m = fr.m;
+                tier_loop!(m, l, {
+                    fr.i[d + l] = fr.i[s + l];
+                });
+            })
+        }
+        Op::CopyB { dst, src } => {
+            let (d, s) = (*dst as usize, *src as usize);
+            Box::new(move |fr| {
+                let bits = fr.b[s];
+                fr.b[d] = (fr.b[d] & !fr.m) | (bits & fr.m);
+            })
+        }
+        Op::SplatF { dst, w, src } => {
+            let (dst, w, s) = (*dst as usize, *w as usize, *src as usize);
+            Box::new(move |fr| {
+                let m = fr.m;
+                for c in 0..w {
+                    let d = dst + c * LANES;
+                    tier_loop!(m, l, {
+                        fr.f[d + l] = fr.f[s + l];
+                    });
+                }
+            })
+        }
+        Op::SplatI { dst, w, src } => {
+            let (dst, w, s) = (*dst as usize, *w as usize, *src as usize);
+            Box::new(move |fr| {
+                let m = fr.m;
+                for c in 0..w {
+                    let d = dst + c * LANES;
+                    tier_loop!(m, l, {
+                        fr.f[d + l] = fr.i[s + l] as f32;
+                    });
+                }
+            })
+        }
+        Op::ItoF { dst, src } => {
+            let (d, s) = (*dst as usize, *src as usize);
+            Box::new(move |fr| {
+                let m = fr.m;
+                tier_loop!(m, l, {
+                    fr.f[d + l] = fr.i[s + l] as f32;
+                });
+            })
+        }
+        Op::FtoI { dst, src } => {
+            let (d, s) = (*dst as usize, *src as usize);
+            Box::new(move |fr| {
+                let m = fr.m;
+                tier_loop!(m, l, {
+                    fr.i[d + l] = fr.f[s + l] as i32;
+                });
+            })
+        }
+        Op::ArithF {
+            op,
+            dst,
+            w,
+            a,
+            ab,
+            b,
+            bb,
+        } => with_fop!(
+            *op,
+            g,
+            zip2_step(g, *dst as usize, *w as usize, *a as usize, *ab, *b as usize, *bb)
+        ),
+        Op::Map2 {
+            f,
+            dst,
+            w,
+            a,
+            ab,
+            b,
+            bb,
+        } => with_bi2!(
+            *f,
+            g,
+            zip2_step(g, *dst as usize, *w as usize, *a as usize, *ab, *b as usize, *bb)
+        ),
+        Op::ArithI { op, dst, a, b } => {
+            with_iop!(*op, g, arithi_step(g, *dst as usize, *a as usize, *b as usize))
+        }
+        Op::CmpF { op, dst, a, b } => {
+            with_cop!(*op, g, cmpf_step(g, *dst as usize, *a as usize, *b as usize))
+        }
+        Op::CmpI { op, dst, a, b } => {
+            with_cop!(*op, g, cmpi_step(g, *dst as usize, *a as usize, *b as usize))
+        }
+        Op::LogicB { op, dst, a, b } => {
+            let (d, a, b) = (*dst as usize, *a as usize, *b as usize);
+            match op {
+                BOp::And => logicb_step(|x, y| x & y, d, a, b),
+                BOp::Or => logicb_step(|x, y| x | y, d, a, b),
+                BOp::Eq => logicb_step(|x, y| !(x ^ y), d, a, b),
+                BOp::Ne => logicb_step(|x, y| x ^ y, d, a, b),
+            }
+        }
+        Op::NotB { dst, src } => {
+            let (d, s) = (*dst as usize, *src as usize);
+            Box::new(move |fr| {
+                let bits = !fr.b[s];
+                fr.b[d] = (fr.b[d] & !fr.m) | (bits & fr.m);
+            })
+        }
+        Op::NegF { dst, src, w } => {
+            let (dst, src, w) = (*dst as usize, *src as usize, *w as usize);
+            Box::new(move |fr| {
+                let m = fr.m;
+                for c in 0..w {
+                    let d = dst + c * LANES;
+                    let s = src + c * LANES;
+                    tier_loop!(m, l, {
+                        fr.f[d + l] = -fr.f[s + l];
+                    });
+                }
+            })
+        }
+        Op::NegI { dst, src } => {
+            let (d, s) = (*dst as usize, *src as usize);
+            Box::new(move |fr| {
+                let m = fr.m;
+                tier_loop!(m, l, {
+                    fr.i[d + l] = fr.i[s + l].wrapping_neg();
+                });
+            })
+        }
+        Op::Map1 { f, dst, src, w } => {
+            with_un1!(*f, g, map1_step(g, *dst as usize, *src as usize, *w as usize))
+        }
+        Op::SelF { dst, cond, a, b, w } => {
+            let (d, cnd, a, b, w) = (
+                *dst as usize,
+                *cond as usize,
+                *a as usize,
+                *b as usize,
+                *w as usize,
+            );
+            Box::new(move |fr| {
+                let m = fr.m;
+                let cb = fr.b[cnd];
+                tier_loop!(m, l, {
+                    let src = if cb & (1 << l) != 0 { a } else { b };
+                    for c in 0..w {
+                        fr.f[d + c * LANES + l] = fr.f[src + c * LANES + l];
+                    }
+                });
+            })
+        }
+        Op::SelI { dst, cond, a, b } => {
+            let (d, cnd, a, b) = (*dst as usize, *cond as usize, *a as usize, *b as usize);
+            Box::new(move |fr| {
+                let m = fr.m;
+                let cb = fr.b[cnd];
+                tier_loop!(m, l, {
+                    fr.i[d + l] = if cb & (1 << l) != 0 {
+                        fr.i[a + l]
+                    } else {
+                        fr.i[b + l]
+                    };
+                });
+            })
+        }
+        Op::SelB { dst, cond, a, b } => {
+            let (d, cnd, a, b) = (*dst as usize, *cond as usize, *a as usize, *b as usize);
+            Box::new(move |fr| {
+                let cb = fr.b[cnd];
+                let bits = (fr.b[a] & cb) | (fr.b[b] & !cb);
+                fr.b[d] = (fr.b[d] & !fr.m) | (bits & fr.m);
+            })
+        }
+        Op::ReadElem { dst, w, slot } => {
+            let (dst, w, slot) = (*dst as usize, *w as usize, *slot as usize);
+            Box::new(move |fr| {
+                let m = fr.m;
+                let data = fr.elem_data[slot];
+                let off = fr.elem_off[slot];
+                for c in 0..w {
+                    let d = dst + c * LANES;
+                    tier_loop!(m, l, {
+                        fr.f[d + l] = data[off[l] + c];
+                    });
+                }
+            })
+        }
+        Op::ReadScalarF { dst, w, slot } => {
+            let (dst, w, slot) = (*dst as usize, *w as usize, *slot as usize);
+            Box::new(move |fr| {
+                let m = fr.m;
+                let v = fr.scalar_f[slot];
+                for (c, val) in v.iter().copied().take(w).enumerate() {
+                    let d = dst + c * LANES;
+                    tier_loop!(m, l, {
+                        fr.f[d + l] = val;
+                    });
+                }
+            })
+        }
+        Op::ReadScalarI { dst, slot } => {
+            let (d, slot) = (*dst as usize, *slot as usize);
+            Box::new(move |fr| {
+                let m = fr.m;
+                let v = fr.scalar_i[slot];
+                tier_loop!(m, l, {
+                    fr.i[d + l] = v;
+                });
+            })
+        }
+        Op::Gather { dst, w, param, idx } => {
+            let (dst, w, param) = (*dst as usize, *w as usize, *param as usize);
+            if let Some((o0, o1)) = gather_ff(idx) {
+                return Box::new(move |fr| {
+                    let m = fr.m;
+                    let bindings = fr.bindings;
+                    let Binding::Gather { data, shape, width } = &bindings[param] else {
+                        unreachable!("gather binding validated at dispatch");
+                    };
+                    if let [d0, d1] = shape[..] {
+                        let wd = *width as usize;
+                        tier_loop!(m, l, {
+                            let iy = (fr.f[o0 + l] + 0.5).floor() as i64;
+                            let ix = (fr.f[o1 + l] + 0.5).floor() as i64;
+                            let linear = iy.clamp(0, d0 as i64 - 1) as usize * d1
+                                + ix.clamp(0, d1 as i64 - 1) as usize;
+                            let src = linear * wd;
+                            for c in 0..w {
+                                fr.f[dst + c * LANES + l] = data[src + c];
+                            }
+                        });
+                    } else {
+                        let idx = [(o0 as u32, false), (o1 as u32, false)];
+                        tier_loop!(m, l, {
+                            let src = gather_linear(fr, &idx, shape, l) * *width as usize;
+                            for c in 0..w {
+                                fr.f[dst + c * LANES + l] = data[src + c];
+                            }
+                        });
+                    }
+                });
+            }
+            let idx = idx.clone();
+            Box::new(move |fr| {
+                let m = fr.m;
+                let bindings = fr.bindings;
+                let Binding::Gather { data, shape, width } = &bindings[param] else {
+                    unreachable!("gather binding validated at dispatch");
+                };
+                tier_loop!(m, l, {
+                    let src = gather_linear(fr, &idx, shape, l) * *width as usize;
+                    for c in 0..w {
+                        fr.f[dst + c * LANES + l] = data[src + c];
+                    }
+                });
+            })
+        }
+        Op::Indexof { dst, slot } => {
+            let (d, slot) = (*dst as usize, *slot as usize);
+            Box::new(move |fr| {
+                let m = fr.m;
+                let v = fr.idx_vals[slot];
+                tier_loop!(m, l, {
+                    fr.f[d + l] = v[l][0];
+                    fr.f[d + LANES + l] = v[l][1];
+                });
+            })
+        }
+        Op::Dot { .. } | Op::Length { .. } | Op::Normalize { .. } | Op::Ret | Op::Bail => {
+            unreachable!("rejected at tier admission / handled structurally")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The superword peephole.
+// ---------------------------------------------------------------------------
+
+/// Component-range overlap between two slab operands (`a` spanning
+/// `aw` components, `b` spanning `bw`). Offsets are in `f32` units.
+fn overlaps(a: u32, aw: usize, b: u32, bw: usize) -> bool {
+    (a as usize) < b as usize + bw * LANES && (b as usize) < a as usize + aw * LANES
+}
+
+/// An op2 float operand is safe under fusion when it either names
+/// op1's destination base exactly (served from the in-register `t`, or
+/// a broadcast of the already-stored component 0) or does not overlap
+/// op1's destination range at all.
+fn operand_ok(off: u32, bcast: bool, d1: u32, w: usize) -> bool {
+    off == d1 || !overlaps(off, if bcast { 1 } else { w }, d1, w)
+}
+
+/// Tries to fuse two adjacent (post-hoist) ops into one closure.
+/// Every pattern preserves the lane engine's exact evaluation order
+/// per `(component, lane)` — operand positions are kept, so even NaN
+/// payload propagation is bit-identical.
+#[allow(clippy::too_many_lines)]
+fn try_fuse(o1: &Op, o2: &Op) -> Option<Step> {
+    match (o1, o2) {
+        // arith -> arith (the mul+add family).
+        (
+            Op::ArithF {
+                op: op1,
+                dst: d1,
+                w: w1,
+                a: a1,
+                ab: ab1,
+                b: b1,
+                bb: bb1,
+            },
+            Op::ArithF {
+                op: op2,
+                dst: d2,
+                w: w2,
+                a: a2,
+                ab: ab2,
+                b: b2,
+                bb: bb2,
+            },
+        ) if w1 == w2 && (*a2 == *d1 || *b2 == *d1) => {
+            let w = *w1 as usize;
+            let aw1 = if *ab1 { 1 } else { w };
+            let bw1 = if *bb1 { 1 } else { w };
+            let safe = operand_ok(*a2, *ab2, *d1, w)
+                && operand_ok(*b2, *bb2, *d1, w)
+                && (w == 1
+                    || (!overlaps(*d2, w, *d1, w)
+                        && !overlaps(*d2, w, *a1, aw1)
+                        && !overlaps(*d2, w, *b1, bw1)));
+            if !safe {
+                return None;
+            }
+            let p = ZipZip {
+                w,
+                a1: *a1 as usize,
+                ab1: *ab1,
+                b1: *b1 as usize,
+                bb1: *bb1,
+                d1: *d1 as usize,
+                a2: *a2 as usize,
+                ab2: *ab2,
+                b2: *b2 as usize,
+                bb2: *bb2,
+                d2: *d2 as usize,
+                ta: *a2 == *d1 && !*ab2,
+                tb: *b2 == *d1 && !*bb2,
+            };
+            Some(with_fop!(*op1, g1, with_fop!(*op2, g2, fuse_ff(g1, g2, p))))
+        }
+        // scalar arith -> compare.
+        (
+            Op::ArithF {
+                op: op1,
+                dst: d1,
+                w: 1,
+                a: a1,
+                b: b1,
+                ..
+            },
+            Op::CmpF {
+                op: op2,
+                dst: d2,
+                a: a2,
+                b: b2,
+            },
+        ) if *a2 == *d1 || *b2 == *d1 => {
+            let p = FCmp {
+                a1: *a1 as usize,
+                b1: *b1 as usize,
+                d1: *d1 as usize,
+                a2: *a2 as usize,
+                b2: *b2 as usize,
+                d2: *d2 as usize,
+                ta: *a2 == *d1,
+                tb: *b2 == *d1,
+            };
+            Some(with_fop!(*op1, g1, with_cop!(*op2, g2, fuse_fc(g1, g2, p))))
+        }
+        // compare -> select (the ternary).
+        (
+            Op::CmpF {
+                op: op1,
+                dst: d1,
+                a: a1,
+                b: b1,
+            },
+            Op::SelF {
+                dst: d2,
+                cond,
+                a: a2,
+                b: b2,
+                w,
+            },
+        ) if *cond == *d1 => {
+            let p = CSel {
+                a1: *a1 as usize,
+                b1: *b1 as usize,
+                d1: *d1 as usize,
+                a2: *a2 as usize,
+                b2: *b2 as usize,
+                d2: *d2 as usize,
+                w: *w as usize,
+            };
+            Some(with_cop!(*op1, g1, fuse_cs(g1, p)))
+        }
+        // elementwise fetch -> arith.
+        (
+            Op::ReadElem { dst: d1, w: w1, slot },
+            Op::ArithF {
+                op: op2,
+                dst: d2,
+                w: w2,
+                a: a2,
+                ab: ab2,
+                b: b2,
+                bb: bb2,
+            },
+        ) if w1 == w2 && (*a2 == *d1 || *b2 == *d1) => {
+            let w = *w1 as usize;
+            let safe = operand_ok(*a2, *ab2, *d1, w)
+                && operand_ok(*b2, *bb2, *d1, w)
+                && (w == 1 || !overlaps(*d2, w, *d1, w));
+            if !safe {
+                return None;
+            }
+            let p = EZip {
+                slot: *slot as usize,
+                d1: *d1 as usize,
+                w,
+                a2: *a2 as usize,
+                ab2: *ab2,
+                b2: *b2 as usize,
+                bb2: *bb2,
+                d2: *d2 as usize,
+                ta: *a2 == *d1 && !*ab2,
+                tb: *b2 == *d1 && !*bb2,
+            };
+            Some(with_fop!(*op2, g2, fuse_ra(g2, p)))
+        }
+        // gather -> arith (both scalar-width).
+        (
+            Op::Gather {
+                dst: d1,
+                w: 1,
+                param,
+                idx,
+            },
+            Op::ArithF {
+                op: op2,
+                dst: d2,
+                w: 1,
+                a: a2,
+                b: b2,
+                ..
+            },
+        ) if *a2 == *d1 || *b2 == *d1 => {
+            let p = GZip {
+                param: *param as usize,
+                d1: *d1 as usize,
+                a2: *a2 as usize,
+                b2: *b2 as usize,
+                d2: *d2 as usize,
+                ta: *a2 == *d1,
+                tb: *b2 == *d1,
+            };
+            Some(with_fop!(*op2, g2, fuse_ga(g2, p, idx.clone())))
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compilation: admission, hoisting, chain construction.
+// ---------------------------------------------------------------------------
+
+/// Tier-compiles a lane-admitted kernel into its closure chain, or
+/// explains why it must stay on the lane engine. Admission is
+/// conservative in the same spirit as the lane planner: anything the
+/// closure model does not cover is rejected, not approximated.
+///
+/// # Errors
+/// A human-readable rejection reason (recorded in the compliance
+/// report's tier-plan table).
+pub fn compile(lane: &LaneKernel, kernel: &IrKernel) -> Result<TierKernel, String> {
+    for op in &lane.ops {
+        match op {
+            Op::Bail => {
+                return Err("contains a statically planned fault site (scalar semantics required)".into())
+            }
+            Op::Dot { .. } | Op::Length { .. } | Op::Normalize { .. } => {
+                return Err("cross-component reduction (dot/length/normalize) is not closure-threaded".into())
+            }
+            _ => {}
+        }
+    }
+    let (hoisted, order) = hoist_plan(lane);
+    let prologue: Vec<Step> = order.iter().map(|i| step_for(&lane.ops[*i])).collect();
+    let mut fused = 0usize;
+    let mut steps = 0usize;
+    let chain = build_nodes(&kernel.body, lane, &hoisted, &mut fused, &mut steps);
+    Ok(TierKernel {
+        prologue,
+        chain,
+        ops_in: lane.ops.len(),
+        steps,
+        fused,
+        hoisted: order.len(),
+    })
+}
+
+fn build_nodes(
+    nodes: &[Node],
+    lane: &LaneKernel,
+    hoisted: &[bool],
+    fused: &mut usize,
+    steps: &mut usize,
+) -> Vec<TNode> {
+    let mut out = Vec::new();
+    for n in nodes {
+        match n {
+            Node::Seq { start, end } => build_seq(*start, *end, lane, hoisted, fused, steps, &mut out),
+            Node::If { cond, then, els, .. } => out.push(TNode::If {
+                cond: lane.cond_off[*cond as usize] as usize,
+                then: build_nodes(then, lane, hoisted, fused, steps),
+                els: build_nodes(els, lane, hoisted, fused, steps),
+            }),
+            Node::Loop(l) => out.push(TNode::Loop {
+                dowhile: l.kind == LoopKind::DoWhile,
+                cond: lane.cond_off[l.cond as usize] as usize,
+                header: build_nodes(&l.header, lane, hoisted, fused, steps),
+                body: build_nodes(&l.body, lane, hoisted, fused, steps),
+            }),
+        }
+    }
+    out
+}
+
+/// Compiles one straight-line instruction region: hoisted ops are
+/// skipped (they run in the prologue), adjacent dependent pairs fuse,
+/// a kernel-level `return` truncates the region (the lane engine
+/// skips the remainder too).
+fn build_seq(
+    start: u32,
+    end: u32,
+    lane: &LaneKernel,
+    hoisted: &[bool],
+    fused: &mut usize,
+    steps: &mut usize,
+    out: &mut Vec<TNode>,
+) {
+    let lo = lane.op_start[start as usize] as usize;
+    let hi = lane.op_start[end as usize] as usize;
+    let idxs: Vec<usize> = (lo..hi).filter(|i| !hoisted[*i]).collect();
+    let mut cur: Vec<Step> = Vec::new();
+    let mut k = 0usize;
+    while k < idxs.len() {
+        let op = &lane.ops[idxs[k]];
+        if matches!(op, Op::Ret) {
+            if !cur.is_empty() {
+                *steps += cur.len();
+                out.push(TNode::Straight(std::mem::take(&mut cur)));
+            }
+            out.push(TNode::Ret);
+            return;
+        }
+        if k + 1 < idxs.len() {
+            if let Some(st) = try_fuse(op, &lane.ops[idxs[k + 1]]) {
+                cur.push(st);
+                *fused += 1;
+                k += 2;
+                continue;
+            }
+        }
+        cur.push(step_for(op));
+        k += 1;
+    }
+    if !cur.is_empty() {
+        *steps += cur.len();
+        out.push(TNode::Straight(cur));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution.
+// ---------------------------------------------------------------------------
+
+/// Internal signal: abandon the current block and re-run it through
+/// the lane engine (which reproduces the scalar fault surface).
+struct BailOut;
+
+fn bump_iters(fr: &mut Frame<'_>, m: Mask) -> Result<(), BailOut> {
+    let mut mm = m;
+    while mm != 0 {
+        let l = mm.trailing_zeros() as usize;
+        fr.iters[l] += 1;
+        if u64::from(fr.iters[l]) > MAX_ITERATIONS {
+            return Err(BailOut);
+        }
+        mm &= mm - 1;
+    }
+    Ok(())
+}
+
+fn exec_chain(fr: &mut Frame<'_>, nodes: &[TNode], mask: Mask) -> Result<(), BailOut> {
+    for n in nodes {
+        let m = mask & !fr.dead;
+        if m == 0 {
+            return Ok(());
+        }
+        match n {
+            TNode::Straight(steps) => {
+                fr.m = m;
+                for s in steps {
+                    s(fr);
+                }
+            }
+            TNode::Ret => {
+                fr.dead |= m;
+            }
+            TNode::If { cond, then, els } => {
+                let cb = fr.b[*cond];
+                let tm = m & cb;
+                let em = m & !cb;
+                if tm != 0 {
+                    exec_chain(fr, then, tm)?;
+                }
+                if em != 0 {
+                    exec_chain(fr, els, em)?;
+                }
+            }
+            TNode::Loop {
+                dowhile,
+                cond,
+                header,
+                body,
+            } => {
+                exec_tier_loop(fr, *dowhile, *cond, header, body, m)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn exec_tier_loop(
+    fr: &mut Frame<'_>,
+    dowhile: bool,
+    cond: usize,
+    header: &[TNode],
+    body: &[TNode],
+    mask: Mask,
+) -> Result<(), BailOut> {
+    let mut active = mask;
+    if dowhile {
+        loop {
+            active &= !fr.dead;
+            if active == 0 {
+                return Ok(());
+            }
+            exec_chain(fr, body, active)?;
+            active &= !fr.dead;
+            if active == 0 {
+                return Ok(());
+            }
+            exec_chain(fr, header, active)?;
+            active &= !fr.dead & fr.b[cond];
+            if active == 0 {
+                return Ok(());
+            }
+            bump_iters(fr, active)?;
+        }
+    }
+    loop {
+        active &= !fr.dead;
+        if active == 0 {
+            return Ok(());
+        }
+        exec_chain(fr, header, active)?;
+        active &= !fr.dead & fr.b[cond];
+        if active == 0 {
+            return Ok(());
+        }
+        exec_chain(fr, body, active)?;
+        active &= !fr.dead;
+        if active != 0 {
+            bump_iters(fr, active)?;
+        }
+    }
+}
+
+/// Runs a tier-compiled kernel over a contiguous partition of its
+/// output domain — the drop-in counterpart of
+/// [`crate::lanes::run_kernel_range`], bit-exact with it (and with the
+/// scalar interpreter) for both results and faults. Bindings the plan
+/// cannot model and faulting blocks transparently execute through the
+/// lane engine, which itself falls back to the scalar interpreter.
+///
+/// # Errors
+/// Exactly the scalar interpreter's faults, with element attribution.
+pub fn run_kernel_range(
+    tier: &TierKernel,
+    lane: &LaneKernel,
+    kernel: &IrKernel,
+    bindings: &[Binding<'_>],
+    outputs: &mut [&mut [f32]],
+    domain_shape: &[usize],
+    range: Range<usize>,
+) -> Result<(), ExecError> {
+    let mut slabs = LaneSlabs::new();
+    run_kernel_range_in(
+        &mut slabs,
+        tier,
+        lane,
+        kernel,
+        bindings,
+        outputs,
+        domain_shape,
+        range,
+    )
+}
+
+/// [`run_kernel_range`] with caller-owned slab storage, for the
+/// parallel backend's per-worker frame reuse.
+///
+/// # Errors
+/// Exactly the scalar interpreter's faults, with element attribution.
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+pub fn run_kernel_range_in(
+    slabs: &mut LaneSlabs,
+    tier: &TierKernel,
+    lane: &LaneKernel,
+    kernel: &IrKernel,
+    bindings: &[Binding<'_>],
+    outputs: &mut [&mut [f32]],
+    domain_shape: &[usize],
+    range: Range<usize>,
+) -> Result<(), ExecError> {
+    let (dx, dy, linear) = domain_extents(domain_shape);
+    debug_assert!(range.end <= dx * dy, "domain range exceeds the domain");
+    // Binding validation mirrors the lane engine; anything unexpected
+    // runs the whole range through the lane engine, which owns the
+    // fallback surface from there.
+    macro_rules! lane_fallback {
+        () => {
+            return lanes::run_kernel_range_in(slabs, lane, kernel, bindings, outputs, domain_shape, range)
+        };
+    }
+    let mut out_buf = Vec::with_capacity(kernel.outputs.len());
+    for (slot, _) in kernel.output_params() {
+        match &bindings[kernel.outputs[slot as usize] as usize] {
+            Binding::Out(i) => out_buf.push(*i),
+            _ => lane_fallback!(),
+        }
+    }
+    let mut buf_width: Vec<Option<usize>> = vec![None; outputs.len()];
+    for (slot, bi) in out_buf.iter().enumerate() {
+        buf_width[*bi] = Some(lane.out_w[slot] as usize);
+    }
+    let mut elem_data = Vec::with_capacity(lane.elem_params.len());
+    let mut elem_shapes = Vec::with_capacity(lane.elem_params.len());
+    for (pi, w) in &lane.elem_params {
+        match &bindings[*pi as usize] {
+            Binding::Elem { data, shape, width } if width == w => {
+                elem_data.push(*data);
+                elem_shapes.push(*shape);
+            }
+            _ => lane_fallback!(),
+        }
+    }
+    let mut scalar_f = vec![[0.0f32; 4]; lane.scalar_params.len()];
+    let mut scalar_i = vec![0i32; lane.scalar_params.len()];
+    for (slot, (pi, ty)) in lane.scalar_params.iter().enumerate() {
+        match &bindings[*pi as usize] {
+            Binding::Scalar(v) if LaneTy::of_value(v) == *ty => match v {
+                Value::Int(x) => scalar_i[slot] = *x,
+                other => {
+                    scalar_f[slot][..other.lanes().len()].copy_from_slice(other.lanes());
+                }
+            },
+            _ => lane_fallback!(),
+        }
+    }
+    for (pi, w) in &lane.gather_params {
+        match &bindings[*pi as usize] {
+            Binding::Gather { width, .. } if width == w => {}
+            _ => lane_fallback!(),
+        }
+    }
+    for pi in &lane.indexof_params {
+        if matches!(&bindings[*pi as usize], Binding::Gather { .. }) {
+            lane_fallback!();
+        }
+    }
+    slabs.prepare(lane);
+    let mut fr = Frame {
+        bindings,
+        f: &mut slabs.f,
+        i: &mut slabs.i,
+        b: &mut slabs.b,
+        m: FULL,
+        dead: 0,
+        iters: [0; LANES],
+        elem_data,
+        elem_off: vec![[0; LANES]; lane.elem_params.len()],
+        scalar_f,
+        scalar_i,
+        idx_vals: vec![[[0.0; 2]; LANES]; lane.indexof_params.len()],
+    };
+    // The uniform prologue: hoisted dispatch-invariant steps, once,
+    // at full mask (every lane of every block reads the same value).
+    for s in &tier.prologue {
+        s(&mut fr);
+    }
+    let mut base = range.start;
+    while base < range.end {
+        let n = (range.end - base).min(LANES);
+        let mask: Mask = if n == LANES { FULL } else { (1u32 << n) - 1 };
+        fr.dead = 0;
+        fr.iters = [0; LANES];
+        for (si, shape) in elem_shapes.iter().enumerate() {
+            let cols = if shape.len() == 2 {
+                shape[1]
+            } else {
+                shape.iter().product()
+            };
+            let width = lane.elem_params[si].1 as usize;
+            for l in 0..n {
+                let p = base + l;
+                let (ix, iy) = input_index((p % dx, p / dx), (dx, dy), shape);
+                fr.elem_off[si][l] = (iy * cols + ix) * width;
+            }
+        }
+        for (si, pi) in lane.indexof_params.iter().enumerate() {
+            for l in 0..n {
+                let p = base + l;
+                let pos = (p % dx, p / dx);
+                fr.idx_vals[si][l] = match &bindings[*pi as usize] {
+                    Binding::Elem { shape, .. } => indexof_elem(pos, (dx, dy), shape),
+                    Binding::Out(_) | Binding::Scalar(_) => indexof_pos(pos, (dx, dy), linear),
+                    Binding::Gather { .. } => unreachable!("validated above"),
+                };
+            }
+        }
+        for (slot, bi) in out_buf.iter().enumerate() {
+            if !lane.out_preload[slot] {
+                continue;
+            }
+            let w = lane.out_w[slot] as usize;
+            let off = lane.out_off[slot] as usize;
+            let buf = &outputs[*bi];
+            for l in 0..n {
+                let src = (base + l - range.start) * w;
+                for c in 0..w {
+                    fr.f[off + c * LANES + l] = buf[src + c];
+                }
+            }
+        }
+        match exec_chain(&mut fr, &tier.chain, mask) {
+            Ok(()) => {
+                for (slot, bi) in out_buf.iter().enumerate() {
+                    let w = lane.out_w[slot] as usize;
+                    let off = lane.out_off[slot] as usize;
+                    let buf = &mut outputs[*bi];
+                    for l in 0..n {
+                        let dst = (base + l - range.start) * w;
+                        for c in 0..w {
+                            buf[dst + c] = fr.f[off + c * LANES + l];
+                        }
+                    }
+                }
+            }
+            Err(BailOut) => {
+                // Re-run exactly this block through the lane engine:
+                // it reproduces the scalar path's partial writes, fault
+                // choice, element attribution and span verbatim (its
+                // own bail re-runs the block scalar). No staged tier
+                // write has touched the real buffers.
+                let mut slices: Vec<&mut [f32]> = Vec::with_capacity(outputs.len());
+                for (bi, out) in outputs.iter_mut().enumerate() {
+                    match buf_width[bi] {
+                        Some(w) => {
+                            let s = (base - range.start) * w;
+                            slices.push(&mut out[s..s + n * w]);
+                        }
+                        None => slices.push(&mut out[0..0]),
+                    }
+                }
+                lanes::run_kernel_range(lane, kernel, bindings, &mut slices, domain_shape, base..base + n)?;
+            }
+        }
+        base += n;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::plan;
+    use crate::lower::lower_kernel;
+    use crate::ParamKind;
+    use brook_lang::parse_and_check;
+
+    fn lower_src(src: &str) -> IrKernel {
+        let checked = parse_and_check(src).expect("front-end");
+        let kdef = checked.program.kernels().next().expect("kernel");
+        lower_kernel(&checked, kdef).expect("lower")
+    }
+
+    fn tier_of(kernel: &IrKernel) -> (LaneKernel, TierKernel) {
+        let lane = plan(kernel).expect("lane plan");
+        let tier = compile(&lane, kernel).expect("tier compile");
+        (lane, tier)
+    }
+
+    /// Runs a 1-input/1-output kernel over a 1-D domain on the scalar
+    /// interpreter, the lane engine and Tier-2 and returns all three.
+    #[allow(clippy::type_complexity)]
+    fn run_three(
+        kernel: &IrKernel,
+        input: &[f32],
+        n: usize,
+    ) -> (
+        Result<Vec<f32>, ExecError>,
+        Result<Vec<f32>, ExecError>,
+        Result<Vec<f32>, ExecError>,
+    ) {
+        let (lane, tier) = tier_of(kernel);
+        let shape = [n];
+        let run = |engine: u8| -> Result<Vec<f32>, ExecError> {
+            let mut bindings = Vec::new();
+            let mut n_outs = 0usize;
+            for p in &kernel.params {
+                match p.kind {
+                    ParamKind::Stream => bindings.push(Binding::Elem {
+                        data: input,
+                        shape: &shape,
+                        width: 1,
+                    }),
+                    ParamKind::OutStream => {
+                        bindings.push(Binding::Out(n_outs));
+                        n_outs += 1;
+                    }
+                    _ => panic!("run_three supports stream params only"),
+                }
+            }
+            let mut buf = vec![0.0f32; n];
+            {
+                let mut outs: Vec<&mut [f32]> = vec![&mut buf];
+                match engine {
+                    0 => crate::interp::run_kernel_range(kernel, &bindings, &mut outs, &shape, 0..n)?,
+                    1 => lanes::run_kernel_range(&lane, kernel, &bindings, &mut outs, &shape, 0..n)?,
+                    _ => run_kernel_range(&tier, &lane, kernel, &bindings, &mut outs, &shape, 0..n)?,
+                }
+            }
+            Ok(buf)
+        };
+        (run(0), run(1), run(2))
+    }
+
+    fn assert_bit_exact(src: &str, input_of: impl Fn(usize) -> f32, sizes: &[usize]) {
+        let k = lower_src(src);
+        for &n in sizes {
+            let input: Vec<f32> = (0..n).map(&input_of).collect();
+            let (scalar, lanes, tier) = run_three(&k, &input, n);
+            let scalar = scalar.expect("scalar");
+            let lanes = lanes.expect("lanes");
+            let tier = tier.expect("tier");
+            for i in 0..n {
+                assert_eq!(
+                    scalar[i].to_bits(),
+                    tier[i].to_bits(),
+                    "n={n} element {i}: scalar {} vs tier {}\n{src}",
+                    scalar[i],
+                    tier[i]
+                );
+                assert_eq!(
+                    lanes[i].to_bits(),
+                    tier[i].to_bits(),
+                    "n={n} element {i} vs lanes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn straight_line_matches_scalar_at_every_remainder() {
+        assert_bit_exact(
+            "kernel void f(float a<>, out float o<>) { o = a * 2.5 + sin(a) - sqrt(abs(a)); }",
+            |i| i as f32 * 0.37 - 3.0,
+            &[1, LANES - 1, LANES, LANES + 1, 2 * LANES + 1, 97],
+        );
+    }
+
+    #[test]
+    fn divergent_branch_and_loop_match_scalar() {
+        assert_bit_exact(
+            "kernel void f(float a<>, out float o<>) {
+                float s = 0.0;
+                int i;
+                for (i = 0; i < 12; i++) {
+                    if (s < a) { s += 1.5; } else { s -= 0.25; }
+                }
+                if (a > 4.0) { o = s * 2.0; return; }
+                o = s;
+            }",
+            |i| (i as f32 * 1.7) % 9.0,
+            &[LANES, 2 * LANES + 1, 61],
+        );
+    }
+
+    #[test]
+    fn data_dependent_while_loop_matches_scalar() {
+        assert_bit_exact(
+            "kernel void f(float a<>, out float o<>) {
+                float s = a;
+                while (s < 20.0) { s = s * 1.5 + 1.0; }
+                o = s;
+            }",
+            |i| (i % 19) as f32,
+            &[LANES, 2 * LANES + 1],
+        );
+    }
+
+    #[test]
+    fn ternary_select_matches_scalar() {
+        assert_bit_exact(
+            "kernel void f(float a<>, out float o<>) { o = a > 2.0 ? a * 3.0 : a - 1.0; }",
+            |i| i as f32 * 0.5,
+            &[1, LANES, LANES + 1, 2 * LANES + 1],
+        );
+    }
+
+    #[test]
+    fn int_arithmetic_and_casts_match_scalar() {
+        assert_bit_exact(
+            "kernel void f(float a<>, out float o<>) {
+                int i = int(a);
+                int j = i * 3 - 7;
+                int k = j / (i + 2) + j % 5;
+                o = float(k) + a;
+            }",
+            |i| i as f32 * 0.9 - 4.0,
+            &[LANES, 2 * LANES + 1],
+        );
+    }
+
+    #[test]
+    fn compound_output_writes_match_scalar() {
+        assert_bit_exact(
+            "kernel void f(float a<>, out float o<>) { o = a; o += 2.0; o *= a + 1.0; }",
+            |i| i as f32 * 0.21,
+            &[LANES - 1, LANES, 2 * LANES + 1],
+        );
+    }
+
+    #[test]
+    fn vectors_and_swizzles_match_scalar() {
+        // No dot/length/normalize — those are tier-rejected; this stays
+        // on the vector copy/splat/arith surface the closures cover.
+        assert_bit_exact(
+            "kernel void f(float a<>, out float o<>) {
+                float4 v = float4(a, a + 1.0, a * 2.0, 4.0);
+                v.xy += float2(0.5, 0.25);
+                float c = clamp(a, 0.25, 3.5) + lerp(1.0, 2.0, fract(a));
+                o = v.x + v.y * 10.0 + v.z * 100.0 + v.w + c;
+            }",
+            |i| i as f32 * 0.61 - 2.0,
+            &[LANES, LANES + 1, 53],
+        );
+    }
+
+    #[test]
+    fn superword_pass_fuses_mul_add_chains() {
+        let k = lower_src("kernel void f(float a<>, out float o<>) { o = a * 2.5 + 1.25; }");
+        let (_, tier) = tier_of(&k);
+        assert!(tier.fused_pairs() >= 1, "expected fusion, got {tier:?}");
+        assert!(tier.detail().contains("fused"), "{}", tier.detail());
+    }
+
+    #[test]
+    fn uniform_scalar_subchain_is_hoisted_and_bit_exact() {
+        // `k * 2.0 + 1.0` depends only on the scalar parameter: it must
+        // move to the once-per-dispatch prologue and still match the
+        // scalar interpreter bitwise.
+        let k = lower_src("kernel void f(float a<>, float k, out float o<>) { o = a + (k * 2.0 + 1.0); }");
+        let (lane, tier) = tier_of(&k);
+        assert!(tier.hoisted_uniform() >= 1, "expected hoisting, got {tier:?}");
+        let n = 2 * LANES + 3;
+        let input: Vec<f32> = (0..n).map(|i| i as f32 * 0.3).collect();
+        let shape = [n];
+        let bindings = vec![
+            Binding::Elem {
+                data: &input,
+                shape: &shape,
+                width: 1,
+            },
+            Binding::Scalar(Value::Float(1.75)),
+            Binding::Out(0),
+        ];
+        let mut sbuf = vec![0.0f32; n];
+        let mut tbuf = vec![0.0f32; n];
+        {
+            let mut outs: Vec<&mut [f32]> = vec![&mut sbuf];
+            crate::interp::run_kernel_range(&k, &bindings, &mut outs, &shape, 0..n).expect("scalar");
+        }
+        {
+            let mut outs: Vec<&mut [f32]> = vec![&mut tbuf];
+            run_kernel_range(&tier, &lane, &k, &bindings, &mut outs, &shape, 0..n).expect("tier");
+        }
+        for i in 0..n {
+            assert_eq!(sbuf[i].to_bits(), tbuf[i].to_bits(), "element {i}");
+        }
+    }
+
+    #[test]
+    fn gather_kernel_matches_scalar_bitwise() {
+        let k = lower_src("kernel void f(float a<>, float t[], out float o<>) { o = t[a] * 2.0 + a; }");
+        let (lane, tier) = tier_of(&k);
+        let n = 2 * LANES + 5;
+        let input: Vec<f32> = (0..n).map(|i| (i % 11) as f32).collect();
+        let table: Vec<f32> = (0..11).map(|i| i as f32 * 1.5 - 3.0).collect();
+        let shape = [n];
+        let tshape = [table.len()];
+        let bindings = vec![
+            Binding::Elem {
+                data: &input,
+                shape: &shape,
+                width: 1,
+            },
+            Binding::Gather {
+                data: &table,
+                shape: &tshape,
+                width: 1,
+            },
+            Binding::Out(0),
+        ];
+        let mut sbuf = vec![0.0f32; n];
+        let mut tbuf = vec![0.0f32; n];
+        {
+            let mut outs: Vec<&mut [f32]> = vec![&mut sbuf];
+            crate::interp::run_kernel_range(&k, &bindings, &mut outs, &shape, 0..n).expect("scalar");
+        }
+        {
+            let mut outs: Vec<&mut [f32]> = vec![&mut tbuf];
+            run_kernel_range(&tier, &lane, &k, &bindings, &mut outs, &shape, 0..n).expect("tier");
+        }
+        for i in 0..n {
+            assert_eq!(sbuf[i].to_bits(), tbuf[i].to_bits(), "element {i}");
+        }
+    }
+
+    #[test]
+    fn empty_range_is_a_no_op() {
+        let k = lower_src("kernel void f(float a<>, out float o<>) { o = a; }");
+        let (lane, tier) = tier_of(&k);
+        let shape = [4usize];
+        let bindings = vec![
+            Binding::Elem {
+                data: &[1.0, 2.0, 3.0, 4.0],
+                shape: &shape,
+                width: 1,
+            },
+            Binding::Out(0),
+        ];
+        let mut buf = vec![7.0f32; 0];
+        let mut outs: Vec<&mut [f32]> = vec![&mut buf];
+        run_kernel_range(&tier, &lane, &k, &bindings, &mut outs, &shape, 0..0).expect("empty range");
+    }
+
+    /// Shared driver for the fault-provenance matrix: runs the budget
+    /// fault with the bad element at `bad` of `n` and asserts the tier
+    /// fault is the scalar and lane fault verbatim.
+    fn assert_budget_fault_verbatim(n: usize, bad: usize) {
+        let src = "kernel void f(float a<>, out float o<>) {\n    float s = a;\n    while (s > 0.5) { s = s + 0.0; }\n    o = s;\n}";
+        let k = lower_src(src);
+        let input: Vec<f32> = (0..n).map(|i| if i == bad { 1.0 } else { 0.0 }).collect();
+        let (scalar, lanes, tier) = run_three(&k, &input, n);
+        let se = scalar.expect_err("scalar faults");
+        let le = lanes.expect_err("lanes fault");
+        let te = tier.expect_err("tier fault");
+        assert_eq!(
+            se, te,
+            "tier fault must be the scalar fault verbatim (n={n} bad={bad})"
+        );
+        assert_eq!(
+            le, te,
+            "tier fault must be the lane fault verbatim (n={n} bad={bad})"
+        );
+        assert_eq!(te.element, Some(bad));
+        assert_eq!(te.span.line, 3);
+        assert!(te.render().contains(&format!("element {bad}")), "{}", te.render());
+    }
+
+    #[test]
+    fn budget_fault_in_first_lane_matches_scalar_exactly() {
+        assert_budget_fault_verbatim(LANES + 7, 0);
+    }
+
+    #[test]
+    fn budget_fault_in_last_lane_matches_scalar_exactly() {
+        assert_budget_fault_verbatim(LANES + 7, LANES + 6);
+    }
+
+    #[test]
+    fn budget_fault_in_lone_lane_matches_scalar_exactly() {
+        assert_budget_fault_verbatim(1, 0);
+    }
+
+    #[test]
+    fn budget_fault_mid_block_matches_scalar_exactly() {
+        assert_budget_fault_verbatim(LANES + 7, LANES + 3);
+    }
+
+    #[test]
+    fn fault_in_block_preserves_scalar_partial_writes() {
+        let src = "kernel void f(float a<>, out float o<>) {
+            o = a * 2.0;
+            float s = a;
+            while (s > 0.5) { s = s + 0.0; }
+        }";
+        let k = lower_src(src);
+        let (lane, tier) = tier_of(&k);
+        let n = LANES;
+        let bad = 5;
+        let input: Vec<f32> = (0..n)
+            .map(|i| if i == bad { 1.0 } else { 0.1 * i as f32 })
+            .collect();
+        let shape = [n];
+        let run = |use_tier: bool| -> (Vec<f32>, ExecError) {
+            let bindings = vec![
+                Binding::Elem {
+                    data: &input,
+                    shape: &shape,
+                    width: 1,
+                },
+                Binding::Out(0),
+            ];
+            let mut buf = vec![0.0f32; n];
+            let err = {
+                let mut outs: Vec<&mut [f32]> = vec![&mut buf];
+                if use_tier {
+                    run_kernel_range(&tier, &lane, &k, &bindings, &mut outs, &shape, 0..n).expect_err("fault")
+                } else {
+                    crate::interp::run_kernel_range(&k, &bindings, &mut outs, &shape, 0..n)
+                        .expect_err("fault")
+                }
+            };
+            (buf, err)
+        };
+        let (sbuf, serr) = run(false);
+        let (tbuf, terr) = run(true);
+        assert_eq!(serr, terr);
+        assert_eq!(sbuf, tbuf, "partial writes must match the scalar path");
+        assert_eq!(serr.element, Some(bad));
+    }
+
+    #[test]
+    fn tier_rejects_reductions_and_lane_rejects_propagate() {
+        let checked = parse_and_check(
+            "kernel void ok(float a<>, out float o<>) { o = a + 1.0; }
+             kernel void dotted(float a<>, out float o<>) {
+                 float2 v = float2(a, a * 0.5);
+                 o = dot(v, v) + 1.0;
+             }
+             reduce void sum(float a<>, reduce float r<>) { r += a; }",
+        )
+        .expect("front-end");
+        let (ir, errs) = crate::lower::lower_program(&checked);
+        assert!(errs.is_empty());
+        let lanes = LaneProgram::plan_program(&ir);
+        let tiers = TierProgram::compile_program(&ir, &lanes);
+        assert!(tiers.kernel("ok").is_some());
+        assert_eq!(tiers.decision("ok"), Some(Ok(())));
+        // Lane-admitted but tier-rejected: the lane engine stays in
+        // charge and the report says why.
+        assert!(lanes.kernel("dotted").is_some());
+        assert!(tiers.kernel("dotted").is_none());
+        match tiers.decision("dotted") {
+            Some(Err(e)) => assert!(e.contains("reduction"), "{e}"),
+            other => panic!("expected tier rejection, got {other:?}"),
+        }
+        // Lane-rejected: tier records the upstream rejection.
+        match tiers.decision("sum") {
+            Some(Err(e)) => assert!(e.contains("lane planner"), "{e}"),
+            other => panic!("expected propagated rejection, got {other:?}"),
+        }
+    }
+}
