@@ -1,0 +1,53 @@
+//! CI `service-smoke` gate: multi-tenant service load test.
+//!
+//! Spins up a `brook-serve` instance, drives it with 4 tenants × 8
+//! concurrent clients, prints the latency summary, writes the
+//! `BENCH_service.json` trajectory file, and exits nonzero if any gate
+//! fails: results must be bit-exact with serial single-tenant
+//! execution, the server must catch zero panics, and p99 request
+//! latency must stay under the smoke ceiling.
+
+use brook_bench::serve::{render_service_table, service_json, service_load};
+
+/// Generous CPU-backend ceiling for one saxpy request over localhost;
+/// a p99 above this means the service is queueing pathologically.
+const P99_CEILING_NS: u64 = 250_000_000;
+
+fn main() {
+    let report = service_load(4, 8, 200, 256).unwrap_or_else(|e| {
+        eprintln!("service load failed: {e}");
+        std::process::exit(2);
+    });
+    print!("{}", render_service_table(&report));
+    let json = service_json(&report);
+    let path = std::path::Path::new("BENCH_service.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(2);
+    }
+    println!("\ntrajectory written to {}", path.display());
+
+    let mut ok = true;
+    if !report.bit_exact {
+        eprintln!("GATE FAILED: service results diverged from serial single-tenant execution");
+        ok = false;
+    }
+    if report.panics != 0 {
+        eprintln!("GATE FAILED: server caught {} panics (must be 0)", report.panics);
+        ok = false;
+    }
+    if report.p99_ns > P99_CEILING_NS {
+        eprintln!(
+            "GATE FAILED: p99 latency {} ns exceeds the {} ns smoke ceiling",
+            report.p99_ns, P99_CEILING_NS
+        );
+        ok = false;
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    println!(
+        "Service gates passed: bit-exact, zero panics, p99 {:.1} us <= ceiling.",
+        report.p99_ns as f64 / 1e3
+    );
+}

@@ -19,10 +19,12 @@ pub mod fusion;
 pub mod interp;
 pub mod lanes;
 pub mod render;
+pub mod serve;
 pub mod tier;
 
 pub use figures::{fig1, fig2, fig3, fig4, Fig4Point, FigureSeries};
 pub use fusion::{chains, run_chain, ChainComparison};
 pub use interp::{compare_interpreters, interp_json, render_interp_table, InterpComparison};
 pub use render::{render_series, render_speedup_table};
+pub use serve::{render_service_table, service_json, service_load, ServiceLoadReport};
 pub use tier::{compare_tiers, render_tier_table, tier_json, TierComparison};

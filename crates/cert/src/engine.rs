@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 /// Capability limits of the certification target, mirroring the paper's
 /// OpenGL ES 2.0 constraints (§4, §6).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CertConfig {
     /// Maximum `out` streams a kernel may declare. The GLES2 backend has a
     /// single render target, but the compiler splits kernels into one pass
@@ -39,6 +39,18 @@ impl Default for CertConfig {
             max_instructions: 1 << 22,
             max_loop_trips: 1 << 16,
         }
+    }
+}
+
+impl CertConfig {
+    /// A stable 64-bit digest of the limit set — the cert-config
+    /// component of a compiled-module cache key (two configs share
+    /// compiled artifacts iff they certify identically).
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
     }
 }
 
@@ -81,6 +93,19 @@ impl KernelReport {
     /// All error-severity findings.
     pub fn violations(&self) -> impl Iterator<Item = &Finding> {
         self.findings.iter().filter(|f| f.severity == Severity::Error)
+    }
+
+    /// Worst-case work of one launch of this kernel over `domain_elems`
+    /// output elements, in estimated instructions — the unit an
+    /// admission controller budgets in. `None` when the kernel carries
+    /// an unbounded loop (only possible past a disabled gate): such a
+    /// kernel has no static cost and must be refused admission.
+    pub fn admission_cost(&self, domain_elems: u64) -> Option<u64> {
+        self.instruction_estimate.map(|per_elem| {
+            per_elem
+                .saturating_mul(domain_elems)
+                .saturating_mul(u64::from(self.passes_required.max(1)))
+        })
     }
 }
 
@@ -146,6 +171,15 @@ impl ComplianceReport {
     /// Total number of error findings.
     pub fn violation_count(&self) -> usize {
         self.kernels.iter().map(|k| k.violations().count()).sum()
+    }
+
+    /// [`KernelReport::admission_cost`] looked up by kernel name — the
+    /// per-request admission charge of launching `kernel` over
+    /// `domain_elems` output elements. `None` for unknown kernels or
+    /// ones without a static bound; an admission controller treats both
+    /// as inadmissible.
+    pub fn admission_cost(&self, kernel: &str, domain_elems: u64) -> Option<u64> {
+        self.kernel(kernel)?.admission_cost(domain_elems)
     }
 }
 

@@ -195,6 +195,13 @@ pub trait BackendExecutor {
     fn memory_used(&self) -> usize {
         0
     }
+
+    /// High-water mark of device memory over the backend's lifetime (0
+    /// for host backends) — the figure a static memory plan (BA002)
+    /// must upper-bound.
+    fn memory_peak(&self) -> usize {
+        0
+    }
 }
 
 /// A named factory for a ready-to-use [`crate::BrookContext`] — the unit

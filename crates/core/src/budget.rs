@@ -94,20 +94,48 @@ pub fn plan_memory(
     device: &DeviceProfile,
     with_reductions: bool,
 ) -> Result<MemoryPlan, String> {
+    let widened: Vec<(&str, Vec<usize>, u8)> = streams
+        .iter()
+        .map(|(label, shape)| (*label, shape.clone(), 1))
+        .collect();
+    plan_memory_with_widths(&widened, device, with_reductions)
+}
+
+/// [`plan_memory`] for streams of `floatN` elements.
+///
+/// Mirrors the runtime's storage decisions exactly (gpu.rs
+/// `format_for`): native scalar streams are R32F (4 B/texel), native
+/// wide streams are RGBA32F (16 B/texel), and packed devices cannot
+/// store wide elements at all — the same `Usage` error the runtime
+/// raises, surfaced at planning time.
+pub fn plan_memory_with_widths(
+    streams: &[(&str, Vec<usize>, u8)],
+    device: &DeviceProfile,
+    with_reductions: bool,
+) -> Result<MemoryPlan, String> {
     let storage = if device.float_textures && device.float_render_targets {
         StorageMode::Native
     } else {
         StorageMode::Packed
     };
-    // Packed streams use RGBA8 (4 B/texel); native scalar streams use
-    // R32F (also 4 B/texel) — see gpu.rs `format_for`.
-    let bytes_per_texel = match storage {
-        StorageMode::Packed | StorageMode::Native => 4usize,
-    };
     let mut planned = Vec::new();
     let mut total = 0usize;
-    let mut largest = 0usize;
-    for (label, shape) in streams {
+    let mut largest_texels = 0usize;
+    for (label, shape, width) in streams {
+        if !(1..=4).contains(width) {
+            return Err(format!("stream `{label}`: vector width {width} out of range"));
+        }
+        let bytes_per_texel = match (storage, width) {
+            (StorageMode::Packed, 1) => 4usize, // RGBA8
+            (StorageMode::Packed, _) => {
+                return Err(format!(
+                    "stream `{label}`: this device stores streams in RGBA8 textures; \
+                     float{width} elements are not representable"
+                ))
+            }
+            (StorageMode::Native, 1) => 4,  // R32F
+            (StorageMode::Native, _) => 16, // RGBA32F
+        };
         let layout = layout_for(shape, !device.npot_textures, device.max_texture_size)
             .map_err(|e| format!("stream `{label}`: {e}"))?;
         let bytes = layout.alloc_bytes(bytes_per_texel);
@@ -120,12 +148,21 @@ pub fn plan_memory(
             overhead: bytes as f64 / logical_bytes as f64,
         });
         total += bytes;
-        largest = largest.max(bytes);
+        largest_texels = largest_texels.max(layout.alloc_w as usize * layout.alloc_h as usize);
     }
+    // The runtime's ping-pong intermediates (gpu.rs `reduce_stream`) are
+    // allocated at the *reduced stream's* texture dimensions in the
+    // scalar format — 4 B/texel on both storage modes — so scratch
+    // scales with the largest stream's texel count, not its byte size
+    // (a wide RGBA32F stream reduces through scalar intermediates).
     Ok(MemoryPlan {
         streams: planned,
         total_bytes: total,
-        reduction_scratch_bytes: if with_reductions { 2 * largest } else { 0 },
+        reduction_scratch_bytes: if with_reductions {
+            2 * largest_texels * 4
+        } else {
+            0
+        },
     })
 }
 
@@ -192,6 +229,98 @@ mod tests {
         let err = plan_memory(&[("huge", vec![4096, 4096])], &device, false).unwrap_err();
         assert!(err.contains("huge"));
         assert!(err.contains("2048"));
+    }
+
+    const SUM: &str = "reduce void sum(float a<>, reduce float r<>) { r += a; }";
+
+    /// The BA002 differential: for a reduction workload the static
+    /// plan's worst case equals the runtime's device-memory peak, on
+    /// both storage modes.
+    #[test]
+    fn plan_worst_case_equals_runtime_peak_for_reduction() {
+        for device in [
+            DeviceProfile::videocore_iv(),  // packed storage
+            DeviceProfile::radeon_hd3400(), // native storage
+        ] {
+            let shapes: Vec<(&str, Vec<usize>)> =
+                vec![("big", vec![64, 64]), ("small", vec![100]), ("mid", vec![1000])];
+            let plan = plan_memory(&shapes, &device, true).expect("plan");
+            let mut ctx = crate::BrookContext::gles2(device);
+            let module = ctx.compile(SUM).expect("compile");
+            let mut streams = Vec::new();
+            for (_, shape) in &shapes {
+                let s = ctx.stream(shape).expect("stream");
+                ctx.write(&s, &vec![1.0; shape.iter().product()]).expect("write");
+                streams.push(s);
+            }
+            // Reduce the largest stream: scratch is sized on the
+            // reduced input, and the plan reserves it for the largest.
+            let total = ctx.reduce(&module, "sum", &streams[0]).expect("reduce");
+            assert_eq!(total, 64.0 * 64.0);
+            assert_eq!(
+                plan.worst_case_bytes(),
+                ctx.gpu_memory_peak(),
+                "static plan must equal the runtime peak"
+            );
+            // And the scratch is released afterwards: current usage is
+            // back to the streams alone.
+            assert_eq!(plan.total_bytes, ctx.gpu_memory_used());
+        }
+    }
+
+    /// Wide (float4) native streams are 16 B/texel on the device; the
+    /// width-aware plan predicts the allocation exactly.
+    #[test]
+    fn wide_stream_plan_matches_runtime_allocation() {
+        let device = DeviceProfile::radeon_hd3400();
+        let plan = plan_memory_with_widths(&[("w", vec![32, 32], 4), ("s", vec![32, 32], 1)], &device, false)
+            .expect("plan");
+        assert_eq!(plan.streams[0].bytes, 32 * 32 * 16);
+        assert_eq!(plan.streams[1].bytes, 32 * 32 * 4);
+        let mut ctx = crate::BrookContext::gles2(device);
+        ctx.stream_with_width(&[32, 32], 4).expect("wide stream");
+        ctx.stream(&[32, 32]).expect("scalar stream");
+        assert_eq!(plan.total_bytes, ctx.gpu_memory_used());
+        assert_eq!(plan.total_bytes, ctx.gpu_memory_peak());
+    }
+
+    /// Packed devices cannot hold wide elements; the plan refuses them
+    /// with the same verdict the runtime would.
+    #[test]
+    fn wide_stream_on_packed_device_fails_at_planning_time() {
+        let device = DeviceProfile::videocore_iv();
+        let err = plan_memory_with_widths(&[("w", vec![8], 4)], &device, false).unwrap_err();
+        assert!(err.contains("RGBA8"), "got: {err}");
+        let mut ctx = crate::BrookContext::gles2(device);
+        assert!(ctx.stream_with_width(&[8], 4).is_err());
+    }
+
+    /// Runtime budget enforcement agrees with the plan's verdict: a
+    /// budget the plan rejects makes the reduction fail on the device
+    /// (cleanly, releasing its intermediates), and a budget the plan
+    /// accepts lets it run.
+    #[test]
+    fn runtime_budget_enforcement_matches_plan_verdict() {
+        let device = DeviceProfile::videocore_iv();
+        let shapes: Vec<(&str, Vec<usize>)> = vec![("a", vec![64, 64])];
+        let plan = plan_memory(&shapes, &device, true).expect("plan");
+        let tight = plan.worst_case_bytes() - 1;
+        assert!(!plan.fits(tight));
+        let mut ctx = crate::BrookContext::gles2(device);
+        let module = ctx.compile(SUM).expect("compile");
+        let a = ctx.stream(&[64, 64]).expect("stream");
+        ctx.write(&a, &vec![1.0; 64 * 64]).expect("write");
+        ctx.set_memory_budget(Some(tight));
+        let err = ctx.reduce(&module, "sum", &a).unwrap_err();
+        assert!(
+            matches!(err, crate::BrookError::Gl(gles2_sim::GlError::OutOfMemory(_))),
+            "expected OutOfMemory, got: {err}"
+        );
+        // The failed attempt released whatever scratch it had acquired.
+        assert_eq!(ctx.gpu_memory_used(), plan.total_bytes);
+        // A budget the plan accepts admits the workload.
+        ctx.set_memory_budget(Some(plan.worst_case_bytes()));
+        assert_eq!(ctx.reduce(&module, "sum", &a).expect("reduce"), 4096.0);
     }
 
     #[test]

@@ -84,6 +84,53 @@ impl BrookModule {
     }
 }
 
+/// A context-neutral compiled translation unit: everything
+/// [`BrookContext::compile`] produces *except* the identity stamps. The
+/// unit a compiled-module cache shares across tenants — cheap to clone
+/// (the heavy pieces are `Arc`-shared) and [`Send`]/[`Sync`], so one
+/// compilation can serve many contexts on many threads.
+///
+/// An artifact is inert until a context adopts it
+/// ([`BrookContext::adopt_artifact`]), which re-stamps it with a fresh
+/// module id and the adopting context's identity — so the foreign-module
+/// rejection of `run`/`reduce` keeps holding on cache hits: the cache
+/// hands out *artifacts*, never another tenant's stamped module.
+#[derive(Debug, Clone)]
+pub struct ModuleArtifact {
+    checked: Arc<CheckedProgram>,
+    ir: Arc<IrProgram>,
+    lanes: Arc<brook_ir::lanes::LaneProgram>,
+    tiers: Arc<brook_ir::tier::TierProgram>,
+    report: ComplianceReport,
+    /// Digest of the [`CertConfig`] the artifact was certified under.
+    cert_fingerprint: u64,
+    /// The compiling context's pipeline toggles; adoption requires an
+    /// exact match so a module compiled with (say) certification off can
+    /// never sneak onto an enforcing context through a cache.
+    toggles: (bool, bool, bool, bool),
+}
+
+impl ModuleArtifact {
+    /// Kernel names defined by the artifact.
+    pub fn kernels(&self) -> Vec<String> {
+        self.checked.kernels.iter().map(|k| k.name.clone()).collect()
+    }
+
+    /// The certification data package produced at compile time — the
+    /// static artifacts (instruction estimates, loop bounds, pass
+    /// counts) an admission controller budgets against *before*
+    /// adopting the artifact into a context.
+    pub fn report(&self) -> &ComplianceReport {
+        &self.report
+    }
+
+    /// Digest of the [`CertConfig`] the artifact was certified under —
+    /// a component of any shared-cache key.
+    pub fn cert_fingerprint(&self) -> u64 {
+        self.cert_fingerprint
+    }
+}
+
 /// A positional kernel argument.
 #[derive(Debug, Clone, Copy)]
 pub enum Arg<'a> {
@@ -104,7 +151,7 @@ pub enum Arg<'a> {
 /// The Brook Auto runtime context: owns streams, compiles kernels,
 /// dispatches them on the selected backend.
 pub struct BrookContext {
-    pub(crate) backend: Box<dyn BackendExecutor>,
+    pub(crate) backend: Box<dyn BackendExecutor + Send>,
     pub(crate) context_id: u64,
     cert_config: CertConfig,
     /// When false, `compile` accepts non-compliant programs (used for
@@ -131,7 +178,7 @@ impl BrookContext {
     /// A context executing kernels on the given backend, enforcing the
     /// given certification limits — the extension point for backends
     /// implemented outside this crate.
-    pub fn with_backend(backend: Box<dyn BackendExecutor>, cert_config: CertConfig) -> Self {
+    pub fn with_backend(backend: Box<dyn BackendExecutor + Send>, cert_config: CertConfig) -> Self {
         BrookContext {
             backend,
             context_id: NEXT_CONTEXT_ID.fetch_add(1, Ordering::Relaxed),
@@ -196,6 +243,18 @@ impl BrookContext {
     /// the full compliance report when a rule is violated and enforcement
     /// is on.
     pub fn compile(&mut self, source: &str) -> Result<BrookModule> {
+        let artifact = self.compile_artifact(source)?;
+        self.adopt_artifact(&artifact)
+    }
+
+    /// Compiles and certifies Brook source into a context-neutral
+    /// [`ModuleArtifact`] — the full `compile` pipeline minus the
+    /// identity stamps. Intended for compiled-module caches: compile
+    /// once, [`adopt_artifact`](Self::adopt_artifact) per tenant.
+    ///
+    /// # Errors
+    /// Exactly those of [`compile`](Self::compile).
+    pub fn compile_artifact(&mut self, source: &str) -> Result<ModuleArtifact> {
         let checked = brook_lang::parse_and_check(source)?;
         let mut report = certify(&checked, &self.cert_config);
         if self.enforce_certification && !report.is_compliant() {
@@ -253,12 +312,60 @@ impl BrookContext {
             brook_ir::tier::TierProgram::default()
         };
         report.tier_plans = tier_plan_records(&tiers);
-        Ok(BrookModule {
+        Ok(ModuleArtifact {
             checked: Arc::new(checked),
             ir: Arc::new(ir),
             lanes: Arc::new(lanes),
             tiers: Arc::new(tiers),
             report,
+            cert_fingerprint: self.cert_config.fingerprint(),
+            toggles: (
+                self.enforce_certification,
+                self.ir_optimize,
+                self.lane_execution,
+                self.tier_execution,
+            ),
+        })
+    }
+
+    /// Stamps a [`ModuleArtifact`] into a [`BrookModule`] owned by this
+    /// context: a fresh globally unique module id (backend program
+    /// caches can never alias entries across adoptions) plus this
+    /// context's identity (so `run`/`reduce` foreign-module rejection
+    /// applies to the adopted module exactly as to a locally compiled
+    /// one).
+    ///
+    /// # Errors
+    /// `Usage` when the artifact was compiled under a different
+    /// [`CertConfig`] or different pipeline toggles than this context
+    /// enforces — adopting it would bypass this context's gate.
+    pub fn adopt_artifact(&mut self, artifact: &ModuleArtifact) -> Result<BrookModule> {
+        if artifact.cert_fingerprint != self.cert_config.fingerprint() {
+            return Err(BrookError::Usage(
+                "artifact was certified under a different certification config than this \
+                 context enforces"
+                    .into(),
+            ));
+        }
+        let toggles = (
+            self.enforce_certification,
+            self.ir_optimize,
+            self.lane_execution,
+            self.tier_execution,
+        );
+        if artifact.toggles != toggles {
+            return Err(BrookError::Usage(
+                "artifact was compiled under different pipeline toggles (certification/\
+                 optimization/lane/tier) than this context uses"
+                    .into(),
+            ));
+        }
+        Ok(BrookModule {
+            checked: Arc::clone(&artifact.checked),
+            ir: Arc::clone(&artifact.ir),
+            lanes: Arc::clone(&artifact.lanes),
+            tiers: Arc::clone(&artifact.tiers),
+            report: artifact.report.clone(),
             id: fresh_module_id(),
             context_id: self.context_id,
         })
@@ -443,6 +550,32 @@ impl BrookContext {
         let op = summary
             .reduce_op
             .ok_or_else(|| BrookError::Usage("reduce kernel without a detected operation".into()))?;
+        // The host ladder folds `width` lanes per element while the GL
+        // ladder reduces one texel channel per step; a width mismatch
+        // between the kernel's input parameter and the bound stream
+        // would make the backends fold different lane counts — reject
+        // it as the type error it is.
+        if let Some(p) = module
+            .checked
+            .program
+            .kernel(kernel)
+            .and_then(|k| k.params.iter().find(|p| p.kind == ParamKind::Stream))
+        {
+            let desc = self.backend.stream_desc(input.index).clone();
+            if desc.width != p.ty.width {
+                return Err(BrookError::Usage(format!(
+                    "reduce parameter `{}` has element type {} but the bound stream \
+                     holds float{} elements",
+                    p.name,
+                    p.ty,
+                    if desc.width == 1 {
+                        String::new()
+                    } else {
+                        desc.width.to_string()
+                    }
+                )));
+            }
+        }
         verify_launch_ir(&module.ir, kernel)?;
         self.backend
             .reduce(&module.checked, &module.ir, kernel, op, input.index)
@@ -475,6 +608,15 @@ impl BrookContext {
     /// Bytes of device memory currently allocated (0 on host backends).
     pub fn gpu_memory_used(&self) -> usize {
         self.backend.memory_used()
+    }
+
+    /// High-water mark of device memory over the context's lifetime (0
+    /// on host backends). A correct static plan satisfies
+    /// `plan.worst_case_bytes() >= ctx.gpu_memory_peak()` for the
+    /// workload it models — the differential the BA002 artifact is
+    /// audited against.
+    pub fn gpu_memory_peak(&self) -> usize {
+        self.backend.memory_peak()
     }
 }
 
@@ -641,12 +783,40 @@ pub(crate) fn classify_call(
             args.len()
         )));
     }
+    // A stream's element width must match the parameter's declared
+    // width: the CPU engines slice buffers by the *declared* width (a
+    // narrower stream panics out of bounds on the last element) and the
+    // GL path silently truncates channels — both wrong answers for what
+    // is a caller-side type error.
+    let check_width = |p: &Param, desc: &StreamDesc| -> Result<()> {
+        if desc.width != p.ty.width {
+            return Err(BrookError::Usage(format!(
+                "parameter `{}` has element type {} but the bound stream holds float{} \
+                 elements",
+                p.name,
+                p.ty,
+                if desc.width == 1 {
+                    String::new()
+                } else {
+                    desc.width.to_string()
+                }
+            )));
+        }
+        Ok(())
+    };
     let mut handle_args: Vec<(String, HandleArg)> = Vec::new();
     let mut outputs: Vec<(String, Stream)> = Vec::new();
+    // All outputs execute over one domain (the first output's shape):
+    // the CPU engines index every output buffer with it, so a smaller
+    // second output would be written out of bounds, and the GL path
+    // would render each output over its own viewport — diverging
+    // domains. Enforced uniformly instead.
+    let mut domain_shape: Option<Vec<usize>> = None;
     for (p, a) in kdef.params.iter().zip(args) {
         match (p.kind, a) {
             (ParamKind::Stream, Arg::Stream(s)) => {
-                lookup(s)?;
+                let desc = lookup(s)?;
+                check_width(p, &desc)?;
                 handle_args.push((p.name.clone(), HandleArg::Elem(**s)));
             }
             (ParamKind::Gather { rank }, Arg::Stream(s)) => {
@@ -656,7 +826,8 @@ pub(crate) fn classify_call(
                 // (first-index clamp) is not expressible in the GL index
                 // translation — enforced here so every backend computes
                 // the same element.
-                let srank = lookup(s)?.shape.len();
+                let desc = lookup(s)?;
+                let srank = desc.shape.len();
                 if srank != rank as usize {
                     return Err(BrookError::Usage(format!(
                         "gather `{}` has rank {rank} but the bound stream has {srank} \
@@ -664,10 +835,24 @@ pub(crate) fn classify_call(
                         p.name
                     )));
                 }
+                check_width(p, &desc)?;
                 handle_args.push((p.name.clone(), HandleArg::Gather(**s)));
             }
             (ParamKind::OutStream, Arg::Stream(s)) => {
-                lookup(s)?;
+                let desc = lookup(s)?;
+                check_width(p, &desc)?;
+                match &domain_shape {
+                    None => domain_shape = Some(desc.shape.clone()),
+                    Some(d) if *d != desc.shape => {
+                        return Err(BrookError::Usage(format!(
+                            "output `{}` has shape {:?} but the kernel's output domain \
+                             (the first output's shape) is {d:?}: all outputs of one \
+                             launch share a single domain",
+                            p.name, desc.shape
+                        )))
+                    }
+                    Some(_) => {}
+                }
                 handle_args.push((p.name.clone(), HandleArg::Out(**s)));
                 outputs.push((p.name.clone(), **s));
             }
@@ -763,6 +948,48 @@ mod tests {
             )
             .unwrap();
             assert_eq!(ctx.read(&r).unwrap(), vec![2.5, 4.5, 6.5, 8.5]);
+        }
+    }
+
+    /// GLES2 program-cache hygiene: a failed GLSL compile must leave no
+    /// stale or partial cache entry, so a corrected module under the
+    /// *same module id* (hence the same cache key) compiles fresh and
+    /// runs — on both storage variants.
+    #[test]
+    fn failed_compile_leaves_no_stale_program_cache_entry() {
+        // A recursive helper passes the front-end with certification
+        // disabled but cannot lower to IR, so the device falls back to
+        // the AST shader generator, which fails to resolve the call —
+        // a real compile failure at dispatch time.
+        let broken = "float twice(float x) { return twice(x); }
+            kernel void k(float a<>, out float o<>) { o = twice(a); }";
+        let corrected = "float twice(float x) { return x * 2.0; }
+            kernel void k(float a<>, out float o<>) { o = twice(a); }";
+        for device in [
+            gles2_sim::DeviceProfile::videocore_iv(),  // packed storage
+            gles2_sim::DeviceProfile::radeon_hd3400(), // native storage
+        ] {
+            let mut ctx = BrookContext::gles2(device);
+            ctx.enforce_certification = false;
+            let bad = ctx.compile(broken).unwrap();
+            let a = ctx.stream(&[4]).unwrap();
+            let o = ctx.stream(&[4]).unwrap();
+            ctx.write(&a, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+            let err = ctx
+                .run(&bad, "k", &[Arg::Stream(&a), Arg::Stream(&o)])
+                .unwrap_err();
+            assert!(
+                matches!(err, BrookError::Gl(_) | BrookError::Codegen(_)),
+                "expected a compile failure, got: {err}"
+            );
+            // Same module id → same program-cache key as the failed
+            // attempt. A stale entry would either re-fail or run the
+            // broken shader; a clean cache compiles the fix.
+            let mut good = ctx.compile(corrected).unwrap();
+            good.id = bad.id;
+            ctx.run(&good, "k", &[Arg::Stream(&a), Arg::Stream(&o)])
+                .unwrap_or_else(|e| panic!("{}: corrected module must run: {e}", ctx.backend_name()));
+            assert_eq!(ctx.read(&o).unwrap(), vec![2.0, 4.0, 6.0, 8.0]);
         }
     }
 

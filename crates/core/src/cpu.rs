@@ -425,7 +425,11 @@ impl Interp<'_, '_> {
                     Some(e) => coerce_to(self.eval(e)?, *ty),
                     None => Value::zero(brook_to_glsl_type(*ty)),
                 };
-                self.scopes.last_mut().expect("scope").insert(name.clone(), v);
+                let scope = self
+                    .scopes
+                    .last_mut()
+                    .ok_or_else(|| BrookError::Internal("declaration executed outside any scope".into()))?;
+                scope.insert(name.clone(), v);
                 Ok(Flow::Normal)
             }
             Stmt::Assign {
@@ -869,7 +873,7 @@ where
     let domain_shape = streams
         .get(launch.outputs[0].1)
         .map(|(desc, _)| desc.shape.clone())
-        .expect("output stream validated by the context");
+        .ok_or_else(|| BrookError::Internal("launch output index out of range of the stream table".into()))?;
     let result = {
         let mut bindings: HashMap<String, CpuBinding<'_>> = HashMap::new();
         for (name, arg) in &launch.args {
@@ -986,7 +990,7 @@ where
     let domain_shape = streams
         .get(launch.outputs[0].1)
         .map(|(desc, _)| desc.shape.clone())
-        .expect("output stream validated by the context");
+        .ok_or_else(|| BrookError::Internal("launch output index out of range of the stream table".into()))?;
     let result = {
         let bindings = ir_bindings(streams, &launch.args, &out_index_of);
         runner(kernel, &bindings, &mut out_bufs, &domain_shape)

@@ -19,6 +19,11 @@ pub enum BrookError {
     /// Runtime misuse: wrong argument counts/kinds, unknown kernels,
     /// size mismatches.
     Usage(String),
+    /// A runtime invariant the toolchain itself guarantees was found
+    /// broken (a toolchain bug, not caller misuse). Long-running hosts
+    /// (the service layer) surface these as failed *requests* — never a
+    /// process abort.
+    Internal(String),
 }
 
 impl fmt::Display for BrookError {
@@ -47,6 +52,7 @@ impl fmt::Display for BrookError {
             BrookError::Codegen(e) => write!(f, "codegen: {e}"),
             BrookError::Gl(e) => write!(f, "gl: {e}"),
             BrookError::Usage(m) => write!(f, "usage: {m}"),
+            BrookError::Internal(m) => write!(f, "internal: {m}"),
         }
     }
 }

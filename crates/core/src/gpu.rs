@@ -214,20 +214,27 @@ impl GpuState {
         for (n, r) in rank_names {
             key.push_str(&format!(":{n}={r:?}"));
         }
-        if !self.programs.contains_key(&key) {
-            // The live path generates GLSL from the optimized,
-            // re-certified BrookIR; kernels absent from the IR (only
-            // possible past a disabled certification gate) fall back to
-            // the legacy AST generator.
-            let generated = if ir.kernel(kernel).is_some() {
-                generate_ir_kernel_shader(ir, kernel, output, &shapes, self.storage)?
-            } else {
-                generate_kernel_shader(checked, kernel, output, &shapes, self.storage)?
-            };
-            let p = self.gl.create_program(&generated.glsl)?;
-            self.programs.insert(key.clone(), (p, generated));
-        }
-        let (program, generated) = self.programs.get(&key).expect("inserted above").clone();
+        let (program, generated) = match self.programs.get(&key) {
+            Some(entry) => entry.clone(),
+            None => {
+                // The live path generates GLSL from the optimized,
+                // re-certified BrookIR; kernels absent from the IR (only
+                // possible past a disabled certification gate) fall back
+                // to the legacy AST generator. The cache entry is
+                // inserted only once both generation and program
+                // creation succeed, so a failed compile leaves no trace
+                // and a corrected module under the same key compiles
+                // fresh.
+                let generated = if ir.kernel(kernel).is_some() {
+                    generate_ir_kernel_shader(ir, kernel, output, &shapes, self.storage)?
+                } else {
+                    generate_kernel_shader(checked, kernel, output, &shapes, self.storage)?
+                };
+                let p = self.gl.create_program(&generated.glsl)?;
+                self.programs.insert(key.clone(), (p, generated.clone()));
+                (p, generated)
+            }
+        };
         self.gl.use_program(program)?;
         let stream_of = |name: &str| -> Result<usize> {
             stream_args
@@ -294,7 +301,34 @@ impl GpuState {
         // Ping-pong intermediates, reused across passes (paper §5.5: "the
         // same textures are reused for the reduction steps").
         let ping = self.gl.create_texture(aw, ah, self.format_for(1))?;
-        let pong = self.gl.create_texture(aw, ah, self.format_for(1))?;
+        let pong = match self.gl.create_texture(aw, ah, self.format_for(1)) {
+            Ok(t) => t,
+            Err(e) => {
+                self.gl.delete_texture(ping);
+                return Err(e.into());
+            }
+        };
+        // The ladder runs in a helper so every `?` exit still releases
+        // the intermediates — a long-running host would otherwise leak
+        // device memory (and budget headroom) on each failed reduce.
+        let result = self.reduce_ladder(op, in_tex, &layout, len, ping, pong);
+        self.gl.delete_texture(ping);
+        self.gl.delete_texture(pong);
+        result
+    }
+
+    /// The reduction passes proper; intermediates are owned (and always
+    /// released) by `reduce_stream`.
+    fn reduce_ladder(
+        &mut self,
+        op: ReduceOp,
+        in_tex: TextureId,
+        layout: &StreamLayout,
+        len: usize,
+        ping: TextureId,
+        pong: TextureId,
+    ) -> Result<f32> {
+        let (aw, ah) = (layout.alloc_w, layout.alloc_h);
         // Pass 0: masked copy establishing a rectangular extent with
         // identity padding (needed for linear streams whose tail row is
         // partial).
@@ -373,10 +407,7 @@ impl GpuState {
         self.gl.bind_framebuffer(self.fbo)?;
         self.readbacks += 1;
         let texel = self.gl.read_pixels_region(0, 0, 1, 1)?;
-        let value = self.decode_texels(&texel, 1)[0];
-        self.gl.delete_texture(ping);
-        self.gl.delete_texture(pong);
-        Ok(value)
+        Ok(self.decode_texels(&texel, 1)[0])
     }
 
     fn reduce_program(&mut self, op: ReduceOp, axis: ReduceAxis) -> Result<ProgramId> {
@@ -530,5 +561,9 @@ impl BackendExecutor for GpuState {
 
     fn memory_used(&self) -> usize {
         self.gl.vram_used()
+    }
+
+    fn memory_peak(&self) -> usize {
+        self.gl.vram_peak()
     }
 }

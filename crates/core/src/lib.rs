@@ -75,8 +75,8 @@ pub mod graph;
 pub mod stream;
 
 pub use backend::{registered_backends, BackendExecutor, BackendSpec, BoundArg, KernelLaunch};
-pub use budget::{plan_memory, MemoryPlan, PlannedStream};
-pub use context::{Arg, BrookContext, BrookModule};
+pub use budget::{plan_memory, plan_memory_with_widths, MemoryPlan, PlannedStream};
+pub use context::{Arg, BrookContext, BrookModule, ModuleArtifact};
 pub use cpu::CpuBackend;
 pub use cpu_parallel::ParallelCpuBackend;
 pub use error::{BrookError, Result};

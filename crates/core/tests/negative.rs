@@ -408,3 +408,99 @@ fn stream_len_on_foreign_stream_rejected_everywhere() {
         }
     }
 }
+
+/// An elem-stream parameter's width must match the bound stream's
+/// width: a `float4` param over a `float` stream used to slice the
+/// input buffer out of bounds (CPU panic) or silently truncate (GL).
+#[test]
+fn elem_width_mismatch_rejected_everywhere() {
+    let src = "kernel void quad(float4 a<>, out float4 o<>) { o = a; }";
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let module = ctx.compile(src).unwrap();
+        let a = ctx.stream(&[4]).unwrap(); // width 1 for a float4 param
+        let Ok(o) = ctx.stream_with_width(&[4], 4) else {
+            continue; // packed storage has no width-4 streams
+        };
+        let err = ctx
+            .run(&module, "quad", &[Arg::Stream(&a), Arg::Stream(&o)])
+            .unwrap_err();
+        assert_usage(err, name, "float stream bound to float4 param");
+    }
+}
+
+/// Same check on the output side: a narrow output stream under a wide
+/// out-param was an out-of-bounds write on the CPU engines.
+#[test]
+fn out_width_mismatch_rejected_everywhere() {
+    let src = "kernel void widen(float a<>, out float4 o<>) { o = float4(a, a, a, a); }";
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let module = ctx.compile(src).unwrap();
+        let a = ctx.stream(&[4]).unwrap();
+        let o = ctx.stream(&[4]).unwrap(); // width 1 for an out float4
+        ctx.write(&a, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let err = ctx
+            .run(&module, "widen", &[Arg::Stream(&a), Arg::Stream(&o)])
+            .unwrap_err();
+        assert_usage(err, name, "float stream bound to out float4 param");
+    }
+}
+
+/// Gather parameters carry a width too.
+#[test]
+fn gather_width_mismatch_rejected_everywhere() {
+    let src = "kernel void g(float4 t[], float i<>, out float o<>) { o = t[int(i)].x; }";
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let module = ctx.compile(src).unwrap();
+        let t = ctx.stream(&[4]).unwrap(); // width 1 for a float4 gather
+        let i = ctx.stream(&[4]).unwrap();
+        let o = ctx.stream(&[4]).unwrap();
+        let err = ctx
+            .run(&module, "g", &[Arg::Stream(&t), Arg::Stream(&i), Arg::Stream(&o)])
+            .unwrap_err();
+        assert_usage(err, name, "float stream bound to float4 gather");
+    }
+}
+
+/// All outputs of one launch execute over a single domain (the first
+/// output's shape); a smaller second output used to be written out of
+/// bounds by the CPU engines.
+#[test]
+fn mismatched_output_shapes_rejected_everywhere() {
+    let src = "kernel void two(float a<>, out float x<>, out float y<>) { x = a; y = a + 1.0; }";
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let module = ctx.compile(src).unwrap();
+        let a = ctx.stream(&[8]).unwrap();
+        let x = ctx.stream(&[8]).unwrap();
+        let y = ctx.stream(&[4]).unwrap(); // smaller than the domain
+        ctx.write(&a, &[0.5; 8]).unwrap();
+        let err = ctx
+            .run(
+                &module,
+                "two",
+                &[Arg::Stream(&a), Arg::Stream(&x), Arg::Stream(&y)],
+            )
+            .unwrap_err();
+        assert_usage(err, name, "outputs with different shapes");
+    }
+}
+
+/// `reduce` folds lanes differently on the host (all lanes) and the GL
+/// ladder (one channel per step); a width mismatch between kernel and
+/// stream is rejected instead of letting the backends diverge.
+#[test]
+fn reduce_width_mismatch_rejected_everywhere() {
+    for mut ctx in all_contexts() {
+        let name = ctx.backend_name();
+        let module = ctx.compile(SUM).unwrap();
+        let Ok(wide) = ctx.stream_with_width(&[4], 4) else {
+            continue; // packed storage has no width-4 streams
+        };
+        ctx.write(&wide, &[1.0; 16]).unwrap();
+        let err = ctx.reduce(&module, "sum", &wide).unwrap_err();
+        assert_usage(err, name, "float4 stream into a float reduce");
+    }
+}

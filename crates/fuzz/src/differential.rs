@@ -97,6 +97,17 @@ impl std::fmt::Display for CaseFailure {
 fn run_on(spec: &BackendSpec, case: &FuzzCase) -> Result<Vec<Vec<f32>>, String> {
     let mut ctx: BrookContext = (spec.make)();
     let module = ctx.compile(&case.source).map_err(|e| format!("compile: {e}"))?;
+    run_with_module(&mut ctx, &module, case)
+}
+
+/// Runs an already-compiled `case` in `ctx` (streams and launch only) —
+/// shared by [`run_case`] and the concurrent campaign, where the module
+/// arrives via a shared artifact cache instead of a fresh compile.
+pub(crate) fn run_with_module(
+    ctx: &mut BrookContext,
+    module: &brook_auto::BrookModule,
+    case: &FuzzCase,
+) -> Result<Vec<Vec<f32>>, String> {
     let mut input_streams = Vec::new();
     for data in &case.inputs {
         let s = ctx
@@ -142,8 +153,7 @@ fn run_on(spec: &BackendSpec, case: &FuzzCase) -> Result<Vec<Vec<f32>>, String> 
         .ok_or("case has no kernel")?
         .name
         .clone();
-    ctx.run(&module, &kernel, &args)
-        .map_err(|e| format!("run: {e}"))?;
+    ctx.run(module, &kernel, &args).map_err(|e| format!("run: {e}"))?;
     let mut outputs = Vec::new();
     for o in &out_streams {
         outputs.push(ctx.read(o).map_err(|e| format!("read: {e}"))?);

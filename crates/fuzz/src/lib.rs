@@ -42,6 +42,7 @@
 //! ```
 
 pub mod chain;
+pub mod concurrent;
 pub mod differential;
 pub mod gen;
 pub mod lanes;
@@ -52,6 +53,7 @@ pub mod shrink;
 pub mod tier;
 
 pub use chain::{gen_chain, run_chain_campaign, run_chain_case, ChainCase, ChainConfig, ChainStats};
+pub use concurrent::{run_concurrent_campaign, ConcurrentStats};
 pub use differential::{compare, run_case, BackendOutput, CaseFailure, Divergence, Matrix};
 pub use gen::{gen_case, gen_noncompliant, FuzzCase, GenConfig};
 pub use lanes::{lanes_matrix, run_lanes_campaign, LanesStats};

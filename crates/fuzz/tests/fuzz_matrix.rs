@@ -218,6 +218,29 @@ fn alternate_seed_spot_check() {
     assert_eq!(stats.positive_cases, 24);
 }
 
+/// 48 generated kernels each executed by 6 racing contexts (cycling the
+/// CPU-family backends) that adopt one shared cached artifact — bitwise
+/// against the serial reference, with exact cache accounting. This is
+/// the acceptance bar for multi-tenant artifact sharing: the compiled-
+/// module cache must be semantically invisible under real concurrency.
+#[test]
+fn concurrent_campaign_48_cases_shared_cache_bitwise() {
+    let stats = brook_fuzz::run_concurrent_campaign(CI_SEED, 48, 6, &brook_fuzz::GenConfig::default())
+        .unwrap_or_else(|e| panic!("concurrent campaign failed:\n{e}"));
+    assert_eq!(stats.cases, 48);
+    assert_eq!(stats.cache_misses, 48, "one compile per case");
+    assert_eq!(
+        stats.cache_hits,
+        48 * 6,
+        "every racing context must hit the cache"
+    );
+    assert!(
+        stats.elements_checked > 1_000,
+        "campaign too small to mean anything: {} elements",
+        stats.elements_checked
+    );
+}
+
 mod roundtrip_props {
     use super::*;
     use proptest::prelude::*;

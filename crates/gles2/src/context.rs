@@ -103,6 +103,7 @@ pub struct Gl {
     next_id: u32,
     vram_budget: Option<usize>,
     vram_used: usize,
+    vram_peak: usize,
     stats: GlStats,
 }
 
@@ -122,6 +123,7 @@ impl Gl {
             next_id: 1,
             vram_budget: None,
             vram_used: 0,
+            vram_peak: 0,
             stats: GlStats::default(),
         }
     }
@@ -151,6 +153,12 @@ impl Gl {
     /// Bytes of texture memory currently allocated.
     pub fn vram_used(&self) -> usize {
         self.vram_used
+    }
+
+    /// High-water mark of texture memory over the context's lifetime —
+    /// the number a static memory plan (BA002) must upper-bound.
+    pub fn vram_peak(&self) -> usize {
+        self.vram_peak
     }
 
     fn fresh_id(&mut self) -> u32 {
@@ -210,6 +218,7 @@ impl Gl {
             }
         }
         self.vram_used += size;
+        self.vram_peak = self.vram_peak.max(self.vram_used);
         let id = self.fresh_id();
         self.textures.insert(id, tex);
         Ok(TextureId(id))

@@ -1,0 +1,223 @@
+//! Admission control from static artifacts.
+//!
+//! The paper's programming model makes every stream statically sized
+//! and every loop statically bounded; the certification gate turns that
+//! into numbers (`instruction_estimate`, pass counts, stream shapes,
+//! `plan_memory` bytes) *before* anything executes. This module spends
+//! those numbers as budgets: a request whose static cost does not fit
+//! is refused with a structured error at the door — it never queues,
+//! never executes, never degrades the latency of admitted work.
+
+use brook_auto::ModuleArtifact;
+
+/// Per-tenant admission limits, fixed at tenant creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Upper bound on one launch's statically estimated instructions
+    /// (`instruction_estimate × domain elements × passes`).
+    pub max_instructions_per_request: u64,
+    /// Upper bound on the tenant's planned stream memory, in bytes
+    /// (logical element bytes on host backends; the device plan already
+    /// enforces texture bytes on GL backends on top of this).
+    pub max_stream_bytes: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            // One launch may spend up to ~2^26 estimated instructions —
+            // a 4096-element domain of default-config worst-case kernels.
+            max_instructions_per_request: 1 << 26,
+            // 64 MiB of stream data per tenant.
+            max_stream_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// Why a request was refused admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The kernel has no static cost (unbounded loop past a disabled
+    /// gate, or an unknown kernel) — nothing to budget, so nothing to
+    /// admit.
+    NoStaticCost { kernel: String },
+    /// The launch's static cost exceeds the per-request ceiling.
+    CostOverBudget { kernel: String, cost: u64, budget: u64 },
+    /// The allocation would push the tenant past its stream-memory
+    /// budget.
+    MemoryOverBudget {
+        requested: usize,
+        in_use: usize,
+        budget: usize,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::NoStaticCost { kernel } => {
+                write!(f, "kernel `{kernel}` has no static cost bound; unadmittable")
+            }
+            AdmissionError::CostOverBudget { kernel, cost, budget } => write!(
+                f,
+                "kernel `{kernel}` launch costs {cost} estimated instructions, over the \
+                 per-request budget of {budget}"
+            ),
+            AdmissionError::MemoryOverBudget {
+                requested,
+                in_use,
+                budget,
+            } => write!(
+                f,
+                "allocation of {requested} B would exceed the tenant stream budget \
+                 ({in_use} B of {budget} B in use)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Per-tenant admission state: the fixed limits plus the memory
+/// currently charged against them.
+#[derive(Debug, Clone)]
+pub struct Admission {
+    config: AdmissionConfig,
+    stream_bytes_in_use: usize,
+}
+
+impl Admission {
+    /// Fresh state under the given limits.
+    pub fn new(config: AdmissionConfig) -> Self {
+        Admission {
+            config,
+            stream_bytes_in_use: 0,
+        }
+    }
+
+    /// Bytes currently charged for live streams.
+    pub fn stream_bytes_in_use(&self) -> usize {
+        self.stream_bytes_in_use
+    }
+
+    /// Admits (and charges) a stream allocation of `shape`/`width`.
+    /// Charged bytes are the logical element bytes — the number that is
+    /// backend-independent; device texture padding is enforced by the
+    /// device plan and VRAM budget separately.
+    ///
+    /// # Errors
+    /// [`AdmissionError::MemoryOverBudget`]; nothing is charged.
+    pub fn admit_stream(&mut self, shape: &[usize], width: u8) -> Result<usize, AdmissionError> {
+        let requested = shape
+            .iter()
+            .product::<usize>()
+            .saturating_mul(width as usize)
+            .saturating_mul(4);
+        if self.stream_bytes_in_use.saturating_add(requested) > self.config.max_stream_bytes {
+            return Err(AdmissionError::MemoryOverBudget {
+                requested,
+                in_use: self.stream_bytes_in_use,
+                budget: self.config.max_stream_bytes,
+            });
+        }
+        self.stream_bytes_in_use += requested;
+        Ok(requested)
+    }
+
+    /// Releases a previous [`admit_stream`](Self::admit_stream) charge.
+    pub fn release_stream(&mut self, charged: usize) {
+        self.stream_bytes_in_use = self.stream_bytes_in_use.saturating_sub(charged);
+    }
+
+    /// Admits one launch of `kernel` from `artifact` over a domain of
+    /// `domain_elems` output elements. Pure: compute budgets are
+    /// per-request ceilings, not a depletable pool, so admitted
+    /// launches do not change state.
+    ///
+    /// # Errors
+    /// [`AdmissionError::NoStaticCost`] when the kernel carries no
+    /// instruction estimate (only possible past a disabled gate);
+    /// [`AdmissionError::CostOverBudget`] when the static cost exceeds
+    /// the ceiling.
+    pub fn admit_launch(
+        &self,
+        artifact: &ModuleArtifact,
+        kernel: &str,
+        domain_elems: u64,
+    ) -> Result<u64, AdmissionError> {
+        let cost = artifact
+            .report()
+            .admission_cost(kernel, domain_elems)
+            .ok_or_else(|| AdmissionError::NoStaticCost {
+                kernel: kernel.to_owned(),
+            })?;
+        if cost > self.config.max_instructions_per_request {
+            return Err(AdmissionError::CostOverBudget {
+                kernel: kernel.to_owned(),
+                cost,
+                budget: self.config.max_instructions_per_request,
+            });
+        }
+        Ok(cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brook_auto::BrookContext;
+
+    fn artifact(source: &str) -> ModuleArtifact {
+        BrookContext::cpu().compile_artifact(source).expect("compile")
+    }
+
+    #[test]
+    fn stream_memory_is_charged_and_released() {
+        let mut adm = Admission::new(AdmissionConfig {
+            max_stream_bytes: 100,
+            ..AdmissionConfig::default()
+        });
+        let charge = adm.admit_stream(&[5], 4).expect("fits"); // 5*4*4 = 80 B
+        assert_eq!(charge, 80);
+        let err = adm.admit_stream(&[2], 4).unwrap_err(); // 32 B over
+        assert!(matches!(err, AdmissionError::MemoryOverBudget { .. }));
+        assert_eq!(adm.stream_bytes_in_use(), 80, "failed admit must not charge");
+        adm.release_stream(charge);
+        assert_eq!(adm.stream_bytes_in_use(), 0);
+        adm.admit_stream(&[2], 4).expect("fits after release");
+    }
+
+    #[test]
+    fn launch_cost_scales_with_domain_and_caps() {
+        let a = artifact(
+            "kernel void heavy(float x<>, out float o<>) {
+                float s = x;
+                for (int i = 0; i < 100; i++) { s = s * 1.5 + 1.0; }
+                o = s;
+            }",
+        );
+        let adm = Admission::new(AdmissionConfig {
+            max_instructions_per_request: 10_000,
+            ..AdmissionConfig::default()
+        });
+        let small = adm.admit_launch(&a, "heavy", 10).expect("small domain fits");
+        assert!(small > 0);
+        let err = adm.admit_launch(&a, "heavy", 1_000_000).unwrap_err();
+        match err {
+            AdmissionError::CostOverBudget { cost, budget, .. } => {
+                assert!(cost > budget);
+            }
+            other => panic!("expected CostOverBudget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_kernel_has_no_static_cost() {
+        let a = artifact("kernel void id(float x<>, out float o<>) { o = x; }");
+        let adm = Admission::new(AdmissionConfig::default());
+        assert!(matches!(
+            adm.admit_launch(&a, "nope", 1),
+            Err(AdmissionError::NoStaticCost { .. })
+        ));
+    }
+}

@@ -1,0 +1,206 @@
+//! A blocking wire-protocol client: one request in flight per
+//! connection (open several connections for pipelining — the server
+//! shards by tenant, not by socket).
+
+use crate::wire::{read_frame, write_frame, DecodeError, ErrorCode, Request, Response, WireArg};
+use std::io;
+use std::net::TcpStream;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server's reply did not decode.
+    Decode(DecodeError),
+    /// The server answered with a structured error.
+    Server { code: ErrorCode, message: String },
+    /// The server answered with the wrong payload kind for the request.
+    UnexpectedReply(Response),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Decode(e) => write!(f, "{e}"),
+            ClientError::Server { code, message } => write!(f, "server {code:?}: {message}"),
+            ClientError::UnexpectedReply(r) => write!(f, "unexpected reply {r:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// The structured server error code, when this is a server error.
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+/// Result alias for client calls.
+pub type ClientResult<T> = std::result::Result<T, ClientError>;
+
+/// A connected client acting for one tenant. The tenant name rides on
+/// every request; two clients with the same tenant name share that
+/// tenant's server-side context.
+pub struct Client {
+    conn: TcpStream,
+    tenant: String,
+}
+
+impl Client {
+    /// Connects to a server and binds this client to `tenant`.
+    ///
+    /// # Errors
+    /// Connection failures.
+    pub fn connect(addr: impl std::net::ToSocketAddrs, tenant: &str) -> io::Result<Client> {
+        let conn = TcpStream::connect(addr)?;
+        conn.set_nodelay(true)?;
+        Ok(Client {
+            conn,
+            tenant: tenant.to_owned(),
+        })
+    }
+
+    fn call(&mut self, req: &Request) -> ClientResult<Response> {
+        write_frame(&mut self.conn, &req.encode())?;
+        let frame = read_frame(&mut self.conn)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        let resp = Response::decode(&frame).map_err(ClientError::Decode)?;
+        if let Response::Error { code, message } = resp {
+            return Err(ClientError::Server { code, message });
+        }
+        Ok(resp)
+    }
+
+    /// Compiles Brook source (or fetches it from the shared cache),
+    /// returning a module handle.
+    ///
+    /// # Errors
+    /// Transport, compile, certification or admission failures.
+    pub fn compile(&mut self, source: &str) -> ClientResult<u64> {
+        match self.call(&Request::Compile {
+            tenant: self.tenant.clone(),
+            source: source.to_owned(),
+        })? {
+            Response::Handle(h) => Ok(h),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// Allocates a stream of `floatN` elements.
+    ///
+    /// # Errors
+    /// Transport, usage or admission failures.
+    pub fn create_stream(&mut self, shape: &[u32], width: u8) -> ClientResult<u64> {
+        match self.call(&Request::CreateStream {
+            tenant: self.tenant.clone(),
+            shape: shape.to_vec(),
+            width,
+        })? {
+            Response::Handle(h) => Ok(h),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// Uploads values into a stream.
+    ///
+    /// # Errors
+    /// Transport or usage failures.
+    pub fn write(&mut self, stream: u64, data: &[f32]) -> ClientResult<()> {
+        match self.call(&Request::Write {
+            tenant: self.tenant.clone(),
+            stream,
+            data: data.to_vec(),
+        })? {
+            Response::Ok => Ok(()),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// Downloads a stream.
+    ///
+    /// # Errors
+    /// Transport or usage failures.
+    pub fn read(&mut self, stream: u64) -> ClientResult<Vec<f32>> {
+        match self.call(&Request::Read {
+            tenant: self.tenant.clone(),
+            stream,
+        })? {
+            Response::Data(d) => Ok(d),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// Launches a kernel over its output domain.
+    ///
+    /// # Errors
+    /// Transport, usage, device or admission failures.
+    pub fn run(&mut self, module: u64, kernel: &str, args: &[WireArg]) -> ClientResult<()> {
+        match self.call(&Request::Run {
+            tenant: self.tenant.clone(),
+            module,
+            kernel: kernel.to_owned(),
+            args: args.to_vec(),
+        })? {
+            Response::Ok => Ok(()),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// Folds a stream to a scalar with a reduce kernel.
+    ///
+    /// # Errors
+    /// Transport, usage, device or admission failures.
+    pub fn reduce(&mut self, module: u64, kernel: &str, stream: u64) -> ClientResult<f32> {
+        match self.call(&Request::Reduce {
+            tenant: self.tenant.clone(),
+            module,
+            kernel: kernel.to_owned(),
+            stream,
+        })? {
+            Response::Scalar(v) => Ok(v),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// Releases a stream and its admission charge.
+    ///
+    /// # Errors
+    /// Transport failures or an unknown handle.
+    pub fn drop_stream(&mut self, stream: u64) -> ClientResult<()> {
+        match self.call(&Request::DropStream {
+            tenant: self.tenant.clone(),
+            stream,
+        })? {
+            Response::Ok => Ok(()),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+
+    /// Server-wide counters as name/value pairs.
+    ///
+    /// # Errors
+    /// Transport failures.
+    pub fn stats(&mut self) -> ClientResult<Vec<(String, u64)>> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(ClientError::UnexpectedReply(other)),
+        }
+    }
+}

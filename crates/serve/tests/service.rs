@@ -1,0 +1,416 @@
+//! End-to-end service tests over real sockets: multi-tenant isolation,
+//! shared-cache correctness, admission control and backpressure — all
+//! asserted bit-exact against serial single-tenant execution and with
+//! the zero-panic gate enforced on every exit path.
+
+use brook_serve::{AdmissionConfig, Client, ClientError, ErrorCode, Server, ServerConfig, WireArg};
+use std::collections::HashMap;
+
+const SAXPY: &str = "kernel void saxpy(float x<>, float y<>, float a, out float r<>) { r = a * x + y; }";
+const SUM: &str = "reduce void sum(float a<>, reduce float r<>) { r += a; }";
+
+fn start(config: ServerConfig) -> Server {
+    Server::start("127.0.0.1:0", config).expect("server starts")
+}
+
+fn stat(stats: &[(String, u64)], name: &str) -> u64 {
+    stats
+        .iter()
+        .find(|(k, _)| k == name)
+        .unwrap_or_else(|| panic!("stat `{name}` missing"))
+        .1
+}
+
+/// The serial single-tenant oracle: what the service must reproduce
+/// bit-exactly.
+fn serial_saxpy(xs: &[f32], ys: &[f32], a: f32) -> Vec<f32> {
+    let mut ctx = brook_auto::BrookContext::cpu();
+    let module = ctx.compile(SAXPY).expect("compile");
+    let x = ctx.stream(&[xs.len()]).expect("x");
+    let y = ctx.stream(&[ys.len()]).expect("y");
+    let r = ctx.stream(&[xs.len()]).expect("r");
+    ctx.write(&x, xs).expect("write");
+    ctx.write(&y, ys).expect("write");
+    ctx.run(
+        &module,
+        "saxpy",
+        &[
+            brook_auto::Arg::Stream(&x),
+            brook_auto::Arg::Stream(&y),
+            brook_auto::Arg::Float(a),
+            brook_auto::Arg::Stream(&r),
+        ],
+    )
+    .expect("run");
+    ctx.read(&r).expect("read")
+}
+
+#[test]
+fn single_tenant_roundtrip() {
+    let server = start(ServerConfig::default());
+    let mut c = Client::connect(server.local_addr(), "t0").expect("connect");
+    let module = c.compile(SAXPY).expect("compile");
+    let x = c.create_stream(&[4], 1).expect("x");
+    let y = c.create_stream(&[4], 1).expect("y");
+    let r = c.create_stream(&[4], 1).expect("r");
+    c.write(x, &[1.0, 2.0, 3.0, 4.0]).expect("write x");
+    c.write(y, &[0.5; 4]).expect("write y");
+    c.run(
+        module,
+        "saxpy",
+        &[
+            WireArg::Stream(x),
+            WireArg::Stream(y),
+            WireArg::Float(2.0),
+            WireArg::Stream(r),
+        ],
+    )
+    .expect("run");
+    assert_eq!(c.read(r).expect("read"), vec![2.5, 4.5, 6.5, 8.5]);
+    assert_eq!(
+        c.read(r).expect("read"),
+        serial_saxpy(&[1.0, 2.0, 3.0, 4.0], &[0.5; 4], 2.0),
+        "bit-exact vs serial execution"
+    );
+    // Reduce through the same tenant.
+    let sum_mod = c.compile(SUM).expect("compile sum");
+    assert_eq!(c.reduce(sum_mod, "sum", r).expect("reduce"), 22.0);
+    let stats = c.stats().expect("stats");
+    assert_eq!(stat(&stats, "panics"), 0);
+    assert!(stat(&stats, "requests") >= 9);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_tenants_are_bit_exact_and_share_the_cache() {
+    // ≥2 tenants × ≥4 concurrent clients hammering the same kernel
+    // through the shared module cache; every result must equal the
+    // serial single-tenant oracle bit for bit.
+    let server = start(ServerConfig {
+        shards: 4,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    // Warm the cache from one tenant so the concurrent phase exercises
+    // the hit path deterministically.
+    Client::connect(addr, "warm")
+        .expect("connect")
+        .compile(SAXPY)
+        .expect("warm compile");
+
+    const CLIENTS: usize = 8;
+    const TENANTS: usize = 4;
+    const N: usize = 256;
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|ci| {
+            std::thread::spawn(move || {
+                let tenant = format!("tenant-{}", ci % TENANTS);
+                let mut c = Client::connect(addr, &tenant).expect("connect");
+                let module = c.compile(SAXPY).expect("compile");
+                let xs: Vec<f32> = (0..N).map(|i| (ci * N + i) as f32 * 0.25).collect();
+                let ys: Vec<f32> = (0..N).map(|i| 1.0 + i as f32 * 0.5).collect();
+                let a = 1.5 + ci as f32;
+                let x = c.create_stream(&[N as u32], 1).expect("x");
+                let y = c.create_stream(&[N as u32], 1).expect("y");
+                let r = c.create_stream(&[N as u32], 1).expect("r");
+                c.write(x, &xs).expect("write x");
+                c.write(y, &ys).expect("write y");
+                for _ in 0..10 {
+                    run_with_retry(
+                        &mut c,
+                        module,
+                        "saxpy",
+                        &[
+                            WireArg::Stream(x),
+                            WireArg::Stream(y),
+                            WireArg::Float(a),
+                            WireArg::Stream(r),
+                        ],
+                    );
+                }
+                let got = c.read(r).expect("read");
+                (xs, ys, a, got)
+            })
+        })
+        .collect();
+    for w in workers {
+        let (xs, ys, a, got) = w.join().expect("worker");
+        assert_eq!(got, serial_saxpy(&xs, &ys, a), "service result must be bit-exact");
+    }
+    let mut c = Client::connect(addr, "warm").expect("connect");
+    let stats = c.stats().expect("stats");
+    assert_eq!(stat(&stats, "panics"), 0, "zero-panic gate");
+    // One artifact serves every tenant: all compiles after the warm-up
+    // hit the shared cache (the warm-up itself is the only guaranteed
+    // miss; concurrent same-key misses are impossible here since the
+    // cache was warm before any client started).
+    assert_eq!(stat(&stats, "cache_misses"), 1);
+    assert_eq!(stat(&stats, "cache_hits"), CLIENTS as u64);
+    server.shutdown();
+}
+
+/// Retries `Busy` shedding (the documented client contract); anything
+/// else must succeed.
+fn run_with_retry(c: &mut Client, module: u64, kernel: &str, args: &[WireArg]) {
+    loop {
+        match c.run(module, kernel, args) {
+            Ok(()) => return,
+            Err(e) if e.code() == Some(ErrorCode::Busy) => std::thread::yield_now(),
+            Err(e) => panic!("run: {e}"),
+        }
+    }
+}
+
+#[test]
+fn tenant_handles_are_isolated() {
+    let server = start(ServerConfig::default());
+    let mut a = Client::connect(server.local_addr(), "alice").expect("connect");
+    let mut b = Client::connect(server.local_addr(), "bob").expect("connect");
+    let s = a.create_stream(&[4], 1).expect("stream");
+    a.write(s, &[1.0; 4]).expect("write");
+    // Bob cannot touch Alice's handle — handles are tenant-scoped, so
+    // from Bob's side it simply does not exist.
+    let err = b.read(s).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Malformed), "{err}");
+    // And Bob's own handle space is untouched by Alice's allocations.
+    let s_b = b.create_stream(&[2], 1).expect("stream");
+    b.write(s_b, &[7.0, 8.0]).expect("write");
+    assert_eq!(b.read(s_b).expect("read"), vec![7.0, 8.0]);
+    assert_eq!(a.read(s).expect("read"), vec![1.0; 4]);
+    server.shutdown();
+}
+
+#[test]
+fn admission_rejects_over_budget_requests_with_structured_errors() {
+    let server = start(ServerConfig {
+        admission: AdmissionConfig {
+            max_instructions_per_request: 2_000,
+            max_stream_bytes: 1024,
+        },
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(server.local_addr(), "t").expect("connect");
+
+    // Memory: 1024 B = 256 scalars; 300 do not fit.
+    let err = c.create_stream(&[300], 1).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::AdmissionRejected), "{err}");
+    let s = c.create_stream(&[128], 1).expect("128 fits");
+    let err = c.create_stream(&[200], 1).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::AdmissionRejected), "{err}");
+    // Releasing the charge re-admits.
+    c.drop_stream(s).expect("drop");
+    let s = c.create_stream(&[200], 1).expect("fits after release");
+
+    // Compute: a loop-heavy kernel over 200 elements blows the 2000
+    // instruction ceiling; the request is refused before execution.
+    let heavy = "kernel void heavy(float x<>, out float o<>) {
+        float s = x;
+        for (int i = 0; i < 64; i++) { s = s * 1.0001 + 1.0; }
+        o = s;
+    }";
+    let module = c.compile(heavy).expect("compile");
+    let o = c.create_stream(&[50], 1).expect("out");
+    c.write(s, &vec![0.0; 200]).expect("write");
+    let err = c
+        .run(module, "heavy", &[WireArg::Stream(s), WireArg::Stream(o)])
+        .unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::AdmissionRejected), "{err}");
+    // The same kernel over a small domain is admitted (and runs).
+    let s_small = {
+        c.drop_stream(s).expect("drop big");
+        c.create_stream(&[5], 1).expect("small")
+    };
+    c.write(s_small, &[1.0; 5]).expect("write");
+    let o_small = c.create_stream(&[5], 1).expect("out small");
+    c.run(
+        module,
+        "heavy",
+        &[WireArg::Stream(s_small), WireArg::Stream(o_small)],
+    )
+    .expect("small domain is admitted");
+    let stats = c.stats().expect("stats");
+    assert!(stat(&stats, "admission_rejected") >= 3);
+    assert_eq!(stat(&stats, "panics"), 0);
+    server.shutdown();
+}
+
+#[test]
+fn usage_errors_fail_the_request_not_the_connection() {
+    let server = start(ServerConfig::default());
+    let mut c = Client::connect(server.local_addr(), "t").expect("connect");
+    let module = c.compile(SAXPY).expect("compile");
+    let x = c.create_stream(&[4], 1).expect("x");
+    // Too few arguments: typed Usage error...
+    let err = c.run(module, "saxpy", &[WireArg::Stream(x)]).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Usage), "{err}");
+    // Unknown kernel on a valid module...
+    let err = c.run(module, "nope", &[]).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Usage), "{err}");
+    // Certification failure from source...
+    let err = c
+        .compile(
+            "kernel void f(float a<>, out float o<>) { float s = a; while (s > 0.0) { s -= 1.0; } o = s; }",
+        )
+        .unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Certification), "{err}");
+    // Parse error from source...
+    let err = c.compile("kernel void broken(").unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Compile), "{err}");
+    // ...and after all of that the connection still serves requests.
+    c.write(x, &[1.0; 4]).expect("write");
+    assert_eq!(c.read(x).expect("read"), vec![1.0; 4]);
+    let stats = c.stats().expect("stats");
+    assert_eq!(stat(&stats, "panics"), 0);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frames_get_structured_errors() {
+    use brook_serve::wire::{read_frame, write_frame, Response};
+    use std::net::TcpStream;
+    let server = start(ServerConfig::default());
+    let mut conn = TcpStream::connect(server.local_addr()).expect("connect");
+    write_frame(&mut conn, &[250, 1, 2, 3]).expect("send garbage");
+    let frame = read_frame(&mut conn).expect("reply").expect("frame");
+    match Response::decode(&frame).expect("decode") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected error, got {other:?}"),
+    }
+    // The connection survives the bad frame.
+    write_frame(&mut conn, &brook_serve::Request::Stats.encode()).expect("stats");
+    let frame = read_frame(&mut conn).expect("reply").expect("frame");
+    assert!(matches!(
+        Response::decode(&frame).expect("decode"),
+        Response::Stats(_)
+    ));
+    server.shutdown();
+}
+
+#[test]
+fn same_kernel_launches_coalesce_on_a_shard() {
+    // One tenant, one shard: fire a burst of identical-kernel launches
+    // from several connections so the shard's drain loop sees
+    // back-to-back same-kernel jobs and coalesces them.
+    let server = start(ServerConfig {
+        shards: 1,
+        queue_depth: 256,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let mut setup = Client::connect(addr, "t").expect("connect");
+    let module = setup.compile(SAXPY).expect("compile");
+    let x = setup.create_stream(&[64], 1).expect("x");
+    let y = setup.create_stream(&[64], 1).expect("y");
+    let r = setup.create_stream(&[64], 1).expect("r");
+    setup.write(x, &vec![1.0; 64]).expect("write");
+    setup.write(y, &vec![2.0; 64]).expect("write");
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr, "t").expect("connect");
+                for _ in 0..50 {
+                    run_with_retry(
+                        &mut c,
+                        module,
+                        "saxpy",
+                        &[
+                            WireArg::Stream(x),
+                            WireArg::Stream(y),
+                            WireArg::Float(3.0),
+                            WireArg::Stream(r),
+                        ],
+                    );
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker");
+    }
+    assert_eq!(setup.read(r).expect("read"), vec![5.0; 64]);
+    let stats = setup.stats().expect("stats");
+    let runs = stat(&stats, "runs");
+    assert_eq!(runs, 200);
+    assert_eq!(stat(&stats, "panics"), 0);
+    server.shutdown();
+}
+
+#[test]
+fn results_identical_across_tenants_for_identical_inputs() {
+    // The same program + inputs through different tenants (hence
+    // different contexts adopting the same cached artifact) must agree
+    // exactly — the cross-tenant half of the differential story.
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr();
+    let mut results: HashMap<String, Vec<f32>> = HashMap::new();
+    for tenant in ["red", "green", "blue"] {
+        let mut c = Client::connect(addr, tenant).expect("connect");
+        let module = c.compile(SAXPY).expect("compile");
+        let x = c.create_stream(&[32], 1).expect("x");
+        let y = c.create_stream(&[32], 1).expect("y");
+        let r = c.create_stream(&[32], 1).expect("r");
+        let xs: Vec<f32> = (0..32).map(|i| i as f32 * 0.125).collect();
+        c.write(x, &xs).expect("write");
+        c.write(y, &[1.0; 32]).expect("write");
+        c.run(
+            module,
+            "saxpy",
+            &[
+                WireArg::Stream(x),
+                WireArg::Stream(y),
+                WireArg::Float(2.0),
+                WireArg::Stream(r),
+            ],
+        )
+        .expect("run");
+        results.insert(tenant.to_owned(), c.read(r).expect("read"));
+    }
+    let first = results.values().next().expect("results").clone();
+    for (tenant, got) in &results {
+        assert_eq!(*got, first, "tenant {tenant} diverged");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn device_backend_serves_with_vram_budget() {
+    // The service runs on the GL backend too, with the runtime memory
+    // budget (BA002) installed per tenant.
+    let server = start(ServerConfig {
+        backend: "gles2-packed",
+        device_memory_budget: Some(1 << 20),
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(server.local_addr(), "t").expect("connect");
+    let module = c.compile(SAXPY).expect("compile");
+    let x = c.create_stream(&[8], 1).expect("x");
+    let y = c.create_stream(&[8], 1).expect("y");
+    let r = c.create_stream(&[8], 1).expect("r");
+    c.write(x, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+        .expect("write");
+    c.write(y, &[10.0; 8]).expect("write");
+    c.run(
+        module,
+        "saxpy",
+        &[
+            WireArg::Stream(x),
+            WireArg::Stream(y),
+            WireArg::Float(2.0),
+            WireArg::Stream(r),
+        ],
+    )
+    .expect("run");
+    assert_eq!(
+        c.read(r).expect("read"),
+        vec![12.0, 14.0, 16.0, 18.0, 20.0, 22.0, 24.0, 26.0]
+    );
+    // A stream the device budget cannot hold fails cleanly (Device
+    // error, not a panic, not a wedged tenant).
+    let err = c.create_stream(&[2048, 2048], 1).unwrap_err();
+    assert!(matches!(err, ClientError::Server { .. }), "{err}");
+    // Tenant still serves.
+    assert_eq!(c.read(x).expect("read").len(), 8);
+    let stats = c.stats().expect("stats");
+    assert_eq!(stat(&stats, "panics"), 0);
+    server.shutdown();
+}
