@@ -14,6 +14,7 @@
 //! Criterion benches in `benches/` wall-clock the substrate itself
 //! (compiler, simulator, reductions) as a regression harness.
 
+pub mod analysis;
 pub mod figures;
 pub mod fusion;
 pub mod interp;
@@ -22,6 +23,7 @@ pub mod render;
 pub mod serve;
 pub mod tier;
 
+pub use analysis::{analysis_json, analyze_apps, render_analysis_table, run_apps_once, KernelRow};
 pub use figures::{fig1, fig2, fig3, fig4, Fig4Point, FigureSeries};
 pub use fusion::{chains, run_chain, ChainComparison};
 pub use interp::{compare_interpreters, interp_json, render_interp_table, InterpComparison};

@@ -78,6 +78,11 @@ pub struct KernelReport {
     pub loop_bounds: Vec<LoopBound>,
     /// Worst-case instruction estimate (None when a loop is unbounded).
     pub instruction_estimate: Option<u64>,
+    /// Worst-case estimate recomputed over the *optimized* IR with the
+    /// abstract interpreter's reachability facts — never above
+    /// `instruction_estimate` (DCE'd and proven-dead code stops being
+    /// billed). `None` until the IR pipeline has run.
+    pub refined_estimate: Option<u64>,
     /// Maximum helper call depth reached from this kernel.
     pub call_depth: u32,
     /// Number of GPU passes the backend will emit (= outputs).
@@ -101,11 +106,15 @@ impl KernelReport {
     /// an unbounded loop (only possible past a disabled gate): such a
     /// kernel has no static cost and must be refused admission.
     pub fn admission_cost(&self, domain_elems: u64) -> Option<u64> {
-        self.instruction_estimate.map(|per_elem| {
-            per_elem
-                .saturating_mul(domain_elems)
-                .saturating_mul(u64::from(self.passes_required.max(1)))
-        })
+        // Prefer the post-optimization analyzer-refined estimate: the
+        // AST-level figure bills code the pass pipeline already removed.
+        self.refined_estimate
+            .or(self.instruction_estimate)
+            .map(|per_elem| {
+                per_elem
+                    .saturating_mul(domain_elems)
+                    .saturating_mul(u64::from(self.passes_required.max(1)))
+            })
     }
 }
 
@@ -155,6 +164,11 @@ pub struct ComplianceReport {
     /// `brook_ir::tier::compile`). Empty before lowering or when tier
     /// execution is disabled on the compiling context.
     pub tier_plans: Vec<TierPlan>,
+    /// Abstract-interpretation facts over the optimized IR (see
+    /// `crate::absint`): value ranges at gathers, provable-fault
+    /// findings, reachability, and pruned estimates. Empty before
+    /// lowering.
+    pub analysis: crate::absint::AnalysisReport,
 }
 
 impl ComplianceReport {
@@ -196,6 +210,7 @@ pub fn certify(checked: &CheckedProgram, config: &CertConfig) -> ComplianceRepor
         passes: Vec::new(),
         lane_plans: Vec::new(),
         tier_plans: Vec::new(),
+        analysis: crate::absint::AnalysisReport::default(),
     }
 }
 
@@ -350,6 +365,7 @@ fn certify_kernel(
         findings,
         loop_bounds,
         instruction_estimate: estimate,
+        refined_estimate: None,
         call_depth,
         passes_required: outputs.max(1),
     }

@@ -81,7 +81,7 @@ impl IrKernelCheck {
 
 /// Per-instruction cost mirroring the AST estimator's units (builtin
 /// cost table, texture fetches dominating).
-fn inst_cost(inst: &Inst) -> u64 {
+pub(crate) fn inst_cost(inst: &Inst) -> u64 {
     match inst {
         Inst::Nop => 0,
         Inst::Builtin { which, .. } => BUILTINS[*which as usize].cost as u64,

@@ -23,6 +23,7 @@
 //! # Ok::<(), brook_lang::CompileError>(())
 //! ```
 
+pub mod absint;
 pub mod analysis;
 pub mod engine;
 pub mod ir_check;
@@ -30,6 +31,7 @@ pub mod predicates;
 pub mod report;
 pub mod rules;
 
+pub use absint::{AnalysisReport, InstFact, KernelAnalysis};
 pub use analysis::{CallGraph, LoopBound};
 pub use engine::{
     certify, certify_source, CertConfig, ComplianceReport, Finding, KernelReport, LanePlan, TierPlan,

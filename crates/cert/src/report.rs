@@ -72,6 +72,11 @@ fn render_kernel(out: &mut String, k: &KernelReport) {
             let _ = writeln!(out, "  instruction est.: unbounded");
         }
     }
+    if let Some(refined) = k.refined_estimate {
+        if Some(refined) != k.instruction_estimate {
+            let _ = writeln!(out, "  refined est.    : {refined} (reachability-pruned)");
+        }
+    }
     for f in &k.findings {
         let marker = match f.severity {
             Severity::Error => "VIOLATION",

@@ -36,6 +36,15 @@ pub enum RuleId {
     /// BA012 — memory violations cannot crash the system (texture-unit
     /// clamping semantics; discharged by the OpenGL ES 2 backend).
     NoFaultPropagation,
+    /// BA013 — no gather whose index is *provably* out of bounds for
+    /// every possible stream shape (abstract interpretation over the
+    /// optimized IR; the clamp would silently mask a certain logic
+    /// fault).
+    ProvableGatherBounds,
+    /// BA014 — no division or remainder whose denominator is provably
+    /// zero on every execution (abstract interpretation over the
+    /// optimized IR).
+    ProvableDivByZero,
 }
 
 impl RuleId {
@@ -54,6 +63,8 @@ impl RuleId {
             RuleId::InstructionBudget => "BA010",
             RuleId::GatherIndexTypes => "BA011",
             RuleId::NoFaultPropagation => "BA012",
+            RuleId::ProvableGatherBounds => "BA013",
+            RuleId::ProvableDivByZero => "BA014",
         }
     }
 
@@ -72,6 +83,8 @@ impl RuleId {
             RuleId::InstructionBudget,
             RuleId::GatherIndexTypes,
             RuleId::NoFaultPropagation,
+            RuleId::ProvableGatherBounds,
+            RuleId::ProvableDivByZero,
         ]
     }
 }
@@ -191,6 +204,22 @@ pub const RULES: &[RuleMeta] = &[
                      require a system restart (§2.d, §2.e); texture sampling clamps instead \
                      of faulting",
         discharge: Discharge::RuntimeDesign,
+    },
+    RuleMeta {
+        id: RuleId::ProvableGatherBounds,
+        title: "No provably out-of-bounds gathers",
+        motivation: "Static verification of program properties (§2.c): an access the \
+                     abstract interpreter proves outside every possible stream shape is a \
+                     certain logic fault the BA012 clamp would silently mask",
+        discharge: Discharge::StaticAnalysis,
+    },
+    RuleMeta {
+        id: RuleId::ProvableDivByZero,
+        title: "No provable division by zero",
+        motivation: "Resilience to faults (§2.d): a denominator whose value interval is \
+                     exactly zero on every execution is a certain fault, not a data-dependent \
+                     hazard — reject it at compile time with its source line",
+        discharge: Discharge::StaticAnalysis,
     },
 ];
 

@@ -1,0 +1,133 @@
+//! Golden snapshots of the abstract interpreter's per-kernel facts.
+//!
+//! The analyzer's output — definite assignment, type stability, gather
+//! bounds proofs, reachability, the pruned estimate, and every
+//! span-attributed instruction fact — is a certification artifact: the
+//! evidence package a reviewer reads to see *why* a clamp was elided or
+//! an estimate tightened. These tests pin that rendering for the same
+//! four structurally distinct apps the IR goldens cover, so any change
+//! to the domain, the fixpoint, or the fact wording is a reviewed diff.
+//!
+//! Re-bless with `BROOK_BLESS=1 cargo test -p brook-cert --test absint_golden`.
+
+use brook_cert::absint::{AnalysisReport, KernelAnalysis};
+use brook_cert::CertConfig;
+use std::path::PathBuf;
+
+/// Runs the cert-side pipeline (front end → lower → optimize →
+/// analyze) exactly as `BrookContext::compile` sequences it, with
+/// elision on.
+fn analyze(source: &str) -> AnalysisReport {
+    let checked = brook_lang::parse_and_check(source).unwrap_or_else(|e| panic!("front end: {e}"));
+    let (mut ir, errs) = brook_ir::lower::lower_program(&checked);
+    assert!(errs.is_empty(), "lowering: {errs:?}");
+    brook_cert::ir_check::optimize_program(
+        &mut ir,
+        &CertConfig::default(),
+        &brook_ir::passes::default_passes(),
+    );
+    let (analysis, _) = brook_cert::absint::analyze_and_annotate_program(&mut ir, true);
+    analysis
+}
+
+/// Renders one kernel's analysis deterministically, spans included —
+/// a finding that drifts to the wrong line is a real regression.
+fn render(ka: &KernelAnalysis) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("kernel {}\n", ka.kernel));
+    out.push_str(&format!("  def_before_use_ok: {}\n", ka.def_before_use_ok));
+    out.push_str(&format!("  type_stable: {}\n", ka.type_stable));
+    out.push_str(&format!(
+        "  gathers: {} proven of {}\n",
+        ka.proven_gathers, ka.total_gathers
+    ));
+    out.push_str(&format!("  unreachable_insts: {}\n", ka.unreachable_insts));
+    match ka.pruned_estimate {
+        Some(e) => out.push_str(&format!("  pruned_estimate: {e}\n")),
+        None => out.push_str("  pruned_estimate: -\n"),
+    }
+    out.push_str("  facts:\n");
+    for f in &ka.facts {
+        out.push_str(&format!("    pc {:>3} @ {}: {}\n", f.pc, f.span, f.fact));
+    }
+    out.push_str("  faults:\n");
+    for f in &ka.faults {
+        out.push_str(&format!("    [{}] @ {}: {}\n", f.rule.code(), f.span, f.message));
+    }
+    out
+}
+
+fn check_golden(name: &str, source: &str) {
+    let analysis = analyze(source);
+    let text: String = analysis.kernels.iter().map(render).collect::<Vec<_>>().join("\n");
+    // The evidence surface must be deterministic.
+    let again: String = analyze(source)
+        .kernels
+        .iter()
+        .map(render)
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert_eq!(text, again, "{name}: analysis rendering is nondeterministic");
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden_absint")
+        .join(format!("{name}.facts"));
+    if std::env::var_os("BROOK_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &text).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run with BROOK_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        text, expected,
+        "{name}: analysis facts drifted from the golden fixture; if intentional, \
+         re-bless with BROOK_BLESS=1"
+    );
+}
+
+#[test]
+fn sgemm_facts_match_golden() {
+    check_golden("sgemm", &brook_apps::sgemm::kernel_source(8));
+}
+
+#[test]
+fn mandelbrot_facts_match_golden() {
+    check_golden("mandelbrot", &brook_apps::mandelbrot::kernel_source());
+}
+
+#[test]
+fn prefix_sum_facts_match_golden() {
+    check_golden("prefix_sum", brook_apps::prefix_sum::KERNEL);
+}
+
+#[test]
+fn image_filter_facts_match_golden() {
+    check_golden("image_filter", brook_apps::image_filter::KERNEL);
+}
+
+/// The flagship gather apps must keep their full-proof status: every
+/// gather proven, clamps elided. A lost proof silently reverts the
+/// fast path, so it fails here rather than only in a benchmark.
+#[test]
+fn gather_apps_keep_full_bounds_proofs() {
+    for (name, source) in [
+        ("sgemm", brook_apps::sgemm::kernel_source(8)),
+        ("image_filter", brook_apps::image_filter::KERNEL.to_string()),
+    ] {
+        let analysis = analyze(&source);
+        for ka in &analysis.kernels {
+            assert!(ka.total_gathers > 0, "{name}/{}: no gathers seen", ka.kernel);
+            assert_eq!(
+                ka.proven_gathers, ka.total_gathers,
+                "{name}/{}: lost a bounds proof",
+                ka.kernel
+            );
+            assert!(ka.faults.is_empty(), "{name}/{}: spurious fault", ka.kernel);
+        }
+    }
+}

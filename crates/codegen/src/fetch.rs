@@ -77,6 +77,12 @@ pub(crate) fn emit_elem_fetch(
 /// nearest valid element in *logical* index space, matching the CPU
 /// reference interpreter and the paper's CLAMP_TO_EDGE argument (§4,
 /// BA012).
+///
+/// With `elide` the clamps are skipped: the abstract interpreter proved
+/// every gather through this parameter in bounds and the dispatcher
+/// checked the proof against the bound shape and launch domain
+/// (`brook_ir::eval::proven_fits_dyn`), so the clamp is dead code on
+/// the hot fragment path.
 pub(crate) fn emit_gather_fetch(
     out: &mut String,
     name: &str,
@@ -84,6 +90,7 @@ pub(crate) fn emit_gather_fetch(
     rank: u8,
     shapes: &KernelShapes,
     storage: StorageMode,
+    elide: bool,
 ) {
     let gty = glsl_type(ty);
     let meta = meta_uniform(name);
@@ -93,6 +100,15 @@ pub(crate) fn emit_gather_fetch(
             "    float _l = {linear_expr};\n    float _row = floor(_l / {meta}.x);\n    float _col = _l - _row * {meta}.x;\n    return {fetch};\n"
         )
     };
+    // `cl(i, hi)` clamps logical index `i` to `[0, hi]` — or passes it
+    // through untouched when the clamp is proven dead.
+    let cl = |i: &str, hi: String| {
+        if elide {
+            i.to_owned()
+        } else {
+            format!("clamp({i}, 0.0, {hi} - 1.0)")
+        }
+    };
     let fetch = texel_fetch(name, ty, storage, "_col", "_row");
     match rank {
         1 => {
@@ -100,7 +116,8 @@ pub(crate) fn emit_gather_fetch(
             // linear-packed stream.
             let _ = writeln!(
                 out,
-                "{gty} _gather_{name}(float i0) {{\n    float _i0 = clamp(i0, 0.0, {meta}.z - 1.0);\n{}}}",
+                "{gty} _gather_{name}(float i0) {{\n    float _i0 = {};\n{}}}",
+                cl("i0", format!("{meta}.z")),
                 linear_body("_i0", &fetch)
             );
         }
@@ -109,7 +126,9 @@ pub(crate) fn emit_gather_fetch(
                 let direct = texel_fetch(name, ty, storage, "_i1", "_i0");
                 let _ = writeln!(
                     out,
-                    "{gty} _gather_{name}(float i0, float i1) {{\n    float _i0 = clamp(i0, 0.0, {meta}.w - 1.0);\n    float _i1 = clamp(i1, 0.0, {meta}.z - 1.0);\n    return {direct};\n}}"
+                    "{gty} _gather_{name}(float i0, float i1) {{\n    float _i0 = {};\n    float _i1 = {};\n    return {direct};\n}}",
+                    cl("i0", format!("{meta}.w")),
+                    cl("i1", format!("{meta}.z"))
                 );
             }
             StreamRank::Linear => {
@@ -118,21 +137,28 @@ pub(crate) fn emit_gather_fetch(
                 let _ = writeln!(
                     out,
                     "{gty} _gather_{name}(float i0, float i1) {{\n{}}}",
-                    linear_body(&format!("clamp(i0 * {meta}.z + i1, 0.0, {meta}.z - 1.0)"), &fetch)
+                    linear_body(&cl(&format!("i0 * {meta}.z + i1"), format!("{meta}.z")), &fetch)
                 );
             }
         },
         3 => {
             let _ = writeln!(
                 out,
-                "{gty} _gather_{name}(float i0, float i1, float i2) {{\n    float _i0 = clamp(i0, 0.0, {shape}.x - 1.0);\n    float _i1 = clamp(i1, 0.0, {shape}.y - 1.0);\n    float _i2 = clamp(i2, 0.0, {shape}.z - 1.0);\n{}}}",
+                "{gty} _gather_{name}(float i0, float i1, float i2) {{\n    float _i0 = {};\n    float _i1 = {};\n    float _i2 = {};\n{}}}",
+                cl("i0", format!("{shape}.x")),
+                cl("i1", format!("{shape}.y")),
+                cl("i2", format!("{shape}.z")),
                 linear_body(&format!("(_i0 * {shape}.y + _i1) * {shape}.z + _i2"), &fetch)
             );
         }
         _ => {
             let _ = writeln!(
                 out,
-                "{gty} _gather_{name}(float i0, float i1, float i2, float i3) {{\n    float _i0 = clamp(i0, 0.0, {shape}.x - 1.0);\n    float _i1 = clamp(i1, 0.0, {shape}.y - 1.0);\n    float _i2 = clamp(i2, 0.0, {shape}.z - 1.0);\n    float _i3 = clamp(i3, 0.0, {shape}.w - 1.0);\n{}}}",
+                "{gty} _gather_{name}(float i0, float i1, float i2, float i3) {{\n    float _i0 = {};\n    float _i1 = {};\n    float _i2 = {};\n    float _i3 = {};\n{}}}",
+                cl("i0", format!("{shape}.x")),
+                cl("i1", format!("{shape}.y")),
+                cl("i2", format!("{shape}.z")),
+                cl("i3", format!("{shape}.w")),
                 linear_body(
                     &format!("((_i0 * {shape}.y + _i1) * {shape}.z + _i2) * {shape}.w + _i3"),
                     &fetch

@@ -25,12 +25,26 @@ pub enum StreamRank {
 pub struct KernelShapes {
     /// Shape class per elementwise stream, output stream and gather.
     pub ranks: HashMap<String, StreamRank>,
+    /// Gather parameters whose `_gather_<name>` helper may skip the
+    /// per-dimension clamp for this dispatch: every gather on the
+    /// parameter carries an analyzer-proven range
+    /// ([`brook_ir::ProvenIdx`]) and the runtime checked it against the
+    /// bound stream's shape and the launch domain
+    /// ([`brook_ir::eval::proven_fits_dyn`]). Part of the shader cache
+    /// key — dispatches that fail the fit check compile the clamped
+    /// variant.
+    pub elide_gathers: std::collections::BTreeSet<String>,
 }
 
 impl KernelShapes {
     /// Shape class for a parameter; defaults to `Grid`.
     pub fn rank(&self, param: &str) -> StreamRank {
         self.ranks.get(param).copied().unwrap_or(StreamRank::Grid)
+    }
+
+    /// Whether the gather helper for `param` may skip its clamps.
+    pub fn elide(&self, param: &str) -> bool {
+        self.elide_gathers.contains(param)
     }
 
     /// Builder-style insertion.
@@ -235,9 +249,10 @@ impl Gen<'_> {
     }
 
     /// Emits the `_gather_<name>` helper (see `crate::fetch` for the
-    /// logical-space clamping rationale).
+    /// logical-space clamping rationale). The legacy AST path has no
+    /// analyzer annotations, so the clamp is never elided here.
     fn emit_gather_fetch(&self, out: &mut String, p: &Param, rank: u8) {
-        crate::fetch::emit_gather_fetch(out, &p.name, p.ty, rank, self.shapes, self.storage);
+        crate::fetch::emit_gather_fetch(out, &p.name, p.ty, rank, self.shapes, self.storage, false);
     }
 
     fn emit_function(&self, out: &mut String, f: &FunctionDef) -> Result<(), CodegenError> {

@@ -166,9 +166,15 @@ impl IrGen<'_> {
         for p in &k.params {
             match p.kind {
                 ParamKind::Stream => emit_elem_fetch(&mut header, &p.name, p.ty, self.shapes, self.storage),
-                ParamKind::Gather { rank } => {
-                    emit_gather_fetch(&mut header, &p.name, p.ty, rank, self.shapes, self.storage)
-                }
+                ParamKind::Gather { rank } => emit_gather_fetch(
+                    &mut header,
+                    &p.name,
+                    p.ty,
+                    rank,
+                    self.shapes,
+                    self.storage,
+                    self.shapes.elide(&p.name),
+                ),
                 _ => {}
             }
         }
@@ -374,7 +380,7 @@ impl IrGen<'_> {
                 let e = coerce(format!("_r{src}"), self.ty(*src), p.ty);
                 format!("_out_{} {} {e};", p.name, assign_op(*op))
             }
-            Inst::Gather { dst, param, idx } => {
+            Inst::Gather { dst, param, idx, .. } => {
                 let parts: Vec<String> = idx
                     .iter()
                     .map(|r| coerce(format!("_r{r}"), self.ty(*r), Type::FLOAT))

@@ -107,7 +107,32 @@ fn main() -> ExitCode {
         }
     };
     let config = CertConfig::default();
-    let report = certify(&checked, &config);
+    let mut report = certify(&checked, &config);
+    // The AST-level gate alone is not the full certification: the
+    // provable-fault rules (BA013 out-of-bounds gather, BA014 division
+    // by zero) come from the abstract interpreter over the *optimized*
+    // IR. Run the same lower → optimize → analyze pipeline `compile()`
+    // runs and merge its findings, so a CLI pass is the same pass every
+    // backend enforces.
+    if report.is_compliant() {
+        let (mut ir, lower_errors) = brook_ir::lower::lower_program(&checked);
+        if lower_errors.is_empty() {
+            report.passes =
+                brook_cert::ir_check::optimize_program(&mut ir, &config, &brook_ir::passes::default_passes());
+            let (analysis, _facts) = brook_cert::absint::analyze_and_annotate_program(&mut ir, true);
+            for ka in &analysis.kernels {
+                let Some(kr) = report.kernels.iter_mut().find(|r| r.kernel == ka.kernel) else {
+                    continue;
+                };
+                kr.findings.extend(ka.faults.iter().cloned());
+                kr.refined_estimate = match (ka.pruned_estimate, kr.instruction_estimate) {
+                    (Some(p), Some(a)) => Some(p.min(a)),
+                    (p, a) => p.or(a),
+                };
+            }
+            report.analysis = analysis;
+        }
+    }
     if opts.report {
         print!("{}", render_report(&report));
     }

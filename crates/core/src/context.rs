@@ -107,7 +107,7 @@ pub struct ModuleArtifact {
     /// The compiling context's pipeline toggles; adoption requires an
     /// exact match so a module compiled with (say) certification off can
     /// never sneak onto an enforcing context through a cache.
-    toggles: (bool, bool, bool, bool),
+    toggles: (bool, bool, bool, bool, bool),
 }
 
 impl ModuleArtifact {
@@ -172,6 +172,13 @@ pub struct BrookContext {
     /// baseline). Has no effect when `lane_execution` is false: Tier-2
     /// builds on the lane plan.
     pub tier_execution: bool,
+    /// When false, `compile` skips attaching the abstract interpreter's
+    /// proven gather-index ranges to the IR, so every backend keeps the
+    /// per-dimension clamp on every gather (used by the elision
+    /// differential campaigns as the always-clamped baseline). Analysis
+    /// itself still runs: provable-fault rejection and refined
+    /// admission estimates don't depend on this toggle.
+    pub clamp_elision: bool,
 }
 
 impl BrookContext {
@@ -187,6 +194,7 @@ impl BrookContext {
             ir_optimize: true,
             lane_execution: true,
             tier_execution: true,
+            clamp_elision: true,
         }
     }
 
@@ -292,12 +300,40 @@ impl BrookContext {
                 &brook_ir::passes::default_passes(),
             );
         }
+        // Abstract interpretation over the optimized IR: value-range
+        // facts, provable-fault findings (BA013/BA014), gather proofs
+        // for clamp elision, reachability for the planners, and the
+        // refined admission estimate. Runs strictly after the pass
+        // pipeline so passes never see (or have to preserve) proofs.
+        let (analysis, facts) = brook_cert::absint::analyze_and_annotate_program(&mut ir, self.clamp_elision);
+        for ka in &analysis.kernels {
+            let Some(kr) = report.kernels.iter_mut().find(|r| r.kernel == ka.kernel) else {
+                continue;
+            };
+            kr.findings.extend(ka.faults.iter().cloned());
+            // Refined admission estimate: the reachability-pruned walk
+            // over the optimized IR, capped by the AST-level figure
+            // (both over-approximate the same worst case; bill the
+            // tighter one).
+            kr.refined_estimate = match (ka.pruned_estimate, kr.instruction_estimate) {
+                (Some(p), Some(a)) => Some(p.min(a)),
+                (p, a) => p.or(a),
+            };
+            debug_assert!(
+                kr.refined_estimate <= kr.instruction_estimate || kr.instruction_estimate.is_none(),
+                "refined estimate above the AST estimate — analyzer bug"
+            );
+        }
+        report.analysis = analysis;
+        if self.enforce_certification && !report.is_compliant() {
+            return Err(BrookError::Certification(Box::new(report)));
+        }
         // Lane-vectorization planning: consulted once here, recorded in
         // the report, executed by the CPU backends per launch. Rejected
         // kernels keep the scalar interpreter — semantics are identical
         // by construction, so this can only change speed, never results.
         let lanes = if self.lane_execution {
-            brook_ir::lanes::LaneProgram::plan_program(&ir)
+            brook_ir::lanes::LaneProgram::plan_program_with(&ir, &facts)
         } else {
             brook_ir::lanes::LaneProgram::default()
         };
@@ -307,7 +343,7 @@ impl BrookContext {
         // part of the certification data package. Same fallback story
         // as lanes — rejection changes speed, never results.
         let tiers = if self.lane_execution && self.tier_execution {
-            brook_ir::tier::TierProgram::compile_program(&ir, &lanes)
+            brook_ir::tier::TierProgram::compile_program_with(&ir, &lanes, &facts)
         } else {
             brook_ir::tier::TierProgram::default()
         };
@@ -324,6 +360,7 @@ impl BrookContext {
                 self.ir_optimize,
                 self.lane_execution,
                 self.tier_execution,
+                self.clamp_elision,
             ),
         })
     }
@@ -352,11 +389,12 @@ impl BrookContext {
             self.ir_optimize,
             self.lane_execution,
             self.tier_execution,
+            self.clamp_elision,
         );
         if artifact.toggles != toggles {
             return Err(BrookError::Usage(
                 "artifact was compiled under different pipeline toggles (certification/\
-                 optimization/lane/tier) than this context uses"
+                 optimization/lane/tier/elision) than this context uses"
                     .into(),
             ));
         }

@@ -192,6 +192,48 @@ impl GpuState {
         shapes
     }
 
+    /// Marks gather parameters whose clamp the shader may skip for this
+    /// dispatch: every gather on the parameter carries an
+    /// analyzer-proven range and the proof fits the bound stream's
+    /// logical shape under this launch domain
+    /// ([`brook_ir::eval::proven_fits_dyn`] — the same launch-time
+    /// check the CPU engines perform per block).
+    fn elidable_gathers(
+        &self,
+        ir: &brook_ir::IrProgram,
+        kernel: &str,
+        output: &str,
+        stream_args: &[(String, Option<usize>)],
+        shapes: &mut KernelShapes,
+    ) {
+        let Some(k) = ir.kernel(kernel) else { return };
+        let stream_of = |name: &str| stream_args.iter().find(|(n, _)| n == name).and_then(|(_, i)| *i);
+        let Some(out_idx) = stream_of(output) else { return };
+        let dshape = &self.streams[out_idx].desc.shape;
+        let (dx, dy, linear) = brook_ir::interp::domain_extents(dshape);
+        let comp_max = brook_ir::eval::indexof_comp_max((dx, dy), linear);
+        for (pi, p) in k.params.iter().enumerate() {
+            if !matches!(p.kind, brook_lang::ast::ParamKind::Gather { .. }) {
+                continue;
+            }
+            let Some(si) = stream_of(&p.name) else { continue };
+            let pshape = &self.streams[si].desc.shape;
+            let mut gathers = k.insts.iter().filter_map(|inst| match inst {
+                brook_ir::Inst::Gather { param, proven, .. } if *param as usize == pi => Some(proven),
+                _ => None,
+            });
+            let mut any = false;
+            let all_fit = gathers.all(|pr| {
+                any = true;
+                pr.as_ref()
+                    .is_some_and(|p| brook_ir::eval::proven_fits_dyn(p, pshape, comp_max))
+            });
+            if any && all_fit {
+                shapes.elide_gathers.insert(p.name.clone());
+            }
+        }
+    }
+
     /// Runs one pass of `kernel` writing `output`.
     ///
     /// `stream_args`: (param name, stream index) for every stream/gather
@@ -207,12 +249,16 @@ impl GpuState {
         stream_args: &[(String, Option<usize>)],
         scalar_args: &[(String, Value)],
     ) -> Result<()> {
-        let shapes = self.shapes_for(stream_args);
+        let mut shapes = self.shapes_for(stream_args);
+        self.elidable_gathers(ir, kernel, output, stream_args, &mut shapes);
         let mut key = format!("{module_key}:{kernel}:{output}:{:?}", self.storage);
         let mut rank_names: Vec<_> = shapes.ranks.iter().collect();
         rank_names.sort();
         for (n, r) in rank_names {
             key.push_str(&format!(":{n}={r:?}"));
+        }
+        for n in &shapes.elide_gathers {
+            key.push_str(&format!(":elide={n}"));
         }
         let (program, generated) = match self.programs.get(&key) {
             Some(entry) => entry.clone(),

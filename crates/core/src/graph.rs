@@ -696,11 +696,19 @@ impl<'ctx> BrookGraph<'ctx> {
         } else {
             Vec::new()
         };
+        // Fused kernels take the same post-pass analysis spine as
+        // `compile`: provable faults unfuse the chain, gather proofs
+        // carry into the fused module, planner facts feed lanes/tier.
+        let (analysis, facts) =
+            brook_cert::absint::analyze_and_annotate_program(&mut program, self.ctx.clamp_elision);
+        if analysis.kernels.iter().any(|k| !k.faults.is_empty()) {
+            return None;
+        }
         let ir = Arc::new(program);
         // Fused kernels are ordinary IrKernels, so they inherit lane
         // vectorization for free: plan them exactly as `compile` does.
         let lanes = if self.ctx.lane_execution {
-            brook_ir::lanes::LaneProgram::plan_program(&ir)
+            brook_ir::lanes::LaneProgram::plan_program_with(&ir, &facts)
         } else {
             brook_ir::lanes::LaneProgram::default()
         };
@@ -709,7 +717,7 @@ impl<'ctx> BrookGraph<'ctx> {
         // `compile` does: the collapsed producer->consumer chain goes
         // straight to the closure-threaded engine when admitted.
         let tiers = if self.ctx.lane_execution && self.ctx.tier_execution {
-            brook_ir::tier::TierProgram::compile_program(&ir, &lanes)
+            brook_ir::tier::TierProgram::compile_program_with(&ir, &lanes, &facts)
         } else {
             brook_ir::tier::TierProgram::default()
         };
@@ -725,6 +733,7 @@ impl<'ctx> BrookGraph<'ctx> {
                 passes,
                 lane_plans,
                 tier_plans,
+                analysis,
             },
             id: crate::context::fresh_module_id(),
             context_id: self.ctx.context_id,
@@ -931,8 +940,18 @@ fn build_fused_ir(
                     PAct::Fused(fp) => Inst::ReadScalar { dst, param: fp },
                     PAct::Chain => return None,
                 },
-                Inst::Gather { dst, param, idx } => match acts[param as usize] {
-                    PAct::Fused(fp) => Inst::Gather { dst, param: fp, idx },
+                Inst::Gather {
+                    dst,
+                    param,
+                    idx,
+                    proven,
+                } => match acts[param as usize] {
+                    PAct::Fused(fp) => Inst::Gather {
+                        dst,
+                        param: fp,
+                        idx,
+                        proven,
+                    },
                     PAct::Chain => return None,
                 },
                 Inst::Indexof { dst, param } => match acts[param as usize] {

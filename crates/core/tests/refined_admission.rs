@@ -1,0 +1,112 @@
+//! The refined (post-pass) admission estimate: execution runs the
+//! optimized IR, so admission must bill that IR, not the pre-pass AST.
+//! A DCE-heavy kernel's `admission_cost` drops once the analyzer's
+//! reachability-pruned walk replaces the AST figure, while staying at
+//! or above the instruction count the interpreter actually executes.
+
+use brook_auto::BrookContext;
+
+/// Straight-line kernel where most of the work is dead: two locals are
+/// computed and never used, so DCE deletes them from the executed IR
+/// while the AST-level estimate still bills them.
+const DCE_HEAVY: &str = "kernel void heavy(float a<>, out float o<>) {
+    float dead = sqrt(abs(a)) * (a + 1.0) - (a * 0.5 + 2.0);
+    float dead2 = (dead * dead + dead) * 0.25 + sqrt(abs(dead));
+    o = a + 1.0;
+}";
+
+/// Counts instructions per element from the printed flat IR — every
+/// non-structural line is one instruction the scalar interpreter
+/// executes for a straight-line kernel.
+fn measured_insts(ir: &str) -> u64 {
+    ir.lines()
+        .map(str::trim)
+        .filter(|l| {
+            !l.is_empty()
+                && !l.starts_with("kernel ")
+                && !l.starts_with('}')
+                && !l.starts_with("loop ")
+                && !l.ends_with(':')
+        })
+        .count() as u64
+}
+
+#[test]
+fn dce_heavy_kernel_bills_the_optimized_ir_not_the_ast() {
+    let mut ctx = BrookContext::cpu();
+    let module = ctx.compile(DCE_HEAVY).unwrap_or_else(|e| panic!("{e}"));
+    let kr = module.report.kernel("heavy").expect("kernel report");
+    let ast = kr.instruction_estimate.expect("AST estimate");
+    let refined = kr.refined_estimate.expect("refined estimate");
+    assert!(
+        refined < ast,
+        "DCE removed two dead locals, so the refined estimate must drop: {refined} vs {ast}"
+    );
+    // The refined figure must still cover what actually executes.
+    let printed = ctx.emit_ir(&module).unwrap();
+    let measured = measured_insts(&printed);
+    assert!(
+        refined >= measured,
+        "refined estimate {refined} under-bills the {measured} executed instructions:\n{printed}"
+    );
+    // `admission_cost` — the figure serve-side admission charges — is
+    // the before/after of the bugfix: it now bills the refined
+    // estimate, where it used to bill the AST one.
+    let elems = 1000u64;
+    let passes = u64::from(kr.passes_required.max(1));
+    let after = kr.admission_cost(elems).expect("admission cost");
+    let before = ast * elems * passes;
+    assert_eq!(after, refined * elems * passes);
+    assert!(
+        after < before,
+        "admission still bills dead code: {after} vs {before}"
+    );
+}
+
+#[test]
+fn refined_estimate_never_exceeds_the_ast_estimate() {
+    // The AST estimate is the certification-visible upper bound; the
+    // refined figure tightens it and must never exceed it, or
+    // admission could charge more than the certified worst case.
+    let sources = [
+        DCE_HEAVY,
+        "kernel void loopy(float a<>, out float o<>) {
+            float s = 0.0;
+            int i;
+            for (i = 0; i < 8; i++) { s += a * float(i); }
+            o = s;
+        }",
+        "kernel void branchy(float a<>, out float o<>) {
+            float v = a;
+            if (a > 0.5) { v = v * 2.0; } else { v = v + 1.0; }
+            o = v;
+        }",
+    ];
+    for source in sources {
+        let mut ctx = BrookContext::cpu();
+        let module = ctx.compile(source).unwrap_or_else(|e| panic!("{e}"));
+        for kr in &module.report.kernels {
+            let (Some(refined), Some(ast)) = (kr.refined_estimate, kr.instruction_estimate) else {
+                panic!("both estimates must be populated for `{}`", kr.kernel);
+            };
+            assert!(
+                refined <= ast,
+                "`{}`: refined {refined} above AST {ast}",
+                kr.kernel
+            );
+        }
+    }
+}
+
+#[test]
+fn unoptimized_pipeline_still_gets_a_refined_estimate() {
+    // With passes disabled the refined walk runs over the unoptimized
+    // IR — still present, still capped by the AST figure.
+    let mut ctx = BrookContext::cpu();
+    ctx.ir_optimize = false;
+    let module = ctx.compile(DCE_HEAVY).unwrap_or_else(|e| panic!("{e}"));
+    let kr = module.report.kernel("heavy").expect("kernel report");
+    let refined = kr.refined_estimate.expect("refined estimate");
+    let ast = kr.instruction_estimate.expect("AST estimate");
+    assert!(refined <= ast);
+}

@@ -514,6 +514,11 @@ pub fn gen_case(seed: u64, index: u32, cfg: &GenConfig) -> FuzzCase {
     for j in 0..n_locals {
         let local = format!("v{j}");
         let form = rng.gen_range(0u32..10);
+        // A kernel that declares a gather parameter must actually read
+        // it (first local), and the read must survive DCE (output 0
+        // consumes `v0` below) — otherwise most campaigns would test
+        // the clamp/elision path only by accident.
+        let form = if use_gather && j == 0 { 5 } else { form };
         let mut g = ExprGen {
             b: &mut b,
             rng: &mut rng,
@@ -603,20 +608,42 @@ pub fn gen_case(seed: u64, index: u32, cfg: &GenConfig) -> FuzzCase {
             // backends clamp to the edge, BA012).
             5 if use_gather => {
                 let glen: i64 = gather_shape.iter().product::<usize>() as i64;
+                // Constant indices stay non-negative: the absint pass
+                // hard-rejects provably-negative gathers (BA013), so a
+                // literal below zero would make the generated kernel
+                // uncompilable by design rather than a backend diff.
+                // Negative runtime indices still flow through the
+                // `int(expr)` arm, where the analyzer cannot prove a
+                // fault and every backend clamps (BA012).
                 let index_expr = |g: &mut ExprGen<'_>, dim: i64| -> Expr {
                     match g.rng.gen_range(0u32..4) {
                         0 => {
-                            let v = g.rng.gen_range(-2..dim + 3);
+                            // Biased toward the edges: 0, dim-1, and a
+                            // couple past the end exercise the clamp /
+                            // elision boundary most often.
+                            let v = g.rng.gen_range(0..dim + 3);
+                            let v = if g.rng.gen_range(0u32..2) == 0 {
+                                [0, (dim - 1).max(0), dim][g.rng.gen_range(0usize..3)]
+                            } else {
+                                v
+                            };
                             g.ilit(v)
                         }
                         1 => {
                             // Far out of range, clamped by every backend.
-                            let v = [-10000i64, 10000][g.rng.gen_range(0usize..2)];
-                            g.ilit(v)
+                            g.ilit(10000)
                         }
                         _ => {
+                            // Anchor on a genuine runtime input (stream
+                            // elements are unknown to the analyzer), so
+                            // constant folding can never prove this index
+                            // negative no matter what `e` folds to, while
+                            // runtime values still go negative and hit the
+                            // low-side clamp.
                             let (e, _) = g.expr(1);
-                            g.b.call("int", vec![e])
+                            let anchor = g.b.var(format!("s{}", g.rng.gen_range(0..n_inputs)));
+                            let sum = g.b.binary(BinOp::Sub, anchor, e);
+                            g.b.call("int", vec![sum])
                         }
                     }
                 };
@@ -656,6 +683,14 @@ pub fn gen_case(seed: u64, index: u32, cfg: &GenConfig) -> FuzzCase {
             domain_2d,
         };
         let (e, _) = g.expr(cfg.max_expr_depth);
+        // Keep the forced gather read (local `v0`, see the locals loop)
+        // live through dead-code elimination.
+        let e = if i == 0 && use_gather {
+            let gv = g.b.var("v0");
+            g.b.binary(BinOp::Add, e, gv)
+        } else {
+            e
+        };
         let tgt = b.var(format!("o{i}"));
         stmts.push(b.assign(tgt, e));
     }

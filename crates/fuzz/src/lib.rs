@@ -41,6 +41,7 @@
 //! assert!(stats.rejected_by_rule.len() >= 1);
 //! ```
 
+pub mod absint;
 pub mod chain;
 pub mod concurrent;
 pub mod differential;
@@ -52,6 +53,7 @@ pub mod repro;
 pub mod shrink;
 pub mod tier;
 
+pub use absint::{run_absint_campaign, AbsintStats};
 pub use chain::{gen_chain, run_chain_campaign, run_chain_case, ChainCase, ChainConfig, ChainStats};
 pub use concurrent::{run_concurrent_campaign, ConcurrentStats};
 pub use differential::{compare, run_case, BackendOutput, CaseFailure, Divergence, Matrix};

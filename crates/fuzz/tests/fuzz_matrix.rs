@@ -109,6 +109,37 @@ fn tier_campaign_96_cases_bitwise_vs_lanes_scalar_and_ast() {
     );
 }
 
+/// 48 generated kernels, each run twice per registered backend — clamp
+/// elision on (the default) and off — with **bitwise** agreement
+/// required between the two runs on every backend, device included.
+/// Plus the fixed provably-faulty set (negative constant / folded /
+/// loop-range gather indices, zero denominators), which certification
+/// must hard-reject with BA013/BA014 findings anchored to the faulting
+/// source line. This is the acceptance bar for the abstract
+/// interpreter: a wrong bounds proof shows up as an elision-on vs
+/// elision-off bit difference, a missed provable fault as an accepted
+/// fault case, a lost span as a mis-anchored finding.
+#[test]
+fn absint_campaign_48_cases_elision_bitwise_and_faults_rejected() {
+    let stats = brook_fuzz::run_absint_campaign(CI_SEED, 48, &brook_fuzz::GenConfig::default())
+        .unwrap_or_else(|e| panic!("absint campaign failed:\n{e}"));
+    assert_eq!(stats.cases, 48);
+    assert!(
+        stats.gather_cases >= 8,
+        "the campaign must exercise gathers: {stats:?}"
+    );
+    assert!(
+        stats.proven_gathers >= 1,
+        "the campaign must exercise clamp elision, not just vacuous agreement: {stats:?}"
+    );
+    assert!(stats.rejected_faults >= 5, "{stats:?}");
+    assert!(
+        stats.elements_checked > 1_000,
+        "campaign too small to mean anything: {} elements",
+        stats.elements_checked
+    );
+}
+
 /// 128 random 2–5 kernel pipelines, each run eagerly and through the
 /// deferred fusing graph executor on every registered backend: zero
 /// divergence against the eager CPU oracle (bit-exact on CPU backends),

@@ -191,6 +191,65 @@ pub fn gather_clamped(data: &[f32], shape: &[usize], width: u8, idx: &[i64]) -> 
     value_from_slice(&data[base..base + width as usize])
 }
 
+/// Maximum value of each `indexof` component (`[x_max, y_max]`) for a
+/// launch domain — the runtime half of [`crate::ProvenIdx::IndexofRel`].
+/// Linear domains collapse to `[total - 1, 0]` because
+/// [`crate::interp::indexof_pos`] packs the linear position into `x`.
+pub fn indexof_comp_max(domain: (usize, usize), linear: bool) -> [i64; 2] {
+    if linear {
+        [(domain.0 * domain.1) as i64 - 1, 0]
+    } else {
+        [domain.0 as i64 - 1, domain.1 as i64 - 1]
+    }
+}
+
+/// Whether an analyzer-proven per-dimension index range fits the
+/// runtime shape a gather is actually bound to — the launch-time side
+/// of clamp elision. Shapes and domains are runtime-only, so
+/// `brook_cert::absint` proves ranges and executors check them against
+/// the bound stream here (`comp_max` from [`indexof_comp_max`]); only
+/// when this returns true may [`gather_unclamped`] replace
+/// [`gather_clamped`].
+pub fn proven_fits_dyn(proven: &[crate::ProvenIdx], shape: &[usize], comp_max: [i64; 2]) -> bool {
+    proven.len() == shape.len()
+        && proven.iter().zip(shape).all(|(p, &dim)| match *p {
+            crate::ProvenIdx::Const { lo, hi } => lo >= 0 && hi < dim as i64,
+            crate::ProvenIdx::IndexofRel { comp, lo, hi } => {
+                // The f32 guard: `indexof` components and their offset
+                // sums are exact only below 2^24; past that the runtime
+                // float could round above the proven bound.
+                comp < 2
+                    && lo >= 0
+                    && comp_max[comp as usize].saturating_add(hi) < dim as i64
+                    && comp_max[comp as usize].saturating_add(hi.max(0)) < 1 << 24
+            }
+        })
+}
+
+/// [`gather_clamped`] with the per-dimension clamp elided — valid only
+/// when the analyzer proved the indices in bounds *and*
+/// [`proven_fits_dyn`] accepted the runtime shape. Debug builds cross-check
+/// against the clamped path so an unsound elision aborts loudly.
+pub fn gather_unclamped(data: &[f32], shape: &[usize], width: u8, idx: &[i64]) -> Value {
+    debug_assert_eq!(idx.len(), shape.len(), "clamp elision requires matching rank");
+    let mut linear: usize = 0;
+    for (&ix, &dim) in idx.iter().zip(shape) {
+        debug_assert!(
+            ix >= 0 && (ix as usize) < dim,
+            "unsound clamp elision: index {ix} outside [0, {dim}) — analyzer bug"
+        );
+        linear = linear * dim + ix as usize;
+    }
+    let base = linear * width as usize;
+    let v = value_from_slice(&data[base..base + width as usize]);
+    debug_assert_eq!(
+        v,
+        gather_clamped(data, shape, width, idx),
+        "unsound clamp elision: unclamped gather diverged from clamped gather"
+    );
+    v
+}
+
 /// Gather index conversion: ints pass through, floats get the GPU
 /// path's `(i + 0.5)` texel centering (round half-up).
 ///

@@ -478,7 +478,12 @@ impl Machine<'_, '_> {
                     let combined = eval::apply_assign(cur, *op, rhs).map_err(|m| self.err_at(pc, m))?;
                     self.write_out(*out, combined);
                 }
-                Inst::Gather { dst, param, idx } => {
+                Inst::Gather {
+                    dst,
+                    param,
+                    idx,
+                    proven,
+                } => {
                     let Binding::Gather { data, shape, width } = &bindings[*param as usize] else {
                         return Err(self.err_at(
                             pc,
@@ -492,7 +497,14 @@ impl Machine<'_, '_> {
                     for r in idx {
                         ix.push(eval::gather_index(self.regs[*r as usize]).map_err(|m| self.err_at(pc, m))?);
                     }
-                    self.regs[*dst as usize] = eval::gather_clamped(data, shape, *width, &ix);
+                    let elide = proven.as_ref().is_some_and(|p| {
+                        eval::proven_fits_dyn(p, shape, eval::indexof_comp_max(self.domain, self.linear))
+                    });
+                    self.regs[*dst as usize] = if elide {
+                        eval::gather_unclamped(data, shape, *width, &ix)
+                    } else {
+                        eval::gather_clamped(data, shape, *width, &ix)
+                    };
                 }
                 Inst::Indexof { dst, param } => {
                     self.regs[*dst as usize] = match &bindings[*param as usize] {

@@ -353,12 +353,16 @@ pub(crate) enum Op {
         slot: u16,
     },
     /// Random-access gather; `param` is the kernel parameter index and
-    /// each index operand is `(offset, is_int)`.
+    /// each index operand is `(offset, is_int)`. `proven` carries the
+    /// analyzer's per-dimension in-bounds interval (see
+    /// [`crate::Inst::Gather`]); the executor elides the per-lane clamp
+    /// when the block's bound shape covers it.
     Gather {
         dst: u32,
         w: u8,
         param: u16,
         idx: Vec<(u32, bool)>,
+        proven: Option<Vec<crate::ProvenIdx>>,
     },
     /// `indexof`; `slot` indexes `indexof_params`.
     Indexof {
@@ -426,6 +430,21 @@ impl LaneProgram {
         }
     }
 
+    /// [`plan_program`](Self::plan_program) with analyzer facts
+    /// (`brook_cert::absint`), parallel to `ir.kernels`. Facts only
+    /// ever *expand* admission: a kernel the syntactic checks reject
+    /// but the analyzer proves safe is admitted.
+    pub fn plan_program_with(ir: &crate::IrProgram, facts: &[crate::KernelFacts]) -> LaneProgram {
+        LaneProgram {
+            kernels: ir
+                .kernels
+                .iter()
+                .enumerate()
+                .map(|(i, k)| (k.name.clone(), plan_with(k, facts.get(i))))
+                .collect(),
+        }
+    }
+
     /// The lane plan for `name`, when the planner admitted it.
     pub fn kernel(&self, name: &str) -> Option<&LaneKernel> {
         self.kernels
@@ -479,6 +498,20 @@ struct Planner<'k> {
 /// A human-readable rejection reason (recorded in the compliance
 /// report's lane-plan table).
 pub fn plan(kernel: &IrKernel) -> Result<LaneKernel, String> {
+    plan_with(kernel, None)
+}
+
+/// [`plan`] with optional analyzer facts: when the abstract
+/// interpreter proved definite assignment for every register
+/// (`facts.def_before_use_ok`), the planner's own syntactic
+/// def-before-use walk — which rejects some loop-carried but safe
+/// kernels — is superseded. Unproven facts fall back to the syntactic
+/// walk, so admission never shrinks.
+///
+/// # Errors
+/// A human-readable rejection reason (recorded in the compliance
+/// report's lane-plan table).
+pub fn plan_with(kernel: &IrKernel, facts: Option<&crate::KernelFacts>) -> Result<LaneKernel, String> {
     if kernel.is_reduce {
         return Err("reduce kernels fold serially (cross-element accumulator dependence)".into());
     }
@@ -532,7 +565,9 @@ pub fn plan(kernel: &IrKernel) -> Result<LaneKernel, String> {
         p.out_w.push(param.ty.width);
         p.f_len += param.ty.width as usize * LANES;
     }
-    p.check_def_before_use()?;
+    if !facts.is_some_and(|f| f.def_before_use_ok) {
+        p.check_def_before_use()?;
+    }
     for pc in 0..kernel.insts.len() {
         p.op_start.push(p.ops.len() as u32);
         p.decode(pc)
@@ -1041,7 +1076,12 @@ impl<'k> Planner<'k> {
                     true,
                 )?;
             }
-            Inst::Gather { dst, param, idx } => {
+            Inst::Gather {
+                dst,
+                param,
+                idx,
+                proven,
+            } => {
                 let p = &self.kernel.params[param as usize];
                 if p.ty.scalar != ScalarKind::Float {
                     return Err("non-float gather".into());
@@ -1069,6 +1109,7 @@ impl<'k> Planner<'k> {
                     w,
                     param,
                     idx: ops_idx,
+                    proven,
                 });
             }
             Inst::Indexof { dst, param } => {
@@ -1657,6 +1698,10 @@ struct Engine<'a, 'p> {
     scalar_i: Vec<i32>,
     /// Per indexof slot: per-lane `indexof` value.
     idx_vals: Vec<[[f32; 2]; LANES]>,
+    /// Maximum `indexof` component values of this launch's domain
+    /// ([`crate::eval::indexof_comp_max`]) — the runtime half of
+    /// [`crate::ProvenIdx::IndexofRel`] clamp elision.
+    comp_max: [i64; 2],
 }
 
 /// Runs a (non-reduce) kernel over a contiguous partition of its output
@@ -1768,6 +1813,7 @@ pub fn run_kernel_range_in(
         scalar_f,
         scalar_i,
         idx_vals: vec![[[0.0; 2]; LANES]; lane.indexof_params.len()],
+        comp_max: crate::eval::indexof_comp_max((dx, dy), linear),
     };
     let mut base = range.start;
     while base < range.end {
@@ -2303,10 +2349,45 @@ impl Engine<'_, '_> {
                         self.i[d + l] = v;
                     });
                 }
-                Op::Gather { dst, w, param, idx } => {
+                Op::Gather {
+                    dst,
+                    w,
+                    param,
+                    idx,
+                    proven,
+                } => {
                     let Binding::Gather { data, shape, width } = &bindings[*param as usize] else {
                         return Err(Bail);
                     };
+                    // One per-block fit check buys a clamp-free lane
+                    // loop when the analyzer proved the indices in
+                    // bounds for this shape.
+                    if proven
+                        .as_ref()
+                        .is_some_and(|p| crate::eval::proven_fits_dyn(p, shape, self.comp_max))
+                    {
+                        lanes_loop!(m, l, {
+                            let mut linear = 0usize;
+                            for (k, (off, is_int)) in idx.iter().enumerate() {
+                                let iv: i64 = if *is_int {
+                                    i64::from(self.i[*off as usize + l])
+                                } else {
+                                    (self.f[*off as usize + l] + 0.5).floor() as i64
+                                };
+                                let dim = shape[k];
+                                debug_assert!(
+                                    iv >= 0 && (iv as usize) < dim,
+                                    "unsound clamp elision: lane index {iv} outside [0, {dim}) — analyzer bug"
+                                );
+                                linear = linear * dim + iv as usize;
+                            }
+                            let src = linear * *width as usize;
+                            for c in 0..*w as usize {
+                                self.f[*dst as usize + c * LANES + l] = data[src + c];
+                            }
+                        });
+                        continue;
+                    }
                     lanes_loop!(m, l, {
                         let mut linear = 0usize;
                         if idx.len() == shape.len() {

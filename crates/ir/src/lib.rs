@@ -61,6 +61,25 @@ pub struct IrParam {
     pub kind: ParamKind,
 }
 
+/// Analyzer-proven range of one gather-index dimension.
+///
+/// Produced by `brook_cert::absint` and attached to [`Inst::Gather`].
+/// Both forms are inclusive intervals; `IndexofRel` expresses indices
+/// derived from `indexof` of the *output* stream, whose components are
+/// bounded by the launch domain rather than by a compile-time constant
+/// (the dominant gather pattern in stencil and matrix kernels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProvenIdx {
+    /// The index is a compile-time interval: `lo <= idx <= hi`.
+    Const { lo: i64, hi: i64 },
+    /// The index is `indexof` component `comp` (0 = x, 1 = y) of the
+    /// launch domain plus an offset in `[lo, hi]`:
+    /// `comp_value + lo <= idx <= comp_value + hi`, where
+    /// `0 <= comp_value <= comp_max(domain)` (see
+    /// [`eval::indexof_comp_max`]).
+    IndexofRel { comp: u8, lo: i64, hi: i64 },
+}
+
 /// One flat instruction.
 ///
 /// The value semantics are *dynamic*, mirroring the AST tree walker
@@ -122,7 +141,22 @@ pub enum Inst {
     WriteOut { out: u16, op: AssignOp, src: Reg },
     /// `dst = param[idx...]` — random-access gather with per-dimension
     /// clamping ([`eval::gather_clamped`]).
-    Gather { dst: Reg, param: u16, idx: Vec<Reg> },
+    ///
+    /// `proven` is filled in by the abstract interpreter
+    /// (`brook_cert::absint`) after the pass pipeline: one
+    /// [`ProvenIdx`] per dimension describing where the logical index
+    /// of that dimension is statically proven to lie. Shapes and
+    /// launch domains are runtime-only, so executors may skip the
+    /// per-dimension clamp only after checking at launch time that the
+    /// bound stream's shape covers the proven range (see
+    /// [`eval::proven_fits_dyn`]). Passes never see a `Some` value —
+    /// the annotation runs strictly after optimization.
+    Gather {
+        dst: Reg,
+        param: u16,
+        idx: Vec<Reg>,
+        proven: Option<Vec<ProvenIdx>>,
+    },
     /// `dst = indexof(param)` (always a `float2`).
     Indexof { dst: Reg, param: u16 },
     /// Unconditional jump (loop back-edges and else-skips only — the
@@ -328,6 +362,32 @@ impl IrKernel {
             }
         }
         live
+    }
+}
+
+/// Analyzer-proven facts about one kernel, consumed by the execution
+/// planners ([`lanes::plan`], [`tier`]) in place of (or on top of)
+/// their own ad-hoc syntactic checks.
+///
+/// Produced by `brook_cert::absint`; data-only so the IR crate does not
+/// depend on the cert crate. `Default` is the "no facts proven" value —
+/// planners given it behave exactly as before.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct KernelFacts {
+    /// Every register is definitely assigned before every use on every
+    /// path (proven by the analyzer's definite-assignment dataflow — a
+    /// strict superset of the planners' syntactic walk).
+    pub def_before_use_ok: bool,
+    /// `unreachable[pc]` — instruction `pc` is statically unreachable
+    /// (dominated by a branch whose condition the analyzer proved
+    /// constant). Parallel to `IrKernel::insts`; empty when unproven.
+    pub unreachable: Vec<bool>,
+}
+
+impl KernelFacts {
+    /// True when instruction `pc` is proven unreachable.
+    pub fn is_unreachable(&self, pc: usize) -> bool {
+        self.unreachable.get(pc).copied().unwrap_or(false)
     }
 }
 

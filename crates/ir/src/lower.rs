@@ -861,7 +861,15 @@ impl<'a> Lowerer<'a> {
                     idx.push(self.lower_expr(ix)?);
                 }
                 let dst = self.new_reg(self.ty_of(e));
-                self.emit(Inst::Gather { dst, param: pi, idx }, span);
+                self.emit(
+                    Inst::Gather {
+                        dst,
+                        param: pi,
+                        idx,
+                        proven: None,
+                    },
+                    span,
+                );
                 Ok(dst)
             }
             ExprKind::Swizzle { base, components } => {

@@ -202,12 +202,33 @@ fn print_inst(k: &IrKernel, inst: &Inst) -> String {
         Inst::WriteOut { out, op, src } => {
             format!("out {} {} r{src}", k.out_param(*out).name, op_str(*op))
         }
-        Inst::Gather { dst: d, param, idx } => format!(
-            "{} = gather {}[{}]",
-            dst(k, *d),
-            k.params[*param as usize].name,
-            regs_list(idx)
-        ),
+        Inst::Gather {
+            dst: d,
+            param,
+            idx,
+            proven,
+        } => {
+            let mut s = format!(
+                "{} = gather {}[{}]",
+                dst(k, *d),
+                k.params[*param as usize].name,
+                regs_list(idx)
+            );
+            if let Some(p) = proven {
+                let dims: Vec<String> = p
+                    .iter()
+                    .map(|pi| match *pi {
+                        crate::ProvenIdx::Const { lo, hi } => format!("{lo}..={hi}"),
+                        crate::ProvenIdx::IndexofRel { comp, lo, hi } => {
+                            let c = if comp == 0 { "x" } else { "y" };
+                            format!("idx.{c}{lo:+}..=idx.{c}{hi:+}")
+                        }
+                    })
+                    .collect();
+                s.push_str(&format!("  ; proven in [{}]", dims.join(", ")));
+            }
+            s
+        }
         Inst::Indexof { dst: d, param } => {
             format!("{} = indexof {}", dst(k, *d), k.params[*param as usize].name)
         }

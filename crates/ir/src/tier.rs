@@ -80,6 +80,10 @@ pub(crate) struct Frame<'a> {
     scalar_f: Vec<[f32; 4]>,
     scalar_i: Vec<i32>,
     idx_vals: Vec<[[f32; 2]; LANES]>,
+    /// Maximum `indexof` component values of this launch's domain
+    /// ([`crate::eval::indexof_comp_max`]) — the runtime half of
+    /// [`crate::ProvenIdx::IndexofRel`] clamp elision.
+    comp_max: [i64; 2],
 }
 
 /// One compiled execution step: a monomorphized closure with all
@@ -195,13 +199,28 @@ impl TierProgram {
     /// builds on the lane plan's slab layout and admission analysis).
     #[must_use]
     pub fn compile_program(ir: &IrProgram, lanes: &LaneProgram) -> TierProgram {
+        Self::compile_program_with(ir, lanes, &[])
+    }
+
+    /// [`compile_program`](Self::compile_program) with analyzer facts
+    /// (`brook_cert::absint`), parallel to `ir.kernels` (an empty or
+    /// short slice means "no facts"). Facts only expand admission —
+    /// e.g. a statically planned fault site the analyzer proved
+    /// unreachable no longer blocks tier compilation.
+    #[must_use]
+    pub fn compile_program_with(
+        ir: &IrProgram,
+        lanes: &LaneProgram,
+        facts: &[crate::KernelFacts],
+    ) -> TierProgram {
         TierProgram {
             kernels: ir
                 .kernels
                 .iter()
-                .map(|k| {
+                .enumerate()
+                .map(|(i, k)| {
                     let plan = match lanes.kernel(&k.name) {
-                        Some(lk) => compile(lk, k),
+                        Some(lk) => compile_with_facts(lk, k, facts.get(i)),
                         None => Err(match lanes.decision(&k.name) {
                             Some(Err(e)) => format!("lane planner rejected the kernel: {e}"),
                             _ => "lane planner rejected the kernel".into(),
@@ -1008,7 +1027,7 @@ struct GZip {
     tb: bool,
 }
 
-fn fuse_ga<G2>(g2: G2, p: GZip, idx: Vec<(u32, bool)>) -> Step
+fn fuse_ga<G2>(g2: G2, p: GZip, idx: Vec<(u32, bool)>, proven: Option<Vec<crate::ProvenIdx>>) -> Step
 where
     G2: Fn(f32, f32) -> f32 + Send + Sync + 'static,
 {
@@ -1024,17 +1043,38 @@ where
             };
             if let [d0, d1] = shape[..] {
                 let wd = *width as usize;
-                tier_loop!(m, l, {
-                    let iy = (fr.f[o0 + l] + 0.5).floor() as i64;
-                    let ix = (fr.f[o1 + l] + 0.5).floor() as i64;
-                    let linear =
-                        iy.clamp(0, d0 as i64 - 1) as usize * d1 + ix.clamp(0, d1 as i64 - 1) as usize;
-                    let t = data[linear * wd];
-                    fr.f[p.d1 + l] = t;
-                    let xa = if p.ta { t } else { fr.f[p.a2 + l] };
-                    let xb = if p.tb { t } else { fr.f[p.b2 + l] };
-                    fr.f[p.d2 + l] = g2(xa, xb);
-                });
+                if proven
+                    .as_ref()
+                    .is_some_and(|pr| crate::eval::proven_fits_dyn(pr, shape, fr.comp_max))
+                {
+                    // Analyzer-proven in-bounds: the fused inner loop
+                    // (sgemm's hot path) runs clamp-free.
+                    tier_loop!(m, l, {
+                        let iy = (fr.f[o0 + l] + 0.5).floor() as i64;
+                        let ix = (fr.f[o1 + l] + 0.5).floor() as i64;
+                        debug_assert!(
+                            iy >= 0 && (iy as usize) < d0 && ix >= 0 && (ix as usize) < d1,
+                            "unsound clamp elision: ({iy},{ix}) outside {d0}x{d1} — analyzer bug"
+                        );
+                        let t = data[(iy as usize * d1 + ix as usize) * wd];
+                        fr.f[p.d1 + l] = t;
+                        let xa = if p.ta { t } else { fr.f[p.a2 + l] };
+                        let xb = if p.tb { t } else { fr.f[p.b2 + l] };
+                        fr.f[p.d2 + l] = g2(xa, xb);
+                    });
+                } else {
+                    tier_loop!(m, l, {
+                        let iy = (fr.f[o0 + l] + 0.5).floor() as i64;
+                        let ix = (fr.f[o1 + l] + 0.5).floor() as i64;
+                        let linear =
+                            iy.clamp(0, d0 as i64 - 1) as usize * d1 + ix.clamp(0, d1 as i64 - 1) as usize;
+                        let t = data[linear * wd];
+                        fr.f[p.d1 + l] = t;
+                        let xa = if p.ta { t } else { fr.f[p.a2 + l] };
+                        let xb = if p.tb { t } else { fr.f[p.b2 + l] };
+                        fr.f[p.d2 + l] = g2(xa, xb);
+                    });
+                }
             } else {
                 let idx = [(o0 as u32, false), (o1 as u32, false)];
                 tier_loop!(m, l, {
@@ -1099,6 +1139,27 @@ fn gather_linear(fr: &Frame<'_>, idx: &[(u32, bool)], shape: &[usize], l: usize)
         };
         first.clamp(0, len as i64 - 1) as usize
     }
+}
+
+/// [`gather_linear`] with the per-dimension clamp elided — only called
+/// after [`crate::eval::proven_fits_dyn`] accepted the frame's shape.
+#[inline(always)]
+fn gather_linear_unclamped(fr: &Frame<'_>, idx: &[(u32, bool)], shape: &[usize], l: usize) -> usize {
+    let mut linear = 0usize;
+    for (k, (off, is_int)) in idx.iter().enumerate() {
+        let iv: i64 = if *is_int {
+            i64::from(fr.i[*off as usize + l])
+        } else {
+            (fr.f[*off as usize + l] + 0.5).floor() as i64
+        };
+        let dim = shape[k];
+        debug_assert!(
+            iv >= 0 && (iv as usize) < dim,
+            "unsound clamp elision: index {iv} outside [0, {dim}) — analyzer bug"
+        );
+        linear = linear * dim + iv as usize;
+    }
+    linear
 }
 
 // ---------------------------------------------------------------------------
@@ -1364,8 +1425,15 @@ fn step_for(op: &Op) -> Step {
                 });
             })
         }
-        Op::Gather { dst, w, param, idx } => {
+        Op::Gather {
+            dst,
+            w,
+            param,
+            idx,
+            proven,
+        } => {
             let (dst, w, param) = (*dst as usize, *w as usize, *param as usize);
+            let proven = proven.clone();
             if let Some((o0, o1)) = gather_ff(idx) {
                 return Box::new(move |fr| {
                     let m = fr.m;
@@ -1375,16 +1443,36 @@ fn step_for(op: &Op) -> Step {
                     };
                     if let [d0, d1] = shape[..] {
                         let wd = *width as usize;
-                        tier_loop!(m, l, {
-                            let iy = (fr.f[o0 + l] + 0.5).floor() as i64;
-                            let ix = (fr.f[o1 + l] + 0.5).floor() as i64;
-                            let linear = iy.clamp(0, d0 as i64 - 1) as usize * d1
-                                + ix.clamp(0, d1 as i64 - 1) as usize;
-                            let src = linear * wd;
-                            for c in 0..w {
-                                fr.f[dst + c * LANES + l] = data[src + c];
-                            }
-                        });
+                        if proven
+                            .as_ref()
+                            .is_some_and(|p| crate::eval::proven_fits_dyn(p, shape, fr.comp_max))
+                        {
+                            // Analyzer-proven in-bounds: no clamps in
+                            // the hot two-float-index loop.
+                            tier_loop!(m, l, {
+                                let iy = (fr.f[o0 + l] + 0.5).floor() as i64;
+                                let ix = (fr.f[o1 + l] + 0.5).floor() as i64;
+                                debug_assert!(
+                                    iy >= 0 && (iy as usize) < d0 && ix >= 0 && (ix as usize) < d1,
+                                    "unsound clamp elision: ({iy},{ix}) outside {d0}x{d1} — analyzer bug"
+                                );
+                                let src = (iy as usize * d1 + ix as usize) * wd;
+                                for c in 0..w {
+                                    fr.f[dst + c * LANES + l] = data[src + c];
+                                }
+                            });
+                        } else {
+                            tier_loop!(m, l, {
+                                let iy = (fr.f[o0 + l] + 0.5).floor() as i64;
+                                let ix = (fr.f[o1 + l] + 0.5).floor() as i64;
+                                let linear = iy.clamp(0, d0 as i64 - 1) as usize * d1
+                                    + ix.clamp(0, d1 as i64 - 1) as usize;
+                                let src = linear * wd;
+                                for c in 0..w {
+                                    fr.f[dst + c * LANES + l] = data[src + c];
+                                }
+                            });
+                        }
                     } else {
                         let idx = [(o0 as u32, false), (o1 as u32, false)];
                         tier_loop!(m, l, {
@@ -1403,12 +1491,24 @@ fn step_for(op: &Op) -> Step {
                 let Binding::Gather { data, shape, width } = &bindings[param] else {
                     unreachable!("gather binding validated at dispatch");
                 };
-                tier_loop!(m, l, {
-                    let src = gather_linear(fr, &idx, shape, l) * *width as usize;
-                    for c in 0..w {
-                        fr.f[dst + c * LANES + l] = data[src + c];
-                    }
-                });
+                if proven
+                    .as_ref()
+                    .is_some_and(|p| crate::eval::proven_fits_dyn(p, shape, fr.comp_max))
+                {
+                    tier_loop!(m, l, {
+                        let src = gather_linear_unclamped(fr, &idx, shape, l) * *width as usize;
+                        for c in 0..w {
+                            fr.f[dst + c * LANES + l] = data[src + c];
+                        }
+                    });
+                } else {
+                    tier_loop!(m, l, {
+                        let src = gather_linear(fr, &idx, shape, l) * *width as usize;
+                        for c in 0..w {
+                            fr.f[dst + c * LANES + l] = data[src + c];
+                        }
+                    });
+                }
             })
         }
         Op::Indexof { dst, slot } => {
@@ -1600,6 +1700,7 @@ fn try_fuse(o1: &Op, o2: &Op) -> Option<Step> {
                 w: 1,
                 param,
                 idx,
+                proven,
             },
             Op::ArithF {
                 op: op2,
@@ -1619,7 +1720,7 @@ fn try_fuse(o1: &Op, o2: &Op) -> Option<Step> {
                 ta: *a2 == *d1,
                 tb: *b2 == *d1,
             };
-            Some(with_fop!(*op2, g2, fuse_ga(g2, p, idx.clone())))
+            Some(with_fop!(*op2, g2, fuse_ga(g2, p, idx.clone(), proven.clone())))
         }
         _ => None,
     }
@@ -1638,10 +1739,38 @@ fn try_fuse(o1: &Op, o2: &Op) -> Option<Step> {
 /// A human-readable rejection reason (recorded in the compliance
 /// report's tier-plan table).
 pub fn compile(lane: &LaneKernel, kernel: &IrKernel) -> Result<TierKernel, String> {
-    for op in &lane.ops {
+    compile_with_facts(lane, kernel, None)
+}
+
+/// [`compile`] with optional analyzer facts: a statically planned
+/// fault site (`Op::Bail`) whose originating instruction the abstract
+/// interpreter proved unreachable no longer rejects the kernel — it
+/// compiles to a `debug_assert!(false)` no-op step that aborts loudly
+/// in tests if the proof was wrong.
+///
+/// # Errors
+/// A human-readable rejection reason (recorded in the compliance
+/// report's tier-plan table).
+pub fn compile_with_facts(
+    lane: &LaneKernel,
+    kernel: &IrKernel,
+    facts: Option<&crate::KernelFacts>,
+) -> Result<TierKernel, String> {
+    for (i, op) in lane.ops.iter().enumerate() {
         match op {
             Op::Bail => {
-                return Err("contains a statically planned fault site (scalar semantics required)".into())
+                // `op_start` maps pcs to op ranges; recover the pc that
+                // produced op `i` to consult the reachability fact.
+                let pc = lane
+                    .op_start
+                    .partition_point(|&s| s as usize <= i)
+                    .saturating_sub(1);
+                let unreachable = facts.is_some_and(|f| f.is_unreachable(pc));
+                if !unreachable {
+                    return Err(
+                        "contains a statically planned fault site (scalar semantics required)".into(),
+                    );
+                }
             }
             Op::Dot { .. } | Op::Length { .. } | Op::Normalize { .. } => {
                 return Err("cross-component reduction (dot/length/normalize) is not closure-threaded".into())
@@ -1718,6 +1847,16 @@ fn build_seq(
             }
             out.push(TNode::Ret);
             return;
+        }
+        if matches!(op, Op::Bail) {
+            // Admitted only when the analyzer proved the site
+            // unreachable (`compile_with_facts`): a no-op that aborts
+            // loudly in tests if the proof was wrong.
+            cur.push(Box::new(|_fr| {
+                debug_assert!(false, "proven-unreachable fault site executed — analyzer bug");
+            }));
+            k += 1;
+            continue;
         }
         if k + 1 < idxs.len() {
             if let Some(st) = try_fuse(op, &lane.ops[idxs[k + 1]]) {
@@ -1960,6 +2099,7 @@ pub fn run_kernel_range_in(
         scalar_f,
         scalar_i,
         idx_vals: vec![[[0.0; 2]; LANES]; lane.indexof_params.len()],
+        comp_max: crate::eval::indexof_comp_max((dx, dy), linear),
     };
     // The uniform prologue: hoisted dispatch-invariant steps, once,
     // at full mask (every lane of every block reads the same value).
