@@ -1256,15 +1256,17 @@ fn abs_int_bin(op: BinOp, a: (i64, i64), b: (i64, i64)) -> AbsVal {
                 return AbsVal::Int { lo: 0, hi: 0 };
             }
             let m = (m - 1).min(i64::MAX as u64) as i64;
-            let mut lo = if a0 < 0 { -m } else { 0 };
-            let mut hi = if a1 > 0 { m } else { 0 };
-            lo = lo.max(a0);
-            hi = hi.min(a1);
-            if b0 <= 0 && b1 >= 0 {
-                lo = lo.min(0);
-                hi = hi.max(0);
-            }
-            mk_int(lo.min(hi), hi.max(lo))
+            // Truncating remainder: the sign follows the numerator and
+            // |r| <= min(m, |n|), so a numerator endpoint only tightens
+            // the side whose sign it shares — a positive `a0` must NOT
+            // raise the lower bound (12 % 3 == 0), and a negative `a1`
+            // must not lower the upper one. Both bounds admit 0, which
+            // also covers rem-by-zero (defined as 0) and the wrapping
+            // i32::MIN % -1 case.
+            let lo = if a0 < 0 { (-m).max(a0) } else { 0 };
+            let hi = if a1 > 0 { m.min(a1) } else { 0 };
+            debug_assert!(lo <= hi, "Rem transfer produced crossed bounds");
+            mk_int(lo, hi)
         }
         Lt => abs_cmp_known(a1 < b0, a0 >= b1),
         Le => abs_cmp_known(a1 <= b0, a0 > b1),
@@ -1421,17 +1423,16 @@ fn abs_builtin(name: &str, args: &[AbsVal]) -> AbsVal {
         "clamp" => match (flt(0), flt(1), flt(2)) {
             (Some((x0, x1, xn)), Some((l0, l1, ln)), Some((h0, h1, hn))) => {
                 let nan = xn || ln || hn;
-                let lo = if nan {
-                    x0.min(l0).min(h0)
+                let (lo, hi) = if nan {
+                    (x0.min(l0).min(h0), x1.max(l1).max(h1))
                 } else {
-                    x0.max(l0).min(h1)
+                    // Runtime clamp is min(max(x, l), h) — nondecreasing
+                    // in every argument, so each result endpoint comes
+                    // from the matching endpoint of all three inputs.
+                    (x0.max(l0).min(h0), x1.max(l1).min(h1))
                 };
-                let hi = if nan {
-                    x1.max(l1).max(h1)
-                } else {
-                    x1.max(l0).min(h1)
-                };
-                mk_flt(lo.min(hi), hi.max(lo), nan)
+                debug_assert!(lo <= hi, "clamp transfer produced crossed bounds");
+                mk_flt(lo, hi, nan)
             }
             _ => AbsVal::Top,
         },
@@ -1447,9 +1448,14 @@ fn dim_obs(v: AbsVal) -> DimObs {
         AbsVal::Int { lo, hi } => DimObs::Const { lo, hi },
         AbsVal::Flt { lo, hi, nan } => {
             // Runtime conversion is `(f + 0.5).floor() as i64`
-            // (saturating, NaN -> 0); monotone, so endpoints are sound.
-            let mut l = (f64::from(lo) + 0.5).floor() as i64;
-            let mut h = (f64::from(hi) + 0.5).floor() as i64;
+            // (saturating, NaN -> 0) computed in f32 — the `+ 0.5` sum
+            // rounds to nearest-even *before* the floor, so the model
+            // must add in f32 too (an f64 sum floors a tie like
+            // 0.49999997f32 + 0.5 one lower than the runtime). f32
+            // addition and floor are monotone, so endpoints are sound;
+            // the `as i64` cast keeps the saturation handling.
+            let mut l = (lo + 0.5).floor() as i64;
+            let mut h = (hi + 0.5).floor() as i64;
             if nan {
                 l = l.min(0);
                 h = h.max(0);
@@ -1828,6 +1834,100 @@ mod tests {
             .iter()
             .any(|i| matches!(i, Inst::Gather { proven: Some(_), .. })));
         assert_eq!(report.kernels[0].proven_gathers, 1);
+    }
+
+    #[test]
+    fn rem_transfer_is_sound_for_wide_and_negative_numerators() {
+        // Numerator strictly above |den| - 1: 10..=12 % 3 hits {0, 1, 2},
+        // so the numerator's lower endpoint must not raise the result's
+        // lower bound.
+        assert_eq!(
+            abs_int_bin(BinOp::Rem, (10, 12), (3, 3)),
+            AbsVal::Int { lo: 0, hi: 2 }
+        );
+        // Strictly negative numerators: -12..=-10 % 3 hits {0, -1, -2} —
+        // a claimed hi below 0 used to fire a false BA013 on valid
+        // kernels.
+        assert_eq!(
+            abs_int_bin(BinOp::Rem, (-12, -10), (3, 3)),
+            AbsVal::Int { lo: -2, hi: 0 }
+        );
+        // Mixed-sign numerator spanning zero.
+        assert_eq!(
+            abs_int_bin(BinOp::Rem, (-5, 12), (3, 3)),
+            AbsVal::Int { lo: -2, hi: 2 }
+        );
+        // Numerator magnitude below the divisor still tightens both
+        // sides (1..=2 % 5 == identity).
+        assert_eq!(
+            abs_int_bin(BinOp::Rem, (1, 2), (5, 5)),
+            AbsVal::Int { lo: 0, hi: 2 }
+        );
+        // i32::MIN % -1 wraps to 0 at runtime; 0 must stay inside.
+        assert_eq!(
+            abs_int_bin(BinOp::Rem, (i64::from(i32::MIN), i64::from(i32::MIN)), (-1, -1)),
+            AbsVal::Int { lo: 0, hi: 0 }
+        );
+    }
+
+    #[test]
+    fn rem_derived_gather_keeps_clamp_without_fault() {
+        // i in 10..=12: i % 3 - 2 is in [-2, 0], reachable at runtime.
+        // The unsound Rem transfer used to claim [0, 8] here — eliding
+        // the clamp on an index that is negative at runtime.
+        let out = outcome(
+            "kernel void f(float v[], out float o<>) {\n\
+             int i;\n\
+             float s = 0.0;\n\
+             for (i = 10; i < 13; i++) { s += v[float(i % 3 - 2)]; }\n\
+             o = s;\n\
+             }",
+            "f",
+        );
+        assert!(out.analysis.faults.is_empty());
+        let (_, p) = &out.proven[0];
+        // The annotated range must cover the negative indices so the
+        // launch-time check (`lo >= 0`) keeps the clamp.
+        assert_eq!(p.as_slice(), &[ProvenIdx::Const { lo: -2, hi: 0 }]);
+    }
+
+    #[test]
+    fn clamp_transfer_uses_matching_endpoints_of_interval_bounds() {
+        let f = |lo: f32, hi: f32| AbsVal::Flt { lo, hi, nan: false };
+        // clamp(-5, lo in [0,2], 10) lands anywhere in [0, 2]: the
+        // result's hi must come from the lo-bound's *upper* endpoint.
+        assert_eq!(
+            abs_builtin("clamp", &[f(-5.0, -5.0), f(0.0, 2.0), f(10.0, 10.0)]),
+            f(0.0, 2.0)
+        );
+        // clamp(20, 0, hi in [5,8]) lands anywhere in [5, 8]: the
+        // result's lo must come from the hi-bound's *lower* endpoint.
+        assert_eq!(
+            abs_builtin("clamp", &[f(20.0, 20.0), f(0.0, 0.0), f(5.0, 8.0)]),
+            f(5.0, 8.0)
+        );
+        // Constant bounds stay exact.
+        assert_eq!(
+            abs_builtin("clamp", &[f(-4.0, 4.0), f(0.0, 0.0), f(1.0, 1.0)]),
+            f(0.0, 1.0)
+        );
+    }
+
+    #[test]
+    fn dim_obs_models_runtime_f32_index_conversion() {
+        // 0.49999997f32 + 0.5 is a round-to-even tie in f32 that rounds
+        // to 1.0 (an f64 model floors it to 0) — the model must match
+        // the runtime's f32 arithmetic exactly.
+        let f = 0.499_999_97_f32;
+        assert_eq!((f + 0.5).floor() as i64, 1, "runtime conversion");
+        assert_eq!(
+            dim_obs(AbsVal::Flt {
+                lo: f,
+                hi: f,
+                nan: false
+            }),
+            DimObs::Const { lo: 1, hi: 1 }
+        );
     }
 
     #[test]

@@ -267,6 +267,48 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "8.4M-element domain — run in release (CI fuzz job)"
+    )]
+    fn big_linear_domain_keeps_clamp_and_matches_bitwise() {
+        // For launch positions at/above 2^23 the runtime's f32
+        // `(f + 0.5).floor()` index conversion stops being exact
+        // (round-to-even ties round up), so `proven_fits_dyn` must
+        // refuse elision on domains whose indices reach 2^23 — the
+        // clamp stays and elision on/off must remain bitwise identical.
+        // Domain 2^23 + 4 puts the last position on a tie that would
+        // index one past the end were the clamp (unsoundly) elided.
+        // CPU backends only: the GL simulators are far too slow at this
+        // scale, and every engine shares the same launch-time guard.
+        let n = (1usize << 23) + 4;
+        let source = "kernel void f(float t[], out float o<>) {\n\
+            float2 p = indexof(o);\n\
+            o = t[p.x];\n\
+            }"
+        .to_owned();
+        let program = brook_lang::parse(&source).expect("fixture parses");
+        let data: Vec<f32> = (0..n).map(|i| (i % 251) as f32).collect();
+        let case = FuzzCase {
+            name: "absint_big_linear_domain".to_owned(),
+            source,
+            program,
+            domain_shape: vec![n],
+            inputs: Vec::new(),
+            gather: Some(crate::gen::GatherData { shape: vec![n], data }),
+            scalars: Vec::new(),
+            n_outputs: 1,
+            data_seed: 0,
+        };
+        for spec in registered_backends() {
+            if !spec.name.starts_with("cpu") {
+                continue;
+            }
+            run_elision_pair(spec.name, spec.make, &case).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
     fn small_campaign_passes_and_proves_gathers() {
         let stats =
             run_absint_campaign(0xAB51_0002, 12, &GenConfig::default()).unwrap_or_else(|e| panic!("{e}"));

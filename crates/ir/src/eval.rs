@@ -215,13 +215,18 @@ pub fn proven_fits_dyn(proven: &[crate::ProvenIdx], shape: &[usize], comp_max: [
         && proven.iter().zip(shape).all(|(p, &dim)| match *p {
             crate::ProvenIdx::Const { lo, hi } => lo >= 0 && hi < dim as i64,
             crate::ProvenIdx::IndexofRel { comp, lo, hi } => {
-                // The f32 guard: `indexof` components and their offset
-                // sums are exact only below 2^24; past that the runtime
-                // float could round above the proven bound.
+                // The f32 guard: every runtime path converts the float
+                // index with `(f + 0.5).floor()` in f32, and for odd
+                // integer v >= 2^23 the sum v + 0.5 is a round-to-even
+                // tie that rounds *up* (8388609.5 -> 8388610), pushing
+                // the converted index one past the proven bound. The
+                // `+ 0.5` centering is exact only below 2^23, so that —
+                // not the 2^24 integer-representability limit — is the
+                // admission ceiling.
                 comp < 2
                     && lo >= 0
                     && comp_max[comp as usize].saturating_add(hi) < dim as i64
-                    && comp_max[comp as usize].saturating_add(hi.max(0)) < 1 << 24
+                    && comp_max[comp as usize].saturating_add(hi.max(0)) < 1 << 23
             }
         })
 }
@@ -394,5 +399,29 @@ mod tests {
         assert_eq!(gather_index(Value::Float(1.6)).unwrap(), 2);
         assert_eq!(gather_index(Value::Int(-3)).unwrap(), -3);
         assert!(gather_index(Value::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn proven_fits_dyn_rejects_indices_reaching_f32_tie_range() {
+        // For odd integers v >= 2^23, v + 0.5 is a round-to-even tie in
+        // f32 that rounds *up*, so the runtime conversion lands one past
+        // the proven bound...
+        assert_eq!(gather_index(Value::Float(8_388_609.0)).unwrap(), 8_388_610);
+        // ...hence a proof whose max reachable index hits 2^23 must be
+        // rejected even though the stream is big enough.
+        let proven = [crate::ProvenIdx::IndexofRel {
+            comp: 0,
+            lo: 0,
+            hi: 0,
+        }];
+        let big = (1usize << 23) + 2;
+        assert!(!proven_fits_dyn(
+            &proven,
+            &[big],
+            indexof_comp_max((big, 1), true)
+        ));
+        // Just below the ceiling (max index 2^23 - 1) it still admits.
+        let ok = 1usize << 23;
+        assert!(proven_fits_dyn(&proven, &[ok], indexof_comp_max((ok, 1), true)));
     }
 }
