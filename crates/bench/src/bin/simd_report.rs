@@ -1,0 +1,49 @@
+//! CI perf-smoke gate: Tier-2 forced scalar vs explicit SIMD.
+//!
+//! Prints the per-row comparison table, writes the `BENCH_simd.json`
+//! trajectory file, and exits nonzero unless SIMD is strictly faster
+//! than the forced-scalar tier on every row — the four paper apps plus
+//! the vectorized `min` reduce. Both sides are measured in the same
+//! process on the same machine, warm (compile/plan cost excluded), so
+//! the gate compares steady-state dispatch cost only; the scalar side
+//! is the exact configuration `BENCH_tier.json` records, making this
+//! the strictly-faster-than-tier gate. On a host whose runtime
+//! detection reports no SIMD at all the gate degrades to a warning —
+//! there is nothing to measure, and failing would punish the portable
+//! fallback for existing.
+
+use brook_bench::simd::{compare_simd, render_simd_table, simd_json};
+use brook_ir::simd::{detect, SimdLevel};
+
+fn main() {
+    if detect() == SimdLevel::Scalar {
+        eprintln!("no SIMD level detected on this host; skipping the SIMD perf gate");
+        return;
+    }
+    let rows = compare_simd().unwrap_or_else(|e| {
+        eprintln!("simd comparison failed: {e}");
+        std::process::exit(2);
+    });
+    print!("{}", render_simd_table(&rows));
+    let json = simd_json(&rows);
+    let path = std::path::Path::new("BENCH_simd.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(2);
+    }
+    println!("\ntrajectory written to {}", path.display());
+    let mut ok = true;
+    for r in &rows {
+        if r.simd_ns >= r.tier_ns {
+            eprintln!(
+                "PERF REGRESSION: {}: SIMD ({} ns) is not faster than the scalar tier ({} ns)",
+                r.app, r.simd_ns, r.tier_ns
+            );
+            ok = false;
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("SIMD strictly faster on all {} rows.", rows.len());
+}

@@ -21,6 +21,7 @@ pub mod interp;
 pub mod lanes;
 pub mod render;
 pub mod serve;
+pub mod simd;
 pub mod tier;
 
 pub use analysis::{analysis_json, analyze_apps, render_analysis_table, run_apps_once, KernelRow};
@@ -29,4 +30,5 @@ pub use fusion::{chains, run_chain, ChainComparison};
 pub use interp::{compare_interpreters, interp_json, render_interp_table, InterpComparison};
 pub use render::{render_series, render_speedup_table};
 pub use serve::{render_service_table, service_json, service_load, ServiceLoadReport};
+pub use simd::{compare_simd, render_simd_table, simd_json, SimdComparison};
 pub use tier::{compare_tiers, render_tier_table, tier_json, TierComparison};

@@ -1,0 +1,301 @@
+//! Tier-2 closure chains with explicit SIMD vs the same chains forced
+//! scalar — the perf claim of the `std::arch` execution layer,
+//! measured, not asserted.
+//!
+//! The same four paper apps as `tier` run identical workloads on two
+//! CPU contexts: Tier-2 with `SimdMode::Off` (the exact configuration
+//! `BENCH_tier.json` measures — every block step a scalar lane loop)
+//! and the default context, where `SimdMode::Auto` resolves to the
+//! best `std::arch` level the host supports and the hot block steps
+//! run as SSE2/AVX2 kernels. Results are cross-checked bitwise — the
+//! SIMD kernels are bit-exact by construction (no FMA contraction,
+//! operand order preserved), so a single differing bit fails the bench
+//! before any timing happens.
+//!
+//! A fifth row measures the vectorized reduce path: a `min` reduce
+//! whose combine operand the abstract interpreter proves NaN-free
+//! (`clamp(a, 0.5, 2.0)`), admitted to per-lane partials + SIMD fold,
+//! against the serial scalar interpreter fold the `Off` context keeps.
+//! The row doubles as the admission evidence: the SIMD module must
+//! record the kernel as admitted in `ComplianceReport::simd_reduces`,
+//! the forced-scalar module must not, and an `f32` sum compiled next
+//! to it must be *rejected* (reassociation-unsafe) even with SIMD on.
+//!
+//! `simd_report` renders the table, writes the `BENCH_simd.json`
+//! trajectory file and **fails** unless SIMD is strictly faster than
+//! forced-scalar Tier-2 on every row — the CI perf-smoke gate for the
+//! explicit-SIMD layer. On a host with no SSE2 (detection says
+//! scalar), the bin degrades to a warning instead of a fake gate.
+
+use crate::lanes::{best_of, dispatch, prepare, workloads, Workload};
+use brook_auto::{BrookContext, BrookError};
+use brook_ir::simd::{detect, SimdLevel, SimdMode};
+
+/// One row's timing comparison.
+#[derive(Debug, Clone)]
+pub struct SimdComparison {
+    /// App name (`reduce_min` for the vectorized-reduce row).
+    pub app: &'static str,
+    /// Elements per dispatch (output elements, or reduce input length).
+    pub elements: usize,
+    /// Best-of-N wall time per dispatch, Tier-2 forced scalar, ns.
+    pub tier_ns: u128,
+    /// Best-of-N wall time per dispatch, Tier-2 with SIMD, ns.
+    pub simd_ns: u128,
+}
+
+impl SimdComparison {
+    /// Scalar tier time over SIMD time (>1 means SIMD is faster).
+    pub fn speedup(&self) -> f64 {
+        self.tier_ns as f64 / self.simd_ns as f64
+    }
+}
+
+/// Input length for the reduce row.
+const REDUCE_N: usize = 1 << 16;
+
+/// The admitted reduce: `clamp` bounds the combine operand to
+/// [0.5, 2.0], so the analyzer proves it NaN-free and sign-definite
+/// and the planner opens the lattice-`min` fold to SIMD partials.
+const REDUCE_MIN_SRC: &str =
+    "reduce void rmin(float a<>, reduce float r<>) { r = min(r, clamp(a, 0.5, 2.0)); }";
+
+/// The control: an `f32` sum is never reassociation-safe, so the
+/// planner must keep it on the serial scalar fold even with SIMD on.
+const REDUCE_SUM_SRC: &str = "reduce void rsum(float a<>, reduce float r<>) { r = r + a; }";
+
+fn scalar_context() -> BrookContext {
+    let mut ctx = BrookContext::cpu();
+    ctx.simd_mode = SimdMode::Off;
+    ctx
+}
+
+/// Asserts a workload's kernel took the Tier-2 path on both sides and
+/// that the SIMD side actually compiled non-scalar block steps (when
+/// the host supports any SIMD level at all).
+fn require_simd_plan(w: &Workload, module: &brook_auto::BrookModule) -> Result<(), BrookError> {
+    let plan = module
+        .report
+        .tier_plans
+        .iter()
+        .find(|p| p.kernel == w.kernel)
+        .ok_or_else(|| BrookError::Usage(format!("{}: no tier plan recorded", w.app)))?;
+    if !plan.compiled {
+        return Err(BrookError::Usage(format!(
+            "{}: tier compiler rejected the kernel ({}) — nothing would run SIMD",
+            w.app, plan.detail
+        )));
+    }
+    if detect() != SimdLevel::Scalar && plan.detail.contains("simd scalar") {
+        return Err(BrookError::Usage(format!(
+            "{}: SIMD context compiled scalar block steps ({}) — the bench would compare tier to tier",
+            w.app, plan.detail
+        )));
+    }
+    Ok(())
+}
+
+/// Looks up a kernel's vectorized-reduce admission record.
+fn reduce_admitted(module: &brook_auto::BrookModule, kernel: &str) -> Option<bool> {
+    module
+        .report
+        .simd_reduces
+        .iter()
+        .find(|r| r.kernel == kernel)
+        .map(|r| r.admitted)
+}
+
+/// Runs the comparison: the four map apps, then the reduce row. Every
+/// row is cross-checked bitwise and timed best-of-5 after a warm-up;
+/// compile/plan cost is excluded (it happens once, before timing).
+///
+/// # Errors
+/// Compile/run failures, a tier or reduce-planner admission regression
+/// on either side, or any bitwise disagreement between the SIMD and
+/// forced-scalar engines.
+pub fn compare_simd() -> Result<Vec<SimdComparison>, BrookError> {
+    let mut rows = Vec::new();
+    for w in workloads() {
+        let mut scalar = prepare(&w, scalar_context())?;
+        let mut simd = prepare(&w, BrookContext::cpu())?;
+        require_simd_plan(&w, &simd.module)?;
+        // The scalar side must really be scalar, or the gate is void.
+        if let Some(p) = scalar
+            .module
+            .report
+            .tier_plans
+            .iter()
+            .find(|p| p.kernel == w.kernel)
+        {
+            if p.compiled && !p.detail.contains("simd scalar") {
+                return Err(BrookError::Usage(format!(
+                    "{}: forced-scalar context compiled SIMD block steps ({})",
+                    w.app, p.detail
+                )));
+            }
+        }
+        // Correctness first: bitwise agreement. These dispatches double
+        // as the first warm-up round.
+        dispatch(&mut scalar, &w)?;
+        dispatch(&mut simd, &w)?;
+        let a = scalar.ctx.read(&scalar.out)?;
+        let b = simd.ctx.read(&simd.out)?;
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                return Err(BrookError::Usage(format!(
+                    "{}: SIMD and scalar tier engines disagree at element {i}: {x} vs {y}",
+                    w.app
+                )));
+            }
+        }
+        // Explicit warm-up so the timed reps see steady state only.
+        dispatch(&mut scalar, &w)?;
+        dispatch(&mut simd, &w)?;
+        let reps = 5;
+        let tier_ns = best_of(reps, || {
+            dispatch(&mut scalar, &w).expect("scalar tier dispatch");
+        });
+        let simd_ns = best_of(reps, || {
+            dispatch(&mut simd, &w).expect("simd dispatch");
+        });
+        rows.push(SimdComparison {
+            app: w.app,
+            elements: w.out_shape.iter().product(),
+            tier_ns,
+            simd_ns,
+        });
+    }
+    rows.push(compare_reduce()?);
+    Ok(rows)
+}
+
+/// The vectorized-reduce row: serial interpreter fold vs admitted
+/// per-lane partials + SIMD combine, bitwise-checked, plus the
+/// admission assertions described in the module docs.
+fn compare_reduce() -> Result<SimdComparison, BrookError> {
+    let mut scalar_ctx = scalar_context();
+    let mut simd_ctx = BrookContext::cpu();
+    let scalar_mod = scalar_ctx.compile(REDUCE_MIN_SRC)?;
+    let simd_mod = simd_ctx.compile(REDUCE_MIN_SRC)?;
+    // Admission evidence: SIMD module admitted, forced-scalar not,
+    // f32 sum rejected even with SIMD on.
+    if detect() != SimdLevel::Scalar && reduce_admitted(&simd_mod, "rmin") != Some(true) {
+        return Err(BrookError::Usage(
+            "reduce_min: planner did not admit the NaN-free min fold to the vectorized reduce".into(),
+        ));
+    }
+    if reduce_admitted(&scalar_mod, "rmin") == Some(true) {
+        return Err(BrookError::Usage(
+            "reduce_min: forced-scalar context admitted a vectorized reduce".into(),
+        ));
+    }
+    let sum_mod = simd_ctx.compile(REDUCE_SUM_SRC)?;
+    if reduce_admitted(&sum_mod, "rsum") == Some(true) {
+        return Err(BrookError::Usage(
+            "reduce_sum: planner admitted an f32 sum — floating-point addition is not \
+             reassociation-safe"
+                .into(),
+        ));
+    }
+    // Deterministic input ramp; clamp bounds the fold operand, the raw
+    // data can range freely.
+    let data: Vec<f32> = (0..REDUCE_N).map(|i| (i % 977) as f32 * 0.013 - 4.0).collect();
+    let s_scalar = scalar_ctx.stream(&[REDUCE_N])?;
+    scalar_ctx.write(&s_scalar, &data)?;
+    let s_simd = simd_ctx.stream(&[REDUCE_N])?;
+    simd_ctx.write(&s_simd, &data)?;
+    // Correctness + warm-up round.
+    let a = scalar_ctx.reduce(&scalar_mod, "rmin", &s_scalar)?;
+    let b = simd_ctx.reduce(&simd_mod, "rmin", &s_simd)?;
+    if a.to_bits() != b.to_bits() {
+        return Err(BrookError::Usage(format!(
+            "reduce_min: serial and vectorized folds disagree: {a} vs {b}"
+        )));
+    }
+    let reps = 5;
+    let tier_ns = best_of(reps, || {
+        scalar_ctx
+            .reduce(&scalar_mod, "rmin", &s_scalar)
+            .expect("serial reduce");
+    });
+    let simd_ns = best_of(reps, || {
+        simd_ctx
+            .reduce(&simd_mod, "rmin", &s_simd)
+            .expect("vectorized reduce");
+    });
+    Ok(SimdComparison {
+        app: "reduce_min",
+        elements: REDUCE_N,
+        tier_ns,
+        simd_ns,
+    })
+}
+
+/// Renders the comparison table.
+pub fn render_simd_table(rows: &[SimdComparison]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Tier-2 forced scalar vs explicit SIMD (level {}, L={}, best-of-5 per dispatch, warm)\n",
+        detect(),
+        brook_ir::lanes::LANES
+    ));
+    out.push_str(&format!(
+        "{:<14} {:>10} {:>14} {:>14} {:>9}\n",
+        "app", "elements", "tier ns", "simd ns", "speedup"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>10} {:>14} {:>14} {:>8.2}x\n",
+            r.app,
+            r.elements,
+            r.tier_ns,
+            r.simd_ns,
+            r.speedup()
+        ));
+    }
+    let geo: f64 = rows.iter().map(|r| r.speedup().ln()).sum::<f64>() / rows.len().max(1) as f64;
+    out.push_str(&format!("geomean speedup: {:.2}x\n", geo.exp()));
+    out
+}
+
+/// Serializes the rows as the `BENCH_simd.json` trajectory document.
+pub fn simd_json(rows: &[SimdComparison]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"simd\",\n  \"unit\": \"ns/dispatch\",\n");
+    out.push_str(&format!(
+        "  \"level\": \"{}\",\n  \"lanes\": {},\n  \"rows\": [\n",
+        detect(),
+        brook_ir::lanes::LANES
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"app\": \"{}\", \"elements\": {}, \"tier_ns\": {}, \"simd_ns\": {}, \"speedup\": {:.4}}}{}\n",
+            r.app,
+            r.elements,
+            r.tier_ns,
+            r.simd_ns,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_agree_and_json_is_well_formed() {
+        let rows = compare_simd().expect("comparison");
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[4].app, "reduce_min");
+        let json = simd_json(&rows);
+        assert!(json.contains("\"app\": \"mandelbrot\""));
+        assert!(json.contains("\"app\": \"reduce_min\""));
+        assert!(json.contains("\"bench\": \"simd\""));
+        let table = render_simd_table(&rows);
+        assert!(table.contains("sgemm"));
+        assert!(table.contains("geomean"));
+    }
+}

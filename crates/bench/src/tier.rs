@@ -48,6 +48,17 @@ impl TierComparison {
 fn lane_only_context() -> BrookContext {
     let mut ctx = BrookContext::cpu();
     ctx.tier_execution = false;
+    ctx.simd_mode = brook_ir::simd::SimdMode::Off;
+    ctx
+}
+
+/// Tier-2 closures with explicit SIMD forced off: this bench measures
+/// the closure-threading win in isolation, so BENCH_tier.json keeps
+/// its lanes-vs-tier meaning now that a SIMD layer exists underneath
+/// (that delta is BENCH_simd.json's job, in the `simd` module).
+fn tier_scalar_context() -> BrookContext {
+    let mut ctx = BrookContext::cpu();
+    ctx.simd_mode = brook_ir::simd::SimdMode::Off;
     ctx
 }
 
@@ -82,7 +93,7 @@ pub fn compare_tiers() -> Result<Vec<TierComparison>, BrookError> {
     let mut rows = Vec::new();
     for w in workloads() {
         let mut lane = prepare(&w, lane_only_context())?;
-        let mut tier = prepare(&w, BrookContext::cpu())?;
+        let mut tier = prepare(&w, tier_scalar_context())?;
         // Every bench app must actually take the Tier-2 path (and the
         // lane-only context must really have it disabled).
         require_tier_plan(&w, &tier.module)?;

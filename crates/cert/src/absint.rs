@@ -336,6 +336,14 @@ struct Analyzer<'a> {
     reach: Vec<bool>,
     gather_obs: HashMap<usize, Vec<DimObs>>,
     div_obs: HashMap<usize, AbsVal>,
+    /// The vectorizable reduce combine site, when the kernel matches
+    /// the structural shape (`brook_ir::simd::reduce_combine_site`):
+    /// `(builtin pc, operand reg)`.
+    reduce_site: Option<(usize, u32)>,
+    /// Joined abstract value of the combine operand over every
+    /// execution of the combine — the semantic half of vectorized
+    /// reduce admission.
+    reduce_obs: Option<AbsVal>,
     def_ok: bool,
     type_stable: bool,
     scratch_reads: Vec<u32>,
@@ -350,6 +358,10 @@ impl<'a> Analyzer<'a> {
             reach: vec![false; k.insts.len()],
             gather_obs: HashMap::new(),
             div_obs: HashMap::new(),
+            reduce_site: brook_ir::simd::reduce_combine_site(k)
+                .ok()
+                .map(|site| (site.builtin_pc, site.operand)),
+            reduce_obs: None,
             def_ok: true,
             type_stable: true,
             scratch_reads: Vec::new(),
@@ -701,6 +713,15 @@ impl<'a> Analyzer<'a> {
         if record {
             self.reach[pc] = true;
             self.check_reads(st, &inst);
+            if let Some((bpc, operand)) = self.reduce_site {
+                if pc == bpc {
+                    let v = st.vals[operand as usize];
+                    self.reduce_obs = Some(match self.reduce_obs.take() {
+                        Some(prev) => self.join_val(prev, v),
+                        None => v,
+                    });
+                }
+            }
         }
         match inst {
             Inst::Nop | Inst::Jump { .. } | Inst::BranchIfFalse { .. } => {}
@@ -1407,30 +1428,27 @@ fn abs_builtin(name: &str, args: &[AbsVal]) -> AbsVal {
             mk_flt(-1.0, 1.0, nan || lo.is_infinite() || hi.is_infinite())
         }),
         "min" => match (flt(0), flt(1)) {
-            (Some((a0, a1, an)), Some((b0, b1, bn))) => {
-                let hi = if an || bn { a1.max(b1) } else { a1.min(b1) };
-                mk_flt(a0.min(b0), hi, an && bn)
+            (Some(a), Some(b)) => {
+                let (lo, hi, nan) = abs_min(a, b);
+                mk_flt(lo, hi, nan)
             }
             _ => AbsVal::Top,
         },
         "max" => match (flt(0), flt(1)) {
-            (Some((a0, a1, an)), Some((b0, b1, bn))) => {
-                let lo = if an || bn { a0.min(b0) } else { a0.max(b0) };
-                mk_flt(lo, a1.max(b1), an && bn)
+            (Some(a), Some(b)) => {
+                let (lo, hi, nan) = abs_max(a, b);
+                mk_flt(lo, hi, nan)
             }
             _ => AbsVal::Top,
         },
         "clamp" => match (flt(0), flt(1), flt(2)) {
-            (Some((x0, x1, xn)), Some((l0, l1, ln)), Some((h0, h1, hn))) => {
-                let nan = xn || ln || hn;
-                let (lo, hi) = if nan {
-                    (x0.min(l0).min(h0), x1.max(l1).max(h1))
-                } else {
-                    // Runtime clamp is min(max(x, l), h) — nondecreasing
-                    // in every argument, so each result endpoint comes
-                    // from the matching endpoint of all three inputs.
-                    (x0.max(l0).min(h0), x1.max(l1).min(h1))
-                };
+            (Some(x), Some(l), Some(h)) => {
+                // Runtime clamp is min(max(x, l), h); composing the
+                // side-aware transfers lets NaN-free bounds wash a
+                // possibly-NaN input out exactly like the runtime does
+                // (`max(NaN, l)` selects `l`) — which is what admits
+                // `clamp`ed reduce operands to the vectorized fold.
+                let (lo, hi, nan) = abs_min(abs_max(x, l), h);
                 debug_assert!(lo <= hi, "clamp transfer produced crossed bounds");
                 mk_flt(lo, hi, nan)
             }
@@ -1441,6 +1459,35 @@ fn abs_builtin(name: &str, args: &[AbsVal]) -> AbsVal {
         | "fmod" | "step" | "atan2" | "tan" | "smoothstep" => AbsVal::flt_top(),
         _ => AbsVal::Top,
     }
+}
+
+/// Side-aware transfer for runtime `f32::min`: a NaN argument selects
+/// the *other* side, so the result is NaN only when **both** sides may
+/// be, and a possibly-NaN side merely widens the result toward the
+/// other side's interval instead of poisoning the range.
+fn abs_min((a0, a1, an): (f32, f32, bool), (b0, b1, bn): (f32, f32, bool)) -> (f32, f32, bool) {
+    let lo = a0.min(b0);
+    let mut hi = a1.min(b1);
+    if an {
+        hi = hi.max(b1); // a NaN -> result is exactly b
+    }
+    if bn {
+        hi = hi.max(a1); // b NaN -> result is exactly a
+    }
+    (lo, hi, an && bn)
+}
+
+/// Side-aware transfer for runtime `f32::max` (mirror of [`abs_min`]).
+fn abs_max((a0, a1, an): (f32, f32, bool), (b0, b1, bn): (f32, f32, bool)) -> (f32, f32, bool) {
+    let mut lo = a0.max(b0);
+    let hi = a1.max(b1);
+    if an {
+        lo = lo.min(b0);
+    }
+    if bn {
+        lo = lo.min(a0);
+    }
+    (lo, hi, an && bn)
 }
 
 fn dim_obs(v: AbsVal) -> DimObs {
@@ -1622,11 +1669,40 @@ pub fn analyze_kernel(k: &IrKernel) -> KernelOutcome {
 
     analysis.pruned_estimate = pruned_nodes(k, &k.body, &az.reach);
 
+    // The vectorized-reduce semantic fact: the combine operand's
+    // joined range over every recorded execution of the combine.
+    let reduce_combine = az.reduce_obs.and_then(|v| match v {
+        AbsVal::Flt { lo, hi, nan } => Some(brook_ir::ReduceCombineFact {
+            lo,
+            hi,
+            nan_free: !nan,
+        }),
+        _ => None,
+    });
+    if let (Some((bpc, _)), Some(fact)) = (az.reduce_site, reduce_combine.as_ref()) {
+        analysis.facts.push(InstFact {
+            pc: bpc as u32,
+            span: k.spans[bpc],
+            fact: format!(
+                "reduce combine operand in [{}, {}]{}",
+                fact.lo,
+                fact.hi,
+                if fact.nan_free {
+                    ", NaN-free"
+                } else {
+                    ", may be NaN"
+                }
+            ),
+        });
+        analysis.facts.sort_by_key(|f| f.pc);
+    }
+
     KernelOutcome {
         analysis,
         facts: KernelFacts {
             def_before_use_ok: az.def_ok,
             unreachable,
+            reduce_combine,
         },
         proven,
     }

@@ -146,6 +146,23 @@ pub struct TierPlan {
     pub detail: String,
 }
 
+/// One reduce kernel's vectorized-fold admission decision, recorded
+/// at compile time when the runtime consults
+/// `brook_ir::simd::ReduceProgram::plan_program_with`: which reduce
+/// kernels fold through the SIMD per-lane-partials path and why the
+/// rest fold serially through the scalar interpreter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimdReduce {
+    /// Kernel name.
+    pub kernel: String,
+    /// True when the planner admitted the reduce to the vectorized
+    /// (reassociation-safe) fold.
+    pub admitted: bool,
+    /// The admission summary (proven operand range) or the reason the
+    /// kernel folds serially.
+    pub detail: String,
+}
+
 /// Whole-program compliance result.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ComplianceReport {
@@ -164,6 +181,10 @@ pub struct ComplianceReport {
     /// `brook_ir::tier::compile`). Empty before lowering or when tier
     /// execution is disabled on the compiling context.
     pub tier_plans: Vec<TierPlan>,
+    /// Vectorized-reduce admission decisions, one per reduce kernel
+    /// (see `brook_ir::simd::ReduceProgram`). Empty before lowering or
+    /// when lane execution is disabled on the compiling context.
+    pub simd_reduces: Vec<SimdReduce>,
     /// Abstract-interpretation facts over the optimized IR (see
     /// `crate::absint`): value ranges at gathers, provable-fault
     /// findings, reachability, and pruned estimates. Empty before
@@ -210,6 +231,7 @@ pub fn certify(checked: &CheckedProgram, config: &CertConfig) -> ComplianceRepor
         passes: Vec::new(),
         lane_plans: Vec::new(),
         tier_plans: Vec::new(),
+        simd_reduces: Vec::new(),
         analysis: crate::absint::AnalysisReport::default(),
     }
 }

@@ -34,7 +34,8 @@ pub mod rules;
 pub use absint::{AnalysisReport, InstFact, KernelAnalysis};
 pub use analysis::{CallGraph, LoopBound};
 pub use engine::{
-    certify, certify_source, CertConfig, ComplianceReport, Finding, KernelReport, LanePlan, TierPlan,
+    certify, certify_source, CertConfig, ComplianceReport, Finding, KernelReport, LanePlan, SimdReduce,
+    TierPlan,
 };
 pub use ir_check::{
     check_kernel as check_kernel_ir, check_program as check_program_ir, optimize_program, IrKernelCheck,

@@ -161,7 +161,10 @@ pub trait BackendExecutor {
 
     /// Folds `input` to a scalar with a reduce kernel. `ir` is the
     /// module's lowered program (host backends fold its flat form; the
-    /// device ladder only needs the canonical `op`).
+    /// device ladder only needs the canonical `op`). `simd` is the
+    /// module's vectorized-reduce plan when the planner admitted the
+    /// kernel — CPU backends may fold through it (bit-exact with the
+    /// serial fold by the admission proof); other backends ignore it.
     ///
     /// # Errors
     /// Evaluation and device failures.
@@ -171,6 +174,7 @@ pub trait BackendExecutor {
         ir: &brook_ir::IrProgram,
         kernel: &str,
         op: ReduceOp,
+        simd: Option<&brook_ir::simd::ReduceKernel>,
         input: usize,
     ) -> Result<f32>;
 

@@ -64,6 +64,13 @@ pub struct BrookModule {
     /// execution. Shared: closure chains are compiled once per module,
     /// never per clone.
     pub(crate) tiers: Arc<brook_ir::tier::TierProgram>,
+    /// Vectorized-reduce plans, decided once at compile time by
+    /// `brook_ir::simd::ReduceProgram::plan_program_with` and recorded
+    /// in the report's `simd_reduces`. CPU backends fold admitted
+    /// reduce kernels through the SIMD per-lane-partials path;
+    /// rejected kernels fold serially through the scalar interpreter.
+    /// Empty when the compiling context disabled lane execution.
+    pub(crate) simds: Arc<brook_ir::simd::ReduceProgram>,
     /// The certification data produced at compile time (paper §4).
     pub report: ComplianceReport,
     /// Globally unique module identity (backends key compiled-artifact
@@ -101,13 +108,16 @@ pub struct ModuleArtifact {
     ir: Arc<IrProgram>,
     lanes: Arc<brook_ir::lanes::LaneProgram>,
     tiers: Arc<brook_ir::tier::TierProgram>,
+    simds: Arc<brook_ir::simd::ReduceProgram>,
     report: ComplianceReport,
     /// Digest of the [`CertConfig`] the artifact was certified under.
     cert_fingerprint: u64,
-    /// The compiling context's pipeline toggles; adoption requires an
-    /// exact match so a module compiled with (say) certification off can
-    /// never sneak onto an enforcing context through a cache.
-    toggles: (bool, bool, bool, bool, bool),
+    /// The compiling context's pipeline toggles (the last component is
+    /// the resolved SIMD level); adoption requires an exact match so a
+    /// module compiled with (say) certification off — or for a
+    /// different instruction set — can never sneak onto an enforcing
+    /// context through a cache.
+    toggles: (bool, bool, bool, bool, bool, u8),
 }
 
 impl ModuleArtifact {
@@ -179,6 +189,14 @@ pub struct BrookContext {
     /// itself still runs: provable-fault rejection and refined
     /// admission estimates don't depend on this toggle.
     pub clamp_elision: bool,
+    /// Which explicit-SIMD kernels the tier closures and the
+    /// vectorized reduce fold dispatch to. [`SimdMode::Auto`] follows
+    /// the `BROOK_SIMD` environment override and runtime CPU
+    /// detection; forcing a level is the differential-campaign /
+    /// non-AVX2-CI control. Every level is bit-exact with the scalar
+    /// bodies by construction, so this can only change speed, never
+    /// results.
+    pub simd_mode: brook_ir::simd::SimdMode,
 }
 
 impl BrookContext {
@@ -195,6 +213,7 @@ impl BrookContext {
             lane_execution: true,
             tier_execution: true,
             clamp_elision: true,
+            simd_mode: brook_ir::simd::SimdMode::Auto,
         }
     }
 
@@ -342,17 +361,30 @@ impl BrookContext {
         // chains here, once; the decision (and the compile summary) is
         // part of the certification data package. Same fallback story
         // as lanes — rejection changes speed, never results.
+        let simd_level = self.simd_mode.resolve();
         let tiers = if self.lane_execution && self.tier_execution {
-            brook_ir::tier::TierProgram::compile_program_with(&ir, &lanes, &facts)
+            brook_ir::tier::TierProgram::compile_program_simd(&ir, &lanes, &facts, simd_level)
         } else {
             brook_ir::tier::TierProgram::default()
         };
         report.tier_plans = tier_plan_records(&tiers);
+        // Vectorized-reduce planning: structurally matched reduce
+        // kernels whose combine operand the analyzer proved NaN-free
+        // and sign-definite fold through SIMD per-lane partials; every
+        // other reduce keeps the serial scalar fold. The decision is
+        // recorded per kernel like every other admission.
+        let simds = if self.lane_execution && simd_level != brook_ir::simd::SimdLevel::Scalar {
+            brook_ir::simd::ReduceProgram::plan_program_with(&ir, &facts, simd_level)
+        } else {
+            brook_ir::simd::ReduceProgram::default()
+        };
+        report.simd_reduces = simd_reduce_records(&simds);
         Ok(ModuleArtifact {
             checked: Arc::new(checked),
             ir: Arc::new(ir),
             lanes: Arc::new(lanes),
             tiers: Arc::new(tiers),
+            simds: Arc::new(simds),
             report,
             cert_fingerprint: self.cert_config.fingerprint(),
             toggles: (
@@ -361,6 +393,7 @@ impl BrookContext {
                 self.lane_execution,
                 self.tier_execution,
                 self.clamp_elision,
+                simd_level as u8,
             ),
         })
     }
@@ -390,11 +423,12 @@ impl BrookContext {
             self.lane_execution,
             self.tier_execution,
             self.clamp_elision,
+            self.simd_mode.resolve() as u8,
         );
         if artifact.toggles != toggles {
             return Err(BrookError::Usage(
                 "artifact was compiled under different pipeline toggles (certification/\
-                 optimization/lane/tier/elision) than this context uses"
+                 optimization/lane/tier/elision/simd) than this context uses"
                     .into(),
             ));
         }
@@ -403,6 +437,7 @@ impl BrookContext {
             ir: Arc::clone(&artifact.ir),
             lanes: Arc::clone(&artifact.lanes),
             tiers: Arc::clone(&artifact.tiers),
+            simds: Arc::clone(&artifact.simds),
             report: artifact.report.clone(),
             id: fresh_module_id(),
             context_id: self.context_id,
@@ -434,6 +469,7 @@ impl BrookContext {
             // the scalar interpreter behind the launch-boundary verifier.
             lanes: Arc::new(brook_ir::lanes::LaneProgram::default()),
             tiers: Arc::new(brook_ir::tier::TierProgram::default()),
+            simds: Arc::new(brook_ir::simd::ReduceProgram::default()),
             report,
             id: fresh_module_id(),
             context_id: self.context_id,
@@ -615,8 +651,14 @@ impl BrookContext {
             }
         }
         verify_launch_ir(&module.ir, kernel)?;
-        self.backend
-            .reduce(&module.checked, &module.ir, kernel, op, input.index)
+        self.backend.reduce(
+            &module.checked,
+            &module.ir,
+            kernel,
+            op,
+            module.simds.kernel(kernel),
+            input.index,
+        )
     }
 
     /// Switches device dispatch between full execution and sampled cost
@@ -688,6 +730,23 @@ pub(crate) fn tier_plan_records(tiers: &brook_ir::tier::TierProgram) -> Vec<broo
             compiled: plan.is_ok(),
             detail: match plan {
                 Ok(t) => t.detail(),
+                Err(reason) => reason.clone(),
+            },
+        })
+        .collect()
+}
+
+/// Renders vectorized-reduce admission decisions into the report
+/// records the compliance data package carries.
+pub(crate) fn simd_reduce_records(simds: &brook_ir::simd::ReduceProgram) -> Vec<brook_cert::SimdReduce> {
+    simds
+        .kernels
+        .iter()
+        .map(|(name, plan)| brook_cert::SimdReduce {
+            kernel: name.clone(),
+            admitted: plan.is_ok(),
+            detail: match plan {
+                Ok(rk) => rk.detail.clone(),
                 Err(reason) => reason.clone(),
             },
         })

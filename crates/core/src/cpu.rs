@@ -1118,12 +1118,20 @@ impl BackendExecutor for CpuBackend {
         ir: &brook_ir::IrProgram,
         kernel: &str,
         _op: ReduceOp,
+        simd: Option<&brook_ir::simd::ReduceKernel>,
         input: usize,
     ) -> Result<f32> {
         // The interpreters fold the actual kernel body, so the detected
         // canonical op is only needed by ladder-style backends.
         if !self.use_ast_walker {
             if let Some(k) = ir.kernel(kernel) {
+                // Admitted vectorized reduce: SIMD per-lane partials +
+                // reassociation-safe combine, proven bit-exact with the
+                // serial fold; faults rerun the serial fold for the
+                // canonical error surface.
+                if let Some(rk) = simd {
+                    return brook_ir::simd::run_reduce(rk, k, &self.streams[input].1).map_err(exec_err);
+                }
                 return ir_interp::run_reduce(k, &self.streams[input].1).map_err(exec_err);
             }
         }

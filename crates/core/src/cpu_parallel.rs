@@ -12,9 +12,15 @@
 //! **bit-identical** to the serial backend no matter how many workers
 //! run.
 //!
-//! Reductions stay serial: a chunked tree fold would change the
-//! floating-point association order and break bit-equality with the
-//! reference backend, which the differential-test layer asserts.
+//! Reductions stay serial by default: a chunked tree fold would change
+//! the floating-point association order and break bit-equality with
+//! the reference backend, which the differential-test layer asserts.
+//! The one exception is the **admitted vectorized reduce path**
+//! (`brook_ir::simd::ReduceKernel`): its admission proof (NaN-free,
+//! sign-definite `min`/`max` operands) makes the combine a lattice
+//! operation whose result is one unique bit pattern under *any*
+//! association, so the map phase parallelizes across workers and the
+//! fold stays bit-identical to the serial backend by construction.
 
 use crate::backend::{BackendExecutor, KernelLaunch};
 use crate::cpu::{self, CpuBinding};
@@ -35,6 +41,9 @@ pub const PARALLEL_THRESHOLD: usize = 256;
 const MAX_WORKERS: usize = 16;
 
 /// The parallel CPU interpreter backend.
+///
+/// See the module docs for the parallel dispatch and (vectorized)
+/// reduce contracts.
 pub struct ParallelCpuBackend {
     streams: Vec<(StreamDesc, Vec<f32>)>,
     workers: usize,
@@ -56,6 +65,58 @@ impl ParallelCpuBackend {
             streams: Vec::new(),
             workers: workers.max(1),
         }
+    }
+
+    /// The admitted vectorized reduce: per-element combine operands are
+    /// produced by the map phase in parallel over disjoint slices of a
+    /// fixed partials buffer, then folded in index order with the SIMD
+    /// combine. Deterministic regardless of worker count or timing —
+    /// and, by the admission proof, bitwise equal to the serial fold.
+    /// Any worker fault discards the partials and reruns the serial
+    /// fold so error surfaces stay canonical.
+    fn reduce_vectorized(
+        &self,
+        rk: &brook_ir::simd::ReduceKernel,
+        kernel: &IrKernel,
+        input: usize,
+    ) -> Result<f32> {
+        let data = &self.streams[input].1;
+        let n = data.len();
+        if n < PARALLEL_THRESHOLD || self.workers == 1 {
+            return brook_ir::simd::run_reduce(rk, kernel, data).map_err(cpu::exec_err);
+        }
+        let mut xs = vec![rk.op.identity(); n];
+        let chunk = n.div_ceil(self.workers).div_ceil(brook_ir::lanes::LANES) * brook_ir::lanes::LANES;
+        let ranges: Vec<Range<usize>> = (0..self.workers)
+            .map(|w| (w * chunk).min(n)..((w + 1) * chunk).min(n))
+            .filter(|r| !r.is_empty())
+            .collect();
+        let mut slices: Vec<&mut [f32]> = Vec::with_capacity(ranges.len());
+        let mut rest: &mut [f32] = &mut xs;
+        for r in &ranges {
+            let (head, tail) = rest.split_at_mut(r.len());
+            slices.push(head);
+            rest = tail;
+        }
+        let ok = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .zip(slices)
+                .map(|(range, out)| {
+                    let range = range.clone();
+                    scope.spawn(move || rk.run_map(data, out, n, range))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .all(|h| h.join().map(|r| r.is_ok()).unwrap_or(false))
+        });
+        if !ok {
+            // Canonical error surface: the serial fold reproduces the
+            // exact element attribution and message.
+            return ir_interp::run_reduce(kernel, data).map_err(cpu::exec_err);
+        }
+        Ok(brook_ir::simd::fold(rk.op, rk.level, &xs))
     }
 
     /// The worker count this backend fans out to.
@@ -293,10 +354,22 @@ impl BackendExecutor for ParallelCpuBackend {
         ir: &brook_ir::IrProgram,
         kernel: &str,
         _op: ReduceOp,
+        simd: Option<&brook_ir::simd::ReduceKernel>,
         input: usize,
     ) -> Result<f32> {
-        // Serial on purpose — see the module docs.
         if let Some(k) = ir.kernel(kernel) {
+            // Admitted vectorized reduce: the map phase parallelizes
+            // across workers over disjoint partial slices, and the
+            // combine is deterministic regardless of worker timing —
+            // partials land at fixed element indices and the fold walks
+            // them in index order (the admission proof makes any order
+            // bitwise-equal anyway). Any worker fault discards the
+            // partials and reruns the serial fold for the canonical
+            // error surface.
+            if let Some(rk) = simd {
+                return self.reduce_vectorized(rk, k, input);
+            }
+            // Serial on purpose — see the module docs.
             return ir_interp::run_reduce(k, &self.streams[input].1).map_err(cpu::exec_err);
         }
         cpu::reduce_on_host(&self.streams, checked, kernel, input)

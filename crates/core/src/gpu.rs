@@ -571,6 +571,7 @@ impl BackendExecutor for GpuState {
         _ir: &brook_ir::IrProgram,
         _kernel: &str,
         op: ReduceOp,
+        _simd: Option<&brook_ir::simd::ReduceKernel>,
         input: usize,
     ) -> Result<f32> {
         // The ladder implements the *canonical* operation certification

@@ -433,6 +433,7 @@ impl<'ctx> BrookGraph<'ctx> {
                         &module.ir,
                         kernel,
                         *op,
+                        module.simds.kernel(kernel),
                         resolve(*input).index,
                     )?;
                 }
@@ -728,11 +729,14 @@ impl<'ctx> BrookGraph<'ctx> {
             ir: ir.clone(),
             lanes: Arc::new(lanes),
             tiers: Arc::new(tiers),
+            // Fused chains are map kernels, never reductions.
+            simds: Arc::new(brook_ir::simd::ReduceProgram::default()),
             report: brook_cert::ComplianceReport {
                 kernels: Vec::new(),
                 passes,
                 lane_plans,
                 tier_plans,
+                simd_reduces: Vec::new(),
                 analysis,
             },
             id: crate::context::fresh_module_id(),

@@ -299,6 +299,7 @@ mod tests {
             scalars: Vec::new(),
             n_outputs: 1,
             data_seed: 0,
+            special_floats: false,
         };
         for spec in registered_backends() {
             if !spec.name.starts_with("cpu") {

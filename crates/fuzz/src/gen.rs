@@ -53,6 +53,12 @@ pub struct GenConfig {
     pub allow_helper: bool,
     /// Whether vector-typed locals (`float2`..`float4`) are generated.
     pub allow_vectors: bool,
+    /// Bias input/gather data toward special floats (NaN, `-0.0`,
+    /// subnormals). Only safe for campaigns whose comparisons are all
+    /// bitwise or same-backend pairs — the packed device storage
+    /// canonicalizes non-finite values, so a cross-backend tolerance
+    /// comparison would report false positives.
+    pub special_floats: bool,
 }
 
 impl Default for GenConfig {
@@ -67,6 +73,7 @@ impl Default for GenConfig {
             allow_gather: true,
             allow_helper: true,
             allow_vectors: true,
+            special_floats: false,
         }
     }
 }
@@ -106,6 +113,10 @@ pub struct FuzzCase {
     /// Seed the input buffers were derived from (used by the shrinker to
     /// regenerate data for smaller shapes).
     pub data_seed: u64,
+    /// Whether the special-float overlay was applied to the data (see
+    /// [`GenConfig::special_floats`]); [`FuzzCase::refresh`] reapplies
+    /// it so shrinking preserves the data distribution.
+    pub special_floats: bool,
 }
 
 impl FuzzCase {
@@ -143,10 +154,16 @@ impl FuzzCase {
         let len = self.domain_len();
         for (i, buf) in self.inputs.iter_mut().enumerate() {
             *buf = gen_values(self.data_seed.wrapping_add(i as u64), len);
+            if self.special_floats {
+                special_overlay(self.data_seed.wrapping_add(i as u64), buf);
+            }
         }
         if let Some(g) = &mut self.gather {
             let glen: usize = g.shape.iter().product();
             g.data = gen_values(self.data_seed ^ 0x67617468, glen);
+            if self.special_floats {
+                special_overlay(self.data_seed ^ 0x67617468, &mut g.data);
+            }
         }
     }
 }
@@ -155,6 +172,33 @@ impl FuzzCase {
 pub fn gen_values(seed: u64, n: usize) -> Vec<f32> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n).map(|_| rng.gen_range(-4.0f32..4.0)).collect()
+}
+
+/// The special values the SIMD campaign cares about: quiet NaN, both
+/// signed zeros, subnormals on both sides, and the smallest normal —
+/// the inputs where a vector instruction's edge-case semantics could
+/// drift from the scalar loop (NaN propagation in `min`/`max`, `-0.0`
+/// sign handling in compares and blends, subnormal flush behavior).
+const SPECIAL_FLOATS: [f32; 8] = [
+    f32::NAN,
+    -0.0,
+    0.0,
+    f32::MIN_POSITIVE / 2.0,
+    -f32::MIN_POSITIVE / 4.0,
+    1.0e-39,
+    -1.0e-39,
+    f32::MIN_POSITIVE,
+];
+
+/// Overwrites ~1/4 of `buf` with [`SPECIAL_FLOATS`] picks, seeded —
+/// the [`GenConfig::special_floats`] bias.
+pub fn special_overlay(seed: u64, buf: &mut [f32]) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5BEC_1A15);
+    for v in buf.iter_mut() {
+        if rng.gen_range(0u32..4) == 0 {
+            *v = SPECIAL_FLOATS[rng.gen_range(0..SPECIAL_FLOATS.len())];
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -702,13 +746,23 @@ pub fn gen_case(seed: u64, index: u32, cfg: &GenConfig) -> FuzzCase {
     // Seeded input data.
     let data_seed = seed ^ ((index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
     let inputs: Vec<Vec<f32>> = (0..n_inputs)
-        .map(|i| gen_values(data_seed.wrapping_add(i as u64), domain_len))
+        .map(|i| {
+            let mut buf = gen_values(data_seed.wrapping_add(i as u64), domain_len);
+            if cfg.special_floats {
+                special_overlay(data_seed.wrapping_add(i as u64), &mut buf);
+            }
+            buf
+        })
         .collect();
     let gather = use_gather.then(|| {
         let glen: usize = gather_shape.iter().product();
+        let mut data = gen_values(data_seed ^ 0x67617468, glen);
+        if cfg.special_floats {
+            special_overlay(data_seed ^ 0x67617468, &mut data);
+        }
         GatherData {
             shape: gather_shape.clone(),
-            data: gen_values(data_seed ^ 0x67617468, glen),
+            data,
         }
     });
     let scalars: Vec<f32> = {
@@ -726,6 +780,7 @@ pub fn gen_case(seed: u64, index: u32, cfg: &GenConfig) -> FuzzCase {
         scalars,
         n_outputs,
         data_seed,
+        special_floats: cfg.special_floats,
     }
 }
 

@@ -51,6 +51,7 @@ pub mod mutation;
 pub mod optdiff;
 pub mod repro;
 pub mod shrink;
+pub mod simd;
 pub mod tier;
 
 pub use absint::{run_absint_campaign, AbsintStats};
@@ -63,6 +64,7 @@ pub use mutation::SaboteurBackend;
 pub use optdiff::{opt_matrix, run_optdiff_campaign, OptDiffStats};
 pub use repro::{repro_root, write_repro};
 pub use shrink::shrink;
+pub use simd::{run_simd_campaign, simd_matrix, SimdStats};
 pub use tier::{run_tier_campaign, tier_matrix, TierStats};
 
 use brook_auto::BrookError;

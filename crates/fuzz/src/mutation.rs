@@ -81,9 +81,10 @@ impl BackendExecutor for SaboteurBackend {
         ir: &brook_ir::IrProgram,
         kernel: &str,
         op: ReduceOp,
+        simd: Option<&brook_ir::simd::ReduceKernel>,
         input: usize,
     ) -> Result<f32> {
-        self.inner.reduce(checked, ir, kernel, op, input)
+        self.inner.reduce(checked, ir, kernel, op, simd, input)
     }
 }
 

@@ -1,0 +1,379 @@
+//! Explicit-SIMD differential mode.
+//!
+//! The `std::arch` execution layer (`brook_ir::simd`) promises
+//! **bitwise identity with the scalar closure bodies** — no FMA
+//! contraction, preserved operand order, float-domain clamps proven
+//! equal to the scalar integer clamps — and the vectorized reduce
+//! path promises bitwise identity with the serial fold for every
+//! *admitted* (reassociation-safe) combine. This mode attacks both
+//! promises where vector instructions actually differ from scalar
+//! code: NaN propagation in `min`/`max`/compares, `-0.0` sign
+//! handling in blends, and subnormals. Every case runs with
+//! special-float-biased input data ([`GenConfig::special_floats`]).
+//!
+//! Two comparison layers:
+//!
+//! * a widened all-CPU matrix (AST oracle, scalar IR, lane engine,
+//!   Tier-2 forced scalar, forced SSE2, auto SIMD, parallel with and
+//!   without SIMD) — bitwise everywhere, so a single flipped NaN
+//!   payload or zero sign is a divergence;
+//! * per-device pairs: each registered GL backend runs every case
+//!   twice, `SimdMode::Off` vs `SimdMode::Auto`, compared bitwise —
+//!   the toggle must be invisible on backends that never dispatch to
+//!   the SIMD kernels at all.
+//!
+//! The campaign closes with the fixed reduce set: a combine the
+//! analyzer proves reassociation-safe (admitted, vectorized,
+//! bit-compared against the serial fold and the AST oracle) and
+//! combines it must reject (`f32` sum, `min` of an unproven operand),
+//! which still must agree bitwise through the serial scalar fallback
+//! — proving the fallback runs, on special data.
+
+use crate::differential::{run_case, run_with_module, CaseFailure, Matrix};
+use crate::gen::{gen_case, gen_values, special_overlay, FuzzCase, GenConfig};
+use brook_auto::{registered_backends, BackendSpec, BrookContext};
+use brook_ir::simd::{detect, SimdLevel, SimdMode};
+
+fn cpu_scalar_ir() -> BrookContext {
+    let mut ctx = BrookContext::cpu();
+    ctx.lane_execution = false;
+    ctx
+}
+
+fn cpu_lanes_only() -> BrookContext {
+    let mut ctx = BrookContext::cpu();
+    ctx.tier_execution = false;
+    ctx
+}
+
+fn cpu_simd_off() -> BrookContext {
+    let mut ctx = BrookContext::cpu();
+    ctx.simd_mode = SimdMode::Off;
+    ctx
+}
+
+fn cpu_simd_sse2() -> BrookContext {
+    let mut ctx = BrookContext::cpu();
+    ctx.simd_mode = SimdMode::Sse2;
+    ctx
+}
+
+fn cpu_parallel_simd_off() -> BrookContext {
+    let mut ctx = BrookContext::cpu_parallel();
+    ctx.simd_mode = SimdMode::Off;
+    ctx
+}
+
+/// The all-CPU matrix: every engine tier with SIMD forced off, forced
+/// to SSE2, and auto-detected, all compared bitwise against the AST
+/// oracle. A forced level above the host's capability resolves down
+/// (`compile` clamps to `detect()`), so the matrix is portable.
+pub fn simd_matrix() -> Matrix {
+    Matrix {
+        specs: vec![
+            BackendSpec {
+                name: "cpu-ast",
+                make: BrookContext::cpu_ast_oracle,
+            },
+            BackendSpec {
+                name: "cpu-scalar",
+                make: cpu_scalar_ir,
+            },
+            BackendSpec {
+                name: "cpu-lanes",
+                make: cpu_lanes_only,
+            },
+            BackendSpec {
+                name: "cpu-simd-off",
+                make: cpu_simd_off,
+            },
+            BackendSpec {
+                name: "cpu-sse2",
+                make: cpu_simd_sse2,
+            },
+            BackendSpec {
+                name: "cpu",
+                make: BrookContext::cpu,
+            },
+            BackendSpec {
+                name: "cpu-parallel-simd-off",
+                make: cpu_parallel_simd_off,
+            },
+            BackendSpec {
+                name: "cpu-parallel",
+                make: BrookContext::cpu_parallel,
+            },
+        ],
+        tolerance: 0.0,
+    }
+}
+
+/// Statistics of one SIMD differential campaign.
+#[derive(Debug, Clone, Default)]
+pub struct SimdStats {
+    /// Cases that agreed bitwise across the CPU matrix and all device
+    /// on/off pairs.
+    pub cases: u32,
+    /// Kernels whose Tier-2 compile recorded a non-scalar SIMD level.
+    pub simd_kernels: u32,
+    /// Kernels that stayed scalar (tier-rejected or scalar level).
+    pub scalar_kernels: u32,
+    /// Fixed reduce kernels admitted to the vectorized reduce.
+    pub admitted_reduces: u32,
+    /// Fixed reduce kernels the planner rejected (serial fallback
+    /// exercised and bit-checked).
+    pub rejected_reduces: u32,
+    /// Total output elements cross-checked.
+    pub elements_checked: u64,
+}
+
+/// A combine the analyzer can prove reassociation-safe: `clamp` bounds
+/// the operand to `[0.5, 2.0]` (NaN-free and sign-definite), so the
+/// lattice `min` has one well-defined bit pattern under any fold
+/// order. Must be admitted whenever the host has any SIMD level.
+pub const SIMD_REDUCE_ADMITTED: &str =
+    "reduce void rmin(float a<>, reduce float r<>) { r = min(r, clamp(a, 0.5, 2.0)); }";
+
+/// Combines the planner must reject: `f32` addition is never
+/// reassociation-safe, and `min` of a raw stream element has no
+/// NaN-free proof. Both still run — through the serial scalar fold —
+/// and must agree bitwise across every CPU context.
+pub const SIMD_REDUCE_REJECTED: &[&str] = &[
+    "reduce void rsum(float a<>, reduce float r<>) { r = r + a; }",
+    "reduce void rmin(float a<>, reduce float r<>) { r = min(r, a); }",
+];
+
+/// Compile-probes the Tier-2 SIMD decision on the auto context:
+/// `(simd, scalar)` kernel counts from the recorded plan details.
+fn probe_simd_plans(source: &str) -> Result<(u32, u32), String> {
+    let mut ctx = BrookContext::cpu();
+    let module = ctx.compile(source).map_err(|e| format!("probe compile: {e}"))?;
+    let mut simd = 0;
+    let mut scalar = 0;
+    for plan in &module.report.tier_plans {
+        if plan.compiled && !plan.detail.contains("simd scalar") {
+            simd += 1;
+        } else {
+            scalar += 1;
+        }
+    }
+    Ok((simd, scalar))
+}
+
+/// Runs one case on every registered *device* backend twice —
+/// `SimdMode::Off` vs `SimdMode::Auto` — and requires bit identity.
+/// The SIMD layer lives under the CPU tier engine only; on a GL
+/// backend the toggle must change nothing, not even a NaN payload
+/// the packed storage canonicalized.
+fn run_device_pairs(case: &FuzzCase) -> Result<u64, String> {
+    let mut checked = 0u64;
+    for spec in registered_backends() {
+        if spec.name.starts_with("cpu") {
+            continue;
+        }
+        let run = |mode: SimdMode| -> Result<Vec<Vec<f32>>, String> {
+            let mut ctx = (spec.make)();
+            ctx.simd_mode = mode;
+            let module = ctx
+                .compile(&case.source)
+                .map_err(|e| format!("{}: compile: {e}", spec.name))?;
+            run_with_module(&mut ctx, &module, case).map_err(|e| format!("{}: {e}", spec.name))
+        };
+        let off = run(SimdMode::Off)?;
+        let auto = run(SimdMode::Auto)?;
+        for (oi, (r, a)) in off.iter().zip(&auto).enumerate() {
+            for (ei, (x, y)) in r.iter().zip(a).enumerate() {
+                if x.to_bits() != y.to_bits() {
+                    return Err(format!(
+                        "{}: SimdMode::Auto diverged from Off at output {oi} element {ei}: \
+                         {x} vs {y}",
+                        spec.name
+                    ));
+                }
+            }
+            checked += r.len() as u64;
+        }
+    }
+    Ok(checked)
+}
+
+/// A named context factory of the reduce matrix.
+type ReduceSpec = (&'static str, fn() -> BrookContext);
+
+/// The reduce contexts: AST oracle, serial and parallel CPU with the
+/// SIMD toggle off, forced SSE2, and auto.
+fn reduce_contexts() -> Vec<ReduceSpec> {
+    vec![
+        ("cpu-ast", BrookContext::cpu_ast_oracle as fn() -> BrookContext),
+        ("cpu-simd-off", cpu_simd_off),
+        ("cpu-sse2", cpu_simd_sse2),
+        ("cpu", BrookContext::cpu),
+        ("cpu-parallel-simd-off", cpu_parallel_simd_off),
+        ("cpu-parallel", BrookContext::cpu_parallel),
+    ]
+}
+
+/// Runs one fixed reduce source over special-float-biased data on
+/// every reduce context, requiring bitwise identical scalars; returns
+/// whether the auto context admitted it to the vectorized reduce.
+///
+/// # Errors
+/// Compile/run failures and fold divergences.
+fn run_reduce_diff(source: &str, n: usize, data_seed: u64) -> Result<(bool, u64), String> {
+    let mut data = gen_values(data_seed, n);
+    special_overlay(data_seed, &mut data);
+    let mut reference: Option<(&'static str, f32)> = None;
+    let mut admitted = false;
+    let mut checked = 0u64;
+    for (name, make) in reduce_contexts() {
+        let mut ctx = make();
+        let module = ctx
+            .compile(source)
+            .map_err(|e| format!("{name}: compile: {e}\n{source}"))?;
+        let kernel = module.kernels().first().cloned().ok_or("no kernel")?;
+        if name == "cpu" {
+            admitted = module
+                .report
+                .simd_reduces
+                .iter()
+                .any(|r| r.kernel == kernel && r.admitted);
+        }
+        let s = ctx.stream(&[n]).map_err(|e| format!("{name}: {e}"))?;
+        ctx.write(&s, &data).map_err(|e| format!("{name}: {e}"))?;
+        let v = ctx
+            .reduce(&module, &kernel, &s)
+            .map_err(|e| format!("{name}: reduce: {e}\n{source}"))?;
+        match &reference {
+            None => reference = Some((name, v)),
+            Some((ref_name, r)) => {
+                if r.to_bits() != v.to_bits() {
+                    return Err(format!(
+                        "{name} reduce diverged from {ref_name}: {r} vs {v}\n{source}"
+                    ));
+                }
+                checked += n as u64;
+            }
+        }
+    }
+    Ok((admitted, checked))
+}
+
+/// Runs `cases` seeded kernels (special-float-biased data) through the
+/// CPU SIMD matrix and the device on/off pairs, then the fixed reduce
+/// set with its admission assertions.
+///
+/// # Errors
+/// The first case failure, annotated with the case name, or an
+/// admission regression in the reduce set.
+pub fn run_simd_campaign(seed: u64, cases: u32, cfg: &GenConfig) -> Result<SimdStats, String> {
+    let cfg = GenConfig {
+        special_floats: true,
+        ..cfg.clone()
+    };
+    let matrix = simd_matrix();
+    let mut stats = SimdStats::default();
+    for index in 0..cases {
+        let case = gen_case(seed, index, &cfg);
+        let (simd, scalar) = probe_simd_plans(&case.source)
+            .map_err(|e| format!("case {} (seed {seed:#x}, index {index}): {e}", case.name))?;
+        stats.simd_kernels += simd;
+        stats.scalar_kernels += scalar;
+        let runs = run_case(&case, &matrix).map_err(|f| {
+            let detail = match &f {
+                CaseFailure::Setup { backend, message } => format!("{backend}: {message}"),
+                CaseFailure::Divergence(d) => d.to_string(),
+            };
+            format!(
+                "case {} (seed {seed:#x}, index {index}): {detail}\n{}",
+                case.name, case.source
+            )
+        })?;
+        stats.elements_checked += runs
+            .first()
+            .map(|r| r.outputs.iter().map(|o| o.len() as u64).sum::<u64>())
+            .unwrap_or(0);
+        stats.elements_checked += run_device_pairs(&case)
+            .map_err(|e| format!("case {} (seed {seed:#x}, index {index}): {e}", case.name))?;
+        stats.cases += 1;
+    }
+    // The fixed reduce set: one provably-safe combine that must be
+    // admitted (on hosts with a SIMD level), and the unsafe combines
+    // that must fall back to the serial scalar fold.
+    let n = 4 * brook_ir::lanes::LANES + 7;
+    let (admitted, checked) = run_reduce_diff(SIMD_REDUCE_ADMITTED, n, seed ^ 0x51D0)?;
+    if detect() != SimdLevel::Scalar && !admitted {
+        return Err(format!(
+            "planner refused the provably reassociation-safe reduce:\n{SIMD_REDUCE_ADMITTED}"
+        ));
+    }
+    stats.admitted_reduces += u32::from(admitted);
+    stats.elements_checked += checked;
+    stats.cases += 1;
+    for (i, source) in SIMD_REDUCE_REJECTED.iter().enumerate() {
+        let (admitted, checked) = run_reduce_diff(source, n, seed ^ (0x2E1E + i as u64))?;
+        if admitted {
+            return Err(format!(
+                "planner admitted a reassociation-unsafe reduce:\n{source}"
+            ));
+        }
+        stats.rejected_reduces += 1;
+        stats.elements_checked += checked;
+        stats.cases += 1;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_toggles_are_what_they_claim() {
+        let m = simd_matrix();
+        let names: Vec<_> = m.specs.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "cpu-ast",
+                "cpu-scalar",
+                "cpu-lanes",
+                "cpu-simd-off",
+                "cpu-sse2",
+                "cpu",
+                "cpu-parallel-simd-off",
+                "cpu-parallel"
+            ]
+        );
+        let ctx = (m.specs[3].make)();
+        assert_eq!(ctx.simd_mode, SimdMode::Off);
+        assert!(ctx.lane_execution && ctx.tier_execution);
+        let ctx = (m.specs[5].make)();
+        assert_eq!(ctx.simd_mode, SimdMode::Auto);
+    }
+
+    #[test]
+    fn reduce_set_admission_decisions_hold() {
+        let (admitted, _) =
+            run_reduce_diff(SIMD_REDUCE_ADMITTED, 77, 0xDEC0).unwrap_or_else(|e| panic!("{e}"));
+        if detect() != SimdLevel::Scalar {
+            assert!(admitted, "safe combine must be admitted");
+        }
+        for source in SIMD_REDUCE_REJECTED {
+            let (admitted, _) = run_reduce_diff(source, 77, 0xDEC1).unwrap_or_else(|e| panic!("{e}"));
+            assert!(!admitted, "unsafe combine must be rejected:\n{source}");
+        }
+    }
+
+    #[test]
+    fn small_campaign_is_bit_exact() {
+        let stats =
+            run_simd_campaign(0x51D0_5EED, 6, &GenConfig::default()).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(
+            stats.cases,
+            6 + 1 + SIMD_REDUCE_REJECTED.len() as u32,
+            "{stats:?}"
+        );
+        assert_eq!(stats.rejected_reduces, SIMD_REDUCE_REJECTED.len() as u32);
+        assert!(stats.elements_checked > 0);
+    }
+}

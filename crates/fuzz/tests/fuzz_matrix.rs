@@ -234,6 +234,45 @@ fn injected_backend_bug_is_caught_minimized_and_bundled() {
     }
 }
 
+/// 96 generated kernels with special-float-biased data (NaN, signed
+/// zeros, subnormals) through the explicit-SIMD matrix of
+/// `brook_fuzz::simd`: every CPU engine tier with SIMD forced off,
+/// forced to SSE2, and auto-detected — bitwise against the AST oracle
+/// — plus each device backend run as an off/auto pair, plus the fixed
+/// reduce set (one provably reassociation-safe combine that must be
+/// admitted to the vectorized reduce, two that must fall back to the
+/// serial scalar fold, all bit-compared). This is the acceptance bar
+/// for the `std::arch` layer: vector instructions must be invisible
+/// in results, bit for bit, exactly where their edge-case semantics
+/// could differ from the scalar loops.
+#[test]
+fn simd_campaign_96_cases_bitwise_on_special_floats() {
+    let stats = brook_fuzz::run_simd_campaign(CI_SEED, 96, &brook_fuzz::GenConfig::default())
+        .unwrap_or_else(|e| panic!("simd campaign failed:\n{e}"));
+    assert_eq!(
+        stats.cases,
+        96 + 1 + brook_fuzz::simd::SIMD_REDUCE_REJECTED.len() as u32,
+        "{stats:?}"
+    );
+    if brook_ir::simd::detect() != brook_ir::simd::SimdLevel::Scalar {
+        assert!(
+            stats.simd_kernels >= 48,
+            "the campaign must mostly exercise the SIMD block steps: {stats:?}"
+        );
+        assert_eq!(stats.admitted_reduces, 1, "{stats:?}");
+    }
+    assert_eq!(
+        stats.rejected_reduces,
+        brook_fuzz::simd::SIMD_REDUCE_REJECTED.len() as u32,
+        "{stats:?}"
+    );
+    assert!(
+        stats.elements_checked > 1_000,
+        "campaign too small to mean anything: {} elements",
+        stats.elements_checked
+    );
+}
+
 /// A campaign against the real backends with a *different* seed than CI
 /// still passes — i.e. the smoke seed is not a lucky one. Kept small so
 /// the suite stays fast.

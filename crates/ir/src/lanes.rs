@@ -1652,11 +1652,13 @@ macro_rules! lanes_loop {
 /// Reusable slab storage for the lane (and Tier-2) engines: the f32
 /// register/staging arena, the i32 arena and the bool-mask arena.
 /// Allocated once — per worker in the parallel backend — and re-prepared
-/// per kernel, so per-dispatch execution never reallocates.
+/// per kernel, so per-dispatch execution never reallocates. The f32/i32
+/// arenas are 32-byte aligned so the explicit-SIMD tier
+/// ([`crate::simd`]) can use AVX2 aligned loads on slab blocks.
 #[derive(Debug, Default)]
 pub struct LaneSlabs {
-    pub(crate) f: Vec<f32>,
-    pub(crate) i: Vec<i32>,
+    pub(crate) f: crate::simd::AlignedF32,
+    pub(crate) i: crate::simd::AlignedI32,
     pub(crate) b: Vec<Mask>,
 }
 
@@ -1669,12 +1671,20 @@ impl LaneSlabs {
 
     /// Sizes and zero-fills the arenas for one kernel's slab layout.
     pub(crate) fn prepare(&mut self, lk: &LaneKernel) {
-        self.f.clear();
-        self.f.resize(lk.f_len, 0.0);
-        self.i.clear();
-        self.i.resize(lk.i_len, 0);
+        self.f.clear_resize(lk.f_len);
+        self.i.clear_resize(lk.i_len);
         self.b.clear();
         self.b.resize(lk.b_len, 0);
+        debug_assert_eq!(
+            self.f.as_slice().as_ptr() as usize % 32,
+            0,
+            "lane f32 slab arena must be 32-byte aligned for AVX2 loads"
+        );
+        debug_assert_eq!(
+            self.i.as_slice().as_ptr() as usize % 32,
+            0,
+            "lane i32 slab arena must be 32-byte aligned for AVX2 loads"
+        );
     }
 }
 
@@ -1803,8 +1813,8 @@ pub fn run_kernel_range_in(
     let mut eng = Engine {
         lk: lane,
         bindings,
-        f: &mut slabs.f,
-        i: &mut slabs.i,
+        f: slabs.f.as_mut_slice(),
+        i: slabs.i.as_mut_slice(),
         b: &mut slabs.b,
         dead: 0,
         iters: [0; LANES],

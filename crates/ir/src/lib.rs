@@ -37,13 +37,14 @@ pub mod lanes;
 pub mod lower;
 pub mod passes;
 pub mod pretty;
+pub mod simd;
 pub mod tier;
 pub mod verify;
 
 pub use brook_lang::ast::{AssignOp, BinOp, ParamKind, Type, UnOp};
 pub use brook_lang::loopbound::LoopBound;
 use brook_lang::span::Span;
-use brook_lang::ReduceOp;
+pub use brook_lang::ReduceOp;
 pub use glsl_es::Value;
 
 /// A virtual register index into a kernel's preallocated frame.
@@ -382,6 +383,25 @@ pub struct KernelFacts {
     /// (dominated by a branch whose condition the analyzer proved
     /// constant). Parallel to `IrKernel::insts`; empty when unproven.
     pub unreachable: Vec<bool>,
+    /// For reduce kernels whose combine matches
+    /// [`simd::reduce_combine_site`]: the analyzer's value range for
+    /// the per-element combine operand. The vectorized-reduce planner
+    /// admits the kernel only when this proves the fold
+    /// reassociation-safe (NaN-free and strictly sign-definite).
+    pub reduce_combine: Option<ReduceCombineFact>,
+}
+
+/// The abstract value of a reduce kernel's combine operand, joined
+/// over every path reaching the combine (see
+/// [`KernelFacts::reduce_combine`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReduceCombineFact {
+    /// Lower bound of the operand's numeric range.
+    pub lo: f32,
+    /// Upper bound of the operand's numeric range.
+    pub hi: f32,
+    /// Whether the operand is proven non-NaN on every path.
+    pub nan_free: bool,
 }
 
 impl KernelFacts {

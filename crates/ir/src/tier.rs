@@ -51,6 +51,7 @@ use crate::interp::{
 use crate::lanes::{
     self, BOp, Bi2, COp, FOp, IOp, LaneKernel, LaneProgram, LaneSlabs, LaneTy, Mask, Op, Un1, FULL, LANES,
 };
+use crate::simd::{self, SimdLevel};
 use crate::{IrKernel, IrProgram, LoopKind, Node};
 use glsl_es::Value;
 use std::fmt;
@@ -147,6 +148,9 @@ pub struct TierKernel {
     fused: usize,
     /// Uniform ops hoisted into the prologue.
     hoisted: usize,
+    /// The explicit-SIMD level the per-block closures dispatch to
+    /// (`Scalar` means every step kept its verbatim scalar loop body).
+    level: SimdLevel,
 }
 
 impl TierKernel {
@@ -155,8 +159,8 @@ impl TierKernel {
     #[must_use]
     pub fn detail(&self) -> String {
         format!(
-            "closure-threaded: {} lane ops -> {} block steps ({} fused pairs, {} hoisted uniform)",
-            self.ops_in, self.steps, self.fused, self.hoisted
+            "closure-threaded: {} lane ops -> {} block steps ({} fused pairs, {} hoisted uniform, simd {})",
+            self.ops_in, self.steps, self.fused, self.hoisted, self.level
         )
     }
 
@@ -171,6 +175,13 @@ impl TierKernel {
     pub fn hoisted_uniform(&self) -> usize {
         self.hoisted
     }
+
+    /// The explicit-SIMD level the per-block closures were compiled
+    /// for (already capped at what the host supports).
+    #[must_use]
+    pub fn simd_level(&self) -> SimdLevel {
+        self.level
+    }
 }
 
 impl fmt::Debug for TierKernel {
@@ -180,6 +191,7 @@ impl fmt::Debug for TierKernel {
             .field("steps", &self.steps)
             .field("fused", &self.fused)
             .field("hoisted", &self.hoisted)
+            .field("level", &self.level)
             .finish_non_exhaustive()
     }
 }
@@ -213,6 +225,20 @@ impl TierProgram {
         lanes: &LaneProgram,
         facts: &[crate::KernelFacts],
     ) -> TierProgram {
+        Self::compile_program_simd(ir, lanes, facts, simd::auto())
+    }
+
+    /// [`compile_program_with`](Self::compile_program_with) at an
+    /// explicit SIMD level instead of the environment-resolved
+    /// default. The level is capped at what the host supports, so a
+    /// requested `Avx2` silently degrades on an SSE2-only machine.
+    #[must_use]
+    pub fn compile_program_simd(
+        ir: &IrProgram,
+        lanes: &LaneProgram,
+        facts: &[crate::KernelFacts],
+        level: SimdLevel,
+    ) -> TierProgram {
         TierProgram {
             kernels: ir
                 .kernels
@@ -220,7 +246,7 @@ impl TierProgram {
                 .enumerate()
                 .map(|(i, k)| {
                     let plan = match lanes.kernel(&k.name) {
-                        Some(lk) => compile_with_facts(lk, k, facts.get(i)),
+                        Some(lk) => compile_simd(lk, k, facts.get(i), level),
                         None => Err(match lanes.decision(&k.name) {
                             Some(Err(e)) => format!("lane planner rejected the kernel: {e}"),
                             _ => "lane planner rejected the kernel".into(),
@@ -1166,10 +1192,347 @@ fn gather_linear_unclamped(fr: &Frame<'_>, idx: &[(u32, bool)], shape: &[usize],
 // Single-op step builders.
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// Explicit-SIMD step builders.
+// ---------------------------------------------------------------------------
+
+/// Maps an arith op onto its explicit vector kernel. `Rem` has no
+/// bit-exactness-preserving vector form and keeps the scalar body.
+fn vf_of(op: FOp) -> Option<simd::VfOp> {
+    Some(match op {
+        FOp::Add => simd::VfOp::Add,
+        FOp::Sub => simd::VfOp::Sub,
+        FOp::Mul => simd::VfOp::Mul,
+        FOp::Div => simd::VfOp::Div,
+        FOp::Rem => return None,
+    })
+}
+
+/// Builtin pairs with explicit vector kernels. `min`/`max` use the
+/// bit-exact NaN/tie-preserving sequences; the synthetic fusion
+/// builtins map to plain arith. Everything else (pow, step, atan2,
+/// fmod) keeps its scalar body — libm calls have no vector form here.
+fn vf_of_bi2(f: Bi2) -> Option<simd::VfOp> {
+    Some(match f {
+        Bi2::Min => simd::VfOp::Min,
+        Bi2::Max => simd::VfOp::Max,
+        Bi2::Add2 => simd::VfOp::Add,
+        Bi2::Sub2 => simd::VfOp::Sub,
+        Bi2::Mul => simd::VfOp::Mul,
+        _ => return None,
+    })
+}
+
+/// Unary builtins with explicit vector kernels: `sqrtps` is IEEE
+/// correctly-rounded (identical to scalar `sqrt`), abs/neg are pure
+/// sign-bit ops. The transcendental family stays scalar.
+fn vu_of(f: Un1) -> Option<simd::VuOp> {
+    Some(match f {
+        Un1::Sqrt => simd::VuOp::Sqrt,
+        Un1::Abs => simd::VuOp::Abs,
+        _ => return None,
+    })
+}
+
+/// Wrapping-int ops with explicit vector kernels. Div/Rem trap on
+/// zero in scalar code (a semantic the kernel model preserves via the
+/// scalar body's fault path).
+fn vi_of(op: IOp) -> Option<simd::ViOp> {
+    Some(match op {
+        IOp::Add => simd::ViOp::Add,
+        IOp::Sub => simd::ViOp::Sub,
+        IOp::Mul => simd::ViOp::Mul,
+        IOp::Div | IOp::Rem => return None,
+    })
+}
+
+/// A component-looped binary float step dispatching to the vector
+/// kernels: computes all [`LANES`] lanes (slabs are always
+/// initialized, so dead-lane arithmetic is unobservable) and
+/// blend-stores exactly the scalar write set.
+#[allow(clippy::too_many_arguments)]
+fn simd_zip2(
+    level: SimdLevel,
+    op: simd::VfOp,
+    dst: usize,
+    w: usize,
+    a: usize,
+    ab: bool,
+    b: usize,
+    bb: bool,
+) -> Step {
+    Box::new(move |fr| {
+        let m = fr.m;
+        for c in 0..w {
+            let d = dst + c * LANES;
+            let x = a + if ab { 0 } else { c * LANES };
+            let y = b + if bb { 0 } else { c * LANES };
+            simd::vf_bin(level, op, fr.f, d, x, y, m);
+        }
+    })
+}
+
+/// A component-looped unary float step over the vector kernels.
+fn simd_map1(level: SimdLevel, op: simd::VuOp, dst: usize, src: usize, w: usize) -> Step {
+    Box::new(move |fr| {
+        let m = fr.m;
+        for c in 0..w {
+            simd::vf_un(level, op, fr.f, dst + c * LANES, src + c * LANES, m);
+        }
+    })
+}
+
+/// The vector kernel for a step, when one exists at this level. `None`
+/// keeps the scalar closure from [`step_for`]'s main match verbatim —
+/// that body *is* the semantic reference, so anything without a
+/// bit-exact vector form (transcendentals, int div, memory walks)
+/// falls through to it.
+fn simd_step_for(op: &Op, level: SimdLevel) -> Option<Step> {
+    match op {
+        Op::ArithF {
+            op,
+            dst,
+            w,
+            a,
+            ab,
+            b,
+            bb,
+        } => {
+            let vop = vf_of(*op)?;
+            Some(simd_zip2(
+                level,
+                vop,
+                *dst as usize,
+                *w as usize,
+                *a as usize,
+                *ab,
+                *b as usize,
+                *bb,
+            ))
+        }
+        Op::Map2 {
+            f,
+            dst,
+            w,
+            a,
+            ab,
+            b,
+            bb,
+        } => {
+            let vop = vf_of_bi2(*f)?;
+            Some(simd_zip2(
+                level,
+                vop,
+                *dst as usize,
+                *w as usize,
+                *a as usize,
+                *ab,
+                *b as usize,
+                *bb,
+            ))
+        }
+        Op::Map1 { f, dst, src, w } => {
+            let vop = vu_of(*f)?;
+            Some(simd_map1(level, vop, *dst as usize, *src as usize, *w as usize))
+        }
+        Op::NegF { dst, src, w } => Some(simd_map1(
+            level,
+            simd::VuOp::Neg,
+            *dst as usize,
+            *src as usize,
+            *w as usize,
+        )),
+        Op::ArithI { op, dst, a, b } => {
+            let vop = vi_of(*op)?;
+            let (d, a, b) = (*dst as usize, *a as usize, *b as usize);
+            Some(Box::new(move |fr| {
+                simd::vi_bin(level, vop, fr.i, d, a, b, fr.m);
+            }))
+        }
+        Op::CmpF { op, dst, a, b } => {
+            let (cop, d, a, b) = (*op, *dst as usize, *a as usize, *b as usize);
+            Some(Box::new(move |fr| {
+                let m = fr.m;
+                let bits = simd::vf_cmp(level, cop, fr.f, a, b);
+                fr.b[d] = (fr.b[d] & !m) | (bits & m);
+            }))
+        }
+        Op::SelF { dst, cond, a, b, w } => {
+            let (d, cnd, a, b, w) = (
+                *dst as usize,
+                *cond as usize,
+                *a as usize,
+                *b as usize,
+                *w as usize,
+            );
+            Some(Box::new(move |fr| {
+                let m = fr.m;
+                let cond = fr.b[cnd];
+                for c in 0..w {
+                    let cl = c * LANES;
+                    simd::vf_sel(level, fr.f, d + cl, a + cl, b + cl, cond, m);
+                }
+            }))
+        }
+        _ => None,
+    }
+}
+
+/// The SIMD form of [`fuse_ff`]: per component, op1 computes and
+/// masked-stores `d1` *before* op2's operands load (lanes are
+/// independent and `operand_ok` guarantees op2's operands are exactly
+/// `d1` or disjoint, so this reproduces the scalar per-lane order).
+fn simd_fuse_ff(level: SimdLevel, v1: simd::VfOp, v2: simd::VfOp, p: ZipZip) -> Step {
+    Box::new(move |fr| {
+        let m = fr.m;
+        for c in 0..p.w {
+            let cl = c * LANES;
+            let q = simd::FusedFF {
+                x1: p.a1 + if p.ab1 { 0 } else { cl },
+                y1: p.b1 + if p.bb1 { 0 } else { cl },
+                d1: p.d1 + cl,
+                x2: p.a2 + if p.ab2 { 0 } else { cl },
+                y2: p.b2 + if p.bb2 { 0 } else { cl },
+                d2: p.d2 + cl,
+                ta: p.ta,
+                tb: p.tb,
+            };
+            simd::vf_fused_ff(level, v1, v2, fr.f, q, m);
+        }
+    })
+}
+
+/// The SIMD form of [`fuse_ra`]: the per-lane element walk stays
+/// scalar (it is a memory gather), landing the fetched values in a
+/// zero-padded stack buffer that feeds the vector arith tail.
+fn simd_fuse_ra(level: SimdLevel, v2: simd::VfOp, p: EZip) -> Step {
+    Box::new(move |fr| {
+        let m = fr.m;
+        let data = fr.elem_data[p.slot];
+        let off = fr.elem_off[p.slot];
+        for c in 0..p.w {
+            let cl = c * LANES;
+            let d1 = p.d1 + cl;
+            let mut t = [0.0f32; LANES];
+            tier_loop!(m, l, {
+                let v = data[off[l] + c];
+                t[l] = v;
+                fr.f[d1 + l] = v;
+            });
+            let q = simd::TBuf {
+                d2: p.d2 + cl,
+                a2: p.a2 + if p.ab2 { 0 } else { cl },
+                b2: p.b2 + if p.bb2 { 0 } else { cl },
+                ta: p.ta,
+                tb: p.tb,
+            };
+            simd::vf_arith_tbuf(level, v2, fr.f, &t, q, m);
+        }
+    })
+}
+
+/// The SIMD form of [`fuse_ga`]: the gather's index walk (clamping,
+/// proven-elision debug asserts, dynamic index decode) is kept
+/// verbatim from the scalar closure — only live lanes may touch
+/// memory — and the fetched values feed the vector arith tail.
+fn simd_fuse_ga(
+    level: SimdLevel,
+    v2: simd::VfOp,
+    p: GZip,
+    idx: Vec<(u32, bool)>,
+    proven: Option<Vec<crate::ProvenIdx>>,
+) -> Step {
+    let q = simd::TBuf {
+        d2: p.d2,
+        a2: p.a2,
+        b2: p.b2,
+        ta: p.ta,
+        tb: p.tb,
+    };
+    if let Some((o0, o1)) = gather_ff(&idx) {
+        return Box::new(move |fr| {
+            let m = fr.m;
+            let bindings = fr.bindings;
+            let Binding::Gather { data, shape, width } = &bindings[p.param] else {
+                unreachable!("gather binding validated at dispatch");
+            };
+            let mut t = [0.0f32; LANES];
+            if let [d0, d1] = shape[..] {
+                let wd = *width as usize;
+                let unclamped = proven
+                    .as_ref()
+                    .is_some_and(|pr| crate::eval::proven_fits_dyn(pr, shape, fr.comp_max));
+                let mut lin = [0i32; LANES];
+                if simd::vf_gather2_idx(level, fr.f, o0, o1, d0, d1, !unclamped, &mut lin) {
+                    tier_loop!(m, l, {
+                        debug_assert!(
+                            lin[l] >= 0 && (lin[l] as usize) < d0 * d1,
+                            "unsound gather index: {} outside {d0}x{d1} — analyzer bug",
+                            lin[l]
+                        );
+                        let v = data[lin[l] as usize * wd];
+                        t[l] = v;
+                        fr.f[p.d1 + l] = v;
+                    });
+                } else if unclamped {
+                    tier_loop!(m, l, {
+                        let iy = (fr.f[o0 + l] + 0.5).floor() as i64;
+                        let ix = (fr.f[o1 + l] + 0.5).floor() as i64;
+                        debug_assert!(
+                            iy >= 0 && (iy as usize) < d0 && ix >= 0 && (ix as usize) < d1,
+                            "unsound clamp elision: ({iy},{ix}) outside {d0}x{d1} — analyzer bug"
+                        );
+                        let v = data[(iy as usize * d1 + ix as usize) * wd];
+                        t[l] = v;
+                        fr.f[p.d1 + l] = v;
+                    });
+                } else {
+                    tier_loop!(m, l, {
+                        let iy = (fr.f[o0 + l] + 0.5).floor() as i64;
+                        let ix = (fr.f[o1 + l] + 0.5).floor() as i64;
+                        let linear =
+                            iy.clamp(0, d0 as i64 - 1) as usize * d1 + ix.clamp(0, d1 as i64 - 1) as usize;
+                        let v = data[linear * wd];
+                        t[l] = v;
+                        fr.f[p.d1 + l] = v;
+                    });
+                }
+            } else {
+                let gidx = [(o0 as u32, false), (o1 as u32, false)];
+                tier_loop!(m, l, {
+                    let v = data[gather_linear(fr, &gidx, shape, l) * *width as usize];
+                    t[l] = v;
+                    fr.f[p.d1 + l] = v;
+                });
+            }
+            simd::vf_arith_tbuf(level, v2, fr.f, &t, q, m);
+        });
+    }
+    Box::new(move |fr| {
+        let m = fr.m;
+        let bindings = fr.bindings;
+        let Binding::Gather { data, shape, width } = &bindings[p.param] else {
+            unreachable!("gather binding validated at dispatch");
+        };
+        let mut t = [0.0f32; LANES];
+        tier_loop!(m, l, {
+            let v = data[gather_linear(fr, &idx, shape, l) * *width as usize];
+            t[l] = v;
+            fr.f[p.d1 + l] = v;
+        });
+        simd::vf_arith_tbuf(level, v2, fr.f, &t, q, m);
+    })
+}
+
 /// Builds the monomorphized closure for one lane op. `Ret` is handled
 /// structurally and rejected kinds never reach this point.
 #[allow(clippy::too_many_lines)]
-fn step_for(op: &Op) -> Step {
+fn step_for(op: &Op, level: SimdLevel) -> Step {
+    if level != SimdLevel::Scalar {
+        if let Some(st) = simd_step_for(op, level) {
+            return st;
+        }
+    }
     match op {
         Op::ConstF { dst, w, v } => {
             let (dst, w, v) = (*dst as usize, *w as usize, *v);
@@ -1443,10 +1806,26 @@ fn step_for(op: &Op) -> Step {
                     };
                     if let [d0, d1] = shape[..] {
                         let wd = *width as usize;
-                        if proven
+                        let unclamped = proven
                             .as_ref()
-                            .is_some_and(|p| crate::eval::proven_fits_dyn(p, shape, fr.comp_max))
-                        {
+                            .is_some_and(|p| crate::eval::proven_fits_dyn(p, shape, fr.comp_max));
+                        let mut lin = [0i32; LANES];
+                        if simd::vf_gather2_idx(level, fr.f, o0, o1, d0, d1, !unclamped, &mut lin) {
+                            // Index math vectorized (bit-exact, see
+                            // `vf_gather2_idx`); loads stay per live
+                            // lane so dead-lane indices are never read.
+                            tier_loop!(m, l, {
+                                debug_assert!(
+                                    lin[l] >= 0 && (lin[l] as usize) < d0 * d1,
+                                    "unsound gather index: {} outside {d0}x{d1} — analyzer bug",
+                                    lin[l]
+                                );
+                                let src = lin[l] as usize * wd;
+                                for c in 0..w {
+                                    fr.f[dst + c * LANES + l] = data[src + c];
+                                }
+                            });
+                        } else if unclamped {
                             // Analyzer-proven in-bounds: no clamps in
                             // the hot two-float-index loop.
                             tier_loop!(m, l, {
@@ -1551,7 +1930,7 @@ fn operand_ok(off: u32, bcast: bool, d1: u32, w: usize) -> bool {
 /// per `(component, lane)` — operand positions are kept, so even NaN
 /// payload propagation is bit-identical.
 #[allow(clippy::too_many_lines)]
-fn try_fuse(o1: &Op, o2: &Op) -> Option<Step> {
+fn try_fuse(o1: &Op, o2: &Op, level: SimdLevel) -> Option<Step> {
     match (o1, o2) {
         // arith -> arith (the mul+add family).
         (
@@ -1601,6 +1980,11 @@ fn try_fuse(o1: &Op, o2: &Op) -> Option<Step> {
                 ta: *a2 == *d1 && !*ab2,
                 tb: *b2 == *d1 && !*bb2,
             };
+            if level != SimdLevel::Scalar {
+                if let (Some(v1), Some(v2)) = (vf_of(*op1), vf_of(*op2)) {
+                    return Some(simd_fuse_ff(level, v1, v2, p));
+                }
+            }
             Some(with_fop!(*op1, g1, with_fop!(*op2, g2, fuse_ff(g1, g2, p))))
         }
         // scalar arith -> compare.
@@ -1630,6 +2014,25 @@ fn try_fuse(o1: &Op, o2: &Op) -> Option<Step> {
                 ta: *a2 == *d1,
                 tb: *b2 == *d1,
             };
+            if level != SimdLevel::Scalar {
+                if let Some(v1) = vf_of(*op1) {
+                    let cop = *op2;
+                    let q = simd::FusedFC {
+                        x1: p.a1,
+                        y1: p.b1,
+                        d1: p.d1,
+                        x2: p.a2,
+                        y2: p.b2,
+                        ta: p.ta,
+                        tb: p.tb,
+                    };
+                    return Some(Box::new(move |fr| {
+                        let m = fr.m;
+                        let bits = simd::vf_fused_fc(level, v1, cop, fr.f, q, m);
+                        fr.b[p.d2] = (fr.b[p.d2] & !m) | (bits & m);
+                    }));
+                }
+            }
             Some(with_fop!(*op1, g1, with_cop!(*op2, g2, fuse_fc(g1, g2, p))))
         }
         // compare -> select (the ternary).
@@ -1657,6 +2060,18 @@ fn try_fuse(o1: &Op, o2: &Op) -> Option<Step> {
                 d2: *d2 as usize,
                 w: *w as usize,
             };
+            if level != SimdLevel::Scalar {
+                let cop = *op1;
+                return Some(Box::new(move |fr| {
+                    let m = fr.m;
+                    let bits = simd::vf_cmp(level, cop, fr.f, p.a1, p.b1);
+                    fr.b[p.d1] = (fr.b[p.d1] & !m) | (bits & m);
+                    for c in 0..p.w {
+                        let cl = c * LANES;
+                        simd::vf_sel(level, fr.f, p.d2 + cl, p.a2 + cl, p.b2 + cl, bits, m);
+                    }
+                }));
+            }
             Some(with_cop!(*op1, g1, fuse_cs(g1, p)))
         }
         // elementwise fetch -> arith.
@@ -1691,6 +2106,11 @@ fn try_fuse(o1: &Op, o2: &Op) -> Option<Step> {
                 ta: *a2 == *d1 && !*ab2,
                 tb: *b2 == *d1 && !*bb2,
             };
+            if level != SimdLevel::Scalar {
+                if let Some(v2) = vf_of(*op2) {
+                    return Some(simd_fuse_ra(level, v2, p));
+                }
+            }
             Some(with_fop!(*op2, g2, fuse_ra(g2, p)))
         }
         // gather -> arith (both scalar-width).
@@ -1720,6 +2140,11 @@ fn try_fuse(o1: &Op, o2: &Op) -> Option<Step> {
                 ta: *a2 == *d1,
                 tb: *b2 == *d1,
             };
+            if level != SimdLevel::Scalar {
+                if let Some(v2) = vf_of(*op2) {
+                    return Some(simd_fuse_ga(level, v2, p, idx.clone(), proven.clone()));
+                }
+            }
             Some(with_fop!(*op2, g2, fuse_ga(g2, p, idx.clone(), proven.clone())))
         }
         _ => None,
@@ -1739,7 +2164,7 @@ fn try_fuse(o1: &Op, o2: &Op) -> Option<Step> {
 /// A human-readable rejection reason (recorded in the compliance
 /// report's tier-plan table).
 pub fn compile(lane: &LaneKernel, kernel: &IrKernel) -> Result<TierKernel, String> {
-    compile_with_facts(lane, kernel, None)
+    compile_simd(lane, kernel, None, simd::auto())
 }
 
 /// [`compile`] with optional analyzer facts: a statically planned
@@ -1756,6 +2181,26 @@ pub fn compile_with_facts(
     kernel: &IrKernel,
     facts: Option<&crate::KernelFacts>,
 ) -> Result<TierKernel, String> {
+    compile_simd(lane, kernel, facts, simd::auto())
+}
+
+/// [`compile_with_facts`] at an explicit SIMD level: steps whose
+/// scalar loop bodies have hand-written vector kernels dispatch into
+/// [`crate::simd`] (bit-exact by construction — no FMA contraction,
+/// operand order preserved, masked stores reproduce the scalar write
+/// set); every other step keeps its verbatim scalar closure. The
+/// level is capped at what the host actually supports.
+///
+/// # Errors
+/// A human-readable rejection reason (recorded in the compliance
+/// report's tier-plan table).
+pub fn compile_simd(
+    lane: &LaneKernel,
+    kernel: &IrKernel,
+    facts: Option<&crate::KernelFacts>,
+    level: SimdLevel,
+) -> Result<TierKernel, String> {
+    let level = level.min(simd::detect());
     for (i, op) in lane.ops.iter().enumerate() {
         match op {
             Op::Bail => {
@@ -1779,10 +2224,10 @@ pub fn compile_with_facts(
         }
     }
     let (hoisted, order) = hoist_plan(lane);
-    let prologue: Vec<Step> = order.iter().map(|i| step_for(&lane.ops[*i])).collect();
+    let prologue: Vec<Step> = order.iter().map(|i| step_for(&lane.ops[*i], level)).collect();
     let mut fused = 0usize;
     let mut steps = 0usize;
-    let chain = build_nodes(&kernel.body, lane, &hoisted, &mut fused, &mut steps);
+    let chain = build_nodes(&kernel.body, lane, &hoisted, &mut fused, &mut steps, level);
     Ok(TierKernel {
         prologue,
         chain,
@@ -1790,6 +2235,7 @@ pub fn compile_with_facts(
         steps,
         fused,
         hoisted: order.len(),
+        level,
     })
 }
 
@@ -1799,21 +2245,24 @@ fn build_nodes(
     hoisted: &[bool],
     fused: &mut usize,
     steps: &mut usize,
+    level: SimdLevel,
 ) -> Vec<TNode> {
     let mut out = Vec::new();
     for n in nodes {
         match n {
-            Node::Seq { start, end } => build_seq(*start, *end, lane, hoisted, fused, steps, &mut out),
+            Node::Seq { start, end } => {
+                build_seq(*start, *end, lane, hoisted, fused, steps, level, &mut out);
+            }
             Node::If { cond, then, els, .. } => out.push(TNode::If {
                 cond: lane.cond_off[*cond as usize] as usize,
-                then: build_nodes(then, lane, hoisted, fused, steps),
-                els: build_nodes(els, lane, hoisted, fused, steps),
+                then: build_nodes(then, lane, hoisted, fused, steps, level),
+                els: build_nodes(els, lane, hoisted, fused, steps, level),
             }),
             Node::Loop(l) => out.push(TNode::Loop {
                 dowhile: l.kind == LoopKind::DoWhile,
                 cond: lane.cond_off[l.cond as usize] as usize,
-                header: build_nodes(&l.header, lane, hoisted, fused, steps),
-                body: build_nodes(&l.body, lane, hoisted, fused, steps),
+                header: build_nodes(&l.header, lane, hoisted, fused, steps, level),
+                body: build_nodes(&l.body, lane, hoisted, fused, steps, level),
             }),
         }
     }
@@ -1824,6 +2273,7 @@ fn build_nodes(
 /// skipped (they run in the prologue), adjacent dependent pairs fuse,
 /// a kernel-level `return` truncates the region (the lane engine
 /// skips the remainder too).
+#[allow(clippy::too_many_arguments)]
 fn build_seq(
     start: u32,
     end: u32,
@@ -1831,6 +2281,7 @@ fn build_seq(
     hoisted: &[bool],
     fused: &mut usize,
     steps: &mut usize,
+    level: SimdLevel,
     out: &mut Vec<TNode>,
 ) {
     let lo = lane.op_start[start as usize] as usize;
@@ -1859,14 +2310,14 @@ fn build_seq(
             continue;
         }
         if k + 1 < idxs.len() {
-            if let Some(st) = try_fuse(op, &lane.ops[idxs[k + 1]]) {
+            if let Some(st) = try_fuse(op, &lane.ops[idxs[k + 1]], level) {
                 cur.push(st);
                 *fused += 1;
                 k += 2;
                 continue;
             }
         }
-        cur.push(step_for(op));
+        cur.push(step_for(op, level));
         k += 1;
     }
     if !cur.is_empty() {
@@ -2088,8 +2539,8 @@ pub fn run_kernel_range_in(
     slabs.prepare(lane);
     let mut fr = Frame {
         bindings,
-        f: &mut slabs.f,
-        i: &mut slabs.i,
+        f: slabs.f.as_mut_slice(),
+        i: slabs.i.as_mut_slice(),
         b: &mut slabs.b,
         m: FULL,
         dead: 0,
