@@ -20,6 +20,7 @@ pub mod fusion;
 pub mod interp;
 pub mod lanes;
 pub mod render;
+pub mod resilience;
 pub mod serve;
 pub mod simd;
 pub mod tier;
@@ -29,6 +30,7 @@ pub use figures::{fig1, fig2, fig3, fig4, Fig4Point, FigureSeries};
 pub use fusion::{chains, run_chain, ChainComparison};
 pub use interp::{compare_interpreters, interp_json, render_interp_table, InterpComparison};
 pub use render::{render_series, render_speedup_table};
+pub use resilience::{measure_hook_overhead, overhead_json, render_overhead_table, HookOverheadRow};
 pub use serve::{render_service_table, service_json, service_load, ServiceLoadReport};
 pub use simd::{compare_simd, render_simd_table, simd_json, SimdComparison};
 pub use tier::{compare_tiers, render_tier_table, tier_json, TierComparison};

@@ -190,6 +190,13 @@ pub struct ComplianceReport {
     /// findings, reachability, and pruned estimates. Empty before
     /// lowering.
     pub analysis: crate::absint::AnalysisReport,
+    /// Aggregated runtime resilience evidence: faults injected, retries,
+    /// contained panics, verified failovers and deadline margins over
+    /// the launches executed so far (paper §2 rules d/e — fault
+    /// *response*, not just fault-free behavior). Empty at compile time;
+    /// the runtime fills it in when the report is re-exported through
+    /// `BrookContext::compliance_with_resilience`.
+    pub resilience: brook_inject::ResilienceSummary,
 }
 
 impl ComplianceReport {
@@ -233,6 +240,7 @@ pub fn certify(checked: &CheckedProgram, config: &CertConfig) -> ComplianceRepor
         tier_plans: Vec::new(),
         simd_reduces: Vec::new(),
         analysis: crate::absint::AnalysisReport::default(),
+        resilience: brook_inject::ResilienceSummary::default(),
     }
 }
 

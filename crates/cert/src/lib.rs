@@ -43,4 +43,7 @@ pub use ir_check::{
 };
 pub use predicates::{violated_rules, violates, CertPredicates};
 pub use report::{render_matrix, render_report, render_rule_catalogue};
+// The resilience-evidence schema the report embeds (fault-injection
+// campaigns fill it in at runtime; see `brook-inject`).
+pub use brook_inject::{LaunchResilience, ResilienceSummary};
 pub use rules::{rule_meta, Discharge, RuleId, RuleMeta, RULES};

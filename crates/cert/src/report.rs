@@ -30,6 +30,7 @@ pub fn render_report(report: &ComplianceReport) -> String {
         render_kernel(&mut out, k);
         out.push('\n');
     }
+    render_resilience(&mut out, report);
     let _ = writeln!(
         out,
         "OVERALL: {} ({} violation(s))",
@@ -41,6 +42,27 @@ pub fn render_report(report: &ComplianceReport) -> String {
         report.violation_count()
     );
     out
+}
+
+/// Renders the runtime resilience-evidence section (fault response,
+/// paper §2 rules d/e). Omitted entirely when no launches were recorded
+/// — compile-time reports stay unchanged.
+fn render_resilience(out: &mut String, report: &ComplianceReport) {
+    let r = &report.resilience;
+    if r.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "resilience evidence ({} launch(es)):", r.launches);
+    let _ = writeln!(out, "  faults injected    : {}", r.injected_faults);
+    let _ = writeln!(out, "  transient retries  : {}", r.retries);
+    let _ = writeln!(out, "  panics contained   : {}", r.panics_caught);
+    let _ = writeln!(out, "  corruptions caught : {}", r.corruptions_detected);
+    let _ = writeln!(out, "  verified failovers : {}", r.failovers);
+    let _ = writeln!(out, "  deadline misses    : {}", r.deadline_misses);
+    if let Some(m) = r.min_deadline_margin_ms {
+        let _ = writeln!(out, "  tightest margin    : {m:.3} ms");
+    }
+    out.push('\n');
 }
 
 fn render_kernel(out: &mut String, k: &KernelReport) {

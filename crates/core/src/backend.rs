@@ -185,6 +185,13 @@ pub trait BackendExecutor {
     /// Installs (or clears) a device memory budget in bytes.
     fn set_memory_budget(&mut self, _bytes: Option<usize>) {}
 
+    /// Marks the device lost (or restores it) — the hook deterministic
+    /// fault injection drives. Backends with a real device model fail
+    /// every subsequent transfer and draw until restored; pure host
+    /// backends have no device to lose and ignore it (the recovery
+    /// ladder synthesizes their loss errors before dispatch instead).
+    fn set_device_lost(&mut self, _lost: bool) {}
+
     /// Execution counters for the performance model (zeros for backends
     /// without a device cost model).
     fn counters(&self) -> GpuRun {

@@ -11,8 +11,10 @@ use crate::cpu::CpuBackend;
 use crate::cpu_parallel::ParallelCpuBackend;
 use crate::error::{BrookError, Result};
 use crate::gpu::GpuState;
+use crate::resilience::{ResiliencePolicy, ResilienceReport, ResilienceState, Work};
 use crate::stream::{Stream, StreamDesc};
 use brook_cert::{certify, CertConfig, ComplianceReport};
+use brook_inject::{CancelToken, FaultPlan, LaunchResilience, ResilienceSummary};
 use brook_ir::IrProgram;
 use brook_lang::ast::{KernelDef, Param, ParamKind};
 use brook_lang::CheckedProgram;
@@ -197,6 +199,15 @@ pub struct BrookContext {
     /// bodies by construction, so this can only change speed, never
     /// results.
     pub simd_mode: brook_ir::simd::SimdMode,
+    /// Fault-injection / recovery state: absent (one pointer-sized
+    /// `Option` check per dispatch — the measured hook cost) until a
+    /// [`FaultPlan`] or [`ResiliencePolicy`] is installed.
+    pub(crate) resilience: Option<Box<ResilienceState>>,
+    /// Streams created through this context, in backend-index order
+    /// (backends allocate densely and never free) — lets a late
+    /// [`set_resilience`](Self::set_resilience) snapshot shadows for
+    /// streams that predate the policy.
+    streams_created: usize,
 }
 
 impl BrookContext {
@@ -214,6 +225,8 @@ impl BrookContext {
             tier_execution: true,
             clamp_elision: true,
             simd_mode: brook_ir::simd::SimdMode::Auto,
+            resilience: None,
+            streams_created: 0,
         }
     }
 
@@ -505,7 +518,11 @@ impl BrookContext {
             shape: shape.to_vec(),
             width,
         };
-        let index = self.backend.create_stream(desc)?;
+        let index = self.backend.create_stream(desc.clone())?;
+        self.streams_created += 1;
+        if let Some(state) = self.resilience.as_mut() {
+            state.note_stream(index, desc);
+        }
         Ok(Stream {
             index,
             context_id: self.context_id,
@@ -550,7 +567,11 @@ impl BrookContext {
     /// Size mismatches and foreign streams.
     pub fn write(&mut self, s: &Stream, values: &[f32]) -> Result<()> {
         self.check_stream(s)?;
-        self.backend.write_stream(s.index, values)
+        self.backend.write_stream(s.index, values)?;
+        if let Some(state) = self.resilience.as_mut() {
+            state.note_write(s.index, values);
+        }
+        Ok(())
     }
 
     /// Copies a stream back to the host (`streamWrite` in Brook terms).
@@ -599,7 +620,16 @@ impl BrookContext {
             args: bound_args,
             outputs: outputs.iter().map(|(n, s)| (n.clone(), s.index)).collect(),
         };
-        self.backend.dispatch(&launch)
+        // The fault-injection / recovery hook: one `Option` check when
+        // disarmed; the full ladder (deadlines, retries, failover,
+        // redundant execution) when armed.
+        match self.resilience.as_mut() {
+            Some(state) => {
+                crate::resilience::execute_resilient(&mut self.backend, state, kernel, Work::Launch(&launch))
+                    .map(|_| ())
+            }
+            None => self.backend.dispatch(&launch),
+        }
     }
 
     /// Applies a reduce kernel to a stream, producing a scalar.
@@ -651,14 +681,30 @@ impl BrookContext {
             }
         }
         verify_launch_ir(&module.ir, kernel)?;
-        self.backend.reduce(
-            &module.checked,
-            &module.ir,
-            kernel,
-            op,
-            module.simds.kernel(kernel),
-            input.index,
-        )
+        match self.resilience.as_mut() {
+            Some(state) => crate::resilience::execute_resilient(
+                &mut self.backend,
+                state,
+                kernel,
+                Work::Reduce {
+                    checked: &module.checked,
+                    ir: &module.ir,
+                    kernel,
+                    op,
+                    simd: module.simds.kernel(kernel),
+                    input: input.index,
+                },
+            )
+            .map(|v| v.expect("reduce work returns a scalar")),
+            None => self.backend.reduce(
+                &module.checked,
+                &module.ir,
+                kernel,
+                op,
+                module.simds.kernel(kernel),
+                input.index,
+            ),
+        }
     }
 
     /// Switches device dispatch between full execution and sampled cost
@@ -697,6 +743,92 @@ impl BrookContext {
     /// audited against.
     pub fn gpu_memory_peak(&self) -> usize {
         self.backend.memory_peak()
+    }
+
+    // -- fault injection & recovery ---------------------------------------
+
+    fn resilience_state(&mut self) -> &mut ResilienceState {
+        self.resilience
+            .get_or_insert_with(|| Box::new(ResilienceState::new()))
+    }
+
+    /// Arms deterministic fault injection: the plan's faults fire at
+    /// their scheduled launch indices (runs and reduces share one
+    /// logical launch counter; retries keep their launch's index).
+    /// Without a [`ResiliencePolicy`], injected faults surface raw —
+    /// errors return, panics unwind, hangs block until the installed
+    /// [`CancelToken`] fires — which is exactly what the serve layer's
+    /// shields are tested against. Install a policy to make the context
+    /// recover instead.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.resilience_state().install_plan(plan);
+    }
+
+    /// Installs the recovery policy: deadlines, bounded retry with
+    /// jittered backoff, panic containment, redundant-execution
+    /// corruption detection and verified CPU failover. When the policy
+    /// enables failover, host shadow copies of every stream are
+    /// maintained from here on (streams created earlier are snapshotted
+    /// now — which requires the device to still be readable).
+    ///
+    /// # Errors
+    /// Shadow snapshotting of pre-existing streams can fail on a lost
+    /// device.
+    pub fn set_resilience(&mut self, policy: ResiliencePolicy) -> Result<()> {
+        let count = self.streams_created;
+        let state = self
+            .resilience
+            .get_or_insert_with(|| Box::new(ResilienceState::new()));
+        state.policy = Some(policy);
+        state.snapshot_missing(self.backend.as_mut(), count)
+    }
+
+    /// Installs the cancel token a watchdog uses to unwedge a hung or
+    /// slow dispatch: cancelling it cuts every injected sleep short and
+    /// fails the current attempt with [`BrookError::Timeout`]. The
+    /// serve layer installs a fresh token per request.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.resilience_state().cancel = token;
+    }
+
+    /// Drains the per-launch resilience records accumulated since the
+    /// last drain (the cumulative summary is unaffected). Empty when no
+    /// fault plan or policy was ever installed.
+    pub fn take_resilience_records(&mut self) -> Vec<LaunchResilience> {
+        self.resilience
+            .as_mut()
+            .map(|s| s.take_records())
+            .unwrap_or_default()
+    }
+
+    /// The cumulative resilience summary over this context's lifetime.
+    pub fn resilience_summary(&self) -> ResilienceSummary {
+        self.resilience.as_ref().map(|s| s.summary()).unwrap_or_default()
+    }
+
+    /// The full resilience evidence: undrained per-launch records plus
+    /// the cumulative summary.
+    pub fn resilience_report(&self) -> ResilienceReport {
+        self.resilience.as_ref().map(|s| s.report()).unwrap_or_default()
+    }
+
+    /// The module's compliance report with this context's runtime
+    /// resilience evidence folded in — the certification data package
+    /// covering fault *response* as well as fault-free behavior.
+    pub fn compliance_with_resilience(&self, module: &BrookModule) -> ComplianceReport {
+        let mut report = module.report.clone();
+        report.resilience = self.resilience_summary();
+        report
+    }
+
+    /// Re-reads every failover shadow from the backend — the catch-up
+    /// hook for execution paths that dispatch directly (the graph
+    /// executor). No-op unless a failover-enabled policy is installed.
+    pub(crate) fn resilience_sync_shadows(&mut self) -> Result<()> {
+        match self.resilience.as_mut() {
+            Some(state) => state.sync_shadows(self.backend.as_mut()),
+            None => Ok(()),
+        }
     }
 }
 

@@ -19,6 +19,16 @@ pub enum BrookError {
     /// Runtime misuse: wrong argument counts/kinds, unknown kernels,
     /// size mismatches.
     Usage(String),
+    /// A launch (or one dispatch attempt) exceeded its configured
+    /// deadline, or was cancelled by a watchdog. Transient: retrying is
+    /// sound (Brook kernels never read their own output, so a
+    /// re-dispatch recomputes the same result).
+    Timeout(String),
+    /// The execution device was lost mid-launch. Transient losses clear
+    /// on retry; persistent ones require failing over to another
+    /// backend. Also transient/retryable for the same idempotence
+    /// reason as [`BrookError::Timeout`].
+    DeviceLost(String),
     /// A runtime invariant the toolchain itself guarantees was found
     /// broken (a toolchain bug, not caller misuse). Long-running hosts
     /// (the service layer) surface these as failed *requests* — never a
@@ -52,6 +62,8 @@ impl fmt::Display for BrookError {
             BrookError::Codegen(e) => write!(f, "codegen: {e}"),
             BrookError::Gl(e) => write!(f, "gl: {e}"),
             BrookError::Usage(m) => write!(f, "usage: {m}"),
+            BrookError::Timeout(m) => write!(f, "timeout: {m}"),
+            BrookError::DeviceLost(m) => write!(f, "device lost: {m}"),
             BrookError::Internal(m) => write!(f, "internal: {m}"),
         }
     }

@@ -588,6 +588,14 @@ impl BackendExecutor for GpuState {
         self.gl.set_vram_budget(bytes);
     }
 
+    fn set_device_lost(&mut self, lost: bool) {
+        if lost {
+            self.gl.lose_context();
+        } else {
+            self.gl.restore_context();
+        }
+    }
+
     fn counters(&self) -> GpuRun {
         let s = self.gl.stats();
         GpuRun {

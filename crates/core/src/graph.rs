@@ -439,6 +439,9 @@ impl<'ctx> BrookGraph<'ctx> {
                 }
             }
         }
+        // Graph execution dispatches directly (no per-launch ladder);
+        // bring failover shadows back in sync with device state.
+        self.ctx.resilience_sync_shadows()?;
         Ok(GraphReport {
             eager_passes,
             executed_passes,
@@ -738,6 +741,7 @@ impl<'ctx> BrookGraph<'ctx> {
                 tier_plans,
                 simd_reduces: Vec::new(),
                 analysis,
+                resilience: Default::default(),
             },
             id: crate::context::fresh_module_id(),
             context_id: self.ctx.context_id,

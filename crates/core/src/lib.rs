@@ -72,6 +72,7 @@ pub mod cpu_parallel;
 pub mod error;
 pub(crate) mod gpu;
 pub mod graph;
+pub mod resilience;
 pub mod stream;
 
 pub use backend::{registered_backends, BackendExecutor, BackendSpec, BoundArg, KernelLaunch};
@@ -81,11 +82,17 @@ pub use cpu::CpuBackend;
 pub use cpu_parallel::ParallelCpuBackend;
 pub use error::{BrookError, Result};
 pub use graph::{BrookGraph, FusedKernel, GraphReport, ReduceHandle};
+pub use resilience::{ResiliencePolicy, ResilienceReport};
 pub use stream::{Stream, StreamDesc, StreamLayout};
 
 // Re-exports so applications only need this crate.
 pub use brook_cert::{CertConfig, ComplianceReport, PassAction, PassRecord};
 pub use brook_codegen::StorageMode;
+pub use brook_inject as inject;
+pub use brook_inject::{
+    CancelToken, FaultInjector, FaultKind, FaultMix, FaultPlan, InjectedFault, LaunchResilience,
+    ResilienceSummary, ScheduledFault,
+};
 pub use brook_ir;
 pub use brook_lang::ReduceOp;
 pub use gles2_sim::{DeviceProfile, DrawMode};

@@ -1,0 +1,28 @@
+//! CI entry point for the full fault matrix: random seeded FaultPlans
+//! over all eleven paper apps × every registered backend, recovery
+//! asserted bit-exact (see `brook_fuzz::faults`). Exits nonzero on the
+//! first case that fails to recover; the printed failure pins the plan
+//! seed. Run under a hard job timeout — "zero hangs" is part of the
+//! contract being checked.
+
+fn main() {
+    let config = brook_fuzz::FaultsConfig::default();
+    let started = std::time::Instant::now();
+    let stats = brook_fuzz::run_faults_campaign(&config).unwrap_or_else(|f| {
+        eprintln!("{f}");
+        std::process::exit(1);
+    });
+    assert!(stats.injected_faults > 0, "campaign must inject faults");
+    assert_eq!(stats.per_backend.len(), 4, "all four backends covered");
+    println!(
+        "fault matrix: {} cases, {} faults injected, {} retries, {} panics contained, \
+         {} corruptions caught, {} verified failovers — all bit-exact in {:.1?}",
+        stats.cases,
+        stats.injected_faults,
+        stats.retries,
+        stats.panics_contained,
+        stats.corruptions_detected,
+        stats.failovers,
+        started.elapsed(),
+    );
+}

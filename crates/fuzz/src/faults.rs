@@ -1,0 +1,261 @@
+//! Fault-injection campaigns: random seeded [`FaultPlan`]s over the
+//! eleven paper applications on every registered backend, with the
+//! recovery ladder armed — the faulted run must be **bit-exact** to the
+//! fault-free run of the same backend, finish without hanging, and
+//! attribute every injected fault in its resilience evidence.
+//!
+//! Determinism: a campaign is a pure function of its [`FaultsConfig`];
+//! each case's plan seed is derived from the campaign seed, the app
+//! name and the backend name, so a failure report pins the exact
+//! schedule that broke recovery.
+//!
+//! Soundness of the bit-exact oracle per backend family:
+//!
+//! * `cpu` / `cpu-parallel`: all fault kinds including *persistent*
+//!   device loss — the verified failover path re-executes on the serial
+//!   CPU, which is bit-exact with both by construction, and the campaign
+//!   additionally compares against the fault-free **serial CPU** oracle.
+//! * `gles2-*`: persistent loss is excluded ([`FaultMix`]
+//!   `allow_persistent_loss = false`), because failing over mid-app
+//!   would splice CPU arithmetic into device-quantized intermediate
+//!   state; every *recoverable-in-place* fault (transient loss, panics,
+//!   corruption, latency, hangs) must still reproduce the device's own
+//!   fault-free bits.
+
+use brook_apps::{all_apps, PaperApp};
+use brook_auto::{registered_backends, BrookContext, FaultMix, FaultPlan, ResiliencePolicy};
+use std::collections::BTreeMap;
+
+/// Fault-campaign configuration.
+#[derive(Debug, Clone)]
+pub struct FaultsConfig {
+    /// Campaign seed; every plan derives from it.
+    pub seed: u64,
+    /// Random fault plans drawn per (app, backend) cell.
+    pub plans_per_cell: u32,
+    /// Per-attempt watchdog for injected hangs (milliseconds). Keeps
+    /// the whole campaign's worst case bounded: one hang costs at most
+    /// this long.
+    pub attempt_timeout_ms: u64,
+    /// Application names to cover (empty = all eleven). The in-tree
+    /// smoke test trims the matrix to cheap apps; CI runs it whole.
+    pub apps: Vec<&'static str>,
+}
+
+impl Default for FaultsConfig {
+    fn default() -> Self {
+        FaultsConfig {
+            seed: 0xFA_017,
+            plans_per_cell: 1,
+            attempt_timeout_ms: 100,
+            apps: Vec::new(),
+        }
+    }
+}
+
+/// Aggregated evidence of one fault campaign.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultsStats {
+    /// (app, backend, plan) cases executed to bit-exact completion.
+    pub cases: u64,
+    /// Faults actually injected (scheduled faults may miss, e.g. a
+    /// corruption scheduled on a reduce launch).
+    pub injected_faults: u64,
+    /// Transient retries performed.
+    pub retries: u64,
+    /// Panics contained by the recovery shield.
+    pub panics_contained: u64,
+    /// Corruptions caught (and repaired) by redundant execution.
+    pub corruptions_detected: u64,
+    /// Verified failovers to the serial CPU backend.
+    pub failovers: u64,
+    /// Cases per backend name.
+    pub per_backend: BTreeMap<String, u64>,
+}
+
+/// One campaign failure: the case that did not recover bit-exactly.
+#[derive(Debug, Clone)]
+pub struct FaultCaseFailure {
+    /// Application name.
+    pub app: &'static str,
+    /// Backend name.
+    pub backend: &'static str,
+    /// The failing plan's seed (regenerates the schedule anywhere).
+    pub plan_seed: u64,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for FaultCaseFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fault campaign: app `{}` on `{}` under plan seed {:#x}: {}",
+            self.app, self.backend, self.plan_seed, self.reason
+        )
+    }
+}
+
+/// The recovery policy every campaign context runs under.
+fn campaign_policy(config: &FaultsConfig) -> ResiliencePolicy {
+    ResiliencePolicy {
+        max_retries: 8,
+        attempt_timeout_ms: Some(config.attempt_timeout_ms),
+        redundant_check: true,
+        ..ResiliencePolicy::default()
+    }
+}
+
+/// The fault mix a backend can recover from bit-exactly (see module
+/// docs for why persistent loss is CPU-family-only).
+fn mix_for(backend: &'static str) -> FaultMix {
+    FaultMix {
+        allow_persistent_loss: backend.starts_with("cpu"),
+        max_latency_ms: 3,
+        ..FaultMix::default()
+    }
+}
+
+/// Bitwise view for exact comparison (distinguishes -0.0/0.0 and NaN
+/// payloads — "bit-exact" means bit-exact).
+fn bits(values: &[f32]) -> Vec<u32> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+fn plan_seed(campaign_seed: u64, app: &str, backend: &str, round: u32) -> u64 {
+    let mut h: u64 = campaign_seed ^ 0x9e37_79b9_7f4a_7c15;
+    for b in app.bytes().chain(backend.bytes()) {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ u64::from(round).wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// Runs one app once on a fresh context of the named backend with the
+/// given plan (or fault-free when `None`), returning the output and the
+/// number of ladder-routed launches.
+fn run_once(
+    app: &dyn PaperApp,
+    backend: &'static str,
+    policy: &ResiliencePolicy,
+    plan: Option<FaultPlan>,
+) -> Result<(Vec<f32>, brook_auto::ResilienceSummary), String> {
+    let spec = registered_backends()
+        .into_iter()
+        .find(|b| b.name == backend)
+        .ok_or_else(|| format!("unknown backend `{backend}`"))?;
+    let mut ctx: BrookContext = (spec.make)();
+    ctx.set_resilience(policy.clone())
+        .map_err(|e| format!("install policy: {e}"))?;
+    if let Some(plan) = plan {
+        ctx.set_fault_plan(plan);
+    }
+    let out = app
+        .run_gpu(&mut ctx, app.matrix_size(), 7)
+        .map_err(|e| format!("run_gpu: {e}"))?;
+    Ok((out, ctx.resilience_summary()))
+}
+
+/// Runs the full fault matrix: every app × every registered backend ×
+/// `plans_per_cell` random plans. Bit-exactness is asserted against the
+/// same backend's fault-free run, and for the CPU family additionally
+/// against the fault-free serial CPU oracle.
+///
+/// # Errors
+/// The first case whose recovery was not bit-exact (or errored).
+pub fn run_faults_campaign(config: &FaultsConfig) -> Result<FaultsStats, Box<FaultCaseFailure>> {
+    let mut stats = FaultsStats::default();
+    let policy = campaign_policy(config);
+    let backends: Vec<&'static str> = registered_backends().iter().map(|b| b.name).collect();
+    let mut apps = all_apps();
+    if !config.apps.is_empty() {
+        apps.retain(|a| config.apps.contains(&a.name()));
+    }
+    for app in apps {
+        // The serial CPU fault-free oracle for this app.
+        let (cpu_baseline, _) = run_once(app.as_ref(), "cpu", &policy, None).map_err(|reason| {
+            Box::new(FaultCaseFailure {
+                app: app.name(),
+                backend: "cpu",
+                plan_seed: 0,
+                reason,
+            })
+        })?;
+        for &backend in &backends {
+            let fail = |plan_seed: u64, reason: String| {
+                Box::new(FaultCaseFailure {
+                    app: app.name(),
+                    backend,
+                    plan_seed,
+                    reason,
+                })
+            };
+            let (baseline, summary) =
+                run_once(app.as_ref(), backend, &policy, None).map_err(|r| fail(0, r))?;
+            let launches = summary.launches;
+            for round in 0..config.plans_per_cell {
+                let seed = plan_seed(config.seed, app.name(), backend, round);
+                let plan = FaultPlan::random(seed, launches, &mix_for(backend));
+                let (out, summary) =
+                    run_once(app.as_ref(), backend, &policy, Some(plan)).map_err(|r| fail(seed, r))?;
+                if bits(&out) != bits(&baseline) {
+                    return Err(fail(
+                        seed,
+                        format!(
+                            "faulted output diverges from the fault-free {backend} run \
+                             ({} elements)",
+                            out.len()
+                        ),
+                    ));
+                }
+                if backend.starts_with("cpu") && bits(&out) != bits(&cpu_baseline) {
+                    return Err(fail(
+                        seed,
+                        "CPU-family faulted output diverges from the serial CPU oracle".into(),
+                    ));
+                }
+                if summary.deadline_misses != 0 {
+                    return Err(fail(
+                        seed,
+                        format!("{} deadline miss(es) under recovery", summary.deadline_misses),
+                    ));
+                }
+                stats.cases += 1;
+                stats.injected_faults += summary.injected_faults;
+                stats.retries += summary.retries;
+                stats.panics_contained += summary.panics_caught;
+                stats.corruptions_detected += summary.corruptions_detected;
+                stats.failovers += summary.failovers;
+                *stats.per_backend.entry(backend.to_string()).or_default() += 1;
+            }
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_seeds_are_distinct_per_cell() {
+        let a = plan_seed(1, "sgemm", "cpu", 0);
+        let b = plan_seed(1, "sgemm", "cpu-parallel", 0);
+        let c = plan_seed(1, "spmv", "cpu", 0);
+        let d = plan_seed(1, "sgemm", "cpu", 1);
+        let all = [a, b, c, d];
+        for (i, x) in all.iter().enumerate() {
+            for y in &all[i + 1..] {
+                assert_ne!(x, y);
+            }
+        }
+        assert_eq!(a, plan_seed(1, "sgemm", "cpu", 0), "deterministic");
+    }
+
+    #[test]
+    fn gles2_mix_never_allows_persistent_loss() {
+        assert!(mix_for("cpu").allow_persistent_loss);
+        assert!(mix_for("cpu-parallel").allow_persistent_loss);
+        assert!(!mix_for("gles2-native").allow_persistent_loss);
+        assert!(!mix_for("gles2-packed").allow_persistent_loss);
+    }
+}

@@ -330,3 +330,20 @@ mod roundtrip_props {
         }
     }
 }
+
+#[test]
+fn fault_campaign_three_apps_recover_bit_exact() {
+    // The trimmed fault matrix: 3 apps × 4 backends × 1 random plan
+    // each, recovery asserted bit-exact against the fault-free run of
+    // the same backend (CI runs the full 11-app matrix via the
+    // `faults_smoke` example under a hard job timeout). Fixed seed:
+    // the exact schedules reproduce anywhere.
+    let stats = brook_fuzz::run_faults_campaign(&brook_fuzz::FaultsConfig {
+        apps: vec!["black_scholes", "spmv", "image_filter"],
+        ..brook_fuzz::FaultsConfig::default()
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(stats.cases, 12, "3 apps × 4 backends");
+    assert_eq!(stats.per_backend.len(), 4);
+    assert!(stats.injected_faults > 0, "plans must actually inject: {stats:?}");
+}

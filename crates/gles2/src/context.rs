@@ -43,6 +43,12 @@ pub enum GlError {
     Exec(ExecError),
     /// `GL_OUT_OF_MEMORY`: the configured VRAM budget was exceeded.
     OutOfMemory(String),
+    /// `GL_CONTEXT_LOST` (`EXT_robustness` analogue): the device was
+    /// lost; every transfer and draw fails until the context is
+    /// restored. A transient loss clears on
+    /// [`Gl::restore_context`]; a persistent one requires the runtime
+    /// to fail over to another backend.
+    ContextLost(String),
 }
 
 impl fmt::Display for GlError {
@@ -53,6 +59,7 @@ impl fmt::Display for GlError {
             GlError::Compile(e) => write!(f, "shader compile error: {e}"),
             GlError::Exec(e) => write!(f, "fragment execution error: {e}"),
             GlError::OutOfMemory(m) => write!(f, "GL_OUT_OF_MEMORY: {m}"),
+            GlError::ContextLost(m) => write!(f, "GL_CONTEXT_LOST: {m}"),
         }
     }
 }
@@ -105,6 +112,7 @@ pub struct Gl {
     vram_used: usize,
     vram_peak: usize,
     stats: GlStats,
+    context_lost: bool,
 }
 
 impl Gl {
@@ -125,6 +133,37 @@ impl Gl {
             vram_used: 0,
             vram_peak: 0,
             stats: GlStats::default(),
+            context_lost: false,
+        }
+    }
+
+    /// Marks the context lost (the `EXT_robustness` reset analogue):
+    /// every allocation, transfer and draw fails with
+    /// [`GlError::ContextLost`] until [`restore_context`] is called.
+    /// Already-resident texture contents survive a restore — the
+    /// simulator models a driver reset, not VRAM decay — so a runtime
+    /// that restores the context may keep its streams.
+    ///
+    /// [`restore_context`]: Gl::restore_context
+    pub fn lose_context(&mut self) {
+        self.context_lost = true;
+    }
+
+    /// Clears a context loss, making the device usable again.
+    pub fn restore_context(&mut self) {
+        self.context_lost = false;
+    }
+
+    /// Whether the context is currently lost.
+    pub fn is_context_lost(&self) -> bool {
+        self.context_lost
+    }
+
+    fn check_context(&self, op: &str) -> Result<(), GlError> {
+        if self.context_lost {
+            Err(GlError::ContextLost(format!("{op} on a lost context")))
+        } else {
+            Ok(())
         }
     }
 
@@ -201,6 +240,7 @@ impl Gl {
     /// `InvalidOperation` for float formats without the extension,
     /// `OutOfMemory` when a VRAM budget is exceeded.
     pub fn create_texture(&mut self, w: u32, h: u32, format: TexFormat) -> Result<TextureId, GlError> {
+        self.check_context("glTexImage2D allocation")?;
         self.validate_dims(w, h)?;
         if format != TexFormat::Rgba8 && !self.profile.float_textures {
             return Err(GlError::InvalidOperation(
@@ -253,6 +293,7 @@ impl Gl {
     /// `InvalidValue` if `texels` does not match the texture size or the
     /// texture does not exist.
     pub fn upload_texture(&mut self, id: TextureId, texels: &[[f32; 4]]) -> Result<(), GlError> {
+        self.check_context("glTexImage2D")?;
         let tex = self
             .textures
             .get_mut(&id.0)
@@ -283,6 +324,7 @@ impl Gl {
         h: u32,
         texels: &[[f32; 4]],
     ) -> Result<(), GlError> {
+        self.check_context("glTexSubImage2D")?;
         let tex = self
             .textures
             .get_mut(&id.0)
@@ -322,6 +364,7 @@ impl Gl {
     /// # Errors
     /// `Compile` with the shader diagnostic on malformed GLSL.
     pub fn create_program(&mut self, fragment_src: &str) -> Result<ProgramId, GlError> {
+        self.check_context("glLinkProgram")?;
         let shader = glsl_es::compile(fragment_src)?;
         for (name, _) in &shader.varyings {
             if name != "v_texcoord" {
@@ -462,6 +505,7 @@ impl Gl {
     /// attachment, the viewport exceeds it, or a sampler reads the texture
     /// being rendered (feedback loop); `Exec` when the shader faults.
     pub fn draw_fullscreen_quad(&mut self, mode: DrawMode) -> Result<DrawStats, GlError> {
+        self.check_context("glDrawArrays")?;
         let program_id = self
             .current_program
             .ok_or_else(|| GlError::InvalidOperation("no program bound".into()))?;
@@ -566,6 +610,7 @@ impl Gl {
     /// # Errors
     /// `InvalidOperation` when no complete framebuffer is bound.
     pub fn read_pixels(&mut self) -> Result<Vec<[f32; 4]>, GlError> {
+        self.check_context("glReadPixels")?;
         let fbo = self
             .bound_framebuffer
             .ok_or_else(|| GlError::InvalidOperation("no framebuffer bound".into()))?;
@@ -583,6 +628,7 @@ impl Gl {
     /// `InvalidOperation` without a complete framebuffer; `InvalidValue`
     /// when the rectangle falls outside the attachment.
     pub fn read_pixels_region(&mut self, x: u32, y: u32, w: u32, h: u32) -> Result<Vec<[f32; 4]>, GlError> {
+        self.check_context("glReadPixels")?;
         let fbo = self
             .bound_framebuffer
             .ok_or_else(|| GlError::InvalidOperation("no framebuffer bound".into()))?;
@@ -855,5 +901,41 @@ mod tests {
         gl.draw_fullscreen_quad(DrawMode::Full).unwrap();
         let p = gl.debug_texel(out, 0, 0).unwrap();
         assert!((p[0] - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn lost_context_fails_everything_until_restore() {
+        let mut gl = gl();
+        let tex = gl.create_texture(2, 2, TexFormat::Rgba8).unwrap();
+        gl.upload_texture(tex, &[[0.5; 4]; 4]).unwrap();
+        let fbo = gl.create_framebuffer();
+        gl.attach_texture(fbo, tex).unwrap();
+        gl.bind_framebuffer(fbo).unwrap();
+        gl.viewport(2, 2);
+        gl.lose_context();
+        assert!(gl.is_context_lost());
+        assert!(matches!(
+            gl.create_texture(2, 2, TexFormat::Rgba8),
+            Err(GlError::ContextLost(_))
+        ));
+        assert!(matches!(
+            gl.upload_texture(tex, &[[0.0; 4]; 4]),
+            Err(GlError::ContextLost(_))
+        ));
+        assert!(matches!(
+            gl.create_program("void main() { gl_FragColor = vec4(0.0); }"),
+            Err(GlError::ContextLost(_))
+        ));
+        assert!(matches!(gl.read_pixels(), Err(GlError::ContextLost(_))));
+        assert!(matches!(
+            gl.draw_fullscreen_quad(DrawMode::Full),
+            Err(GlError::ContextLost(_))
+        ));
+        // Restore: the device works again and resident contents survived
+        // (driver reset, not VRAM decay).
+        gl.restore_context();
+        assert!(!gl.is_context_lost());
+        let p = gl.read_pixels().unwrap();
+        assert!((p[0][0] - 0.5).abs() < 0.01);
     }
 }

@@ -64,6 +64,20 @@ pub type Mask = u32;
 /// Mask with every lane of a full block active.
 pub const FULL: Mask = (1 << LANES) - 1;
 
+/// The element span of lane-engine block `block` within a stream of
+/// `len` elements. `block` is taken modulo the stream's block count, so
+/// any index maps onto a real span (fault-injection campaigns address
+/// corruption targets this way); the final block is truncated to the
+/// stream length. Empty streams yield an empty span.
+pub fn block_span(block: usize, len: usize) -> Range<usize> {
+    if len == 0 {
+        return 0..0;
+    }
+    let blocks = len.div_ceil(LANES);
+    let start = (block % blocks) * LANES;
+    start..(start + LANES).min(len)
+}
+
 /// The stable runtime type of a register, as the planner deduced it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum LaneTy {

@@ -32,6 +32,6 @@ pub mod wire;
 
 pub use admission::{Admission, AdmissionConfig, AdmissionError};
 pub use cache::{hash_source, CacheKey, ModuleCache};
-pub use client::{Client, ClientError, ClientResult};
-pub use server::{Server, ServerConfig, Stats};
+pub use client::{Client, ClientError, ClientResult, RetryPolicy, DEFAULT_SOCKET_TIMEOUT};
+pub use server::{BreakerConfig, Server, ServerConfig, Stats};
 pub use wire::{ErrorCode, Request, Response, WireArg};

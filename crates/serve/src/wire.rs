@@ -43,6 +43,14 @@ pub enum ErrorCode {
     /// The toolchain itself failed an invariant (including a caught
     /// panic). The request failed; the process did not.
     Internal = 8,
+    /// The launch exceeded its deadline: the watchdog cancelled it and
+    /// answered on its behalf. The tenant's state is still consistent
+    /// (dispatch is idempotent); re-issuing the request is safe.
+    Timeout = 9,
+    /// A transient server-side condition (device loss mid-recovery, a
+    /// tripped circuit breaker cooling down). Safe to retry; the reply's
+    /// `retry_after_ms` hints when.
+    Retryable = 10,
 }
 
 impl ErrorCode {
@@ -56,8 +64,17 @@ impl ErrorCode {
             6 => ErrorCode::AdmissionRejected,
             7 => ErrorCode::Busy,
             8 => ErrorCode::Internal,
+            9 => ErrorCode::Timeout,
+            10 => ErrorCode::Retryable,
             _ => return None,
         })
+    }
+
+    /// Whether a client may re-issue the failed request verbatim and
+    /// plausibly succeed (load shedding, cooldowns, deadlines — not
+    /// malformed or non-compliant programs).
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::Busy | ErrorCode::Timeout | ErrorCode::Retryable)
     }
 }
 
@@ -145,8 +162,34 @@ pub enum Response {
     Data(Vec<f32>),
     /// Counter name/value pairs (`Stats`).
     Stats(Vec<(String, u64)>),
-    /// Structured failure.
-    Error { code: ErrorCode, message: String },
+    /// Structured failure. `retry_after_ms` is the server's back-off
+    /// hint on shed/cooldown replies (`Busy`, `Retryable`): how long the
+    /// condition is expected to last. Absent on non-retryable errors.
+    Error {
+        code: ErrorCode,
+        message: String,
+        retry_after_ms: Option<u64>,
+    },
+}
+
+impl Response {
+    /// An error reply without a back-off hint.
+    pub fn error(code: ErrorCode, message: impl Into<String>) -> Response {
+        Response::Error {
+            code,
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// An error reply hinting the client to retry after `retry_after_ms`.
+    pub fn error_with_retry(code: ErrorCode, message: impl Into<String>, retry_after_ms: u64) -> Response {
+        Response::Error {
+            code,
+            message: message.into(),
+            retry_after_ms: Some(retry_after_ms),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -460,10 +503,21 @@ impl Response {
                     put_u64(&mut b, *v);
                 }
             }
-            Response::Error { code, message } => {
+            Response::Error {
+                code,
+                message,
+                retry_after_ms,
+            } => {
                 b.push(5);
                 b.push(*code as u8);
                 put_str(&mut b, message);
+                match retry_after_ms {
+                    Some(ms) => {
+                        b.push(1);
+                        put_u64(&mut b, *ms);
+                    }
+                    None => b.push(0),
+                }
             }
         }
         b
@@ -494,7 +548,16 @@ impl Response {
                 let code =
                     ErrorCode::from_u8(c.u8()?).ok_or_else(|| DecodeError("unknown error code".into()))?;
                 let message = c.str()?;
-                Response::Error { code, message }
+                let retry_after_ms = match c.u8()? {
+                    0 => None,
+                    1 => Some(c.u64()?),
+                    t => return Err(DecodeError(format!("bad retry_after flag {t}"))),
+                };
+                Response::Error {
+                    code,
+                    message,
+                    retry_after_ms,
+                }
             }
             t => return Err(DecodeError(format!("unknown response tag {t}"))),
         };
@@ -618,7 +681,32 @@ mod tests {
         roundtrip_resp(Response::Error {
             code: ErrorCode::AdmissionRejected,
             message: "cost 10 over budget 5".into(),
+            retry_after_ms: None,
         });
+        roundtrip_resp(Response::error_with_retry(
+            ErrorCode::Retryable,
+            "breaker open",
+            250,
+        ));
+        roundtrip_resp(Response::error(ErrorCode::Timeout, "deadline exceeded"));
+    }
+
+    #[test]
+    fn retryable_codes_are_classified() {
+        for code in [ErrorCode::Busy, ErrorCode::Timeout, ErrorCode::Retryable] {
+            assert!(code.is_retryable(), "{code:?}");
+        }
+        for code in [
+            ErrorCode::Malformed,
+            ErrorCode::Compile,
+            ErrorCode::Certification,
+            ErrorCode::Usage,
+            ErrorCode::Device,
+            ErrorCode::AdmissionRejected,
+            ErrorCode::Internal,
+        ] {
+            assert!(!code.is_retryable(), "{code:?}");
+        }
     }
 
     #[test]

@@ -414,3 +414,367 @@ fn device_backend_serves_with_vram_budget() {
     assert_eq!(stat(&stats, "panics"), 0);
     server.shutdown();
 }
+
+// ---------------------------------------------------------------------
+// Fault injection & recovery: watchdog deadlines, tenant poisoning,
+// circuit breaker lifecycle, retry hints, resilience counters.
+
+use brook_auto::{FaultPlan, ResiliencePolicy};
+use brook_serve::{BreakerConfig, RetryPolicy};
+use std::time::Duration;
+
+/// A full saxpy workflow over the wire; returns the result vector.
+fn wire_saxpy(c: &mut Client, n: u32) -> Result<Vec<f32>, ClientError> {
+    let module = c.compile(SAXPY)?;
+    let x = c.create_stream(&[n], 1)?;
+    let y = c.create_stream(&[n], 1)?;
+    let r = c.create_stream(&[n], 1)?;
+    let xs: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    c.write(x, &xs)?;
+    c.write(y, &vec![0.5; n as usize])?;
+    c.run(
+        module,
+        "saxpy",
+        &[
+            WireArg::Stream(x),
+            WireArg::Stream(y),
+            WireArg::Float(2.0),
+            WireArg::Stream(r),
+        ],
+    )?;
+    c.read(r)
+}
+
+#[test]
+fn stalled_server_times_out_with_a_typed_error() {
+    // A listener that accepts and then never answers: the client's
+    // socket timeout must convert the stall into `TimedOut`, not a
+    // forever-hang.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let stall = std::thread::spawn(move || {
+        let (_conn, _) = listener.accept().expect("accept");
+        std::thread::sleep(Duration::from_secs(2)); // hold the socket open, say nothing
+    });
+    let mut c = Client::connect_with_timeout(addr, "t", Some(Duration::from_millis(100))).expect("connect");
+    let started = std::time::Instant::now();
+    let err = c.stats().unwrap_err();
+    assert!(matches!(err, ClientError::TimedOut), "{err}");
+    assert!(started.elapsed() < Duration::from_secs(1), "timed out promptly");
+    drop(c);
+    stall.join().expect("stall thread");
+}
+
+#[test]
+fn saturated_shard_sheds_with_hint_and_with_retry_recovers() {
+    // One shard, queue depth one. Tenant t's first launch is held in a
+    // 400 ms injected latency spike, a second launch fills the queue,
+    // so a third is shed with `Busy` + retry_after_ms. `with_retry`
+    // then rides the hint to eventual success.
+    let server = start(ServerConfig {
+        shards: 1,
+        queue_depth: 1,
+        fault_plan: Some(FaultPlan::new().with_latency(0, 400)),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let mut c = Client::connect(addr, "t").expect("connect");
+    let module = c.compile(SAXPY).expect("compile");
+    let x = c.create_stream(&[8], 1).expect("x");
+    let y = c.create_stream(&[8], 1).expect("y");
+    let r = c.create_stream(&[8], 1).expect("r");
+    c.write(x, &[1.0; 8]).expect("write x");
+    c.write(y, &[2.0; 8]).expect("write y");
+    let args = [
+        WireArg::Stream(x),
+        WireArg::Stream(y),
+        WireArg::Float(3.0),
+        WireArg::Stream(r),
+    ];
+
+    // Occupy the shard (hits the latency fault) ...
+    let slow = {
+        let args = args.to_vec();
+        let mut c2 = Client::connect(addr, "t").expect("connect");
+        std::thread::spawn(move || c2.run(module, "saxpy", &args))
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    // ... fill the depth-1 queue ...
+    let queued = {
+        let args = args.to_vec();
+        let mut c3 = Client::connect(addr, "t").expect("connect");
+        std::thread::spawn(move || c3.run(module, "saxpy", &args))
+    };
+    std::thread::sleep(Duration::from_millis(50));
+    // ... and get shed, with the back-off hint.
+    let err = c.run(module, "saxpy", &args).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Busy), "{err}");
+    assert!(err.is_retryable());
+    assert_eq!(err.retry_after_ms(), Some(5), "Busy carries the hint");
+
+    // Bounded retries with jittered backoff ride out the saturation
+    // (the spike outlasts the default 5-attempt budget, so give the
+    // policy room).
+    let policy = RetryPolicy {
+        max_attempts: 60,
+        backoff_base_ms: 5,
+        backoff_cap_ms: 50,
+        seed: 7,
+    };
+    c.with_retry(&policy, |c| c.run(module, "saxpy", &args))
+        .expect("with_retry eventually succeeds");
+    assert_eq!(c.read(r).expect("read"), vec![5.0; 8]);
+    slow.join().expect("slow").expect("slow run ok");
+    queued.join().expect("queued").expect("queued run ok");
+    let stats = c.stats().expect("stats");
+    assert!(stat(&stats, "busy_rejected") >= 1);
+    assert_eq!(stat(&stats, "panics"), 0);
+    server.shutdown();
+}
+
+#[test]
+fn watchdog_cancels_a_hung_launch_within_the_deadline() {
+    // An injected device hang with no in-context attempt timeout: only
+    // the serve watchdog can unwedge it. The client gets a `Timeout`
+    // reply at the deadline and the shard recovers for later requests.
+    let server = start(ServerConfig {
+        shards: 1,
+        launch_deadline: Some(Duration::from_millis(200)),
+        fault_plan: Some(FaultPlan::new().with_hang(0)),
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(server.local_addr(), "t").expect("connect");
+    let module = c.compile(SAXPY).expect("compile");
+    let x = c.create_stream(&[4], 1).expect("x");
+    let y = c.create_stream(&[4], 1).expect("y");
+    let r = c.create_stream(&[4], 1).expect("r");
+    c.write(x, &[1.0; 4]).expect("write x");
+    c.write(y, &[1.0; 4]).expect("write y");
+    let args = [
+        WireArg::Stream(x),
+        WireArg::Stream(y),
+        WireArg::Float(1.0),
+        WireArg::Stream(r),
+    ];
+    let started = std::time::Instant::now();
+    let err = c.run(module, "saxpy", &args).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Timeout), "{err}");
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "watchdog answered, not the hang"
+    );
+    // The hang was cancelled, not abandoned: the same tenant serves
+    // the retried launch (the injected hang fired once).
+    std::thread::sleep(Duration::from_millis(50)); // let the shard notice the cancel
+    c.run(module, "saxpy", &args).expect("retried run succeeds");
+    assert_eq!(c.read(r).expect("read"), vec![2.0; 4]);
+    let stats = c.stats().expect("stats");
+    assert!(stat(&stats, "timeouts") >= 1);
+    assert_eq!(stat(&stats, "panics"), 0);
+    server.shutdown();
+}
+
+#[test]
+fn panic_discards_tenant_state_without_a_breaker() {
+    // Pre-breaker contract, pinned: a caught panic fails the request,
+    // drops the tenant (handles dangle), the process keeps serving.
+    let server = start(ServerConfig {
+        shards: 1,
+        fault_plan: Some(FaultPlan::new().with_panic(0)),
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(server.local_addr(), "t").expect("connect");
+    let module = c.compile(SAXPY).expect("compile");
+    let x = c.create_stream(&[4], 1).expect("x");
+    let y = c.create_stream(&[4], 1).expect("y");
+    let r = c.create_stream(&[4], 1).expect("r");
+    c.write(x, &[1.0; 4]).expect("write x");
+    c.write(y, &[1.0; 4]).expect("write y");
+    let args = [
+        WireArg::Stream(x),
+        WireArg::Stream(y),
+        WireArg::Float(1.0),
+        WireArg::Stream(r),
+    ];
+    let err = c.run(module, "saxpy", &args).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Internal), "{err}");
+    assert!(err.to_string().contains("panicked"), "{err}");
+    // The tenant's handles died with its state.
+    let err = c.read(r).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Malformed), "stale handle");
+    // But the tenant can rebuild immediately (fault plans arm once per
+    // tenant name — the fresh context starts clean) and the process
+    // never stopped serving.
+    assert_eq!(wire_saxpy(&mut c, 8).expect("rebuilt workflow"), {
+        let xs: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        serial_saxpy(&xs, &[0.5; 8], 2.0)
+    });
+    let stats = c.stats().expect("stats");
+    assert_eq!(stat(&stats, "panics"), 1);
+    assert_eq!(stat(&stats, "breaker_trips"), 0, "no breaker configured");
+    server.shutdown();
+}
+
+#[test]
+fn breaker_trips_sheds_probes_and_recovers() {
+    let server = start(ServerConfig {
+        shards: 1,
+        breaker: Some(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(300),
+        }),
+        fault_plan: Some(FaultPlan::new().with_panic(0)),
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(server.local_addr(), "t").expect("connect");
+    let module = c.compile(SAXPY).expect("compile");
+    let x = c.create_stream(&[4], 1).expect("x");
+    let r = c.create_stream(&[4], 1).expect("r");
+    c.write(x, &[2.0; 4]).expect("write");
+    let args = [
+        WireArg::Stream(x),
+        WireArg::Stream(x),
+        WireArg::Float(1.0),
+        WireArg::Stream(r),
+    ];
+    // Trip: one panic is the threshold.
+    let err = c.run(module, "saxpy", &args).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Internal), "{err}");
+    // Open: requests are shed with a cooldown hint, nothing executes.
+    let err = c.compile(SUM).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Retryable), "{err}");
+    assert!(err.is_retryable());
+    let hint = err.retry_after_ms().expect("open breaker hints retry_after");
+    assert!((1..=300).contains(&hint), "hint {hint} within cooldown");
+    // Half-open after the cooldown: the probe succeeds and closes the
+    // breaker; the tenant rebuilds and serves normally.
+    std::thread::sleep(Duration::from_millis(350));
+    let expected = {
+        let xs: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        serial_saxpy(&xs, &[0.5; 8], 2.0)
+    };
+    assert_eq!(wire_saxpy(&mut c, 8).expect("recovered"), expected);
+    let stats = c.stats().expect("stats");
+    assert_eq!(stat(&stats, "breaker_trips"), 1);
+    assert!(stat(&stats, "breaker_probes") >= 1);
+    assert!(stat(&stats, "breaker_rejected") >= 1);
+    assert_eq!(stat(&stats, "panics"), 1);
+    server.shutdown();
+}
+
+#[test]
+fn failed_probe_re_trips_the_breaker() {
+    let server = start(ServerConfig {
+        shards: 1,
+        breaker: Some(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(250),
+        }),
+        // Both tenants' first contexts arm this plan: each panics on
+        // its own launch 0.
+        fault_plan: Some(FaultPlan::new().with_panic(0)),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let mut a = Client::connect(addr, "a").expect("connect");
+    let mut b = Client::connect(addr, "b").expect("connect");
+
+    // Stage b's workflow fully (no launches yet), so its *run* can be
+    // the breaker's probe later.
+    let b_module = b.compile(SAXPY).expect("compile");
+    let bx = b.create_stream(&[4], 1).expect("x");
+    let br = b.create_stream(&[4], 1).expect("r");
+    b.write(bx, &[1.0; 4]).expect("write");
+    let b_args = [
+        WireArg::Stream(bx),
+        WireArg::Stream(bx),
+        WireArg::Float(1.0),
+        WireArg::Stream(br),
+    ];
+
+    // Tenant a trips the breaker.
+    let a_module = a.compile(SAXPY).expect("compile");
+    let ax = a.create_stream(&[4], 1).expect("x");
+    let ar = a.create_stream(&[4], 1).expect("r");
+    a.write(ax, &[1.0; 4]).expect("write");
+    let a_args = [
+        WireArg::Stream(ax),
+        WireArg::Stream(ax),
+        WireArg::Float(1.0),
+        WireArg::Stream(ar),
+    ];
+    let err = a.run(a_module, "saxpy", &a_args).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Internal), "{err}");
+    assert_eq!(
+        a.read(ar).unwrap_err().code(),
+        Some(ErrorCode::Retryable),
+        "breaker open"
+    );
+
+    // After the cooldown, b's run is the probe — and it panics too
+    // (b's own injected fault), so the breaker re-trips on the spot.
+    std::thread::sleep(Duration::from_millis(300));
+    let err = b.run(b_module, "saxpy", &b_args).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Internal), "probe panicked: {err}");
+    let err = b.compile(SUM).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Retryable), "re-tripped: {err}");
+
+    // Second cooldown, clean probe, full recovery for both tenants.
+    std::thread::sleep(Duration::from_millis(300));
+    let expected = {
+        let xs: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        serial_saxpy(&xs, &[0.5; 8], 2.0)
+    };
+    assert_eq!(wire_saxpy(&mut a, 8).expect("a recovered"), expected);
+    assert_eq!(wire_saxpy(&mut b, 8).expect("b recovered"), expected);
+    let stats = a.stats().expect("stats");
+    assert_eq!(stat(&stats, "breaker_trips"), 2);
+    assert_eq!(stat(&stats, "panics"), 2);
+    assert!(stat(&stats, "breaker_probes") >= 2);
+    server.shutdown();
+}
+
+#[test]
+fn resilience_evidence_flows_into_service_counters() {
+    // The in-context recovery ladder (retry, redundant-execution
+    // detection, verified failover) reports through the service stats.
+    let server = start(ServerConfig {
+        shards: 1,
+        resilience: Some(ResiliencePolicy {
+            redundant_check: true,
+            ..ResiliencePolicy::default()
+        }),
+        fault_plan: Some(
+            FaultPlan::new()
+                .with_device_loss(0, false) // launch 0: transient, retried
+                .with_corruption(1, 0, 0, 0x0040_0000) // launch 1: caught + repaired
+                .with_device_loss(2, true), // launch 2: persistent, failover
+        ),
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(server.local_addr(), "t").expect("connect");
+    let module = c.compile(SAXPY).expect("compile");
+    let x = c.create_stream(&[16], 1).expect("x");
+    let y = c.create_stream(&[16], 1).expect("y");
+    let r = c.create_stream(&[16], 1).expect("r");
+    let xs: Vec<f32> = (0..16).map(|i| i as f32 * 0.5).collect();
+    c.write(x, &xs).expect("write x");
+    c.write(y, &[1.0; 16]).expect("write y");
+    let args = [
+        WireArg::Stream(x),
+        WireArg::Stream(y),
+        WireArg::Float(2.0),
+        WireArg::Stream(r),
+    ];
+    let expected = serial_saxpy(&xs, &[1.0; 16], 2.0);
+    for _ in 0..3 {
+        c.run(module, "saxpy", &args).expect("run rides the ladder");
+        assert_eq!(c.read(r).expect("read"), expected, "bit-exact through faults");
+    }
+    let stats = c.stats().expect("stats");
+    assert!(stat(&stats, "retries") >= 1, "transient loss retried");
+    assert_eq!(stat(&stats, "corruptions_detected"), 1);
+    assert_eq!(stat(&stats, "failovers"), 1);
+    assert_eq!(stat(&stats, "panics"), 0, "ladder recovery needs no panics");
+    server.shutdown();
+}

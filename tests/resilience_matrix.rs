@@ -1,0 +1,180 @@
+//! End-to-end resilience acceptance: the full eleven-application paper
+//! suite completes **bit-exactly** while a deterministic [`FaultPlan`]
+//! injects a device loss, a transient output corruption and a worker
+//! panic mid-campaign — and every recovery step is attributed in the
+//! context's resilience evidence with zero deadline misses.
+//!
+//! This is the integration-level counterpart of the randomized
+//! fault-matrix campaign in `brook-fuzz` (`fuzz::faults`): here the
+//! fault schedule is hand-picked and the assertions name the exact
+//! recovery rung each fault must exercise (retry, verified failover,
+//! redundant-execution repair, panic containment).
+
+use brook_apps::all_apps;
+use brook_auto::{BrookContext, FaultPlan, ResiliencePolicy, ResilienceSummary};
+
+/// Which single fault a campaign app carries, and the rung that must
+/// absorb it.
+enum Fault {
+    None,
+    /// Transient device loss → absorbed by a backoff retry.
+    TransientLoss,
+    /// Persistent device loss → verified failover to the AST oracle.
+    PersistentLoss,
+    /// One bit-flipped output block → caught and repaired by redundant
+    /// execution.
+    Corruption,
+    /// A worker panic mid-dispatch → contained by the unwind shield and
+    /// retried.
+    Panic,
+}
+
+fn fault_for(app: &str) -> Fault {
+    match app {
+        "black_scholes" => Fault::TransientLoss,
+        "spmv" => Fault::PersistentLoss,
+        "image_filter" => Fault::Corruption,
+        "prefix_sum" => Fault::Panic,
+        _ => Fault::None,
+    }
+}
+
+fn plan_for(fault: &Fault) -> Option<FaultPlan> {
+    match fault {
+        Fault::None => None,
+        Fault::TransientLoss => Some(FaultPlan::new().with_device_loss(0, false)),
+        Fault::PersistentLoss => Some(FaultPlan::new().with_device_loss(0, true)),
+        // Flip the sign bit of block 0 of the first launch's first
+        // output — a single-event upset the redundant check must catch.
+        Fault::Corruption => Some(FaultPlan::new().with_corruption(0, 0, 0, 0x8000_0000)),
+        Fault::Panic => Some(FaultPlan::new().with_panic(0)),
+    }
+}
+
+/// Campaign policy: every rung armed, a generous whole-launch deadline
+/// so "no deadline misses" is a real assertion rather than vacuous.
+fn campaign_policy() -> ResiliencePolicy {
+    ResiliencePolicy {
+        max_retries: 6,
+        deadline_ms: Some(60_000),
+        attempt_timeout_ms: Some(5_000),
+        redundant_check: true,
+        ..ResiliencePolicy::default()
+    }
+}
+
+fn bits(values: &[f32]) -> Vec<u32> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn eleven_app_campaign_recovers_bit_exactly_with_full_attribution() {
+    let policy = campaign_policy();
+    let mut campaign = ResilienceSummary::default();
+    let mut faulted_apps = 0;
+
+    for app in all_apps() {
+        let fault = fault_for(app.name());
+
+        // Fault-free serial CPU oracle, same policy so the launch
+        // pipeline (including the redundant check) is identical.
+        let mut oracle_ctx = BrookContext::cpu();
+        oracle_ctx.set_resilience(policy.clone()).expect("fresh context");
+        let oracle = app
+            .run_gpu(&mut oracle_ctx, app.matrix_size(), 7)
+            .unwrap_or_else(|e| panic!("{}: fault-free oracle run failed: {e}", app.name()));
+
+        // Faulted run on a fresh serial CPU context.
+        let mut ctx = BrookContext::cpu();
+        ctx.set_resilience(policy.clone()).expect("fresh context");
+        if let Some(plan) = plan_for(&fault) {
+            ctx.set_fault_plan(plan);
+            faulted_apps += 1;
+        }
+        let out = app
+            .run_gpu(&mut ctx, app.matrix_size(), 7)
+            .unwrap_or_else(|e| panic!("{}: campaign run failed to recover: {e}", app.name()));
+
+        assert_eq!(
+            bits(&out),
+            bits(&oracle),
+            "{}: faulted output is not bit-exact with the fault-free serial CPU run",
+            app.name()
+        );
+
+        // Attribution: the per-launch records must pin every injected
+        // fault to the recovery rung that absorbed it.
+        let report = ctx.resilience_report();
+        let summary = report.summary.clone();
+        assert_eq!(
+            ResilienceSummary::from_records(&report.records),
+            summary,
+            "{}: records and summary disagree",
+            app.name()
+        );
+        match fault {
+            Fault::None => assert_eq!(summary.injected_faults, 0, "{}", app.name()),
+            Fault::TransientLoss => {
+                assert_eq!(summary.injected_faults, 1, "{}", app.name());
+                assert!(summary.retries >= 1, "{}: loss never retried", app.name());
+                assert_eq!(summary.failovers, 0, "{}", app.name());
+            }
+            Fault::PersistentLoss => {
+                assert_eq!(summary.injected_faults, 1, "{}", app.name());
+                assert_eq!(summary.failovers, 1, "{}: no failover", app.name());
+                let record = report
+                    .records
+                    .iter()
+                    .find(|r| r.failover.is_some())
+                    .expect("a failover record");
+                assert!(
+                    record.failover.as_deref().unwrap().contains("bit-exact"),
+                    "{}: failover was not verified: {:?}",
+                    app.name(),
+                    record.failover
+                );
+            }
+            Fault::Corruption => {
+                assert_eq!(summary.injected_faults, 1, "{}", app.name());
+                assert_eq!(
+                    summary.corruptions_detected,
+                    1,
+                    "{}: corruption slipped past the redundant check",
+                    app.name()
+                );
+            }
+            Fault::Panic => {
+                assert_eq!(summary.injected_faults, 1, "{}", app.name());
+                assert_eq!(summary.panics_caught, 1, "{}: panic not contained", app.name());
+                assert!(summary.retries >= 1, "{}: panic never retried", app.name());
+            }
+        }
+
+        // Deadline evidence: configured, honored, and recorded.
+        assert_eq!(summary.deadline_misses, 0, "{}: deadline missed", app.name());
+        assert!(
+            report.records.iter().all(|r| r.deadline_met),
+            "{}: a launch record reports a missed deadline",
+            app.name()
+        );
+        assert!(
+            summary.min_deadline_margin_ms.is_some(),
+            "{}: deadline margins were not recorded",
+            app.name()
+        );
+
+        for r in &report.records {
+            campaign.absorb(r);
+        }
+    }
+
+    // Campaign totals: all four fault kinds fired and were absorbed.
+    assert_eq!(faulted_apps, 4, "the fault schedule must cover four apps");
+    assert_eq!(campaign.injected_faults, 4);
+    assert!(campaign.retries >= 2, "loss + panic each retry at least once");
+    assert_eq!(campaign.failovers, 1);
+    assert_eq!(campaign.corruptions_detected, 1);
+    assert_eq!(campaign.panics_caught, 1);
+    assert_eq!(campaign.deadline_misses, 0);
+    assert!(campaign.launches > 0);
+}
